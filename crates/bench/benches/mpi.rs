@@ -1,0 +1,82 @@
+//! Benchmarks of the message-passing substrate: point-to-point
+//! throughput, collectives across rank counts, and tag-matching under
+//! out-of-order traffic. Real host time (the virtual clocks are free).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgr_mpi::{run, MachineModel};
+
+fn bench_p2p(c: &mut Criterion) {
+    let mut g = c.benchmark_group("p2p_roundtrips");
+    g.sample_size(10);
+    for &msgs in &[100usize, 1000] {
+        g.bench_with_input(BenchmarkId::from_parameter(msgs), &msgs, |b, &msgs| {
+            b.iter(|| {
+                run(2, MachineModel::ideal(), |comm| {
+                    if comm.rank() == 0 {
+                        for i in 0..msgs as u64 {
+                            comm.send(1, 1, &i);
+                            let _: u64 = comm.recv(1, 2);
+                        }
+                    } else {
+                        for _ in 0..msgs {
+                            let v: u64 = comm.recv(0, 1);
+                            comm.send(0, 2, &v);
+                        }
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives_100_rounds");
+    g.sample_size(10);
+    for &ranks in &[2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("allreduce", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                run(ranks, MachineModel::ideal(), |comm| {
+                    let mut acc = 0u64;
+                    for i in 0..100u64 {
+                        acc = comm.allreduce(acc + i + comm.rank() as u64, |a, b| a.wrapping_add(b));
+                    }
+                    black_box(acc)
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("allgather_vec", ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                run(ranks, MachineModel::ideal(), |comm| {
+                    let payload: Vec<u64> = (0..64).map(|i| i + comm.rank() as u64).collect();
+                    let mut total = 0u64;
+                    for _ in 0..100 {
+                        let all = comm.allgather(payload.clone());
+                        total += all.len() as u64;
+                    }
+                    black_box(total)
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_alltoall(c: &mut Criterion) {
+    c.bench_function("alltoall_8ranks_1k_items", |b| {
+        b.iter(|| {
+            run(8, MachineModel::ideal(), |comm| {
+                let data: Vec<Vec<u64>> = (0..8).map(|d| vec![d as u64; 128]).collect();
+                let back = comm.alltoall(data);
+                black_box(back.iter().map(|v| v.len()).sum::<usize>())
+            })
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_p2p, bench_collectives, bench_alltoall
+);
+criterion_main!(benches);

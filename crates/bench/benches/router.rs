@@ -1,0 +1,109 @@
+//! Router-level benchmarks: the serial pipeline end to end and per step,
+//! plus the three parallel algorithms on a scaled MCNC instance.
+//!
+//! These complement the `repro` binary: `repro` regenerates the paper's
+//! tables in deterministic *virtual* time, while these measure the real
+//! host cost of the implementation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgr_circuit::mcnc::Mcnc;
+use pgr_circuit::{generate, Circuit, GeneratorConfig, NetId};
+use pgr_geom::rng::rng_from_seed;
+use pgr_mpi::{Comm, MachineModel};
+use pgr_router::route::coarse::CoarseState;
+use pgr_router::route::connect::connect_net;
+use pgr_router::route::steiner::{build_segments, whole_net};
+use pgr_router::{route_parallel, route_serial, Algorithm, PartitionKind, RouterConfig};
+
+fn small_circuit() -> Circuit {
+    generate(&GeneratorConfig::small("bench", 99))
+}
+
+fn bench_serial_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serial_route");
+    g.sample_size(10);
+    for &scale in &[0.05f64, 0.15] {
+        let circuit = Mcnc::Biomed.circuit_scaled(scale);
+        let cfg = RouterConfig::with_seed(1);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("biomed_{:.0}pct", scale * 100.0)),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| {
+                    let mut comm = Comm::solo(MachineModel::ideal());
+                    black_box(route_serial(circuit, &cfg, &mut comm))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_steps(c: &mut Criterion) {
+    let circuit = small_circuit();
+    let mut comm = Comm::solo(MachineModel::ideal());
+
+    c.bench_function("step1_steiner_all_nets", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for i in 0..circuit.num_nets() {
+                let w = whole_net(&circuit, NetId::from_index(i));
+                total += build_segments(&w, &mut comm).len();
+            }
+            black_box(total)
+        })
+    });
+
+    // Pre-build segments once for the coarse bench.
+    let segments: Vec<_> = (0..circuit.num_nets())
+        .flat_map(|i| {
+            let w = whole_net(&circuit, NetId::from_index(i));
+            build_segments(&w, &mut Comm::solo(MachineModel::ideal()))
+        })
+        .collect();
+    let cfg = RouterConfig::with_seed(1);
+    c.bench_function("step2_coarse_route", |b| {
+        b.iter(|| {
+            let mut st = CoarseState::new(0, circuit.num_rows(), circuit.width, cfg.grid_w);
+            let mut rng = rng_from_seed(2);
+            black_box(st.route(&segments, &cfg, &mut rng, &mut Comm::solo(MachineModel::ideal())))
+        })
+    });
+
+    c.bench_function("step4_connect_all_nets", |b| {
+        let works: Vec<_> = (0..circuit.num_nets()).map(|i| whole_net(&circuit, NetId::from_index(i))).collect();
+        b.iter(|| {
+            let mut spans = 0usize;
+            for w in &works {
+                spans += connect_net(w, &mut Comm::solo(MachineModel::ideal())).spans.len();
+            }
+            black_box(spans)
+        })
+    });
+}
+
+fn bench_parallel_algorithms(c: &mut Criterion) {
+    let circuit = Mcnc::Primary2.circuit_scaled(0.3);
+    let cfg = RouterConfig::with_seed(1);
+    let mut g = c.benchmark_group("parallel_4ranks");
+    g.sample_size(10);
+    for algo in Algorithm::ALL {
+        g.bench_function(algo.name(), |b| {
+            b.iter(|| {
+                black_box(route_parallel(&circuit, &cfg, algo, PartitionKind::PinWeight, 4, MachineModel::sparc_center_1000()))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    c.bench_function("generate_small_circuit", |b| b.iter(|| black_box(generate(&GeneratorConfig::small("g", 1)))));
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_serial_pipeline, bench_steps, bench_parallel_algorithms, bench_generation
+);
+criterion_main!(benches);

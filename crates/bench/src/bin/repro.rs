@@ -1,0 +1,95 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--scale F] [--circuits a,b,c] <target>...
+//!
+//! targets: table1 table2 table3 table4 table5
+//!          partition-ablation sync-sweep machine-sweep
+//!          exact-sync-ablation beta-sweep phase-breakdown
+//!          detailed-refinement steiner-ablation comm-matrix all
+//! ```
+//!
+//! `table2`/`table3`/`table4` also emit figures 4/5/6 (the speedup
+//! series). `--scale 0.1` runs 10 %-size circuits for a quick look;
+//! the default regenerates the full-size evaluation.
+
+use pgr_bench::tables::{self, Opts};
+use pgr_router::Algorithm;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--scale F] [--circuits a,b,c] <target>...\n\
+         targets: table1 table2 table3 table4 table5 partition-ablation sync-sweep\n          machine-sweep exact-sync-ablation beta-sweep phase-breakdown detailed-refinement steiner-ablation comm-matrix all"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut opts = Opts::default();
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.scale = v.parse().unwrap_or_else(|_| usage());
+                if !(opts.scale > 0.0 && opts.scale <= 1.0) {
+                    eprintln!("--scale must be in (0, 1]");
+                    std::process::exit(2);
+                }
+            }
+            "--circuits" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.filter = Some(v.split(',').map(str::to_string).collect());
+            }
+            "-h" | "--help" => usage(),
+            t => targets.push(t.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        usage();
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = [
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "partition-ablation",
+            "sync-sweep",
+            "machine-sweep",
+            "exact-sync-ablation",
+            "beta-sweep",
+            "phase-breakdown",
+            "detailed-refinement",
+            "steiner-ablation",
+            "comm-matrix",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    for t in &targets {
+        match t.as_str() {
+            "table1" => tables::table1(&opts),
+            "table2" | "figure4" => tables::quality_and_speedup(Algorithm::RowWise, &opts),
+            "table3" | "figure5" => tables::quality_and_speedup(Algorithm::NetWise, &opts),
+            "table4" | "figure6" => tables::quality_and_speedup(Algorithm::Hybrid, &opts),
+            "table5" => tables::table5(&opts),
+            "partition-ablation" => tables::partition_ablation(&opts),
+            "sync-sweep" => tables::sync_sweep(&opts),
+            "machine-sweep" => tables::machine_sweep(&opts),
+            "exact-sync-ablation" => tables::exact_sync_ablation(&opts),
+            "beta-sweep" => tables::beta_sweep(&opts),
+            "phase-breakdown" => tables::phase_breakdown(&opts),
+            "detailed-refinement" => tables::detailed_refinement(&opts),
+            "steiner-ablation" => tables::steiner_ablation(&opts),
+            "comm-matrix" => tables::comm_matrix(&opts),
+            other => {
+                eprintln!("unknown target '{other}'");
+                usage();
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Benchmark harness: regenerates every table and figure of the paper.
+//!
+//! The `repro` binary drives [`tables`]; Criterion micro-benches live in
+//! `benches/`. Everything runs on synthetic MCNC-shaped circuits (see
+//! `pgr-circuit::mcnc`) over the simulated SparcCenter 1000 / Paragon
+//! machine models, so all reported runtimes and speedups are
+//! deterministic virtual times.
+
+pub mod tables;
+
+use pgr_circuit::mcnc::{Mcnc, ALL};
+use pgr_circuit::Circuit;
+use pgr_mpi::{Comm, MachineModel};
+use pgr_router::{route_serial, RouterConfig, RoutingResult};
+
+/// Default seed of every reproduction run.
+pub const SEED: u64 = 1997;
+
+/// The benchmark set at a given scale (1.0 = the paper's full sizes),
+/// optionally filtered by circuit name.
+pub fn circuits(scale: f64, filter: Option<&[String]>) -> Vec<Circuit> {
+    ALL.iter()
+        .filter(|m| filter.map(|f| f.iter().any(|n| n == m.name())).unwrap_or(true))
+        .map(|m| if scale >= 1.0 { m.circuit() } else { m.circuit_scaled(scale) })
+        .collect()
+}
+
+/// One serial baseline: result, simulated seconds, peak modeled memory.
+pub struct SerialBaseline {
+    pub result: RoutingResult,
+    pub time: f64,
+    pub peak_mem: u64,
+}
+
+/// Run the serial router on `machine`.
+pub fn serial_baseline(circuit: &Circuit, cfg: &RouterConfig, machine: MachineModel) -> SerialBaseline {
+    let mut comm = Comm::solo(machine);
+    let result = route_serial(circuit, cfg, &mut comm);
+    pgr_router::verify::assert_verified(circuit, &result);
+    SerialBaseline { result, time: comm.now(), peak_mem: comm.peak_mem() }
+}
+
+/// Pretty seconds.
+pub fn fmt_secs(t: f64) -> String {
+    if t >= 100.0 {
+        format!("{t:.0}")
+    } else if t >= 10.0 {
+        format!("{t:.1}")
+    } else {
+        format!("{t:.2}")
+    }
+}
+
+/// Re-export of the benchmark identities.
+pub fn all_mcnc() -> [Mcnc; 6] {
+    ALL
+}

@@ -1,0 +1,221 @@
+//! Left-edge track assignment (Hashimoto–Stevens).
+//!
+//! Sort intervals by left edge; place each on the first track whose
+//! rightmost occupied column is strictly left of the interval. With a
+//! min-heap over track right-ends this runs in O(n log n) and uses
+//! exactly `max_x density(x)` tracks — optimal, which is what licenses
+//! the global router's density objective.
+//!
+//! Two *different* nets may not share a column on a track; intervals of
+//! the same net must be pre-merged ([`crate::merge_net_intervals`]) so a
+//! net's pieces count once.
+
+use crate::merge::Interval;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A packed channel: `tracks[t]` holds the intervals assigned to track
+/// `t`, each list sorted left-to-right and pairwise disjoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackAssignment {
+    pub tracks: Vec<Vec<Interval>>,
+}
+
+impl TrackAssignment {
+    /// Number of tracks the channel needs.
+    pub fn count(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Verify the packing: every track's intervals are disjoint (two
+    /// intervals of different nets may not even abut — they would short
+    /// at the shared column). Returns the first offending pair.
+    pub fn validate(&self) -> Result<(), (usize, Interval, Interval)> {
+        for (t, track) in self.tracks.iter().enumerate() {
+            for w in track.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                debug_assert!(a.lo <= b.lo, "track lists are sorted");
+                if b.lo <= a.hi {
+                    return Err((t, a, b));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total wire length packed into the channel.
+    pub fn wirelength(&self) -> i64 {
+        self.tracks.iter().flatten().map(Interval::width).sum()
+    }
+
+    /// Fraction of track-columns actually occupied (1.0 = perfectly
+    /// packed). Uses the overall extent of the channel's intervals.
+    pub fn utilization(&self) -> f64 {
+        let (mut lo, mut hi) = (i64::MAX, i64::MIN);
+        let mut used = 0i64;
+        for iv in self.tracks.iter().flatten() {
+            lo = lo.min(iv.lo);
+            hi = hi.max(iv.hi);
+            used += iv.width() + 1;
+        }
+        if self.tracks.is_empty() || hi < lo {
+            return 1.0;
+        }
+        let area = (hi - lo + 1) * self.tracks.len() as i64;
+        used as f64 / area as f64
+    }
+}
+
+/// Pack `intervals` (assumed same-net-merged) into tracks with the
+/// left-edge algorithm. Deterministic: ties break by `(lo, hi, net)`.
+///
+/// ```
+/// use pgr_channel::{assign_tracks, Interval};
+/// let ivs = [Interval::new(1, 0, 10), Interval::new(2, 5, 15), Interval::new(3, 12, 20)];
+/// let packed = assign_tracks(&ivs);
+/// assert_eq!(packed.count(), 2);        // intervals 1 and 3 share a track
+/// assert!(packed.validate().is_ok());
+/// ```
+pub fn assign_tracks(intervals: &[Interval]) -> TrackAssignment {
+    let mut sorted = intervals.to_vec();
+    sorted.sort_unstable_by_key(|iv| (iv.lo, iv.hi, iv.net));
+
+    let mut tracks: Vec<Vec<Interval>> = Vec::new();
+    // Min-heap of (right end, track index): the track that frees up
+    // first. An interval reuses it iff the track's right end is strictly
+    // left of the interval's left edge (different nets may not abut).
+    let mut free_at: BinaryHeap<Reverse<(i64, usize)>> = BinaryHeap::new();
+    for iv in sorted {
+        match free_at.peek() {
+            Some(&Reverse((right, t))) if right < iv.lo => {
+                free_at.pop();
+                tracks[t].push(iv);
+                free_at.push(Reverse((iv.hi, t)));
+            }
+            _ => {
+                let t = tracks.len();
+                tracks.push(vec![iv]);
+                free_at.push(Reverse((iv.hi, t)));
+            }
+        }
+    }
+    TrackAssignment { tracks }
+}
+
+/// The channel's density: the maximum number of intervals covering any
+/// single column (the lower bound every packing must meet).
+pub fn density(intervals: &[Interval]) -> usize {
+    // Sweep over ±1 events at interval ends.
+    let mut events: Vec<(i64, i32)> = Vec::with_capacity(2 * intervals.len());
+    for iv in intervals {
+        events.push((iv.lo, 1));
+        // Closing strictly after hi: inclusive intervals sharing a
+        // column DO conflict, so the close event sorts after opens at
+        // the same column.
+        events.push((iv.hi + 1, -1));
+    }
+    events.sort_unstable();
+    let mut cur = 0i32;
+    let mut max = 0i32;
+    for (_, d) in events {
+        cur += d;
+        max = max.max(cur);
+    }
+    max as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(net: u32, lo: i64, hi: i64) -> Interval {
+        Interval::new(net, lo, hi)
+    }
+
+    #[test]
+    fn empty_channel_needs_no_tracks() {
+        let ta = assign_tracks(&[]);
+        assert_eq!(ta.count(), 0);
+        assert!(ta.validate().is_ok());
+        assert_eq!(density(&[]), 0);
+    }
+
+    #[test]
+    fn disjoint_intervals_share_one_track() {
+        let ta = assign_tracks(&[iv(1, 0, 3), iv(2, 5, 8), iv(3, 10, 12)]);
+        assert_eq!(ta.count(), 1);
+        assert!(ta.validate().is_ok());
+    }
+
+    #[test]
+    fn abutting_different_nets_conflict() {
+        // Sharing column 5 is a short: two tracks.
+        let ta = assign_tracks(&[iv(1, 0, 5), iv(2, 5, 9)]);
+        assert_eq!(ta.count(), 2);
+        assert_eq!(density(&[iv(1, 0, 5), iv(2, 5, 9)]), 2);
+    }
+
+    #[test]
+    fn nested_intervals_stack() {
+        let ivs = vec![iv(1, 0, 10), iv(2, 2, 8), iv(3, 4, 6)];
+        let ta = assign_tracks(&ivs);
+        assert_eq!(ta.count(), 3);
+        assert_eq!(density(&ivs), 3);
+        assert!(ta.validate().is_ok());
+    }
+
+    #[test]
+    fn staircase_packs_optimally() {
+        // Density 2, many intervals: LEA must use exactly 2 tracks.
+        let ivs: Vec<Interval> = (0..10).map(|i| iv(i as u32, i * 4, i * 4 + 5)).collect();
+        assert_eq!(density(&ivs), 2);
+        let ta = assign_tracks(&ivs);
+        assert_eq!(ta.count(), 2);
+        assert!(ta.validate().is_ok());
+    }
+
+    #[test]
+    fn lea_achieves_density_always() {
+        // A couple of handcrafted stress shapes.
+        let shapes: Vec<Vec<Interval>> = vec![
+            (0..50).map(|i| iv(i as u32, (i * 7) % 90, (i * 7) % 90 + 15)).collect(),
+            (0..30).map(|i| iv(i as u32, 0, 10 + i)).collect(),
+            (0..30).map(|i| iv(i as u32, i, 60 - i)).collect(),
+        ];
+        for ivs in shapes {
+            let ta = assign_tracks(&ivs);
+            assert_eq!(ta.count(), density(&ivs), "LEA is optimal");
+            assert!(ta.validate().is_ok());
+            let packed: usize = ta.tracks.iter().map(Vec::len).sum();
+            assert_eq!(packed, ivs.len(), "every interval placed exactly once");
+        }
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let ta = assign_tracks(&[iv(1, 0, 9)]);
+        assert!((ta.utilization() - 1.0).abs() < 1e-9, "one full track = 1.0");
+        let ta = assign_tracks(&[iv(1, 0, 9), iv(2, 0, 9)]);
+        assert!((ta.utilization() - 1.0).abs() < 1e-9);
+        let sparse = assign_tracks(&[iv(1, 0, 1), iv(2, 98, 99)]);
+        assert!(sparse.utilization() < 0.1);
+    }
+
+    #[test]
+    fn wirelength_sums_lengths() {
+        let ta = assign_tracks(&[iv(1, 0, 4), iv(2, 10, 13)]);
+        assert_eq!(ta.wirelength(), 7);
+    }
+
+    #[test]
+    fn validate_catches_manual_shorts() {
+        let bad = TrackAssignment { tracks: vec![vec![iv(1, 0, 5), iv(2, 5, 9)]] };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let ivs: Vec<Interval> = (0..40).map(|i| iv(i as u32 % 7, (i * 13) % 50, (i * 13) % 50 + 8)).collect();
+        assert_eq!(assign_tracks(&ivs), assign_tracks(&ivs));
+    }
+}

@@ -1,0 +1,29 @@
+//! Detailed channel routing: the substrate under the global router's
+//! quality metric.
+//!
+//! TimberWolfSC's objective — and every number in the paper's tables —
+//! is the **total channel density**: each channel is assumed to need as
+//! many horizontal tracks as its densest column. That assumption is a
+//! theorem for the classical **left-edge algorithm** (Hashimoto &
+//! Stevens, 1971): in the absence of vertical constraints, LEA packs a
+//! set of intervals into exactly `density` tracks, and no router can do
+//! better.
+//!
+//! This crate implements that substrate:
+//!
+//! * [`merge::merge_net_intervals`] — overlapping spans of the *same*
+//!   net are one electrical wire and share a track, so they merge first;
+//! * [`lea::assign_tracks`] — left-edge track assignment with a
+//!   min-heap over track right-ends, O(n log n);
+//! * [`lea::TrackAssignment`] — the packed channel, with validity
+//!   checking (no two different nets overlap on a track) and stats.
+//!
+//! Because same-net merging can only reduce the interval count, the LEA
+//! track count is a *lower or equal* refinement of the global router's
+//! density metric — `pgr-router`'s detailed pass reports both.
+
+pub mod lea;
+pub mod merge;
+
+pub use lea::{assign_tracks, TrackAssignment};
+pub use merge::{merge_net_intervals, Interval};

@@ -1,0 +1,143 @@
+//! Net-aware interval preparation.
+//!
+//! The global router emits one span per MST edge; several edges of the
+//! same net can land in the same channel with overlapping or abutting
+//! extents. Electrically they are a single wire, so a detailed router
+//! treats their union as one interval per connected run.
+
+/// A horizontal interval owned by a net, inclusive columns `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Interval {
+    pub net: u32,
+    pub lo: i64,
+    pub hi: i64,
+}
+
+impl Interval {
+    pub fn new(net: u32, lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "interval [{lo},{hi}] inverted");
+        Interval { net, lo, hi }
+    }
+
+    /// Horizontal extent in columns (`hi - lo`; a single-column
+    /// interval has width 0 but still occupies its column).
+    pub fn width(&self) -> i64 {
+        self.hi - self.lo
+    }
+
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+}
+
+/// Merge overlapping/abutting intervals of the same net. The result is
+/// sorted by `(lo, hi, net)` and contains no two same-net intervals that
+/// overlap or touch.
+pub fn merge_net_intervals(intervals: &[Interval]) -> Vec<Interval> {
+    let mut sorted: Vec<Interval> = intervals.to_vec();
+    // Group per net, sweep per group.
+    sorted.sort_unstable_by_key(|iv| (iv.net, iv.lo, iv.hi));
+    let mut out: Vec<Interval> = Vec::with_capacity(sorted.len());
+    for iv in sorted {
+        match out.last_mut() {
+            // Same net and touching/overlapping (abutting counts: the
+            // wires meet at a shared column): extend.
+            Some(last) if last.net == iv.net && iv.lo <= last.hi => {
+                last.hi = last.hi.max(iv.hi);
+            }
+            _ => out.push(iv),
+        }
+    }
+    out.sort_unstable_by_key(|iv| (iv.lo, iv.hi, iv.net));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(net: u32, lo: i64, hi: i64) -> Interval {
+        Interval::new(net, lo, hi)
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(merge_net_intervals(&[]).is_empty());
+        assert_eq!(merge_net_intervals(&[iv(1, 0, 5)]), vec![iv(1, 0, 5)]);
+    }
+
+    #[test]
+    fn same_net_overlap_merges() {
+        let merged = merge_net_intervals(&[iv(1, 0, 5), iv(1, 3, 9)]);
+        assert_eq!(merged, vec![iv(1, 0, 9)]);
+    }
+
+    #[test]
+    fn same_net_abutting_merges() {
+        let merged = merge_net_intervals(&[iv(1, 0, 5), iv(1, 5, 9)]);
+        assert_eq!(merged, vec![iv(1, 0, 9)]);
+    }
+
+    #[test]
+    fn same_net_disjoint_stays_split() {
+        let merged = merge_net_intervals(&[iv(1, 0, 4), iv(1, 6, 9)]);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn different_nets_never_merge() {
+        let merged = merge_net_intervals(&[iv(1, 0, 5), iv(2, 3, 9)]);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn chain_of_overlaps_collapses() {
+        let merged = merge_net_intervals(&[iv(7, 0, 2), iv(7, 2, 4), iv(7, 4, 6), iv(7, 6, 8)]);
+        assert_eq!(merged, vec![iv(7, 0, 8)]);
+    }
+
+    #[test]
+    fn result_is_sorted_by_left_edge() {
+        let merged = merge_net_intervals(&[iv(2, 8, 9), iv(1, 0, 1), iv(3, 4, 5)]);
+        let los: Vec<i64> = merged.iter().map(|i| i.lo).collect();
+        assert_eq!(los, vec![0, 4, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_interval_rejected() {
+        iv(0, 5, 3);
+    }
+}
+
+#[cfg(test)]
+mod overlap_tests {
+    use super::*;
+
+    #[test]
+    fn overlaps_is_symmetric_and_inclusive() {
+        let a = Interval::new(1, 0, 5);
+        let b = Interval::new(2, 5, 9);
+        let c = Interval::new(3, 6, 9);
+        assert!(a.overlaps(&b) && b.overlaps(&a), "sharing a column counts");
+        assert!(!a.overlaps(&c) && !c.overlaps(&a));
+        assert!(a.overlaps(&a));
+    }
+
+    #[test]
+    fn merged_same_net_intervals_pairwise_disjoint() {
+        let ivs = vec![
+            Interval::new(4, 0, 3),
+            Interval::new(4, 2, 7),
+            Interval::new(4, 10, 12),
+            Interval::new(4, 12, 15),
+        ];
+        let merged = merge_net_intervals(&ivs);
+        assert_eq!(merged.len(), 2);
+        for i in 0..merged.len() {
+            for j in i + 1..merged.len() {
+                assert!(!merged[i].overlaps(&merged[j]));
+            }
+        }
+    }
+}

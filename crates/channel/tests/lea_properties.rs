@@ -1,0 +1,70 @@
+//! Property tests: the left-edge algorithm's optimality and validity on
+//! random channels — the theorem the global router's density objective
+//! stands on.
+
+use pgr_channel::{assign_tracks, merge_net_intervals, Interval};
+use proptest::prelude::*;
+
+fn arb_intervals(max_n: usize) -> impl Strategy<Value = Vec<Interval>> {
+    proptest::collection::vec((0u32..20, 0i64..200, 1i64..60), 0..max_n)
+        .prop_map(|v| v.into_iter().map(|(net, lo, len)| Interval::new(net, lo, lo + len)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lea_is_valid_and_optimal(ivs in arb_intervals(60)) {
+        // Merge same-net pieces first (the precondition).
+        let merged = merge_net_intervals(&ivs);
+        let ta = assign_tracks(&merged);
+        prop_assert!(ta.validate().is_ok());
+        prop_assert_eq!(ta.count(), pgr_channel::lea::density(&merged), "LEA uses exactly density tracks");
+        let placed: usize = ta.tracks.iter().map(Vec::len).sum();
+        prop_assert_eq!(placed, merged.len());
+    }
+
+    #[test]
+    fn merging_never_increases_density(ivs in arb_intervals(60)) {
+        let before = pgr_channel::lea::density(&ivs);
+        let merged = merge_net_intervals(&ivs);
+        let after = pgr_channel::lea::density(&merged);
+        prop_assert!(after <= before, "merge can only relax the channel: {after} > {before}");
+    }
+
+    #[test]
+    fn merge_preserves_coverage(ivs in arb_intervals(40)) {
+        // Every column covered by some net before is covered by the same
+        // net after, and vice versa.
+        let merged = merge_net_intervals(&ivs);
+        let covered = |set: &[Interval], net: u32, col: i64| set.iter().any(|iv| iv.net == net && iv.lo <= col && col <= iv.hi);
+        for iv in &ivs {
+            for col in [iv.lo, (iv.lo + iv.hi) / 2, iv.hi] {
+                prop_assert!(covered(&merged, iv.net, col));
+            }
+        }
+        for iv in &merged {
+            for col in [iv.lo, iv.hi] {
+                prop_assert!(covered(&ivs, iv.net, col));
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_idempotent(ivs in arb_intervals(40)) {
+        let once = merge_net_intervals(&ivs);
+        let twice = merge_net_intervals(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn tracks_within_each_are_chronologically_sorted(ivs in arb_intervals(50)) {
+        let merged = merge_net_intervals(&ivs);
+        let ta = assign_tracks(&merged);
+        for track in &ta.tracks {
+            for w in track.windows(2) {
+                prop_assert!(w[0].hi < w[1].lo, "strictly increasing, non-touching");
+            }
+        }
+    }
+}

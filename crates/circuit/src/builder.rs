@@ -1,0 +1,200 @@
+//! Incremental circuit construction with validation at `finish()`.
+//!
+//! Cells are appended to rows left-to-right and packed automatically; the
+//! builder keeps id assignment dense so routers can index entity `Vec`s
+//! directly.
+
+use crate::ids::{CellId, NetId, PinId, RowId};
+use crate::model::{Cell, Circuit, ModelError, Net, Pin, PinSide, Row};
+
+/// Builder for [`Circuit`].
+///
+/// ```
+/// use pgr_circuit::{CircuitBuilder, PinSide, RowId};
+/// let mut b = CircuitBuilder::new("demo", 2, 100);
+/// let c0 = b.add_cell(RowId(0), 8);
+/// let c1 = b.add_cell(RowId(1), 8);
+/// let p0 = b.add_pin(c0, 2, PinSide::Top, true);
+/// let p1 = b.add_pin(c1, 4, PinSide::Bottom, false);
+/// b.add_net("clk", vec![p0, p1]);
+/// let circuit = b.finish().unwrap();
+/// assert_eq!(circuit.num_nets(), 1);
+/// assert_eq!(circuit.num_channels(), 3);
+/// ```
+pub struct CircuitBuilder {
+    name: String,
+    width: i64,
+    rows: Vec<Row>,
+    cells: Vec<Cell>,
+    pins: Vec<Pin>,
+    nets: Vec<Net>,
+    /// Next free x per row (cells are packed with `spacing` gap).
+    cursor: Vec<i64>,
+    spacing: i64,
+}
+
+impl CircuitBuilder {
+    /// A builder for a circuit with `num_rows` rows and a core `width`
+    /// columns wide.
+    pub fn new(name: impl Into<String>, num_rows: usize, width: i64) -> Self {
+        CircuitBuilder {
+            name: name.into(),
+            width,
+            rows: (0..num_rows).map(|i| Row { id: RowId::from_index(i), cells: Vec::new() }).collect(),
+            cells: Vec::new(),
+            pins: Vec::new(),
+            nets: Vec::new(),
+            cursor: vec![0; num_rows],
+            spacing: 0,
+        }
+    }
+
+    /// Gap inserted between consecutive cells in a row (default 0).
+    pub fn with_spacing(mut self, spacing: i64) -> Self {
+        self.spacing = spacing;
+        self
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Free columns remaining in `row`.
+    pub fn remaining_in_row(&self, row: RowId) -> i64 {
+        self.width - self.cursor[row.index()]
+    }
+
+    /// Append a cell of `width` columns to `row`, packed after the previous
+    /// cell. Panics if the row would overflow the core width — generators
+    /// are expected to size the core first.
+    pub fn add_cell(&mut self, row: RowId, width: u32) -> CellId {
+        let x = self.cursor[row.index()];
+        assert!(
+            x + width as i64 <= self.width,
+            "row {row} overflows core width {} (cursor {x}, cell width {width})",
+            self.width
+        );
+        let id = CellId::from_index(self.cells.len());
+        self.cells.push(Cell { id, row, x, width, pins: Vec::new() });
+        self.rows[row.index()].cells.push(id);
+        self.cursor[row.index()] = x + width as i64 + self.spacing;
+        id
+    }
+
+    /// Add a pin to `cell` at `offset` columns from its left edge.
+    /// The pin is not yet on a net; [`CircuitBuilder::add_net`] wires it.
+    pub fn add_pin(&mut self, cell: CellId, offset: u32, side: PinSide, equivalent: bool) -> PinId {
+        let id = PinId::from_index(self.pins.len());
+        // Net is patched in add_net; a sentinel that validate() would catch
+        // if the pin is never wired.
+        self.pins.push(Pin { id, cell, net: NetId(u32::MAX), offset, side, equivalent });
+        self.cells[cell.index()].pins.push(id);
+        id
+    }
+
+    /// Create a net over previously added pins.
+    pub fn add_net(&mut self, name: impl Into<String>, pins: Vec<PinId>) -> NetId {
+        let id = NetId::from_index(self.nets.len());
+        for &p in &pins {
+            self.pins[p.index()].net = id;
+        }
+        self.nets.push(Net { id, name: name.into(), pins });
+        id
+    }
+
+    /// Validate and produce the circuit. Pins never wired to a net are
+    /// dropped (cells may legitimately have unused pin sites).
+    pub fn finish(mut self) -> Result<Circuit, ModelError> {
+        // Drop unwired pins, compacting ids.
+        let mut remap: Vec<Option<PinId>> = vec![None; self.pins.len()];
+        let mut kept: Vec<Pin> = Vec::with_capacity(self.pins.len());
+        for pin in self.pins.into_iter() {
+            if pin.net != NetId(u32::MAX) {
+                let new_id = PinId::from_index(kept.len());
+                remap[pin.id.index()] = Some(new_id);
+                let mut p = pin;
+                p.id = new_id;
+                kept.push(p);
+            }
+        }
+        for cell in &mut self.cells {
+            cell.pins = cell.pins.iter().filter_map(|p| remap[p.index()]).collect();
+        }
+        for net in &mut self.nets {
+            net.pins = net.pins.iter().map(|p| remap[p.index()].expect("net pin was wired")).collect();
+        }
+        let circuit = Circuit {
+            name: self.name,
+            rows: self.rows,
+            cells: self.cells,
+            pins: kept,
+            nets: self.nets,
+            width: self.width,
+        };
+        circuit.validate()?;
+        Ok(circuit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packs_cells_left_to_right() {
+        let mut b = CircuitBuilder::new("t", 1, 100);
+        let a = b.add_cell(RowId(0), 10);
+        let c = b.add_cell(RowId(0), 5);
+        let pa = b.add_pin(a, 0, PinSide::Top, false);
+        let pc = b.add_pin(c, 4, PinSide::Top, false);
+        b.add_net("n", vec![pa, pc]);
+        let circuit = b.finish().unwrap();
+        assert_eq!(circuit.cells[0].x, 0);
+        assert_eq!(circuit.cells[1].x, 10);
+        assert_eq!(circuit.pin_x(PinId(1)), 14);
+    }
+
+    #[test]
+    fn spacing_is_respected() {
+        let mut b = CircuitBuilder::new("t", 1, 100).with_spacing(3);
+        let a = b.add_cell(RowId(0), 10);
+        let c = b.add_cell(RowId(0), 5);
+        let pa = b.add_pin(a, 0, PinSide::Top, false);
+        let pc = b.add_pin(c, 0, PinSide::Top, false);
+        b.add_net("n", vec![pa, pc]);
+        let circuit = b.finish().unwrap();
+        assert_eq!(circuit.cells[1].x, 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows core width")]
+    fn overflow_panics() {
+        let mut b = CircuitBuilder::new("t", 1, 8);
+        b.add_cell(RowId(0), 5);
+        b.add_cell(RowId(0), 5);
+    }
+
+    #[test]
+    fn unwired_pins_are_dropped_and_ids_compacted() {
+        let mut b = CircuitBuilder::new("t", 1, 100);
+        let a = b.add_cell(RowId(0), 10);
+        let _unused = b.add_pin(a, 0, PinSide::Top, false);
+        let p1 = b.add_pin(a, 1, PinSide::Top, false);
+        let p2 = b.add_pin(a, 2, PinSide::Bottom, false);
+        b.add_net("n", vec![p1, p2]);
+        let circuit = b.finish().unwrap();
+        assert_eq!(circuit.num_pins(), 2);
+        assert_eq!(circuit.pins[0].offset, 1);
+        assert_eq!(circuit.cells[0].pins.len(), 2);
+        circuit.validate().unwrap();
+    }
+
+    #[test]
+    fn remaining_in_row_tracks_cursor() {
+        let mut b = CircuitBuilder::new("t", 2, 50);
+        assert_eq!(b.remaining_in_row(RowId(0)), 50);
+        b.add_cell(RowId(0), 20);
+        assert_eq!(b.remaining_in_row(RowId(0)), 30);
+        assert_eq!(b.remaining_in_row(RowId(1)), 50);
+    }
+}

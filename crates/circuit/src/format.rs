@@ -1,0 +1,226 @@
+//! Plain-text netlist interchange format.
+//!
+//! A minimal line-oriented format so circuits can be saved, inspected, and
+//! reloaded (e.g. to pin down a failing instance from a fuzzing run or to
+//! ship a benchmark input). Ids are implicit in declaration order, which
+//! keeps files diff-friendly:
+//!
+//! ```text
+//! pgr-circuit v1
+//! name primary2
+//! width 812
+//! rows 28
+//! cell <row> <x> <width>
+//! pin <cell> <offset> <T|B> <0|1>
+//! net <name> <pin> <pin> ...
+//! ```
+
+use crate::ids::{CellId, NetId, PinId, RowId};
+use crate::model::{Cell, Circuit, ModelError, Net, Pin, PinSide, Row};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Serialize a circuit to the v1 text format.
+pub fn to_text(c: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("pgr-circuit v1\n");
+    let _ = writeln!(out, "name {}", c.name);
+    let _ = writeln!(out, "width {}", c.width);
+    let _ = writeln!(out, "rows {}", c.rows.len());
+    for cell in &c.cells {
+        let _ = writeln!(out, "cell {} {} {}", cell.row.0, cell.x, cell.width);
+    }
+    for pin in &c.pins {
+        let side = match pin.side {
+            PinSide::Top => 'T',
+            PinSide::Bottom => 'B',
+        };
+        let _ = writeln!(out, "pin {} {} {} {}", pin.cell.0, pin.offset, side, u8::from(pin.equivalent));
+    }
+    for net in &c.nets {
+        let _ = write!(out, "net {}", net.name);
+        for p in &net.pins {
+            let _ = write!(out, " {}", p.0);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse the v1 text format. The result is fully validated.
+pub fn from_text(text: &str) -> Result<Circuit, FormatError> {
+    let mut lines = text.lines().enumerate();
+    let (n0, header) = lines.next().ok_or(FormatError::Empty)?;
+    if header.trim() != "pgr-circuit v1" {
+        return Err(FormatError::Syntax(n0 + 1, "expected header 'pgr-circuit v1'".into()));
+    }
+
+    let mut name = String::new();
+    let mut width: Option<i64> = None;
+    let mut num_rows: Option<usize> = None;
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut pins: Vec<Pin> = Vec::new();
+    let mut nets: Vec<Net> = Vec::new();
+
+    for (i, raw) in lines {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        let kw = tok.next().expect("nonempty line has a token");
+        let syntax = |msg: &str| FormatError::Syntax(lineno, msg.into());
+        match kw {
+            "name" => name = tok.collect::<Vec<_>>().join(" "),
+            "width" => {
+                width = Some(tok.next().ok_or_else(|| syntax("width needs a value"))?.parse().map_err(|_| syntax("bad width"))?)
+            }
+            "rows" => {
+                num_rows = Some(tok.next().ok_or_else(|| syntax("rows needs a value"))?.parse().map_err(|_| syntax("bad row count"))?)
+            }
+            "cell" => {
+                let row: u32 = tok.next().ok_or_else(|| syntax("cell needs <row>"))?.parse().map_err(|_| syntax("bad row"))?;
+                let x: i64 = tok.next().ok_or_else(|| syntax("cell needs <x>"))?.parse().map_err(|_| syntax("bad x"))?;
+                let w: u32 = tok.next().ok_or_else(|| syntax("cell needs <width>"))?.parse().map_err(|_| syntax("bad width"))?;
+                cells.push(Cell { id: CellId::from_index(cells.len()), row: RowId(row), x, width: w, pins: Vec::new() });
+            }
+            "pin" => {
+                let cell: u32 = tok.next().ok_or_else(|| syntax("pin needs <cell>"))?.parse().map_err(|_| syntax("bad cell"))?;
+                let offset: u32 = tok.next().ok_or_else(|| syntax("pin needs <offset>"))?.parse().map_err(|_| syntax("bad offset"))?;
+                let side = match tok.next().ok_or_else(|| syntax("pin needs <side>"))? {
+                    "T" => PinSide::Top,
+                    "B" => PinSide::Bottom,
+                    _ => return Err(syntax("side must be T or B")),
+                };
+                let equivalent = match tok.next().ok_or_else(|| syntax("pin needs <equiv>"))? {
+                    "0" => false,
+                    "1" => true,
+                    _ => return Err(syntax("equiv must be 0 or 1")),
+                };
+                let id = PinId::from_index(pins.len());
+                let cell_id = CellId(cell);
+                pins.push(Pin { id, cell: cell_id, net: NetId(u32::MAX), offset, side, equivalent });
+                cells
+                    .get_mut(cell_id.index())
+                    .ok_or_else(|| FormatError::Syntax(lineno, format!("pin references undeclared cell {cell}")))?
+                    .pins
+                    .push(id);
+            }
+            "net" => {
+                let nname = tok.next().ok_or_else(|| syntax("net needs a name"))?.to_string();
+                let id = NetId::from_index(nets.len());
+                let mut net_pins = Vec::new();
+                for t in tok {
+                    let p: u32 = t.parse().map_err(|_| syntax("bad pin id"))?;
+                    let pid = PinId(p);
+                    let pin = pins.get_mut(pid.index()).ok_or_else(|| FormatError::Syntax(lineno, format!("net references undeclared pin {p}")))?;
+                    pin.net = id;
+                    net_pins.push(pid);
+                }
+                nets.push(Net { id, name: nname, pins: net_pins });
+            }
+            other => return Err(FormatError::Syntax(lineno, format!("unknown keyword '{other}'"))),
+        }
+    }
+
+    let num_rows = num_rows.ok_or(FormatError::Missing("rows"))?;
+    let width = width.ok_or(FormatError::Missing("width"))?;
+    let mut rows: Vec<Row> = (0..num_rows).map(|i| Row { id: RowId::from_index(i), cells: Vec::new() }).collect();
+    for cell in &cells {
+        rows.get_mut(cell.row.index())
+            .ok_or_else(|| FormatError::Syntax(0, format!("cell {} references row {} >= rows {}", cell.id, cell.row, num_rows)))?
+            .cells
+            .push(cell.id);
+    }
+    // Row cell lists must be in left-to-right order for validate().
+    for row in &mut rows {
+        row.cells.sort_by_key(|&c| cells[c.index()].x);
+    }
+
+    let circuit = Circuit { name, rows, cells, pins, nets, width };
+    circuit.validate().map_err(FormatError::Invalid)?;
+    Ok(circuit)
+}
+
+/// Errors from [`from_text`].
+#[derive(Debug)]
+pub enum FormatError {
+    Empty,
+    Missing(&'static str),
+    Syntax(usize, String),
+    Invalid(ModelError),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::Empty => write!(f, "empty input"),
+            FormatError::Missing(what) => write!(f, "missing '{what}' declaration"),
+            FormatError::Syntax(line, msg) => write!(f, "line {line}: {msg}"),
+            FormatError::Invalid(e) => write!(f, "parsed circuit invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, GeneratorConfig};
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let c = generate(&GeneratorConfig::small("round", 5));
+        let text = to_text(&c);
+        let c2 = from_text(&text).unwrap();
+        assert_eq!(c.name, c2.name);
+        assert_eq!(c.width, c2.width);
+        assert_eq!(c.num_cells(), c2.num_cells());
+        assert_eq!(c.num_pins(), c2.num_pins());
+        assert_eq!(c.num_nets(), c2.num_nets());
+        for i in 0..c.num_pins() {
+            let p = PinId::from_index(i);
+            assert_eq!(c.pin_x(p), c2.pin_x(p));
+            assert_eq!(c.pins[i].equivalent, c2.pins[i].equivalent);
+            assert_eq!(c.pins[i].net, c2.pins[i].net);
+        }
+        // And a second roundtrip is textually identical (canonical form).
+        assert_eq!(text, to_text(&c2));
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(matches!(from_text("nonsense\n"), Err(FormatError::Syntax(1, _))));
+        assert!(matches!(from_text(""), Err(FormatError::Empty)));
+    }
+
+    #[test]
+    fn rejects_dangling_references() {
+        let text = "pgr-circuit v1\nname x\nwidth 10\nrows 1\ncell 0 0 4\npin 5 0 T 0\n";
+        assert!(matches!(from_text(text), Err(FormatError::Syntax(_, _))));
+    }
+
+    #[test]
+    fn rejects_invalid_circuit() {
+        // Net with a single pin fails model validation.
+        let text = "pgr-circuit v1\nname x\nwidth 10\nrows 1\ncell 0 0 4\npin 0 0 T 0\nnet solo 0\n";
+        assert!(matches!(from_text(text), Err(FormatError::Invalid(_))));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "pgr-circuit v1\n# comment\n\nname x\nwidth 10\nrows 1\ncell 0 0 4\ncell 0 4 4\npin 0 0 T 0\npin 1 1 B 1\nnet n 0 1\n";
+        let c = from_text(text).unwrap();
+        assert_eq!(c.num_nets(), 1);
+        assert_eq!(c.pins[1].side, PinSide::Bottom);
+    }
+
+    #[test]
+    fn out_of_order_cells_are_sorted_into_rows() {
+        let text = "pgr-circuit v1\nname x\nwidth 20\nrows 1\ncell 0 10 4\ncell 0 0 4\npin 0 0 T 0\npin 1 1 B 1\nnet n 0 1\n";
+        let c = from_text(text).unwrap();
+        assert_eq!(c.rows[0].cells, vec![CellId(1), CellId(0)], "sorted by x");
+    }
+}

@@ -1,0 +1,84 @@
+//! Typed index newtypes.
+//!
+//! All circuit entities live in dense `Vec`s and are referenced by index.
+//! Newtypes keep row/cell/pin/net indices from being mixed up at compile
+//! time while staying `Copy` and 4 bytes.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                debug_assert!(i <= u32::MAX as usize);
+                $name(i as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Index of a row, numbered bottom (0) to top.
+    RowId,
+    "r"
+);
+id_type!(
+    /// Index of a cell within [`crate::Circuit::cells`].
+    CellId,
+    "c"
+);
+id_type!(
+    /// Index of a pin within [`crate::Circuit::pins`].
+    PinId,
+    "p"
+);
+id_type!(
+    /// Index of a net within [`crate::Circuit::nets`].
+    NetId,
+    "n"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let id = NetId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, NetId(42));
+    }
+
+    #[test]
+    fn display_is_tagged() {
+        assert_eq!(RowId(3).to_string(), "r3");
+        assert_eq!(format!("{:?}", PinId(9)), "p9");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(CellId(1) < CellId(2));
+    }
+}

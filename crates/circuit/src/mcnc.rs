@@ -1,0 +1,159 @@
+//! MCNC-layout-synthesis-shaped benchmark instances.
+//!
+//! The paper's Table 1 characterizes six MCNC benchmark circuits. The
+//! originals are not redistributable, so these are deterministic synthetic
+//! instances matched to the published characteristics (row / cell / net /
+//! pin counts and net-degree shape). `avq.large` carries very large clock
+//! line nets — one with more than 2000 pins while 99 % of nets are small —
+//! which is exactly the property that motivates the paper's
+//! pin-number-weight net partition (§5).
+//!
+//! `config_scaled` produces proportionally smaller instances with the same
+//! shape, used by tests and micro-benchmarks where the full sizes would be
+//! wasteful.
+
+use crate::generate::{generate, GeneratorConfig};
+use crate::model::Circuit;
+
+/// The six benchmark circuits of the paper's evaluation (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mcnc {
+    Primary2,
+    Biomed,
+    Industry2,
+    Industry3,
+    AvqSmall,
+    AvqLarge,
+}
+
+/// All six, in the order the paper's tables list them.
+pub const ALL: [Mcnc; 6] = [Mcnc::Primary2, Mcnc::Biomed, Mcnc::Industry2, Mcnc::Industry3, Mcnc::AvqSmall, Mcnc::AvqLarge];
+
+impl Mcnc {
+    /// The name used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mcnc::Primary2 => "primary2",
+            Mcnc::Biomed => "biomed",
+            Mcnc::Industry2 => "industry2",
+            Mcnc::Industry3 => "industry3",
+            Mcnc::AvqSmall => "avq.small",
+            Mcnc::AvqLarge => "avq.large",
+        }
+    }
+
+    /// Look a benchmark up by its table name.
+    ///
+    /// ```
+    /// use pgr_circuit::mcnc::Mcnc;
+    /// assert_eq!(Mcnc::from_name("avq.large"), Some(Mcnc::AvqLarge));
+    /// assert_eq!(Mcnc::from_name("nope"), None);
+    /// ```
+    pub fn from_name(name: &str) -> Option<Mcnc> {
+        ALL.into_iter().find(|m| m.name() == name)
+    }
+
+    /// Full-size generator configuration matched to the published circuit
+    /// characteristics.
+    pub fn config(self) -> GeneratorConfig {
+        // (rows, cells, pins, nets, clock net degrees)
+        let (rows, cells, pins, nets, clocks): (usize, usize, usize, usize, Vec<usize>) = match self {
+            Mcnc::Primary2 => (28, 3014, 11226, 3029, vec![]),
+            Mcnc::Biomed => (46, 6417, 21040, 5742, vec![420]),
+            Mcnc::Industry2 => (72, 12142, 48158, 13419, vec![]),
+            Mcnc::Industry3 => (54, 15057, 65791, 21808, vec![680]),
+            Mcnc::AvqSmall => (80, 21854, 76231, 22124, vec![840]),
+            // One clock line net with more than 2000 pins; 99 % of nets small.
+            Mcnc::AvqLarge => (86, 25114, 82751, 25384, vec![2100, 860, 540]),
+        };
+        GeneratorConfig {
+            name: self.name().to_string(),
+            rows,
+            cells,
+            pins,
+            nets,
+            seed: 0x1997_0401 ^ (self as u64), // fixed per circuit: IPPS 1997
+            cell_width: (4, 10),
+            equivalent_fraction: 0.35,
+            locality: 0.82,
+            clock_nets: clocks,
+        }
+    }
+
+    /// A proportionally scaled configuration: `factor` in (0, 1] shrinks
+    /// every count while keeping the circuit's shape (clock nets shrink
+    /// too, but stay ≥ 8 pins so the heavy-tail property survives).
+    pub fn config_scaled(self, factor: f64) -> GeneratorConfig {
+        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0, 1]");
+        let mut cfg = self.config();
+        let scale = |v: usize, min: usize| ((v as f64 * factor).round() as usize).max(min);
+        cfg.rows = scale(cfg.rows, 2);
+        cfg.cells = scale(cfg.cells, cfg.rows * 4);
+        cfg.nets = scale(cfg.nets, 8);
+        cfg.clock_nets = cfg.clock_nets.iter().map(|&d| scale(d, 8)).collect();
+        let clock_pins: usize = cfg.clock_nets.iter().sum();
+        cfg.nets += cfg.clock_nets.len(); // keep clock nets on top of the scaled net count
+        let ordinary = cfg.nets - cfg.clock_nets.len();
+        cfg.pins = scale(cfg.pins, 2 * ordinary + clock_pins + ordinary / 2);
+        cfg
+    }
+
+    /// Generate the full-size instance.
+    pub fn circuit(self) -> Circuit {
+        generate(&self.config())
+    }
+
+    /// Generate a scaled instance (see [`Mcnc::config_scaled`]).
+    pub fn circuit_scaled(self, factor: f64) -> Circuit {
+        generate(&self.config_scaled(factor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_six_scaled_instances_generate_and_validate() {
+        for m in ALL {
+            let c = m.circuit_scaled(0.05);
+            c.validate().unwrap();
+            assert_eq!(c.name, m.name());
+            assert!(c.num_nets() > 0 && c.num_pins() >= 2 * c.num_nets() / 2);
+        }
+    }
+
+    #[test]
+    fn full_config_counts_match_table1() {
+        let cfg = Mcnc::AvqLarge.config();
+        assert_eq!(cfg.rows, 86);
+        assert_eq!(cfg.cells, 25114);
+        assert_eq!(cfg.pins, 82751);
+        assert_eq!(cfg.nets, 25384);
+        assert!(cfg.clock_nets.iter().any(|&d| d > 2000), "avq.large has a >2000-pin clock net");
+    }
+
+    #[test]
+    fn avq_large_scaled_keeps_heavy_tail() {
+        let c = Mcnc::AvqLarge.circuit_scaled(0.04);
+        let max_deg = c.nets.iter().map(|n| n.degree()).max().unwrap();
+        let small = c.nets.iter().filter(|n| n.degree() <= 6).count();
+        assert!(max_deg >= 8 * 6, "clock net still dominates: {max_deg}");
+        assert!(small as f64 / c.num_nets() as f64 > 0.9, "most nets stay small");
+    }
+
+    #[test]
+    fn scaling_is_monotone_in_size() {
+        let a = Mcnc::Biomed.config_scaled(0.05);
+        let b = Mcnc::Biomed.config_scaled(0.1);
+        assert!(a.cells < b.cells);
+        assert!(a.pins < b.pins);
+        assert!(a.nets < b.nets);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> = ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), ALL.len());
+    }
+}

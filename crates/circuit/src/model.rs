@@ -1,0 +1,358 @@
+//! The immutable circuit description.
+//!
+//! The `Circuit` is the *input* to routing: initial cell placement, pin
+//! offsets, and net membership. Routers never mutate it — feedthrough
+//! insertion and cell shifting happen in router-owned placement state, so
+//! one `Circuit` can be routed many times (serially and at several rank
+//! counts) for the scaled-quality comparisons in the paper's tables.
+
+use crate::ids::{CellId, NetId, PinId, RowId};
+use pgr_geom::{BBox, Point};
+use std::fmt;
+
+/// Which side of the cell a pin sits on. The channel directly reachable
+/// from a pin is the channel below the row for `Bottom` pins and above for
+/// `Top` pins; *equivalent* pins exist on both sides and may use either.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PinSide {
+    Bottom,
+    Top,
+}
+
+/// A pin: a fixed terminal on a cell, member of exactly one net.
+#[derive(Debug, Clone)]
+pub struct Pin {
+    pub id: PinId,
+    pub cell: CellId,
+    pub net: NetId,
+    /// Columns from the owning cell's left edge.
+    pub offset: u32,
+    pub side: PinSide,
+    /// `true` if an electrically equivalent pin exists on the opposite
+    /// side of the cell, making same-row connections through this pin
+    /// *switchable* between the channels above and below the row.
+    pub equivalent: bool,
+}
+
+/// A standard cell: a fixed-height block placed in one row.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    pub id: CellId,
+    pub row: RowId,
+    /// Initial left edge in routing columns (before feedthrough insertion).
+    pub x: i64,
+    /// Width in routing columns.
+    pub width: u32,
+    pub pins: Vec<PinId>,
+}
+
+/// A row of cells, ordered left-to-right.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub id: RowId,
+    pub cells: Vec<CellId>,
+}
+
+/// A net: the set of pins to be connected.
+#[derive(Debug, Clone)]
+pub struct Net {
+    pub id: NetId,
+    pub name: String,
+    pub pins: Vec<PinId>,
+}
+
+impl Net {
+    pub fn degree(&self) -> usize {
+        self.pins.len()
+    }
+}
+
+/// A complete row-based standard-cell circuit.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    pub name: String,
+    pub rows: Vec<Row>,
+    pub cells: Vec<Cell>,
+    pub pins: Vec<Pin>,
+    pub nets: Vec<Net>,
+    /// Core width in routing columns (all cells fit in `0..width`).
+    pub width: i64,
+}
+
+impl Circuit {
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn num_pins(&self) -> usize {
+        self.pins.len()
+    }
+
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of routing channels: one below each row plus one above the
+    /// top row. Channel `c` lies below row `c`; channel `r + 1` lies above
+    /// row `r`.
+    pub fn num_channels(&self) -> usize {
+        self.rows.len() + 1
+    }
+
+    /// Initial absolute x of a pin (cell left edge + offset).
+    pub fn pin_x(&self, pin: PinId) -> i64 {
+        let p = &self.pins[pin.index()];
+        self.cells[p.cell.index()].x + p.offset as i64
+    }
+
+    /// Row of a pin.
+    pub fn pin_row(&self, pin: PinId) -> RowId {
+        self.cells[self.pins[pin.index()].cell.index()].row
+    }
+
+    /// Initial lattice position of a pin: `(column, row index)`.
+    pub fn pin_point(&self, pin: PinId) -> Point {
+        Point::new(self.pin_x(pin), self.pin_row(pin).0 as i64)
+    }
+
+    /// Bounding box of a net's initial pin positions.
+    pub fn net_bbox(&self, net: NetId) -> BBox {
+        BBox::from_points(self.nets[net.index()].pins.iter().map(|&p| self.pin_point(p)))
+    }
+
+    /// Verify internal consistency. Generators and the parser call this;
+    /// routers may assume it holds.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        for (i, row) in self.rows.iter().enumerate() {
+            if row.id.index() != i {
+                return Err(ModelError::BadId(format!("row {i} has id {}", row.id)));
+            }
+            let mut edge = i64::MIN;
+            for &cid in &row.cells {
+                let cell = self.cells.get(cid.index()).ok_or_else(|| ModelError::Dangling(format!("{cid} in {}", row.id)))?;
+                if cell.row.index() != i {
+                    return Err(ModelError::Inconsistent(format!("{cid} listed in row {i} but claims {}", cell.row)));
+                }
+                if cell.x < edge {
+                    return Err(ModelError::Overlap(format!("{cid} at x={} overlaps previous cell in {}", cell.x, row.id)));
+                }
+                edge = cell.x + cell.width as i64;
+                if edge > self.width {
+                    return Err(ModelError::OutOfCore(format!("{cid} ends at {edge} > core width {}", self.width)));
+                }
+            }
+        }
+        for (i, cell) in self.cells.iter().enumerate() {
+            if cell.id.index() != i {
+                return Err(ModelError::BadId(format!("cell {i} has id {}", cell.id)));
+            }
+            if cell.row.index() >= self.rows.len() {
+                return Err(ModelError::Dangling(format!("{} in nonexistent {}", cell.id, cell.row)));
+            }
+            if !self.rows[cell.row.index()].cells.contains(&cell.id) {
+                return Err(ModelError::Inconsistent(format!("{} not listed in its row", cell.id)));
+            }
+            for &pid in &cell.pins {
+                let pin = self.pins.get(pid.index()).ok_or_else(|| ModelError::Dangling(format!("{pid} on {}", cell.id)))?;
+                if pin.cell != cell.id {
+                    return Err(ModelError::Inconsistent(format!("{pid} listed on {} but claims {}", cell.id, pin.cell)));
+                }
+                if pin.offset >= cell.width {
+                    return Err(ModelError::OutOfCore(format!("{pid} offset {} outside {} width {}", pin.offset, cell.id, cell.width)));
+                }
+            }
+        }
+        for (i, net) in self.nets.iter().enumerate() {
+            if net.id.index() != i {
+                return Err(ModelError::BadId(format!("net {i} has id {}", net.id)));
+            }
+            if net.pins.len() < 2 {
+                return Err(ModelError::DegenerateNet(format!("{} ({}) has {} pin(s)", net.id, net.name, net.pins.len())));
+            }
+            for &pid in &net.pins {
+                let pin = self.pins.get(pid.index()).ok_or_else(|| ModelError::Dangling(format!("{pid} in {}", net.id)))?;
+                if pin.net != net.id {
+                    return Err(ModelError::Inconsistent(format!("{pid} listed in {} but claims {}", net.id, pin.net)));
+                }
+            }
+        }
+        for (i, pin) in self.pins.iter().enumerate() {
+            if pin.id.index() != i {
+                return Err(ModelError::BadId(format!("pin {i} has id {}", pin.id)));
+            }
+            let net = self.nets.get(pin.net.index()).ok_or_else(|| ModelError::Dangling(format!("{} on nonexistent {}", pin.id, pin.net)))?;
+            if !net.pins.contains(&pin.id) {
+                return Err(ModelError::Inconsistent(format!("{} not listed in its {}", pin.id, pin.net)));
+            }
+            if !self.cells.get(pin.cell.index()).map(|c| c.pins.contains(&pin.id)).unwrap_or(false) {
+                return Err(ModelError::Inconsistent(format!("{} not listed on its {}", pin.id, pin.cell)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Summary statistics (the numbers Table 1 of the paper reports).
+    pub fn stats(&self) -> CircuitStats {
+        let max_net_degree = self.nets.iter().map(Net::degree).max().unwrap_or(0);
+        let switchable_pins = self.pins.iter().filter(|p| p.equivalent).count();
+        CircuitStats {
+            name: self.name.clone(),
+            rows: self.rows.len(),
+            cells: self.cells.len(),
+            pins: self.pins.len(),
+            nets: self.nets.len(),
+            width: self.width,
+            max_net_degree,
+            switchable_pins,
+        }
+    }
+
+    /// Rough memory footprint of routing this circuit on one node, in
+    /// bytes. Used to emulate the Intel Paragon's 32 MB/node limit from
+    /// Table 5 (serial runs of the two largest circuits do not fit).
+    ///
+    /// The estimate models the dominant serial-router allocations: the
+    /// circuit itself, per-pin segment/node/span records (several live
+    /// copies through the pipeline, hence the heavy per-pin constant),
+    /// per-net trees, and the per-channel density profiles over the full
+    /// core width.
+    pub fn estimated_routing_bytes(&self) -> u64 {
+        let cells = self.cells.len() as u64 * 96;
+        let pins = self.pins.len() as u64 * 144;
+        let nets = self.nets.len() as u64 * 160;
+        let profiles = (self.num_channels() as u64) * (self.width.max(1) as u64) * 40;
+        cells + pins + nets + profiles
+    }
+}
+
+/// Table-1-style statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitStats {
+    pub name: String,
+    pub rows: usize,
+    pub cells: usize,
+    pub pins: usize,
+    pub nets: usize,
+    pub width: i64,
+    pub max_net_degree: usize,
+    pub switchable_pins: usize,
+}
+
+/// Validation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    BadId(String),
+    Dangling(String),
+    Inconsistent(String),
+    Overlap(String),
+    OutOfCore(String),
+    DegenerateNet(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::BadId(s) => write!(f, "id out of order: {s}"),
+            ModelError::Dangling(s) => write!(f, "dangling reference: {s}"),
+            ModelError::Inconsistent(s) => write!(f, "inconsistent cross-reference: {s}"),
+            ModelError::Overlap(s) => write!(f, "cell overlap: {s}"),
+            ModelError::OutOfCore(s) => write!(f, "outside core: {s}"),
+            ModelError::DegenerateNet(s) => write!(f, "degenerate net: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    fn tiny() -> Circuit {
+        // 2 rows, 2 cells per row, one net across rows, one within a row.
+        let mut b = CircuitBuilder::new("tiny", 2, 32);
+        let c00 = b.add_cell(RowId(0), 4);
+        let c01 = b.add_cell(RowId(0), 4);
+        let c10 = b.add_cell(RowId(1), 4);
+        let c11 = b.add_cell(RowId(1), 4);
+        let p0 = b.add_pin(c00, 1, PinSide::Top, true);
+        let p1 = b.add_pin(c10, 2, PinSide::Bottom, false);
+        let p2 = b.add_pin(c01, 0, PinSide::Top, true);
+        let p3 = b.add_pin(c11, 3, PinSide::Top, true);
+        b.add_net("a", vec![p0, p1]);
+        b.add_net("b", vec![p2, p3]);
+        b.finish().expect("tiny circuit is valid")
+    }
+
+    #[test]
+    fn tiny_is_valid_and_counts_match() {
+        let c = tiny();
+        let s = c.stats();
+        assert_eq!((s.rows, s.cells, s.pins, s.nets), (2, 4, 4, 2));
+        assert_eq!(s.max_net_degree, 2);
+        assert_eq!(c.num_channels(), 3);
+    }
+
+    #[test]
+    fn pin_positions_are_absolute() {
+        let c = tiny();
+        // First cell of row 0 is at x=0, pin offset 1.
+        assert_eq!(c.pin_x(PinId(0)), 1);
+        assert_eq!(c.pin_row(PinId(0)), RowId(0));
+        // Second cell of row 0 starts after the first (width 4).
+        assert_eq!(c.pin_x(PinId(2)), 4);
+    }
+
+    #[test]
+    fn net_bbox_spans_pins() {
+        let c = tiny();
+        let bb = c.net_bbox(NetId(0));
+        // Pins: (x=1, row 0) and (x=2, row 1).
+        assert!(bb.contains(Point::new(1, 0)));
+        assert!(bb.contains(Point::new(2, 1)));
+        assert!(!bb.contains(Point::new(6, 1)));
+    }
+
+    #[test]
+    fn validate_rejects_single_pin_net() {
+        let mut c = tiny();
+        c.nets[0].pins.truncate(1);
+        assert!(matches!(c.validate(), Err(ModelError::DegenerateNet(_))));
+    }
+
+    #[test]
+    fn validate_rejects_cross_reference_break() {
+        let mut c = tiny();
+        c.pins[0].net = NetId(1); // net 1 doesn't list pin 0
+        assert!(matches!(c.validate(), Err(ModelError::Inconsistent(_))));
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_cells() {
+        let mut c = tiny();
+        c.cells[1].x = 0; // collides with cell 0 (row order no longer monotone)
+        assert!(matches!(c.validate(), Err(ModelError::Overlap(_))));
+    }
+
+    #[test]
+    fn validate_rejects_pin_offset_outside_cell() {
+        let mut c = tiny();
+        c.pins[0].offset = 100;
+        assert!(matches!(c.validate(), Err(ModelError::OutOfCore(_))));
+    }
+
+    #[test]
+    fn memory_estimate_scales_with_size() {
+        let c = tiny();
+        let small = c.estimated_routing_bytes();
+        assert!(small > 0);
+        let mut big = c.clone();
+        big.width *= 100;
+        assert!(big.estimated_routing_bytes() > small);
+    }
+}

@@ -1,0 +1,174 @@
+//! Integration and property tests of circuit generation, statistics,
+//! partitioning, and the netlist format.
+
+use pgr_circuit::format::{from_text, to_text, FormatError};
+use pgr_circuit::mcnc::{Mcnc, ALL};
+use pgr_circuit::{generate, CircuitBuilder, GeneratorConfig, NetId, PinSide, RowId, RowPartition};
+use proptest::prelude::*;
+
+#[test]
+fn mcnc_configs_track_published_shapes() {
+    // Table 1 anchors: sizes are ordered as in the paper.
+    let pins: Vec<usize> = ALL.iter().map(|m| m.config().pins).collect();
+    assert!(pins.windows(2).all(|w| w[0] < w[1]), "pin counts increase: {pins:?}");
+    let cells: Vec<usize> = ALL.iter().map(|m| m.config().cells).collect();
+    assert!(cells.windows(2).all(|w| w[0] < w[1]), "cell counts increase: {cells:?}");
+}
+
+#[test]
+fn memory_footprints_separate_the_two_largest_circuits() {
+    // The Paragon 32 MB/node gate in Table 5 marks exactly the two
+    // largest circuits' serial runs infeasible. The routing-time peak is
+    // the estimate plus working state, so the estimate itself must put
+    // clear daylight between industry3 (must fit) and avq.small (must
+    // not). The end-to-end gate is exercised by `repro table5` and the
+    // ignored full-size test in the workspace `tests/`.
+    let ests: Vec<(&str, u64)> = ALL.iter().map(|m| (m.name(), m.circuit().estimated_routing_bytes())).collect();
+    for w in ests.windows(2) {
+        assert!(w[0].1 < w[1].1, "footprints increase: {ests:?}");
+    }
+    let industry3 = ests.iter().find(|(n, _)| *n == Mcnc::Industry3.name()).unwrap().1;
+    let avq_small = ests.iter().find(|(n, _)| *n == Mcnc::AvqSmall.name()).unwrap().1;
+    assert!(
+        avq_small as f64 > industry3 as f64 * 1.15,
+        "separation for the memory gate: {avq_small} vs {industry3}"
+    );
+}
+
+#[test]
+fn scaled_circuits_preserve_column_budget() {
+    for m in ALL {
+        let c = m.circuit_scaled(0.1);
+        for row in &c.rows {
+            if let Some(&last) = row.cells.last() {
+                let cell = &c.cells[last.index()];
+                assert!(cell.x + cell.width as i64 <= c.width, "{} row {}", m.name(), row.id);
+            }
+        }
+    }
+}
+
+#[test]
+fn builder_rejects_nothing_but_produces_consistent_ids() {
+    let mut b = CircuitBuilder::new("ids", 3, 1000);
+    let mut pins = Vec::new();
+    for r in 0..3 {
+        for _ in 0..5 {
+            let cell = b.add_cell(RowId(r), 8);
+            pins.push(b.add_pin(cell, 3, PinSide::Top, true));
+        }
+    }
+    for chunk in pins.chunks(3) {
+        if chunk.len() >= 2 {
+            b.add_net("n", chunk.to_vec());
+        }
+    }
+    let c = b.finish().unwrap();
+    for (i, cell) in c.cells.iter().enumerate() {
+        assert_eq!(cell.id.index(), i);
+    }
+    for (i, net) in c.nets.iter().enumerate() {
+        assert_eq!(net.id.index(), i);
+        for &p in &net.pins {
+            assert_eq!(c.pins[p.index()].net, net.id);
+        }
+    }
+}
+
+#[test]
+fn format_reports_line_numbers_on_errors() {
+    let text = "pgr-circuit v1\nname x\nwidth 10\nrows 1\ncell 0 0 4\npin 0 0 Q 0\n";
+    match from_text(text) {
+        Err(FormatError::Syntax(line, msg)) => {
+            assert_eq!(line, 6);
+            assert!(msg.contains("side"), "{msg}");
+        }
+        other => panic!("expected syntax error, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generation_hits_exact_budgets(
+        seed in 0u64..10_000,
+        rows in 2usize..12,
+        nets in 12usize..60,
+        extra_pins in 0usize..120,
+    ) {
+        let cells = rows * 10;
+        let pins = nets * 2 + extra_pins;
+        let cfg = GeneratorConfig {
+            name: "budget".into(),
+            rows,
+            cells,
+            pins,
+            nets,
+            seed,
+            cell_width: (4, 9),
+            equivalent_fraction: 0.4,
+            locality: 0.7,
+            clock_nets: vec![],
+        };
+        let c = generate(&cfg);
+        prop_assert_eq!(c.num_rows(), rows);
+        prop_assert_eq!(c.num_cells(), cells);
+        prop_assert_eq!(c.num_nets(), nets);
+        prop_assert_eq!(c.num_pins(), pins);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn row_partition_owner_is_consistent_with_ranges(rows in 1usize..64, parts in 1usize..16) {
+        let parts = parts.min(rows);
+        let rp = RowPartition::uniform(rows, parts);
+        let mut covered = 0;
+        for p in 0..parts {
+            let range = rp.range(p);
+            prop_assert!(!range.is_empty());
+            covered += range.len();
+            for r in range {
+                prop_assert_eq!(rp.owner(RowId(r as u32)), p);
+            }
+        }
+        prop_assert_eq!(covered, rows);
+    }
+
+    #[test]
+    fn balanced_partition_beats_worst_case(seed in 0u64..200) {
+        let c = generate(&GeneratorConfig::small("bal", seed));
+        let parts = 4.min(c.num_rows());
+        let rp = RowPartition::balanced(&c, parts);
+        let loads: Vec<usize> = (0..parts).map(|p| rp.range(p).map(|r| c.rows[r].cells.len()).sum()).collect();
+        let max = *loads.iter().max().unwrap();
+        let total: usize = loads.iter().sum();
+        // No part holds more than ~2x its fair share (contiguity limits
+        // perfection, but gross imbalance would be a bug).
+        prop_assert!(max <= total * 2 / parts + 1, "loads {loads:?}");
+    }
+
+    #[test]
+    fn net_bboxes_contain_their_pins(seed in 0u64..100) {
+        let c = generate(&GeneratorConfig::small("bb", seed));
+        for i in 0..c.num_nets() {
+            let net = NetId::from_index(i);
+            let bb = c.net_bbox(net);
+            for &p in &c.nets[i].pins {
+                prop_assert!(bb.contains(c.pin_point(p)));
+            }
+        }
+    }
+
+    #[test]
+    fn text_format_roundtrip_is_lossless(seed in 0u64..300) {
+        let mut cfg = GeneratorConfig::small("fmt", seed);
+        cfg.nets = 30;
+        cfg.pins = 110;
+        cfg.cells = 60;
+        cfg.rows = 4;
+        let c = generate(&cfg);
+        let c2 = from_text(&to_text(&c)).unwrap();
+        prop_assert_eq!(to_text(&c), to_text(&c2));
+    }
+}

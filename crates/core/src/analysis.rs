@@ -1,0 +1,190 @@
+//! Post-routing congestion analysis.
+//!
+//! Turns a [`RoutingResult`]'s span list into per-channel congestion
+//! statistics and an ASCII heatmap — the view a designer uses to judge
+//! where the chip is tight and whether the global router balanced load
+//! across channels.
+
+use crate::metrics::RoutingResult;
+use pgr_geom::DensityProfile;
+
+/// Congestion statistics of one channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelCongestion {
+    /// Global channel index (channel `c` lies below row `c`).
+    pub channel: usize,
+    /// Peak density (the tracks this channel needs).
+    pub peak: i64,
+    /// Mean density over the chip width.
+    pub mean: f64,
+    /// Column of (the leftmost) peak.
+    pub peak_column: i64,
+    /// Number of spans routed through the channel.
+    pub spans: usize,
+}
+
+/// Whole-chip congestion report.
+#[derive(Debug, Clone)]
+pub struct CongestionReport {
+    pub channels: Vec<ChannelCongestion>,
+    pub chip_width: i64,
+}
+
+impl CongestionReport {
+    /// Peak/mean ratio of the busiest channel — how spiky the worst
+    /// channel is (1.0 = perfectly flat).
+    pub fn worst_spikiness(&self) -> f64 {
+        self.channels
+            .iter()
+            .filter(|c| c.mean > 0.0)
+            .map(|c| c.peak as f64 / c.mean)
+            .fold(1.0, f64::max)
+    }
+
+    /// Channels sorted by peak density, busiest first.
+    pub fn hotspots(&self) -> Vec<&ChannelCongestion> {
+        let mut v: Vec<&ChannelCongestion> = self.channels.iter().collect();
+        v.sort_by_key(|c| std::cmp::Reverse(c.peak));
+        v
+    }
+}
+
+/// Analyze a routing result.
+pub fn analyze(result: &RoutingResult) -> CongestionReport {
+    let width = result.chip_width.max(1);
+    let nchan = result.channel_density.len();
+    let mut profiles: Vec<DensityProfile> = (0..nchan).map(|_| DensityProfile::new(width as usize)).collect();
+    let mut span_count = vec![0usize; nchan];
+    for s in &result.spans {
+        profiles[s.channel as usize].add_span(s.lo, s.hi, 1);
+        span_count[s.channel as usize] += 1;
+    }
+    let channels = profiles
+        .iter()
+        .enumerate()
+        .map(|(c, p)| {
+            let counts = p.counts();
+            let peak = p.max();
+            let peak_column = counts.iter().position(|&d| d == peak).unwrap_or(0) as i64;
+            let mean = counts.iter().sum::<i64>() as f64 / width as f64;
+            ChannelCongestion { channel: c, peak, mean, peak_column, spans: span_count[c] }
+        })
+        .collect();
+    CongestionReport { channels, chip_width: width }
+}
+
+/// Render an ASCII heatmap: one line per channel (bottom channel first),
+/// `buckets` columns, digits 0–9 scaled to the chip-wide peak ('.' for
+/// empty).
+pub fn heatmap(result: &RoutingResult, buckets: usize) -> String {
+    let buckets = buckets.max(1);
+    let width = result.chip_width.max(1);
+    let nchan = result.channel_density.len();
+    let mut grid = vec![vec![0i64; buckets]; nchan];
+    for s in &result.spans {
+        let b_lo = (s.lo.clamp(0, width - 1) as usize * buckets) / width as usize;
+        let b_hi = (s.hi.clamp(0, width - 1) as usize * buckets) / width as usize;
+        for cell in grid[s.channel as usize][b_lo..=b_hi.min(buckets - 1)].iter_mut() {
+            *cell += 1;
+        }
+    }
+    let peak = grid.iter().flatten().copied().max().unwrap_or(0).max(1);
+    let mut out = String::new();
+    for (c, row) in grid.iter().enumerate().rev() {
+        out.push_str(&format!("ch{c:>3} |"));
+        for &v in row {
+            let ch = if v == 0 { '.' } else { char::from_digit(((v * 9) / peak).clamp(1, 9) as u32, 10).expect("digit") };
+            out.push(ch);
+        }
+        out.push_str("|\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::route_serial;
+    use crate::route::state::Span;
+    use crate::RouterConfig;
+    use pgr_circuit::{generate, GeneratorConfig, NetId};
+    use pgr_mpi::{Comm, MachineModel};
+
+    fn routed() -> RoutingResult {
+        let c = generate(&GeneratorConfig::small("analysis", 9));
+        route_serial(&c, &RouterConfig::with_seed(1), &mut Comm::solo(MachineModel::ideal()))
+    }
+
+    #[test]
+    fn peaks_match_the_reported_densities() {
+        let r = routed();
+        let rep = analyze(&r);
+        assert_eq!(rep.channels.len(), r.channel_density.len());
+        for (c, cc) in rep.channels.iter().enumerate() {
+            assert_eq!(cc.peak, r.channel_density[c], "channel {c}");
+            assert!(cc.mean <= cc.peak as f64 + 1e-9);
+            assert!(cc.peak_column < r.chip_width);
+        }
+    }
+
+    #[test]
+    fn hotspots_are_sorted() {
+        let rep = analyze(&routed());
+        let peaks: Vec<i64> = rep.hotspots().iter().map(|c| c.peak).collect();
+        assert!(peaks.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn spikiness_at_least_one() {
+        let rep = analyze(&routed());
+        assert!(rep.worst_spikiness() >= 1.0);
+    }
+
+    #[test]
+    fn heatmap_shape_and_charset() {
+        let r = routed();
+        let map = heatmap(&r, 40);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), r.channel_density.len());
+        for line in &lines {
+            let body = line.split('|').nth(1).expect("row body");
+            assert_eq!(body.chars().count(), 40);
+            assert!(body.chars().all(|c| c == '.' || c.is_ascii_digit()));
+        }
+        // Busiest cells reach '9'.
+        assert!(map.contains('9'));
+    }
+
+    #[test]
+    fn synthetic_hotspot_is_found() {
+        let mut r = routed();
+        // Pile ten identical spans into channel 2 around column 5.
+        for _ in 0..50 {
+            r.spans.push(Span { net: NetId(0), channel: 2, lo: 4, hi: 7, switch_row: None });
+        }
+        let rep = analyze(&r);
+        let top = rep.hotspots()[0];
+        assert_eq!(top.channel, 2);
+        assert!((4..=7).contains(&top.peak_column));
+    }
+
+    #[test]
+    fn empty_result_analyzes_cleanly() {
+        let r = RoutingResult {
+            circuit: "e".into(),
+            channel_density: vec![0, 0, 0],
+            chip_width: 50,
+            rows: 2,
+            wirelength: 0,
+            feedthroughs: 0,
+            spans: Vec::new(),
+        };
+        let rep = analyze(&r);
+        assert!(rep.channels.iter().all(|c| c.peak == 0 && c.spans == 0));
+        fn count_digits(s: &str) -> usize {
+            s.lines().map(|l| l.split('|').nth(1).map(|b| b.chars().filter(char::is_ascii_digit).count()).unwrap_or(0)).sum()
+        }
+        let map = heatmap(&r, 10);
+        assert_eq!(count_digits(&map), 0, "empty chip has no hot cells");
+    }
+}

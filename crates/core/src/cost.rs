@@ -1,0 +1,38 @@
+//! Abstract-operation cost constants for virtual-time accounting.
+//!
+//! Each constant is the number of abstract machine operations one logical
+//! router action charges through [`pgr_mpi::Comm::compute`]. They model
+//! the *relative* weight of TWGR's phases (the 1990s C implementation did
+//! substantial pointer-chasing and bookkeeping per decision, which is why
+//! the constants are far above the naive instruction counts of our Rust
+//! kernels); the absolute scale combines with
+//! [`pgr_mpi::MachineModel::sec_per_op`] to land serial runtimes in the
+//! regime the paper reports (minutes to ~an hour for the large circuits).
+//!
+//! Changing a constant changes simulated times and speedups, not routing
+//! results.
+
+/// Per pin-pair distance evaluation inside Prim's MST (step 1 & 4).
+pub const MST_PAIR: u64 = 6;
+/// Per-node MST bookkeeping (tree insertion, segment record).
+pub const MST_NODE: u64 = 120;
+/// Evaluating one L-orientation of one segment in coarse routing
+/// (two density probes plus feedthrough-demand inspection).
+pub const COARSE_EVAL: u64 = 900;
+/// Applying (or undoing) one segment's spans/demand to the coarse state.
+pub const COARSE_APPLY: u64 = 350;
+/// Per-cell work of feedthrough insertion (shifting, width bookkeeping).
+pub const FT_INSERT_CELL: u64 = 40;
+/// Per-crossing work of feedthrough assignment (sort + match share).
+pub const FT_ASSIGN: u64 = 160;
+/// Per candidate edge considered by the adjacency-limited MST (step 4).
+pub const CONNECT_PAIR: u64 = 10;
+/// Per final span materialized into the channel profiles.
+pub const SPAN_APPLY: u64 = 220;
+/// Evaluating one switchable segment flip (two density probes).
+pub const SWITCH_EVAL: u64 = 700;
+/// Per pin/cell touched while loading & building circuit data structures
+/// (the serial front/back end of every run).
+pub const SETUP_ITEM: u64 = 260;
+/// Per column merged while assembling the final global solution.
+pub const MERGE_COL: u64 = 6;

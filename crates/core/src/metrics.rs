@@ -1,0 +1,116 @@
+//! Routing quality metrics and the routed solution.
+//!
+//! The paper reports two quality numbers per run: the **total track
+//! count** (the sum over channels of the peak density — each channel must
+//! be as tall as its densest column) and the **chip area** (core width ×
+//! core height, where channel heights follow track counts and row widths
+//! grow with inserted feedthroughs). Parallel results are reported
+//! *scaled* to the serial run of the same circuit, which is how Tables
+//! 2–4 present them.
+//!
+//! A [`RoutingResult`] carries the full routed span list, so solutions
+//! can be independently re-checked ([`crate::verify`]) or consumed by a
+//! downstream detailed router.
+
+use crate::route::state::Span;
+
+/// Height of a cell row, in the same abstract unit as one routing track.
+pub const ROW_HEIGHT: i64 = 8;
+/// Height of one routing track.
+pub const TRACK_PITCH: i64 = 1;
+
+/// Result of one routing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingResult {
+    pub circuit: String,
+    /// Peak density per channel (len = rows + 1).
+    pub channel_density: Vec<i64>,
+    /// Widest row after feedthrough insertion, in columns.
+    pub chip_width: i64,
+    /// Number of rows (to derive area).
+    pub rows: usize,
+    /// Total rectilinear wirelength (columns + row-height units).
+    pub wirelength: u64,
+    /// Total feedthrough cells inserted.
+    pub feedthroughs: u64,
+    /// The routed solution: every final horizontal span.
+    pub spans: Vec<Span>,
+}
+
+impl RoutingResult {
+    /// Total track count: Σ over channels of peak density.
+    pub fn track_count(&self) -> i64 {
+        self.channel_density.iter().sum()
+    }
+
+    /// Number of horizontal spans in the solution.
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Chip area: width × (row stack + channel stack).
+    pub fn area(&self) -> i64 {
+        let height = self.rows as i64 * ROW_HEIGHT + self.track_count() * TRACK_PITCH;
+        self.chip_width * height
+    }
+
+    /// This result's track count scaled to a baseline (serial) run — the
+    /// quality metric of Tables 2–4. 1.00 = identical quality; 1.03 =
+    /// 3 % more tracks than serial.
+    pub fn scaled_tracks(&self, baseline: &RoutingResult) -> f64 {
+        assert_eq!(self.circuit, baseline.circuit, "scale against the same circuit");
+        self.track_count() as f64 / baseline.track_count() as f64
+    }
+
+    /// Area scaled to a baseline run.
+    pub fn scaled_area(&self, baseline: &RoutingResult) -> f64 {
+        self.area() as f64 / baseline.area() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(density: Vec<i64>, width: i64, rows: usize) -> RoutingResult {
+        RoutingResult {
+            circuit: "t".into(),
+            channel_density: density,
+            chip_width: width,
+            rows,
+            wirelength: 0,
+            feedthroughs: 0,
+            spans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn track_count_sums_channels() {
+        let r = result(vec![3, 0, 5], 100, 2);
+        assert_eq!(r.track_count(), 8);
+    }
+
+    #[test]
+    fn area_combines_rows_and_tracks() {
+        let r = result(vec![2, 2], 10, 1);
+        assert_eq!(r.area(), 10 * (ROW_HEIGHT + 4 * TRACK_PITCH));
+    }
+
+    #[test]
+    fn scaling_against_baseline() {
+        let base = result(vec![10, 10], 100, 2);
+        let worse = result(vec![10, 11], 100, 2);
+        assert!((worse.scaled_tracks(&base) - 1.05).abs() < 1e-9);
+        assert!(worse.scaled_area(&base) > 1.0);
+        assert!((base.scaled_tracks(&base) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same circuit")]
+    fn scaling_different_circuits_panics() {
+        let a = result(vec![1], 1, 1);
+        let mut b = a.clone();
+        b.circuit = "other".into();
+        let _ = b.scaled_tracks(&a);
+    }
+}

@@ -1,0 +1,255 @@
+//! Plumbing shared by the three parallel algorithms.
+//!
+//! Circuit distribution, Steiner-segment splitting at partition
+//! boundaries with fake-pin insertion (§4, Figure 2), sub-net assembly
+//! from received fragments, and the final solution gather.
+
+use crate::config::RouterConfig;
+use crate::cost;
+use crate::metrics::RoutingResult;
+use crate::route::state::{Node, Segment, Span, WorkNet};
+use crate::route::switchable::ChannelState;
+use pgr_circuit::{Circuit, RowPartition};
+use pgr_mpi::Comm;
+
+/// User-space message tags.
+pub mod tag {
+    /// Rank 0 → others: circuit distribution payload.
+    pub const DISTRIBUTE: u32 = 1;
+    /// Boundary-channel count exchange (row-wise/hybrid step-5 sync).
+    pub const BOUNDARY: u32 = 2;
+}
+
+/// Model the serial front end plus circuit distribution.
+///
+/// Rank 0 plays the master that loaded the netlist: it charges the full
+/// build cost and ships every other rank its share (a size-faithful
+/// placeholder payload — ranks read the actual circuit from shared
+/// memory, but the simulated transfer pays for the real volume an MPI
+/// implementation would move). With `replicated`, every rank additionally
+/// charges the full structure-build cost (the net-wise algorithm keeps
+/// whole-circuit state everywhere).
+pub fn distribute(circuit: &Circuit, replicated: bool, comm: &mut Comm) {
+    let entities = (circuit.num_pins() + circuit.num_cells() + circuit.num_nets()) as u64;
+    let bytes = circuit.estimated_routing_bytes();
+    let size = comm.size();
+    if comm.rank() == 0 {
+        comm.compute(cost::SETUP_ITEM * entities);
+        let share = if replicated { bytes } else { bytes / size as u64 };
+        for dst in 1..size {
+            comm.send_bytes(dst, tag::DISTRIBUTE, vec![0u8; share as usize]);
+        }
+    } else {
+        let _ = comm.recv_bytes(0, tag::DISTRIBUTE);
+        let local_entities = if replicated { entities } else { entities / size as u64 };
+        comm.compute(cost::SETUP_ITEM * local_entities);
+    }
+    let local_bytes = if replicated { bytes } else { bytes / size as u64 };
+    comm.charge_alloc(local_bytes);
+}
+
+/// Split one Steiner segment at row-partition boundaries, inserting fake
+/// pins (§4): "if a segment crosses the boundary of a partition, then we
+/// add a fake pin at the crossing point." The vertical course is assumed
+/// at the lower endpoint's column (the position step 2's L shapes pivot
+/// around), so both sides of every cut share one column and the cut
+/// itself needs no horizontal wire.
+///
+/// Returns `(owner_part, piece)` pairs; each piece lies entirely within
+/// one part's rows.
+pub fn split_segment(seg: &Segment, rows: &RowPartition) -> Vec<(usize, Segment)> {
+    let p_lo = rows.owner(pgr_circuit::RowId(seg.lower.row));
+    let p_hi = rows.owner(pgr_circuit::RowId(seg.upper.row));
+    if p_lo == p_hi {
+        return vec![(p_lo, *seg)];
+    }
+    let xcut = seg.lower.x;
+    let mut out = Vec::with_capacity(p_hi - p_lo + 1);
+    // Bottom piece: lower endpoint up to the top row of its part.
+    out.push((p_lo, Segment::new(seg.net, seg.lower, Node::fake(xcut, rows.end(p_lo) as u32 - 1))));
+    // Middle pieces: fake pin to fake pin across whole parts.
+    for p in p_lo + 1..p_hi {
+        out.push((p, Segment::new(seg.net, Node::fake(xcut, rows.start(p) as u32), Node::fake(xcut, rows.end(p) as u32 - 1))));
+    }
+    // Top piece: first row of the top part up to the upper endpoint.
+    out.push((p_hi, Segment::new(seg.net, Node::fake(xcut, rows.start(p_hi) as u32), seg.upper)));
+    out
+}
+
+/// Group a rank's received segments into per-net work records. Nodes are
+/// deduplicated; the net order follows first appearance (net-id order
+/// when the sender iterated nets in order).
+pub fn assemble_works(segments: &[Segment]) -> Vec<WorkNet> {
+    let mut works: Vec<WorkNet> = Vec::new();
+    let mut index = std::collections::HashMap::new();
+    for seg in segments {
+        let &mut i = index.entry(seg.net).or_insert_with(|| {
+            works.push(WorkNet { net: seg.net, nodes: Vec::new() });
+            works.len() - 1
+        });
+        works[i].nodes.push(seg.lower);
+        works[i].nodes.push(seg.upper);
+    }
+    for w in &mut works {
+        w.nodes.sort_unstable_by_key(|n| n.sort_key());
+        w.nodes.dedup();
+    }
+    works
+}
+
+/// Exchange boundary-channel counts with row-partition neighbors and
+/// merge them as background (§4: "the track information in the shared
+/// channel is synchronized between two adjacent processors").
+///
+/// `chans` must cover channels `rows.start(rank) ..= rows.end(rank)`.
+pub fn sync_boundaries(chans: &mut ChannelState, rows: &RowPartition, comm: &mut Comm) {
+    let rank = comm.rank();
+    let lower_shared = rows.start(rank) as u32; // shared with rank - 1
+    let upper_shared = rows.end(rank) as u32; // shared with rank + 1
+    // Eager sends first (never block), then receive.
+    if rank > 0 {
+        let counts = chans.counts(lower_shared);
+        comm.send(rank - 1, tag::BOUNDARY, &counts);
+    }
+    if rank + 1 < comm.size() {
+        let counts = chans.counts(upper_shared);
+        comm.send(rank + 1, tag::BOUNDARY, &counts);
+    }
+    if rank > 0 {
+        let theirs: Vec<i64> = comm.recv(rank - 1, tag::BOUNDARY);
+        chans.merge_background(lower_shared, &theirs, comm);
+    }
+    if rank + 1 < comm.size() {
+        let theirs: Vec<i64> = comm.recv(rank + 1, tag::BOUNDARY);
+        chans.merge_background(upper_shared, &theirs, comm);
+    }
+}
+
+/// Gather every rank's spans and scalar tallies at rank 0 and assemble
+/// the global [`RoutingResult`] (the serial back end of every parallel
+/// run). Returns `Some` on rank 0.
+#[allow(clippy::too_many_arguments)]
+pub fn gather_result(
+    circuit: &Circuit,
+    _cfg: &RouterConfig,
+    spans: Vec<Span>,
+    wirelength: u64,
+    feedthroughs: u64,
+    chip_width: i64,
+    comm: &mut Comm,
+) -> Option<RoutingResult> {
+    let wirelength = comm.reduce(0, wirelength, |a, b| a + b);
+    let feedthroughs = comm.reduce(0, feedthroughs, |a, b| a + b);
+    let all_spans = comm.gather(0, spans);
+    let all_spans = all_spans?; // non-roots are done
+    let spans: Vec<Span> = all_spans.into_iter().flatten().collect();
+
+    let rows = circuit.num_rows();
+    let mut chans = ChannelState::new(0, rows + 1, chip_width);
+    comm.charge_alloc(chans.modeled_bytes());
+    comm.compute(cost::SPAN_APPLY * spans.len() as u64 + cost::SETUP_ITEM * circuit.num_nets() as u64);
+    for s in &spans {
+        chans.add_span(s, 1);
+    }
+    Some(RoutingResult {
+        circuit: circuit.name.clone(),
+        channel_density: chans.densities(),
+        chip_width,
+        rows,
+        wirelength: wirelength.expect("rank 0 holds the reduction"),
+        feedthroughs: feedthroughs.expect("rank 0 holds the reduction"),
+        spans,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::state::NodeKind;
+    use pgr_circuit::NetId;
+
+    fn fake(x: i64, row: u32) -> Node {
+        Node::fake(x, row)
+    }
+
+    #[test]
+    fn split_within_one_part_is_identity() {
+        let rows = RowPartition::uniform(8, 2); // 0..4, 4..8
+        let seg = Segment::new(NetId(0), fake(3, 0), fake(9, 3));
+        let pieces = split_segment(&seg, &rows);
+        assert_eq!(pieces.len(), 1);
+        assert_eq!(pieces[0].0, 0);
+        assert_eq!(pieces[0].1, seg);
+    }
+
+    #[test]
+    fn split_across_one_boundary() {
+        let rows = RowPartition::uniform(8, 2);
+        let seg = Segment::new(NetId(0), fake(3, 1), fake(9, 6));
+        let pieces = split_segment(&seg, &rows);
+        assert_eq!(pieces.len(), 2);
+        let (p0, s0) = &pieces[0];
+        let (p1, s1) = &pieces[1];
+        assert_eq!((*p0, *p1), (0, 1));
+        // Bottom piece: (3,1) → fake(3,3). Top: fake(3,4) → (9,6).
+        assert_eq!(s0.upper.row, 3);
+        assert_eq!(s0.upper.x, 3, "fake pin at the lower endpoint's column");
+        assert!(matches!(s0.upper.kind, NodeKind::Fake));
+        assert_eq!(s1.lower.row, 4);
+        assert_eq!(s1.lower.x, 3);
+        assert_eq!(s1.upper, seg.upper);
+    }
+
+    #[test]
+    fn split_across_many_parts_produces_middle_pieces() {
+        let rows = RowPartition::uniform(9, 3); // 0..3, 3..6, 6..9
+        let seg = Segment::new(NetId(2), fake(5, 0), fake(20, 8));
+        let pieces = split_segment(&seg, &rows);
+        assert_eq!(pieces.len(), 3);
+        let (p, mid) = &pieces[1];
+        assert_eq!(*p, 1);
+        assert_eq!((mid.lower.row, mid.upper.row), (3, 5));
+        assert_eq!(mid.lower.x, 5);
+        assert_eq!(mid.upper.x, 5, "middle piece is a pure vertical at the cut column");
+        // Every piece stays within its part.
+        for (p, s) in &pieces {
+            assert_eq!(rows.owner(pgr_circuit::RowId(s.lower.row)), *p);
+            assert_eq!(rows.owner(pgr_circuit::RowId(s.upper.row)), *p);
+        }
+    }
+
+    #[test]
+    fn split_endpoint_on_boundary_row() {
+        let rows = RowPartition::uniform(8, 2);
+        // Lower endpoint sits on part 0's top row.
+        let seg = Segment::new(NetId(1), fake(2, 3), fake(7, 5));
+        let pieces = split_segment(&seg, &rows);
+        assert_eq!(pieces.len(), 2);
+        // Bottom piece degenerates to a same-row stub carrying the pin.
+        assert_eq!(pieces[0].1.lower.row, 3);
+        assert_eq!(pieces[0].1.upper.row, 3);
+    }
+
+    #[test]
+    fn assemble_groups_and_dedups() {
+        let a = fake(1, 0);
+        let b = fake(5, 1);
+        let c = fake(9, 1);
+        let segs = vec![
+            Segment::new(NetId(3), a, b),
+            Segment::new(NetId(3), b, c),
+            Segment::new(NetId(7), a, c),
+        ];
+        let works = assemble_works(&segs);
+        assert_eq!(works.len(), 2);
+        assert_eq!(works[0].net, NetId(3));
+        assert_eq!(works[0].nodes.len(), 3, "b deduplicated");
+        assert_eq!(works[1].net, NetId(7));
+        assert_eq!(works[1].nodes.len(), 2);
+    }
+
+    #[test]
+    fn assemble_empty() {
+        assert!(assemble_works(&[]).is_empty());
+    }
+}

@@ -1,0 +1,245 @@
+//! The hybrid pin partition algorithm (§6).
+//!
+//! Identical to the row-wise algorithm through coarse routing and
+//! feedthrough assignment — rows, cells, and pins are partitioned
+//! row-wise and fake pins keep sub-nets connected. The difference is the
+//! final connection: "instead of letting each processor connect the pins
+//! of a net in adjacent rows for the subnets, we let one processor do it
+//! for each whole net." Sub-net fragments travel to the net's owner,
+//! which builds one MST over the union — eliminating the redundant
+//! tracks independent fragment connection can create (Figure 3). The
+//! resulting spans are dealt back to the ranks owning their channels for
+//! switchable optimization.
+//!
+//! The paper's verdict, which the benchmarks reproduce: best quality
+//! (≈2 % track degradation), at slightly lower speedups than row-wise
+//! because of the extra fragment/span exchange.
+
+use crate::config::RouterConfig;
+use crate::cost;
+use crate::metrics::RoutingResult;
+use crate::parallel::common::{assemble_works, distribute, gather_result, split_segment, sync_boundaries};
+use crate::parallel::partition::{partition_nets, PartitionKind};
+use crate::route::coarse::CoarseState;
+use crate::route::connect::connect_net;
+use crate::route::feedthrough::{assign, FtPlan};
+use crate::route::serial::{attach_feedthroughs, crossings_of, shift_pins};
+use crate::route::state::{Segment, Span, WorkNet};
+use crate::route::steiner::{build_segments_with, whole_net};
+use crate::route::switchable::{optimize, ChannelState};
+use pgr_circuit::{Circuit, NetId, RowId, RowPartition};
+use pgr_geom::rng::{derive_seed, rng_from_seed};
+use pgr_mpi::Comm;
+
+/// Run the hybrid algorithm on the calling rank. Returns the global
+/// result on rank 0, `None` elsewhere.
+pub fn route_hybrid(circuit: &Circuit, cfg: &RouterConfig, kind: PartitionKind, comm: &mut Comm) -> Option<RoutingResult> {
+    let size = comm.size();
+    let rank = comm.rank();
+    assert!(size <= circuit.num_rows(), "hybrid needs at least one row per rank");
+    let rows = RowPartition::balanced(circuit, size);
+    let mut rng = rng_from_seed(derive_seed(cfg.seed, rank as u64));
+
+    comm.phase("setup");
+    distribute(circuit, false, comm);
+
+    // Steps 1–3: exactly the row-wise flow (fake pins and all).
+    comm.phase("steiner");
+    let owners = partition_nets(circuit, kind, &rows, size, cfg.pin_weight_beta);
+    let mut outgoing: Vec<Vec<Segment>> = vec![Vec::new(); size];
+    for (i, &owner) in owners.iter().enumerate() {
+        if owner as usize != rank {
+            continue;
+        }
+        let w = whole_net(circuit, NetId::from_index(i));
+        if w.nodes.len() < 2 {
+            continue;
+        }
+        for seg in build_segments_with(&w, cfg.steiner_refine, comm) {
+            for (part, piece) in split_segment(&seg, &rows) {
+                outgoing[part].push(piece);
+            }
+        }
+    }
+    let segments: Vec<Segment> = comm.alltoall(outgoing).into_iter().flatten().collect();
+    let mut works = assemble_works(&segments);
+
+    comm.phase("coarse");
+    let row0 = rows.start(rank) as u32;
+    let nrows = rows.range(rank).len();
+    let mut coarse = CoarseState::new(row0, nrows, circuit.width, cfg.grid_w);
+    comm.charge_alloc(coarse.modeled_bytes());
+    let orients = coarse.route(&segments, cfg, &mut rng, comm);
+
+    comm.phase("feedthrough");
+    let plan = FtPlan::new(row0, coarse.into_demand(), cfg.grid_w, cfg.ft_width);
+    let local_cells: usize = rows.range(rank).map(|r| circuit.rows[r].cells.len()).sum();
+    comm.compute(cost::FT_INSERT_CELL * local_cells as u64);
+    let crossings = crossings_of(&segments, &orients);
+    let ft_nodes = assign(&plan, &crossings, comm);
+    shift_pins(&mut works, &plan);
+    attach_feedthroughs(&mut works, ft_nodes);
+
+    let chip_width = comm.allreduce(circuit.width + plan.max_growth(), i64::max);
+
+    // Step 4 (the hybrid difference): ship each net's fragment to the
+    // net's owner, merge, and connect the whole net there.
+    comm.phase("connect");
+    let mut work_out: Vec<Vec<WorkNet>> = vec![Vec::new(); size];
+    for w in works {
+        work_out[owners[w.net.index()] as usize].push(w);
+    }
+    let fragments: Vec<WorkNet> = comm.alltoall(work_out).into_iter().flatten().collect();
+    let mut merged: Vec<WorkNet> = Vec::new();
+    {
+        let mut index = std::collections::HashMap::new();
+        for frag in fragments {
+            let &mut i = index.entry(frag.net).or_insert_with(|| {
+                merged.push(WorkNet { net: frag.net, nodes: Vec::new() });
+                merged.len() - 1
+            });
+            merged[i].nodes.extend(frag.nodes);
+        }
+        for w in &mut merged {
+            w.nodes.sort_unstable_by_key(|n| n.sort_key());
+            w.nodes.dedup();
+        }
+        // Deterministic order regardless of fragment arrival.
+        merged.sort_unstable_by_key(|w| w.net);
+    }
+
+    let mut all_spans: Vec<Span> = Vec::new();
+    let mut wirelength = 0u64;
+    for w in &merged {
+        let conn = connect_net(w, comm);
+        wirelength += conn.wirelength;
+        all_spans.extend(conn.spans);
+    }
+
+    // Deal spans back to channel owners: switchable spans follow their
+    // row (the owner covers both candidate channels); fixed spans follow
+    // their channel (the top channel belongs to the last rank).
+    let mut span_out: Vec<Vec<Span>> = vec![Vec::new(); size];
+    for s in all_spans {
+        let dest = match s.switch_row {
+            Some(r) => rows.owner(RowId(r)),
+            None => {
+                if s.channel as usize == circuit.num_rows() {
+                    size - 1
+                } else {
+                    rows.owner(RowId(s.channel))
+                }
+            }
+        };
+        span_out[dest].push(s);
+    }
+    // Arrival order is deterministic (alltoall delivers in sender-rank
+    // order, each sender's list is deterministic), and at P = 1 it is
+    // exactly the serial span order.
+    let mut spans: Vec<Span> = comm.alltoall(span_out).into_iter().flatten().collect();
+
+    // Step 5: row-local switchable optimization with boundary sync.
+    comm.phase("switchable");
+    let mut chans = ChannelState::new(row0, nrows + 1, chip_width);
+    comm.charge_alloc(chans.modeled_bytes());
+    comm.compute(cost::SPAN_APPLY * spans.len() as u64);
+    for s in &spans {
+        chans.add_span(s, 1);
+    }
+    sync_boundaries(&mut chans, &rows, comm);
+    optimize(&mut chans, &mut spans, cfg, &mut rng, comm);
+
+    comm.phase("assemble");
+    gather_result(circuit, cfg, spans, wirelength, plan.total(), chip_width, comm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::rowwise::route_rowwise;
+    use crate::route::route_serial;
+    use pgr_circuit::{generate, GeneratorConfig};
+    use pgr_mpi::{run, MachineModel};
+
+    fn small() -> Circuit {
+        generate(&GeneratorConfig::small("hybrid-test", 31))
+    }
+
+    fn run_hybrid(circuit: &Circuit, cfg: &RouterConfig, procs: usize) -> (RoutingResult, f64) {
+        let report = run(procs, MachineModel::sparc_center_1000(), |comm| {
+            route_hybrid(circuit, cfg, PartitionKind::PinWeight, comm)
+        });
+        let result = report.results.iter().flatten().next().expect("rank 0 result").clone();
+        (result, report.makespan())
+    }
+
+    #[test]
+    fn multi_rank_quality_close_to_serial() {
+        let c = small();
+        let cfg = RouterConfig::with_seed(5);
+        let serial = route_serial(&c, &cfg, &mut Comm::solo(MachineModel::ideal()));
+        for procs in [2, 4] {
+            let (par, _) = run_hybrid(&c, &cfg, procs);
+            let scaled = par.scaled_tracks(&serial);
+            // Small circuits are noisy: different rank-local random orders
+            // can even beat the serial run slightly.
+            assert!((0.85..1.25).contains(&scaled), "P={procs}: scaled {scaled}");
+        }
+    }
+
+    #[test]
+    fn hybrid_beats_rowwise_quality_on_average() {
+        // The paper's headline (§6): whole-net connection removes the
+        // redundant tracks of independent fragment connection. Compare
+        // total tracks across seeds at 4 ranks.
+        let mut hybrid_total = 0i64;
+        let mut rowwise_total = 0i64;
+        for seed in 0..3 {
+            let c = generate(&GeneratorConfig::small("hb-cmp", 100 + seed));
+            let cfg = RouterConfig::with_seed(seed);
+            let (h, _) = run_hybrid(&c, &cfg, 4);
+            let r = run(4, MachineModel::sparc_center_1000(), |comm| {
+                route_rowwise(&c, &cfg, PartitionKind::PinWeight, comm)
+            });
+            let r = r.results.iter().flatten().next().unwrap().clone();
+            hybrid_total += h.track_count();
+            rowwise_total += r.track_count();
+        }
+        // Tiny test circuits give the two algorithms near-identical track
+        // counts; allow noise. The real separation is asserted by the
+        // full-size Table 2 vs Table 4 benchmarks.
+        assert!(
+            hybrid_total <= rowwise_total + rowwise_total / 20,
+            "hybrid ({hybrid_total}) must not clearly lose to row-wise ({rowwise_total})"
+        );
+    }
+
+    #[test]
+    fn single_rank_matches_serial_exactly() {
+        let c = small();
+        let cfg = RouterConfig::with_seed(9);
+        let serial = route_serial(&c, &cfg, &mut Comm::solo(MachineModel::ideal()));
+        let (par, _) = run_hybrid(&c, &cfg, 1);
+        assert_eq!(par, serial, "P=1 hybrid is the serial algorithm");
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = small();
+        let cfg = RouterConfig::with_seed(2);
+        let a = run_hybrid(&c, &cfg, 3);
+        let b = run_hybrid(&c, &cfg, 3);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn speedup_grows_with_ranks() {
+        let c = small();
+        let cfg = RouterConfig::with_seed(3);
+        let (_, t1) = run_hybrid(&c, &cfg, 1);
+        let (_, t4) = run_hybrid(&c, &cfg, 4);
+        assert!(t4 < t1);
+        assert!(t1 / t4 > 1.3, "simulated hybrid speedup too low: {}", t1 / t4);
+    }
+}

@@ -1,0 +1,110 @@
+//! The three parallel global-routing algorithms (§4–§6) and the harness
+//! that runs them over [`pgr_mpi`] ranks.
+
+pub mod common;
+pub mod hybrid;
+pub mod netwise;
+pub mod partition;
+pub mod rowwise;
+
+use crate::config::RouterConfig;
+use crate::metrics::RoutingResult;
+use partition::PartitionKind;
+use pgr_circuit::Circuit;
+use pgr_mpi::{run, Comm, MachineModel, RankStats};
+
+pub use hybrid::route_hybrid;
+pub use netwise::route_netwise;
+pub use rowwise::route_rowwise;
+
+/// Which parallel algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Row-wise pin partition (§4): fastest, ≈3 % quality loss.
+    RowWise,
+    /// Net-wise pin partition (§5): poor speedups, largest quality loss.
+    NetWise,
+    /// Hybrid pin partition (§6): best quality, near-row-wise speed.
+    Hybrid,
+}
+
+impl Algorithm {
+    pub const ALL: [Algorithm; 3] = [Algorithm::RowWise, Algorithm::NetWise, Algorithm::Hybrid];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::RowWise => "row-wise",
+            Algorithm::NetWise => "net-wise",
+            Algorithm::Hybrid => "hybrid",
+        }
+    }
+
+    /// Run this algorithm on the calling rank (SPMD entry point).
+    pub fn route(self, circuit: &Circuit, cfg: &RouterConfig, kind: PartitionKind, comm: &mut Comm) -> Option<RoutingResult> {
+        match self {
+            Algorithm::RowWise => rowwise::route_rowwise(circuit, cfg, kind, comm),
+            Algorithm::NetWise => netwise::route_netwise(circuit, cfg, kind, comm),
+            Algorithm::Hybrid => hybrid::route_hybrid(circuit, cfg, kind, comm),
+        }
+    }
+}
+
+/// The outcome of one parallel routing run.
+#[derive(Debug)]
+pub struct ParallelOutcome {
+    pub result: RoutingResult,
+    /// Simulated wall-clock (the slowest rank's virtual time).
+    pub time: f64,
+    pub stats: Vec<RankStats>,
+    /// Whether every rank's modeled working set fit the machine's
+    /// per-node memory (always true on machines without a cap).
+    pub fits_memory: bool,
+}
+
+/// Route `circuit` with `procs` ranks of `machine`, returning rank 0's
+/// assembled result plus simulated timing.
+pub fn route_parallel(
+    circuit: &Circuit,
+    cfg: &RouterConfig,
+    algorithm: Algorithm,
+    kind: PartitionKind,
+    procs: usize,
+    machine: MachineModel,
+) -> ParallelOutcome {
+    let report = run(procs, machine, |comm| algorithm.route(circuit, cfg, kind, comm));
+    let fits_memory = report.fits_memory();
+    let time = report.makespan();
+    let result = report
+        .results
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("rank 0 returns the assembled result");
+    ParallelOutcome { result, time, stats: report.stats, fits_memory }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgr_circuit::{generate, GeneratorConfig};
+
+    #[test]
+    fn route_parallel_wraps_all_algorithms() {
+        let c = generate(&GeneratorConfig::small("wrap", 8));
+        let cfg = RouterConfig::with_seed(1);
+        for algo in Algorithm::ALL {
+            let out = route_parallel(&c, &cfg, algo, PartitionKind::PinWeight, 2, MachineModel::sparc_center_1000());
+            assert!(out.result.track_count() > 0, "{}", algo.name());
+            assert!(out.time > 0.0);
+            assert_eq!(out.stats.len(), 2);
+            assert!(out.fits_memory, "SMP has no memory cap");
+        }
+    }
+
+    #[test]
+    fn algorithm_names() {
+        assert_eq!(Algorithm::RowWise.name(), "row-wise");
+        assert_eq!(Algorithm::NetWise.name(), "net-wise");
+        assert_eq!(Algorithm::Hybrid.name(), "hybrid");
+    }
+}

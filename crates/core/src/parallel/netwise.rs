@@ -1,0 +1,361 @@
+//! The net-wise pin partition algorithm (§5).
+//!
+//! Nets (and their pins) are dealt to ranks by one of the §5 heuristics
+//! and the partition never changes. Every rank keeps a *replicated* copy
+//! of the global coarse grid and channel state, makes decisions for its
+//! own nets against that copy, and periodically synchronizes: "since all
+//! processors could contribute feedthrough and track density estimation
+//! to the same coarse global routing grid, we need to synchronize the
+//! information of each grid point periodically."
+//!
+//! Between synchronizations every rank works on *stale* state — two
+//! ranks can push switchable segments into the same channel before
+//! either sees the other's move. That staleness is the algorithm's
+//! documented quality problem, and the synchronization traffic (all
+//! processors share all channels) is its documented runtime problem
+//! (§7.2): quality degradation with poor speedups.
+
+use crate::config::RouterConfig;
+use crate::cost;
+use crate::metrics::RoutingResult;
+use crate::parallel::common::{distribute, gather_result};
+use crate::parallel::partition::{partition_nets, PartitionKind};
+use crate::route::coarse::{CoarseDeltas, CoarseState};
+use crate::route::connect::connect_net;
+use crate::route::feedthrough::{assign, Crossing, FtPlan};
+use crate::route::serial::{attach_feedthroughs, crossings_of, shift_pins};
+use crate::route::state::{Node, Segment, Span, WorkNet};
+use crate::route::steiner::{build_segments_with, whole_net};
+use crate::route::switchable::{optimize_slice, switchable_candidates, ChannelState, SpanDelta};
+use pgr_circuit::{Circuit, NetId, RowId, RowPartition};
+use pgr_geom::rng::{derive_seed, rng_from_seed};
+use pgr_geom::shuffled_indices;
+use pgr_mpi::Comm;
+
+/// Allgather every rank's coarse deltas and merge the remote ones.
+/// Every sync also charges a full refresh of the replicated grid arrays
+/// — "all the processors will share all the channels and communication
+/// is more costly than computation" (§5).
+///
+/// With `exact = false` (the default), remote density updates to grid
+/// cells this rank also wrote are lost (snapshot-overwrite semantics);
+/// see [`CoarseState::merge_external_masked`].
+fn sync_coarse(coarse: &mut CoarseState, exact: bool, comm: &mut Comm) {
+    if comm.size() == 1 {
+        // Nothing is replicated: drain the log and return.
+        let _ = coarse.take_deltas();
+        return;
+    }
+    let own = coarse.take_deltas();
+    let all: Vec<CoarseDeltas> = comm.allgather(own.clone());
+    let rank = comm.rank();
+    for (r, d) in all.into_iter().enumerate() {
+        if r != rank {
+            if exact {
+                coarse.merge_external(&d, comm);
+            } else {
+                coarse.merge_external_masked(&d, &own, comm);
+            }
+        }
+    }
+    comm.compute(cost::MERGE_COL * coarse.gcols() as u64 * (coarse.num_channels() + coarse.num_rows()) as u64);
+}
+
+/// Tag of the snapshot-exchange payloads.
+const SNAPSHOT_TAG: u32 = 3;
+
+/// The naive all-channel snapshot exchange of the 1997 implementation:
+/// every rank ships its full channel-state snapshot to rank 0, which
+/// redistributes the combined state. The payload is a size-faithful
+/// placeholder (the actual reconciliation travels as deltas alongside);
+/// what matters to the simulation is that every synchronization moves
+/// `state_bytes × P` bytes through the network — "this is because all
+/// the processors will share all the channels and communication is more
+/// costly than computation" (§5).
+fn exchange_snapshot(state_bytes: usize, comm: &mut Comm) {
+    let size = comm.size();
+    if size == 1 {
+        return;
+    }
+    if comm.rank() == 0 {
+        for src in 1..size {
+            let _ = comm.recv_bytes(src, SNAPSHOT_TAG);
+        }
+        for dst in 1..size {
+            comm.send_bytes(dst, SNAPSHOT_TAG, vec![0u8; state_bytes]);
+        }
+    } else {
+        comm.send_bytes(0, SNAPSHOT_TAG, vec![0u8; state_bytes]);
+        let _ = comm.recv_bytes(0, SNAPSHOT_TAG);
+    }
+}
+
+/// Column bucket used for write-write conflict detection on the
+/// full-resolution channel state.
+const CONFLICT_BUCKET: i64 = 256;
+
+fn span_buckets(d: &SpanDelta) -> impl Iterator<Item = (u32, i64)> + '_ {
+    (d.lo / CONFLICT_BUCKET..=d.hi / CONFLICT_BUCKET).map(move |b| (d.chan, b))
+}
+
+/// Allgather every rank's channel deltas and merge the remote ones, plus
+/// the full-resolution replicated-array refresh every sync pays. With
+/// `exact = false`, a remote update overlapping a (channel, column
+/// bucket) this rank also wrote since the last sync is dropped.
+fn sync_chans(chans: &mut ChannelState, exact: bool, comm: &mut Comm) {
+    if comm.size() == 1 {
+        let _ = chans.take_deltas();
+        return;
+    }
+    let own = chans.take_deltas();
+    let all: Vec<Vec<SpanDelta>> = comm.allgather(own.clone());
+    let rank = comm.rank();
+    let touched: std::collections::HashSet<(u32, i64)> = if exact {
+        std::collections::HashSet::new()
+    } else {
+        own.iter().flat_map(span_buckets).collect()
+    };
+    for (r, d) in all.into_iter().enumerate() {
+        if r != rank {
+            if exact {
+                chans.merge_external(&d, comm);
+            } else {
+                let kept: Vec<SpanDelta> =
+                    d.into_iter().filter(|sd| !span_buckets(sd).any(|k| touched.contains(&k))).collect();
+                chans.merge_external(&kept, comm);
+            }
+        }
+    }
+    // The full channel state travels every sync (one track count per
+    // channel column).
+    exchange_snapshot(chans.num_channels() * chans.width() as usize * 4, comm);
+    comm.compute(cost::MERGE_COL * chans.width() as u64 * chans.num_channels() as u64 / 8);
+}
+
+/// Run the net-wise algorithm on the calling rank. Returns the global
+/// result on rank 0, `None` elsewhere.
+pub fn route_netwise(circuit: &Circuit, cfg: &RouterConfig, kind: PartitionKind, comm: &mut Comm) -> Option<RoutingResult> {
+    let size = comm.size();
+    let rank = comm.rank();
+    assert!(size <= circuit.num_rows(), "feedthrough assignment partitions rows: need one per rank");
+    let all_rows = circuit.num_rows();
+    let rows = RowPartition::balanced(circuit, size);
+    let mut rng = rng_from_seed(derive_seed(cfg.seed, rank as u64));
+
+    // Replicated front end: every rank builds whole-circuit structures.
+    comm.phase("setup");
+    distribute(circuit, true, comm);
+
+    // Step 1: Steiner trees for owned (whole) nets.
+    comm.phase("steiner");
+    let owners = partition_nets(circuit, kind, &rows, size, cfg.pin_weight_beta);
+    let mut works: Vec<WorkNet> = Vec::new();
+    let mut segments: Vec<Segment> = Vec::new();
+    for (i, &owner) in owners.iter().enumerate() {
+        if owner as usize != rank {
+            continue;
+        }
+        let mut w = whole_net(circuit, NetId::from_index(i));
+        if w.nodes.len() >= 2 {
+            let segs = build_segments_with(&w, cfg.steiner_refine, comm);
+            if cfg.steiner_refine {
+                crate::route::serial::register_steiner_nodes(&mut w, &segs);
+            }
+            segments.extend(segs);
+            works.push(w);
+        }
+    }
+
+    // Step 2: coarse routing against a replicated global grid, with
+    // periodic synchronization every `sync_period` decisions. The
+    // replicated copy is kept coarser than the serial grid to bound the
+    // per-rank state and the all-channel synchronization volume.
+    comm.phase("coarse");
+    let grid_w = if size > 1 { cfg.grid_w * cfg.netwise_grid_factor.max(1) } else { cfg.grid_w };
+    let mut coarse = CoarseState::new(0, all_rows, circuit.width, grid_w);
+    comm.charge_alloc(coarse.modeled_bytes());
+    coarse.enable_logging();
+    let mut orients = coarse.init_random(&segments, &mut rng, comm);
+    let sp = cfg.sync_period.max(1);
+    for _ in 0..cfg.coarse_passes {
+        let order = shuffled_indices(segments.len(), &mut rng);
+        let rounds = comm.allreduce(order.len().div_ceil(sp) as u64, u64::max);
+        let mut changed = 0u64;
+        for r in 0..rounds as usize {
+            let chunk = &order[(r * sp).min(order.len())..((r + 1) * sp).min(order.len())];
+            changed += coarse.improve_slice(&segments, &mut orients, chunk, cfg, comm) as u64;
+            sync_coarse(&mut coarse, cfg.netwise_exact_sync, comm);
+        }
+        if comm.allreduce(changed, |a, b| a + b) == 0 {
+            break;
+        }
+    }
+
+    // Step 3: the demand grid is now consistent on every rank; the
+    // insertion bookkeeping is replicated (not parallelized). Crossings
+    // go to the rank owning their row ("each processor has to own a copy
+    // of all the segments which cross its rows"), assignments come back
+    // to the net owner.
+    comm.phase("feedthrough");
+    let plan = FtPlan::new(0, coarse.into_demand(), grid_w, cfg.ft_width);
+    comm.compute(cost::FT_INSERT_CELL * circuit.num_cells() as u64);
+    let mut cross_out: Vec<Vec<Crossing>> = vec![Vec::new(); size];
+    for c in crossings_of(&segments, &orients) {
+        cross_out[rows.owner(RowId(c.row))].push(c);
+    }
+    let my_crossings: Vec<Crossing> = comm.alltoall(cross_out).into_iter().flatten().collect();
+    let assigned = assign(&plan, &my_crossings, comm);
+    let mut ft_out: Vec<Vec<(u32, Node)>> = vec![Vec::new(); size];
+    for (net, node) in assigned {
+        ft_out[owners[net.index()] as usize].push((net.0, node));
+    }
+    let ft_nodes: Vec<(NetId, Node)> = comm.alltoall(ft_out).into_iter().flatten().map(|(n, nd)| (NetId(n), nd)).collect();
+    shift_pins(&mut works, &plan);
+    attach_feedthroughs(&mut works, ft_nodes);
+
+    // Step 4: connect owned nets against the replicated channel state.
+    comm.phase("connect");
+    let chip_width = circuit.width + plan.max_growth();
+    let mut chans = ChannelState::new(0, all_rows + 1, chip_width);
+    comm.charge_alloc(chans.modeled_bytes());
+    chans.enable_logging();
+    let mut spans: Vec<Span> = Vec::new();
+    let mut wirelength = 0u64;
+    for w in &works {
+        let conn = connect_net(w, comm);
+        debug_assert!(conn.spanning, "whole net must span");
+        wirelength += conn.wirelength;
+        spans.extend(conn.spans);
+    }
+    comm.compute(cost::SPAN_APPLY * spans.len() as u64);
+    for s in &spans {
+        chans.add_span(s, 1);
+    }
+
+    // Step 5: switchable optimization on owned nets, replicated state,
+    // periodic sync. There is no full baseline exchange — a rank sees
+    // remote spans only once a periodic sync delivers them (the paper
+    // describes exactly this blindness: "all processors could assign the
+    // same switchable net segments to the same channel"), and the stale
+    // views between syncs are the interference it blames for the
+    // quality loss.
+    comm.phase("switchable");
+    let candidates = switchable_candidates(&spans);
+    for _ in 0..cfg.switch_passes {
+        let perm = shuffled_indices(candidates.len(), &mut rng);
+        let order: Vec<u32> = perm.iter().map(|&k| candidates[k as usize]).collect();
+        let rounds = comm.allreduce(order.len().div_ceil(sp) as u64, u64::max);
+        let mut flips = 0u64;
+        for r in 0..rounds as usize {
+            let chunk = &order[(r * sp).min(order.len())..((r + 1) * sp).min(order.len())];
+            flips += optimize_slice(&mut chans, &mut spans, chunk, comm) as u64;
+            sync_chans(&mut chans, cfg.netwise_exact_sync, comm);
+        }
+        if comm.allreduce(flips, |a, b| a + b) == 0 {
+            break;
+        }
+    }
+
+    comm.phase("assemble");
+    gather_result(circuit, cfg, spans, wirelength, plan.total(), chip_width, comm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::route_serial;
+    use pgr_circuit::{generate, GeneratorConfig};
+    use pgr_mpi::{run, MachineModel};
+
+    fn small() -> Circuit {
+        generate(&GeneratorConfig::small("netwise-test", 21))
+    }
+
+    fn run_netwise(circuit: &Circuit, cfg: &RouterConfig, procs: usize, kind: PartitionKind) -> (RoutingResult, f64) {
+        let report = run(procs, MachineModel::sparc_center_1000(), |comm| route_netwise(circuit, cfg, kind, comm));
+        let result = report.results.iter().flatten().next().expect("rank 0 result").clone();
+        (result, report.makespan())
+    }
+
+    #[test]
+    fn single_rank_matches_serial_exactly() {
+        let c = small();
+        let cfg = RouterConfig::with_seed(5);
+        let serial = route_serial(&c, &cfg, &mut Comm::solo(MachineModel::ideal()));
+        let (par, _) = run_netwise(&c, &cfg, 1, PartitionKind::PinWeight);
+        assert_eq!(par, serial, "P=1 net-wise is the serial algorithm");
+    }
+
+    #[test]
+    fn multi_rank_routes_with_degradation() {
+        let c = small();
+        let cfg = RouterConfig::with_seed(5);
+        let serial = route_serial(&c, &cfg, &mut Comm::solo(MachineModel::ideal()));
+        for procs in [2, 4] {
+            let (par, _) = run_netwise(&c, &cfg, procs, PartitionKind::PinWeight);
+            let scaled = par.scaled_tracks(&serial);
+            assert!((0.85..1.5).contains(&scaled), "P={procs}: scaled {scaled}");
+            assert!(par.span_count() > 0);
+        }
+    }
+
+    #[test]
+    fn all_partitions_work_in_parallel() {
+        let c = small();
+        let cfg = RouterConfig::with_seed(2);
+        for kind in PartitionKind::ALL {
+            let (par, _) = run_netwise(&c, &cfg, 3, kind);
+            assert!(par.track_count() > 0, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn sync_period_trades_communication_for_staleness() {
+        let c = small();
+        let tight = RouterConfig { seed: 4, sync_period: 8, ..Default::default() };
+        let loose = RouterConfig { seed: 4, sync_period: 4096, ..Default::default() };
+        let run_with = |cfg: &RouterConfig| {
+            run(4, MachineModel::sparc_center_1000(), |comm| route_netwise(&c, cfg, PartitionKind::PinWeight, comm))
+        };
+        let rep_tight = run_with(&tight);
+        let rep_loose = run_with(&loose);
+        // Distribution and the final gather are a fixed floor; the sync
+        // traffic on top must grow clearly with the frequency.
+        assert!(
+            rep_tight.total_bytes_sent() as f64 > 1.2 * rep_loose.total_bytes_sent() as f64,
+            "frequent sync moves more data: {} vs {}",
+            rep_tight.total_bytes_sent(),
+            rep_loose.total_bytes_sent()
+        );
+        let tracks = |rep: &pgr_mpi::RunReport<Option<RoutingResult>>| {
+            rep.results.iter().flatten().next().unwrap().track_count()
+        };
+        // Quality stays in the same ballpark either way on a small
+        // circuit (the degradation driver is the coarse replicated grid).
+        let (qt, ql) = (tracks(&rep_tight), tracks(&rep_loose));
+        assert!((qt - ql).abs() * 10 < ql, "{qt} vs {ql}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = small();
+        let cfg = RouterConfig::with_seed(6);
+        let a = run_netwise(&c, &cfg, 3, PartitionKind::Center);
+        let b = run_netwise(&c, &cfg, 3, PartitionKind::Center);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn memory_is_replicated() {
+        let c = small();
+        let cfg = RouterConfig::with_seed(1);
+        let four = run(4, MachineModel::sparc_center_1000(), |comm| {
+            route_netwise(&c, &cfg, PartitionKind::PinWeight, comm)
+        });
+        let est = c.estimated_routing_bytes();
+        for s in &four.stats {
+            assert!(s.peak_mem >= est, "rank {} holds the whole circuit", s.rank);
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Net-partitioning heuristics (§5).
+//!
+//! The net-wise pin partition (and the net-parallel phases of the
+//! row-wise and hybrid algorithms — Steiner construction and whole-net
+//! connection) needs every net assigned to an owner rank. "The goal of
+//! this task is to balance the work load and to make the pins on the same
+//! partition have as much data locality as possible."
+//!
+//! The paper's generic scheme associates a weight with each net, sorts
+//! the weight array, then assigns nets in that order to one processor
+//! until its pin count exceeds the average. Four weights are proposed:
+//!
+//! * **Center** — the mean row coordinate of the net's pins (vertically
+//!   close nets interact through the same channels);
+//! * **Locus** — the lower-left corner of the bounding box, x major and
+//!   y breaking ties (clusters geometrically related nets; after Rose's
+//!   LocusRoute);
+//! * **Density** — the index of the processor (row block) holding most
+//!   of the net's pins;
+//! * **PinWeight(β)** — `-(pins^β)`: large nets first. Because Steiner
+//!   construction is Θ(d²), the few giant clock nets dominate; they are
+//!   scheduled first and spread round-robin so no processor gets them
+//!   all.
+
+use pgr_circuit::{Circuit, NetId, RowPartition};
+
+/// Which §5 heuristic to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionKind {
+    Center,
+    Locus,
+    Density,
+    /// The paper's recommended default.
+    PinWeight,
+}
+
+impl PartitionKind {
+    pub const ALL: [PartitionKind; 4] = [PartitionKind::Center, PartitionKind::Locus, PartitionKind::Density, PartitionKind::PinWeight];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            PartitionKind::Center => "center",
+            PartitionKind::Locus => "locus",
+            PartitionKind::Density => "density",
+            PartitionKind::PinWeight => "pin-weight",
+        }
+    }
+}
+
+/// Assign every net an owner rank in `0..parts`.
+///
+/// `rows` is the contiguous row partition of the same run (the density
+/// heuristic counts pins per row block). `beta` is the pin-weight
+/// exponent. Deterministic: every rank computes the same assignment.
+///
+/// ```
+/// use pgr_circuit::{generate, GeneratorConfig, RowPartition};
+/// use pgr_router::parallel::partition::{partition_nets, PartitionKind};
+/// let c = generate(&GeneratorConfig::small("demo", 1));
+/// let rows = RowPartition::balanced(&c, 4);
+/// let owner = partition_nets(&c, PartitionKind::PinWeight, &rows, 4, 1.6);
+/// assert_eq!(owner.len(), c.num_nets());
+/// assert!(owner.iter().all(|&o| o < 4));
+/// ```
+pub fn partition_nets(circuit: &Circuit, kind: PartitionKind, rows: &RowPartition, parts: usize, beta: f64) -> Vec<u32> {
+    assert!(parts > 0);
+    assert_eq!(rows.parts(), parts, "row partition must match rank count");
+    let n = circuit.num_nets();
+    if parts == 1 {
+        return vec![0; n];
+    }
+    match kind {
+        PartitionKind::PinWeight => pin_weight(circuit, parts, beta),
+        _ => {
+            let mut keyed: Vec<(f64, u32, usize)> = (0..n)
+                .map(|i| {
+                    let net = NetId::from_index(i);
+                    let key = match kind {
+                        PartitionKind::Center => center_key(circuit, net),
+                        PartitionKind::Locus => locus_key(circuit, net),
+                        PartitionKind::Density => density_key(circuit, net, rows),
+                        PartitionKind::PinWeight => unreachable!(),
+                    };
+                    (key, i as u32, circuit.nets[i].degree())
+                })
+                .collect();
+            keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite keys").then(a.1.cmp(&b.1)));
+            fill_by_pins(&keyed, circuit.num_pins(), parts, n)
+        }
+    }
+}
+
+/// Mean row coordinate of the net's pins.
+fn center_key(circuit: &Circuit, net: NetId) -> f64 {
+    let pins = &circuit.nets[net.index()].pins;
+    let sum: i64 = pins.iter().map(|&p| circuit.pin_row(p).index() as i64).sum();
+    sum as f64 / pins.len() as f64
+}
+
+/// Lower-left bounding-box corner, x major, y to break ties.
+fn locus_key(circuit: &Circuit, net: NetId) -> f64 {
+    let bb = circuit.net_bbox(net);
+    let ll = bb.lower_left();
+    // y is bounded by the row count, so dividing by a large constant
+    // keeps it a pure tie-breaker.
+    ll.x as f64 + ll.y as f64 / 1e6
+}
+
+/// Index of the row block holding the most pins of the net.
+fn density_key(circuit: &Circuit, net: NetId, rows: &RowPartition) -> f64 {
+    let mut counts = vec![0u32; rows.parts()];
+    for &p in &circuit.nets[net.index()].pins {
+        counts[rows.owner(circuit.pin_row(p))] += 1;
+    }
+    let best = counts.iter().enumerate().max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i))).expect("nonempty").0;
+    best as f64
+}
+
+/// The paper's generic filling scheme: walk the sorted nets, filling one
+/// processor until its pin count reaches the running average share.
+fn fill_by_pins(sorted: &[(f64, u32, usize)], total_pins: usize, parts: usize, n: usize) -> Vec<u32> {
+    let mut owner = vec![0u32; n];
+    let mut part = 0usize;
+    let mut pins_here = 0usize;
+    for &(_, net, degree) in sorted {
+        owner[net as usize] = part as u32;
+        pins_here += degree;
+        // Move on once this part holds its share of all pins.
+        if pins_here >= total_pins * (part + 1) / parts && part + 1 < parts {
+            part += 1;
+        }
+    }
+    owner
+}
+
+/// Pin-number-weight: sort by descending `pins^β`, then place each net on
+/// the currently lightest processor (weight-balanced; equal-weight giants
+/// fall round-robin, exactly the paper's "evenly distribute large nets in
+/// a round-robin manner").
+fn pin_weight(circuit: &Circuit, parts: usize, beta: f64) -> Vec<u32> {
+    let n = circuit.num_nets();
+    let mut order: Vec<(u32, f64)> = (0..n)
+        .map(|i| (i as u32, (circuit.nets[i].degree() as f64).powf(beta)))
+        .collect();
+    order.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    let mut owner = vec![0u32; n];
+    let mut load = vec![0.0f64; parts];
+    for (net, w) in order {
+        // Lightest part; ties go to the lowest index, so equal weights
+        // rotate 0, 1, 2, … round-robin.
+        let p = load.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).expect("finite").then(a.0.cmp(&b.0))).expect("parts > 0").0;
+        owner[net as usize] = p as u32;
+        load[p] += w;
+    }
+    owner
+}
+
+/// Pin count per owner (for balance assertions and reporting).
+pub fn pins_per_owner(circuit: &Circuit, owner: &[u32], parts: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; parts];
+    for (i, &o) in owner.iter().enumerate() {
+        counts[o as usize] += circuit.nets[i].degree();
+    }
+    counts
+}
+
+/// Steiner-construction cost per owner: Σ degree², the Θ(d²) MST work the
+/// pin-weight partition is designed to balance.
+pub fn steiner_cost_per_owner(circuit: &Circuit, owner: &[u32], parts: usize) -> Vec<u64> {
+    let mut costs = vec![0u64; parts];
+    for (i, &o) in owner.iter().enumerate() {
+        let d = circuit.nets[i].degree() as u64;
+        costs[o as usize] += d * d;
+    }
+    costs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgr_circuit::{generate, GeneratorConfig};
+
+    fn circuit_with_clock() -> Circuit {
+        let mut cfg = GeneratorConfig::small("part", 3);
+        cfg.nets = 120;
+        cfg.pins = 800;
+        cfg.clock_nets = vec![160, 80];
+        generate(&cfg)
+    }
+
+    fn check_valid(owner: &[u32], parts: usize) {
+        assert!(owner.iter().all(|&o| (o as usize) < parts));
+        for p in 0..parts as u32 {
+            assert!(owner.contains(&p), "part {p} owns at least one net");
+        }
+    }
+
+    #[test]
+    fn all_heuristics_produce_valid_balanced_partitions() {
+        let c = circuit_with_clock();
+        let parts = 4;
+        let rp = RowPartition::balanced(&c, parts);
+        for kind in PartitionKind::ALL {
+            let owner = partition_nets(&c, kind, &rp, parts, 1.6);
+            check_valid(&owner, parts);
+            let pins = pins_per_owner(&c, &owner, parts);
+            let total: usize = pins.iter().sum();
+            assert_eq!(total, c.num_pins());
+            let avg = total / parts;
+            for (p, &cnt) in pins.iter().enumerate() {
+                assert!(cnt <= avg * 2 + 200, "{}: part {p} holds {cnt} of avg {avg}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn single_part_owns_everything() {
+        let c = circuit_with_clock();
+        let rp = RowPartition::balanced(&c, 1);
+        let owner = partition_nets(&c, PartitionKind::PinWeight, &rp, 1, 1.6);
+        assert!(owner.iter().all(|&o| o == 0));
+    }
+
+    #[test]
+    fn pin_weight_spreads_giant_nets() {
+        let mut cfg = GeneratorConfig::small("giants", 9);
+        cfg.nets = 110;
+        cfg.pins = 1000;
+        cfg.clock_nets = vec![100, 100, 100, 100];
+        let c = generate(&cfg);
+        let parts = 4;
+        let rp = RowPartition::balanced(&c, parts);
+        let owner = partition_nets(&c, PartitionKind::PinWeight, &rp, parts, 1.6);
+        // The four equal giants land on four distinct parts (round-robin).
+        let giant_owners: std::collections::HashSet<u32> = c
+            .nets
+            .iter()
+            .filter(|n| n.degree() == 100)
+            .map(|n| owner[n.id.index()])
+            .collect();
+        assert_eq!(giant_owners.len(), 4, "giants spread over all parts");
+        // And the Θ(d²) Steiner cost is far better balanced than a
+        // pin-count filling would make it.
+        let costs = steiner_cost_per_owner(&c, &owner, parts);
+        let max = *costs.iter().max().unwrap() as f64;
+        let min = *costs.iter().min().unwrap() as f64;
+        assert!(max / min < 1.5, "steiner cost balanced: {costs:?}");
+    }
+
+    #[test]
+    fn center_partition_groups_vertically() {
+        let c = generate(&GeneratorConfig::small("center", 4));
+        let parts = 2;
+        let rp = RowPartition::balanced(&c, parts);
+        let owner = partition_nets(&c, PartitionKind::Center, &rp, parts, 1.6);
+        check_valid(&owner, parts);
+        // Part 0 holds the vertically lower nets on average.
+        let mean_center = |p: u32| {
+            let (mut sum, mut cnt) = (0.0, 0);
+            for (i, &o) in owner.iter().enumerate() {
+                if o == p {
+                    sum += center_key(&c, NetId::from_index(i));
+                    cnt += 1;
+                }
+            }
+            sum / cnt as f64
+        };
+        assert!(mean_center(0) < mean_center(1));
+    }
+
+    #[test]
+    fn density_partition_respects_locality() {
+        let c = generate(&GeneratorConfig::small("density", 5));
+        let parts = 4;
+        let rp = RowPartition::balanced(&c, parts);
+        let owner = partition_nets(&c, PartitionKind::Density, &rp, parts, 1.6);
+        check_valid(&owner, parts);
+        // For most nets, the owner ranks close to where its pins live
+        // (the filling scheme only smears boundaries for balance).
+        let mut aligned = 0;
+        for i in 0..c.num_nets() {
+            let key = density_key(&c, NetId::from_index(i), &rp) as i64;
+            if (key - owner[i] as i64).abs() <= 1 {
+                aligned += 1;
+            }
+        }
+        assert!(aligned * 10 >= c.num_nets() * 7, "{aligned}/{} nets near their density home", c.num_nets());
+    }
+
+    #[test]
+    fn partitions_are_deterministic() {
+        let c = circuit_with_clock();
+        let rp = RowPartition::balanced(&c, 3);
+        for kind in PartitionKind::ALL {
+            let a = partition_nets(&c, kind, &rp, 3, 1.6);
+            let b = partition_nets(&c, kind, &rp, 3, 1.6);
+            assert_eq!(a, b, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn beta_shifts_balance_towards_big_nets() {
+        let c = circuit_with_clock();
+        let rp = RowPartition::balanced(&c, 4);
+        let low = partition_nets(&c, PartitionKind::PinWeight, &rp, 4, 0.5);
+        let high = partition_nets(&c, PartitionKind::PinWeight, &rp, 4, 3.0);
+        let imbalance = |owner: &[u32]| {
+            let costs = steiner_cost_per_owner(&c, owner, 4);
+            *costs.iter().max().unwrap() as f64 / *costs.iter().min().unwrap().max(&1) as f64
+        };
+        assert!(imbalance(&high) <= imbalance(&low) + 0.5, "higher β can only help d² balance");
+    }
+}

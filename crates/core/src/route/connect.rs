@@ -1,0 +1,204 @@
+//! Step 4: final net connection.
+//!
+//! "The fourth step connects the feedthroughs of each net with regular
+//! pins of that net by building a minimum spanning tree from a complete
+//! graph of the pins and feedthroughs in the adjacent rows." (§2)
+//!
+//! Each work net's nodes (pins at their post-insertion positions, any
+//! partition-boundary fake pins, and the feedthroughs assigned in step 3)
+//! are joined by an MST restricted to same-row and adjacent-row edges —
+//! a wire can only live in the channel between the rows it connects.
+//! Every MST edge materializes as at most one horizontal [`Span`]; the
+//! vertical parts ride the feedthroughs and only contribute wirelength.
+
+use crate::cost;
+use crate::metrics::ROW_HEIGHT;
+use crate::route::state::{ChannelPref, Span, WorkNet};
+use pgr_geom::{mst_adjacency_limited, Point};
+use pgr_mpi::Comm;
+
+/// The routed form of one work net.
+#[derive(Debug, Clone)]
+pub struct Connection {
+    pub spans: Vec<Span>,
+    pub wirelength: u64,
+    /// Whether the restricted MST spanned all nodes. Whole nets must
+    /// span; a sub-net fragment may legitimately be a forest (its
+    /// components meet through fake pins on other ranks).
+    pub spanning: bool,
+}
+
+/// Connect one work net. Nodes must already be at their post-insertion
+/// positions and include the net's assigned feedthroughs.
+pub fn connect_net(work: &WorkNet, comm: &mut Comm) -> Connection {
+    let n = work.nodes.len();
+    if n < 2 {
+        return Connection { spans: Vec::new(), wirelength: 0, spanning: true };
+    }
+    // Canonical node order: the result must not depend on which rank
+    // assembled the node list or in what order fragments arrived.
+    let mut nodes = work.nodes.clone();
+    nodes.sort_unstable_by_key(|nd| nd.sort_key());
+    let work = &WorkNet { net: work.net, nodes };
+
+    // Charge the candidate-edge work the bucketed Kruskal actually does:
+    // same-row pairs plus adjacent-row pairs.
+    let mut per_row = std::collections::BTreeMap::<u32, u64>::new();
+    for nd in &work.nodes {
+        *per_row.entry(nd.row).or_insert(0) += 1;
+    }
+    let mut cand: u64 = 0;
+    let mut prev: Option<(u32, u64)> = None;
+    for (&row, &cnt) in &per_row {
+        cand += cnt * cnt.saturating_sub(1) / 2;
+        if let Some((prow, pcnt)) = prev {
+            if prow + 1 == row {
+                cand += pcnt * cnt;
+            }
+        }
+        prev = Some((row, cnt));
+    }
+    comm.compute(cost::CONNECT_PAIR * cand + cost::MST_NODE * n as u64);
+
+    let points: Vec<Point> = work.nodes.iter().map(|nd| Point::new(nd.x, nd.row as i64)).collect();
+    let rows: Vec<i64> = work.nodes.iter().map(|nd| nd.row as i64).collect();
+    let mst = mst_adjacency_limited(&points, &rows);
+
+    let mut spans = Vec::with_capacity(mst.edges.len());
+    let mut wirelength = 0u64;
+    for e in &mst.edges {
+        let a = &work.nodes[e.a as usize];
+        let b = &work.nodes[e.b as usize];
+        let (lo, hi) = (a.x.min(b.x), a.x.max(b.x));
+        let drow = a.row.abs_diff(b.row);
+        debug_assert!(drow <= 1, "adjacency-limited MST edge");
+        wirelength += (hi - lo) as u64 + drow as u64 * ROW_HEIGHT as u64;
+
+        if a.row == b.row {
+            if lo == hi {
+                continue; // coincident nodes: no horizontal wire
+            }
+            let row = a.row;
+            let switchable = a.switchable() && b.switchable();
+            let channel = if switchable {
+                row // provisional: step 5 may flip it to row + 1
+            } else if a.pref == ChannelPref::Upper || b.pref == ChannelPref::Upper {
+                row + 1
+            } else {
+                row
+            };
+            spans.push(Span { net: work.net, channel, lo, hi, switch_row: switchable.then_some(row) });
+        } else {
+            // Adjacent rows: the wire lives in the single channel between
+            // them (channel index = upper row). Zero horizontal extent
+            // means a straight vertical hop.
+            if lo == hi {
+                continue;
+            }
+            let channel = a.row.max(b.row);
+            spans.push(Span { net: work.net, channel, lo, hi, switch_row: None });
+        }
+    }
+    Connection { spans, wirelength, spanning: mst.spanning }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::state::{Node, NodeKind};
+    use pgr_circuit::NetId;
+    use pgr_mpi::MachineModel;
+
+    fn comm() -> Comm {
+        Comm::solo(MachineModel::ideal())
+    }
+
+    fn work(nodes: Vec<Node>) -> WorkNet {
+        WorkNet { net: NetId(1), nodes }
+    }
+
+    #[test]
+    fn trivial_nets() {
+        let c = connect_net(&work(vec![]), &mut comm());
+        assert!(c.spans.is_empty() && c.spanning);
+        let c = connect_net(&work(vec![Node::fake(3, 1)]), &mut comm());
+        assert!(c.spans.is_empty() && c.spanning);
+    }
+
+    #[test]
+    fn same_row_pair_switchable() {
+        let c = connect_net(&work(vec![Node::fake(2, 3), Node::fake(9, 3)]), &mut comm());
+        assert!(c.spanning);
+        assert_eq!(c.spans.len(), 1);
+        let s = &c.spans[0];
+        assert_eq!((s.lo, s.hi), (2, 9));
+        assert_eq!(s.channel, 3, "switchable defaults to the lower channel");
+        assert_eq!(s.switch_row, Some(3));
+        assert_eq!(c.wirelength, 7);
+    }
+
+    #[test]
+    fn same_row_pair_with_fixed_upper_pin() {
+        let mut a = Node::fake(2, 3);
+        a.pref = ChannelPref::Upper;
+        a.kind = NodeKind::Pin(0);
+        let c = connect_net(&work(vec![a, Node::fake(9, 3)]), &mut comm());
+        let s = &c.spans[0];
+        assert_eq!(s.channel, 4, "fixed top-side pin forces the upper channel");
+        assert_eq!(s.switch_row, None);
+    }
+
+    #[test]
+    fn adjacent_row_pair_uses_between_channel() {
+        let c = connect_net(&work(vec![Node::fake(2, 3), Node::fake(9, 4)]), &mut comm());
+        let s = &c.spans[0];
+        assert_eq!(s.channel, 4, "channel between rows 3 and 4");
+        assert_eq!(s.switch_row, None);
+        assert_eq!(c.wirelength, 7 + ROW_HEIGHT as u64);
+    }
+
+    #[test]
+    fn vertical_hop_produces_no_span_but_counts_length() {
+        let c = connect_net(&work(vec![Node::fake(5, 1), Node::fake(5, 2)]), &mut comm());
+        assert!(c.spans.is_empty());
+        assert_eq!(c.wirelength, ROW_HEIGHT as u64);
+        assert!(c.spanning);
+    }
+
+    #[test]
+    fn feedthrough_chain_spans_rows() {
+        // Pins on rows 0 and 3, feedthroughs on rows 1 and 2 (as step 3
+        // would assign them for one vertical crossing).
+        let nodes = vec![
+            Node::pin(0, 4, 0, ChannelPref::Either),
+            Node::feedthrough(4, 1),
+            Node::feedthrough(4, 2),
+            Node::pin(1, 10, 3, ChannelPref::Either),
+        ];
+        let c = connect_net(&work(nodes), &mut comm());
+        assert!(c.spanning);
+        // Vertical hops 0-1, 1-2 are spanless; the 2-3 edge has dx=6.
+        assert_eq!(c.spans.len(), 1);
+        assert_eq!(c.spans[0].channel, 3);
+        assert_eq!(c.wirelength, 3 * ROW_HEIGHT as u64 + 6);
+    }
+
+    #[test]
+    fn fragment_forest_is_reported_not_fatal() {
+        // Two clusters on rows 0 and 5: disconnected under adjacency
+        // limits (a sub-net whose link lives on another rank).
+        let nodes = vec![Node::fake(0, 0), Node::fake(4, 0), Node::fake(0, 5), Node::fake(4, 5)];
+        let c = connect_net(&work(nodes), &mut comm());
+        assert!(!c.spanning);
+        assert_eq!(c.spans.len(), 2, "each cluster still connects internally");
+    }
+
+    #[test]
+    fn connection_is_deterministic() {
+        let nodes: Vec<Node> = (0..12).map(|i| Node::fake((i * 7) % 23, (i % 4) as u32)).collect();
+        let a = connect_net(&work(nodes.clone()), &mut comm());
+        let b = connect_net(&work(nodes), &mut comm());
+        assert_eq!(a.spans, b.spans);
+        assert_eq!(a.wirelength, b.wirelength);
+    }
+}

@@ -1,0 +1,361 @@
+//! Step 5: switchable-segment channel optimization, plus the
+//! full-resolution channel state it operates on.
+//!
+//! "To optimize the channel placement of each switchable net segment, and
+//! reduce the order dependence of the segment processed, the fifth step
+//! randomly picks one switchable net segment and determines its channel
+//! by evaluating the channel track change when the segment is flipped to
+//! the opposite channel." (§2)
+//!
+//! [`ChannelState`] is the column-resolution congestion state of a range
+//! of channels. It supports background merging (row-wise boundary
+//! synchronization, §4) and sparse delta logging (net-wise replicated
+//! state synchronization, §5).
+
+use crate::config::RouterConfig;
+use crate::cost;
+use crate::route::state::Span;
+use pgr_geom::DensityProfile;
+use pgr_mpi::wire::{Reader, Wire, WireError};
+use pgr_mpi::Comm;
+use rand::rngs::SmallRng;
+
+/// One logged channel update: `sign` added over `[lo, hi]` of `chan`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanDelta {
+    pub chan: u32,
+    pub lo: i64,
+    pub hi: i64,
+    pub sign: i32,
+}
+
+impl Wire for SpanDelta {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.chan.encode(out);
+        self.lo.encode(out);
+        self.hi.encode(out);
+        self.sign.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SpanDelta { chan: u32::decode(r)?, lo: i64::decode(r)?, hi: i64::decode(r)?, sign: i32::decode(r)? })
+    }
+}
+
+/// Column-resolution congestion over channels `chan0 ..= chan0 + n - 1`.
+pub struct ChannelState {
+    chan0: u32,
+    width: i64,
+    profiles: Vec<DensityProfile>,
+    log: Option<Vec<SpanDelta>>,
+}
+
+impl ChannelState {
+    pub fn new(chan0: u32, nchannels: usize, width: i64) -> Self {
+        assert!(nchannels > 0 && width > 0);
+        ChannelState {
+            chan0,
+            width,
+            profiles: (0..nchannels).map(|_| DensityProfile::new(width as usize)).collect(),
+            log: None,
+        }
+    }
+
+    pub fn chan0(&self) -> u32 {
+        self.chan0
+    }
+
+    pub fn num_channels(&self) -> usize {
+        self.profiles.len()
+    }
+
+    pub fn width(&self) -> i64 {
+        self.width
+    }
+
+    /// Modeled memory footprint (for the per-node memory gate).
+    pub fn modeled_bytes(&self) -> u64 {
+        self.profiles.len() as u64 * (self.width as u64) * 32
+    }
+
+    fn idx(&self, channel: u32) -> usize {
+        let i = channel.checked_sub(self.chan0).expect("channel below range") as usize;
+        assert!(i < self.profiles.len(), "channel {channel} above range");
+        i
+    }
+
+    pub fn covers(&self, channel: u32) -> bool {
+        channel >= self.chan0 && ((channel - self.chan0) as usize) < self.profiles.len()
+    }
+
+    /// Add (`sign = 1`) or remove (`sign = -1`) a span.
+    pub fn add_span(&mut self, span: &Span, sign: i32) {
+        let i = self.idx(span.channel);
+        self.profiles[i].add_span(span.lo, span.hi, sign as i64);
+        if let Some(log) = &mut self.log {
+            log.push(SpanDelta { chan: span.channel, lo: span.lo, hi: span.hi, sign });
+        }
+    }
+
+    /// Peak density of a channel.
+    pub fn channel_max(&self, channel: u32) -> i64 {
+        self.profiles[self.idx(channel)].max()
+    }
+
+    /// Peak density each local channel would reach if a unit span were
+    /// added over `[lo, hi]`.
+    pub fn max_if_added(&self, channel: u32, lo: i64, hi: i64) -> i64 {
+        self.profiles[self.idx(channel)].max_if_added(lo, hi)
+    }
+
+    /// Per-column counts of a channel (for boundary exchange).
+    pub fn counts(&self, channel: u32) -> Vec<i64> {
+        self.profiles[self.idx(channel)].counts()
+    }
+
+    /// Peak density per local channel, in channel order.
+    pub fn densities(&self) -> Vec<i64> {
+        self.profiles.iter().map(|p| p.max()).collect()
+    }
+
+    /// Merge another rank's per-column counts into a channel as static
+    /// background (row-wise boundary sync). Not logged.
+    pub fn merge_background(&mut self, channel: u32, counts: &[i64], comm: &mut Comm) {
+        comm.compute(cost::MERGE_COL * counts.len() as u64);
+        let i = self.idx(channel);
+        self.profiles[i].merge_counts(counts);
+    }
+
+    /// Start sparse delta logging (net-wise replicated-state sync).
+    pub fn enable_logging(&mut self) {
+        self.log = Some(Vec::new());
+    }
+
+    /// Drain the delta log.
+    pub fn take_deltas(&mut self) -> Vec<SpanDelta> {
+        std::mem::take(self.log.as_mut().expect("logging enabled"))
+    }
+
+    /// Apply another rank's deltas (not logged). Charges per-delta update
+    /// work plus a small fixed replicated-array touch.
+    pub fn merge_external(&mut self, deltas: &[SpanDelta], comm: &mut Comm) {
+        comm.compute(cost::MERGE_COL * deltas.len() as u64 + self.width as u64 / 8);
+        for d in deltas {
+            let i = self.idx(d.chan);
+            self.profiles[i].add_span(d.lo, d.hi, d.sign as i64);
+        }
+    }
+}
+
+/// Indices of the spans step 5 may flip.
+pub fn switchable_candidates(spans: &[Span]) -> Vec<u32> {
+    spans
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.switch_row.map(|_| i as u32))
+        .collect()
+}
+
+/// One greedy sweep over `order` (indices into `spans`): each switchable
+/// span is removed, both channels are scored, and the span lands in the
+/// one with the lower resulting peak (ties keep the current channel).
+/// Returns the number of flips.
+pub fn optimize_slice(
+    chans: &mut ChannelState,
+    spans: &mut [Span],
+    order: &[u32],
+    comm: &mut Comm,
+) -> usize {
+    let mut flips = 0;
+    let mut ops = 0u64;
+    for &i in order {
+        let span = spans[i as usize];
+        let row = span.switch_row.expect("candidate is switchable");
+        let (lower, upper) = (row, row + 1);
+        debug_assert!(chans.covers(lower) && chans.covers(upper), "rank must own both channels of a switchable row");
+        chans.add_span(&span, -1);
+        let m_lower = chans.max_if_added(lower, span.lo, span.hi);
+        let m_upper = chans.max_if_added(upper, span.lo, span.hi);
+        ops += 2 * cost::SWITCH_EVAL;
+        let target = if span.channel == lower {
+            if m_upper < m_lower {
+                upper
+            } else {
+                lower
+            }
+        } else if m_lower < m_upper {
+            lower
+        } else {
+            upper
+        };
+        if target != span.channel {
+            flips += 1;
+            spans[i as usize].channel = target;
+        }
+        chans.add_span(&spans[i as usize], 1);
+    }
+    comm.compute(ops);
+    flips
+}
+
+/// The full serial driver: up to `switch_passes` randomly ordered sweeps
+/// with early exit once a sweep flips nothing.
+pub fn optimize(
+    chans: &mut ChannelState,
+    spans: &mut [Span],
+    cfg: &RouterConfig,
+    rng: &mut SmallRng,
+    comm: &mut Comm,
+) -> usize {
+    let candidates = switchable_candidates(spans);
+    let mut total = 0;
+    for _ in 0..cfg.switch_passes {
+        let perm = pgr_geom::shuffled_indices(candidates.len(), rng);
+        let order: Vec<u32> = perm.iter().map(|&k| candidates[k as usize]).collect();
+        let flips = optimize_slice(chans, spans, &order, comm);
+        total += flips;
+        if flips == 0 {
+            break;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgr_circuit::NetId;
+    use pgr_geom::rng::rng_from_seed;
+    use pgr_mpi::MachineModel;
+
+    fn comm() -> Comm {
+        Comm::solo(MachineModel::ideal())
+    }
+
+    fn span(channel: u32, lo: i64, hi: i64, switch_row: Option<u32>) -> Span {
+        Span { net: NetId(0), channel, lo, hi, switch_row }
+    }
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let mut ch = ChannelState::new(0, 3, 32);
+        let s = span(1, 4, 20, None);
+        ch.add_span(&s, 1);
+        assert_eq!(ch.channel_max(1), 1);
+        ch.add_span(&s, -1);
+        assert_eq!(ch.channel_max(1), 0);
+    }
+
+    #[test]
+    fn flip_moves_span_out_of_congested_channel() {
+        let mut ch = ChannelState::new(0, 3, 32);
+        // Congest channel 1.
+        for _ in 0..4 {
+            ch.add_span(&span(1, 0, 31, None), 1);
+        }
+        let mut spans = vec![span(1, 5, 15, Some(1))];
+        ch.add_span(&spans[0], 1);
+        let flips = optimize_slice(&mut ch, &mut spans, &[0], &mut comm());
+        assert_eq!(flips, 1);
+        assert_eq!(spans[0].channel, 2);
+        assert_eq!(ch.channel_max(1), 4);
+        assert_eq!(ch.channel_max(2), 1);
+    }
+
+    #[test]
+    fn tie_keeps_current_channel() {
+        let mut ch = ChannelState::new(0, 3, 32);
+        let mut spans = vec![span(2, 5, 15, Some(1))];
+        ch.add_span(&spans[0], 1);
+        let flips = optimize_slice(&mut ch, &mut spans, &[0], &mut comm());
+        assert_eq!(flips, 0, "equal channels: stay put");
+        assert_eq!(spans[0].channel, 2);
+        assert_eq!(ch.channel_max(2), 1);
+    }
+
+    #[test]
+    fn optimize_balances_stacked_spans() {
+        // 6 identical switchable spans initially stacked in channel 1;
+        // the optimum splits them 3/3 across channels 1 and 2.
+        let mut ch = ChannelState::new(0, 3, 32);
+        let mut spans: Vec<Span> = (0..6).map(|_| span(1, 0, 31, Some(1))).collect();
+        for s in &spans {
+            ch.add_span(s, 1);
+        }
+        let cfg = RouterConfig::default();
+        optimize(&mut ch, &mut spans, &cfg, &mut rng_from_seed(3), &mut comm());
+        assert_eq!(ch.channel_max(1) + ch.channel_max(2), 6);
+        assert_eq!(ch.channel_max(1), 3);
+        assert_eq!(ch.channel_max(2), 3);
+    }
+
+    #[test]
+    fn optimize_is_deterministic_per_seed() {
+        let cfg = RouterConfig::default();
+        let build = || {
+            let mut ch = ChannelState::new(0, 4, 64);
+            let mut spans: Vec<Span> = (0..20)
+                .map(|i| span(1 + (i % 2) as u32, (i * 3) % 40, (i * 3) % 40 + 20, Some(1 + (i % 2) as u32 - if i % 2 == 1 { 1 } else { 0 })))
+                .collect();
+            // Normalize: switch_row must be channel or channel-1.
+            for s in spans.iter_mut() {
+                s.switch_row = Some(s.channel.min(2));
+                s.channel = s.switch_row.unwrap();
+            }
+            for s in &spans {
+                ch.add_span(s, 1);
+            }
+            (ch, spans)
+        };
+        let (mut ch1, mut sp1) = build();
+        optimize(&mut ch1, &mut sp1, &cfg, &mut rng_from_seed(9), &mut comm());
+        let (mut ch2, mut sp2) = build();
+        optimize(&mut ch2, &mut sp2, &cfg, &mut rng_from_seed(9), &mut comm());
+        assert_eq!(sp1, sp2);
+        assert_eq!(ch1.densities(), ch2.densities());
+    }
+
+    #[test]
+    fn background_merge_influences_decisions() {
+        // A neighbor rank reports heavy load in channel 2 (the upper
+        // option); the local span must stay in channel 1.
+        let mut ch = ChannelState::new(1, 2, 16); // channels 1, 2
+        let mut spans = vec![span(1, 0, 15, Some(1))];
+        ch.add_span(&spans[0], 1);
+        ch.add_span(&span(1, 0, 15, None), 1); // make lower look busy (2 vs 0)
+        let neighbor = vec![5i64; 16];
+        ch.merge_background(2, &neighbor, &mut comm());
+        let flips = optimize_slice(&mut ch, &mut spans, &[0], &mut comm());
+        assert_eq!(flips, 0, "background keeps the span below");
+        assert_eq!(spans[0].channel, 1);
+    }
+
+    #[test]
+    fn delta_log_replays_remotely() {
+        let mut a = ChannelState::new(0, 3, 32);
+        a.enable_logging();
+        a.add_span(&span(1, 2, 9, None), 1);
+        a.add_span(&span(2, 0, 31, None), 1);
+        a.add_span(&span(1, 2, 9, None), -1);
+        let deltas = a.take_deltas();
+        assert_eq!(deltas.len(), 3);
+
+        let mut b = ChannelState::new(0, 3, 32);
+        b.merge_external(&deltas, &mut comm());
+        for c in 0..3 {
+            assert_eq!(a.channel_max(c), b.channel_max(c), "channel {c}");
+        }
+        assert!(a.take_deltas().is_empty(), "drained");
+    }
+
+    #[test]
+    fn candidates_filters_switchable() {
+        let spans = vec![span(0, 0, 1, None), span(1, 0, 1, Some(1)), span(2, 0, 1, None), span(3, 0, 1, Some(3))];
+        assert_eq!(switchable_candidates(&spans), vec![1, 3]);
+    }
+
+    #[test]
+    fn span_delta_wire_roundtrip() {
+        let d = SpanDelta { chan: 4, lo: -1, hi: 99, sign: -1 };
+        assert_eq!(SpanDelta::from_bytes(&d.to_bytes()).unwrap(), d);
+    }
+}

@@ -1,0 +1,231 @@
+//! Independent verification of routed solutions.
+//!
+//! A [`crate::RoutingResult`] carries the full span list, so its derived
+//! metrics can be re-checked from scratch — catching any divergence
+//! between the incremental bookkeeping the routers maintain and the
+//! solution they report. The parallel drivers in particular merge spans
+//! produced on many ranks; these checks guard that assembly.
+
+use crate::metrics::RoutingResult;
+use crate::route::switchable::ChannelState;
+use pgr_circuit::Circuit;
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A span's channel index is outside `0 ..= rows`.
+    ChannelOutOfRange { span: usize, channel: u32 },
+    /// A span's columns fall outside `0 .. chip_width`.
+    SpanOutOfBounds { span: usize, lo: i64, hi: i64 },
+    /// A span is inverted or empty (`lo >= hi`).
+    DegenerateSpan { span: usize, lo: i64, hi: i64 },
+    /// A switchable span sits in neither of its two legal channels.
+    SwitchRowMismatch { span: usize, channel: u32, switch_row: u32 },
+    /// The reported per-channel density differs from a recount.
+    DensityMismatch { channel: usize, reported: i64, recount: i64 },
+    /// The reported wirelength is less than the spans' horizontal length
+    /// alone (vertical runs only add to it).
+    WirelengthTooSmall { reported: u64, horizontal_only: u64 },
+    /// The density vector has the wrong number of channels.
+    ChannelCountMismatch { reported: usize, expected: usize },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::ChannelOutOfRange { span, channel } => write!(f, "span {span}: channel {channel} out of range"),
+            Violation::SpanOutOfBounds { span, lo, hi } => write!(f, "span {span}: [{lo},{hi}] outside the chip"),
+            Violation::DegenerateSpan { span, lo, hi } => write!(f, "span {span}: degenerate extent [{lo},{hi}]"),
+            Violation::SwitchRowMismatch { span, channel, switch_row } => {
+                write!(f, "span {span}: channel {channel} not in {{{switch_row}, {}}}", switch_row + 1)
+            }
+            Violation::DensityMismatch { channel, reported, recount } => {
+                write!(f, "channel {channel}: reported density {reported}, recount {recount}")
+            }
+            Violation::WirelengthTooSmall { reported, horizontal_only } => {
+                write!(f, "wirelength {reported} below horizontal span total {horizontal_only}")
+            }
+            Violation::ChannelCountMismatch { reported, expected } => {
+                write!(f, "{reported} channel densities reported, {expected} channels exist")
+            }
+        }
+    }
+}
+
+/// Re-check a routing result against the circuit it claims to route.
+/// Returns every violation found (empty = verified).
+pub fn verify(circuit: &Circuit, result: &RoutingResult) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let channels = circuit.num_rows() + 1;
+    if result.channel_density.len() != channels {
+        out.push(Violation::ChannelCountMismatch { reported: result.channel_density.len(), expected: channels });
+        return out; // everything below depends on the channel count
+    }
+
+    let mut horizontal = 0u64;
+    for (i, s) in result.spans.iter().enumerate() {
+        if s.channel as usize >= channels {
+            out.push(Violation::ChannelOutOfRange { span: i, channel: s.channel });
+            continue;
+        }
+        if s.lo >= s.hi {
+            out.push(Violation::DegenerateSpan { span: i, lo: s.lo, hi: s.hi });
+        }
+        if s.lo < 0 || s.hi >= result.chip_width {
+            out.push(Violation::SpanOutOfBounds { span: i, lo: s.lo, hi: s.hi });
+        }
+        if let Some(r) = s.switch_row {
+            if s.channel != r && s.channel != r + 1 {
+                out.push(Violation::SwitchRowMismatch { span: i, channel: s.channel, switch_row: r });
+            }
+        }
+        horizontal += s.width();
+    }
+    if !out.is_empty() {
+        return out; // recounting with broken spans would double-report
+    }
+
+    // Recount densities from scratch.
+    let mut chans = ChannelState::new(0, channels, result.chip_width.max(1));
+    for s in &result.spans {
+        chans.add_span(s, 1);
+    }
+    for (c, (&reported, recount)) in result.channel_density.iter().zip(chans.densities()).enumerate() {
+        if reported != recount {
+            out.push(Violation::DensityMismatch { channel: c, reported, recount });
+        }
+    }
+
+    if result.wirelength < horizontal {
+        out.push(Violation::WirelengthTooSmall { reported: result.wirelength, horizontal_only: horizontal });
+    }
+    out
+}
+
+/// Panic with a readable report if `result` fails verification.
+pub fn assert_verified(circuit: &Circuit, result: &RoutingResult) {
+    let violations = verify(circuit, result);
+    if !violations.is_empty() {
+        let mut msg = format!("routing result for '{}' failed verification:\n", result.circuit);
+        for v in violations.iter().take(20) {
+            msg.push_str(&format!("  - {v}\n"));
+        }
+        if violations.len() > 20 {
+            msg.push_str(&format!("  … and {} more\n", violations.len() - 20));
+        }
+        panic!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::route_serial;
+    use crate::route::state::Span;
+    use crate::RouterConfig;
+    use pgr_circuit::{generate, GeneratorConfig, NetId};
+    use pgr_mpi::{Comm, MachineModel};
+
+    fn routed() -> (pgr_circuit::Circuit, RoutingResult) {
+        let c = generate(&GeneratorConfig::small("verify", 4));
+        let r = route_serial(&c, &RouterConfig::with_seed(2), &mut Comm::solo(MachineModel::ideal()));
+        (c, r)
+    }
+
+    #[test]
+    fn serial_results_verify_clean() {
+        let (c, r) = routed();
+        assert!(verify(&c, &r).is_empty());
+        assert_verified(&c, &r);
+    }
+
+    #[test]
+    fn detects_density_tampering() {
+        let (c, mut r) = routed();
+        r.channel_density[3] += 1;
+        let v = verify(&c, &r);
+        assert!(v.iter().any(|x| matches!(x, Violation::DensityMismatch { channel: 3, .. })), "{v:?}");
+    }
+
+    #[test]
+    fn detects_out_of_range_channel() {
+        let (c, mut r) = routed();
+        r.spans[0].channel = 1000;
+        let v = verify(&c, &r);
+        assert!(v.iter().any(|x| matches!(x, Violation::ChannelOutOfRange { .. })), "{v:?}");
+    }
+
+    #[test]
+    fn detects_out_of_chip_span() {
+        let (c, mut r) = routed();
+        r.spans[0].lo = -5;
+        let v = verify(&c, &r);
+        assert!(v.iter().any(|x| matches!(x, Violation::SpanOutOfBounds { .. })), "{v:?}");
+    }
+
+    #[test]
+    fn detects_degenerate_span() {
+        let (c, mut r) = routed();
+        let s = r.spans[0];
+        r.spans[0] = Span { lo: s.hi, hi: s.lo, ..s };
+        let v = verify(&c, &r);
+        assert!(v.iter().any(|x| matches!(x, Violation::DegenerateSpan { .. })), "{v:?}");
+    }
+
+    #[test]
+    fn detects_illegal_switch_channel() {
+        let (c, mut r) = routed();
+        let idx = r.spans.iter().position(|s| s.switch_row.is_some()).expect("some switchable span");
+        r.spans[idx].channel = r.spans[idx].switch_row.unwrap() + 2;
+        // Keep it in range so the check under test fires.
+        if (r.spans[idx].channel as usize) > c.num_rows() {
+            r.spans[idx].channel = 0;
+        }
+        let v = verify(&c, &r);
+        assert!(
+            v.iter().any(|x| matches!(x, Violation::SwitchRowMismatch { .. } | Violation::DensityMismatch { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn detects_wirelength_undercount() {
+        let (c, mut r) = routed();
+        r.wirelength = 1;
+        let v = verify(&c, &r);
+        assert!(v.iter().any(|x| matches!(x, Violation::WirelengthTooSmall { .. })), "{v:?}");
+    }
+
+    #[test]
+    fn detects_missing_channel_vector() {
+        let (c, mut r) = routed();
+        r.channel_density.pop();
+        let v = verify(&c, &r);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::ChannelCountMismatch { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed verification")]
+    fn assert_verified_panics_with_report() {
+        let (c, mut r) = routed();
+        r.channel_density[0] += 7;
+        assert_verified(&c, &r);
+    }
+
+    #[test]
+    fn parallel_results_verify_clean() {
+        use crate::parallel::{route_parallel, Algorithm};
+        use crate::PartitionKind;
+        let c = generate(&GeneratorConfig::small("verify-par", 6));
+        let cfg = RouterConfig::with_seed(3);
+        for algo in Algorithm::ALL {
+            let out = route_parallel(&c, &cfg, algo, PartitionKind::PinWeight, 3, MachineModel::sparc_center_1000());
+            assert_verified(&c, &out.result);
+            // Spans must reference real nets.
+            assert!(out.result.spans.iter().all(|s| (s.net.index()) < c.num_nets()), "{}", algo.name());
+            let _ = NetId(0);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Deterministic randomness helpers.
+//!
+//! TimberWolfSC deliberately randomizes the order in which segments are
+//! processed ("to reduce the order dependence of the segments processed").
+//! Reproducibility across runs and across rank counts requires every such
+//! shuffle to be driven by an explicit, derivable seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Derive a per-rank (or per-phase) seed from a master seed.
+///
+/// Uses SplitMix64 finalization so nearby `(seed, stream)` pairs produce
+/// statistically unrelated streams; `derive_seed(s, 0) != s` by design so a
+/// rank-0 stream never aliases the master stream.
+pub fn derive_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x1234_5678_9ABC_DEF1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Construct the standard deterministic RNG used throughout the router.
+pub fn rng_from_seed(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// A Fisher–Yates-shuffled permutation of `0..n`.
+pub fn shuffled_indices(n: usize, rng: &mut SmallRng) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn derive_seed_differs_per_stream() {
+        let s = 42;
+        let seeds: HashSet<u64> = (0..64).map(|r| derive_seed(s, r)).collect();
+        assert_eq!(seeds.len(), 64, "derived streams must be distinct");
+        assert!(!seeds.contains(&s), "stream 0 must not alias the master seed");
+    }
+
+    #[test]
+    fn derive_seed_is_deterministic() {
+        assert_eq!(derive_seed(7, 3), derive_seed(7, 3));
+        assert_ne!(derive_seed(7, 3), derive_seed(8, 3));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = rng_from_seed(123);
+        let p = shuffled_indices(100, &mut rng);
+        let set: HashSet<u32> = p.iter().copied().collect();
+        assert_eq!(set.len(), 100);
+        assert_eq!(*set.iter().max().unwrap(), 99);
+    }
+
+    #[test]
+    fn shuffle_empty_and_single() {
+        let mut rng = rng_from_seed(1);
+        assert!(shuffled_indices(0, &mut rng).is_empty());
+        assert_eq!(shuffled_indices(1, &mut rng), vec![0]);
+    }
+
+    #[test]
+    fn shuffle_deterministic_per_seed() {
+        let a = shuffled_indices(50, &mut rng_from_seed(9));
+        let b = shuffled_indices(50, &mut rng_from_seed(9));
+        let c = shuffled_indices(50, &mut rng_from_seed(10));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,206 @@
+//! Rectilinear Steiner refinement of an MST.
+//!
+//! TWGR approximates each net's Steiner tree by its MST (the paper's
+//! step 1). A classical cheap improvement: wherever a tree node `v` has
+//! two neighbors `a`, `b`, the elbow formed by the edges `(v,a)` and
+//! `(v,b)` can be rerouted through the **median point**
+//! `s = (median(xₐ,x_v,x_b), median(yₐ,y_v,y_b))` — the rectilinear
+//! 3-point Steiner optimum — replacing the two edges with three that
+//! total `d(v,s) + d(s,a) + d(s,b) ≤ d(v,a) + d(v,b)`.
+//!
+//! [`refine_mst`] applies this greedily (largest gain first, each edge
+//! used at most once per pass) and never lengthens the tree. It is an
+//! *extension* this reproduction adds beyond the paper; the router
+//! exposes it behind `RouterConfig::steiner_refine` for ablation.
+
+use crate::mst::MstEdge;
+use crate::point::{manhattan, Point};
+
+fn median3(a: i64, b: i64, c: i64) -> i64 {
+    a.max(b).min(a.min(b).max(c))
+}
+
+/// The rectilinear Steiner point of three points: the per-coordinate
+/// median (minimizes total rectilinear distance to all three).
+pub fn steiner_point(a: Point, b: Point, c: Point) -> Point {
+    Point::new(median3(a.x, b.x, c.x), median3(a.y, b.y, c.y))
+}
+
+/// Result of a refinement pass.
+#[derive(Debug, Clone)]
+pub struct RefinedTree {
+    /// Newly introduced Steiner points. Edge indices ≥ the original
+    /// point count refer into this list (offset by that count).
+    pub steiner_points: Vec<Point>,
+    /// The refined tree's edges over original ∪ steiner points.
+    pub edges: Vec<MstEdge>,
+    /// Total length saved relative to the input tree.
+    pub gain: u64,
+}
+
+/// One greedy pass of median-point refinement over `edges` (an MST or
+/// any tree over `points`). Elbows are processed in decreasing-gain
+/// order; each original edge participates in at most one rewrite, so
+/// the pass is linear in the number of elbows after the O(E·deg) scan.
+pub fn refine_mst(points: &[Point], edges: &[MstEdge]) -> RefinedTree {
+    let n = points.len();
+    // Adjacency as (neighbor, edge index).
+    let mut adj: Vec<Vec<(u32, usize)>> = vec![Vec::new(); n];
+    for (ei, e) in edges.iter().enumerate() {
+        adj[e.a as usize].push((e.b, ei));
+        adj[e.b as usize].push((e.a, ei));
+    }
+
+    // Candidate elbows: (gain, center, edge to a, edge to b).
+    let mut cands: Vec<(u64, u32, usize, usize)> = Vec::new();
+    for (v, nbrs) in adj.iter().enumerate() {
+        for i in 0..nbrs.len() {
+            for j in i + 1..nbrs.len() {
+                let (a, ea) = nbrs[i];
+                let (b, eb) = nbrs[j];
+                let s = steiner_point(points[a as usize], points[v], points[b as usize]);
+                let before = edges[ea].weight + edges[eb].weight;
+                let after = manhattan(points[v], s) + manhattan(s, points[a as usize]) + manhattan(s, points[b as usize]);
+                if after < before {
+                    cands.push((before - after, v as u32, ea, eb));
+                }
+            }
+        }
+    }
+    // Largest gain first; deterministic tie-break on (center, edges).
+    cands.sort_unstable_by_key(|&(g, v, ea, eb)| (std::cmp::Reverse(g), v, ea, eb));
+
+    let mut used = vec![false; edges.len()];
+    let mut steiner_points: Vec<Point> = Vec::new();
+    let mut out: Vec<MstEdge> = Vec::new();
+    let mut gain = 0u64;
+    for (g, v, ea, eb) in cands {
+        if used[ea] || used[eb] {
+            continue;
+        }
+        used[ea] = true;
+        used[eb] = true;
+        let other = |e: &MstEdge| if e.a == v { e.b } else { e.a };
+        let a = other(&edges[ea]);
+        let b = other(&edges[eb]);
+        let s = steiner_point(points[a as usize], points[v as usize], points[b as usize]);
+        let si = (n + steiner_points.len()) as u32;
+        steiner_points.push(s);
+        let pv = points[v as usize];
+        let (pa, pb) = (points[a as usize], points[b as usize]);
+        out.push(MstEdge { a: v, b: si, weight: manhattan(pv, s) });
+        out.push(MstEdge { a, b: si, weight: manhattan(pa, s) });
+        out.push(MstEdge { a: b, b: si, weight: manhattan(pb, s) });
+        gain += g;
+    }
+    // Untouched edges pass through.
+    for (ei, e) in edges.iter().enumerate() {
+        if !used[ei] {
+            out.push(*e);
+        }
+    }
+    RefinedTree { steiner_points, edges: out, gain }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mst::mst_prim;
+    use crate::unionfind::UnionFind;
+
+    fn pts(v: &[(i64, i64)]) -> Vec<Point> {
+        v.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    fn total(edges: &[MstEdge]) -> u64 {
+        edges.iter().map(|e| e.weight).sum()
+    }
+
+    #[test]
+    fn median_point_is_the_three_point_optimum() {
+        let (a, b, c) = (Point::new(0, 0), Point::new(4, 0), Point::new(2, 3));
+        let s = steiner_point(a, b, c);
+        assert_eq!(s, Point::new(2, 0));
+        // Brute-force check in a small window.
+        let best: u64 = (0..5)
+            .flat_map(|x| (0..4).map(move |y| Point::new(x, y)))
+            .map(|p| manhattan(p, a) + manhattan(p, b) + manhattan(p, c))
+            .min()
+            .unwrap();
+        assert_eq!(manhattan(s, a) + manhattan(s, b) + manhattan(s, c), best);
+    }
+
+    #[test]
+    fn classic_elbow_gains() {
+        // Pins at the corners of an L: MST = 2 edges through the elbow;
+        // the Steiner point saves the overlap.
+        let p = pts(&[(0, 0), (10, 0), (5, 5)]);
+        let mst = mst_prim(&p);
+        let refined = refine_mst(&p, &mst);
+        assert!(refined.gain > 0, "an elbow must be found");
+        assert_eq!(refined.steiner_points.len(), 1);
+        assert_eq!(total(&refined.edges) + refined.gain, total(&mst));
+    }
+
+    #[test]
+    fn collinear_points_gain_nothing() {
+        let p = pts(&[(0, 0), (5, 0), (9, 0)]);
+        let mst = mst_prim(&p);
+        let refined = refine_mst(&p, &mst);
+        assert_eq!(refined.gain, 0);
+        assert!(refined.steiner_points.is_empty());
+        assert_eq!(total(&refined.edges), total(&mst));
+    }
+
+    #[test]
+    fn refinement_preserves_connectivity() {
+        let p = pts(&[(0, 0), (13, 2), (4, 9), (8, 1), (2, 6), (11, 8), (7, 4)]);
+        let mst = mst_prim(&p);
+        let refined = refine_mst(&p, &mst);
+        let total_nodes = p.len() + refined.steiner_points.len();
+        let mut uf = UnionFind::new(total_nodes);
+        for e in &refined.edges {
+            uf.union(e.a as usize, e.b as usize);
+        }
+        assert_eq!(uf.components(), 1, "refined tree still spans");
+        assert_eq!(refined.edges.len(), total_nodes - 1, "still a tree");
+        assert!(total(&refined.edges) <= total(&mst));
+    }
+
+    #[test]
+    fn gain_accounting_is_exact() {
+        let p = pts(&[(0, 0), (20, 0), (10, 10), (0, 20), (20, 20)]);
+        let mst = mst_prim(&p);
+        let refined = refine_mst(&p, &mst);
+        assert_eq!(total(&mst) - total(&refined.edges), refined.gain);
+    }
+
+    #[test]
+    fn never_lengthens_on_random_inputs() {
+        use crate::rng::rng_from_seed;
+        use rand::Rng;
+        let mut rng = rng_from_seed(11);
+        for _ in 0..50 {
+            let n = rng.gen_range(2..30);
+            let p: Vec<Point> = (0..n).map(|_| Point::new(rng.gen_range(0..100), rng.gen_range(0..20))).collect();
+            let mst = mst_prim(&p);
+            let refined = refine_mst(&p, &mst);
+            assert!(total(&refined.edges) <= total(&mst));
+            let mut uf = UnionFind::new(p.len() + refined.steiner_points.len());
+            for e in &refined.edges {
+                uf.union(e.a as usize, e.b as usize);
+            }
+            assert_eq!(uf.components(), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = pts(&[(0, 0), (13, 2), (4, 9), (8, 1), (2, 6)]);
+        let mst = mst_prim(&p);
+        let a = refine_mst(&p, &mst);
+        let b = refine_mst(&p, &mst);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.steiner_points, b.steiner_points);
+    }
+}

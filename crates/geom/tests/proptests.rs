@@ -1,0 +1,101 @@
+//! Property-based tests for the geometry kernels.
+
+use pgr_geom::{manhattan, mst_adjacency_limited, mst_prim, BBox, Point, UnionFind};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1000i64..1000, -100i64..100).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn manhattan_is_a_metric(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert_eq!(manhattan(a, a), 0);
+        prop_assert_eq!(manhattan(a, b), manhattan(b, a));
+        prop_assert!(manhattan(a, c) <= manhattan(a, b) + manhattan(b, c), "triangle inequality");
+    }
+
+    #[test]
+    fn mst_has_n_minus_1_edges_and_spans(points in proptest::collection::vec(arb_point(), 2..60)) {
+        let edges = mst_prim(&points);
+        prop_assert_eq!(edges.len(), points.len() - 1);
+        let mut uf = UnionFind::new(points.len());
+        for e in &edges {
+            prop_assert_eq!(e.weight, manhattan(points[e.a as usize], points[e.b as usize]));
+            uf.union(e.a as usize, e.b as usize);
+        }
+        prop_assert_eq!(uf.components(), 1, "MST spans all points");
+    }
+
+    #[test]
+    fn mst_weight_at_most_star_from_any_center(points in proptest::collection::vec(arb_point(), 2..40), center in 0usize..40) {
+        let center = center % points.len();
+        let mst: u64 = mst_prim(&points).iter().map(|e| e.weight).sum();
+        let star: u64 = points.iter().map(|&p| manhattan(points[center], p)).sum();
+        prop_assert!(mst <= star, "MST ({mst}) no heavier than star ({star})");
+    }
+
+    #[test]
+    fn mst_respects_cut_property_lower_bound(points in proptest::collection::vec(arb_point(), 2..30)) {
+        // Any spanning tree weighs at least (n-1) × min pairwise distance.
+        let n = points.len();
+        let mut min_d = u64::MAX;
+        for i in 0..n {
+            for j in i + 1..n {
+                min_d = min_d.min(manhattan(points[i], points[j]));
+            }
+        }
+        let mst: u64 = mst_prim(&points).iter().map(|e| e.weight).sum();
+        prop_assert!(mst >= (n as u64 - 1) * min_d);
+    }
+
+    #[test]
+    fn limited_mst_never_beats_unrestricted(points in proptest::collection::vec((-200i64..200, 0i64..6), 2..40)) {
+        let pts: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let rows: Vec<i64> = pts.iter().map(|p| p.y).collect();
+        let limited = mst_adjacency_limited(&pts, &rows);
+        if limited.spanning {
+            let free: u64 = mst_prim(&pts).iter().map(|e| e.weight).sum();
+            let restricted: u64 = limited.edges.iter().map(|e| e.weight).sum();
+            prop_assert!(restricted >= free, "restriction cannot help: {restricted} < {free}");
+            // And every edge obeys the adjacency restriction.
+            for e in &limited.edges {
+                prop_assert!((rows[e.a as usize] - rows[e.b as usize]).abs() <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn bbox_contains_all_inputs(points in proptest::collection::vec(arb_point(), 1..50)) {
+        let bb = BBox::from_points(points.iter().copied());
+        for &p in &points {
+            prop_assert!(bb.contains(p));
+        }
+        prop_assert_eq!(bb.half_perimeter(), bb.width() + bb.height());
+    }
+
+    #[test]
+    fn unionfind_matches_naive_labels(n in 1usize..50, unions in proptest::collection::vec((0usize..50, 0usize..50), 0..80)) {
+        let mut uf = UnionFind::new(n);
+        let mut labels: Vec<usize> = (0..n).collect();
+        for (a, b) in unions {
+            let (a, b) = (a % n, b % n);
+            uf.union(a, b);
+            let (la, lb) = (labels[a], labels[b]);
+            if la != lb {
+                for l in labels.iter_mut() {
+                    if *l == lb {
+                        *l = la;
+                    }
+                }
+            }
+        }
+        let naive_components = labels.iter().collect::<std::collections::HashSet<_>>().len();
+        prop_assert_eq!(uf.components(), naive_components);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(uf.connected(i, j), labels[i] == labels[j], "pair ({}, {})", i, j);
+            }
+        }
+    }
+}

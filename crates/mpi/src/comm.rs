@@ -1,0 +1,756 @@
+//! The communicator: SPMD ranks, point-to-point messages, collectives,
+//! and per-rank virtual clocks.
+//!
+//! [`run`] spawns one OS thread per rank and hands each a [`Comm`]. Ranks
+//! exchange byte messages over unbounded crossbeam channels (eager,
+//! non-blocking sends — no rendezvous deadlocks), matched by `(source,
+//! tag)` with FIFO order per pair, which mirrors MPI's matching rules for
+//! a single communicator.
+//!
+//! Virtual time: the sender stamps its clock into the envelope; the
+//! receiver advances to `max(local + recv_overhead, stamp + latency +
+//! bytes × sec_per_byte)`. Computation is charged explicitly through
+//! [`Comm::compute`]. The final per-rank clocks (and the makespan, their
+//! maximum) are deterministic regardless of how the host schedules the
+//! threads.
+
+use crate::machine::MachineModel;
+use crate::wire::Wire;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+
+/// Tags at or above this value are reserved for collectives.
+pub const COLLECTIVE_TAG_BASE: u32 = 0x8000_0000;
+
+struct Envelope {
+    src: u32,
+    tag: u32,
+    /// Sender's clock at send time (after send overhead).
+    stamp: f64,
+    payload: Box<[u8]>,
+}
+
+/// Per-rank execution statistics, returned by [`run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankStats {
+    pub rank: usize,
+    /// Final virtual clock in seconds.
+    pub time: f64,
+    /// Abstract operations charged via [`Comm::compute`].
+    pub ops: u64,
+    pub msgs_sent: u64,
+    pub bytes_sent: u64,
+    /// Bytes sent to each destination rank (`bytes_to[dst]`), the rank's
+    /// row of the communication matrix.
+    pub bytes_to: Vec<u64>,
+    /// High-water mark of modeled memory (bytes).
+    pub peak_mem: u64,
+    /// Named phase durations in virtual seconds, in execution order
+    /// (from [`Comm::phase`] markers; the last phase ends at the final
+    /// clock).
+    pub phases: Vec<(&'static str, f64)>,
+}
+
+/// Result of a parallel run: one result and one stat record per rank.
+#[derive(Debug)]
+pub struct RunReport<R> {
+    pub results: Vec<R>,
+    pub stats: Vec<RankStats>,
+    pub machine: MachineModel,
+}
+
+impl<R> RunReport<R> {
+    /// Simulated wall-clock of the run: the slowest rank's final clock.
+    pub fn makespan(&self) -> f64 {
+        self.stats.iter().map(|s| s.time).fold(0.0, f64::max)
+    }
+
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.stats.iter().map(|s| s.bytes_sent).sum()
+    }
+
+    pub fn total_msgs_sent(&self) -> u64 {
+        self.stats.iter().map(|s| s.msgs_sent).sum()
+    }
+
+    pub fn max_peak_mem(&self) -> u64 {
+        self.stats.iter().map(|s| s.peak_mem).max().unwrap_or(0)
+    }
+
+    /// Whether every rank's modeled working set fit the machine's node
+    /// memory (Table 5's Paragon feasibility check).
+    pub fn fits_memory(&self) -> bool {
+        self.machine.fits_in_node(self.max_peak_mem())
+    }
+
+    /// The communication matrix: `matrix[src][dst]` bytes sent.
+    pub fn comm_matrix(&self) -> Vec<Vec<u64>> {
+        self.stats.iter().map(|s| s.bytes_to.clone()).collect()
+    }
+}
+
+/// A rank's handle to the communicator.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    machine: MachineModel,
+    /// Senders to every peer; `txs[self.rank]` is `None` — self-sends
+    /// bypass the channel (directly into `pending`), so a rank never
+    /// holds its own channel open. That is what lets a blocked `recv`
+    /// detect a mismatched communication pattern (every peer exited ⇒
+    /// channel disconnects ⇒ panic) instead of hanging forever.
+    txs: Vec<Option<Sender<Envelope>>>,
+    rx: Option<Receiver<Envelope>>,
+    /// Received-but-unmatched messages, per source rank.
+    pending: Vec<VecDeque<Envelope>>,
+    clock: f64,
+    ops: u64,
+    msgs_sent: u64,
+    bytes_sent: u64,
+    bytes_to: Vec<u64>,
+    cur_mem: u64,
+    peak_mem: u64,
+    coll_seq: u32,
+    phase_marks: Vec<(&'static str, f64)>,
+}
+
+impl Comm {
+    /// A single-rank communicator without any threads — for serial runs
+    /// that still charge virtual time (the baseline of every speedup).
+    pub fn solo(machine: MachineModel) -> Self {
+        let (_tx, rx) = unbounded();
+        Comm {
+            rank: 0,
+            size: 1,
+            machine,
+            txs: vec![None],
+            rx: Some(rx),
+            pending: vec![VecDeque::new()],
+            clock: 0.0,
+            ops: 0,
+            msgs_sent: 0,
+            bytes_sent: 0,
+            bytes_to: vec![0],
+            cur_mem: 0,
+            peak_mem: 0,
+            coll_seq: 0,
+            phase_marks: Vec::new(),
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    pub fn machine(&self) -> &MachineModel {
+        &self.machine
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Charge `ops` abstract operations of computation.
+    pub fn compute(&mut self, ops: u64) {
+        self.ops += ops;
+        self.clock += self.machine.compute_time(ops);
+    }
+
+    /// Register `bytes` of modeled allocation (for the per-node memory
+    /// gate). Pair with [`Comm::release_alloc`].
+    pub fn charge_alloc(&mut self, bytes: u64) {
+        self.cur_mem += bytes;
+        self.peak_mem = self.peak_mem.max(self.cur_mem);
+    }
+
+    pub fn release_alloc(&mut self, bytes: u64) {
+        self.cur_mem = self.cur_mem.saturating_sub(bytes);
+    }
+
+    pub fn peak_mem(&self) -> u64 {
+        self.peak_mem
+    }
+
+    /// Mark the start of a named phase at the current virtual time.
+    /// Phase durations (this mark to the next, the last to the final
+    /// clock) are reported in [`RankStats::phases`].
+    pub fn phase(&mut self, name: &'static str) {
+        self.phase_marks.push((name, self.clock));
+    }
+
+    fn stats(&self) -> RankStats {
+        let mut phases = Vec::with_capacity(self.phase_marks.len());
+        for (i, &(name, start)) in self.phase_marks.iter().enumerate() {
+            let end = self.phase_marks.get(i + 1).map(|&(_, t)| t).unwrap_or(self.clock);
+            phases.push((name, end - start));
+        }
+        RankStats {
+            rank: self.rank,
+            time: self.clock,
+            ops: self.ops,
+            msgs_sent: self.msgs_sent,
+            bytes_sent: self.bytes_sent,
+            bytes_to: self.bytes_to.clone(),
+            peak_mem: self.peak_mem,
+            phases,
+        }
+    }
+
+    // ----- point to point -----
+
+    /// Send raw bytes to `dst` with `tag`. Eager and non-blocking.
+    pub fn send_bytes(&mut self, dst: usize, tag: u32, payload: Vec<u8>) {
+        assert!(dst < self.size, "send to rank {dst} of {}", self.size);
+        assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < {COLLECTIVE_TAG_BASE:#x}");
+        self.send_bytes_internal(dst, tag, payload);
+    }
+
+    fn send_bytes_internal(&mut self, dst: usize, tag: u32, payload: Vec<u8>) {
+        self.clock += self.machine.send_overhead;
+        self.msgs_sent += 1;
+        self.bytes_sent += payload.len() as u64;
+        self.bytes_to[dst] += payload.len() as u64;
+        let env = Envelope { src: self.rank as u32, tag, stamp: self.clock, payload: payload.into_boxed_slice() };
+        if dst == self.rank {
+            self.pending[dst].push_back(env);
+        } else {
+            self.txs[dst].as_ref().expect("peer sender").send(env).expect("peer rank hung up");
+        }
+    }
+
+    /// Send a typed message.
+    pub fn send<T: Wire>(&mut self, dst: usize, tag: u32, value: &T) {
+        assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < {COLLECTIVE_TAG_BASE:#x}");
+        self.send_bytes_internal(dst, tag, value.to_bytes());
+    }
+
+    /// Blocking receive of the next message from `src` with `tag`
+    /// (FIFO per `(src, tag)` pair). Returns the payload.
+    pub fn recv_bytes(&mut self, src: usize, tag: u32) -> Vec<u8> {
+        assert!(src < self.size, "recv from rank {src} of {}", self.size);
+        // Check already-buffered messages from src first.
+        if let Some(pos) = self.pending[src].iter().position(|e| e.tag == tag) {
+            let env = self.pending[src].remove(pos).expect("position valid");
+            return self.accept(env);
+        }
+        loop {
+            let env = self
+                .rx
+                .as_ref()
+                .expect("communicator active")
+                .recv()
+                .expect("all peers hung up while this rank still expects a message — mismatched send/recv pattern");
+            if env.src as usize == src && env.tag == tag {
+                return self.accept(env);
+            }
+            self.pending[env.src as usize].push_back(env);
+        }
+    }
+
+    fn accept(&mut self, env: Envelope) -> Vec<u8> {
+        // The wire can deliver no earlier than stamp + latency, and the
+        // receiver's link is then occupied for the payload's transfer
+        // time (LogGP's per-byte gap): back-to-back receives serialize
+        // at the receiver rather than arriving for free in parallel.
+        let start = (self.clock + self.machine.recv_overhead).max(env.stamp + self.machine.latency);
+        self.clock = start + env.payload.len() as f64 * self.machine.sec_per_byte;
+        env.payload.into_vec()
+    }
+
+    /// Blocking typed receive. Panics on a decode failure (a type mismatch
+    /// between sender and receiver is a programming error, not input).
+    pub fn recv<T: Wire>(&mut self, src: usize, tag: u32) -> T {
+        let bytes = self.recv_bytes(src, tag);
+        T::from_bytes(&bytes).unwrap_or_else(|e| panic!("rank {} decoding tag {tag} from {src}: {e}", self.rank))
+    }
+
+    // ----- collectives -----
+
+    fn next_coll_tag(&mut self) -> u32 {
+        let tag = COLLECTIVE_TAG_BASE | (self.coll_seq & 0x7FFF_FFFF);
+        self.coll_seq = self.coll_seq.wrapping_add(1);
+        tag
+    }
+
+    fn send_tagged<T: Wire>(&mut self, dst: usize, tag: u32, value: &T) {
+        self.send_bytes_internal(dst, tag, value.to_bytes());
+    }
+
+    /// Block until all ranks reach the barrier; clocks synchronize to the
+    /// slowest participant (plus tree costs).
+    pub fn barrier(&mut self) {
+        let tag = self.next_coll_tag();
+        self.reduce_tagged(0, (), |_, _| (), tag);
+        let tag2 = self.next_coll_tag();
+        self.bcast_tagged(0, Some(()), tag2);
+    }
+
+    /// Broadcast `value` from `root`. `value` must be `Some` on the root
+    /// and is ignored elsewhere.
+    pub fn bcast<T: Wire>(&mut self, root: usize, value: Option<T>) -> T {
+        let tag = self.next_coll_tag();
+        self.bcast_tagged(root, value, tag)
+    }
+
+    fn bcast_tagged<T: Wire>(&mut self, root: usize, value: Option<T>, tag: u32) -> T {
+        assert!(root < self.size);
+        let rel = (self.rank + self.size - root) % self.size;
+        let mut value = if rel == 0 { Some(value.expect("root must supply the broadcast value")) } else { None };
+        let mut step = 1;
+        while step < self.size {
+            if rel < step {
+                let dst_rel = rel + step;
+                if dst_rel < self.size {
+                    let dst = (dst_rel + root) % self.size;
+                    let v = value.as_ref().expect("already received");
+                    self.send_tagged(dst, tag, v);
+                }
+            } else if rel < 2 * step {
+                let src = (rel - step + root) % self.size;
+                value = Some(self.recv(src, tag));
+            }
+            step <<= 1;
+        }
+        value.expect("broadcast reaches every rank")
+    }
+
+    /// Reduce all ranks' values to `root` with `op` (binomial tree; the
+    /// combine order is fixed by the tree, hence deterministic). Returns
+    /// `Some(result)` on the root, `None` elsewhere.
+    pub fn reduce<T: Wire, F: FnMut(T, T) -> T>(&mut self, root: usize, value: T, op: F) -> Option<T> {
+        let tag = self.next_coll_tag();
+        self.reduce_tagged(root, value, op, tag)
+    }
+
+    fn reduce_tagged<T: Wire, F: FnMut(T, T) -> T>(&mut self, root: usize, value: T, mut op: F, tag: u32) -> Option<T> {
+        assert!(root < self.size);
+        let rel = (self.rank + self.size - root) % self.size;
+        let mut acc = value;
+        let mut step = 1;
+        while step < self.size {
+            if rel & step != 0 {
+                let dst = (rel - step + root) % self.size;
+                self.send_tagged(dst, tag, &acc);
+                return None;
+            }
+            if rel + step < self.size {
+                let src = (rel + step + root) % self.size;
+                let other: T = self.recv(src, tag);
+                acc = op(acc, other);
+            }
+            step <<= 1;
+        }
+        debug_assert_eq!(rel, 0);
+        Some(acc)
+    }
+
+    /// Reduce to rank 0 then broadcast: every rank gets the result.
+    pub fn allreduce<T: Wire, F: FnMut(T, T) -> T>(&mut self, value: T, op: F) -> T {
+        let r = self.reduce(0, value, op);
+        self.bcast(0, r)
+    }
+
+    /// Gather all ranks' values at `root`, in rank order.
+    pub fn gather<T: Wire>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
+        let tag = self.next_coll_tag();
+        if self.rank == root {
+            let mut out = Vec::with_capacity(self.size);
+            for src in 0..self.size {
+                if src == root {
+                    out.push(T::from_bytes(&value.to_bytes()).expect("self roundtrip"));
+                } else {
+                    out.push(self.recv(src, tag));
+                }
+            }
+            Some(out)
+        } else {
+            self.send_tagged(root, tag, &value);
+            None
+        }
+    }
+
+    /// Gather at rank 0 then broadcast the whole vector.
+    pub fn allgather<T: Wire>(&mut self, value: T) -> Vec<T> {
+        let g = self.gather(0, value);
+        self.bcast(0, g)
+    }
+
+    /// Scatter one value per rank from `root` (which must pass a vector of
+    /// exactly `size` entries).
+    pub fn scatter<T: Wire>(&mut self, root: usize, values: Option<Vec<T>>) -> T {
+        let tag = self.next_coll_tag();
+        if self.rank == root {
+            let values = values.expect("root must supply scatter values");
+            assert_eq!(values.len(), self.size, "scatter needs one value per rank");
+            let mut own = None;
+            for (dst, v) in values.into_iter().enumerate() {
+                if dst == root {
+                    own = Some(v);
+                } else {
+                    self.send_tagged(dst, tag, &v);
+                }
+            }
+            own.expect("root keeps its own slice")
+        } else {
+            self.recv(root, tag)
+        }
+    }
+
+    /// Personalized all-to-all: `data[dst]` goes to rank `dst`; returns
+    /// the vector received from each source (own slice passes through).
+    pub fn alltoall<T: Wire>(&mut self, data: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(data.len(), self.size, "alltoall needs one bucket per rank");
+        let tag = self.next_coll_tag();
+        // Eager sends first (channels are unbounded, so this cannot block),
+        // then receive in rank order for determinism.
+        let rank = self.rank;
+        let mut own: Vec<T> = Vec::new();
+        for (dst, bucket) in data.into_iter().enumerate() {
+            if dst == rank {
+                own = bucket;
+            } else {
+                self.send_tagged(dst, tag, &bucket);
+            }
+        }
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size);
+        for src in 0..self.size {
+            if src == rank {
+                out.push(std::mem::take(&mut own));
+            } else {
+                out.push(self.recv(src, tag));
+            }
+        }
+        out
+    }
+}
+
+/// Execute `f` as an SPMD program over `size` ranks on the given machine.
+///
+/// One OS thread per rank; returns every rank's result plus timing stats.
+/// Panics in any rank propagate.
+///
+/// ```
+/// use pgr_mpi::{run, MachineModel};
+/// let report = run(4, MachineModel::sparc_center_1000(), |comm| {
+///     comm.compute(1000 * (comm.rank() as u64 + 1)); // uneven work
+///     comm.allreduce(comm.rank() as u64, |a, b| a + b)
+/// });
+/// assert!(report.results.iter().all(|&v| v == 6));
+/// assert!(report.makespan() > 0.0);
+/// ```
+pub fn run<R, F>(size: usize, machine: MachineModel, f: F) -> RunReport<R>
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Send + Sync,
+{
+    assert!(size > 0, "need at least one rank");
+    let mut txs = Vec::with_capacity(size);
+    let mut rxs = Vec::with_capacity(size);
+    for _ in 0..size {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+
+    let mut comms: Vec<Comm> = rxs
+        .into_iter()
+        .enumerate()
+        .map(|(rank, rx)| Comm {
+            rank,
+            size,
+            machine,
+            txs: txs.iter().enumerate().map(|(i, tx)| (i != rank).then(|| tx.clone())).collect(),
+            rx: Some(rx),
+            pending: (0..size).map(|_| VecDeque::new()).collect(),
+            clock: 0.0,
+            ops: 0,
+            msgs_sent: 0,
+            bytes_sent: 0,
+            bytes_to: vec![0; size],
+            cur_mem: 0,
+            peak_mem: 0,
+            coll_seq: 0,
+            phase_marks: Vec::new(),
+        })
+        .collect();
+    drop(txs);
+
+    let f = &f;
+    let outcomes: Vec<(R, RankStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .iter_mut()
+            .map(|comm| {
+                scope.spawn(move || {
+                    let result = f(comm);
+                    // Drop this rank's sender handles so blocked peers can
+                    // detect a mismatched communication pattern instead of
+                    // hanging forever.
+                    comm.txs.clear();
+                    comm.rx = None;
+                    (result, comm.stats())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    });
+
+    let mut results = Vec::with_capacity(size);
+    let mut stats = Vec::with_capacity(size);
+    for (r, s) in outcomes {
+        results.push(r);
+        stats.push(s);
+    }
+    RunReport { results, stats, machine }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIZES: [usize; 5] = [1, 2, 3, 5, 8];
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let report = run(2, MachineModel::ideal(), |c| {
+            if c.rank() == 0 {
+                c.send(1, 7, &vec![1u32, 2, 3]);
+                c.recv::<String>(1, 8)
+            } else {
+                let v: Vec<u32> = c.recv(0, 7);
+                c.send(0, 8, &format!("got {v:?}"));
+                String::new()
+            }
+        });
+        assert_eq!(report.results[0], "got [1, 2, 3]");
+        assert_eq!(report.total_msgs_sent(), 2);
+    }
+
+    #[test]
+    fn tag_matching_reorders() {
+        // Rank 0 sends tag 2 then tag 1; rank 1 receives tag 1 first.
+        let report = run(2, MachineModel::ideal(), |c| {
+            if c.rank() == 0 {
+                c.send(1, 2, &20u32);
+                c.send(1, 1, &10u32);
+                0
+            } else {
+                let first: u32 = c.recv(0, 1);
+                let second: u32 = c.recv(0, 2);
+                assert_eq!((first, second), (10, 20));
+                1
+            }
+        });
+        assert_eq!(report.results.len(), 2);
+    }
+
+    #[test]
+    fn fifo_per_src_tag_pair() {
+        let report = run(2, MachineModel::ideal(), |c| {
+            if c.rank() == 0 {
+                for i in 0..10u32 {
+                    c.send(1, 3, &i);
+                }
+                vec![]
+            } else {
+                (0..10).map(|_| c.recv::<u32>(0, 3)).collect::<Vec<u32>>()
+            }
+        });
+        assert_eq!(report.results[1], (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn bcast_all_sizes_all_roots() {
+        for &size in &SIZES {
+            for root in 0..size {
+                let report = run(size, MachineModel::ideal(), move |c| {
+                    let v = if c.rank() == root { Some(42u64 + root as u64) } else { None };
+                    c.bcast(root, v)
+                });
+                assert!(report.results.iter().all(|&v| v == 42 + root as u64), "size {size} root {root}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums_all_sizes() {
+        for &size in &SIZES {
+            let report = run(size, MachineModel::ideal(), |c| c.reduce(0, c.rank() as u64 + 1, |a, b| a + b));
+            let expect = (size * (size + 1) / 2) as u64;
+            assert_eq!(report.results[0], Some(expect), "size {size}");
+            for r in 1..size {
+                assert_eq!(report.results[r], None);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max() {
+        for &size in &SIZES {
+            let report = run(size, MachineModel::ideal(), |c| c.allreduce(c.rank() as u64, u64::max));
+            assert!(report.results.iter().all(|&v| v == size as u64 - 1));
+        }
+    }
+
+    #[test]
+    fn gather_is_rank_ordered() {
+        let report = run(4, MachineModel::ideal(), |c| c.gather(2, c.rank() as u32 * 10));
+        assert_eq!(report.results[2], Some(vec![0, 10, 20, 30]));
+        assert_eq!(report.results[0], None);
+    }
+
+    #[test]
+    fn allgather_everyone_gets_everything() {
+        for &size in &SIZES {
+            let report = run(size, MachineModel::ideal(), |c| c.allgather(c.rank() as u32));
+            let expect: Vec<u32> = (0..size as u32).collect();
+            assert!(report.results.iter().all(|v| *v == expect));
+        }
+    }
+
+    #[test]
+    fn scatter_distributes() {
+        let report = run(3, MachineModel::ideal(), |c| {
+            let vals = if c.rank() == 1 { Some(vec![100u32, 101, 102]) } else { None };
+            c.scatter(1, vals)
+        });
+        assert_eq!(report.results, vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn alltoall_permutes() {
+        let report = run(3, MachineModel::ideal(), |c| {
+            let data: Vec<Vec<u32>> = (0..3).map(|dst| vec![(c.rank() * 10 + dst) as u32]).collect();
+            c.alltoall(data)
+        });
+        // Rank r receives from each src the bucket src*10 + r.
+        for r in 0..3 {
+            let expect: Vec<Vec<u32>> = (0..3).map(|src| vec![(src * 10 + r) as u32]).collect();
+            assert_eq!(report.results[r], expect, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let m = MachineModel::sparc_center_1000();
+        let report = run(4, m, |c| {
+            // Rank 3 does a lot of work before the barrier.
+            if c.rank() == 3 {
+                c.compute(1_000_000);
+            }
+            c.barrier();
+            c.now()
+        });
+        let slowest = m.compute_time(1_000_000);
+        for (r, &t) in report.results.iter().enumerate() {
+            assert!(t >= slowest, "rank {r} clock {t} must include the slow rank's work");
+        }
+    }
+
+    #[test]
+    fn virtual_time_is_deterministic() {
+        let runit = || {
+            run(5, MachineModel::intel_paragon(), |c| {
+                c.compute(1000 * (c.rank() as u64 + 1));
+                let s = c.allreduce(c.rank() as u64, |a, b| a + b);
+                c.compute(s);
+                let _ = c.allgather(c.now().to_bits());
+                c.now()
+            })
+        };
+        let a = runit();
+        let b = runit();
+        assert_eq!(a.results, b.results, "virtual clocks are schedule-independent");
+        assert_eq!(a.makespan(), b.makespan());
+    }
+
+    #[test]
+    fn compute_charges_time_and_ops() {
+        let m = MachineModel::sparc_center_1000();
+        let report = run(1, m, |c| {
+            c.compute(500);
+            c.now()
+        });
+        assert!((report.results[0] - m.compute_time(500)).abs() < 1e-12);
+        assert_eq!(report.stats[0].ops, 500);
+    }
+
+    #[test]
+    fn message_cost_appears_on_receiver_clock() {
+        let m = MachineModel::intel_paragon();
+        let payload = vec![0u8; 4096];
+        let n = payload.len();
+        let report = run(2, m, move |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, &payload.clone());
+                c.now()
+            } else {
+                let _: Vec<u8> = c.recv(0, 1);
+                c.now()
+            }
+        });
+        let sender = report.results[0];
+        let receiver = report.results[1];
+        assert!((sender - m.send_overhead).abs() < 1e-9, "sender only pays overhead");
+        // Vec<u8> wire format adds a 4-byte length prefix.
+        let expect = m.send_overhead + m.transfer_time(n + 4);
+        assert!((receiver - expect).abs() < 1e-9, "receiver {receiver} vs expected {expect}");
+    }
+
+    #[test]
+    fn memory_accounting_tracks_high_water() {
+        let report = run(1, MachineModel::intel_paragon(), |c| {
+            c.charge_alloc(10);
+            c.charge_alloc(20);
+            c.release_alloc(25);
+            c.charge_alloc(4);
+            c.peak_mem()
+        });
+        assert_eq!(report.results[0], 30);
+        assert_eq!(report.stats[0].peak_mem, 30);
+        assert!(report.fits_memory());
+    }
+
+    #[test]
+    fn memory_gate_detects_oversubscription() {
+        let report = run(1, MachineModel::intel_paragon(), |c| {
+            c.charge_alloc(64 * 1024 * 1024);
+        });
+        assert!(!report.fits_memory());
+    }
+
+    #[test]
+    fn solo_comm_collectives_are_trivial() {
+        let mut c = Comm::solo(MachineModel::ideal());
+        assert_eq!(c.allreduce(5u32, |a, b| a + b), 5);
+        assert_eq!(c.allgather(7u32), vec![7]);
+        assert_eq!(c.bcast(0, Some(3u32)), 3);
+        c.barrier();
+        assert_eq!(c.gather(0, 1u32), Some(vec![1]));
+        let a2a = c.alltoall(vec![vec![9u8]]);
+        assert_eq!(a2a, vec![vec![9]]);
+    }
+
+    #[test]
+    fn interleaved_collectives_do_not_cross_talk() {
+        let report = run(4, MachineModel::ideal(), |c| {
+            let mut acc = Vec::new();
+            for round in 0..20u64 {
+                let s = c.allreduce(round + c.rank() as u64, |a, b| a + b);
+                let g = c.allgather(s);
+                acc.push(g[0]);
+            }
+            acc
+        });
+        for r in &report.results {
+            for (round, &v) in r.iter().enumerate() {
+                let round = round as u64;
+                assert_eq!(v, 4 * round + 6, "round {round}");
+            }
+        }
+    }
+}

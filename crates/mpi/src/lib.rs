@@ -1,0 +1,35 @@
+//! A thread-backed message-passing substrate with MPI-style semantics and
+//! deterministic virtual-time accounting.
+//!
+//! The paper implements its three parallel global-routing algorithms with
+//! MPI and evaluates them on a Sun SparcCenter 1000 SMP and an Intel
+//! Paragon DMP. Neither machine (nor a multi-node cluster) is available to
+//! this reproduction, so this crate supplies the same *programming model* —
+//! SPMD ranks, point-to-point sends with tags, and the standard collectives
+//! — executed on one thread per rank, while **runtimes are simulated**:
+//!
+//! * every rank carries a logical clock (seconds, `f64`);
+//! * [`Comm::compute`] charges computation through a [`MachineModel`]
+//!   (`ops × sec_per_op`);
+//! * a message stamps the sender's clock and the receiver advances to
+//!   `max(local + recv_overhead, sent + latency + bytes × sec_per_byte)` —
+//!   the classic LogP-style happens-before propagation;
+//! * collectives are built from point-to-point messages (binomial trees),
+//!   so their cost emerges from the same model.
+//!
+//! The reported makespan (`max` of final rank clocks) is a deterministic
+//! function of the execution, independent of host scheduling, which makes
+//! the paper's speedup tables reproducible bit-for-bit on any machine.
+//!
+//! Memory is also modeled: ranks register their dominant allocations via
+//! [`Comm::charge_alloc`], and a [`MachineModel`] may cap per-node memory
+//! (the Paragon's 32 MB/node), which is how Table 5's infeasible serial
+//! runs are detected.
+
+pub mod comm;
+pub mod machine;
+pub mod wire;
+
+pub use comm::{run, Comm, RankStats, RunReport};
+pub use machine::MachineModel;
+pub use wire::{Reader, Wire, WireError};

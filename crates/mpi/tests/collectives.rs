@@ -1,0 +1,199 @@
+//! Integration tests of the communicator: collective semantics across
+//! rank counts, mismatched-pattern failure behavior, virtual-time laws,
+//! and codec properties under random data.
+
+use pgr_mpi::{run, Comm, MachineModel, Wire};
+use proptest::prelude::*;
+
+#[test]
+fn reduce_with_non_commutative_op_is_deterministic() {
+    // String concatenation is associative but not commutative; the tree
+    // order is fixed, so every run gives the same (some) result.
+    let once = || {
+        run(6, MachineModel::ideal(), |c| {
+            c.reduce(0, format!("{}", c.rank()), |a, b| format!("{a}{b}"))
+        })
+        .results[0]
+            .clone()
+    };
+    let a = once().expect("root gets the reduction");
+    let b = once().expect("root gets the reduction");
+    assert_eq!(a, b);
+    // Every rank's digit appears exactly once.
+    let mut chars: Vec<char> = a.chars().collect();
+    chars.sort_unstable();
+    assert_eq!(chars, vec!['0', '1', '2', '3', '4', '5']);
+}
+
+#[test]
+fn nested_collectives_with_p2p_traffic_interleave_safely() {
+    let report = run(5, MachineModel::ideal(), |c| {
+        let size = c.size();
+        let mut acc = 0u64;
+        for round in 0..10u64 {
+            // P2P ring traffic between collectives.
+            let next = (c.rank() + 1) % size;
+            let prev = (c.rank() + size - 1) % size;
+            c.send(next, 42, &(round + c.rank() as u64));
+            let from_prev: u64 = c.recv(prev, 42);
+            acc += c.allreduce(from_prev, |a, b| a + b);
+        }
+        acc
+    });
+    assert!(report.results.iter().all(|&v| v == report.results[0]), "every rank agrees");
+}
+
+#[test]
+fn gather_scatter_are_inverse() {
+    let report = run(4, MachineModel::ideal(), |c| {
+        let gathered = c.gather(0, (c.rank() as u32, c.rank() as u32 * 7));
+        let back = c.scatter(0, gathered);
+        back
+    });
+    for (r, &(a, b)) in report.results.iter().enumerate() {
+        assert_eq!((a, b), (r as u32, r as u32 * 7));
+    }
+}
+
+#[test]
+#[should_panic]
+fn mismatched_pattern_is_detected_not_hung() {
+    // Rank 1 expects a message no one sends. When rank 0 exits, its
+    // channel handles drop and rank 1's recv panics instead of hanging.
+    run(2, MachineModel::ideal(), |c| {
+        if c.rank() == 1 {
+            let _: u32 = c.recv(0, 9);
+        }
+    });
+}
+
+#[test]
+fn clocks_only_move_forward() {
+    let report = run(3, MachineModel::intel_paragon(), |c| {
+        let mut last = c.now();
+        let mut ok = true;
+        for i in 0..20u64 {
+            c.compute(i * 10);
+            ok &= c.now() >= last;
+            last = c.now();
+            let s = c.allreduce(i, u64::max);
+            ok &= c.now() >= last;
+            last = c.now();
+            assert_eq!(s, i);
+        }
+        ok
+    });
+    assert!(report.results.iter().all(|&v| v));
+}
+
+#[test]
+fn makespan_dominates_every_rank() {
+    let report = run(4, MachineModel::sparc_center_1000(), |c| {
+        c.compute(1000 * (c.rank() as u64 + 1));
+        c.barrier();
+        c.now()
+    });
+    let makespan = report.makespan();
+    for s in &report.stats {
+        assert!(s.time <= makespan + 1e-12);
+    }
+}
+
+#[test]
+fn bytes_accounting_matches_payloads() {
+    let report = run(2, MachineModel::ideal(), |c| {
+        if c.rank() == 0 {
+            c.send_bytes(1, 1, vec![0u8; 100]);
+            c.send_bytes(1, 1, vec![0u8; 28]);
+        } else {
+            let a = c.recv_bytes(0, 1);
+            let b = c.recv_bytes(0, 1);
+            assert_eq!((a.len(), b.len()), (100, 28));
+        }
+    });
+    assert_eq!(report.stats[0].bytes_sent, 128);
+    assert_eq!(report.stats[0].msgs_sent, 2);
+    assert_eq!(report.stats[1].bytes_sent, 0);
+}
+
+#[test]
+fn solo_comm_equals_single_rank_run() {
+    let mut solo = Comm::solo(MachineModel::sparc_center_1000());
+    solo.compute(12345);
+    let s = solo.allreduce(7u64, |a, b| a + b);
+    let solo_time = solo.now();
+
+    let report = run(1, MachineModel::sparc_center_1000(), |c| {
+        c.compute(12345);
+        let s = c.allreduce(7u64, |a, b| a + b);
+        (s, c.now().to_bits())
+    });
+    assert_eq!(report.results[0].0, s);
+    assert_eq!(f64::from_bits(report.results[0].1), solo_time);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn allreduce_sum_matches_direct_sum(values in proptest::collection::vec(0u64..1_000_000, 1..9)) {
+        let n = values.len();
+        let vals = values.clone();
+        let report = run(n, MachineModel::ideal(), move |c| {
+            c.allreduce(vals[c.rank()], |a, b| a + b)
+        });
+        let expect: u64 = values.iter().sum();
+        prop_assert!(report.results.iter().all(|&v| v == expect));
+    }
+
+    #[test]
+    fn alltoall_is_a_transpose(n in 1usize..7, seed in 0u64..1000) {
+        let report = run(n, MachineModel::ideal(), move |c| {
+            let data: Vec<Vec<u64>> = (0..n).map(|dst| vec![seed + (c.rank() * 100 + dst) as u64]).collect();
+            c.alltoall(data)
+        });
+        for (r, rows) in report.results.iter().enumerate() {
+            for (src, v) in rows.iter().enumerate() {
+                prop_assert_eq!(v[0], seed + (src * 100 + r) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn typed_roundtrip_over_the_wire(v in proptest::collection::vec((any::<i64>(), any::<u32>()), 0..40)) {
+        let payload = v.clone();
+        let report = run(2, MachineModel::ideal(), move |c| {
+            if c.rank() == 0 {
+                c.send(1, 5, &payload);
+                Vec::new()
+            } else {
+                c.recv::<Vec<(i64, u32)>>(0, 5)
+            }
+        });
+        prop_assert_eq!(&report.results[1], &v);
+    }
+
+    #[test]
+    fn wire_length_prefix_is_exact(v in proptest::collection::vec(any::<u32>(), 0..100)) {
+        let bytes = v.to_bytes();
+        prop_assert_eq!(bytes.len(), 4 + 4 * v.len());
+    }
+}
+
+#[test]
+fn comm_matrix_rows_sum_to_bytes_sent() {
+    let report = run(3, MachineModel::ideal(), |c| {
+        c.send_bytes((c.rank() + 1) % 3, 1, vec![0u8; 10 * (c.rank() + 1)]);
+        let _ = c.recv_bytes((c.rank() + 2) % 3, 1);
+        let _ = c.allreduce(1u64, |a, b| a + b);
+    });
+    let m = report.comm_matrix();
+    for (r, stats) in report.stats.iter().enumerate() {
+        let row_sum: u64 = m[r].iter().sum();
+        assert_eq!(row_sum, stats.bytes_sent, "rank {r}");
+    }
+    // The explicit ring sends are visible in the matrix.
+    assert!(m[0][1] >= 10);
+    assert!(m[1][2] >= 20);
+    assert!(m[2][0] >= 30);
+}

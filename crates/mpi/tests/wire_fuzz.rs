@@ -1,0 +1,57 @@
+//! Decoder robustness: feeding arbitrary bytes into any `Wire` decoder
+//! must return an error or a value — never panic, never overallocate.
+//! (Ranks only ever decode bytes produced by peers of the same binary,
+//! but a corrupted message must fail loudly and safely, not UB.)
+
+use pgr_mpi::Wire;
+use proptest::prelude::*;
+
+fn try_all_decoders(bytes: &[u8]) {
+    let _ = u32::from_bytes(bytes);
+    let _ = i64::from_bytes(bytes);
+    let _ = f64::from_bytes(bytes);
+    let _ = bool::from_bytes(bytes);
+    let _ = String::from_bytes(bytes);
+    let _ = Vec::<u8>::from_bytes(bytes);
+    let _ = Vec::<u64>::from_bytes(bytes);
+    let _ = Vec::<(u32, i64)>::from_bytes(bytes);
+    let _ = Option::<Vec<String>>::from_bytes(bytes);
+    let _ = Vec::<Vec<Vec<u32>>>::from_bytes(bytes);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn random_bytes_never_panic_decoders(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        try_all_decoders(&bytes);
+    }
+
+    #[test]
+    fn truncations_of_valid_encodings_never_panic(v in proptest::collection::vec((any::<u32>(), any::<i64>(), proptest::option::of(".{0,8}")), 0..20), cut in 0usize..400) {
+        let owned: Vec<(u32, i64, Option<String>)> = v;
+        let bytes = owned.to_bytes();
+        let cut = cut.min(bytes.len());
+        let truncated = &bytes[..cut];
+        let r = Vec::<(u32, i64, Option<String>)>::from_bytes(truncated);
+        if cut == bytes.len() {
+            prop_assert_eq!(r.unwrap(), owned);
+        } else {
+            // Any strict prefix either errors or (rarely) decodes a
+            // shorter valid value with trailing-byte detection — which
+            // from_bytes reports as an error too.
+            prop_assert!(r.is_err());
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_detected_or_benign(v in proptest::collection::vec(any::<u64>(), 1..20), flip_byte in 0usize..200, flip_bit in 0u8..8) {
+        let mut bytes = v.to_bytes();
+        let i = flip_byte % bytes.len();
+        bytes[i] ^= 1 << flip_bit;
+        // Must not panic; may error (length corrupted) or decode a
+        // different vector (payload corrupted) — both are acceptable
+        // failure modes for a trusted-peer codec.
+        let _ = Vec::<u64>::from_bytes(&bytes);
+    }
+}

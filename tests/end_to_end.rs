@@ -1,0 +1,97 @@
+//! End-to-end integration: the serial pipeline on every benchmark
+//! circuit shape, and the P = 1 equivalence of all three parallel
+//! algorithms (each must degenerate to the serial algorithm exactly).
+
+use pgr::circuit::mcnc::{Mcnc, ALL};
+use pgr::mpi::{Comm, MachineModel};
+use pgr::router::{route_parallel, route_serial, Algorithm, PartitionKind, RouterConfig};
+
+const SCALE: f64 = 0.08;
+
+#[test]
+fn serial_routes_every_benchmark_shape() {
+    for m in ALL {
+        let c = m.circuit_scaled(SCALE);
+        let r = route_serial(&c, &RouterConfig::with_seed(1997), &mut Comm::solo(MachineModel::ideal()));
+        assert_eq!(r.circuit, m.name());
+        assert_eq!(r.channel_density.len(), c.num_rows() + 1, "{}", m.name());
+        assert!(r.track_count() > 0, "{}", m.name());
+        assert!(r.chip_width >= c.width, "{}", m.name());
+        assert!(r.area() > 0 && r.wirelength > 0 && r.span_count() > 0, "{}", m.name());
+        assert!(r.channel_density.iter().all(|&d| d >= 0), "{}", m.name());
+    }
+}
+
+#[test]
+fn every_algorithm_at_one_rank_is_the_serial_algorithm() {
+    for m in [Mcnc::Primary2, Mcnc::Industry3] {
+        let c = m.circuit_scaled(SCALE);
+        let cfg = RouterConfig::with_seed(7);
+        let serial = route_serial(&c, &cfg, &mut Comm::solo(MachineModel::ideal()));
+        for algo in Algorithm::ALL {
+            let out = route_parallel(&c, &cfg, algo, PartitionKind::PinWeight, 1, MachineModel::sparc_center_1000());
+            assert_eq!(out.result, serial, "{} at P=1 on {}", algo.name(), m.name());
+        }
+    }
+}
+
+#[test]
+fn serial_virtual_time_scales_with_circuit_size() {
+    let small = Mcnc::Primary2.circuit_scaled(0.05);
+    let large = Mcnc::Primary2.circuit_scaled(0.15);
+    let cfg = RouterConfig::with_seed(1);
+    let t = |c: &pgr::circuit::Circuit| {
+        let mut comm = Comm::solo(MachineModel::sparc_center_1000());
+        route_serial(c, &cfg, &mut comm);
+        comm.now()
+    };
+    assert!(t(&large) > 1.5 * t(&small), "virtual time grows with problem size");
+}
+
+#[test]
+fn serial_is_platform_independent_in_results() {
+    // Machine models change time and memory, never routing decisions.
+    let c = Mcnc::Biomed.circuit_scaled(SCALE);
+    let cfg = RouterConfig::with_seed(11);
+    let a = route_serial(&c, &cfg, &mut Comm::solo(MachineModel::sparc_center_1000()));
+    let b = route_serial(&c, &cfg, &mut Comm::solo(MachineModel::intel_paragon()));
+    let i = route_serial(&c, &cfg, &mut Comm::solo(MachineModel::ideal()));
+    assert_eq!(a, b);
+    assert_eq!(a, i);
+}
+
+#[test]
+fn parallel_results_are_platform_independent_too() {
+    let c = Mcnc::Biomed.circuit_scaled(SCALE);
+    let cfg = RouterConfig::with_seed(13);
+    for algo in Algorithm::ALL {
+        let smp = route_parallel(&c, &cfg, algo, PartitionKind::PinWeight, 3, MachineModel::sparc_center_1000());
+        let dmp = route_parallel(&c, &cfg, algo, PartitionKind::PinWeight, 3, MachineModel::intel_paragon());
+        assert_eq!(smp.result, dmp.result, "{}: same decisions on both platforms", algo.name());
+        assert!(smp.time != dmp.time, "{}: but different simulated times", algo.name());
+    }
+}
+
+#[test]
+fn quality_is_stable_across_seeds() {
+    // TWGR's selling point: "the solution quality is independent of the
+    // routing order of the nets". Different seeds shuffle every random
+    // order; track counts must stay within a tight band.
+    let c = Mcnc::Primary2.circuit_scaled(SCALE);
+    let tracks: Vec<i64> = (0..4)
+        .map(|seed| route_serial(&c, &RouterConfig::with_seed(seed), &mut Comm::solo(MachineModel::ideal())).track_count())
+        .collect();
+    let (lo, hi) = (tracks.iter().min().unwrap(), tracks.iter().max().unwrap());
+    assert!(*hi as f64 <= *lo as f64 * 1.08, "order independence: {tracks:?}");
+}
+
+#[test]
+fn feedthroughs_grow_the_chip() {
+    let c = Mcnc::Industry2.circuit_scaled(SCALE);
+    let r = route_serial(&c, &RouterConfig::with_seed(3), &mut Comm::solo(MachineModel::ideal()));
+    assert!(r.feedthroughs > 0, "multi-row nets need feedthroughs");
+    assert!(r.chip_width > c.width, "feedthrough cells widen rows");
+    let growth = (r.chip_width - c.width) as u64;
+    // Growth is bounded by the widest row's feedthrough load.
+    assert!(growth <= r.feedthroughs * 2, "growth {growth} vs {} fts", r.feedthroughs);
+}

@@ -1,0 +1,56 @@
+//! The strongest correctness property the parallel algorithms have:
+//! at one rank, each of them must execute the serial algorithm *exactly*
+//! — same spans, same densities, same wirelength, bit for bit — across
+//! random circuits, seeds, and feature flags.
+
+use pgr::circuit::{generate, GeneratorConfig};
+use pgr::mpi::{Comm, MachineModel};
+use pgr::router::{route_parallel, route_serial, Algorithm, PartitionKind, RouterConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn one_rank_is_bit_identical_to_serial(
+        circuit_seed in 0u64..10_000,
+        router_seed in 0u64..10_000,
+        refine in any::<bool>(),
+        rows in 3usize..10,
+        kind_idx in 0usize..4,
+    ) {
+        let mut g = GeneratorConfig::small("equiv", circuit_seed);
+        g.rows = rows;
+        g.cells = rows * 14;
+        g.nets = 60;
+        g.pins = 200;
+        let c = generate(&g);
+        let cfg = RouterConfig { seed: router_seed, steiner_refine: refine, ..Default::default() };
+        let serial = route_serial(&c, &cfg, &mut Comm::solo(MachineModel::ideal()));
+        let kind = PartitionKind::ALL[kind_idx];
+        for algo in Algorithm::ALL {
+            let out = route_parallel(&c, &cfg, algo, kind, 1, MachineModel::sparc_center_1000());
+            prop_assert_eq!(
+                &out.result, &serial,
+                "{} (refine={}, kind={}) diverged from serial at P=1",
+                algo.name(), refine, kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_rank_solutions_always_verify(
+        circuit_seed in 0u64..10_000,
+        router_seed in 0u64..10_000,
+        procs in 2usize..5,
+        algo_idx in 0usize..3,
+    ) {
+        let c = generate(&GeneratorConfig::small("mverify", circuit_seed));
+        let cfg = RouterConfig::with_seed(router_seed);
+        let algo = Algorithm::ALL[algo_idx];
+        let out = route_parallel(&c, &cfg, algo, PartitionKind::PinWeight, procs, MachineModel::sparc_center_1000());
+        let violations = pgr::router::verify::verify(&c, &out.result);
+        prop_assert!(violations.is_empty(), "{}@{}: {:?}", algo.name(), procs, violations);
+        prop_assert!(out.result.track_count() > 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Cross-crate property-based tests (proptest): the density profile
+//! against a naive reference, the segment-split tiling invariant that
+//! keeps parallel feedthrough demand identical to serial, netlist format
+//! roundtrips, partition coverage, and wire-codec laws.
+
+use pgr::circuit::format::{from_text, to_text};
+use pgr::circuit::{generate, GeneratorConfig, NetId, RowId, RowPartition};
+use pgr::geom::DensityProfile;
+use pgr::mpi::Wire;
+use pgr::router::parallel::common::split_segment;
+use pgr::router::parallel::partition::{partition_nets, pins_per_owner, PartitionKind};
+use pgr::router::route::state::{Node, Segment};
+use proptest::prelude::*;
+
+// ---------- density profile vs naive reference ----------
+
+#[derive(Debug, Clone)]
+enum ProfileOp {
+    Add { lo: i64, hi: i64, delta: i64 },
+    QueryMax,
+    QueryRange { lo: i64, hi: i64 },
+    MaxIfAdded { lo: i64, hi: i64 },
+}
+
+fn profile_op(width: i64) -> impl Strategy<Value = ProfileOp> {
+    prop_oneof![
+        (0..width, 0..width, -3i64..4).prop_map(|(a, b, d)| ProfileOp::Add { lo: a, hi: b, delta: d }),
+        Just(ProfileOp::QueryMax),
+        (0..width, 0..width).prop_map(|(a, b)| ProfileOp::QueryRange { lo: a, hi: b }),
+        (0..width, 0..width).prop_map(|(a, b)| ProfileOp::MaxIfAdded { lo: a, hi: b }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn profile_matches_naive_model(width in 1usize..200, ops in proptest::collection::vec(profile_op(200), 1..80)) {
+        let mut profile = DensityProfile::new(width);
+        let mut naive = vec![0i64; width];
+        for op in ops {
+            match op {
+                ProfileOp::Add { lo, hi, delta } => {
+                    profile.add_span(lo, hi, delta);
+                    let (a, b) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+                    for col in a.max(0)..=b.min(width as i64 - 1) {
+                        naive[col as usize] += delta;
+                    }
+                }
+                ProfileOp::QueryMax => {
+                    prop_assert_eq!(profile.max(), *naive.iter().max().unwrap());
+                }
+                ProfileOp::QueryRange { lo, hi } => {
+                    let (a, b) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+                    let (a, b) = (a.max(0), b.min(width as i64 - 1));
+                    let expect = if a > b { 0 } else { *naive[a as usize..=b as usize].iter().max().unwrap() };
+                    prop_assert_eq!(profile.max_in(lo, hi), expect);
+                }
+                ProfileOp::MaxIfAdded { lo, hi } => {
+                    let (a, b) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+                    let (a2, b2) = (a.max(0), b.min(width as i64 - 1));
+                    let global = *naive.iter().max().unwrap();
+                    let expect = if a2 > b2 {
+                        global
+                    } else {
+                        global.max(naive[a2 as usize..=b2 as usize].iter().max().unwrap() + 1)
+                    };
+                    prop_assert_eq!(profile.max_if_added(lo, hi), expect);
+                }
+            }
+        }
+        prop_assert_eq!(profile.counts(), naive);
+    }
+}
+
+// ---------- segment splitting tiles demand exactly ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn split_pieces_tile_the_original_demand_rows(
+        rows in 2usize..40,
+        parts_seed in 1usize..8,
+        x1 in 0i64..500,
+        x2 in 0i64..500,
+        r1 in 0u32..40,
+        r2 in 0u32..40,
+    ) {
+        let parts = parts_seed.min(rows);
+        let r1 = r1 % rows as u32;
+        let r2 = r2 % rows as u32;
+        let rp = RowPartition::uniform(rows, parts);
+        // Whole-net segment: pin endpoints.
+        let seg = Segment::new(
+            NetId(0),
+            Node::pin(0, x1, r1, pgr::router::route::state::ChannelPref::Either),
+            Node::pin(1, x2, r2, pgr::router::route::state::ChannelPref::Either),
+        );
+        let pieces = split_segment(&seg, &rp);
+
+        // 1. Every piece stays within one part.
+        for (p, piece) in &pieces {
+            prop_assert_eq!(rp.owner(RowId(piece.lower.row)), *p);
+            prop_assert_eq!(rp.owner(RowId(piece.upper.row)), *p);
+        }
+        // 2. The union of the pieces' demand rows equals the original's
+        //    (this is what keeps parallel feedthrough insertion — and so
+        //    cell shifting — identical to serial).
+        let mut union: Vec<u32> = pieces.iter().flat_map(|(_, s)| s.demand_rows()).collect();
+        union.sort_unstable();
+        let expect: Vec<u32> = seg.demand_rows().collect();
+        prop_assert_eq!(union, expect);
+        // 3. Adjacent pieces share the cut column so the boundary hop is
+        //    a pure vertical.
+        for w in pieces.windows(2) {
+            let (_, a) = &w[0];
+            let (_, b) = &w[1];
+            prop_assert_eq!(a.upper.x, b.lower.x);
+            prop_assert_eq!(a.upper.row + 1, b.lower.row);
+        }
+    }
+}
+
+// ---------- netlist format ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generated_circuits_roundtrip_through_the_text_format(seed in 0u64..1000, rows in 2usize..10) {
+        let mut cfg = GeneratorConfig::small("prop", seed);
+        cfg.rows = rows;
+        cfg.cells = rows * 12;
+        cfg.nets = 40;
+        cfg.pins = 150;
+        let c = generate(&cfg);
+        let c2 = from_text(&to_text(&c)).expect("roundtrip parses");
+        prop_assert_eq!(c.stats(), c2.stats());
+        prop_assert_eq!(to_text(&c), to_text(&c2), "canonical form is a fixed point");
+    }
+}
+
+// ---------- net partitions ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn partitions_cover_all_nets_and_balance_pins(seed in 0u64..500, parts in 1usize..6) {
+        let c = generate(&GeneratorConfig::small("part-prop", seed));
+        let parts = parts.min(c.num_rows());
+        let rp = RowPartition::balanced(&c, parts);
+        for kind in PartitionKind::ALL {
+            let owner = partition_nets(&c, kind, &rp, parts, 1.6);
+            prop_assert_eq!(owner.len(), c.num_nets());
+            prop_assert!(owner.iter().all(|&o| (o as usize) < parts));
+            let pins = pins_per_owner(&c, &owner, parts);
+            prop_assert_eq!(pins.iter().sum::<usize>(), c.num_pins());
+            if parts > 1 {
+                let max = *pins.iter().max().unwrap();
+                prop_assert!(max * parts <= c.num_pins() * 3, "{}: {:?}", kind.name(), pins);
+            }
+        }
+    }
+}
+
+// ---------- wire codec ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn codec_roundtrips_nested_values(v in proptest::collection::vec((any::<u32>(), any::<i64>(), proptest::option::of(any::<bool>())), 0..50)) {
+        let bytes = v.to_bytes();
+        let back = Vec::<(u32, i64, Option<bool>)>::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(v, back);
+    }
+
+    #[test]
+    fn codec_rejects_any_truncation(v in proptest::collection::vec(any::<u64>(), 1..20), cut in 1usize..8) {
+        let bytes = v.to_bytes();
+        let cut = cut.min(bytes.len() - 1).max(1);
+        let r = Vec::<u64>::from_bytes(&bytes[..bytes.len() - cut]);
+        prop_assert!(r.is_err(), "truncated by {cut} must fail");
+    }
+
+    #[test]
+    fn codec_strings_roundtrip(s in ".{0,64}") {
+        let owned = s.to_string();
+        prop_assert_eq!(String::from_bytes(&owned.to_bytes()).unwrap(), owned);
+    }
+}
