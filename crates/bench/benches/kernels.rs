@@ -3,40 +3,37 @@
 //! density profile (the structure every coarse/switchable decision
 //! probes), union-find, and the wire codec the ranks serialize with.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgr_bench::harness::{black_box, Harness};
 use pgr_geom::rng::{rng_from_seed, shuffled_indices};
 use pgr_geom::{mst_adjacency_limited, mst_prim, DensityProfile, Point, UnionFind};
 use pgr_mpi::Wire;
-use rand::Rng;
 
 fn random_points(n: usize, seed: u64) -> Vec<Point> {
     let mut rng = rng_from_seed(seed);
-    (0..n).map(|_| Point::new(rng.gen_range(0..2000), rng.gen_range(0..64))).collect()
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(0..2000), rng.gen_range(0..64)))
+        .collect()
 }
 
-fn bench_mst(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mst_prim");
+fn bench_mst(h: &mut Harness) {
     for &n in &[4usize, 32, 256, 2048] {
         let pts = random_points(n, 42);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| b.iter(|| mst_prim(black_box(pts))));
+        h.bench(&format!("mst_prim/{n}"), |b| {
+            b.iter(|| mst_prim(black_box(&pts)))
+        });
     }
-    g.finish();
-
-    let mut g = c.benchmark_group("mst_adjacency_limited");
     for &n in &[32usize, 256, 1024] {
         let pts = random_points(n, 43);
         let rows: Vec<i64> = pts.iter().map(|p| p.y).collect();
-        g.bench_with_input(BenchmarkId::from_parameter(n), &(pts, rows), |b, (pts, rows)| {
-            b.iter(|| mst_adjacency_limited(black_box(pts), black_box(rows)))
+        h.bench(&format!("mst_adjacency_limited/{n}"), |b| {
+            b.iter(|| mst_adjacency_limited(black_box(&pts), black_box(&rows)))
         });
     }
-    g.finish();
 }
 
-fn bench_profile(c: &mut Criterion) {
-    let mut g = c.benchmark_group("density_profile");
+fn bench_profile(h: &mut Harness) {
     for &width in &[256usize, 4096] {
-        g.bench_function(BenchmarkId::new("add_remove", width), |b| {
+        h.bench(&format!("density_profile/add_remove/{width}"), |b| {
             let mut p = DensityProfile::new(width);
             let mut rng = rng_from_seed(7);
             b.iter(|| {
@@ -47,7 +44,7 @@ fn bench_profile(c: &mut Criterion) {
                 p.add_span(lo, hi, -1);
             })
         });
-        g.bench_function(BenchmarkId::new("max_if_added", width), |b| {
+        h.bench(&format!("density_profile/max_if_added/{width}"), |b| {
             let mut p = DensityProfile::new(width);
             let mut rng = rng_from_seed(8);
             for _ in 0..200 {
@@ -60,13 +57,14 @@ fn bench_profile(c: &mut Criterion) {
             })
         });
     }
-    g.finish();
 }
 
-fn bench_unionfind(c: &mut Criterion) {
-    c.bench_function("unionfind_1k_random_unions", |b| {
+fn bench_unionfind(h: &mut Harness) {
+    h.bench("unionfind_1k_random_unions", |b| {
         let mut rng = rng_from_seed(3);
-        let pairs: Vec<(usize, usize)> = (0..1000).map(|_| (rng.gen_range(0..1000), rng.gen_range(0..1000))).collect();
+        let pairs: Vec<(usize, usize)> = (0..1000)
+            .map(|_| (rng.gen_range(0..1000), rng.gen_range(0..1000)))
+            .collect();
         b.iter(|| {
             let mut uf = UnionFind::new(1000);
             for &(x, y) in &pairs {
@@ -77,19 +75,21 @@ fn bench_unionfind(c: &mut Criterion) {
     });
 }
 
-fn bench_wire(c: &mut Criterion) {
-    let payload: Vec<(u32, i64, i64, Option<u32>)> =
-        (0..1000).map(|i| (i, i as i64 * 3, -(i as i64), (i % 3 == 0).then_some(i))).collect();
-    c.bench_function("wire_encode_1k_records", |b| b.iter(|| black_box(payload.to_bytes())));
+fn bench_wire(h: &mut Harness) {
+    let payload: Vec<(u32, i64, i64, Option<u32>)> = (0..1000)
+        .map(|i| (i, i as i64 * 3, -(i as i64), (i % 3 == 0).then_some(i)))
+        .collect();
+    h.bench("wire_encode_1k_records", |b| {
+        b.iter(|| black_box(payload.to_bytes()))
+    });
     let bytes = payload.to_bytes();
-    c.bench_function("wire_decode_1k_records", |b| {
+    h.bench("wire_decode_1k_records", |b| {
         b.iter(|| black_box(Vec::<(u32, i64, i64, Option<u32>)>::from_bytes(&bytes).unwrap()))
     });
 }
 
-fn bench_channel_router(c: &mut Criterion) {
+fn bench_channel_router(h: &mut Harness) {
     use pgr_channel::{assign_tracks, merge_net_intervals, Interval};
-    let mut g = c.benchmark_group("left_edge_router");
     for &n in &[100usize, 2000] {
         let mut rng = rng_from_seed(17);
         let ivs: Vec<Interval> = (0..n)
@@ -98,23 +98,26 @@ fn bench_channel_router(c: &mut Criterion) {
                 Interval::new((i % 200) as u32, lo, lo + rng.gen_range(1..150))
             })
             .collect();
-        g.bench_with_input(BenchmarkId::from_parameter(n), &ivs, |b, ivs| {
-            b.iter(|| black_box(assign_tracks(&merge_net_intervals(ivs))))
+        h.bench(&format!("left_edge_router/{n}"), |b| {
+            b.iter(|| black_box(assign_tracks(&merge_net_intervals(&ivs))))
         });
     }
-    g.finish();
 }
 
-fn bench_shuffle(c: &mut Criterion) {
-    c.bench_function("shuffle_10k", |b| {
+fn bench_shuffle(h: &mut Harness) {
+    h.bench("shuffle_10k", |b| {
         let mut rng = rng_from_seed(5);
         b.iter(|| black_box(shuffled_indices(10_000, &mut rng)))
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_mst, bench_profile, bench_unionfind, bench_wire, bench_channel_router, bench_shuffle
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_mst(&mut h);
+    bench_profile(&mut h);
+    bench_unionfind(&mut h);
+    bench_wire(&mut h);
+    bench_channel_router(&mut h);
+    bench_shuffle(&mut h);
+    h.finish();
+}

@@ -2,14 +2,12 @@
 //! throughput, collectives across rank counts, and tag-matching under
 //! out-of-order traffic. Real host time (the virtual clocks are free).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgr_bench::harness::{black_box, Harness};
 use pgr_mpi::{run, MachineModel};
 
-fn bench_p2p(c: &mut Criterion) {
-    let mut g = c.benchmark_group("p2p_roundtrips");
-    g.sample_size(10);
+fn bench_p2p(h: &mut Harness) {
     for &msgs in &[100usize, 1000] {
-        g.bench_with_input(BenchmarkId::from_parameter(msgs), &msgs, |b, &msgs| {
+        h.bench(&format!("p2p_roundtrips/{msgs}"), |b| {
             b.iter(|| {
                 run(2, MachineModel::ideal(), |comm| {
                     if comm.rank() == 0 {
@@ -27,43 +25,43 @@ fn bench_p2p(c: &mut Criterion) {
             })
         });
     }
-    g.finish();
 }
 
-fn bench_collectives(c: &mut Criterion) {
-    let mut g = c.benchmark_group("collectives_100_rounds");
-    g.sample_size(10);
+fn bench_collectives(h: &mut Harness) {
     for &ranks in &[2usize, 4, 8] {
-        g.bench_with_input(BenchmarkId::new("allreduce", ranks), &ranks, |b, &ranks| {
+        h.bench(&format!("collectives_100_rounds/allreduce/{ranks}"), |b| {
             b.iter(|| {
                 run(ranks, MachineModel::ideal(), |comm| {
                     let mut acc = 0u64;
                     for i in 0..100u64 {
-                        acc = comm.allreduce(acc + i + comm.rank() as u64, |a, b| a.wrapping_add(b));
+                        acc =
+                            comm.allreduce(acc + i + comm.rank() as u64, |a, b| a.wrapping_add(b));
                     }
                     black_box(acc)
                 })
             })
         });
-        g.bench_with_input(BenchmarkId::new("allgather_vec", ranks), &ranks, |b, &ranks| {
-            b.iter(|| {
-                run(ranks, MachineModel::ideal(), |comm| {
-                    let payload: Vec<u64> = (0..64).map(|i| i + comm.rank() as u64).collect();
-                    let mut total = 0u64;
-                    for _ in 0..100 {
-                        let all = comm.allgather(payload.clone());
-                        total += all.len() as u64;
-                    }
-                    black_box(total)
+        h.bench(
+            &format!("collectives_100_rounds/allgather_vec/{ranks}"),
+            |b| {
+                b.iter(|| {
+                    run(ranks, MachineModel::ideal(), |comm| {
+                        let payload: Vec<u64> = (0..64).map(|i| i + comm.rank() as u64).collect();
+                        let mut total = 0u64;
+                        for _ in 0..100 {
+                            let all = comm.allgather(payload.clone());
+                            total += all.len() as u64;
+                        }
+                        black_box(total)
+                    })
                 })
-            })
-        });
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_alltoall(c: &mut Criterion) {
-    c.bench_function("alltoall_8ranks_1k_items", |b| {
+fn bench_alltoall(h: &mut Harness) {
+    h.bench("alltoall_8ranks_1k_items", |b| {
         b.iter(|| {
             run(8, MachineModel::ideal(), |comm| {
                 let data: Vec<Vec<u64>> = (0..8).map(|d| vec![d as u64; 128]).collect();
@@ -74,9 +72,10 @@ fn bench_alltoall(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_p2p, bench_collectives, bench_alltoall
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_p2p(&mut h);
+    bench_collectives(&mut h);
+    bench_alltoall(&mut h);
+    h.finish();
+}

@@ -5,7 +5,7 @@
 //! tables in deterministic *virtual* time, while these measure the real
 //! host cost of the implementation.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgr_bench::harness::{black_box, Harness};
 use pgr_circuit::mcnc::Mcnc;
 use pgr_circuit::{generate, Circuit, GeneratorConfig, NetId};
 use pgr_geom::rng::rng_from_seed;
@@ -19,31 +19,27 @@ fn small_circuit() -> Circuit {
     generate(&GeneratorConfig::small("bench", 99))
 }
 
-fn bench_serial_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("serial_route");
-    g.sample_size(10);
+fn bench_serial_pipeline(h: &mut Harness) {
     for &scale in &[0.05f64, 0.15] {
         let circuit = Mcnc::Biomed.circuit_scaled(scale);
         let cfg = RouterConfig::with_seed(1);
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("biomed_{:.0}pct", scale * 100.0)),
-            &circuit,
-            |b, circuit| {
+        h.bench(
+            &format!("serial_route/biomed_{:.0}pct", scale * 100.0),
+            |b| {
                 b.iter(|| {
                     let mut comm = Comm::solo(MachineModel::ideal());
-                    black_box(route_serial(circuit, &cfg, &mut comm))
+                    black_box(route_serial(&circuit, &cfg, &mut comm))
                 })
             },
         );
     }
-    g.finish();
 }
 
-fn bench_steps(c: &mut Criterion) {
+fn bench_steps(h: &mut Harness) {
     let circuit = small_circuit();
-    let mut comm = Comm::solo(MachineModel::ideal());
 
-    c.bench_function("step1_steiner_all_nets", |b| {
+    h.bench("step1_steiner_all_nets", |b| {
+        let mut comm = Comm::solo(MachineModel::ideal());
         b.iter(|| {
             let mut total = 0usize;
             for i in 0..circuit.num_nets() {
@@ -62,48 +58,65 @@ fn bench_steps(c: &mut Criterion) {
         })
         .collect();
     let cfg = RouterConfig::with_seed(1);
-    c.bench_function("step2_coarse_route", |b| {
+    h.bench("step2_coarse_route", |b| {
         b.iter(|| {
             let mut st = CoarseState::new(0, circuit.num_rows(), circuit.width, cfg.grid_w);
             let mut rng = rng_from_seed(2);
-            black_box(st.route(&segments, &cfg, &mut rng, &mut Comm::solo(MachineModel::ideal())))
+            black_box(st.route(
+                &segments,
+                &cfg,
+                &mut rng,
+                &mut Comm::solo(MachineModel::ideal()),
+            ))
         })
     });
 
-    c.bench_function("step4_connect_all_nets", |b| {
-        let works: Vec<_> = (0..circuit.num_nets()).map(|i| whole_net(&circuit, NetId::from_index(i))).collect();
+    h.bench("step4_connect_all_nets", |b| {
+        let works: Vec<_> = (0..circuit.num_nets())
+            .map(|i| whole_net(&circuit, NetId::from_index(i)))
+            .collect();
         b.iter(|| {
             let mut spans = 0usize;
             for w in &works {
-                spans += connect_net(w, &mut Comm::solo(MachineModel::ideal())).spans.len();
+                spans += connect_net(w, &mut Comm::solo(MachineModel::ideal()))
+                    .spans
+                    .len();
             }
             black_box(spans)
         })
     });
 }
 
-fn bench_parallel_algorithms(c: &mut Criterion) {
+fn bench_parallel_algorithms(h: &mut Harness) {
     let circuit = Mcnc::Primary2.circuit_scaled(0.3);
     let cfg = RouterConfig::with_seed(1);
-    let mut g = c.benchmark_group("parallel_4ranks");
-    g.sample_size(10);
     for algo in Algorithm::ALL {
-        g.bench_function(algo.name(), |b| {
+        h.bench(&format!("parallel_4ranks/{}", algo.name()), |b| {
             b.iter(|| {
-                black_box(route_parallel(&circuit, &cfg, algo, PartitionKind::PinWeight, 4, MachineModel::sparc_center_1000()))
+                black_box(route_parallel(
+                    &circuit,
+                    &cfg,
+                    algo,
+                    PartitionKind::PinWeight,
+                    4,
+                    MachineModel::sparc_center_1000(),
+                ))
             })
         });
     }
-    g.finish();
 }
 
-fn bench_generation(c: &mut Criterion) {
-    c.bench_function("generate_small_circuit", |b| b.iter(|| black_box(generate(&GeneratorConfig::small("g", 1)))));
+fn bench_generation(h: &mut Harness) {
+    h.bench("generate_small_circuit", |b| {
+        b.iter(|| black_box(generate(&GeneratorConfig::small("g", 1))))
+    });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_serial_pipeline, bench_steps, bench_parallel_algorithms, bench_generation
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_serial_pipeline(&mut h);
+    bench_steps(&mut h);
+    bench_parallel_algorithms(&mut h);
+    bench_generation(&mut h);
+    h.finish();
+}

@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--scale F] [--circuits a,b,c] <target>...
+//! repro [--scale F] [--circuits a,b,c] [--trace-out DIR] <target>...
 //!
 //! targets: table1 table2 table3 table4 table5
 //!          partition-ablation sync-sweep machine-sweep
@@ -11,14 +11,17 @@
 //!
 //! `table2`/`table3`/`table4` also emit figures 4/5/6 (the speedup
 //! series). `--scale 0.1` runs 10 %-size circuits for a quick look;
-//! the default regenerates the full-size evaluation.
+//! the default regenerates the full-size evaluation. `--trace-out DIR`
+//! makes tracing-aware targets (currently `phase-breakdown`) write
+//! per-run Chrome traces (`*.trace.json`, load in `chrome://tracing` or
+//! Perfetto) and per-rank stats (`*.stats.json`) into DIR.
 
 use pgr_bench::tables::{self, Opts};
 use pgr_router::Algorithm;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale F] [--circuits a,b,c] <target>...\n\
+        "usage: repro [--scale F] [--circuits a,b,c] [--trace-out DIR] <target>...\n\
          targets: table1 table2 table3 table4 table5 partition-ablation sync-sweep\n          machine-sweep exact-sync-ablation beta-sweep phase-breakdown detailed-refinement steiner-ablation comm-matrix all"
     );
     std::process::exit(2);
@@ -41,6 +44,10 @@ fn main() {
             "--circuits" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.filter = Some(v.split(',').map(str::to_string).collect());
+            }
+            "--trace-out" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.trace_out = Some(v.into());
             }
             "-h" | "--help" => usage(),
             t => targets.push(t.to_string()),

@@ -1,0 +1,151 @@
+//! A minimal wall-clock micro-benchmark harness (std-only).
+//!
+//! The workspace's `[[bench]]` targets use `harness = false`, so each
+//! bench binary owns its `main`. This module supplies the measurement
+//! loop: per benchmark it calibrates an iteration count to a fixed
+//! measurement window, takes several samples, and reports the median and
+//! minimum nanoseconds per iteration. Invoke via `cargo bench`; a
+//! substring argument filters which benchmarks run.
+//!
+//! This measures *host* time. The paper's tables come from the
+//! deterministic virtual clocks (`repro`); these benches exist to watch
+//! the real cost of the kernels and the substrate.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — prevents the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Target measurement window per sample.
+const SAMPLE_WINDOW: Duration = Duration::from_millis(25);
+/// Samples per benchmark (median reported).
+const SAMPLES: usize = 9;
+
+/// Handle passed to each benchmark body; call [`Bencher::iter`] with the
+/// code under test.
+pub struct Bencher {
+    ns_per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`: calibrate an iteration count to the sample window,
+    /// then time [`SAMPLES`] batches.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibrate: grow the batch until it fills the window.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= SAMPLE_WINDOW || batch >= 1 << 30 {
+                break;
+            }
+            // Aim directly for the window once we have a signal.
+            batch = if elapsed < Duration::from_micros(50) {
+                batch * 8
+            } else {
+                let scale = SAMPLE_WINDOW.as_secs_f64() / elapsed.as_secs_f64();
+                ((batch as f64 * scale * 1.2) as u64).max(batch + 1)
+            };
+        }
+        self.ns_per_iter.clear();
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            self.ns_per_iter
+                .push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+/// The bench runner: owns the CLI filter and prints one line per
+/// benchmark.
+pub struct Harness {
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Harness {
+    /// Build from `cargo bench` argv: ignores harness flags (`--bench`,
+    /// `--exact`, dashed options); the first free-standing argument
+    /// becomes a substring filter.
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Harness { filter, ran: 0 }
+    }
+
+    /// Run one benchmark (if it passes the filter) and print its timing.
+    pub fn bench<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            ns_per_iter: Vec::new(),
+        };
+        f(&mut b);
+        if b.ns_per_iter.is_empty() {
+            println!("{name:<44} (no measurement — body never called iter)");
+            return;
+        }
+        b.ns_per_iter
+            .sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        let median = b.ns_per_iter[b.ns_per_iter.len() / 2];
+        let min = b.ns_per_iter[0];
+        println!(
+            "{name:<44} median {:>12}  min {:>12}",
+            fmt_ns(median),
+            fmt_ns(min)
+        );
+        self.ran += 1;
+    }
+
+    /// Print a trailing summary (call at the end of `main`).
+    pub fn finish(&self) {
+        println!("\n{} benchmark(s) run", self.ran);
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert_eq!(fmt_ns(12.0), "12.0 ns");
+        assert_eq!(fmt_ns(12_500.0), "12.50 µs");
+        assert_eq!(fmt_ns(3_400_000.0), "3.40 ms");
+        assert_eq!(fmt_ns(2.5e9), "2.500 s");
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            ns_per_iter: Vec::new(),
+        };
+        b.iter(|| black_box(1u64 + 1));
+        assert_eq!(b.ns_per_iter.len(), SAMPLES);
+        assert!(b.ns_per_iter.iter().all(|&t| t >= 0.0));
+    }
+}

@@ -1,11 +1,13 @@
 //! Benchmark harness: regenerates every table and figure of the paper.
 //!
-//! The `repro` binary drives [`tables`]; Criterion micro-benches live in
-//! `benches/`. Everything runs on synthetic MCNC-shaped circuits (see
+//! The `repro` binary drives [`tables`]; wall-clock micro-benches (see
+//! [`harness`]) live in `benches/`. Everything runs on synthetic
+//! MCNC-shaped circuits (see
 //! `pgr-circuit::mcnc`) over the simulated SparcCenter 1000 / Paragon
 //! machine models, so all reported runtimes and speedups are
 //! deterministic virtual times.
 
+pub mod harness;
 pub mod tables;
 
 use pgr_circuit::mcnc::{Mcnc, ALL};
@@ -20,8 +22,18 @@ pub const SEED: u64 = 1997;
 /// optionally filtered by circuit name.
 pub fn circuits(scale: f64, filter: Option<&[String]>) -> Vec<Circuit> {
     ALL.iter()
-        .filter(|m| filter.map(|f| f.iter().any(|n| n == m.name())).unwrap_or(true))
-        .map(|m| if scale >= 1.0 { m.circuit() } else { m.circuit_scaled(scale) })
+        .filter(|m| {
+            filter
+                .map(|f| f.iter().any(|n| n == m.name()))
+                .unwrap_or(true)
+        })
+        .map(|m| {
+            if scale >= 1.0 {
+                m.circuit()
+            } else {
+                m.circuit_scaled(scale)
+            }
+        })
         .collect()
 }
 
@@ -33,11 +45,19 @@ pub struct SerialBaseline {
 }
 
 /// Run the serial router on `machine`.
-pub fn serial_baseline(circuit: &Circuit, cfg: &RouterConfig, machine: MachineModel) -> SerialBaseline {
+pub fn serial_baseline(
+    circuit: &Circuit,
+    cfg: &RouterConfig,
+    machine: MachineModel,
+) -> SerialBaseline {
     let mut comm = Comm::solo(machine);
     let result = route_serial(circuit, cfg, &mut comm);
     pgr_router::verify::assert_verified(circuit, &result);
-    SerialBaseline { result, time: comm.now(), peak_mem: comm.peak_mem() }
+    SerialBaseline {
+        result,
+        time: comm.now(),
+        peak_mem: comm.peak_mem(),
+    }
 }
 
 /// Pretty seconds.

@@ -13,8 +13,10 @@
 
 use crate::{circuits, fmt_secs, serial_baseline, SEED};
 use pgr_circuit::Circuit;
-use pgr_mpi::MachineModel;
+use pgr_mpi::trace::{chrome_trace_json, stats_json, RankTrace, TraceConfig};
+use pgr_mpi::{MachineModel, RankStats};
 use pgr_router::{route_parallel, Algorithm, PartitionKind, RouterConfig};
+use std::path::{Path, PathBuf};
 
 /// Harness options.
 #[derive(Debug, Clone)]
@@ -23,12 +25,49 @@ pub struct Opts {
     pub scale: f64,
     /// Restrict to these circuit names (None = all six).
     pub filter: Option<Vec<String>>,
+    /// Directory to write per-run Chrome traces and stats JSON into
+    /// (`--trace-out`). None = tracing off, zero overhead.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for Opts {
     fn default() -> Self {
-        Opts { scale: 1.0, filter: None }
+        Opts {
+            scale: 1.0,
+            filter: None,
+            trace_out: None,
+        }
     }
+}
+
+impl Opts {
+    fn trace_config(&self) -> TraceConfig {
+        if self.trace_out.is_some() {
+            TraceConfig::on()
+        } else {
+            TraceConfig::off()
+        }
+    }
+}
+
+/// Write one run's Chrome trace (`<label>.trace.json`, for
+/// `chrome://tracing` / Perfetto) and stats (`<label>.stats.json`) into
+/// `dir`. Returns the trace path.
+pub fn write_traces(
+    dir: &Path,
+    label: &str,
+    traces: &[RankTrace],
+    stats: &[RankStats],
+    machine: &MachineModel,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let trace_path = dir.join(format!("{label}.trace.json"));
+    std::fs::write(&trace_path, chrome_trace_json(traces))?;
+    std::fs::write(
+        dir.join(format!("{label}.stats.json")),
+        stats_json(stats, machine),
+    )?;
+    Ok(trace_path)
 }
 
 impl Opts {
@@ -38,7 +77,10 @@ impl Opts {
 
     fn note_scale(&self) {
         if self.scale < 1.0 {
-            println!("(circuits scaled to {:.0} % of the paper's sizes)", self.scale * 100.0);
+            println!(
+                "(circuits scaled to {:.0} % of the paper's sizes)",
+                self.scale * 100.0
+            );
         }
     }
 }
@@ -57,10 +99,16 @@ fn clamp_procs(p: usize, circuit: &Circuit) -> usize {
 pub fn table1(opts: &Opts) {
     println!("Table 1: Characteristics of test circuits");
     opts.note_scale();
-    println!("{:<12} {:>6} {:>8} {:>8} {:>8} {:>12}", "circuit", "rows", "pins", "cells", "nets", "max net deg");
+    println!(
+        "{:<12} {:>6} {:>8} {:>8} {:>8} {:>12}",
+        "circuit", "rows", "pins", "cells", "nets", "max net deg"
+    );
     for c in opts.circuits() {
         let s = c.stats();
-        println!("{:<12} {:>6} {:>8} {:>8} {:>8} {:>12}", s.name, s.rows, s.pins, s.cells, s.nets, s.max_net_degree);
+        println!(
+            "{:<12} {:>6} {:>8} {:>8} {:>8} {:>12}",
+            s.name, s.rows, s.pins, s.cells, s.nets, s.max_net_degree
+        );
     }
     println!();
 }
@@ -77,9 +125,15 @@ pub fn quality_and_speedup(algo: Algorithm, opts: &Opts) {
     let procs = [1usize, 2, 4, 8];
     let cfg = cfg();
 
-    println!("Table {tno}: Scaled track results of the {} pin partition algorithm", algo.name());
+    println!(
+        "Table {tno}: Scaled track results of the {} pin partition algorithm",
+        algo.name()
+    );
     opts.note_scale();
-    println!("{:<12} {:>8} {:>8} {:>8} {:>8}", "circuit", "1 proc", "2 procs", "4 procs", "8 procs");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8}",
+        "circuit", "1 proc", "2 procs", "4 procs", "8 procs"
+    );
     let mut speedups: Vec<(String, Vec<f64>)> = Vec::new();
     for c in opts.circuits() {
         let base = serial_baseline(&c, &cfg, machine);
@@ -96,8 +150,14 @@ pub fn quality_and_speedup(algo: Algorithm, opts: &Opts) {
         speedups.push((c.name.clone(), sp));
     }
     println!();
-    println!("Figure {fno}: Speedup results of the {} pin partition algorithm", algo.name());
-    println!("{:<12} {:>8} {:>8} {:>8} {:>8}", "circuit", "1 proc", "2 procs", "4 procs", "8 procs");
+    println!(
+        "Figure {fno}: Speedup results of the {} pin partition algorithm",
+        algo.name()
+    );
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8}",
+        "circuit", "1 proc", "2 procs", "4 procs", "8 procs"
+    );
     let mut avg = vec![0.0; procs.len()];
     for (name, sp) in &speedups {
         let mut row = format!("{:<12}", name);
@@ -145,14 +205,25 @@ pub fn table5(opts: &Opts) {
                 1,
                 base.result.track_count(),
                 base.result.area(),
-                if serial_fits { fmt_secs(base.time) } else { "mem>32MB".to_string() },
+                if serial_fits {
+                    fmt_secs(base.time)
+                } else {
+                    "mem>32MB".to_string()
+                },
                 "1.00",
                 "1.000",
                 "1.000"
             );
             for &p in procs.iter().skip(1) {
                 let p = clamp_procs(p, &c);
-                let out = route_parallel(&c, &cfg, Algorithm::Hybrid, PartitionKind::PinWeight, p, machine);
+                let out = route_parallel(
+                    &c,
+                    &cfg,
+                    Algorithm::Hybrid,
+                    PartitionKind::PinWeight,
+                    p,
+                    machine,
+                );
                 pgr_router::verify::assert_verified(&c, &out.result);
                 let mem_note = if out.fits_memory { "" } else { "!" };
                 println!(
@@ -171,7 +242,9 @@ pub fn table5(opts: &Opts) {
             }
         }
     }
-    println!("(*: serial run exceeds the Paragon's 32 MB/node — speedup vs. simulated serial time)");
+    println!(
+        "(*: serial run exceeds the Paragon's 32 MB/node — speedup vs. simulated serial time)"
+    );
     println!();
 }
 
@@ -183,7 +256,10 @@ pub fn partition_ablation(opts: &Opts) {
     let machine = MachineModel::sparc_center_1000();
     println!("Net-partition heuristic ablation (8 procs, SparcCenter model)");
     opts.note_scale();
-    println!("{:<12} {:<12} {:>10} {:>9} {:>9}", "circuit", "partition", "sc.tracks", "time(s)", "speedup");
+    println!(
+        "{:<12} {:<12} {:>10} {:>9} {:>9}",
+        "circuit", "partition", "sc.tracks", "time(s)", "speedup"
+    );
     for c in opts.circuits() {
         let base = serial_baseline(&c, &cfg, machine);
         for kind in PartitionKind::ALL {
@@ -208,14 +284,24 @@ pub fn sync_sweep(opts: &Opts) {
     let machine = MachineModel::sparc_center_1000();
     println!("Net-wise synchronization-period sweep (8 procs, SparcCenter model)");
     opts.note_scale();
-    println!("{:<12} {:>8} {:>10} {:>9} {:>9}", "circuit", "period", "sc.tracks", "time(s)", "speedup");
+    println!(
+        "{:<12} {:>8} {:>10} {:>9} {:>9}",
+        "circuit", "period", "sc.tracks", "time(s)", "speedup"
+    );
     for c in opts.circuits() {
         let base = serial_baseline(&c, &cfg(), machine);
         for period in [16usize, 64, 256, 1024, 8192] {
             let mut cfg = cfg();
             cfg.sync_period = period;
             let p = clamp_procs(8, &c);
-            let out = route_parallel(&c, &cfg, Algorithm::NetWise, PartitionKind::PinWeight, p, machine);
+            let out = route_parallel(
+                &c,
+                &cfg,
+                Algorithm::NetWise,
+                PartitionKind::PinWeight,
+                p,
+                machine,
+            );
             println!(
                 "{:<12} {:>8} {:>10.3} {:>9} {:>9.2}",
                 c.name,
@@ -240,7 +326,10 @@ pub fn exact_sync_ablation(opts: &Opts) {
     let machine = MachineModel::sparc_center_1000();
     println!("Net-wise synchronization-protocol ablation (8 procs, SparcCenter model)");
     opts.note_scale();
-    println!("{:<12} {:<22} {:>10} {:>9} {:>9}", "circuit", "protocol", "sc.tracks", "time(s)", "speedup");
+    println!(
+        "{:<12} {:<22} {:>10} {:>9} {:>9}",
+        "circuit", "protocol", "sc.tracks", "time(s)", "speedup"
+    );
     for c in opts.circuits() {
         let base = serial_baseline(&c, &cfg(), machine);
         for (label, exact, factor) in [
@@ -252,7 +341,14 @@ pub fn exact_sync_ablation(opts: &Opts) {
             cfg.netwise_exact_sync = exact;
             cfg.netwise_grid_factor = factor;
             let p = clamp_procs(8, &c);
-            let out = route_parallel(&c, &cfg, Algorithm::NetWise, PartitionKind::PinWeight, p, machine);
+            let out = route_parallel(
+                &c,
+                &cfg,
+                Algorithm::NetWise,
+                PartitionKind::PinWeight,
+                p,
+                machine,
+            );
             println!(
                 "{:<12} {:<22} {:>10.3} {:>9} {:>9.2}",
                 c.name,
@@ -317,7 +413,14 @@ pub fn steiner_ablation(opts: &Opts) {
             cfg.steiner_refine = refine;
             let base = serial_baseline(&c, &cfg, machine);
             let p = clamp_procs(8, &c);
-            let out = route_parallel(&c, &cfg, Algorithm::Hybrid, PartitionKind::PinWeight, p, machine);
+            let out = route_parallel(
+                &c,
+                &cfg,
+                Algorithm::Hybrid,
+                PartitionKind::PinWeight,
+                p,
+                machine,
+            );
             println!(
                 "{:<12} {:<8} {:>12} {:>9} {:>10} {:>12.3} {:>10.2}",
                 c.name,
@@ -341,7 +444,10 @@ pub fn detailed_refinement(opts: &Opts) {
     use pgr_router::detailed::route_channels;
     println!("Detailed (left-edge) channel routing vs. the density metric (serial solutions)");
     opts.note_scale();
-    println!("{:<12} {:>12} {:>12} {:>9} {:>12}", "circuit", "density Σ", "LEA tracks", "ratio", "utilization");
+    println!(
+        "{:<12} {:>12} {:>12} {:>9} {:>12}",
+        "circuit", "density Σ", "LEA tracks", "ratio", "utilization"
+    );
     for c in opts.circuits() {
         let base = serial_baseline(&c, &cfg(), MachineModel::ideal());
         let d = route_channels(&base.result);
@@ -363,36 +469,74 @@ pub fn detailed_refinement(opts: &Opts) {
 /// time goes — coarse routing dominates serially; the net-wise sync cost
 /// lands in its coarse/switchable phases.
 pub fn phase_breakdown(opts: &Opts) {
-    use pgr_mpi::run;
+    use pgr_mpi::run_traced;
     let machine = MachineModel::sparc_center_1000();
     let cfg = cfg();
     println!("Per-phase virtual time (seconds; slowest rank at 8 procs)");
     opts.note_scale();
-    const PHASES: [&str; 7] = ["setup", "steiner", "coarse", "feedthrough", "connect", "switchable", "assemble"];
+    const PHASES: [&str; 7] = [
+        "setup",
+        "steiner",
+        "coarse",
+        "feedthrough",
+        "connect",
+        "switchable",
+        "assemble",
+    ];
     print!("{:<12} {:<10}", "circuit", "algorithm");
     for p in PHASES {
         print!(" {p:>11}");
     }
     println!(" {:>11}", "total");
     type PhaseRow = (String, Vec<(&'static str, f64)>, f64);
+    let emit = |label: &str, traces: &[RankTrace], stats: &[RankStats]| {
+        if let Some(dir) = &opts.trace_out {
+            match write_traces(dir, label, traces, stats, &machine) {
+                Ok(path) => eprintln!("trace written: {}", path.display()),
+                Err(e) => eprintln!("trace write failed for {label}: {e}"),
+            }
+        }
+    };
     for c in opts.circuits() {
         let mut rows: Vec<PhaseRow> = Vec::new();
-        let serial_report = run(1, machine, |comm| {
+        let (serial_report, serial_traces) = run_traced(1, machine, opts.trace_config(), |comm| {
             pgr_router::route_serial(&c, &cfg, comm);
         });
-        rows.push(("serial".into(), serial_report.stats[0].phases.clone(), serial_report.stats[0].time));
+        emit(
+            &format!("{}_serial", c.name),
+            &serial_traces,
+            &serial_report.stats,
+        );
+        rows.push((
+            "serial".into(),
+            serial_report.stats[0].phases.clone(),
+            serial_report.stats[0].time,
+        ));
         for algo in Algorithm::ALL {
             let p = clamp_procs(8, &c);
-            let report = run(p, machine, |comm| {
+            let (report, traces) = run_traced(p, machine, opts.trace_config(), |comm| {
                 algo.route(&c, &cfg, PartitionKind::PinWeight, comm);
             });
-            let slowest = report.stats.iter().max_by(|a, b| a.time.partial_cmp(&b.time).expect("finite")).expect("ranks");
+            emit(
+                &format!("{}_{}", c.name, algo.name()),
+                &traces,
+                &report.stats,
+            );
+            let slowest = report
+                .stats
+                .iter()
+                .max_by(|a, b| a.time.partial_cmp(&b.time).expect("finite"))
+                .expect("ranks");
             rows.push((algo.name().into(), slowest.phases.clone(), slowest.time));
         }
         for (name, phases, total) in rows {
             print!("{:<12} {:<10}", c.name, name);
             for want in PHASES {
-                let d: f64 = phases.iter().filter(|(n, _)| *n == want).map(|(_, d)| d).sum();
+                let d: f64 = phases
+                    .iter()
+                    .filter(|(n, _)| *n == want)
+                    .map(|(_, d)| d)
+                    .sum();
                 print!(" {:>11}", fmt_secs(d));
             }
             println!(" {:>11}", fmt_secs(total));
@@ -408,14 +552,24 @@ pub fn beta_sweep(opts: &Opts) {
     let machine = MachineModel::sparc_center_1000();
     println!("Pin-number-weight β sweep (hybrid, 8 procs, SparcCenter model)");
     opts.note_scale();
-    println!("{:<12} {:>6} {:>10} {:>9} {:>9}", "circuit", "beta", "sc.tracks", "time(s)", "speedup");
+    println!(
+        "{:<12} {:>6} {:>10} {:>9} {:>9}",
+        "circuit", "beta", "sc.tracks", "time(s)", "speedup"
+    );
     for c in opts.circuits() {
         let base = serial_baseline(&c, &cfg(), machine);
         for beta in [0.5, 1.0, 1.6, 2.0, 3.0] {
             let mut cfg = cfg();
             cfg.pin_weight_beta = beta;
             let p = clamp_procs(8, &c);
-            let out = route_parallel(&c, &cfg, Algorithm::Hybrid, PartitionKind::PinWeight, p, machine);
+            let out = route_parallel(
+                &c,
+                &cfg,
+                Algorithm::Hybrid,
+                PartitionKind::PinWeight,
+                p,
+                machine,
+            );
             println!(
                 "{:<12} {:>6.1} {:>10.3} {:>9} {:>9.2}",
                 c.name,
@@ -437,7 +591,10 @@ pub fn beta_sweep(opts: &Opts) {
 pub fn machine_sweep(opts: &Opts) {
     println!("Machine-model sensitivity of speedup (8 procs)");
     opts.note_scale();
-    println!("{:<12} {:>10} {:>12} {:>12} {:>12}", "circuit", "latency", "bandwidth", "hybrid", "net-wise");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>12}",
+        "circuit", "latency", "bandwidth", "hybrid", "net-wise"
+    );
     for c in opts.circuits() {
         for lat_us in [20.0, 500.0] {
             for bw_mb in [2.0, 18.0, 200.0] {
@@ -446,8 +603,22 @@ pub fn machine_sweep(opts: &Opts) {
                 m.sec_per_byte = 1.0 / (bw_mb * 1e6);
                 let base = serial_baseline(&c, &cfg(), m);
                 let p = clamp_procs(8, &c);
-                let hybrid = route_parallel(&c, &cfg(), Algorithm::Hybrid, PartitionKind::PinWeight, p, m);
-                let netwise = route_parallel(&c, &cfg(), Algorithm::NetWise, PartitionKind::PinWeight, p, m);
+                let hybrid = route_parallel(
+                    &c,
+                    &cfg(),
+                    Algorithm::Hybrid,
+                    PartitionKind::PinWeight,
+                    p,
+                    m,
+                );
+                let netwise = route_parallel(
+                    &c,
+                    &cfg(),
+                    Algorithm::NetWise,
+                    PartitionKind::PinWeight,
+                    p,
+                    m,
+                );
                 println!(
                     "{:<12} {:>8}us {:>10}MB/s {:>12.2} {:>12.2}",
                     c.name,

@@ -178,7 +178,9 @@ mod tests {
     fn lea_achieves_density_always() {
         // A couple of handcrafted stress shapes.
         let shapes: Vec<Vec<Interval>> = vec![
-            (0..50).map(|i| iv(i as u32, (i * 7) % 90, (i * 7) % 90 + 15)).collect(),
+            (0..50)
+                .map(|i| iv(i as u32, (i * 7) % 90, (i * 7) % 90 + 15))
+                .collect(),
             (0..30).map(|i| iv(i as u32, 0, 10 + i)).collect(),
             (0..30).map(|i| iv(i as u32, i, 60 - i)).collect(),
         ];
@@ -194,7 +196,10 @@ mod tests {
     #[test]
     fn utilization_bounds() {
         let ta = assign_tracks(&[iv(1, 0, 9)]);
-        assert!((ta.utilization() - 1.0).abs() < 1e-9, "one full track = 1.0");
+        assert!(
+            (ta.utilization() - 1.0).abs() < 1e-9,
+            "one full track = 1.0"
+        );
         let ta = assign_tracks(&[iv(1, 0, 9), iv(2, 0, 9)]);
         assert!((ta.utilization() - 1.0).abs() < 1e-9);
         let sparse = assign_tracks(&[iv(1, 0, 1), iv(2, 98, 99)]);
@@ -209,13 +214,17 @@ mod tests {
 
     #[test]
     fn validate_catches_manual_shorts() {
-        let bad = TrackAssignment { tracks: vec![vec![iv(1, 0, 5), iv(2, 5, 9)]] };
+        let bad = TrackAssignment {
+            tracks: vec![vec![iv(1, 0, 5), iv(2, 5, 9)]],
+        };
         assert!(bad.validate().is_err());
     }
 
     #[test]
     fn deterministic() {
-        let ivs: Vec<Interval> = (0..40).map(|i| iv(i as u32 % 7, (i * 13) % 50, (i * 13) % 50 + 8)).collect();
+        let ivs: Vec<Interval> = (0..40)
+            .map(|i| iv(i as u32 % 7, (i * 13) % 50, (i * 13) % 50 + 8))
+            .collect();
         assert_eq!(assign_tracks(&ivs), assign_tracks(&ivs));
     }
 }

@@ -1,69 +1,102 @@
-//! Property tests: the left-edge algorithm's optimality and validity on
+//! Randomized tests: the left-edge algorithm's optimality and validity on
 //! random channels — the theorem the global router's density objective
-//! stands on.
+//! stands on. Cases come from the workspace's seeded RNG.
 
 use pgr_channel::{assign_tracks, merge_net_intervals, Interval};
-use proptest::prelude::*;
+use pgr_geom::rng::{rng_from_seed, SmallRng};
 
-fn arb_intervals(max_n: usize) -> impl Strategy<Value = Vec<Interval>> {
-    proptest::collection::vec((0u32..20, 0i64..200, 1i64..60), 0..max_n)
-        .prop_map(|v| v.into_iter().map(|(net, lo, len)| Interval::new(net, lo, lo + len)).collect())
+fn random_intervals(rng: &mut SmallRng, max_n: usize) -> Vec<Interval> {
+    let n = rng.gen_range(0..max_n);
+    (0..n)
+        .map(|_| {
+            let net = rng.gen_range(0u32..20);
+            let lo = rng.gen_range(0i64..200);
+            let len = rng.gen_range(1i64..60);
+            Interval::new(net, lo, lo + len)
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn lea_is_valid_and_optimal(ivs in arb_intervals(60)) {
+#[test]
+fn lea_is_valid_and_optimal() {
+    let mut rng = rng_from_seed(0x1EA1);
+    for _ in 0..256 {
+        let ivs = random_intervals(&mut rng, 60);
         // Merge same-net pieces first (the precondition).
         let merged = merge_net_intervals(&ivs);
         let ta = assign_tracks(&merged);
-        prop_assert!(ta.validate().is_ok());
-        prop_assert_eq!(ta.count(), pgr_channel::lea::density(&merged), "LEA uses exactly density tracks");
+        assert!(ta.validate().is_ok());
+        assert_eq!(
+            ta.count(),
+            pgr_channel::lea::density(&merged),
+            "LEA uses exactly density tracks"
+        );
         let placed: usize = ta.tracks.iter().map(Vec::len).sum();
-        prop_assert_eq!(placed, merged.len());
+        assert_eq!(placed, merged.len());
     }
+}
 
-    #[test]
-    fn merging_never_increases_density(ivs in arb_intervals(60)) {
+#[test]
+fn merging_never_increases_density() {
+    let mut rng = rng_from_seed(0x1EA2);
+    for _ in 0..256 {
+        let ivs = random_intervals(&mut rng, 60);
         let before = pgr_channel::lea::density(&ivs);
         let merged = merge_net_intervals(&ivs);
         let after = pgr_channel::lea::density(&merged);
-        prop_assert!(after <= before, "merge can only relax the channel: {after} > {before}");
+        assert!(
+            after <= before,
+            "merge can only relax the channel: {after} > {before}"
+        );
     }
+}
 
-    #[test]
-    fn merge_preserves_coverage(ivs in arb_intervals(40)) {
+#[test]
+fn merge_preserves_coverage() {
+    let mut rng = rng_from_seed(0x1EA3);
+    for _ in 0..256 {
         // Every column covered by some net before is covered by the same
         // net after, and vice versa.
+        let ivs = random_intervals(&mut rng, 40);
         let merged = merge_net_intervals(&ivs);
-        let covered = |set: &[Interval], net: u32, col: i64| set.iter().any(|iv| iv.net == net && iv.lo <= col && col <= iv.hi);
+        let covered = |set: &[Interval], net: u32, col: i64| {
+            set.iter()
+                .any(|iv| iv.net == net && iv.lo <= col && col <= iv.hi)
+        };
         for iv in &ivs {
             for col in [iv.lo, (iv.lo + iv.hi) / 2, iv.hi] {
-                prop_assert!(covered(&merged, iv.net, col));
+                assert!(covered(&merged, iv.net, col));
             }
         }
         for iv in &merged {
             for col in [iv.lo, iv.hi] {
-                prop_assert!(covered(&ivs, iv.net, col));
+                assert!(covered(&ivs, iv.net, col));
             }
         }
     }
+}
 
-    #[test]
-    fn merge_is_idempotent(ivs in arb_intervals(40)) {
+#[test]
+fn merge_is_idempotent() {
+    let mut rng = rng_from_seed(0x1EA4);
+    for _ in 0..256 {
+        let ivs = random_intervals(&mut rng, 40);
         let once = merge_net_intervals(&ivs);
         let twice = merge_net_intervals(&once);
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice);
     }
+}
 
-    #[test]
-    fn tracks_within_each_are_chronologically_sorted(ivs in arb_intervals(50)) {
+#[test]
+fn tracks_within_each_are_chronologically_sorted() {
+    let mut rng = rng_from_seed(0x1EA5);
+    for _ in 0..256 {
+        let ivs = random_intervals(&mut rng, 50);
         let merged = merge_net_intervals(&ivs);
         let ta = assign_tracks(&merged);
         for track in &ta.tracks {
             for w in track.windows(2) {
-                prop_assert!(w[0].hi < w[1].lo, "strictly increasing, non-touching");
+                assert!(w[0].hi < w[1].lo, "strictly increasing, non-touching");
             }
         }
     }

@@ -40,7 +40,12 @@ impl CircuitBuilder {
         CircuitBuilder {
             name: name.into(),
             width,
-            rows: (0..num_rows).map(|i| Row { id: RowId::from_index(i), cells: Vec::new() }).collect(),
+            rows: (0..num_rows)
+                .map(|i| Row {
+                    id: RowId::from_index(i),
+                    cells: Vec::new(),
+                })
+                .collect(),
             cells: Vec::new(),
             pins: Vec::new(),
             nets: Vec::new(),
@@ -75,7 +80,13 @@ impl CircuitBuilder {
             self.width
         );
         let id = CellId::from_index(self.cells.len());
-        self.cells.push(Cell { id, row, x, width, pins: Vec::new() });
+        self.cells.push(Cell {
+            id,
+            row,
+            x,
+            width,
+            pins: Vec::new(),
+        });
         self.rows[row.index()].cells.push(id);
         self.cursor[row.index()] = x + width as i64 + self.spacing;
         id
@@ -87,7 +98,14 @@ impl CircuitBuilder {
         let id = PinId::from_index(self.pins.len());
         // Net is patched in add_net; a sentinel that validate() would catch
         // if the pin is never wired.
-        self.pins.push(Pin { id, cell, net: NetId(u32::MAX), offset, side, equivalent });
+        self.pins.push(Pin {
+            id,
+            cell,
+            net: NetId(u32::MAX),
+            offset,
+            side,
+            equivalent,
+        });
         self.cells[cell.index()].pins.push(id);
         id
     }
@@ -98,7 +116,11 @@ impl CircuitBuilder {
         for &p in &pins {
             self.pins[p.index()].net = id;
         }
-        self.nets.push(Net { id, name: name.into(), pins });
+        self.nets.push(Net {
+            id,
+            name: name.into(),
+            pins,
+        });
         id
     }
 
@@ -121,7 +143,11 @@ impl CircuitBuilder {
             cell.pins = cell.pins.iter().filter_map(|p| remap[p.index()]).collect();
         }
         for net in &mut self.nets {
-            net.pins = net.pins.iter().map(|p| remap[p.index()].expect("net pin was wired")).collect();
+            net.pins = net
+                .pins
+                .iter()
+                .map(|p| remap[p.index()].expect("net pin was wired"))
+                .collect();
         }
         let circuit = Circuit {
             name: self.name,

@@ -35,7 +35,14 @@ pub fn to_text(c: &Circuit) -> String {
             PinSide::Top => 'T',
             PinSide::Bottom => 'B',
         };
-        let _ = writeln!(out, "pin {} {} {} {}", pin.cell.0, pin.offset, side, u8::from(pin.equivalent));
+        let _ = writeln!(
+            out,
+            "pin {} {} {} {}",
+            pin.cell.0,
+            pin.offset,
+            side,
+            u8::from(pin.equivalent)
+        );
     }
     for net in &c.nets {
         let _ = write!(out, "net {}", net.name);
@@ -52,7 +59,10 @@ pub fn from_text(text: &str) -> Result<Circuit, FormatError> {
     let mut lines = text.lines().enumerate();
     let (n0, header) = lines.next().ok_or(FormatError::Empty)?;
     if header.trim() != "pgr-circuit v1" {
-        return Err(FormatError::Syntax(n0 + 1, "expected header 'pgr-circuit v1'".into()));
+        return Err(FormatError::Syntax(
+            n0 + 1,
+            "expected header 'pgr-circuit v1'".into(),
+        ));
     }
 
     let mut name = String::new();
@@ -74,20 +84,56 @@ pub fn from_text(text: &str) -> Result<Circuit, FormatError> {
         match kw {
             "name" => name = tok.collect::<Vec<_>>().join(" "),
             "width" => {
-                width = Some(tok.next().ok_or_else(|| syntax("width needs a value"))?.parse().map_err(|_| syntax("bad width"))?)
+                width = Some(
+                    tok.next()
+                        .ok_or_else(|| syntax("width needs a value"))?
+                        .parse()
+                        .map_err(|_| syntax("bad width"))?,
+                )
             }
             "rows" => {
-                num_rows = Some(tok.next().ok_or_else(|| syntax("rows needs a value"))?.parse().map_err(|_| syntax("bad row count"))?)
+                num_rows = Some(
+                    tok.next()
+                        .ok_or_else(|| syntax("rows needs a value"))?
+                        .parse()
+                        .map_err(|_| syntax("bad row count"))?,
+                )
             }
             "cell" => {
-                let row: u32 = tok.next().ok_or_else(|| syntax("cell needs <row>"))?.parse().map_err(|_| syntax("bad row"))?;
-                let x: i64 = tok.next().ok_or_else(|| syntax("cell needs <x>"))?.parse().map_err(|_| syntax("bad x"))?;
-                let w: u32 = tok.next().ok_or_else(|| syntax("cell needs <width>"))?.parse().map_err(|_| syntax("bad width"))?;
-                cells.push(Cell { id: CellId::from_index(cells.len()), row: RowId(row), x, width: w, pins: Vec::new() });
+                let row: u32 = tok
+                    .next()
+                    .ok_or_else(|| syntax("cell needs <row>"))?
+                    .parse()
+                    .map_err(|_| syntax("bad row"))?;
+                let x: i64 = tok
+                    .next()
+                    .ok_or_else(|| syntax("cell needs <x>"))?
+                    .parse()
+                    .map_err(|_| syntax("bad x"))?;
+                let w: u32 = tok
+                    .next()
+                    .ok_or_else(|| syntax("cell needs <width>"))?
+                    .parse()
+                    .map_err(|_| syntax("bad width"))?;
+                cells.push(Cell {
+                    id: CellId::from_index(cells.len()),
+                    row: RowId(row),
+                    x,
+                    width: w,
+                    pins: Vec::new(),
+                });
             }
             "pin" => {
-                let cell: u32 = tok.next().ok_or_else(|| syntax("pin needs <cell>"))?.parse().map_err(|_| syntax("bad cell"))?;
-                let offset: u32 = tok.next().ok_or_else(|| syntax("pin needs <offset>"))?.parse().map_err(|_| syntax("bad offset"))?;
+                let cell: u32 = tok
+                    .next()
+                    .ok_or_else(|| syntax("pin needs <cell>"))?
+                    .parse()
+                    .map_err(|_| syntax("bad cell"))?;
+                let offset: u32 = tok
+                    .next()
+                    .ok_or_else(|| syntax("pin needs <offset>"))?
+                    .parse()
+                    .map_err(|_| syntax("bad offset"))?;
                 let side = match tok.next().ok_or_else(|| syntax("pin needs <side>"))? {
                     "T" => PinSide::Top,
                     "B" => PinSide::Bottom,
@@ -100,36 +146,75 @@ pub fn from_text(text: &str) -> Result<Circuit, FormatError> {
                 };
                 let id = PinId::from_index(pins.len());
                 let cell_id = CellId(cell);
-                pins.push(Pin { id, cell: cell_id, net: NetId(u32::MAX), offset, side, equivalent });
+                pins.push(Pin {
+                    id,
+                    cell: cell_id,
+                    net: NetId(u32::MAX),
+                    offset,
+                    side,
+                    equivalent,
+                });
                 cells
                     .get_mut(cell_id.index())
-                    .ok_or_else(|| FormatError::Syntax(lineno, format!("pin references undeclared cell {cell}")))?
+                    .ok_or_else(|| {
+                        FormatError::Syntax(
+                            lineno,
+                            format!("pin references undeclared cell {cell}"),
+                        )
+                    })?
                     .pins
                     .push(id);
             }
             "net" => {
-                let nname = tok.next().ok_or_else(|| syntax("net needs a name"))?.to_string();
+                let nname = tok
+                    .next()
+                    .ok_or_else(|| syntax("net needs a name"))?
+                    .to_string();
                 let id = NetId::from_index(nets.len());
                 let mut net_pins = Vec::new();
                 for t in tok {
                     let p: u32 = t.parse().map_err(|_| syntax("bad pin id"))?;
                     let pid = PinId(p);
-                    let pin = pins.get_mut(pid.index()).ok_or_else(|| FormatError::Syntax(lineno, format!("net references undeclared pin {p}")))?;
+                    let pin = pins.get_mut(pid.index()).ok_or_else(|| {
+                        FormatError::Syntax(lineno, format!("net references undeclared pin {p}"))
+                    })?;
                     pin.net = id;
                     net_pins.push(pid);
                 }
-                nets.push(Net { id, name: nname, pins: net_pins });
+                nets.push(Net {
+                    id,
+                    name: nname,
+                    pins: net_pins,
+                });
             }
-            other => return Err(FormatError::Syntax(lineno, format!("unknown keyword '{other}'"))),
+            other => {
+                return Err(FormatError::Syntax(
+                    lineno,
+                    format!("unknown keyword '{other}'"),
+                ))
+            }
         }
     }
 
     let num_rows = num_rows.ok_or(FormatError::Missing("rows"))?;
     let width = width.ok_or(FormatError::Missing("width"))?;
-    let mut rows: Vec<Row> = (0..num_rows).map(|i| Row { id: RowId::from_index(i), cells: Vec::new() }).collect();
+    let mut rows: Vec<Row> = (0..num_rows)
+        .map(|i| Row {
+            id: RowId::from_index(i),
+            cells: Vec::new(),
+        })
+        .collect();
     for cell in &cells {
         rows.get_mut(cell.row.index())
-            .ok_or_else(|| FormatError::Syntax(0, format!("cell {} references row {} >= rows {}", cell.id, cell.row, num_rows)))?
+            .ok_or_else(|| {
+                FormatError::Syntax(
+                    0,
+                    format!(
+                        "cell {} references row {} >= rows {}",
+                        cell.id, cell.row, num_rows
+                    ),
+                )
+            })?
             .cells
             .push(cell.id);
     }
@@ -138,7 +223,14 @@ pub fn from_text(text: &str) -> Result<Circuit, FormatError> {
         row.cells.sort_by_key(|&c| cells[c.index()].x);
     }
 
-    let circuit = Circuit { name, rows, cells, pins, nets, width };
+    let circuit = Circuit {
+        name,
+        rows,
+        cells,
+        pins,
+        nets,
+        width,
+    };
     circuit.validate().map_err(FormatError::Invalid)?;
     Ok(circuit)
 }
@@ -192,7 +284,10 @@ mod tests {
 
     #[test]
     fn rejects_missing_header() {
-        assert!(matches!(from_text("nonsense\n"), Err(FormatError::Syntax(1, _))));
+        assert!(matches!(
+            from_text("nonsense\n"),
+            Err(FormatError::Syntax(1, _))
+        ));
         assert!(matches!(from_text(""), Err(FormatError::Empty)));
     }
 
@@ -205,7 +300,8 @@ mod tests {
     #[test]
     fn rejects_invalid_circuit() {
         // Net with a single pin fails model validation.
-        let text = "pgr-circuit v1\nname x\nwidth 10\nrows 1\ncell 0 0 4\npin 0 0 T 0\nnet solo 0\n";
+        let text =
+            "pgr-circuit v1\nname x\nwidth 10\nrows 1\ncell 0 0 4\npin 0 0 T 0\nnet solo 0\n";
         assert!(matches!(from_text(text), Err(FormatError::Invalid(_))));
     }
 

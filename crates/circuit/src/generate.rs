@@ -13,9 +13,7 @@
 use crate::builder::CircuitBuilder;
 use crate::ids::{CellId, PinId, RowId};
 use crate::model::{Circuit, PinSide};
-use pgr_geom::rng::rng_from_seed;
-use rand::rngs::SmallRng;
-use rand::Rng;
+use pgr_geom::rng::{rng_from_seed, SmallRng};
 
 /// Parameters for [`generate`].
 #[derive(Debug, Clone)]
@@ -66,7 +64,10 @@ impl GeneratorConfig {
 pub fn generate(cfg: &GeneratorConfig) -> Circuit {
     assert!(cfg.rows > 0, "need at least one row");
     assert!(cfg.cells >= cfg.rows, "need at least one cell per row");
-    assert!(cfg.nets > cfg.clock_nets.len(), "need ordinary nets besides clock nets");
+    assert!(
+        cfg.nets > cfg.clock_nets.len(),
+        "need ordinary nets besides clock nets"
+    );
     let clock_pins: usize = cfg.clock_nets.iter().sum();
     let ordinary_nets = cfg.nets - cfg.clock_nets.len();
     assert!(
@@ -82,7 +83,9 @@ pub fn generate(cfg: &GeneratorConfig) -> Circuit {
     // --- Cells: widths drawn uniformly, dealt row by row. ---
     let per_row = cfg.cells / cfg.rows;
     let extra = cfg.cells % cfg.rows;
-    let widths: Vec<u32> = (0..cfg.cells).map(|_| rng.gen_range(cfg.cell_width.0..=cfg.cell_width.1)).collect();
+    let widths: Vec<u32> = (0..cfg.cells)
+        .map(|_| rng.gen_range(cfg.cell_width.0..=cfg.cell_width.1))
+        .collect();
     // Core width: widest row's packed usage plus 8% slack.
     let mut w_iter = widths.iter();
     let mut max_usage: i64 = 0;
@@ -118,23 +121,31 @@ pub fn generate(cfg: &GeneratorConfig) -> Circuit {
 
     // --- Pins: each net clusters around a random center. ---
     let add_clustered_pin = |b: &mut CircuitBuilder,
-                                 rng: &mut SmallRng,
-                                 center_row: usize,
-                                 center_frac: f64,
-                                 spread_rows: usize,
-                                 spread_frac: f64,
-                                 equivalent_fraction: f64|
+                             rng: &mut SmallRng,
+                             center_row: usize,
+                             center_frac: f64,
+                             spread_rows: usize,
+                             spread_frac: f64,
+                             equivalent_fraction: f64|
      -> PinId {
-        let dr = if spread_rows == 0 { 0 } else { rng.gen_range(0..=spread_rows) as i64 * if rng.gen_bool(0.5) { 1 } else { -1 } };
+        let dr = if spread_rows == 0 {
+            0
+        } else {
+            rng.gen_range(0..=spread_rows) as i64 * if rng.gen_bool(0.5) { 1 } else { -1 }
+        };
         let row = (center_row as i64 + dr).clamp(0, cfg.rows as i64 - 1) as usize;
         let cells = &cells_by_row[row];
-        let pos = center_frac + (rng.gen::<f64>() - 0.5) * spread_frac;
+        let pos = center_frac + (rng.gen_f64() - 0.5) * spread_frac;
         let idx = ((pos.clamp(0.0, 1.0)) * (cells.len() - 1) as f64).round() as usize;
         let cell = cells[idx];
         let width = cell_width_of[cell.index()];
         let offset = rng.gen_range(0..width);
         let equivalent = rng.gen_bool(equivalent_fraction);
-        let side = if rng.gen_bool(0.5) { PinSide::Top } else { PinSide::Bottom };
+        let side = if rng.gen_bool(0.5) {
+            PinSide::Top
+        } else {
+            PinSide::Bottom
+        };
         b.add_pin(cell, offset, side, equivalent)
     };
 
@@ -145,10 +156,18 @@ pub fn generate(cfg: &GeneratorConfig) -> Circuit {
 
     for (i, &deg) in degrees.iter().enumerate() {
         let center_row = rng.gen_range(0..cfg.rows);
-        let center_frac = rng.gen::<f64>();
+        let center_frac = rng.gen_f64();
         let pins: Vec<PinId> = (0..deg)
             .map(|_| {
-                add_clustered_pin(&mut b, &mut rng, center_row, center_frac, row_spread.max(1), frac_spread, cfg.equivalent_fraction)
+                add_clustered_pin(
+                    &mut b,
+                    &mut rng,
+                    center_row,
+                    center_frac,
+                    row_spread.max(1),
+                    frac_spread,
+                    cfg.equivalent_fraction,
+                )
             })
             .collect();
         b.add_net(format!("net{i}"), pins);
@@ -159,8 +178,16 @@ pub fn generate(cfg: &GeneratorConfig) -> Circuit {
         let pins: Vec<PinId> = (0..deg)
             .map(|_| {
                 let center_row = rng.gen_range(0..cfg.rows);
-                let center_frac = rng.gen::<f64>();
-                add_clustered_pin(&mut b, &mut rng, center_row, center_frac, cfg.rows, 1.0, cfg.equivalent_fraction)
+                let center_frac = rng.gen_f64();
+                add_clustered_pin(
+                    &mut b,
+                    &mut rng,
+                    center_row,
+                    center_frac,
+                    cfg.rows,
+                    1.0,
+                    cfg.equivalent_fraction,
+                )
             })
             .collect();
         b.add_net(format!("clk{k}"), pins);
@@ -194,7 +221,8 @@ mod tests {
         assert_eq!(a.pin_x(PinId(17)), b.pin_x(PinId(17)));
         let c = generate(&GeneratorConfig::small("t", 8));
         // Different seed ⇒ (almost surely) different placement somewhere.
-        let differs = (0..a.num_pins()).any(|i| a.pin_x(PinId::from_index(i)) != c.pin_x(PinId::from_index(i)));
+        let differs = (0..a.num_pins())
+            .any(|i| a.pin_x(PinId::from_index(i)) != c.pin_x(PinId::from_index(i)));
         assert!(differs);
     }
 
@@ -207,7 +235,10 @@ mod tests {
         let c = generate(&cfg);
         let max_deg = c.nets.iter().map(|n| n.degree()).max().unwrap();
         assert_eq!(max_deg, 150);
-        assert_eq!(c.nets.iter().filter(|n| n.name.starts_with("clk")).count(), 2);
+        assert_eq!(
+            c.nets.iter().filter(|n| n.name.starts_with("clk")).count(),
+            2
+        );
         assert_eq!(c.num_pins(), 700);
         c.validate().unwrap();
     }
@@ -221,10 +252,17 @@ mod tests {
         let ct = generate(&tight);
         let cl = generate(&loose);
         let avg_hp = |c: &Circuit| -> f64 {
-            let total: u64 = (0..c.num_nets()).map(|i| c.net_bbox(crate::NetId::from_index(i)).half_perimeter()).sum();
+            let total: u64 = (0..c.num_nets())
+                .map(|i| c.net_bbox(crate::NetId::from_index(i)).half_perimeter())
+                .sum();
             total as f64 / c.num_nets() as f64
         };
-        assert!(avg_hp(&ct) < avg_hp(&cl) / 2.0, "tight {} vs loose {}", avg_hp(&ct), avg_hp(&cl));
+        assert!(
+            avg_hp(&ct) < avg_hp(&cl) / 2.0,
+            "tight {} vs loose {}",
+            avg_hp(&ct),
+            avg_hp(&cl)
+        );
     }
 
     #[test]
@@ -236,7 +274,10 @@ mod tests {
         cfg.cells = 1600;
         let c = generate(&cfg);
         let frac = c.pins.iter().filter(|p| p.equivalent).count() as f64 / c.num_pins() as f64;
-        assert!((frac - 0.5).abs() < 0.05, "observed equivalent fraction {frac}");
+        assert!(
+            (frac - 0.5).abs() < 0.05,
+            "observed equivalent fraction {frac}"
+        );
     }
 
     #[test]

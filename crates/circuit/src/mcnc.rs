@@ -27,7 +27,14 @@ pub enum Mcnc {
 }
 
 /// All six, in the order the paper's tables list them.
-pub const ALL: [Mcnc; 6] = [Mcnc::Primary2, Mcnc::Biomed, Mcnc::Industry2, Mcnc::Industry3, Mcnc::AvqSmall, Mcnc::AvqLarge];
+pub const ALL: [Mcnc; 6] = [
+    Mcnc::Primary2,
+    Mcnc::Biomed,
+    Mcnc::Industry2,
+    Mcnc::Industry3,
+    Mcnc::AvqSmall,
+    Mcnc::AvqLarge,
+];
 
 impl Mcnc {
     /// The name used in the paper's tables.
@@ -57,7 +64,8 @@ impl Mcnc {
     /// characteristics.
     pub fn config(self) -> GeneratorConfig {
         // (rows, cells, pins, nets, clock net degrees)
-        let (rows, cells, pins, nets, clocks): (usize, usize, usize, usize, Vec<usize>) = match self {
+        let (rows, cells, pins, nets, clocks): (usize, usize, usize, usize, Vec<usize>) = match self
+        {
             Mcnc::Primary2 => (28, 3014, 11226, 3029, vec![]),
             Mcnc::Biomed => (46, 6417, 21040, 5742, vec![420]),
             Mcnc::Industry2 => (72, 12142, 48158, 13419, vec![]),
@@ -130,7 +138,10 @@ mod tests {
         assert_eq!(cfg.cells, 25114);
         assert_eq!(cfg.pins, 82751);
         assert_eq!(cfg.nets, 25384);
-        assert!(cfg.clock_nets.iter().any(|&d| d > 2000), "avq.large has a >2000-pin clock net");
+        assert!(
+            cfg.clock_nets.iter().any(|&d| d > 2000),
+            "avq.large has a >2000-pin clock net"
+        );
     }
 
     #[test]
@@ -139,7 +150,10 @@ mod tests {
         let max_deg = c.nets.iter().map(|n| n.degree()).max().unwrap();
         let small = c.nets.iter().filter(|n| n.degree() <= 6).count();
         assert!(max_deg >= 8 * 6, "clock net still dominates: {max_deg}");
-        assert!(small as f64 / c.num_nets() as f64 > 0.9, "most nets stay small");
+        assert!(
+            small as f64 / c.num_nets() as f64 > 0.9,
+            "most nets stay small"
+        );
     }
 
     #[test]

@@ -121,7 +121,12 @@ impl Circuit {
 
     /// Bounding box of a net's initial pin positions.
     pub fn net_bbox(&self, net: NetId) -> BBox {
-        BBox::from_points(self.nets[net.index()].pins.iter().map(|&p| self.pin_point(p)))
+        BBox::from_points(
+            self.nets[net.index()]
+                .pins
+                .iter()
+                .map(|&p| self.pin_point(p)),
+        )
     }
 
     /// Verify internal consistency. Generators and the parser call this;
@@ -133,16 +138,28 @@ impl Circuit {
             }
             let mut edge = i64::MIN;
             for &cid in &row.cells {
-                let cell = self.cells.get(cid.index()).ok_or_else(|| ModelError::Dangling(format!("{cid} in {}", row.id)))?;
+                let cell = self
+                    .cells
+                    .get(cid.index())
+                    .ok_or_else(|| ModelError::Dangling(format!("{cid} in {}", row.id)))?;
                 if cell.row.index() != i {
-                    return Err(ModelError::Inconsistent(format!("{cid} listed in row {i} but claims {}", cell.row)));
+                    return Err(ModelError::Inconsistent(format!(
+                        "{cid} listed in row {i} but claims {}",
+                        cell.row
+                    )));
                 }
                 if cell.x < edge {
-                    return Err(ModelError::Overlap(format!("{cid} at x={} overlaps previous cell in {}", cell.x, row.id)));
+                    return Err(ModelError::Overlap(format!(
+                        "{cid} at x={} overlaps previous cell in {}",
+                        cell.x, row.id
+                    )));
                 }
                 edge = cell.x + cell.width as i64;
                 if edge > self.width {
-                    return Err(ModelError::OutOfCore(format!("{cid} ends at {edge} > core width {}", self.width)));
+                    return Err(ModelError::OutOfCore(format!(
+                        "{cid} ends at {edge} > core width {}",
+                        self.width
+                    )));
                 }
             }
         }
@@ -151,18 +168,33 @@ impl Circuit {
                 return Err(ModelError::BadId(format!("cell {i} has id {}", cell.id)));
             }
             if cell.row.index() >= self.rows.len() {
-                return Err(ModelError::Dangling(format!("{} in nonexistent {}", cell.id, cell.row)));
+                return Err(ModelError::Dangling(format!(
+                    "{} in nonexistent {}",
+                    cell.id, cell.row
+                )));
             }
             if !self.rows[cell.row.index()].cells.contains(&cell.id) {
-                return Err(ModelError::Inconsistent(format!("{} not listed in its row", cell.id)));
+                return Err(ModelError::Inconsistent(format!(
+                    "{} not listed in its row",
+                    cell.id
+                )));
             }
             for &pid in &cell.pins {
-                let pin = self.pins.get(pid.index()).ok_or_else(|| ModelError::Dangling(format!("{pid} on {}", cell.id)))?;
+                let pin = self
+                    .pins
+                    .get(pid.index())
+                    .ok_or_else(|| ModelError::Dangling(format!("{pid} on {}", cell.id)))?;
                 if pin.cell != cell.id {
-                    return Err(ModelError::Inconsistent(format!("{pid} listed on {} but claims {}", cell.id, pin.cell)));
+                    return Err(ModelError::Inconsistent(format!(
+                        "{pid} listed on {} but claims {}",
+                        cell.id, pin.cell
+                    )));
                 }
                 if pin.offset >= cell.width {
-                    return Err(ModelError::OutOfCore(format!("{pid} offset {} outside {} width {}", pin.offset, cell.id, cell.width)));
+                    return Err(ModelError::OutOfCore(format!(
+                        "{pid} offset {} outside {} width {}",
+                        pin.offset, cell.id, cell.width
+                    )));
                 }
             }
         }
@@ -171,12 +203,23 @@ impl Circuit {
                 return Err(ModelError::BadId(format!("net {i} has id {}", net.id)));
             }
             if net.pins.len() < 2 {
-                return Err(ModelError::DegenerateNet(format!("{} ({}) has {} pin(s)", net.id, net.name, net.pins.len())));
+                return Err(ModelError::DegenerateNet(format!(
+                    "{} ({}) has {} pin(s)",
+                    net.id,
+                    net.name,
+                    net.pins.len()
+                )));
             }
             for &pid in &net.pins {
-                let pin = self.pins.get(pid.index()).ok_or_else(|| ModelError::Dangling(format!("{pid} in {}", net.id)))?;
+                let pin = self
+                    .pins
+                    .get(pid.index())
+                    .ok_or_else(|| ModelError::Dangling(format!("{pid} in {}", net.id)))?;
                 if pin.net != net.id {
-                    return Err(ModelError::Inconsistent(format!("{pid} listed in {} but claims {}", net.id, pin.net)));
+                    return Err(ModelError::Inconsistent(format!(
+                        "{pid} listed in {} but claims {}",
+                        net.id, pin.net
+                    )));
                 }
             }
         }
@@ -184,12 +227,25 @@ impl Circuit {
             if pin.id.index() != i {
                 return Err(ModelError::BadId(format!("pin {i} has id {}", pin.id)));
             }
-            let net = self.nets.get(pin.net.index()).ok_or_else(|| ModelError::Dangling(format!("{} on nonexistent {}", pin.id, pin.net)))?;
+            let net = self.nets.get(pin.net.index()).ok_or_else(|| {
+                ModelError::Dangling(format!("{} on nonexistent {}", pin.id, pin.net))
+            })?;
             if !net.pins.contains(&pin.id) {
-                return Err(ModelError::Inconsistent(format!("{} not listed in its {}", pin.id, pin.net)));
+                return Err(ModelError::Inconsistent(format!(
+                    "{} not listed in its {}",
+                    pin.id, pin.net
+                )));
             }
-            if !self.cells.get(pin.cell.index()).map(|c| c.pins.contains(&pin.id)).unwrap_or(false) {
-                return Err(ModelError::Inconsistent(format!("{} not listed on its {}", pin.id, pin.cell)));
+            if !self
+                .cells
+                .get(pin.cell.index())
+                .map(|c| c.pins.contains(&pin.id))
+                .unwrap_or(false)
+            {
+                return Err(ModelError::Inconsistent(format!(
+                    "{} not listed on its {}",
+                    pin.id, pin.cell
+                )));
             }
         }
         Ok(())

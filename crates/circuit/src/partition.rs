@@ -28,7 +28,10 @@ impl RowPartition {
     pub fn balanced(circuit: &Circuit, parts: usize) -> Self {
         assert!(parts > 0, "need at least one part");
         let rows = circuit.num_rows();
-        assert!(parts <= rows, "cannot split {rows} rows into {parts} non-empty contiguous parts");
+        assert!(
+            parts <= rows,
+            "cannot split {rows} rows into {parts} non-empty contiguous parts"
+        );
         let cells_per_row: Vec<usize> = circuit.rows.iter().map(|r| r.cells.len()).collect();
         Self::from_weights(&cells_per_row, parts)
     }
@@ -129,7 +132,10 @@ mod tests {
         let p = RowPartition::uniform(5, 1);
         assert_eq!(p.range(0), 0..5);
         assert_eq!(p.owner(RowId(4)), 0);
-        assert!(!p.is_upper_boundary(RowId(4)), "top row of the last part is not a boundary");
+        assert!(
+            !p.is_upper_boundary(RowId(4)),
+            "top row of the last part is not a boundary"
+        );
     }
 
     #[test]
@@ -145,7 +151,11 @@ mod tests {
         // Heavy rows at the front: part 0 should get fewer rows.
         let w = vec![100, 100, 1, 1, 1, 1, 1, 1];
         let p = RowPartition::from_weights(&w, 2);
-        assert!(p.end(0) <= 3, "heavy prefix confines part 0, got {:?}", p.range(0));
+        assert!(
+            p.end(0) <= 3,
+            "heavy prefix confines part 0, got {:?}",
+            p.range(0)
+        );
         // All parts non-empty, contiguous, covering.
         assert_eq!(p.start(0), 0);
         assert_eq!(p.end(1), 8);
@@ -171,7 +181,10 @@ mod tests {
         let p = RowPartition::uniform(6, 2); // parts: 0..3, 3..6
         assert!(p.is_upper_boundary(RowId(2)));
         assert!(!p.is_upper_boundary(RowId(1)));
-        assert!(!p.is_upper_boundary(RowId(5)), "top of last part is chip edge, not a partition boundary");
+        assert!(
+            !p.is_upper_boundary(RowId(5)),
+            "top of last part is chip edge, not a partition boundary"
+        );
     }
 
     #[test]

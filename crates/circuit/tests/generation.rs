@@ -4,15 +4,21 @@
 use pgr_circuit::format::{from_text, to_text, FormatError};
 use pgr_circuit::mcnc::{Mcnc, ALL};
 use pgr_circuit::{generate, CircuitBuilder, GeneratorConfig, NetId, PinSide, RowId, RowPartition};
-use proptest::prelude::*;
+use pgr_geom::rng::rng_from_seed;
 
 #[test]
 fn mcnc_configs_track_published_shapes() {
     // Table 1 anchors: sizes are ordered as in the paper.
     let pins: Vec<usize> = ALL.iter().map(|m| m.config().pins).collect();
-    assert!(pins.windows(2).all(|w| w[0] < w[1]), "pin counts increase: {pins:?}");
+    assert!(
+        pins.windows(2).all(|w| w[0] < w[1]),
+        "pin counts increase: {pins:?}"
+    );
     let cells: Vec<usize> = ALL.iter().map(|m| m.config().cells).collect();
-    assert!(cells.windows(2).all(|w| w[0] < w[1]), "cell counts increase: {cells:?}");
+    assert!(
+        cells.windows(2).all(|w| w[0] < w[1]),
+        "cell counts increase: {cells:?}"
+    );
 }
 
 #[test]
@@ -23,12 +29,23 @@ fn memory_footprints_separate_the_two_largest_circuits() {
     // clear daylight between industry3 (must fit) and avq.small (must
     // not). The end-to-end gate is exercised by `repro table5` and the
     // ignored full-size test in the workspace `tests/`.
-    let ests: Vec<(&str, u64)> = ALL.iter().map(|m| (m.name(), m.circuit().estimated_routing_bytes())).collect();
+    let ests: Vec<(&str, u64)> = ALL
+        .iter()
+        .map(|m| (m.name(), m.circuit().estimated_routing_bytes()))
+        .collect();
     for w in ests.windows(2) {
         assert!(w[0].1 < w[1].1, "footprints increase: {ests:?}");
     }
-    let industry3 = ests.iter().find(|(n, _)| *n == Mcnc::Industry3.name()).unwrap().1;
-    let avq_small = ests.iter().find(|(n, _)| *n == Mcnc::AvqSmall.name()).unwrap().1;
+    let industry3 = ests
+        .iter()
+        .find(|(n, _)| *n == Mcnc::Industry3.name())
+        .unwrap()
+        .1;
+    let avq_small = ests
+        .iter()
+        .find(|(n, _)| *n == Mcnc::AvqSmall.name())
+        .unwrap()
+        .1;
     assert!(
         avq_small as f64 > industry3 as f64 * 1.15,
         "separation for the memory gate: {avq_small} vs {industry3}"
@@ -42,7 +59,12 @@ fn scaled_circuits_preserve_column_budget() {
         for row in &c.rows {
             if let Some(&last) = row.cells.last() {
                 let cell = &c.cells[last.index()];
-                assert!(cell.x + cell.width as i64 <= c.width, "{} row {}", m.name(), row.id);
+                assert!(
+                    cell.x + cell.width as i64 <= c.width,
+                    "{} row {}",
+                    m.name(),
+                    row.id
+                );
             }
         }
     }
@@ -87,16 +109,14 @@ fn format_reports_line_numbers_on_errors() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn generation_hits_exact_budgets(
-        seed in 0u64..10_000,
-        rows in 2usize..12,
-        nets in 12usize..60,
-        extra_pins in 0usize..120,
-    ) {
+#[test]
+fn generation_hits_exact_budgets() {
+    let mut rng = rng_from_seed(0xC101);
+    for _ in 0..24 {
+        let seed = rng.gen_range(0u64..10_000);
+        let rows = rng.gen_range(2usize..12);
+        let nets = rng.gen_range(12usize..60);
+        let extra_pins = rng.gen_range(0usize..120);
         let cells = rows * 10;
         let pins = nets * 2 + extra_pins;
         let cfg = GeneratorConfig {
@@ -112,56 +132,74 @@ proptest! {
             clock_nets: vec![],
         };
         let c = generate(&cfg);
-        prop_assert_eq!(c.num_rows(), rows);
-        prop_assert_eq!(c.num_cells(), cells);
-        prop_assert_eq!(c.num_nets(), nets);
-        prop_assert_eq!(c.num_pins(), pins);
+        assert_eq!(c.num_rows(), rows);
+        assert_eq!(c.num_cells(), cells);
+        assert_eq!(c.num_nets(), nets);
+        assert_eq!(c.num_pins(), pins);
         c.validate().unwrap();
     }
+}
 
-    #[test]
-    fn row_partition_owner_is_consistent_with_ranges(rows in 1usize..64, parts in 1usize..16) {
-        let parts = parts.min(rows);
+#[test]
+fn row_partition_owner_is_consistent_with_ranges() {
+    let mut rng = rng_from_seed(0xC102);
+    for _ in 0..64 {
+        let rows = rng.gen_range(1usize..64);
+        let parts = rng.gen_range(1usize..16).min(rows);
         let rp = RowPartition::uniform(rows, parts);
         let mut covered = 0;
         for p in 0..parts {
             let range = rp.range(p);
-            prop_assert!(!range.is_empty());
+            assert!(!range.is_empty());
             covered += range.len();
             for r in range {
-                prop_assert_eq!(rp.owner(RowId(r as u32)), p);
+                assert_eq!(rp.owner(RowId(r as u32)), p);
             }
         }
-        prop_assert_eq!(covered, rows);
+        assert_eq!(covered, rows);
     }
+}
 
-    #[test]
-    fn balanced_partition_beats_worst_case(seed in 0u64..200) {
+#[test]
+fn balanced_partition_beats_worst_case() {
+    let mut rng = rng_from_seed(0xC103);
+    for _ in 0..24 {
+        let seed = rng.gen_range(0u64..200);
         let c = generate(&GeneratorConfig::small("bal", seed));
         let parts = 4.min(c.num_rows());
         let rp = RowPartition::balanced(&c, parts);
-        let loads: Vec<usize> = (0..parts).map(|p| rp.range(p).map(|r| c.rows[r].cells.len()).sum()).collect();
+        let loads: Vec<usize> = (0..parts)
+            .map(|p| rp.range(p).map(|r| c.rows[r].cells.len()).sum())
+            .collect();
         let max = *loads.iter().max().unwrap();
         let total: usize = loads.iter().sum();
         // No part holds more than ~2x its fair share (contiguity limits
         // perfection, but gross imbalance would be a bug).
-        prop_assert!(max <= total * 2 / parts + 1, "loads {loads:?}");
+        assert!(max <= total * 2 / parts + 1, "loads {loads:?}");
     }
+}
 
-    #[test]
-    fn net_bboxes_contain_their_pins(seed in 0u64..100) {
+#[test]
+fn net_bboxes_contain_their_pins() {
+    let mut rng = rng_from_seed(0xC104);
+    for _ in 0..24 {
+        let seed = rng.gen_range(0u64..100);
         let c = generate(&GeneratorConfig::small("bb", seed));
         for i in 0..c.num_nets() {
             let net = NetId::from_index(i);
             let bb = c.net_bbox(net);
             for &p in &c.nets[i].pins {
-                prop_assert!(bb.contains(c.pin_point(p)));
+                assert!(bb.contains(c.pin_point(p)));
             }
         }
     }
+}
 
-    #[test]
-    fn text_format_roundtrip_is_lossless(seed in 0u64..300) {
+#[test]
+fn text_format_roundtrip_is_lossless() {
+    let mut rng = rng_from_seed(0xC105);
+    for _ in 0..24 {
+        let seed = rng.gen_range(0u64..300);
         let mut cfg = GeneratorConfig::small("fmt", seed);
         cfg.nets = 30;
         cfg.pins = 110;
@@ -169,6 +207,6 @@ proptest! {
         cfg.rows = 4;
         let c = generate(&cfg);
         let c2 = from_text(&to_text(&c)).unwrap();
-        prop_assert_eq!(to_text(&c), to_text(&c2));
+        assert_eq!(to_text(&c), to_text(&c2));
     }
 }

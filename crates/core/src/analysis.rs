@@ -53,7 +53,9 @@ impl CongestionReport {
 pub fn analyze(result: &RoutingResult) -> CongestionReport {
     let width = result.chip_width.max(1);
     let nchan = result.channel_density.len();
-    let mut profiles: Vec<DensityProfile> = (0..nchan).map(|_| DensityProfile::new(width as usize)).collect();
+    let mut profiles: Vec<DensityProfile> = (0..nchan)
+        .map(|_| DensityProfile::new(width as usize))
+        .collect();
     let mut span_count = vec![0usize; nchan];
     for s in &result.spans {
         profiles[s.channel as usize].add_span(s.lo, s.hi, 1);
@@ -67,10 +69,19 @@ pub fn analyze(result: &RoutingResult) -> CongestionReport {
             let peak = p.max();
             let peak_column = counts.iter().position(|&d| d == peak).unwrap_or(0) as i64;
             let mean = counts.iter().sum::<i64>() as f64 / width as f64;
-            ChannelCongestion { channel: c, peak, mean, peak_column, spans: span_count[c] }
+            ChannelCongestion {
+                channel: c,
+                peak,
+                mean,
+                peak_column,
+                spans: span_count[c],
+            }
         })
         .collect();
-    CongestionReport { channels, chip_width: width }
+    CongestionReport {
+        channels,
+        chip_width: width,
+    }
 }
 
 /// Render an ASCII heatmap: one line per channel (bottom channel first),
@@ -93,7 +104,11 @@ pub fn heatmap(result: &RoutingResult, buckets: usize) -> String {
     for (c, row) in grid.iter().enumerate().rev() {
         out.push_str(&format!("ch{c:>3} |"));
         for &v in row {
-            let ch = if v == 0 { '.' } else { char::from_digit(((v * 9) / peak).clamp(1, 9) as u32, 10).expect("digit") };
+            let ch = if v == 0 {
+                '.'
+            } else {
+                char::from_digit(((v * 9) / peak).clamp(1, 9) as u32, 10).expect("digit")
+            };
             out.push(ch);
         }
         out.push_str("|\n");
@@ -112,7 +127,11 @@ mod tests {
 
     fn routed() -> RoutingResult {
         let c = generate(&GeneratorConfig::small("analysis", 9));
-        route_serial(&c, &RouterConfig::with_seed(1), &mut Comm::solo(MachineModel::ideal()))
+        route_serial(
+            &c,
+            &RouterConfig::with_seed(1),
+            &mut Comm::solo(MachineModel::ideal()),
+        )
     }
 
     #[test]
@@ -160,7 +179,13 @@ mod tests {
         let mut r = routed();
         // Pile ten identical spans into channel 2 around column 5.
         for _ in 0..50 {
-            r.spans.push(Span { net: NetId(0), channel: 2, lo: 4, hi: 7, switch_row: None });
+            r.spans.push(Span {
+                net: NetId(0),
+                channel: 2,
+                lo: 4,
+                hi: 7,
+                switch_row: None,
+            });
         }
         let rep = analyze(&r);
         let top = rep.hotspots()[0];
@@ -182,7 +207,14 @@ mod tests {
         let rep = analyze(&r);
         assert!(rep.channels.iter().all(|c| c.peak == 0 && c.spans == 0));
         fn count_digits(s: &str) -> usize {
-            s.lines().map(|l| l.split('|').nth(1).map(|b| b.chars().filter(char::is_ascii_digit).count()).unwrap_or(0)).sum()
+            s.lines()
+                .map(|l| {
+                    l.split('|')
+                        .nth(1)
+                        .map(|b| b.chars().filter(char::is_ascii_digit).count())
+                        .unwrap_or(0)
+                })
+                .sum()
         }
         let map = heatmap(&r, 10);
         assert_eq!(count_digits(&map), 0, "empty chip has no hot cells");

@@ -77,7 +77,10 @@ impl Default for RouterConfig {
 
 impl RouterConfig {
     pub fn with_seed(seed: u64) -> Self {
-        RouterConfig { seed, ..Default::default() }
+        RouterConfig {
+            seed,
+            ..Default::default()
+        }
     }
 }
 

@@ -31,7 +31,12 @@ impl DetailedRouting {
 
     /// Mean utilization over non-empty channels.
     pub fn mean_utilization(&self) -> f64 {
-        let busy: Vec<f64> = self.channels.iter().filter(|t| t.count() > 0).map(TrackAssignment::utilization).collect();
+        let busy: Vec<f64> = self
+            .channels
+            .iter()
+            .filter(|t| t.count() > 0)
+            .map(TrackAssignment::utilization)
+            .collect();
         if busy.is_empty() {
             1.0
         } else {
@@ -69,7 +74,11 @@ mod tests {
 
     fn routed() -> (pgr_circuit::Circuit, RoutingResult) {
         let c = generate(&GeneratorConfig::small("detailed", 8));
-        let r = route_serial(&c, &RouterConfig::with_seed(3), &mut Comm::solo(MachineModel::ideal()));
+        let r = route_serial(
+            &c,
+            &RouterConfig::with_seed(3),
+            &mut Comm::solo(MachineModel::ideal()),
+        );
         (c, r)
     }
 
@@ -81,8 +90,16 @@ mod tests {
         assert_eq!(d.channels.len(), r.channel_density.len());
         // LEA per channel never exceeds the reported density, and after
         // same-net merging it can only improve.
-        for (c, (&density, tracks)) in r.channel_density.iter().zip(d.tracks_per_channel()).enumerate() {
-            assert!(tracks as i64 <= density, "channel {c}: LEA {tracks} > density {density}");
+        for (c, (&density, tracks)) in r
+            .channel_density
+            .iter()
+            .zip(d.tracks_per_channel())
+            .enumerate()
+        {
+            assert!(
+                tracks as i64 <= density,
+                "channel {c}: LEA {tracks} > density {density}"
+            );
         }
         assert!(d.track_count() as i64 <= r.track_count());
         assert!(d.track_count() > 0);
@@ -95,7 +112,10 @@ mod tests {
         let (_, r) = routed();
         let d = route_channels(&r);
         let ratio = d.track_count() as f64 / r.track_count() as f64;
-        assert!(ratio > 0.8, "detailed routing within 20 % of the metric: {ratio}");
+        assert!(
+            ratio > 0.8,
+            "detailed routing within 20 % of the metric: {ratio}"
+        );
     }
 
     #[test]

@@ -58,7 +58,10 @@ impl RoutingResult {
     /// quality metric of Tables 2–4. 1.00 = identical quality; 1.03 =
     /// 3 % more tracks than serial.
     pub fn scaled_tracks(&self, baseline: &RoutingResult) -> f64 {
-        assert_eq!(self.circuit, baseline.circuit, "scale against the same circuit");
+        assert_eq!(
+            self.circuit, baseline.circuit,
+            "scale against the same circuit"
+        );
         self.track_count() as f64 / baseline.track_count() as f64
     }
 

@@ -33,18 +33,35 @@ pub fn distribute(circuit: &Circuit, replicated: bool, comm: &mut Comm) {
     let entities = (circuit.num_pins() + circuit.num_cells() + circuit.num_nets()) as u64;
     let bytes = circuit.estimated_routing_bytes();
     let size = comm.size();
+    comm.trace_mark(if replicated {
+        "distribute:replicated"
+    } else {
+        "distribute:partitioned"
+    });
     if comm.rank() == 0 {
         comm.compute(cost::SETUP_ITEM * entities);
-        let share = if replicated { bytes } else { bytes / size as u64 };
+        let share = if replicated {
+            bytes
+        } else {
+            bytes / size as u64
+        };
         for dst in 1..size {
             comm.send_bytes(dst, tag::DISTRIBUTE, vec![0u8; share as usize]);
         }
     } else {
         let _ = comm.recv_bytes(0, tag::DISTRIBUTE);
-        let local_entities = if replicated { entities } else { entities / size as u64 };
+        let local_entities = if replicated {
+            entities
+        } else {
+            entities / size as u64
+        };
         comm.compute(cost::SETUP_ITEM * local_entities);
     }
-    let local_bytes = if replicated { bytes } else { bytes / size as u64 };
+    let local_bytes = if replicated {
+        bytes
+    } else {
+        bytes / size as u64
+    };
     comm.charge_alloc(local_bytes);
 }
 
@@ -66,13 +83,34 @@ pub fn split_segment(seg: &Segment, rows: &RowPartition) -> Vec<(usize, Segment)
     let xcut = seg.lower.x;
     let mut out = Vec::with_capacity(p_hi - p_lo + 1);
     // Bottom piece: lower endpoint up to the top row of its part.
-    out.push((p_lo, Segment::new(seg.net, seg.lower, Node::fake(xcut, rows.end(p_lo) as u32 - 1))));
+    out.push((
+        p_lo,
+        Segment::new(
+            seg.net,
+            seg.lower,
+            Node::fake(xcut, rows.end(p_lo) as u32 - 1),
+        ),
+    ));
     // Middle pieces: fake pin to fake pin across whole parts.
     for p in p_lo + 1..p_hi {
-        out.push((p, Segment::new(seg.net, Node::fake(xcut, rows.start(p) as u32), Node::fake(xcut, rows.end(p) as u32 - 1))));
+        out.push((
+            p,
+            Segment::new(
+                seg.net,
+                Node::fake(xcut, rows.start(p) as u32),
+                Node::fake(xcut, rows.end(p) as u32 - 1),
+            ),
+        ));
     }
     // Top piece: first row of the top part up to the upper endpoint.
-    out.push((p_hi, Segment::new(seg.net, Node::fake(xcut, rows.start(p_hi) as u32), seg.upper)));
+    out.push((
+        p_hi,
+        Segment::new(
+            seg.net,
+            Node::fake(xcut, rows.start(p_hi) as u32),
+            seg.upper,
+        ),
+    ));
     out
 }
 
@@ -84,7 +122,10 @@ pub fn assemble_works(segments: &[Segment]) -> Vec<WorkNet> {
     let mut index = std::collections::HashMap::new();
     for seg in segments {
         let &mut i = index.entry(seg.net).or_insert_with(|| {
-            works.push(WorkNet { net: seg.net, nodes: Vec::new() });
+            works.push(WorkNet {
+                net: seg.net,
+                nodes: Vec::new(),
+            });
             works.len() - 1
         });
         works[i].nodes.push(seg.lower);
@@ -106,6 +147,7 @@ pub fn sync_boundaries(chans: &mut ChannelState, rows: &RowPartition, comm: &mut
     let rank = comm.rank();
     let lower_shared = rows.start(rank) as u32; // shared with rank - 1
     let upper_shared = rows.end(rank) as u32; // shared with rank + 1
+    comm.trace_mark("sync_boundaries");
     // Eager sends first (never block), then receive.
     if rank > 0 {
         let counts = chans.counts(lower_shared);
@@ -138,6 +180,7 @@ pub fn gather_result(
     chip_width: i64,
     comm: &mut Comm,
 ) -> Option<RoutingResult> {
+    comm.trace_mark("gather_result");
     let wirelength = comm.reduce(0, wirelength, |a, b| a + b);
     let feedthroughs = comm.reduce(0, feedthroughs, |a, b| a + b);
     let all_spans = comm.gather(0, spans);
@@ -147,7 +190,9 @@ pub fn gather_result(
     let rows = circuit.num_rows();
     let mut chans = ChannelState::new(0, rows + 1, chip_width);
     comm.charge_alloc(chans.modeled_bytes());
-    comm.compute(cost::SPAN_APPLY * spans.len() as u64 + cost::SETUP_ITEM * circuit.num_nets() as u64);
+    comm.compute(
+        cost::SPAN_APPLY * spans.len() as u64 + cost::SETUP_ITEM * circuit.num_nets() as u64,
+    );
     for s in &spans {
         chans.add_span(s, 1);
     }
@@ -210,7 +255,10 @@ mod tests {
         assert_eq!(*p, 1);
         assert_eq!((mid.lower.row, mid.upper.row), (3, 5));
         assert_eq!(mid.lower.x, 5);
-        assert_eq!(mid.upper.x, 5, "middle piece is a pure vertical at the cut column");
+        assert_eq!(
+            mid.upper.x, 5,
+            "middle piece is a pure vertical at the cut column"
+        );
         // Every piece stays within its part.
         for (p, s) in &pieces {
             assert_eq!(rows.owner(pgr_circuit::RowId(s.lower.row)), *p);

@@ -18,7 +18,9 @@
 use crate::config::RouterConfig;
 use crate::cost;
 use crate::metrics::RoutingResult;
-use crate::parallel::common::{assemble_works, distribute, gather_result, split_segment, sync_boundaries};
+use crate::parallel::common::{
+    assemble_works, distribute, gather_result, split_segment, sync_boundaries,
+};
 use crate::parallel::partition::{partition_nets, PartitionKind};
 use crate::route::coarse::CoarseState;
 use crate::route::connect::connect_net;
@@ -33,10 +35,18 @@ use pgr_mpi::Comm;
 
 /// Run the hybrid algorithm on the calling rank. Returns the global
 /// result on rank 0, `None` elsewhere.
-pub fn route_hybrid(circuit: &Circuit, cfg: &RouterConfig, kind: PartitionKind, comm: &mut Comm) -> Option<RoutingResult> {
+pub fn route_hybrid(
+    circuit: &Circuit,
+    cfg: &RouterConfig,
+    kind: PartitionKind,
+    comm: &mut Comm,
+) -> Option<RoutingResult> {
     let size = comm.size();
     let rank = comm.rank();
-    assert!(size <= circuit.num_rows(), "hybrid needs at least one row per rank");
+    assert!(
+        size <= circuit.num_rows(),
+        "hybrid needs at least one row per rank"
+    );
     let rows = RowPartition::balanced(circuit, size);
     let mut rng = rng_from_seed(derive_seed(cfg.seed, rank as u64));
 
@@ -95,7 +105,10 @@ pub fn route_hybrid(circuit: &Circuit, cfg: &RouterConfig, kind: PartitionKind, 
         let mut index = std::collections::HashMap::new();
         for frag in fragments {
             let &mut i = index.entry(frag.net).or_insert_with(|| {
-                merged.push(WorkNet { net: frag.net, nodes: Vec::new() });
+                merged.push(WorkNet {
+                    net: frag.net,
+                    nodes: Vec::new(),
+                });
                 merged.len() - 1
             });
             merged[i].nodes.extend(frag.nodes);
@@ -150,7 +163,15 @@ pub fn route_hybrid(circuit: &Circuit, cfg: &RouterConfig, kind: PartitionKind, 
     optimize(&mut chans, &mut spans, cfg, &mut rng, comm);
 
     comm.phase("assemble");
-    gather_result(circuit, cfg, spans, wirelength, plan.total(), chip_width, comm)
+    gather_result(
+        circuit,
+        cfg,
+        spans,
+        wirelength,
+        plan.total(),
+        chip_width,
+        comm,
+    )
 }
 
 #[cfg(test)]
@@ -169,7 +190,13 @@ mod tests {
         let report = run(procs, MachineModel::sparc_center_1000(), |comm| {
             route_hybrid(circuit, cfg, PartitionKind::PinWeight, comm)
         });
-        let result = report.results.iter().flatten().next().expect("rank 0 result").clone();
+        let result = report
+            .results
+            .iter()
+            .flatten()
+            .next()
+            .expect("rank 0 result")
+            .clone();
         (result, report.makespan())
     }
 
@@ -240,6 +267,10 @@ mod tests {
         let (_, t1) = run_hybrid(&c, &cfg, 1);
         let (_, t4) = run_hybrid(&c, &cfg, 4);
         assert!(t4 < t1);
-        assert!(t1 / t4 > 1.3, "simulated hybrid speedup too low: {}", t1 / t4);
+        assert!(
+            t1 / t4 > 1.3,
+            "simulated hybrid speedup too low: {}",
+            t1 / t4
+        );
     }
 }

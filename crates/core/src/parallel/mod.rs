@@ -40,7 +40,13 @@ impl Algorithm {
     }
 
     /// Run this algorithm on the calling rank (SPMD entry point).
-    pub fn route(self, circuit: &Circuit, cfg: &RouterConfig, kind: PartitionKind, comm: &mut Comm) -> Option<RoutingResult> {
+    pub fn route(
+        self,
+        circuit: &Circuit,
+        cfg: &RouterConfig,
+        kind: PartitionKind,
+        comm: &mut Comm,
+    ) -> Option<RoutingResult> {
         match self {
             Algorithm::RowWise => rowwise::route_rowwise(circuit, cfg, kind, comm),
             Algorithm::NetWise => netwise::route_netwise(circuit, cfg, kind, comm),
@@ -71,7 +77,9 @@ pub fn route_parallel(
     procs: usize,
     machine: MachineModel,
 ) -> ParallelOutcome {
-    let report = run(procs, machine, |comm| algorithm.route(circuit, cfg, kind, comm));
+    let report = run(procs, machine, |comm| {
+        algorithm.route(circuit, cfg, kind, comm)
+    });
     let fits_memory = report.fits_memory();
     let time = report.makespan();
     let result = report
@@ -80,7 +88,12 @@ pub fn route_parallel(
         .flatten()
         .next()
         .expect("rank 0 returns the assembled result");
-    ParallelOutcome { result, time, stats: report.stats, fits_memory }
+    ParallelOutcome {
+        result,
+        time,
+        stats: report.stats,
+        fits_memory,
+    }
 }
 
 #[cfg(test)]
@@ -93,7 +106,14 @@ mod tests {
         let c = generate(&GeneratorConfig::small("wrap", 8));
         let cfg = RouterConfig::with_seed(1);
         for algo in Algorithm::ALL {
-            let out = route_parallel(&c, &cfg, algo, PartitionKind::PinWeight, 2, MachineModel::sparc_center_1000());
+            let out = route_parallel(
+                &c,
+                &cfg,
+                algo,
+                PartitionKind::PinWeight,
+                2,
+                MachineModel::sparc_center_1000(),
+            );
             assert!(out.result.track_count() > 0, "{}", algo.name());
             assert!(out.time > 0.0);
             assert_eq!(out.stats.len(), 2);

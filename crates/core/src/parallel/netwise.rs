@@ -58,7 +58,11 @@ fn sync_coarse(coarse: &mut CoarseState, exact: bool, comm: &mut Comm) {
             }
         }
     }
-    comm.compute(cost::MERGE_COL * coarse.gcols() as u64 * (coarse.num_channels() + coarse.num_rows()) as u64);
+    comm.compute(
+        cost::MERGE_COL
+            * coarse.gcols() as u64
+            * (coarse.num_channels() + coarse.num_rows()) as u64,
+    );
 }
 
 /// Tag of the snapshot-exchange payloads.
@@ -120,8 +124,10 @@ fn sync_chans(chans: &mut ChannelState, exact: bool, comm: &mut Comm) {
             if exact {
                 chans.merge_external(&d, comm);
             } else {
-                let kept: Vec<SpanDelta> =
-                    d.into_iter().filter(|sd| !span_buckets(sd).any(|k| touched.contains(&k))).collect();
+                let kept: Vec<SpanDelta> = d
+                    .into_iter()
+                    .filter(|sd| !span_buckets(sd).any(|k| touched.contains(&k)))
+                    .collect();
                 chans.merge_external(&kept, comm);
             }
         }
@@ -134,10 +140,18 @@ fn sync_chans(chans: &mut ChannelState, exact: bool, comm: &mut Comm) {
 
 /// Run the net-wise algorithm on the calling rank. Returns the global
 /// result on rank 0, `None` elsewhere.
-pub fn route_netwise(circuit: &Circuit, cfg: &RouterConfig, kind: PartitionKind, comm: &mut Comm) -> Option<RoutingResult> {
+pub fn route_netwise(
+    circuit: &Circuit,
+    cfg: &RouterConfig,
+    kind: PartitionKind,
+    comm: &mut Comm,
+) -> Option<RoutingResult> {
     let size = comm.size();
     let rank = comm.rank();
-    assert!(size <= circuit.num_rows(), "feedthrough assignment partitions rows: need one per rank");
+    assert!(
+        size <= circuit.num_rows(),
+        "feedthrough assignment partitions rows: need one per rank"
+    );
     let all_rows = circuit.num_rows();
     let rows = RowPartition::balanced(circuit, size);
     let mut rng = rng_from_seed(derive_seed(cfg.seed, rank as u64));
@@ -171,7 +185,11 @@ pub fn route_netwise(circuit: &Circuit, cfg: &RouterConfig, kind: PartitionKind,
     // replicated copy is kept coarser than the serial grid to bound the
     // per-rank state and the all-channel synchronization volume.
     comm.phase("coarse");
-    let grid_w = if size > 1 { cfg.grid_w * cfg.netwise_grid_factor.max(1) } else { cfg.grid_w };
+    let grid_w = if size > 1 {
+        cfg.grid_w * cfg.netwise_grid_factor.max(1)
+    } else {
+        cfg.grid_w
+    };
     let mut coarse = CoarseState::new(0, all_rows, circuit.width, grid_w);
     comm.charge_alloc(coarse.modeled_bytes());
     coarse.enable_logging();
@@ -209,7 +227,12 @@ pub fn route_netwise(circuit: &Circuit, cfg: &RouterConfig, kind: PartitionKind,
     for (net, node) in assigned {
         ft_out[owners[net.index()] as usize].push((net.0, node));
     }
-    let ft_nodes: Vec<(NetId, Node)> = comm.alltoall(ft_out).into_iter().flatten().map(|(n, nd)| (NetId(n), nd)).collect();
+    let ft_nodes: Vec<(NetId, Node)> = comm
+        .alltoall(ft_out)
+        .into_iter()
+        .flatten()
+        .map(|(n, nd)| (NetId(n), nd))
+        .collect();
     shift_pins(&mut works, &plan);
     attach_feedthroughs(&mut works, ft_nodes);
 
@@ -257,7 +280,15 @@ pub fn route_netwise(circuit: &Circuit, cfg: &RouterConfig, kind: PartitionKind,
     }
 
     comm.phase("assemble");
-    gather_result(circuit, cfg, spans, wirelength, plan.total(), chip_width, comm)
+    gather_result(
+        circuit,
+        cfg,
+        spans,
+        wirelength,
+        plan.total(),
+        chip_width,
+        comm,
+    )
 }
 
 #[cfg(test)]
@@ -271,9 +302,22 @@ mod tests {
         generate(&GeneratorConfig::small("netwise-test", 21))
     }
 
-    fn run_netwise(circuit: &Circuit, cfg: &RouterConfig, procs: usize, kind: PartitionKind) -> (RoutingResult, f64) {
-        let report = run(procs, MachineModel::sparc_center_1000(), |comm| route_netwise(circuit, cfg, kind, comm));
-        let result = report.results.iter().flatten().next().expect("rank 0 result").clone();
+    fn run_netwise(
+        circuit: &Circuit,
+        cfg: &RouterConfig,
+        procs: usize,
+        kind: PartitionKind,
+    ) -> (RoutingResult, f64) {
+        let report = run(procs, MachineModel::sparc_center_1000(), |comm| {
+            route_netwise(circuit, cfg, kind, comm)
+        });
+        let result = report
+            .results
+            .iter()
+            .flatten()
+            .next()
+            .expect("rank 0 result")
+            .clone();
         (result, report.makespan())
     }
 
@@ -312,10 +356,20 @@ mod tests {
     #[test]
     fn sync_period_trades_communication_for_staleness() {
         let c = small();
-        let tight = RouterConfig { seed: 4, sync_period: 8, ..Default::default() };
-        let loose = RouterConfig { seed: 4, sync_period: 4096, ..Default::default() };
+        let tight = RouterConfig {
+            seed: 4,
+            sync_period: 8,
+            ..Default::default()
+        };
+        let loose = RouterConfig {
+            seed: 4,
+            sync_period: 4096,
+            ..Default::default()
+        };
         let run_with = |cfg: &RouterConfig| {
-            run(4, MachineModel::sparc_center_1000(), |comm| route_netwise(&c, cfg, PartitionKind::PinWeight, comm))
+            run(4, MachineModel::sparc_center_1000(), |comm| {
+                route_netwise(&c, cfg, PartitionKind::PinWeight, comm)
+            })
         };
         let rep_tight = run_with(&tight);
         let rep_loose = run_with(&loose);

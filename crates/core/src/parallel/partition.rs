@@ -35,7 +35,12 @@ pub enum PartitionKind {
 }
 
 impl PartitionKind {
-    pub const ALL: [PartitionKind; 4] = [PartitionKind::Center, PartitionKind::Locus, PartitionKind::Density, PartitionKind::PinWeight];
+    pub const ALL: [PartitionKind; 4] = [
+        PartitionKind::Center,
+        PartitionKind::Locus,
+        PartitionKind::Density,
+        PartitionKind::PinWeight,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -62,7 +67,13 @@ impl PartitionKind {
 /// assert_eq!(owner.len(), c.num_nets());
 /// assert!(owner.iter().all(|&o| o < 4));
 /// ```
-pub fn partition_nets(circuit: &Circuit, kind: PartitionKind, rows: &RowPartition, parts: usize, beta: f64) -> Vec<u32> {
+pub fn partition_nets(
+    circuit: &Circuit,
+    kind: PartitionKind,
+    rows: &RowPartition,
+    parts: usize,
+    beta: f64,
+) -> Vec<u32> {
     assert!(parts > 0);
     assert_eq!(rows.parts(), parts, "row partition must match rank count");
     let n = circuit.num_nets();
@@ -84,7 +95,11 @@ pub fn partition_nets(circuit: &Circuit, kind: PartitionKind, rows: &RowPartitio
                     (key, i as u32, circuit.nets[i].degree())
                 })
                 .collect();
-            keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite keys").then(a.1.cmp(&b.1)));
+            keyed.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .expect("finite keys")
+                    .then(a.1.cmp(&b.1))
+            });
             fill_by_pins(&keyed, circuit.num_pins(), parts, n)
         }
     }
@@ -93,7 +108,10 @@ pub fn partition_nets(circuit: &Circuit, kind: PartitionKind, rows: &RowPartitio
 /// Mean row coordinate of the net's pins.
 fn center_key(circuit: &Circuit, net: NetId) -> f64 {
     let pins = &circuit.nets[net.index()].pins;
-    let sum: i64 = pins.iter().map(|&p| circuit.pin_row(p).index() as i64).sum();
+    let sum: i64 = pins
+        .iter()
+        .map(|&p| circuit.pin_row(p).index() as i64)
+        .sum();
     sum as f64 / pins.len() as f64
 }
 
@@ -112,13 +130,23 @@ fn density_key(circuit: &Circuit, net: NetId, rows: &RowPartition) -> f64 {
     for &p in &circuit.nets[net.index()].pins {
         counts[rows.owner(circuit.pin_row(p))] += 1;
     }
-    let best = counts.iter().enumerate().max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i))).expect("nonempty").0;
+    let best = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+        .expect("nonempty")
+        .0;
     best as f64
 }
 
 /// The paper's generic filling scheme: walk the sorted nets, filling one
 /// processor until its pin count reaches the running average share.
-fn fill_by_pins(sorted: &[(f64, u32, usize)], total_pins: usize, parts: usize, n: usize) -> Vec<u32> {
+fn fill_by_pins(
+    sorted: &[(f64, u32, usize)],
+    total_pins: usize,
+    parts: usize,
+    n: usize,
+) -> Vec<u32> {
     let mut owner = vec![0u32; n];
     let mut part = 0usize;
     let mut pins_here = 0usize;
@@ -148,7 +176,12 @@ fn pin_weight(circuit: &Circuit, parts: usize, beta: f64) -> Vec<u32> {
     for (net, w) in order {
         // Lightest part; ties go to the lowest index, so equal weights
         // rotate 0, 1, 2, … round-robin.
-        let p = load.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).expect("finite").then(a.0.cmp(&b.0))).expect("parts > 0").0;
+        let p = load
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite").then(a.0.cmp(&b.0)))
+            .expect("parts > 0")
+            .0;
         owner[net as usize] = p as u32;
         load[p] += w;
     }
@@ -208,7 +241,11 @@ mod tests {
             assert_eq!(total, c.num_pins());
             let avg = total / parts;
             for (p, &cnt) in pins.iter().enumerate() {
-                assert!(cnt <= avg * 2 + 200, "{}: part {p} holds {cnt} of avg {avg}", kind.name());
+                assert!(
+                    cnt <= avg * 2 + 200,
+                    "{}: part {p} holds {cnt} of avg {avg}",
+                    kind.name()
+                );
             }
         }
     }
@@ -278,13 +315,17 @@ mod tests {
         // For most nets, the owner ranks close to where its pins live
         // (the filling scheme only smears boundaries for balance).
         let mut aligned = 0;
-        for i in 0..c.num_nets() {
+        for (i, &own) in owner.iter().enumerate() {
             let key = density_key(&c, NetId::from_index(i), &rp) as i64;
-            if (key - owner[i] as i64).abs() <= 1 {
+            if (key - own as i64).abs() <= 1 {
                 aligned += 1;
             }
         }
-        assert!(aligned * 10 >= c.num_nets() * 7, "{aligned}/{} nets near their density home", c.num_nets());
+        assert!(
+            aligned * 10 >= c.num_nets() * 7,
+            "{aligned}/{} nets near their density home",
+            c.num_nets()
+        );
     }
 
     #[test]
@@ -308,6 +349,9 @@ mod tests {
             let costs = steiner_cost_per_owner(&c, owner, 4);
             *costs.iter().max().unwrap() as f64 / *costs.iter().min().unwrap().max(&1) as f64
         };
-        assert!(imbalance(&high) <= imbalance(&low) + 0.5, "higher β can only help d² balance");
+        assert!(
+            imbalance(&high) <= imbalance(&low) + 0.5,
+            "higher β can only help d² balance"
+        );
     }
 }

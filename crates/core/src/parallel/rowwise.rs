@@ -20,7 +20,9 @@
 use crate::config::RouterConfig;
 use crate::cost;
 use crate::metrics::RoutingResult;
-use crate::parallel::common::{assemble_works, distribute, gather_result, split_segment, sync_boundaries};
+use crate::parallel::common::{
+    assemble_works, distribute, gather_result, split_segment, sync_boundaries,
+};
 use crate::parallel::partition::{partition_nets, PartitionKind};
 use crate::route::coarse::CoarseState;
 use crate::route::connect::connect_net;
@@ -35,10 +37,18 @@ use pgr_mpi::Comm;
 
 /// Run the row-wise algorithm on the calling rank. Returns the global
 /// result on rank 0, `None` elsewhere.
-pub fn route_rowwise(circuit: &Circuit, cfg: &RouterConfig, kind: PartitionKind, comm: &mut Comm) -> Option<RoutingResult> {
+pub fn route_rowwise(
+    circuit: &Circuit,
+    cfg: &RouterConfig,
+    kind: PartitionKind,
+    comm: &mut Comm,
+) -> Option<RoutingResult> {
     let size = comm.size();
     let rank = comm.rank();
-    assert!(size <= circuit.num_rows(), "row-wise needs at least one row per rank");
+    assert!(
+        size <= circuit.num_rows(),
+        "row-wise needs at least one row per rank"
+    );
     let rows = RowPartition::balanced(circuit, size);
     let mut rng = rng_from_seed(derive_seed(cfg.seed, rank as u64));
 
@@ -113,7 +123,15 @@ pub fn route_rowwise(circuit: &Circuit, cfg: &RouterConfig, kind: PartitionKind,
 
     // Back end: gather everything at rank 0.
     comm.phase("assemble");
-    gather_result(circuit, cfg, spans, wirelength, plan.total(), chip_width, comm)
+    gather_result(
+        circuit,
+        cfg,
+        spans,
+        wirelength,
+        plan.total(),
+        chip_width,
+        comm,
+    )
 }
 
 #[cfg(test)]
@@ -131,7 +149,13 @@ mod tests {
         let report = run(procs, MachineModel::sparc_center_1000(), |comm| {
             route_rowwise(circuit, cfg, PartitionKind::PinWeight, comm)
         });
-        let result = report.results.iter().flatten().next().expect("rank 0 returns the result").clone();
+        let result = report
+            .results
+            .iter()
+            .flatten()
+            .next()
+            .expect("rank 0 returns the result")
+            .clone();
         (result, report.makespan())
     }
 
@@ -201,6 +225,9 @@ mod tests {
         // Non-root ranks hold roughly a quarter of the serial footprint.
         let serial_mem = solo.stats[0].peak_mem;
         let worker_mem = four.stats[1..].iter().map(|s| s.peak_mem).max().unwrap();
-        assert!(worker_mem < serial_mem * 2 / 3, "worker {worker_mem} vs serial {serial_mem}");
+        assert!(
+            worker_mem < serial_mem * 2 / 3,
+            "worker {worker_mem} vs serial {serial_mem}"
+        );
     }
 }

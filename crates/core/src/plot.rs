@@ -11,8 +11,10 @@ use crate::metrics::{RoutingResult, ROW_HEIGHT};
 use std::fmt::Write as _;
 
 /// Palette for net coloring (cycled by net id).
-const PALETTE: [&str; 10] =
-    ["#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac"];
+const PALETTE: [&str; 10] = [
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+    "#9c755f", "#bab0ac",
+];
 
 /// Options for [`render_svg`].
 #[derive(Debug, Clone)]
@@ -27,7 +29,11 @@ pub struct PlotOptions {
 
 impl Default for PlotOptions {
     fn default() -> Self {
-        PlotOptions { x_scale: 0.5, y_scale: 2.0, stroke: 1.2 }
+        PlotOptions {
+            x_scale: 0.5,
+            y_scale: 2.0,
+            stroke: 1.2,
+        }
     }
 }
 
@@ -45,7 +51,9 @@ pub fn render_svg(result: &RoutingResult, opts: &PlotOptions) -> String {
     // iterate channels/rows from the top).
     let nchan = result.channel_density.len();
     let total_tracks: usize = detailed.channels.iter().map(|t| t.count()).sum();
-    let height_px = result.rows as f64 * row_px + total_tracks as f64 * opts.y_scale + (nchan as f64 + 1.0) * 4.0;
+    let height_px = result.rows as f64 * row_px
+        + total_tracks as f64 * opts.y_scale
+        + (nchan as f64 + 1.0) * 4.0;
 
     let mut svg = String::new();
     let _ = writeln!(
@@ -53,7 +61,10 @@ pub fn render_svg(result: &RoutingResult, opts: &PlotOptions) -> String {
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"#,
         width_px, height_px, width_px, height_px
     );
-    let _ = writeln!(svg, r##"<rect width="100%" height="100%" fill="#ffffff"/>"##);
+    let _ = writeln!(
+        svg,
+        r##"<rect width="100%" height="100%" fill="#ffffff"/>"##
+    );
 
     let mut y = 2.0;
     // Top channel first (index nchan-1), down to channel 0.
@@ -96,7 +107,11 @@ mod tests {
 
     fn routed() -> RoutingResult {
         let c = generate(&GeneratorConfig::small("plot", 3));
-        route_serial(&c, &RouterConfig::with_seed(1), &mut Comm::solo(MachineModel::ideal()))
+        route_serial(
+            &c,
+            &RouterConfig::with_seed(1),
+            &mut Comm::solo(MachineModel::ideal()),
+        )
     }
 
     #[test]
@@ -107,17 +122,38 @@ mod tests {
         assert!(svg.trim_end().ends_with("</svg>"));
         // One <line> per packed interval.
         let detailed = route_channels(&r);
-        let intervals: usize = detailed.channels.iter().flat_map(|t| &t.tracks).map(Vec::len).sum();
+        let intervals: usize = detailed
+            .channels
+            .iter()
+            .flat_map(|t| &t.tracks)
+            .map(Vec::len)
+            .sum();
         assert_eq!(svg.matches("<line").count(), intervals);
         // One row rectangle per cell row.
-        assert_eq!(svg.matches("<rect").count() - 1, r.rows, "background + rows");
+        assert_eq!(
+            svg.matches("<rect").count() - 1,
+            r.rows,
+            "background + rows"
+        );
     }
 
     #[test]
     fn scales_change_dimensions() {
         let r = routed();
-        let small = render_svg(&r, &PlotOptions { x_scale: 0.25, ..Default::default() });
-        let big = render_svg(&r, &PlotOptions { x_scale: 1.0, ..Default::default() });
+        let small = render_svg(
+            &r,
+            &PlotOptions {
+                x_scale: 0.25,
+                ..Default::default()
+            },
+        );
+        let big = render_svg(
+            &r,
+            &PlotOptions {
+                x_scale: 1.0,
+                ..Default::default()
+            },
+        );
         let width_of = |svg: &str| -> f64 {
             let start = svg.find("width=\"").unwrap() + 7;
             let end = svg[start..].find('"').unwrap() + start;

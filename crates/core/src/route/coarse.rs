@@ -18,10 +18,9 @@
 use crate::config::RouterConfig;
 use crate::cost;
 use crate::route::state::{Orientation, Segment};
+use pgr_geom::rng::SmallRng;
 use pgr_geom::DensityProfile;
 use pgr_mpi::Comm;
-use rand::rngs::SmallRng;
-use rand::Rng;
 
 /// Delta log for replicated-state synchronization: per-channel
 /// grid-column count changes and per-row feedthrough demand changes
@@ -36,11 +35,15 @@ pub struct CoarseDeltas {
 
 impl CoarseDeltas {
     fn zero(nchan: usize, nrows: usize, gcols: usize) -> Self {
-        CoarseDeltas { chan: vec![vec![0; gcols]; nchan], demand: vec![vec![0; gcols]; nrows] }
+        CoarseDeltas {
+            chan: vec![vec![0; gcols]; nchan],
+            demand: vec![vec![0; gcols]; nrows],
+        }
     }
 
     pub fn is_zero(&self) -> bool {
-        self.chan.iter().all(|v| v.iter().all(|&x| x == 0)) && self.demand.iter().all(|v| v.iter().all(|&x| x == 0))
+        self.chan.iter().all(|v| v.iter().all(|&x| x == 0))
+            && self.demand.iter().all(|v| v.iter().all(|&x| x == 0))
     }
 
     /// Elementwise sum (the allreduce combiner).
@@ -81,7 +84,10 @@ impl pgr_mpi::Wire for CoarseDeltas {
         self.demand.encode(out);
     }
     fn decode(r: &mut pgr_mpi::Reader<'_>) -> Result<Self, pgr_mpi::WireError> {
-        Ok(CoarseDeltas { chan: Vec::decode(r)?, demand: Vec::decode(r)? })
+        Ok(CoarseDeltas {
+            chan: Vec::decode(r)?,
+            demand: Vec::decode(r)?,
+        })
     }
 }
 
@@ -133,7 +139,11 @@ impl CoarseState {
 
     /// Start logging deltas for replicated-state sync.
     pub fn enable_logging(&mut self) {
-        self.log = Some(CoarseDeltas::zero(self.profiles.len(), self.demand.len(), self.gcols));
+        self.log = Some(CoarseDeltas::zero(
+            self.profiles.len(),
+            self.demand.len(),
+            self.gcols,
+        ));
     }
 
     /// Drain the delta log (resets it to zero).
@@ -207,7 +217,9 @@ impl CoarseState {
     }
 
     fn chan_idx(&self, channel: u32) -> usize {
-        let i = channel.checked_sub(self.chan0).expect("channel below range") as usize;
+        let i = channel
+            .checked_sub(self.chan0)
+            .expect("channel below range") as usize;
         assert!(i < self.profiles.len(), "channel {channel} above range");
         i
     }
@@ -223,7 +235,11 @@ impl CoarseState {
     pub fn apply(&mut self, seg: &Segment, orient: Orientation, sign: i64) {
         let (lo, hi) = seg.x_span();
         let (glo, ghi) = (self.gcol(lo), self.gcol(hi));
-        let channel = if seg.is_cross_row() { seg.horizontal_channel(orient) } else { seg.same_row_channel() };
+        let channel = if seg.is_cross_row() {
+            seg.horizontal_channel(orient)
+        } else {
+            seg.same_row_channel()
+        };
         let ci = self.chan_idx(channel);
         self.profiles[ci].add_span(glo, ghi, sign);
         if let Some(log) = &mut self.log {
@@ -247,7 +263,11 @@ impl CoarseState {
     pub fn eval(&self, seg: &Segment, orient: Orientation, cfg: &RouterConfig) -> f64 {
         let (lo, hi) = seg.x_span();
         let (glo, ghi) = (self.gcol(lo), self.gcol(hi));
-        let channel = if seg.is_cross_row() { seg.horizontal_channel(orient) } else { seg.same_row_channel() };
+        let channel = if seg.is_cross_row() {
+            seg.horizontal_channel(orient)
+        } else {
+            seg.same_row_channel()
+        };
         let prof = &self.profiles[self.chan_idx(channel)];
         let density_rise = (prof.max_if_added(glo, ghi) - prof.max()) as f64;
         let mut crowding = 0.0;
@@ -261,12 +281,21 @@ impl CoarseState {
     /// Initialize orientations randomly (cross-row) and insert every
     /// segment into the state. Same-row segments get their side-derived
     /// channel and a placeholder orientation.
-    pub fn init_random(&mut self, segments: &[Segment], rng: &mut SmallRng, comm: &mut Comm) -> Vec<Orientation> {
+    pub fn init_random(
+        &mut self,
+        segments: &[Segment],
+        rng: &mut SmallRng,
+        comm: &mut Comm,
+    ) -> Vec<Orientation> {
         comm.compute(cost::COARSE_APPLY * segments.len() as u64);
         segments
             .iter()
             .map(|seg| {
-                let orient = if seg.is_cross_row() && rng.gen_bool(0.5) { Orientation::VertAtUpper } else { Orientation::VertAtLower };
+                let orient = if seg.is_cross_row() && rng.gen_bool(0.5) {
+                    Orientation::VertAtUpper
+                } else {
+                    Orientation::VertAtLower
+                };
                 self.apply(seg, orient, 1);
                 orient
             })
@@ -364,7 +393,11 @@ mod tests {
     /// Plain pin-endpoint segment: demand rows == strictly-crossed rows.
     fn seg(x1: i64, r1: u32, x2: i64, r2: u32) -> Segment {
         use crate::route::state::ChannelPref;
-        Segment::new(NetId(0), Node::pin(0, x1, r1, ChannelPref::Either), Node::pin(1, x2, r2, ChannelPref::Either))
+        Segment::new(
+            NetId(0),
+            Node::pin(0, x1, r1, ChannelPref::Either),
+            Node::pin(1, x2, r2, ChannelPref::Either),
+        )
     }
 
     #[test]
@@ -396,14 +429,21 @@ mod tests {
         let mut st = CoarseState::new(0, 2, 32, 8);
         let s = seg(0, 1, 16, 1);
         st.apply(&s, Orientation::VertAtLower, 1);
-        assert_eq!(st.channel_max(1), 1, "either-pref defaults to lower channel");
+        assert_eq!(
+            st.channel_max(1),
+            1,
+            "either-pref defaults to lower channel"
+        );
         assert!(st.demand().iter().all(|r| r.iter().all(|&d| d == 0)));
     }
 
     #[test]
     fn eval_scores_peak_rise_not_raw_density() {
         let mut st = CoarseState::new(0, 3, 64, 8);
-        let cfg = RouterConfig { w_feedthrough: 0.0, ..Default::default() };
+        let cfg = RouterConfig {
+            w_feedthrough: 0.0,
+            ..Default::default()
+        };
         let s = seg(0, 0, 40, 2);
         // Channel 2 (VertAtLower's horizontal) is covered exactly where s
         // would go: its peak must rise.
@@ -425,14 +465,21 @@ mod tests {
         let lower = st.eval(&s, Orientation::VertAtLower, &cfg);
         let upper = st.eval(&s, Orientation::VertAtUpper, &cfg);
         assert_eq!(lower, 1.0, "covered channel: peak rises");
-        assert_eq!(upper, 0.0, "peak is elsewhere: adding in the valley is free");
+        assert_eq!(
+            upper, 0.0,
+            "peak is elsewhere: adding in the valley is free"
+        );
         assert!(upper < lower);
     }
 
     #[test]
     fn eval_penalizes_feedthrough_crowding() {
         let mut st = CoarseState::new(0, 5, 64, 8);
-        let cfg = RouterConfig { w_density: 0.0, w_feedthrough: 1.0, ..Default::default() };
+        let cfg = RouterConfig {
+            w_density: 0.0,
+            w_feedthrough: 1.0,
+            ..Default::default()
+        };
         // Pile demand at (row 2, gcol 0) — where VertAtLower of s would go.
         for _ in 0..4 {
             st.apply(&seg(0, 1, 0, 3), Orientation::VertAtLower, 1);
@@ -449,7 +496,10 @@ mod tests {
         let mut cm = comm();
         // Pure density objective: with unit spans the peak is then
         // provably non-increasing under the strict-improvement rule.
-        let cfg = RouterConfig { w_feedthrough: 0.0, ..Default::default() };
+        let cfg = RouterConfig {
+            w_feedthrough: 0.0,
+            ..Default::default()
+        };
         // Many parallel segments between rows 0 and 2 at staggered x:
         // random init stacks some channels; improvement should spread load
         // across channels 1 and 2.
@@ -468,10 +518,16 @@ mod tests {
         };
         let orients = st.route(&segs, &cfg, &mut rng, &mut cm);
         let final_peak = st.channel_max(1).max(st.channel_max(2));
-        assert!(final_peak <= init_peak, "improvement never worsens the peak: {final_peak} vs {init_peak}");
+        assert!(
+            final_peak <= init_peak,
+            "improvement never worsens the peak: {final_peak} vs {init_peak}"
+        );
         assert_eq!(orients.len(), segs.len());
         // Load must be split: neither channel takes everything.
-        assert!(st.channel_max(1) > 0 && st.channel_max(2) > 0, "both channels used");
+        assert!(
+            st.channel_max(1) > 0 && st.channel_max(2) > 0,
+            "both channels used"
+        );
     }
 
     #[test]

@@ -33,13 +33,20 @@ pub struct Connection {
 pub fn connect_net(work: &WorkNet, comm: &mut Comm) -> Connection {
     let n = work.nodes.len();
     if n < 2 {
-        return Connection { spans: Vec::new(), wirelength: 0, spanning: true };
+        return Connection {
+            spans: Vec::new(),
+            wirelength: 0,
+            spanning: true,
+        };
     }
     // Canonical node order: the result must not depend on which rank
     // assembled the node list or in what order fragments arrived.
     let mut nodes = work.nodes.clone();
     nodes.sort_unstable_by_key(|nd| nd.sort_key());
-    let work = &WorkNet { net: work.net, nodes };
+    let work = &WorkNet {
+        net: work.net,
+        nodes,
+    };
 
     // Charge the candidate-edge work the bucketed Kruskal actually does:
     // same-row pairs plus adjacent-row pairs.
@@ -60,7 +67,11 @@ pub fn connect_net(work: &WorkNet, comm: &mut Comm) -> Connection {
     }
     comm.compute(cost::CONNECT_PAIR * cand + cost::MST_NODE * n as u64);
 
-    let points: Vec<Point> = work.nodes.iter().map(|nd| Point::new(nd.x, nd.row as i64)).collect();
+    let points: Vec<Point> = work
+        .nodes
+        .iter()
+        .map(|nd| Point::new(nd.x, nd.row as i64))
+        .collect();
     let rows: Vec<i64> = work.nodes.iter().map(|nd| nd.row as i64).collect();
     let mst = mst_adjacency_limited(&points, &rows);
 
@@ -87,7 +98,13 @@ pub fn connect_net(work: &WorkNet, comm: &mut Comm) -> Connection {
             } else {
                 row
             };
-            spans.push(Span { net: work.net, channel, lo, hi, switch_row: switchable.then_some(row) });
+            spans.push(Span {
+                net: work.net,
+                channel,
+                lo,
+                hi,
+                switch_row: switchable.then_some(row),
+            });
         } else {
             // Adjacent rows: the wire lives in the single channel between
             // them (channel index = upper row). Zero horizontal extent
@@ -96,10 +113,20 @@ pub fn connect_net(work: &WorkNet, comm: &mut Comm) -> Connection {
                 continue;
             }
             let channel = a.row.max(b.row);
-            spans.push(Span { net: work.net, channel, lo, hi, switch_row: None });
+            spans.push(Span {
+                net: work.net,
+                channel,
+                lo,
+                hi,
+                switch_row: None,
+            });
         }
     }
-    Connection { spans, wirelength, spanning: mst.spanning }
+    Connection {
+        spans,
+        wirelength,
+        spanning: mst.spanning,
+    }
 }
 
 #[cfg(test)]
@@ -114,7 +141,10 @@ mod tests {
     }
 
     fn work(nodes: Vec<Node>) -> WorkNet {
-        WorkNet { net: NetId(1), nodes }
+        WorkNet {
+            net: NetId(1),
+            nodes,
+        }
     }
 
     #[test]
@@ -187,7 +217,12 @@ mod tests {
     fn fragment_forest_is_reported_not_fatal() {
         // Two clusters on rows 0 and 5: disconnected under adjacency
         // limits (a sub-net whose link lives on another rank).
-        let nodes = vec![Node::fake(0, 0), Node::fake(4, 0), Node::fake(0, 5), Node::fake(4, 5)];
+        let nodes = vec![
+            Node::fake(0, 0),
+            Node::fake(4, 0),
+            Node::fake(0, 5),
+            Node::fake(4, 5),
+        ];
         let c = connect_net(&work(nodes), &mut comm());
         assert!(!c.spanning);
         assert_eq!(c.spans.len(), 2, "each cluster still connects internally");
@@ -195,7 +230,9 @@ mod tests {
 
     #[test]
     fn connection_is_deterministic() {
-        let nodes: Vec<Node> = (0..12).map(|i| Node::fake((i * 7) % 23, (i % 4) as u32)).collect();
+        let nodes: Vec<Node> = (0..12)
+            .map(|i| Node::fake((i * 7) % 23, (i % 4) as u32))
+            .collect();
         let a = connect_net(&work(nodes.clone()), &mut comm());
         let b = connect_net(&work(nodes), &mut comm());
         assert_eq!(a.spans, b.spans);

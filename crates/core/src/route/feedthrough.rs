@@ -35,7 +35,11 @@ impl Wire for Crossing {
         self.x.encode(out);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(Crossing { net: NetId(u32::decode(r)?), row: u32::decode(r)?, x: i64::decode(r)? })
+        Ok(Crossing {
+            net: NetId(u32::decode(r)?),
+            row: u32::decode(r)?,
+            x: i64::decode(r)?,
+        })
     }
 }
 
@@ -68,7 +72,13 @@ impl FtPlan {
                     .collect()
             })
             .collect();
-        FtPlan { grid_w, ft_width, row0, demand, cum }
+        FtPlan {
+            grid_w,
+            ft_width,
+            row0,
+            demand,
+            cum,
+        }
     }
 
     pub fn row0(&self) -> u32 {
@@ -102,12 +112,18 @@ impl FtPlan {
 
     /// Largest row growth across the plan (drives chip width).
     pub fn max_growth(&self) -> i64 {
-        (0..self.demand.len()).map(|i| self.row_growth(self.row0 + i as u32)).max().unwrap_or(0)
+        (0..self.demand.len())
+            .map(|i| self.row_growth(self.row0 + i as u32))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total feedthroughs inserted.
     pub fn total(&self) -> u64 {
-        self.cum.iter().map(|row| *row.last().unwrap_or(&0) as u64).sum()
+        self.cum
+            .iter()
+            .map(|row| *row.last().unwrap_or(&0) as u64)
+            .sum()
     }
 
     /// New column of something originally at column `x` in `row`: shifted
@@ -151,9 +167,15 @@ pub fn assign(plan: &FtPlan, crossings: &[Crossing], comm: &mut Comm) -> Vec<(Ne
         }
         let count = (j - i) as i64;
         let avail = plan.demand[plan.row_idx(row)][gcol];
-        assert_eq!(count, avail, "crossings at (row {row}, gcol {gcol}) must equal planned demand");
+        assert_eq!(
+            count, avail,
+            "crossings at (row {row}, gcol {gcol}) must equal planned demand"
+        );
         for (k, c) in sorted[i..j].iter().enumerate() {
-            out.push((c.net, Node::feedthrough(plan.ft_x(row, gcol, k as i64), row)));
+            out.push((
+                c.net,
+                Node::feedthrough(plan.ft_x(row, gcol, k as i64), row),
+            ));
         }
         i = j;
     }
@@ -210,8 +232,16 @@ mod tests {
     fn assignment_matches_sorted_order() {
         let p = plan(vec![vec![0, 2, 0, 0]]);
         let crossings = vec![
-            Crossing { net: NetId(5), row: 0, x: 14 },
-            Crossing { net: NetId(3), row: 0, x: 9 },
+            Crossing {
+                net: NetId(5),
+                row: 0,
+                x: 14,
+            },
+            Crossing {
+                net: NetId(3),
+                row: 0,
+                x: 9,
+            },
         ];
         let out = assign(&p, &crossings, &mut comm());
         assert_eq!(out.len(), 2);
@@ -228,8 +258,16 @@ mod tests {
     fn mismatched_crossings_panic() {
         let p = plan(vec![vec![1, 0, 0, 0]]);
         let crossings = vec![
-            Crossing { net: NetId(0), row: 0, x: 0 },
-            Crossing { net: NetId(1), row: 0, x: 1 },
+            Crossing {
+                net: NetId(0),
+                row: 0,
+                x: 0,
+            },
+            Crossing {
+                net: NetId(1),
+                row: 0,
+                x: 1,
+            },
         ];
         assign(&p, &crossings, &mut comm());
     }
@@ -256,7 +294,11 @@ mod tests {
 
     #[test]
     fn crossing_wire_roundtrip() {
-        let c = Crossing { net: NetId(7), row: 3, x: -4 };
+        let c = Crossing {
+            net: NetId(7),
+            row: 3,
+            x: -4,
+        };
         assert_eq!(Crossing::from_bytes(&c.to_bytes()).unwrap(), c);
     }
 }

@@ -28,7 +28,11 @@ pub fn crossings_of(segments: &[Segment], orients: &[Orientation]) -> Vec<Crossi
     for (seg, &orient) in segments.iter().zip(orients) {
         let x = seg.vertical_x(orient);
         for row in seg.demand_rows() {
-            out.push(Crossing { net: seg.net, row, x });
+            out.push(Crossing {
+                net: seg.net,
+                row,
+                x,
+            });
         }
     }
     out
@@ -49,7 +53,12 @@ pub fn shift_pins(works: &mut [WorkNet], plan: &FtPlan) {
     let hi = lo + plan.num_rows() as u32;
     for w in works {
         for node in &mut w.nodes {
-            if matches!(node.kind, NodeKind::Pin(_) | NodeKind::Fake | NodeKind::Steiner) && node.row >= lo && node.row < hi {
+            if matches!(
+                node.kind,
+                NodeKind::Pin(_) | NodeKind::Fake | NodeKind::Steiner
+            ) && node.row >= lo
+                && node.row < hi
+            {
                 node.x = plan.shifted_x(node.row, node.x);
             }
         }
@@ -77,7 +86,9 @@ pub fn register_steiner_nodes(work: &mut WorkNet, segs: &[Segment]) {
 pub fn attach_feedthroughs(works: &mut [WorkNet], ft_nodes: Vec<(NetId, Node)>) {
     let index: HashMap<NetId, usize> = works.iter().enumerate().map(|(i, w)| (w.net, i)).collect();
     for (net, node) in ft_nodes {
-        let &i = index.get(&net).expect("feedthrough for a net this rank does not own");
+        let &i = index
+            .get(&net)
+            .expect("feedthrough for a net this rank does not own");
         works[i].nodes.push(node);
     }
 }
@@ -96,7 +107,9 @@ pub fn route_serial(circuit: &Circuit, cfg: &RouterConfig, comm: &mut Comm) -> R
 
     // Step 1: approximate Steiner trees.
     comm.phase("steiner");
-    let mut works: Vec<WorkNet> = (0..circuit.num_nets()).map(|i| whole_net(circuit, NetId::from_index(i))).collect();
+    let mut works: Vec<WorkNet> = (0..circuit.num_nets())
+        .map(|i| whole_net(circuit, NetId::from_index(i)))
+        .collect();
     let mut segments: Vec<Segment> = Vec::with_capacity(circuit.num_pins());
     for w in &mut works {
         let segs = build_segments_with(w, cfg.steiner_refine, comm);
@@ -130,7 +143,11 @@ pub fn route_serial(circuit: &Circuit, cfg: &RouterConfig, comm: &mut Comm) -> R
     let mut wirelength = 0u64;
     for w in &works {
         let conn = connect_net(w, comm);
-        debug_assert!(conn.spanning, "whole net {} must span after feedthrough assignment", w.net);
+        debug_assert!(
+            conn.spanning,
+            "whole net {} must span after feedthrough assignment",
+            w.net
+        );
         wirelength += conn.wirelength;
         spans.extend(conn.spans);
     }
@@ -193,8 +210,16 @@ mod tests {
     #[test]
     fn different_seeds_give_different_routings_same_circuit() {
         let c = small();
-        let a = route_serial(&c, &RouterConfig::with_seed(1), &mut Comm::solo(MachineModel::ideal()));
-        let b = route_serial(&c, &RouterConfig::with_seed(2), &mut Comm::solo(MachineModel::ideal()));
+        let a = route_serial(
+            &c,
+            &RouterConfig::with_seed(1),
+            &mut Comm::solo(MachineModel::ideal()),
+        );
+        let b = route_serial(
+            &c,
+            &RouterConfig::with_seed(2),
+            &mut Comm::solo(MachineModel::ideal()),
+        );
         // Random orders differ; quality should be in the same ballpark
         // (TWGR's key property: solution quality is order-independent).
         assert!(a.track_count() > 0 && b.track_count() > 0);
@@ -219,12 +244,27 @@ mod tests {
         let mut tracks_1 = 0i64;
         let mut tracks_4 = 0i64;
         for seed in 0..3 {
-            let short = RouterConfig { seed, coarse_passes: 1, switch_passes: 1, ..Default::default() };
-            let long = RouterConfig { seed, coarse_passes: 4, switch_passes: 4, ..Default::default() };
-            tracks_1 += route_serial(&c, &short, &mut Comm::solo(MachineModel::ideal())).track_count();
-            tracks_4 += route_serial(&c, &long, &mut Comm::solo(MachineModel::ideal())).track_count();
+            let short = RouterConfig {
+                seed,
+                coarse_passes: 1,
+                switch_passes: 1,
+                ..Default::default()
+            };
+            let long = RouterConfig {
+                seed,
+                coarse_passes: 4,
+                switch_passes: 4,
+                ..Default::default()
+            };
+            tracks_1 +=
+                route_serial(&c, &short, &mut Comm::solo(MachineModel::ideal())).track_count();
+            tracks_4 +=
+                route_serial(&c, &long, &mut Comm::solo(MachineModel::ideal())).track_count();
         }
-        assert!(tracks_4 <= tracks_1, "passes help: {tracks_4} vs {tracks_1}");
+        assert!(
+            tracks_4 <= tracks_1,
+            "passes help: {tracks_4} vs {tracks_1}"
+        );
     }
 
     #[test]
@@ -236,8 +276,16 @@ mod tests {
         let mut cfg_none = cfg_many.clone();
         cfg_none.name = "noeq".into();
         cfg_none.equivalent_fraction = 0.0;
-        let many = route_serial(&generate(&cfg_many), &RouterConfig::with_seed(5), &mut Comm::solo(MachineModel::ideal()));
-        let none = route_serial(&generate(&cfg_none), &RouterConfig::with_seed(5), &mut Comm::solo(MachineModel::ideal()));
+        let many = route_serial(
+            &generate(&cfg_many),
+            &RouterConfig::with_seed(5),
+            &mut Comm::solo(MachineModel::ideal()),
+        );
+        let none = route_serial(
+            &generate(&cfg_none),
+            &RouterConfig::with_seed(5),
+            &mut Comm::solo(MachineModel::ideal()),
+        );
         // Same seed, same sizes: the switchable-rich circuit routes with
         // no more tracks (usually strictly fewer).
         assert!(many.track_count() <= none.track_count() + none.track_count() / 10);
@@ -259,6 +307,9 @@ mod tests {
         // own rows: the pieces of a split edge tile the whole crossing.
         let piece = Segment::new(NetId(0), Node::fake(2, 0), Node::fake(2, 3));
         let cr = crossings_of(&[piece], &[Orientation::VertAtLower]);
-        assert_eq!(cr.iter().map(|c| c.row).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            cr.iter().map(|c| c.row).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
     }
 }

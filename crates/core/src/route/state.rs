@@ -96,7 +96,12 @@ pub struct Node {
 
 impl Node {
     pub fn pin(pin: u32, x: i64, row: u32, pref: ChannelPref) -> Self {
-        Node { x, row, kind: NodeKind::Pin(pin), pref }
+        Node {
+            x,
+            row,
+            kind: NodeKind::Pin(pin),
+            pref,
+        }
     }
 
     /// Total order used to canonicalize node lists, so a net connects
@@ -118,15 +123,30 @@ impl Node {
     }
 
     pub fn fake(x: i64, row: u32) -> Self {
-        Node { x, row, kind: NodeKind::Fake, pref: ChannelPref::Either }
+        Node {
+            x,
+            row,
+            kind: NodeKind::Fake,
+            pref: ChannelPref::Either,
+        }
     }
 
     pub fn feedthrough(x: i64, row: u32) -> Self {
-        Node { x, row, kind: NodeKind::Feedthrough, pref: ChannelPref::Either }
+        Node {
+            x,
+            row,
+            kind: NodeKind::Feedthrough,
+            pref: ChannelPref::Either,
+        }
     }
 
     pub fn steiner(x: i64, row: u32) -> Self {
-        Node { x, row, kind: NodeKind::Steiner, pref: ChannelPref::Either }
+        Node {
+            x,
+            row,
+            kind: NodeKind::Steiner,
+            pref: ChannelPref::Either,
+        }
     }
 
     pub fn switchable(&self) -> bool {
@@ -142,7 +162,12 @@ impl Wire for Node {
         self.pref.encode(out);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(Node { x: i64::decode(r)?, row: u32::decode(r)?, kind: NodeKind::decode(r)?, pref: ChannelPref::decode(r)? })
+        Ok(Node {
+            x: i64::decode(r)?,
+            row: u32::decode(r)?,
+            kind: NodeKind::decode(r)?,
+            pref: ChannelPref::decode(r)?,
+        })
     }
 }
 
@@ -185,9 +210,17 @@ pub struct Segment {
 impl Segment {
     pub fn new(net: NetId, a: Node, b: Node) -> Self {
         if a.row <= b.row {
-            Segment { net, lower: a, upper: b }
+            Segment {
+                net,
+                lower: a,
+                upper: b,
+            }
         } else {
-            Segment { net, lower: b, upper: a }
+            Segment {
+                net,
+                lower: b,
+                upper: a,
+            }
         }
     }
 
@@ -228,14 +261,17 @@ impl Segment {
     pub fn horizontal_channel(&self, orient: Orientation) -> u32 {
         debug_assert!(self.is_cross_row());
         match orient {
-            Orientation::VertAtLower => self.upper.row,     // just below upper row
+            Orientation::VertAtLower => self.upper.row, // just below upper row
             Orientation::VertAtUpper => self.lower.row + 1, // just above lower row
         }
     }
 
     /// Inclusive horizontal extent.
     pub fn x_span(&self) -> (i64, i64) {
-        (self.lower.x.min(self.upper.x), self.lower.x.max(self.upper.x))
+        (
+            self.lower.x.min(self.upper.x),
+            self.lower.x.max(self.upper.x),
+        )
     }
 
     /// Default channel of a same-row segment (estimation before step 5):
@@ -265,7 +301,11 @@ impl Wire for Segment {
         self.upper.encode(out);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(Segment { net: NetId(u32::decode(r)?), lower: Node::decode(r)?, upper: Node::decode(r)? })
+        Ok(Segment {
+            net: NetId(u32::decode(r)?),
+            lower: Node::decode(r)?,
+            upper: Node::decode(r)?,
+        })
     }
 }
 
@@ -322,7 +362,10 @@ impl Wire for WorkNet {
         self.nodes.encode(out);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(WorkNet { net: NetId(u32::decode(r)?), nodes: Vec::<Node>::decode(r)? })
+        Ok(WorkNet {
+            net: NetId(u32::decode(r)?),
+            nodes: Vec::<Node>::decode(r)?,
+        })
     }
 }
 
@@ -393,17 +436,38 @@ mod tests {
         assert_eq!(Node::from_bytes(&n.to_bytes()).unwrap(), n);
         let s = Segment::new(NetId(9), node(1, 0), Node::feedthrough(4, 2));
         assert_eq!(Segment::from_bytes(&s.to_bytes()).unwrap(), s);
-        let sp = Span { net: NetId(1), channel: 3, lo: -2, hi: 9, switch_row: Some(2) };
+        let sp = Span {
+            net: NetId(1),
+            channel: 3,
+            lo: -2,
+            hi: 9,
+            switch_row: Some(2),
+        };
         assert_eq!(Span::from_bytes(&sp.to_bytes()).unwrap(), sp);
-        let w = WorkNet { net: NetId(4), nodes: vec![n, Node::fake(0, 0)] };
+        let w = WorkNet {
+            net: NetId(4),
+            nodes: vec![n, Node::fake(0, 0)],
+        };
         assert_eq!(WorkNet::from_bytes(&w.to_bytes()).unwrap(), w);
     }
 
     #[test]
     fn span_width() {
-        let sp = Span { net: NetId(0), channel: 0, lo: 3, hi: 10, switch_row: None };
+        let sp = Span {
+            net: NetId(0),
+            channel: 0,
+            lo: 3,
+            hi: 10,
+            switch_row: None,
+        };
         assert_eq!(sp.width(), 7);
-        let pt = Span { net: NetId(0), channel: 0, lo: 3, hi: 3, switch_row: None };
+        let pt = Span {
+            net: NetId(0),
+            channel: 0,
+            lo: 3,
+            hi: 3,
+            switch_row: None,
+        };
         assert_eq!(pt.width(), 0);
     }
 }

@@ -34,14 +34,22 @@ pub fn net_nodes(circuit: &Circuit, net: NetId) -> Vec<Node> {
         .iter()
         .map(|&pid| {
             let p = pid.0;
-            Node::pin(p, circuit.pin_x(pid), circuit.pin_row(pid).0, pin_pref(circuit, p))
+            Node::pin(
+                p,
+                circuit.pin_x(pid),
+                circuit.pin_row(pid).0,
+                pin_pref(circuit, p),
+            )
         })
         .collect()
 }
 
 /// A whole net as a unit of routing work.
 pub fn whole_net(circuit: &Circuit, net: NetId) -> WorkNet {
-    WorkNet { net, nodes: net_nodes(circuit, net) }
+    WorkNet {
+        net,
+        nodes: net_nodes(circuit, net),
+    }
 }
 
 /// Build the MST segments of one work net, charging MST cost.
@@ -63,7 +71,11 @@ pub fn build_segments_with(work: &WorkNet, refine: bool, comm: &mut Comm) -> Vec
         return Vec::new();
     }
     comm.compute(cost::MST_PAIR * (n * n) as u64 + cost::MST_NODE * n as u64);
-    let points: Vec<Point> = work.nodes.iter().map(|nd| Point::new(nd.x, nd.row as i64)).collect();
+    let points: Vec<Point> = work
+        .nodes
+        .iter()
+        .map(|nd| Point::new(nd.x, nd.row as i64))
+        .collect();
     let mst = mst_prim(&points);
     if !refine {
         return mst
@@ -81,7 +93,11 @@ pub fn build_segments_with(work: &WorkNet, refine: bool, comm: &mut Comm) -> Vec
             Node::steiner(p.x, p.y as u32)
         }
     };
-    refined.edges.into_iter().map(|e| Segment::new(work.net, node_at(e.a), node_at(e.b))).collect()
+    refined
+        .edges
+        .into_iter()
+        .map(|e| Segment::new(work.net, node_at(e.a), node_at(e.b)))
+        .collect()
 }
 
 /// The MST cost weight of a net for load balancing: building a `d`-pin
@@ -124,7 +140,12 @@ mod tests {
             assert_eq!(segs.len(), w.nodes.len() - 1, "net {i}");
             // Tree connectivity over node positions.
             let mut uf = pgr_geom::UnionFind::new(w.nodes.len());
-            let find_node = |nd: &Node| w.nodes.iter().position(|m| m == nd).expect("endpoint is a node");
+            let find_node = |nd: &Node| {
+                w.nodes
+                    .iter()
+                    .position(|m| m == nd)
+                    .expect("endpoint is a node")
+            };
             for s in &segs {
                 uf.union(find_node(&s.lower), find_node(&s.upper));
             }
@@ -135,7 +156,9 @@ mod tests {
     #[test]
     fn two_pin_net_yields_one_segment() {
         let c = generate(&GeneratorConfig::small("t", 3));
-        let two = (0..c.num_nets()).find(|&i| c.nets[i].degree() == 2).expect("some 2-pin net");
+        let two = (0..c.num_nets())
+            .find(|&i| c.nets[i].degree() == 2)
+            .expect("some 2-pin net");
         let w = whole_net(&c, NetId::from_index(two));
         let segs = build_segments(&w, &mut comm());
         assert_eq!(segs.len(), 1);
@@ -187,7 +210,10 @@ mod tests {
                 assert!((s.upper.row as usize) < c.num_rows());
             }
         }
-        assert!(refined_total < plain_total, "refinement shortens: {refined_total} vs {plain_total}");
+        assert!(
+            refined_total < plain_total,
+            "refinement shortens: {refined_total} vs {plain_total}"
+        );
     }
 
     #[test]
@@ -195,10 +221,18 @@ mod tests {
         use crate::route::route_serial;
         let c = generate(&GeneratorConfig::small("t", 7));
         let plain_cfg = crate::RouterConfig::with_seed(5);
-        let refined_cfg = crate::RouterConfig { steiner_refine: true, ..plain_cfg.clone() };
+        let refined_cfg = crate::RouterConfig {
+            steiner_refine: true,
+            ..plain_cfg.clone()
+        };
         let plain = route_serial(&c, &plain_cfg, &mut comm());
         let refined = route_serial(&c, &refined_cfg, &mut comm());
-        assert!(refined.wirelength < plain.wirelength, "{} vs {}", refined.wirelength, plain.wirelength);
+        assert!(
+            refined.wirelength < plain.wirelength,
+            "{} vs {}",
+            refined.wirelength,
+            plain.wirelength
+        );
         crate::verify::assert_verified(&c, &refined);
     }
 

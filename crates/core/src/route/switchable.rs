@@ -15,10 +15,10 @@
 use crate::config::RouterConfig;
 use crate::cost;
 use crate::route::state::Span;
+use pgr_geom::rng::SmallRng;
 use pgr_geom::DensityProfile;
 use pgr_mpi::wire::{Reader, Wire, WireError};
 use pgr_mpi::Comm;
-use rand::rngs::SmallRng;
 
 /// One logged channel update: `sign` added over `[lo, hi]` of `chan`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,7 +37,12 @@ impl Wire for SpanDelta {
         self.sign.encode(out);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(SpanDelta { chan: u32::decode(r)?, lo: i64::decode(r)?, hi: i64::decode(r)?, sign: i32::decode(r)? })
+        Ok(SpanDelta {
+            chan: u32::decode(r)?,
+            lo: i64::decode(r)?,
+            hi: i64::decode(r)?,
+            sign: i32::decode(r)?,
+        })
     }
 }
 
@@ -55,7 +60,9 @@ impl ChannelState {
         ChannelState {
             chan0,
             width,
-            profiles: (0..nchannels).map(|_| DensityProfile::new(width as usize)).collect(),
+            profiles: (0..nchannels)
+                .map(|_| DensityProfile::new(width as usize))
+                .collect(),
             log: None,
         }
     }
@@ -78,7 +85,9 @@ impl ChannelState {
     }
 
     fn idx(&self, channel: u32) -> usize {
-        let i = channel.checked_sub(self.chan0).expect("channel below range") as usize;
+        let i = channel
+            .checked_sub(self.chan0)
+            .expect("channel below range") as usize;
         assert!(i < self.profiles.len(), "channel {channel} above range");
         i
     }
@@ -92,7 +101,12 @@ impl ChannelState {
         let i = self.idx(span.channel);
         self.profiles[i].add_span(span.lo, span.hi, sign as i64);
         if let Some(log) = &mut self.log {
-            log.push(SpanDelta { chan: span.channel, lo: span.lo, hi: span.hi, sign });
+            log.push(SpanDelta {
+                chan: span.channel,
+                lo: span.lo,
+                hi: span.hi,
+                sign,
+            });
         }
     }
 
@@ -171,7 +185,10 @@ pub fn optimize_slice(
         let span = spans[i as usize];
         let row = span.switch_row.expect("candidate is switchable");
         let (lower, upper) = (row, row + 1);
-        debug_assert!(chans.covers(lower) && chans.covers(upper), "rank must own both channels of a switchable row");
+        debug_assert!(
+            chans.covers(lower) && chans.covers(upper),
+            "rank must own both channels of a switchable row"
+        );
         chans.add_span(&span, -1);
         let m_lower = chans.max_if_added(lower, span.lo, span.hi);
         let m_upper = chans.max_if_added(upper, span.lo, span.hi);
@@ -232,7 +249,13 @@ mod tests {
     }
 
     fn span(channel: u32, lo: i64, hi: i64, switch_row: Option<u32>) -> Span {
-        Span { net: NetId(0), channel, lo, hi, switch_row }
+        Span {
+            net: NetId(0),
+            channel,
+            lo,
+            hi,
+            switch_row,
+        }
     }
 
     #[test]
@@ -282,7 +305,13 @@ mod tests {
             ch.add_span(s, 1);
         }
         let cfg = RouterConfig::default();
-        optimize(&mut ch, &mut spans, &cfg, &mut rng_from_seed(3), &mut comm());
+        optimize(
+            &mut ch,
+            &mut spans,
+            &cfg,
+            &mut rng_from_seed(3),
+            &mut comm(),
+        );
         assert_eq!(ch.channel_max(1) + ch.channel_max(2), 6);
         assert_eq!(ch.channel_max(1), 3);
         assert_eq!(ch.channel_max(2), 3);
@@ -294,7 +323,14 @@ mod tests {
         let build = || {
             let mut ch = ChannelState::new(0, 4, 64);
             let mut spans: Vec<Span> = (0..20)
-                .map(|i| span(1 + (i % 2) as u32, (i * 3) % 40, (i * 3) % 40 + 20, Some(1 + (i % 2) as u32 - if i % 2 == 1 { 1 } else { 0 })))
+                .map(|i| {
+                    span(
+                        1 + (i % 2) as u32,
+                        (i * 3) % 40,
+                        (i * 3) % 40 + 20,
+                        Some(1 + (i % 2) as u32 - if i % 2 == 1 { 1 } else { 0 }),
+                    )
+                })
                 .collect();
             // Normalize: switch_row must be channel or channel-1.
             for s in spans.iter_mut() {
@@ -349,13 +385,23 @@ mod tests {
 
     #[test]
     fn candidates_filters_switchable() {
-        let spans = vec![span(0, 0, 1, None), span(1, 0, 1, Some(1)), span(2, 0, 1, None), span(3, 0, 1, Some(3))];
+        let spans = vec![
+            span(0, 0, 1, None),
+            span(1, 0, 1, Some(1)),
+            span(2, 0, 1, None),
+            span(3, 0, 1, Some(3)),
+        ];
         assert_eq!(switchable_candidates(&spans), vec![1, 3]);
     }
 
     #[test]
     fn span_delta_wire_roundtrip() {
-        let d = SpanDelta { chan: 4, lo: -1, hi: 99, sign: -1 };
+        let d = SpanDelta {
+            chan: 4,
+            lo: -1,
+            hi: 99,
+            sign: -1,
+        };
         assert_eq!(SpanDelta::from_bytes(&d.to_bytes()).unwrap(), d);
     }
 }

@@ -21,9 +21,17 @@ pub enum Violation {
     /// A span is inverted or empty (`lo >= hi`).
     DegenerateSpan { span: usize, lo: i64, hi: i64 },
     /// A switchable span sits in neither of its two legal channels.
-    SwitchRowMismatch { span: usize, channel: u32, switch_row: u32 },
+    SwitchRowMismatch {
+        span: usize,
+        channel: u32,
+        switch_row: u32,
+    },
     /// The reported per-channel density differs from a recount.
-    DensityMismatch { channel: usize, reported: i64, recount: i64 },
+    DensityMismatch {
+        channel: usize,
+        reported: i64,
+        recount: i64,
+    },
     /// The reported wirelength is less than the spans' horizontal length
     /// alone (vertical runs only add to it).
     WirelengthTooSmall { reported: u64, horizontal_only: u64 },
@@ -34,20 +42,50 @@ pub enum Violation {
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Violation::ChannelOutOfRange { span, channel } => write!(f, "span {span}: channel {channel} out of range"),
-            Violation::SpanOutOfBounds { span, lo, hi } => write!(f, "span {span}: [{lo},{hi}] outside the chip"),
-            Violation::DegenerateSpan { span, lo, hi } => write!(f, "span {span}: degenerate extent [{lo},{hi}]"),
-            Violation::SwitchRowMismatch { span, channel, switch_row } => {
-                write!(f, "span {span}: channel {channel} not in {{{switch_row}, {}}}", switch_row + 1)
+            Violation::ChannelOutOfRange { span, channel } => {
+                write!(f, "span {span}: channel {channel} out of range")
             }
-            Violation::DensityMismatch { channel, reported, recount } => {
-                write!(f, "channel {channel}: reported density {reported}, recount {recount}")
+            Violation::SpanOutOfBounds { span, lo, hi } => {
+                write!(f, "span {span}: [{lo},{hi}] outside the chip")
             }
-            Violation::WirelengthTooSmall { reported, horizontal_only } => {
-                write!(f, "wirelength {reported} below horizontal span total {horizontal_only}")
+            Violation::DegenerateSpan { span, lo, hi } => {
+                write!(f, "span {span}: degenerate extent [{lo},{hi}]")
+            }
+            Violation::SwitchRowMismatch {
+                span,
+                channel,
+                switch_row,
+            } => {
+                write!(
+                    f,
+                    "span {span}: channel {channel} not in {{{switch_row}, {}}}",
+                    switch_row + 1
+                )
+            }
+            Violation::DensityMismatch {
+                channel,
+                reported,
+                recount,
+            } => {
+                write!(
+                    f,
+                    "channel {channel}: reported density {reported}, recount {recount}"
+                )
+            }
+            Violation::WirelengthTooSmall {
+                reported,
+                horizontal_only,
+            } => {
+                write!(
+                    f,
+                    "wirelength {reported} below horizontal span total {horizontal_only}"
+                )
             }
             Violation::ChannelCountMismatch { reported, expected } => {
-                write!(f, "{reported} channel densities reported, {expected} channels exist")
+                write!(
+                    f,
+                    "{reported} channel densities reported, {expected} channels exist"
+                )
             }
         }
     }
@@ -59,25 +97,43 @@ pub fn verify(circuit: &Circuit, result: &RoutingResult) -> Vec<Violation> {
     let mut out = Vec::new();
     let channels = circuit.num_rows() + 1;
     if result.channel_density.len() != channels {
-        out.push(Violation::ChannelCountMismatch { reported: result.channel_density.len(), expected: channels });
+        out.push(Violation::ChannelCountMismatch {
+            reported: result.channel_density.len(),
+            expected: channels,
+        });
         return out; // everything below depends on the channel count
     }
 
     let mut horizontal = 0u64;
     for (i, s) in result.spans.iter().enumerate() {
         if s.channel as usize >= channels {
-            out.push(Violation::ChannelOutOfRange { span: i, channel: s.channel });
+            out.push(Violation::ChannelOutOfRange {
+                span: i,
+                channel: s.channel,
+            });
             continue;
         }
         if s.lo >= s.hi {
-            out.push(Violation::DegenerateSpan { span: i, lo: s.lo, hi: s.hi });
+            out.push(Violation::DegenerateSpan {
+                span: i,
+                lo: s.lo,
+                hi: s.hi,
+            });
         }
         if s.lo < 0 || s.hi >= result.chip_width {
-            out.push(Violation::SpanOutOfBounds { span: i, lo: s.lo, hi: s.hi });
+            out.push(Violation::SpanOutOfBounds {
+                span: i,
+                lo: s.lo,
+                hi: s.hi,
+            });
         }
         if let Some(r) = s.switch_row {
             if s.channel != r && s.channel != r + 1 {
-                out.push(Violation::SwitchRowMismatch { span: i, channel: s.channel, switch_row: r });
+                out.push(Violation::SwitchRowMismatch {
+                    span: i,
+                    channel: s.channel,
+                    switch_row: r,
+                });
             }
         }
         horizontal += s.width();
@@ -91,14 +147,26 @@ pub fn verify(circuit: &Circuit, result: &RoutingResult) -> Vec<Violation> {
     for s in &result.spans {
         chans.add_span(s, 1);
     }
-    for (c, (&reported, recount)) in result.channel_density.iter().zip(chans.densities()).enumerate() {
+    for (c, (&reported, recount)) in result
+        .channel_density
+        .iter()
+        .zip(chans.densities())
+        .enumerate()
+    {
         if reported != recount {
-            out.push(Violation::DensityMismatch { channel: c, reported, recount });
+            out.push(Violation::DensityMismatch {
+                channel: c,
+                reported,
+                recount,
+            });
         }
     }
 
     if result.wirelength < horizontal {
-        out.push(Violation::WirelengthTooSmall { reported: result.wirelength, horizontal_only: horizontal });
+        out.push(Violation::WirelengthTooSmall {
+            reported: result.wirelength,
+            horizontal_only: horizontal,
+        });
     }
     out
 }
@@ -107,7 +175,10 @@ pub fn verify(circuit: &Circuit, result: &RoutingResult) -> Vec<Violation> {
 pub fn assert_verified(circuit: &Circuit, result: &RoutingResult) {
     let violations = verify(circuit, result);
     if !violations.is_empty() {
-        let mut msg = format!("routing result for '{}' failed verification:\n", result.circuit);
+        let mut msg = format!(
+            "routing result for '{}' failed verification:\n",
+            result.circuit
+        );
         for v in violations.iter().take(20) {
             msg.push_str(&format!("  - {v}\n"));
         }
@@ -129,7 +200,11 @@ mod tests {
 
     fn routed() -> (pgr_circuit::Circuit, RoutingResult) {
         let c = generate(&GeneratorConfig::small("verify", 4));
-        let r = route_serial(&c, &RouterConfig::with_seed(2), &mut Comm::solo(MachineModel::ideal()));
+        let r = route_serial(
+            &c,
+            &RouterConfig::with_seed(2),
+            &mut Comm::solo(MachineModel::ideal()),
+        );
         (c, r)
     }
 
@@ -145,7 +220,11 @@ mod tests {
         let (c, mut r) = routed();
         r.channel_density[3] += 1;
         let v = verify(&c, &r);
-        assert!(v.iter().any(|x| matches!(x, Violation::DensityMismatch { channel: 3, .. })), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::DensityMismatch { channel: 3, .. })),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -153,7 +232,11 @@ mod tests {
         let (c, mut r) = routed();
         r.spans[0].channel = 1000;
         let v = verify(&c, &r);
-        assert!(v.iter().any(|x| matches!(x, Violation::ChannelOutOfRange { .. })), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::ChannelOutOfRange { .. })),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -161,22 +244,38 @@ mod tests {
         let (c, mut r) = routed();
         r.spans[0].lo = -5;
         let v = verify(&c, &r);
-        assert!(v.iter().any(|x| matches!(x, Violation::SpanOutOfBounds { .. })), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::SpanOutOfBounds { .. })),
+            "{v:?}"
+        );
     }
 
     #[test]
     fn detects_degenerate_span() {
         let (c, mut r) = routed();
         let s = r.spans[0];
-        r.spans[0] = Span { lo: s.hi, hi: s.lo, ..s };
+        r.spans[0] = Span {
+            lo: s.hi,
+            hi: s.lo,
+            ..s
+        };
         let v = verify(&c, &r);
-        assert!(v.iter().any(|x| matches!(x, Violation::DegenerateSpan { .. })), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::DegenerateSpan { .. })),
+            "{v:?}"
+        );
     }
 
     #[test]
     fn detects_illegal_switch_channel() {
         let (c, mut r) = routed();
-        let idx = r.spans.iter().position(|s| s.switch_row.is_some()).expect("some switchable span");
+        let idx = r
+            .spans
+            .iter()
+            .position(|s| s.switch_row.is_some())
+            .expect("some switchable span");
         r.spans[idx].channel = r.spans[idx].switch_row.unwrap() + 2;
         // Keep it in range so the check under test fires.
         if (r.spans[idx].channel as usize) > c.num_rows() {
@@ -184,7 +283,10 @@ mod tests {
         }
         let v = verify(&c, &r);
         assert!(
-            v.iter().any(|x| matches!(x, Violation::SwitchRowMismatch { .. } | Violation::DensityMismatch { .. })),
+            v.iter().any(|x| matches!(
+                x,
+                Violation::SwitchRowMismatch { .. } | Violation::DensityMismatch { .. }
+            )),
             "{v:?}"
         );
     }
@@ -194,7 +296,11 @@ mod tests {
         let (c, mut r) = routed();
         r.wirelength = 1;
         let v = verify(&c, &r);
-        assert!(v.iter().any(|x| matches!(x, Violation::WirelengthTooSmall { .. })), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::WirelengthTooSmall { .. })),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -221,10 +327,24 @@ mod tests {
         let c = generate(&GeneratorConfig::small("verify-par", 6));
         let cfg = RouterConfig::with_seed(3);
         for algo in Algorithm::ALL {
-            let out = route_parallel(&c, &cfg, algo, PartitionKind::PinWeight, 3, MachineModel::sparc_center_1000());
+            let out = route_parallel(
+                &c,
+                &cfg,
+                algo,
+                PartitionKind::PinWeight,
+                3,
+                MachineModel::sparc_center_1000(),
+            );
             assert_verified(&c, &out.result);
             // Spans must reference real nets.
-            assert!(out.result.spans.iter().all(|s| (s.net.index()) < c.num_nets()), "{}", algo.name());
+            assert!(
+                out.result
+                    .spans
+                    .iter()
+                    .all(|s| (s.net.index()) < c.num_nets()),
+                "{}",
+                algo.name()
+            );
             let _ = NetId(0);
         }
     }

@@ -26,7 +26,13 @@ impl Default for BBox {
 impl BBox {
     /// An empty box that contains no point.
     pub const fn new() -> Self {
-        BBox { min_x: i64::MAX, min_y: i64::MAX, max_x: i64::MIN, max_y: i64::MIN, empty: true }
+        BBox {
+            min_x: i64::MAX,
+            min_y: i64::MAX,
+            max_x: i64::MIN,
+            max_y: i64::MIN,
+            empty: true,
+        }
     }
 
     /// A box containing exactly `p`.
@@ -68,7 +74,11 @@ impl BBox {
     }
 
     pub fn contains(&self, p: Point) -> bool {
-        !self.empty && p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+        !self.empty
+            && p.x >= self.min_x
+            && p.x <= self.max_x
+            && p.y >= self.min_y
+            && p.y <= self.max_y
     }
 
     /// Lower-left corner, the key used by the locus net partition.
@@ -88,11 +98,19 @@ impl BBox {
     }
 
     pub fn width(&self) -> u64 {
-        if self.empty { 0 } else { self.max_x.abs_diff(self.min_x) }
+        if self.empty {
+            0
+        } else {
+            self.max_x.abs_diff(self.min_x)
+        }
     }
 
     pub fn height(&self) -> u64 {
-        if self.empty { 0 } else { self.max_y.abs_diff(self.min_y) }
+        if self.empty {
+            0
+        } else {
+            self.max_y.abs_diff(self.min_y)
+        }
     }
 }
 

@@ -64,7 +64,11 @@ pub fn mst_prim(points: &[Point]) -> Vec<MstEdge> {
         }
         debug_assert!(pick != usize::MAX);
         in_tree[pick] = true;
-        edges.push(MstEdge { a: best[pick].1, b: pick as u32, weight: pick_w });
+        edges.push(MstEdge {
+            a: best[pick].1,
+            b: pick as u32,
+            weight: pick_w,
+        });
         for i in 0..n {
             if !in_tree[i] {
                 let w = manhattan(points[pick], points[i]);
@@ -94,7 +98,10 @@ pub fn mst_adjacency_limited(points: &[Point], rows: &[i64]) -> LimitedMst {
     assert_eq!(points.len(), rows.len());
     let n = points.len();
     if n <= 1 {
-        return LimitedMst { edges: Vec::new(), spanning: true };
+        return LimitedMst {
+            edges: Vec::new(),
+            spanning: true,
+        };
     }
     // Bucket node indices by row so candidate generation touches only
     // same-row and adjacent-row pairs instead of all n² pairs.
@@ -111,14 +118,22 @@ pub fn mst_adjacency_limited(points: &[Point], rows: &[i64]) -> LimitedMst {
         // Same-row pairs.
         for (k, &a) in bucket.iter().enumerate() {
             for &b in &bucket[k + 1..] {
-                cand.push(MstEdge { a, b, weight: manhattan(points[a as usize], points[b as usize]) });
+                cand.push(MstEdge {
+                    a,
+                    b,
+                    weight: manhattan(points[a as usize], points[b as usize]),
+                });
             }
         }
         // Adjacent-row pairs.
         if bi + 1 < span {
             for &a in bucket {
                 for &b in &buckets[bi + 1] {
-                    cand.push(MstEdge { a, b, weight: manhattan(points[a as usize], points[b as usize]) });
+                    cand.push(MstEdge {
+                        a,
+                        b,
+                        weight: manhattan(points[a as usize], points[b as usize]),
+                    });
                 }
             }
         }
@@ -165,7 +180,11 @@ mod tests {
     fn prim_collinear_points_chain() {
         let e = mst_prim(&pts(&[(0, 0), (10, 0), (5, 0), (2, 0)]));
         assert_eq!(e.len(), 3);
-        assert_eq!(total_weight(&e), 10, "MST of collinear points spans the extent");
+        assert_eq!(
+            total_weight(&e),
+            10,
+            "MST of collinear points spans the extent"
+        );
     }
 
     #[test]

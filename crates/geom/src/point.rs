@@ -53,7 +53,10 @@ mod tests {
         let a = Point::new(i64::MIN / 2, 0);
         let b = Point::new(i64::MAX / 2, 0);
         // abs_diff avoids overflow that a naive (a - b).abs() would hit.
-        assert_eq!(manhattan(a, b), (i64::MAX / 2) as u64 + (i64::MIN / 2).unsigned_abs());
+        assert_eq!(
+            manhattan(a, b),
+            (i64::MAX / 2) as u64 + (i64::MIN / 2).unsigned_abs()
+        );
     }
 
     #[test]

@@ -47,7 +47,12 @@ impl DensityProfile {
                 tree[node] = tree[2 * node].max(tree[2 * node + 1]);
             }
         }
-        DensityProfile { width, tree, lazy: vec![0; 2 * cap], cap }
+        DensityProfile {
+            width,
+            tree,
+            lazy: vec![0; 2 * cap],
+            cap,
+        }
     }
 
     pub fn width(&self) -> usize {
@@ -117,7 +122,11 @@ impl DensityProfile {
     /// Pointwise-add another profile's counts into this one.
     /// Both profiles must have the same width.
     pub fn merge_counts(&mut self, counts: &[i64]) {
-        assert_eq!(counts.len(), self.width, "merging mismatched profile widths");
+        assert_eq!(
+            counts.len(),
+            self.width,
+            "merging mismatched profile widths"
+        );
         for (col, &c) in counts.iter().enumerate() {
             if c != 0 {
                 self.add_span(col as i64, col as i64, c);
@@ -276,7 +285,11 @@ mod tests {
         p.add_span(0, 2, -1);
         assert_eq!(p.max(), -1);
         assert_eq!(p.max_in(0, 2), -1);
-        assert_eq!(p.max_if_added(10, 10), -1, "out-of-range hypothetical keeps the real max");
+        assert_eq!(
+            p.max_if_added(10, 10),
+            -1,
+            "out-of-range hypothetical keeps the real max"
+        );
         assert_eq!(p.counts(), vec![-1, -1, -1]);
         p.add_span(1, 1, 3);
         assert_eq!(p.max(), 2);

@@ -60,7 +60,9 @@ pub fn refine_mst(points: &[Point], edges: &[MstEdge]) -> RefinedTree {
                 let (b, eb) = nbrs[j];
                 let s = steiner_point(points[a as usize], points[v], points[b as usize]);
                 let before = edges[ea].weight + edges[eb].weight;
-                let after = manhattan(points[v], s) + manhattan(s, points[a as usize]) + manhattan(s, points[b as usize]);
+                let after = manhattan(points[v], s)
+                    + manhattan(s, points[a as usize])
+                    + manhattan(s, points[b as usize]);
                 if after < before {
                     cands.push((before - after, v as u32, ea, eb));
                 }
@@ -88,9 +90,21 @@ pub fn refine_mst(points: &[Point], edges: &[MstEdge]) -> RefinedTree {
         steiner_points.push(s);
         let pv = points[v as usize];
         let (pa, pb) = (points[a as usize], points[b as usize]);
-        out.push(MstEdge { a: v, b: si, weight: manhattan(pv, s) });
-        out.push(MstEdge { a, b: si, weight: manhattan(pa, s) });
-        out.push(MstEdge { a: b, b: si, weight: manhattan(pb, s) });
+        out.push(MstEdge {
+            a: v,
+            b: si,
+            weight: manhattan(pv, s),
+        });
+        out.push(MstEdge {
+            a,
+            b: si,
+            weight: manhattan(pa, s),
+        });
+        out.push(MstEdge {
+            a: b,
+            b: si,
+            weight: manhattan(pb, s),
+        });
         gain += g;
     }
     // Untouched edges pass through.
@@ -99,7 +113,11 @@ pub fn refine_mst(points: &[Point], edges: &[MstEdge]) -> RefinedTree {
             out.push(*e);
         }
     }
-    RefinedTree { steiner_points, edges: out, gain }
+    RefinedTree {
+        steiner_points,
+        edges: out,
+        gain,
+    }
 }
 
 #[cfg(test)]
@@ -178,11 +196,12 @@ mod tests {
     #[test]
     fn never_lengthens_on_random_inputs() {
         use crate::rng::rng_from_seed;
-        use rand::Rng;
         let mut rng = rng_from_seed(11);
         for _ in 0..50 {
             let n = rng.gen_range(2..30);
-            let p: Vec<Point> = (0..n).map(|_| Point::new(rng.gen_range(0..100), rng.gen_range(0..20))).collect();
+            let p: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.gen_range(0..100), rng.gen_range(0..20)))
+                .collect();
             let mst = mst_prim(&p);
             let refined = refine_mst(&p, &mst);
             assert!(total(&refined.edges) <= total(&mst));

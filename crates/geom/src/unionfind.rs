@@ -16,7 +16,11 @@ impl UnionFind {
     /// `len` singleton sets.
     pub fn new(len: usize) -> Self {
         assert!(len <= u32::MAX as usize, "UnionFind capped at u32 elements");
-        UnionFind { parent: (0..len as u32).collect(), size: vec![1; len], components: len }
+        UnionFind {
+            parent: (0..len as u32).collect(),
+            size: vec![1; len],
+            components: len,
+        }
     }
 
     pub fn len(&self) -> usize {

@@ -1,43 +1,73 @@
-//! Property-based tests for the geometry kernels.
+//! Randomized property tests for the geometry kernels, driven by the
+//! crate's own seeded RNG so every run covers identical cases.
 
+use pgr_geom::rng::{rng_from_seed, SmallRng};
 use pgr_geom::{manhattan, mst_adjacency_limited, mst_prim, BBox, Point, UnionFind};
-use proptest::prelude::*;
 
-fn arb_point() -> impl Strategy<Value = Point> {
-    (-1000i64..1000, -100i64..100).prop_map(|(x, y)| Point::new(x, y))
+fn random_point(rng: &mut SmallRng) -> Point {
+    Point::new(rng.gen_range(-1000i64..1000), rng.gen_range(-100i64..100))
 }
 
-proptest! {
-    #[test]
-    fn manhattan_is_a_metric(a in arb_point(), b in arb_point(), c in arb_point()) {
-        prop_assert_eq!(manhattan(a, a), 0);
-        prop_assert_eq!(manhattan(a, b), manhattan(b, a));
-        prop_assert!(manhattan(a, c) <= manhattan(a, b) + manhattan(b, c), "triangle inequality");
-    }
+fn random_points(rng: &mut SmallRng, lo: usize, hi: usize) -> Vec<Point> {
+    let n = rng.gen_range(lo..hi);
+    (0..n).map(|_| random_point(rng)).collect()
+}
 
-    #[test]
-    fn mst_has_n_minus_1_edges_and_spans(points in proptest::collection::vec(arb_point(), 2..60)) {
+#[test]
+fn manhattan_is_a_metric() {
+    let mut rng = rng_from_seed(0x6E01);
+    for _ in 0..256 {
+        let (a, b, c) = (
+            random_point(&mut rng),
+            random_point(&mut rng),
+            random_point(&mut rng),
+        );
+        assert_eq!(manhattan(a, a), 0);
+        assert_eq!(manhattan(a, b), manhattan(b, a));
+        assert!(
+            manhattan(a, c) <= manhattan(a, b) + manhattan(b, c),
+            "triangle inequality"
+        );
+    }
+}
+
+#[test]
+fn mst_has_n_minus_1_edges_and_spans() {
+    let mut rng = rng_from_seed(0x6E02);
+    for _ in 0..256 {
+        let points = random_points(&mut rng, 2, 60);
         let edges = mst_prim(&points);
-        prop_assert_eq!(edges.len(), points.len() - 1);
+        assert_eq!(edges.len(), points.len() - 1);
         let mut uf = UnionFind::new(points.len());
         for e in &edges {
-            prop_assert_eq!(e.weight, manhattan(points[e.a as usize], points[e.b as usize]));
+            assert_eq!(
+                e.weight,
+                manhattan(points[e.a as usize], points[e.b as usize])
+            );
             uf.union(e.a as usize, e.b as usize);
         }
-        prop_assert_eq!(uf.components(), 1, "MST spans all points");
+        assert_eq!(uf.components(), 1, "MST spans all points");
     }
+}
 
-    #[test]
-    fn mst_weight_at_most_star_from_any_center(points in proptest::collection::vec(arb_point(), 2..40), center in 0usize..40) {
-        let center = center % points.len();
+#[test]
+fn mst_weight_at_most_star_from_any_center() {
+    let mut rng = rng_from_seed(0x6E03);
+    for _ in 0..256 {
+        let points = random_points(&mut rng, 2, 40);
+        let center = rng.gen_range(0usize..points.len());
         let mst: u64 = mst_prim(&points).iter().map(|e| e.weight).sum();
         let star: u64 = points.iter().map(|&p| manhattan(points[center], p)).sum();
-        prop_assert!(mst <= star, "MST ({mst}) no heavier than star ({star})");
+        assert!(mst <= star, "MST ({mst}) no heavier than star ({star})");
     }
+}
 
-    #[test]
-    fn mst_respects_cut_property_lower_bound(points in proptest::collection::vec(arb_point(), 2..30)) {
+#[test]
+fn mst_respects_cut_property_lower_bound() {
+    let mut rng = rng_from_seed(0x6E04);
+    for _ in 0..256 {
         // Any spanning tree weighs at least (n-1) × min pairwise distance.
+        let points = random_points(&mut rng, 2, 30);
         let n = points.len();
         let mut min_d = u64::MAX;
         for i in 0..n {
@@ -46,40 +76,58 @@ proptest! {
             }
         }
         let mst: u64 = mst_prim(&points).iter().map(|e| e.weight).sum();
-        prop_assert!(mst >= (n as u64 - 1) * min_d);
+        assert!(mst >= (n as u64 - 1) * min_d);
     }
+}
 
-    #[test]
-    fn limited_mst_never_beats_unrestricted(points in proptest::collection::vec((-200i64..200, 0i64..6), 2..40)) {
-        let pts: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
+#[test]
+fn limited_mst_never_beats_unrestricted() {
+    let mut rng = rng_from_seed(0x6E05);
+    for _ in 0..256 {
+        let n = rng.gen_range(2usize..40);
+        let pts: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.gen_range(-200i64..200), rng.gen_range(0i64..6)))
+            .collect();
         let rows: Vec<i64> = pts.iter().map(|p| p.y).collect();
         let limited = mst_adjacency_limited(&pts, &rows);
         if limited.spanning {
             let free: u64 = mst_prim(&pts).iter().map(|e| e.weight).sum();
             let restricted: u64 = limited.edges.iter().map(|e| e.weight).sum();
-            prop_assert!(restricted >= free, "restriction cannot help: {restricted} < {free}");
+            assert!(
+                restricted >= free,
+                "restriction cannot help: {restricted} < {free}"
+            );
             // And every edge obeys the adjacency restriction.
             for e in &limited.edges {
-                prop_assert!((rows[e.a as usize] - rows[e.b as usize]).abs() <= 1);
+                assert!((rows[e.a as usize] - rows[e.b as usize]).abs() <= 1);
             }
         }
     }
+}
 
-    #[test]
-    fn bbox_contains_all_inputs(points in proptest::collection::vec(arb_point(), 1..50)) {
+#[test]
+fn bbox_contains_all_inputs() {
+    let mut rng = rng_from_seed(0x6E06);
+    for _ in 0..256 {
+        let points = random_points(&mut rng, 1, 50);
         let bb = BBox::from_points(points.iter().copied());
         for &p in &points {
-            prop_assert!(bb.contains(p));
+            assert!(bb.contains(p));
         }
-        prop_assert_eq!(bb.half_perimeter(), bb.width() + bb.height());
+        assert_eq!(bb.half_perimeter(), bb.width() + bb.height());
     }
+}
 
-    #[test]
-    fn unionfind_matches_naive_labels(n in 1usize..50, unions in proptest::collection::vec((0usize..50, 0usize..50), 0..80)) {
+#[test]
+fn unionfind_matches_naive_labels() {
+    let mut rng = rng_from_seed(0x6E07);
+    for _ in 0..128 {
+        let n = rng.gen_range(1usize..50);
+        let n_unions = rng.gen_range(0usize..80);
         let mut uf = UnionFind::new(n);
         let mut labels: Vec<usize> = (0..n).collect();
-        for (a, b) in unions {
-            let (a, b) = (a % n, b % n);
+        for _ in 0..n_unions {
+            let (a, b) = (rng.gen_range(0usize..n), rng.gen_range(0usize..n));
             uf.union(a, b);
             let (la, lb) = (labels[a], labels[b]);
             if la != lb {
@@ -90,11 +138,18 @@ proptest! {
                 }
             }
         }
-        let naive_components = labels.iter().collect::<std::collections::HashSet<_>>().len();
-        prop_assert_eq!(uf.components(), naive_components);
+        let naive_components = labels
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        assert_eq!(uf.components(), naive_components);
         for i in 0..n {
             for j in 0..n {
-                prop_assert_eq!(uf.connected(i, j), labels[i] == labels[j], "pair ({}, {})", i, j);
+                assert_eq!(
+                    uf.connected(i, j),
+                    labels[i] == labels[j],
+                    "pair ({i}, {j})"
+                );
             }
         }
     }

@@ -2,7 +2,7 @@
 //! and per-rank virtual clocks.
 //!
 //! [`run`] spawns one OS thread per rank and hands each a [`Comm`]. Ranks
-//! exchange byte messages over unbounded crossbeam channels (eager,
+//! exchange byte messages over unbounded std mpsc channels (eager,
 //! non-blocking sends — no rendezvous deadlocks), matched by `(source,
 //! tag)` with FIFO order per pair, which mirrors MPI's matching rules for
 //! a single communicator.
@@ -13,14 +13,32 @@
 //! [`Comm::compute`]. The final per-rank clocks (and the makespan, their
 //! maximum) are deterministic regardless of how the host schedules the
 //! threads.
+//!
+//! Failure behavior: a receive that can never complete (every peer
+//! exited, a self-recv with nothing buffered, or a watchdog-detected
+//! stall) produces a structured [`CommError`] naming the blocked rank,
+//! the expected `(src, tag)`, and the pending-queue contents — via
+//! [`Comm::try_recv_bytes`]/[`Comm::try_recv`], or as the panic message
+//! of the infallible wrappers. With [`TraceConfig`] enabled ([`run_traced`]),
+//! errors also carry the rank's recent event trace.
 
+use crate::error::{CommError, PendingMsg};
 use crate::machine::MachineModel;
+use crate::trace::{RankTrace, TraceConfig, TraceEvent, TraceEventKind, TraceHub};
 use crate::wire::Wire;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 
 /// Tags at or above this value are reserved for collectives.
 pub const COLLECTIVE_TAG_BASE: u32 = 0x8000_0000;
+
+/// How many pending-queue entries a [`CommError`] snapshot retains.
+const ERR_PENDING_CAP: usize = 64;
+/// How many recent trace events a [`CommError`] carries.
+const ERR_TRACE_TAIL: usize = 16;
+/// How many events per rank a watchdog all-ranks dump shows.
+const DUMP_TAIL: usize = 12;
 
 struct Envelope {
     src: u32,
@@ -98,7 +116,8 @@ pub struct Comm {
     /// bypass the channel (directly into `pending`), so a rank never
     /// holds its own channel open. That is what lets a blocked `recv`
     /// detect a mismatched communication pattern (every peer exited ⇒
-    /// channel disconnects ⇒ panic) instead of hanging forever.
+    /// channel disconnects ⇒ structured [`CommError`]) instead of
+    /// hanging forever.
     txs: Vec<Option<Sender<Envelope>>>,
     rx: Option<Receiver<Envelope>>,
     /// Received-but-unmatched messages, per source rank.
@@ -112,19 +131,24 @@ pub struct Comm {
     peak_mem: u64,
     coll_seq: u32,
     phase_marks: Vec<(&'static str, f64)>,
+    /// Shared trace sink; `None` on the untraced (allocation-free) path.
+    trace: Option<Arc<TraceHub>>,
 }
 
 impl Comm {
     /// A single-rank communicator without any threads — for serial runs
     /// that still charge virtual time (the baseline of every speedup).
     pub fn solo(machine: MachineModel) -> Self {
-        let (_tx, rx) = unbounded();
         Comm {
             rank: 0,
             size: 1,
             machine,
             txs: vec![None],
-            rx: Some(rx),
+            // No receiver at all: a solo rank can only ever receive its
+            // own buffered self-sends, and a recv that finds none is
+            // reported as unsatisfiable instead of blocking on a channel
+            // no one can write to.
+            rx: None,
             pending: vec![VecDeque::new()],
             clock: 0.0,
             ops: 0,
@@ -135,6 +159,7 @@ impl Comm {
             peak_mem: 0,
             coll_seq: 0,
             phase_marks: Vec::new(),
+            trace: None,
         }
     }
 
@@ -155,10 +180,57 @@ impl Comm {
         self.clock
     }
 
+    // ----- tracing -----
+
+    fn tracing(&self) -> bool {
+        self.trace.as_ref().is_some_and(|h| h.config.enabled)
+    }
+
+    fn record(&self, kind: TraceEventKind, t0: f64, t1: f64) {
+        if let Some(hub) = &self.trace {
+            if hub.config.enabled {
+                hub.record(self.rank, TraceEvent { kind, t0, t1 });
+            }
+        }
+    }
+
+    /// Record an instantaneous annotation on this rank's trace (no-op
+    /// when tracing is off; does not affect virtual time or stats).
+    pub fn trace_mark(&mut self, name: &'static str) {
+        self.record(TraceEventKind::Mark { name }, self.clock, self.clock);
+    }
+
+    fn recent_events(&self) -> Vec<TraceEvent> {
+        match &self.trace {
+            Some(hub) if hub.config.enabled => hub.tail(self.rank, ERR_TRACE_TAIL),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Snapshot of the pending queues for error reporting.
+    fn pending_snapshot(&self) -> Vec<PendingMsg> {
+        self.pending
+            .iter()
+            .flat_map(|q| q.iter())
+            .take(ERR_PENDING_CAP)
+            .map(|e| PendingMsg {
+                src: e.src as usize,
+                tag: e.tag,
+                bytes: e.payload.len(),
+            })
+            .collect()
+    }
+
+    // ----- accounting -----
+
     /// Charge `ops` abstract operations of computation.
     pub fn compute(&mut self, ops: u64) {
+        let t0 = self.clock;
         self.ops += ops;
         self.clock += self.machine.compute_time(ops);
+        if self.tracing() {
+            self.record(TraceEventKind::Compute { ops }, t0, self.clock);
+        }
     }
 
     /// Register `bytes` of modeled allocation (for the per-node memory
@@ -181,12 +253,17 @@ impl Comm {
     /// clock) are reported in [`RankStats::phases`].
     pub fn phase(&mut self, name: &'static str) {
         self.phase_marks.push((name, self.clock));
+        self.record(TraceEventKind::Phase { name }, self.clock, self.clock);
     }
 
     fn stats(&self) -> RankStats {
         let mut phases = Vec::with_capacity(self.phase_marks.len());
         for (i, &(name, start)) in self.phase_marks.iter().enumerate() {
-            let end = self.phase_marks.get(i + 1).map(|&(_, t)| t).unwrap_or(self.clock);
+            let end = self
+                .phase_marks
+                .get(i + 1)
+                .map(|&(_, t)| t)
+                .unwrap_or(self.clock);
             phases.push((name, end - start));
         }
         RankStats {
@@ -206,50 +283,124 @@ impl Comm {
     /// Send raw bytes to `dst` with `tag`. Eager and non-blocking.
     pub fn send_bytes(&mut self, dst: usize, tag: u32, payload: Vec<u8>) {
         assert!(dst < self.size, "send to rank {dst} of {}", self.size);
-        assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < {COLLECTIVE_TAG_BASE:#x}");
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "user tags must be < {COLLECTIVE_TAG_BASE:#x}"
+        );
         self.send_bytes_internal(dst, tag, payload);
     }
 
     fn send_bytes_internal(&mut self, dst: usize, tag: u32, payload: Vec<u8>) {
+        let t0 = self.clock;
+        let bytes = payload.len();
         self.clock += self.machine.send_overhead;
         self.msgs_sent += 1;
-        self.bytes_sent += payload.len() as u64;
-        self.bytes_to[dst] += payload.len() as u64;
-        let env = Envelope { src: self.rank as u32, tag, stamp: self.clock, payload: payload.into_boxed_slice() };
+        self.bytes_sent += bytes as u64;
+        self.bytes_to[dst] += bytes as u64;
+        let env = Envelope {
+            src: self.rank as u32,
+            tag,
+            stamp: self.clock,
+            payload: payload.into_boxed_slice(),
+        };
         if dst == self.rank {
             self.pending[dst].push_back(env);
         } else {
-            self.txs[dst].as_ref().expect("peer sender").send(env).expect("peer rank hung up");
+            let tx = self.txs[dst].as_ref().expect("peer sender");
+            if tx.send(env).is_err() {
+                let err = CommError::PeerGone {
+                    rank: self.rank,
+                    dst,
+                    tag,
+                    bytes,
+                };
+                panic!("{err}");
+            }
+        }
+        if self.tracing() {
+            self.record(TraceEventKind::Send { dst, tag, bytes }, t0, self.clock);
         }
     }
 
     /// Send a typed message.
     pub fn send<T: Wire>(&mut self, dst: usize, tag: u32, value: &T) {
-        assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < {COLLECTIVE_TAG_BASE:#x}");
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "user tags must be < {COLLECTIVE_TAG_BASE:#x}"
+        );
         self.send_bytes_internal(dst, tag, value.to_bytes());
     }
 
-    /// Blocking receive of the next message from `src` with `tag`
-    /// (FIFO per `(src, tag)` pair). Returns the payload.
-    pub fn recv_bytes(&mut self, src: usize, tag: u32) -> Vec<u8> {
+    /// Blocking receive of the next message from `src` with `tag` (FIFO
+    /// per `(src, tag)` pair), reporting an unsatisfiable or mismatched
+    /// pattern as a structured [`CommError`] instead of panicking.
+    pub fn try_recv_bytes(&mut self, src: usize, tag: u32) -> Result<Vec<u8>, CommError> {
         assert!(src < self.size, "recv from rank {src} of {}", self.size);
         // Check already-buffered messages from src first.
         if let Some(pos) = self.pending[src].iter().position(|e| e.tag == tag) {
             let env = self.pending[src].remove(pos).expect("position valid");
-            return self.accept(env);
+            return Ok(self.accept(env));
         }
+        // A receive from this rank itself can only match a buffered
+        // self-send (self-sends never travel the channel): nothing
+        // buffered means nothing can ever arrive. This also covers every
+        // recv on a solo communicator.
+        if src == self.rank || self.rx.is_none() {
+            return Err(CommError::Unsatisfiable {
+                rank: self.rank,
+                size: self.size,
+                src,
+                tag,
+                pending: self.pending_snapshot(),
+                recent: self.recent_events(),
+            });
+        }
+        let watchdog = self.trace.as_ref().and_then(|h| h.config.watchdog);
         loop {
-            let env = self
-                .rx
-                .as_ref()
-                .expect("communicator active")
-                .recv()
-                .expect("all peers hung up while this rank still expects a message — mismatched send/recv pattern");
+            let rx = self.rx.as_ref().expect("communicator active");
+            let env = match watchdog {
+                None => rx.recv().map_err(|_| self.disconnected_error(src, tag))?,
+                Some(budget) => match rx.recv_timeout(budget) {
+                    Ok(env) => env,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(self.disconnected_error(src, tag))
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        return Err(CommError::Stalled {
+                            rank: self.rank,
+                            src,
+                            tag,
+                            waited: budget,
+                            pending: self.pending_snapshot(),
+                            recent: self.recent_events(),
+                            all_ranks: self.trace.as_ref().map(|h| h.dump_all(DUMP_TAIL)),
+                        })
+                    }
+                },
+            };
             if env.src as usize == src && env.tag == tag {
-                return self.accept(env);
+                return Ok(self.accept(env));
             }
             self.pending[env.src as usize].push_back(env);
         }
+    }
+
+    fn disconnected_error(&self, src: usize, tag: u32) -> CommError {
+        CommError::PeersDisconnected {
+            rank: self.rank,
+            src,
+            tag,
+            pending: self.pending_snapshot(),
+            recent: self.recent_events(),
+        }
+    }
+
+    /// Blocking receive of the next message from `src` with `tag`.
+    /// Returns the payload; panics with the full [`CommError`] diagnosis
+    /// on a pattern that can never complete.
+    pub fn recv_bytes(&mut self, src: usize, tag: u32) -> Vec<u8> {
+        self.try_recv_bytes(src, tag)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn accept(&mut self, env: Envelope) -> Vec<u8> {
@@ -257,16 +408,39 @@ impl Comm {
         // receiver's link is then occupied for the payload's transfer
         // time (LogGP's per-byte gap): back-to-back receives serialize
         // at the receiver rather than arriving for free in parallel.
+        let t0 = self.clock;
         let start = (self.clock + self.machine.recv_overhead).max(env.stamp + self.machine.latency);
         self.clock = start + env.payload.len() as f64 * self.machine.sec_per_byte;
+        if self.tracing() {
+            self.record(
+                TraceEventKind::Recv {
+                    src: env.src as usize,
+                    tag: env.tag,
+                    bytes: env.payload.len(),
+                },
+                t0,
+                self.clock,
+            );
+        }
         env.payload.into_vec()
+    }
+
+    /// Blocking typed receive with structured errors: decode failures
+    /// and unsatisfiable patterns both surface as [`CommError`].
+    pub fn try_recv<T: Wire>(&mut self, src: usize, tag: u32) -> Result<T, CommError> {
+        let bytes = self.try_recv_bytes(src, tag)?;
+        T::from_bytes(&bytes).map_err(|error| CommError::Decode {
+            rank: self.rank,
+            src,
+            tag,
+            error,
+        })
     }
 
     /// Blocking typed receive. Panics on a decode failure (a type mismatch
     /// between sender and receiver is a programming error, not input).
     pub fn recv<T: Wire>(&mut self, src: usize, tag: u32) -> T {
-        let bytes = self.recv_bytes(src, tag);
-        T::from_bytes(&bytes).unwrap_or_else(|e| panic!("rank {} decoding tag {tag} from {src}: {e}", self.rank))
+        self.try_recv(src, tag).unwrap_or_else(|e| panic!("{e}"))
     }
 
     // ----- collectives -----
@@ -277,6 +451,12 @@ impl Comm {
         tag
     }
 
+    fn coll_enter(&self, op: &'static str) {
+        if self.tracing() {
+            self.record(TraceEventKind::Collective { op }, self.clock, self.clock);
+        }
+    }
+
     fn send_tagged<T: Wire>(&mut self, dst: usize, tag: u32, value: &T) {
         self.send_bytes_internal(dst, tag, value.to_bytes());
     }
@@ -284,6 +464,7 @@ impl Comm {
     /// Block until all ranks reach the barrier; clocks synchronize to the
     /// slowest participant (plus tree costs).
     pub fn barrier(&mut self) {
+        self.coll_enter("barrier");
         let tag = self.next_coll_tag();
         self.reduce_tagged(0, (), |_, _| (), tag);
         let tag2 = self.next_coll_tag();
@@ -293,6 +474,7 @@ impl Comm {
     /// Broadcast `value` from `root`. `value` must be `Some` on the root
     /// and is ignored elsewhere.
     pub fn bcast<T: Wire>(&mut self, root: usize, value: Option<T>) -> T {
+        self.coll_enter("bcast");
         let tag = self.next_coll_tag();
         self.bcast_tagged(root, value, tag)
     }
@@ -300,7 +482,11 @@ impl Comm {
     fn bcast_tagged<T: Wire>(&mut self, root: usize, value: Option<T>, tag: u32) -> T {
         assert!(root < self.size);
         let rel = (self.rank + self.size - root) % self.size;
-        let mut value = if rel == 0 { Some(value.expect("root must supply the broadcast value")) } else { None };
+        let mut value = if rel == 0 {
+            Some(value.expect("root must supply the broadcast value"))
+        } else {
+            None
+        };
         let mut step = 1;
         while step < self.size {
             if rel < step {
@@ -322,12 +508,24 @@ impl Comm {
     /// Reduce all ranks' values to `root` with `op` (binomial tree; the
     /// combine order is fixed by the tree, hence deterministic). Returns
     /// `Some(result)` on the root, `None` elsewhere.
-    pub fn reduce<T: Wire, F: FnMut(T, T) -> T>(&mut self, root: usize, value: T, op: F) -> Option<T> {
+    pub fn reduce<T: Wire, F: FnMut(T, T) -> T>(
+        &mut self,
+        root: usize,
+        value: T,
+        op: F,
+    ) -> Option<T> {
+        self.coll_enter("reduce");
         let tag = self.next_coll_tag();
         self.reduce_tagged(root, value, op, tag)
     }
 
-    fn reduce_tagged<T: Wire, F: FnMut(T, T) -> T>(&mut self, root: usize, value: T, mut op: F, tag: u32) -> Option<T> {
+    fn reduce_tagged<T: Wire, F: FnMut(T, T) -> T>(
+        &mut self,
+        root: usize,
+        value: T,
+        mut op: F,
+        tag: u32,
+    ) -> Option<T> {
         assert!(root < self.size);
         let rel = (self.rank + self.size - root) % self.size;
         let mut acc = value;
@@ -351,12 +549,18 @@ impl Comm {
 
     /// Reduce to rank 0 then broadcast: every rank gets the result.
     pub fn allreduce<T: Wire, F: FnMut(T, T) -> T>(&mut self, value: T, op: F) -> T {
-        let r = self.reduce(0, value, op);
-        self.bcast(0, r)
+        self.coll_enter("allreduce");
+        let r = {
+            let tag = self.next_coll_tag();
+            self.reduce_tagged(0, value, op, tag)
+        };
+        let tag = self.next_coll_tag();
+        self.bcast_tagged(0, r, tag)
     }
 
     /// Gather all ranks' values at `root`, in rank order.
     pub fn gather<T: Wire>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
+        self.coll_enter("gather");
         let tag = self.next_coll_tag();
         if self.rank == root {
             let mut out = Vec::with_capacity(self.size);
@@ -376,13 +580,32 @@ impl Comm {
 
     /// Gather at rank 0 then broadcast the whole vector.
     pub fn allgather<T: Wire>(&mut self, value: T) -> Vec<T> {
-        let g = self.gather(0, value);
-        self.bcast(0, g)
+        self.coll_enter("allgather");
+        let g = {
+            let tag = self.next_coll_tag();
+            if self.rank == 0 {
+                let mut out = Vec::with_capacity(self.size);
+                for src in 0..self.size {
+                    if src == 0 {
+                        out.push(T::from_bytes(&value.to_bytes()).expect("self roundtrip"));
+                    } else {
+                        out.push(self.recv(src, tag));
+                    }
+                }
+                Some(out)
+            } else {
+                self.send_tagged(0, tag, &value);
+                None
+            }
+        };
+        let tag = self.next_coll_tag();
+        self.bcast_tagged(0, g, tag)
     }
 
     /// Scatter one value per rank from `root` (which must pass a vector of
     /// exactly `size` entries).
     pub fn scatter<T: Wire>(&mut self, root: usize, values: Option<Vec<T>>) -> T {
+        self.coll_enter("scatter");
         let tag = self.next_coll_tag();
         if self.rank == root {
             let values = values.expect("root must supply scatter values");
@@ -405,6 +628,7 @@ impl Comm {
     /// the vector received from each source (own slice passes through).
     pub fn alltoall<T: Wire>(&mut self, data: Vec<Vec<T>>) -> Vec<Vec<T>> {
         assert_eq!(data.len(), self.size, "alltoall needs one bucket per rank");
+        self.coll_enter("alltoall");
         let tag = self.next_coll_tag();
         // Eager sends first (channels are unbounded, so this cannot block),
         // then receive in rank order for determinism.
@@ -448,11 +672,39 @@ where
     R: Send,
     F: Fn(&mut Comm) -> R + Send + Sync,
 {
+    run_traced(size, machine, TraceConfig::off(), f).0
+}
+
+/// [`run`] with event tracing: returns the report plus one [`RankTrace`]
+/// per rank (empty traces when `trace.enabled` is false).
+///
+/// ```
+/// use pgr_mpi::{run_traced, MachineModel, TraceConfig};
+/// let (report, traces) = run_traced(2, MachineModel::ideal(), TraceConfig::on(), |comm| {
+///     comm.phase("work");
+///     comm.compute(100);
+///     comm.barrier();
+/// });
+/// assert_eq!(traces.len(), 2);
+/// assert_eq!(traces[0].phase_durations().len(), report.stats[0].phases.len());
+/// ```
+pub fn run_traced<R, F>(
+    size: usize,
+    machine: MachineModel,
+    trace: TraceConfig,
+    f: F,
+) -> (RunReport<R>, Vec<RankTrace>)
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Send + Sync,
+{
     assert!(size > 0, "need at least one rank");
+    let hub =
+        (trace.enabled || trace.watchdog.is_some()).then(|| Arc::new(TraceHub::new(size, trace)));
     let mut txs = Vec::with_capacity(size);
     let mut rxs = Vec::with_capacity(size);
     for _ in 0..size {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         txs.push(tx);
         rxs.push(rx);
     }
@@ -464,7 +716,11 @@ where
             rank,
             size,
             machine,
-            txs: txs.iter().enumerate().map(|(i, tx)| (i != rank).then(|| tx.clone())).collect(),
+            txs: txs
+                .iter()
+                .enumerate()
+                .map(|(i, tx)| (i != rank).then(|| tx.clone()))
+                .collect(),
             rx: Some(rx),
             pending: (0..size).map(|_| VecDeque::new()).collect(),
             clock: 0.0,
@@ -476,6 +732,7 @@ where
             peak_mem: 0,
             coll_seq: 0,
             phase_marks: Vec::new(),
+            trace: hub.clone(),
         })
         .collect();
     drop(txs);
@@ -492,11 +749,19 @@ where
                     // hanging forever.
                     comm.txs.clear();
                     comm.rx = None;
+                    if let Some(hub) = &comm.trace {
+                        hub.set_final_time(comm.rank, comm.clock);
+                    }
                     (result, comm.stats())
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        // Re-raise the original payload so a rank's diagnostic message
+        // (e.g. a `CommError` display) survives to the caller verbatim.
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
     });
 
     let mut results = Vec::with_capacity(size);
@@ -505,7 +770,22 @@ where
         results.push(r);
         stats.push(s);
     }
-    RunReport { results, stats, machine }
+    // Release the per-rank hub references so the Arc unwraps cleanly.
+    comms.clear();
+    let traces = match hub {
+        Some(hub) => Arc::try_unwrap(hub)
+            .expect("all rank handles dropped")
+            .into_traces(),
+        None => Vec::new(),
+    };
+    (
+        RunReport {
+            results,
+            stats,
+            machine,
+        },
+        traces,
+    )
 }
 
 #[cfg(test)]
@@ -568,10 +848,17 @@ mod tests {
         for &size in &SIZES {
             for root in 0..size {
                 let report = run(size, MachineModel::ideal(), move |c| {
-                    let v = if c.rank() == root { Some(42u64 + root as u64) } else { None };
+                    let v = if c.rank() == root {
+                        Some(42u64 + root as u64)
+                    } else {
+                        None
+                    };
                     c.bcast(root, v)
                 });
-                assert!(report.results.iter().all(|&v| v == 42 + root as u64), "size {size} root {root}");
+                assert!(
+                    report.results.iter().all(|&v| v == 42 + root as u64),
+                    "size {size} root {root}"
+                );
             }
         }
     }
@@ -579,7 +866,9 @@ mod tests {
     #[test]
     fn reduce_sums_all_sizes() {
         for &size in &SIZES {
-            let report = run(size, MachineModel::ideal(), |c| c.reduce(0, c.rank() as u64 + 1, |a, b| a + b));
+            let report = run(size, MachineModel::ideal(), |c| {
+                c.reduce(0, c.rank() as u64 + 1, |a, b| a + b)
+            });
             let expect = (size * (size + 1) / 2) as u64;
             assert_eq!(report.results[0], Some(expect), "size {size}");
             for r in 1..size {
@@ -591,14 +880,18 @@ mod tests {
     #[test]
     fn allreduce_max() {
         for &size in &SIZES {
-            let report = run(size, MachineModel::ideal(), |c| c.allreduce(c.rank() as u64, u64::max));
+            let report = run(size, MachineModel::ideal(), |c| {
+                c.allreduce(c.rank() as u64, u64::max)
+            });
             assert!(report.results.iter().all(|&v| v == size as u64 - 1));
         }
     }
 
     #[test]
     fn gather_is_rank_ordered() {
-        let report = run(4, MachineModel::ideal(), |c| c.gather(2, c.rank() as u32 * 10));
+        let report = run(4, MachineModel::ideal(), |c| {
+            c.gather(2, c.rank() as u32 * 10)
+        });
         assert_eq!(report.results[2], Some(vec![0, 10, 20, 30]));
         assert_eq!(report.results[0], None);
     }
@@ -606,7 +899,9 @@ mod tests {
     #[test]
     fn allgather_everyone_gets_everything() {
         for &size in &SIZES {
-            let report = run(size, MachineModel::ideal(), |c| c.allgather(c.rank() as u32));
+            let report = run(size, MachineModel::ideal(), |c| {
+                c.allgather(c.rank() as u32)
+            });
             let expect: Vec<u32> = (0..size as u32).collect();
             assert!(report.results.iter().all(|v| *v == expect));
         }
@@ -615,7 +910,11 @@ mod tests {
     #[test]
     fn scatter_distributes() {
         let report = run(3, MachineModel::ideal(), |c| {
-            let vals = if c.rank() == 1 { Some(vec![100u32, 101, 102]) } else { None };
+            let vals = if c.rank() == 1 {
+                Some(vec![100u32, 101, 102])
+            } else {
+                None
+            };
             c.scatter(1, vals)
         });
         assert_eq!(report.results, vec![100, 101, 102]);
@@ -624,7 +923,9 @@ mod tests {
     #[test]
     fn alltoall_permutes() {
         let report = run(3, MachineModel::ideal(), |c| {
-            let data: Vec<Vec<u32>> = (0..3).map(|dst| vec![(c.rank() * 10 + dst) as u32]).collect();
+            let data: Vec<Vec<u32>> = (0..3)
+                .map(|dst| vec![(c.rank() * 10 + dst) as u32])
+                .collect();
             c.alltoall(data)
         });
         // Rank r receives from each src the bucket src*10 + r.
@@ -647,7 +948,10 @@ mod tests {
         });
         let slowest = m.compute_time(1_000_000);
         for (r, &t) in report.results.iter().enumerate() {
-            assert!(t >= slowest, "rank {r} clock {t} must include the slow rank's work");
+            assert!(
+                t >= slowest,
+                "rank {r} clock {t} must include the slow rank's work"
+            );
         }
     }
 
@@ -664,7 +968,10 @@ mod tests {
         };
         let a = runit();
         let b = runit();
-        assert_eq!(a.results, b.results, "virtual clocks are schedule-independent");
+        assert_eq!(
+            a.results, b.results,
+            "virtual clocks are schedule-independent"
+        );
         assert_eq!(a.makespan(), b.makespan());
     }
 
@@ -695,10 +1002,16 @@ mod tests {
         });
         let sender = report.results[0];
         let receiver = report.results[1];
-        assert!((sender - m.send_overhead).abs() < 1e-9, "sender only pays overhead");
+        assert!(
+            (sender - m.send_overhead).abs() < 1e-9,
+            "sender only pays overhead"
+        );
         // Vec<u8> wire format adds a 4-byte length prefix.
         let expect = m.send_overhead + m.transfer_time(n + 4);
-        assert!((receiver - expect).abs() < 1e-9, "receiver {receiver} vs expected {expect}");
+        assert!(
+            (receiver - expect).abs() < 1e-9,
+            "receiver {receiver} vs expected {expect}"
+        );
     }
 
     #[test]
@@ -736,6 +1049,47 @@ mod tests {
     }
 
     #[test]
+    fn solo_recv_reports_unsatisfiable_not_hung_up() {
+        let mut c = Comm::solo(MachineModel::ideal());
+        let err = c.try_recv_bytes(0, 5).expect_err("nothing to receive");
+        match &err {
+            CommError::Unsatisfiable {
+                rank: 0,
+                size: 1,
+                src: 0,
+                tag: 5,
+                ..
+            } => {}
+            other => panic!("expected Unsatisfiable, got {other:?}"),
+        }
+        assert!(err.to_string().contains("solo communicator"));
+    }
+
+    #[test]
+    fn solo_self_send_then_recv_works() {
+        let mut c = Comm::solo(MachineModel::ideal());
+        c.send(0, 4, &77u32);
+        assert_eq!(c.recv::<u32>(0, 4), 77);
+        // A second receive finds the queue empty again.
+        assert!(c.try_recv_bytes(0, 4).is_err());
+    }
+
+    #[test]
+    fn self_recv_without_send_is_immediate_error_in_parallel_run() {
+        let report = run(2, MachineModel::ideal(), |c| {
+            if c.rank() == 0 {
+                // Receive from *self* with nothing buffered: flagged
+                // immediately, not after peers exit.
+                c.try_recv_bytes(0, 1).err().map(|e| e.to_string())
+            } else {
+                None
+            }
+        });
+        let msg = report.results[0].as_ref().expect("error expected");
+        assert!(msg.contains("waits on itself"), "{msg}");
+    }
+
+    #[test]
     fn interleaved_collectives_do_not_cross_talk() {
         let report = run(4, MachineModel::ideal(), |c| {
             let mut acc = Vec::new();
@@ -752,5 +1106,42 @@ mod tests {
                 assert_eq!(v, 4 * round + 6, "round {round}");
             }
         }
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_clocks() {
+        let body = |c: &mut Comm| {
+            c.phase("compute");
+            c.compute(5_000 * (c.rank() as u64 + 1));
+            c.phase("sync");
+            c.allreduce(c.rank() as u64, |a, b| a + b);
+            c.now()
+        };
+        let plain = run(3, MachineModel::intel_paragon(), body);
+        let (traced, traces) =
+            run_traced(3, MachineModel::intel_paragon(), TraceConfig::on(), body);
+        assert_eq!(
+            plain.results, traced.results,
+            "tracing must not perturb virtual time"
+        );
+        assert_eq!(traces.len(), 3);
+        for (t, s) in traces.iter().zip(&traced.stats) {
+            assert_eq!(t.final_time, s.time);
+            assert_eq!(
+                t.phase_durations(),
+                s.phases,
+                "trace-derived phases match stats"
+            );
+            assert!(t
+                .events
+                .iter()
+                .any(|e| matches!(e.kind, TraceEventKind::Collective { op: "allreduce" })));
+        }
+    }
+
+    #[test]
+    fn untraced_run_returns_no_traces() {
+        let (_, traces) = run_traced(2, MachineModel::ideal(), TraceConfig::off(), |c| c.rank());
+        assert!(traces.is_empty());
     }
 }

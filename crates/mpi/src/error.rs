@@ -1,0 +1,262 @@
+//! Structured communication-failure diagnostics.
+//!
+//! A wrong communication pattern used to surface as a blanket
+//! `expect("all peers hung up …")` panic with no record of who was
+//! waiting for what. [`CommError`] replaces that: every failure names
+//! the blocked rank, the expected `(src, tag)`, a snapshot of the
+//! messages that *did* arrive but matched nothing, and — when tracing is
+//! enabled — the rank's most recent trace events, so a mismatched
+//! send/recv pattern is debuggable from the error alone.
+
+use crate::trace::TraceEvent;
+use crate::wire::WireError;
+use std::fmt;
+use std::time::Duration;
+
+/// A received-but-unmatched message sitting in a rank's pending queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingMsg {
+    pub src: usize,
+    pub tag: u32,
+    pub bytes: usize,
+}
+
+impl fmt::Display for PendingMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "src={} tag={} ({} B)", self.src, self.tag, self.bytes)
+    }
+}
+
+/// Why a communicator operation could not complete.
+#[derive(Debug, Clone)]
+pub enum CommError {
+    /// A receive that can never be satisfied: the rank is waiting on
+    /// itself (or is a solo communicator) with no matching buffered
+    /// self-send — no peer exists that could ever produce the message.
+    Unsatisfiable {
+        rank: usize,
+        size: usize,
+        src: usize,
+        tag: u32,
+        pending: Vec<PendingMsg>,
+        recent: Vec<TraceEvent>,
+    },
+    /// Every peer exited while this rank still expected a message — the
+    /// canonical mismatched send/recv pattern.
+    PeersDisconnected {
+        rank: usize,
+        src: usize,
+        tag: u32,
+        pending: Vec<PendingMsg>,
+        recent: Vec<TraceEvent>,
+    },
+    /// The watchdog found the rank blocked in `recv` past its real-time
+    /// budget. `all_ranks` carries the formatted trace tails of every
+    /// rank (deadlock triage), when tracing is enabled.
+    Stalled {
+        rank: usize,
+        src: usize,
+        tag: u32,
+        waited: Duration,
+        pending: Vec<PendingMsg>,
+        recent: Vec<TraceEvent>,
+        all_ranks: Option<String>,
+    },
+    /// A received payload did not decode as the expected type.
+    Decode {
+        rank: usize,
+        src: usize,
+        tag: u32,
+        error: WireError,
+    },
+    /// A send found the destination rank already exited.
+    PeerGone {
+        rank: usize,
+        dst: usize,
+        tag: u32,
+        bytes: usize,
+    },
+}
+
+impl CommError {
+    /// The rank the failure occurred on.
+    pub fn rank(&self) -> usize {
+        match self {
+            CommError::Unsatisfiable { rank, .. }
+            | CommError::PeersDisconnected { rank, .. }
+            | CommError::Stalled { rank, .. }
+            | CommError::Decode { rank, .. }
+            | CommError::PeerGone { rank, .. } => *rank,
+        }
+    }
+
+    /// The pending-queue snapshot, if this failure carries one.
+    pub fn pending(&self) -> &[PendingMsg] {
+        match self {
+            CommError::Unsatisfiable { pending, .. }
+            | CommError::PeersDisconnected { pending, .. }
+            | CommError::Stalled { pending, .. } => pending,
+            _ => &[],
+        }
+    }
+}
+
+fn fmt_context(
+    f: &mut fmt::Formatter<'_>,
+    pending: &[PendingMsg],
+    recent: &[TraceEvent],
+) -> fmt::Result {
+    if pending.is_empty() {
+        write!(f, "\n  pending queue: empty (nothing unmatched arrived)")?;
+    } else {
+        write!(f, "\n  pending queue ({} unmatched):", pending.len())?;
+        for p in pending {
+            write!(f, "\n    {p}")?;
+        }
+    }
+    if !recent.is_empty() {
+        write!(f, "\n  last {} trace events:", recent.len())?;
+        for e in recent {
+            write!(f, "\n    [{:.6}s..{:.6}s] {}", e.t0, e.t1, e.label())?;
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Unsatisfiable {
+                rank,
+                size,
+                src,
+                tag,
+                pending,
+                recent,
+            } => {
+                if *size == 1 {
+                    write!(
+                        f,
+                        "rank {rank}: recv(src={src}, tag={tag}) on a solo communicator can never be \
+                         satisfied — no peer exists and no matching self-send is buffered"
+                    )?;
+                } else {
+                    write!(
+                        f,
+                        "rank {rank}: recv(src={src}, tag={tag}) waits on itself with no matching \
+                         buffered self-send — it can never be satisfied"
+                    )?;
+                }
+                fmt_context(f, pending, recent)
+            }
+            CommError::PeersDisconnected {
+                rank,
+                src,
+                tag,
+                pending,
+                recent,
+            } => {
+                write!(
+                    f,
+                    "rank {rank}: blocked in recv(src={src}, tag={tag}) but every peer has exited — \
+                     mismatched send/recv pattern"
+                )?;
+                fmt_context(f, pending, recent)
+            }
+            CommError::Stalled {
+                rank,
+                src,
+                tag,
+                waited,
+                pending,
+                recent,
+                all_ranks,
+            } => {
+                write!(
+                    f,
+                    "rank {rank}: watchdog — blocked in recv(src={src}, tag={tag}) for {waited:?} \
+                     (real time) with peers still running; likely deadlock"
+                )?;
+                fmt_context(f, pending, recent)?;
+                if let Some(dump) = all_ranks {
+                    write!(f, "\n  all ranks' trace tails:\n{dump}")?;
+                }
+                Ok(())
+            }
+            CommError::Decode {
+                rank,
+                src,
+                tag,
+                error,
+            } => {
+                write!(
+                    f,
+                    "rank {rank}: payload from src={src} tag={tag} failed to decode: {error}"
+                )
+            }
+            CommError::PeerGone {
+                rank,
+                dst,
+                tag,
+                bytes,
+            } => {
+                write!(f, "rank {rank}: send(dst={dst}, tag={tag}, {bytes} B) but the destination rank already exited")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CommError::Decode { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_rank_src_tag_and_pending() {
+        let e = CommError::PeersDisconnected {
+            rank: 2,
+            src: 0,
+            tag: 7,
+            pending: vec![PendingMsg {
+                src: 1,
+                tag: 9,
+                bytes: 16,
+            }],
+            recent: vec![],
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 2"), "{s}");
+        assert!(s.contains("src=0"), "{s}");
+        assert!(s.contains("tag=7"), "{s}");
+        assert!(s.contains("src=1 tag=9 (16 B)"), "{s}");
+        assert_eq!(e.rank(), 2);
+        assert_eq!(e.pending().len(), 1);
+    }
+
+    #[test]
+    fn solo_unsatisfiable_message_is_coherent() {
+        let e = CommError::Unsatisfiable {
+            rank: 0,
+            size: 1,
+            src: 0,
+            tag: 3,
+            pending: vec![],
+            recent: vec![],
+        };
+        let s = e.to_string();
+        assert!(s.contains("solo communicator"), "{s}");
+        assert!(s.contains("can never be satisfied"), "{s}");
+        assert!(
+            !s.contains("hung up"),
+            "no misleading peers-hung-up text: {s}"
+        );
+    }
+}

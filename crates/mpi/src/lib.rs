@@ -26,10 +26,22 @@
 //! (the Paragon's 32 MB/node), which is how Table 5's infeasible serial
 //! runs are detected.
 
+//!
+//! Observability: [`run_traced`] records per-rank [`TraceEvent`] streams
+//! (exportable via [`chrome_trace_json`] / [`stats_json`]), and failed
+//! communication patterns surface as structured [`CommError`] diagnostics
+//! instead of bare panics.
+
 pub mod comm;
+pub mod error;
 pub mod machine;
+pub mod trace;
 pub mod wire;
 
-pub use comm::{run, Comm, RankStats, RunReport};
+pub use comm::{run, run_traced, Comm, RankStats, RunReport, COLLECTIVE_TAG_BASE};
+pub use error::{CommError, PendingMsg};
 pub use machine::MachineModel;
+pub use trace::{
+    chrome_trace_json, stats_json, RankTrace, TraceConfig, TraceEvent, TraceEventKind,
+};
 pub use wire::{Reader, Wire, WireError};

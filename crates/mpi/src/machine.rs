@@ -99,7 +99,10 @@ mod tests {
         let smp = MachineModel::sparc_center_1000();
         let dmp = MachineModel::intel_paragon();
         assert!(smp.latency < dmp.latency, "SMP messages are cheaper");
-        assert!(dmp.sec_per_op < smp.sec_per_op, "Paragon nodes are a bit faster");
+        assert!(
+            dmp.sec_per_op < smp.sec_per_op,
+            "Paragon nodes are a bit faster"
+        );
         assert!(smp.mem_per_node.is_none());
         assert_eq!(dmp.mem_per_node, Some(32 * 1024 * 1024));
     }

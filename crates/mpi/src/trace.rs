@@ -1,0 +1,449 @@
+//! Per-rank event tracing over the virtual-time communicator.
+//!
+//! Every rank can record a stream of [`TraceEvent`]s — sends, receives,
+//! collectives, computation, and phase markers — stamped with virtual
+//! time. The default configuration ([`TraceConfig::off`]) records
+//! nothing and allocates nothing on the send/recv hot path; enabling it
+//! costs one ring-buffer push per event.
+//!
+//! Two exporters turn the traces into artifacts:
+//!
+//! * [`chrome_trace_json`] — a `chrome://tracing` / Perfetto timeline
+//!   with one track per rank, phases as nested spans and messages as
+//!   slices, all in virtual microseconds;
+//! * [`stats_json`] — a compact machine-readable dump of
+//!   [`RankStats`](crate::RankStats) for cross-run aggregation.
+//!
+//! The same ring buffers feed the structured
+//! [`CommError`](crate::error::CommError) diagnostics: when a receive can
+//! never complete, the error carries the last events of the blocked
+//! rank, and the opt-in watchdog dumps every rank's tail.
+
+use crate::comm::RankStats;
+use crate::machine::MachineModel;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// What a rank was doing during a traced interval.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEventKind {
+    /// Point-to-point send (including collective-internal sends).
+    Send { dst: usize, tag: u32, bytes: usize },
+    /// Point-to-point receive completion.
+    Recv { src: usize, tag: u32, bytes: usize },
+    /// Entry into a collective operation.
+    Collective { op: &'static str },
+    /// Explicitly charged computation.
+    Compute { ops: u64 },
+    /// A [`Comm::phase`](crate::Comm::phase) marker.
+    Phase { name: &'static str },
+    /// An instantaneous annotation from algorithm code.
+    Mark { name: &'static str },
+}
+
+/// One traced interval on a rank's virtual timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    pub kind: TraceEventKind,
+    /// Virtual time when the event began (seconds).
+    pub t0: f64,
+    /// Virtual time when the event ended (seconds; `== t0` for marks).
+    pub t1: f64,
+}
+
+impl TraceEvent {
+    /// Short human-readable label (also used as the Chrome slice name).
+    pub fn label(&self) -> String {
+        match &self.kind {
+            TraceEventKind::Send { dst, tag, bytes } => format!("send→{dst} tag={tag} ({bytes} B)"),
+            TraceEventKind::Recv { src, tag, bytes } => format!("recv←{src} tag={tag} ({bytes} B)"),
+            TraceEventKind::Collective { op } => format!("collective:{op}"),
+            TraceEventKind::Compute { ops } => format!("compute {ops} ops"),
+            TraceEventKind::Phase { name } => format!("phase:{name}"),
+            TraceEventKind::Mark { name } => (*name).to_string(),
+        }
+    }
+}
+
+/// Tracing configuration for a run. The default ([`TraceConfig::off`])
+/// keeps the communicator allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceConfig {
+    /// Record events at all.
+    pub enabled: bool,
+    /// Events retained per rank (a ring: oldest evicted first).
+    pub capacity: usize,
+    /// Real-time budget a rank may sit blocked in one `recv` before the
+    /// watchdog flags it and dumps every rank's trace tail. `None`
+    /// disables the watchdog (a mismatched pattern is still detected
+    /// eagerly when all peers exit).
+    pub watchdog: Option<Duration>,
+}
+
+impl TraceConfig {
+    /// No tracing, no watchdog, no allocations: the default.
+    pub const fn off() -> Self {
+        TraceConfig {
+            enabled: false,
+            capacity: 0,
+            watchdog: None,
+        }
+    }
+
+    /// Tracing on with the default per-rank ring capacity.
+    pub const fn on() -> Self {
+        TraceConfig {
+            enabled: true,
+            capacity: 65_536,
+            watchdog: None,
+        }
+    }
+
+    /// Tracing on with a real-time receive watchdog.
+    pub const fn with_watchdog(budget: Duration) -> Self {
+        TraceConfig {
+            enabled: true,
+            capacity: 65_536,
+            watchdog: Some(budget),
+        }
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::off()
+    }
+}
+
+/// The completed event trace of one rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankTrace {
+    pub rank: usize,
+    /// Events in virtual-time order (ring-limited to the configured
+    /// capacity).
+    pub events: Vec<TraceEvent>,
+    /// The rank's final virtual clock — closes the last open phase.
+    pub final_time: f64,
+    /// Events evicted from the ring (0 unless the run overflowed it).
+    pub dropped: u64,
+}
+
+impl RankTrace {
+    /// Phase durations reconstructed from the `Phase` markers: each mark
+    /// to the next, the last to `final_time`. Matches
+    /// [`RankStats::phases`] exactly when the ring did not overflow.
+    pub fn phase_durations(&self) -> Vec<(&'static str, f64)> {
+        let marks: Vec<(&'static str, f64)> = self
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::Phase { name } => Some((name, e.t0)),
+                _ => None,
+            })
+            .collect();
+        marks
+            .iter()
+            .enumerate()
+            .map(|(i, &(name, start))| {
+                let end = marks.get(i + 1).map(|&(_, t)| t).unwrap_or(self.final_time);
+                (name, end - start)
+            })
+            .collect()
+    }
+}
+
+/// Shared per-run sink: one slot per rank, lockable from any rank so a
+/// watchdog can snapshot everyone's tail. Each slot is only ever written
+/// by its own rank, so the mutexes are uncontended in steady state.
+#[derive(Debug)]
+pub(crate) struct TraceHub {
+    pub(crate) config: TraceConfig,
+    slots: Vec<Mutex<TraceSlot>>,
+}
+
+#[derive(Debug, Default)]
+struct TraceSlot {
+    events: VecDeque<TraceEvent>,
+    final_time: f64,
+    dropped: u64,
+}
+
+impl TraceHub {
+    pub(crate) fn new(size: usize, config: TraceConfig) -> Self {
+        TraceHub {
+            config,
+            slots: (0..size)
+                .map(|_| Mutex::new(TraceSlot::default()))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn record(&self, rank: usize, event: TraceEvent) {
+        let mut slot = self.slots[rank].lock().expect("trace slot poisoned");
+        if slot.events.len() >= self.config.capacity {
+            slot.events.pop_front();
+            slot.dropped += 1;
+        }
+        slot.events.push_back(event);
+    }
+
+    pub(crate) fn set_final_time(&self, rank: usize, t: f64) {
+        self.slots[rank]
+            .lock()
+            .expect("trace slot poisoned")
+            .final_time = t;
+    }
+
+    /// Snapshot the last `n` events of one rank (for error context).
+    pub(crate) fn tail(&self, rank: usize, n: usize) -> Vec<TraceEvent> {
+        let slot = self.slots[rank].lock().expect("trace slot poisoned");
+        slot.events.iter().rev().take(n).rev().cloned().collect()
+    }
+
+    /// Snapshot every rank's tail, formatted for a watchdog dump.
+    pub(crate) fn dump_all(&self, per_rank: usize) -> String {
+        let mut out = String::new();
+        for rank in 0..self.slots.len() {
+            let tail = self.tail(rank, per_rank);
+            out.push_str(&format!("  rank {rank} (last {} events):\n", tail.len()));
+            for e in &tail {
+                out.push_str(&format!("    [{:.6}s..{:.6}s] {}\n", e.t0, e.t1, e.label()));
+            }
+        }
+        out
+    }
+
+    pub(crate) fn into_traces(self) -> Vec<RankTrace> {
+        self.slots
+            .into_iter()
+            .enumerate()
+            .map(|(rank, slot)| {
+                let slot = slot.into_inner().expect("trace slot poisoned");
+                RankTrace {
+                    rank,
+                    events: slot.events.into(),
+                    final_time: slot.final_time,
+                    dropped: slot.dropped,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn micros(t: f64) -> f64 {
+    t * 1e6
+}
+
+/// Render traces as Chrome Trace Event Format JSON (load in
+/// `chrome://tracing` or <https://ui.perfetto.dev>). One timeline track
+/// per rank (`tid` = rank); phases are rendered as spans covering the
+/// interval from each phase marker to the next, message and compute
+/// events as slices inside them. Timestamps are **virtual** microseconds.
+pub fn chrome_trace_json(traces: &[RankTrace]) -> String {
+    let mut ev = Vec::new();
+    for t in traces {
+        ev.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{},"args":{{"name":"rank {}"}}}}"#,
+            t.rank, t.rank
+        ));
+        // Phase spans: marker-to-marker, the last closing at final_time.
+        for (i, (name, dur)) in t.phase_durations().iter().enumerate() {
+            let start: f64 = t.phase_durations()[..i].iter().map(|(_, d)| d).sum();
+            ev.push(format!(
+                r#"{{"name":"phase:{}","cat":"phase","ph":"X","ts":{:.3},"dur":{:.3},"pid":0,"tid":{}}}"#,
+                json_escape(name),
+                micros(start + phase_origin(t)),
+                micros(*dur),
+                t.rank
+            ));
+        }
+        for e in &t.events {
+            let (cat, dur) = match e.kind {
+                TraceEventKind::Phase { .. } => continue, // already emitted as spans
+                TraceEventKind::Send { .. } => ("send", e.t1 - e.t0),
+                TraceEventKind::Recv { .. } => ("recv", e.t1 - e.t0),
+                TraceEventKind::Collective { .. } => ("collective", 0.0),
+                TraceEventKind::Compute { .. } => ("compute", e.t1 - e.t0),
+                TraceEventKind::Mark { .. } => ("mark", 0.0),
+            };
+            if dur > 0.0 {
+                ev.push(format!(
+                    r#"{{"name":"{}","cat":"{}","ph":"X","ts":{:.3},"dur":{:.3},"pid":0,"tid":{}}}"#,
+                    json_escape(&e.label()),
+                    cat,
+                    micros(e.t0),
+                    micros(dur),
+                    t.rank
+                ));
+            } else {
+                ev.push(format!(
+                    r#"{{"name":"{}","cat":"{}","ph":"i","ts":{:.3},"s":"t","pid":0,"tid":{}}}"#,
+                    json_escape(&e.label()),
+                    cat,
+                    micros(e.t0),
+                    t.rank
+                ));
+            }
+        }
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n",
+        ev.join(",\n")
+    )
+}
+
+/// Virtual time of the first phase marker (phase spans start there, not
+/// at zero, when setup work preceded the first marker).
+fn phase_origin(t: &RankTrace) -> f64 {
+    t.events
+        .iter()
+        .find_map(|e| match e.kind {
+            TraceEventKind::Phase { .. } => Some(e.t0),
+            _ => None,
+        })
+        .unwrap_or(0.0)
+}
+
+/// Compact JSON dump of per-rank statistics for cross-run aggregation:
+/// `{"machine":…,"makespan":…,"ranks":[{rank,time,ops,…,phases:{…}},…]}`.
+pub fn stats_json(stats: &[RankStats], machine: &MachineModel) -> String {
+    let makespan = stats.iter().map(|s| s.time).fold(0.0, f64::max);
+    let ranks: Vec<String> = stats
+        .iter()
+        .map(|s| {
+            let phases: Vec<String> =
+                s.phases.iter().map(|(n, d)| format!("{{\"name\":\"{}\",\"seconds\":{:.9}}}", json_escape(n), d)).collect();
+            format!(
+                "{{\"rank\":{},\"time\":{:.9},\"ops\":{},\"msgs_sent\":{},\"bytes_sent\":{},\"peak_mem\":{},\"phases\":[{}]}}",
+                s.rank,
+                s.time,
+                s.ops,
+                s.msgs_sent,
+                s.bytes_sent,
+                s.peak_mem,
+                phases.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"machine\":\"{}\",\"makespan\":{:.9},\"ranks\":[\n{}\n]}}\n",
+        json_escape(machine.name),
+        makespan,
+        ranks.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(name: &'static str, t: f64) -> TraceEvent {
+        TraceEvent {
+            kind: TraceEventKind::Phase { name },
+            t0: t,
+            t1: t,
+        }
+    }
+
+    #[test]
+    fn phase_durations_close_at_final_time() {
+        let t = RankTrace {
+            rank: 0,
+            events: vec![phase("a", 0.0), phase("b", 1.5), phase("c", 2.0)],
+            final_time: 5.0,
+            dropped: 0,
+        };
+        assert_eq!(
+            t.phase_durations(),
+            vec![("a", 1.5), ("b", 0.5), ("c", 3.0)]
+        );
+    }
+
+    #[test]
+    fn ring_capacity_evicts_oldest() {
+        let hub = TraceHub::new(
+            1,
+            TraceConfig {
+                enabled: true,
+                capacity: 3,
+                watchdog: None,
+            },
+        );
+        for i in 0..5 {
+            hub.record(0, phase("x", i as f64));
+        }
+        let traces = hub.into_traces();
+        assert_eq!(traces[0].events.len(), 3);
+        assert_eq!(traces[0].dropped, 2);
+        assert_eq!(traces[0].events[0].t0, 2.0, "oldest two evicted");
+    }
+
+    #[test]
+    fn chrome_json_has_one_track_per_rank() {
+        let traces = vec![
+            RankTrace {
+                rank: 0,
+                events: vec![phase("setup", 0.0)],
+                final_time: 1.0,
+                dropped: 0,
+            },
+            RankTrace {
+                rank: 1,
+                events: vec![phase("setup", 0.0)],
+                final_time: 1.0,
+                dropped: 0,
+            },
+        ];
+        let json = chrome_trace_json(&traces);
+        assert!(json.contains(r#""tid":0"#));
+        assert!(json.contains(r#""tid":1"#));
+        assert!(json.contains("rank 0"));
+        assert!(json.contains("rank 1"));
+        assert!(json.contains("phase:setup"));
+        // Sanity: balanced braces (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn stats_json_is_complete() {
+        let stats = vec![RankStats {
+            rank: 0,
+            time: 1.25,
+            ops: 10,
+            msgs_sent: 2,
+            bytes_sent: 64,
+            bytes_to: vec![0, 64],
+            peak_mem: 128,
+            phases: vec![("setup", 0.5), ("route", 0.75)],
+        }];
+        let json = stats_json(&stats, &MachineModel::ideal());
+        assert!(json.contains("\"machine\":\"ideal\""));
+        assert!(json.contains("\"rank\":0"));
+        assert!(json.contains("\"setup\""));
+        assert!(json.contains("\"route\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

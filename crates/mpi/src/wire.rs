@@ -25,7 +25,10 @@ impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WireError::Truncated { needed, remaining } => {
-                write!(f, "truncated message: needed {needed} bytes, {remaining} remaining")
+                write!(
+                    f,
+                    "truncated message: needed {needed} bytes, {remaining} remaining"
+                )
             }
             WireError::BadTag(t) => write!(f, "invalid tag byte {t}"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decode"),
@@ -52,7 +55,10 @@ impl<'a> Reader<'a> {
 
     pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if self.remaining() < n {
-            return Err(WireError::Truncated { needed: n, remaining: self.remaining() });
+            return Err(WireError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -270,14 +276,20 @@ mod tests {
     #[test]
     fn truncated_input_is_an_error() {
         let bytes = 0x1234_5678u32.to_bytes();
-        assert!(matches!(u32::from_bytes(&bytes[..2]), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            u32::from_bytes(&bytes[..2]),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]
     fn trailing_bytes_are_an_error() {
         let mut bytes = 7u32.to_bytes();
         bytes.push(0);
-        assert!(matches!(u32::from_bytes(&bytes), Err(WireError::TrailingBytes(1))));
+        assert!(matches!(
+            u32::from_bytes(&bytes),
+            Err(WireError::TrailingBytes(1))
+        ));
     }
 
     #[test]
@@ -290,7 +302,10 @@ mod tests {
         // Length says 2^31 elements but only 4 bytes follow.
         let mut bytes = (u32::MAX / 2).to_bytes();
         bytes.extend_from_slice(&[0, 0, 0, 0]);
-        assert!(matches!(Vec::<u32>::from_bytes(&bytes), Err(WireError::Truncated { .. })));
+        assert!(matches!(
+            Vec::<u32>::from_bytes(&bytes),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     wire_struct!(
@@ -304,8 +319,16 @@ mod tests {
 
     #[test]
     fn wire_struct_macro_roundtrips() {
-        roundtrip(Demo { a: 9, b: vec![1, -1], c: Some("z".into()) });
-        roundtrip(Demo { a: 0, b: vec![], c: None });
+        roundtrip(Demo {
+            a: 9,
+            b: vec![1, -1],
+            c: Some("z".into()),
+        });
+        roundtrip(Demo {
+            a: 0,
+            b: vec![],
+            c: None,
+        });
     }
 
     #[test]

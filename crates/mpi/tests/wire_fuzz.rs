@@ -2,9 +2,33 @@
 //! must return an error or a value — never panic, never overallocate.
 //! (Ranks only ever decode bytes produced by peers of the same binary,
 //! but a corrupted message must fail loudly and safely, not UB.)
+//!
+//! Inputs come from a local SplitMix64 stream (pgr-mpi deliberately has
+//! no dependencies, not even on pgr-geom's RNG), so runs are
+//! deterministic and reproducible by seed.
 
 use pgr_mpi::Wire;
-use proptest::prelude::*;
+
+/// Minimal deterministic byte source (SplitMix64).
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next() as u8).collect()
+    }
+}
 
 fn try_all_decoders(bytes: &[u8]) {
     let _ = u32::from_bytes(bytes);
@@ -19,36 +43,64 @@ fn try_all_decoders(bytes: &[u8]) {
     let _ = Vec::<Vec<Vec<u32>>>::from_bytes(bytes);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn random_bytes_never_panic_decoders(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn random_bytes_never_panic_decoders() {
+    let mut mix = Mix(0xF021);
+    for _ in 0..512 {
+        let len = mix.below(256);
+        try_all_decoders(&mix.bytes(len));
+    }
+    // Adversarial prefixes: huge length fields must not overallocate.
+    for prefix in [u32::MAX, u32::MAX - 1, 1 << 30, 1 << 24] {
+        let mut bytes = prefix.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 16]);
         try_all_decoders(&bytes);
     }
+}
 
-    #[test]
-    fn truncations_of_valid_encodings_never_panic(v in proptest::collection::vec((any::<u32>(), any::<i64>(), proptest::option::of(".{0,8}")), 0..20), cut in 0usize..400) {
-        let owned: Vec<(u32, i64, Option<String>)> = v;
-        let bytes = owned.to_bytes();
-        let cut = cut.min(bytes.len());
-        let truncated = &bytes[..cut];
-        let r = Vec::<(u32, i64, Option<String>)>::from_bytes(truncated);
+#[test]
+fn truncations_of_valid_encodings_never_panic() {
+    let mut mix = Mix(0xF022);
+    for _ in 0..512 {
+        let n = mix.below(20);
+        let v: Vec<(u32, i64, Option<String>)> = (0..n)
+            .map(|_| {
+                let s = if mix.below(2) == 0 {
+                    None
+                } else {
+                    let len = mix.below(9);
+                    Some(
+                        (0..len)
+                            .map(|_| char::from(b'a' + (mix.below(26) as u8)))
+                            .collect::<String>(),
+                    )
+                };
+                (mix.next() as u32, mix.next() as i64, s)
+            })
+            .collect();
+        let bytes = v.to_bytes();
+        let cut = mix.below(400).min(bytes.len());
+        let r = Vec::<(u32, i64, Option<String>)>::from_bytes(&bytes[..cut]);
         if cut == bytes.len() {
-            prop_assert_eq!(r.unwrap(), owned);
+            assert_eq!(r.unwrap(), v);
         } else {
             // Any strict prefix either errors or (rarely) decodes a
             // shorter valid value with trailing-byte detection — which
             // from_bytes reports as an error too.
-            prop_assert!(r.is_err());
+            assert!(r.is_err());
         }
     }
+}
 
-    #[test]
-    fn bit_flips_are_detected_or_benign(v in proptest::collection::vec(any::<u64>(), 1..20), flip_byte in 0usize..200, flip_bit in 0u8..8) {
+#[test]
+fn bit_flips_are_detected_or_benign() {
+    let mut mix = Mix(0xF023);
+    for _ in 0..512 {
+        let n = 1 + mix.below(19);
+        let v: Vec<u64> = (0..n).map(|_| mix.next()).collect();
         let mut bytes = v.to_bytes();
-        let i = flip_byte % bytes.len();
-        bytes[i] ^= 1 << flip_bit;
+        let i = mix.below(bytes.len());
+        bytes[i] ^= 1 << mix.below(8);
         // Must not panic; may error (length corrupted) or decode a
         // different vector (payload corrupted) — both are acceptable
         // failure modes for a trusted-peer codec.

@@ -35,12 +35,16 @@ fn main() {
     let parts = 8;
     let rows = RowPartition::balanced(&circuit, parts);
     println!();
-    println!("{:<12} {:>28} {:>34}", "partition", "pins per rank (min..max)", "steiner d² cost per rank (max/min)");
+    println!(
+        "{:<12} {:>28} {:>34}",
+        "partition", "pins per rank (min..max)", "steiner d² cost per rank (max/min)"
+    );
     for kind in PartitionKind::ALL {
         let owner = partition_nets(&circuit, kind, &rows, parts, 1.6);
         let pins = pins_per_owner(&circuit, &owner, parts);
         let costs = steiner_cost_per_owner(&circuit, &owner, parts);
-        let imbalance = *costs.iter().max().unwrap() as f64 / (*costs.iter().min().unwrap()).max(1) as f64;
+        let imbalance =
+            *costs.iter().max().unwrap() as f64 / (*costs.iter().min().unwrap()).max(1) as f64;
         println!(
             "{:<12} {:>12}..{:<14} {:>25.2}x",
             kind.name(),
@@ -58,7 +62,10 @@ fn main() {
     let t_serial = comm.now();
     println!();
     println!("hybrid algorithm, 8 ranks:");
-    println!("{:<12} {:>9} {:>9} {:>10}", "partition", "time(s)", "speedup", "sc.tracks");
+    println!(
+        "{:<12} {:>9} {:>9} {:>10}",
+        "partition", "time(s)", "speedup", "sc.tracks"
+    );
     for kind in PartitionKind::ALL {
         let out = route_parallel(&circuit, &cfg, Algorithm::Hybrid, kind, parts, machine);
         println!(

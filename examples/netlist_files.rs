@@ -13,15 +13,27 @@ use pgr::mpi::{Comm, MachineModel};
 use pgr::router::{route_serial, RouterConfig};
 
 fn main() {
-    let path = std::env::args().nth(1).unwrap_or_else(|| "/tmp/pgr-demo.netlist".to_string());
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "/tmp/pgr-demo.netlist".to_string());
     let circuit = generate(&GeneratorConfig::small("file-demo", 2024));
 
     let text = to_text(&circuit);
     std::fs::write(&path, &text).expect("write netlist");
-    println!("wrote {} ({} lines, {} bytes)", path, text.lines().count(), text.len());
+    println!(
+        "wrote {} ({} lines, {} bytes)",
+        path,
+        text.lines().count(),
+        text.len()
+    );
 
-    let reloaded = from_text(&std::fs::read_to_string(&path).expect("read back")).expect("parse netlist");
-    assert_eq!(circuit.stats(), reloaded.stats(), "stats survive the roundtrip");
+    let reloaded =
+        from_text(&std::fs::read_to_string(&path).expect("read back")).expect("parse netlist");
+    assert_eq!(
+        circuit.stats(),
+        reloaded.stats(),
+        "stats survive the roundtrip"
+    );
 
     let cfg = RouterConfig::with_seed(5);
     let a = route_serial(&circuit, &cfg, &mut Comm::solo(MachineModel::ideal()));
@@ -29,7 +41,12 @@ fn main() {
     assert_eq!(a, b, "identical circuits route identically");
 
     println!("reloaded circuit routes to the identical solution:");
-    println!("  tracks = {}, area = {}, wirelength = {}", b.track_count(), b.area(), b.wirelength);
+    println!(
+        "  tracks = {}, area = {}, wirelength = {}",
+        b.track_count(),
+        b.area(),
+        b.wirelength
+    );
 
     // Show the head of the file so the format is visible.
     println!();

@@ -18,8 +18,15 @@ use pgr::mpi::{Comm, MachineModel};
 use pgr::router::{route_parallel, route_serial, Algorithm, PartitionKind, RouterConfig};
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
-    let circuit = if scale >= 1.0 { Mcnc::Biomed.circuit() } else { Mcnc::Biomed.circuit_scaled(scale) };
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let circuit = if scale >= 1.0 {
+        Mcnc::Biomed.circuit()
+    } else {
+        Mcnc::Biomed.circuit_scaled(scale)
+    };
     let cfg = RouterConfig::with_seed(1997);
     let machine = MachineModel::sparc_center_1000();
 
@@ -33,12 +40,22 @@ fn main() {
         t_serial
     );
     println!();
-    println!("{:<10} {:>6} {:>10} {:>10} {:>10} {:>12}", "algorithm", "procs", "time(s)", "speedup", "tracks", "vs serial");
+    println!(
+        "{:<10} {:>6} {:>10} {:>10} {:>10} {:>12}",
+        "algorithm", "procs", "time(s)", "speedup", "tracks", "vs serial"
+    );
 
     for algo in Algorithm::ALL {
         for procs in [2usize, 4, 8] {
             let procs = procs.min(circuit.num_rows());
-            let out = route_parallel(&circuit, &cfg, algo, PartitionKind::PinWeight, procs, machine);
+            let out = route_parallel(
+                &circuit,
+                &cfg,
+                algo,
+                PartitionKind::PinWeight,
+                procs,
+                machine,
+            );
             println!(
                 "{:<10} {:>6} {:>10.1} {:>10.2} {:>10} {:>11.1}%",
                 algo.name(),
@@ -51,5 +68,7 @@ fn main() {
         }
         println!();
     }
-    println!("row-wise: fastest; hybrid: best quality; net-wise: both poor — the paper's §7 verdict.");
+    println!(
+        "row-wise: fastest; hybrid: best quality; net-wise: both poor — the paper's §7 verdict."
+    );
 }

@@ -14,8 +14,15 @@ use pgr::mpi::{Comm, MachineModel};
 use pgr::router::{route_parallel, route_serial, Algorithm, PartitionKind, RouterConfig};
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.25);
-    let circuit = if scale >= 1.0 { Mcnc::AvqSmall.circuit() } else { Mcnc::AvqSmall.circuit_scaled(scale) };
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    let circuit = if scale >= 1.0 {
+        Mcnc::AvqSmall.circuit()
+    } else {
+        Mcnc::AvqSmall.circuit_scaled(scale)
+    };
     let cfg = RouterConfig::with_seed(1997);
 
     let mut ideal_net = MachineModel::sparc_center_1000();
@@ -25,7 +32,11 @@ fn main() {
     ideal_net.recv_overhead = 0.0;
     ideal_net.name = "zero-cost-net";
 
-    for machine in [MachineModel::sparc_center_1000(), MachineModel::intel_paragon(), ideal_net] {
+    for machine in [
+        MachineModel::sparc_center_1000(),
+        MachineModel::intel_paragon(),
+        ideal_net,
+    ] {
         let mut comm = Comm::solo(machine);
         let _serial = route_serial(&circuit, &cfg, &mut comm);
         let t_serial = comm.now();
@@ -35,12 +46,26 @@ fn main() {
             "serial: {:.1} s, {:.1} MB modeled{}",
             t_serial,
             comm.peak_mem() as f64 / (1 << 20) as f64,
-            if serial_fits { "" } else { "  ** exceeds node memory — infeasible on this platform **" }
+            if serial_fits {
+                ""
+            } else {
+                "  ** exceeds node memory — infeasible on this platform **"
+            }
         );
-        println!("{:>6} {:>10} {:>9} {:>14}", "procs", "time(s)", "speedup", "max rank mem");
+        println!(
+            "{:>6} {:>10} {:>9} {:>14}",
+            "procs", "time(s)", "speedup", "max rank mem"
+        );
         for procs in [2usize, 4, 8, 16] {
             let procs = procs.min(circuit.num_rows());
-            let out = route_parallel(&circuit, &cfg, Algorithm::Hybrid, PartitionKind::PinWeight, procs, machine);
+            let out = route_parallel(
+                &circuit,
+                &cfg,
+                Algorithm::Hybrid,
+                PartitionKind::PinWeight,
+                procs,
+                machine,
+            );
             println!(
                 "{:>6} {:>10.1} {:>9.2} {:>11.1} MB{}",
                 procs,

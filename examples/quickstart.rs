@@ -13,7 +13,10 @@ fn main() {
     // A ~900-pin circuit with 8 cell rows. Fully deterministic per seed.
     let circuit = generate(&GeneratorConfig::small("quickstart", 42));
     let stats = circuit.stats();
-    println!("circuit '{}': {} rows, {} cells, {} nets, {} pins", stats.name, stats.rows, stats.cells, stats.nets, stats.pins);
+    println!(
+        "circuit '{}': {} rows, {} cells, {} nets, {} pins",
+        stats.name, stats.rows, stats.cells, stats.nets, stats.pins
+    );
 
     // Route serially on the simulated SparcCenter 1000; the communicator
     // tracks virtual time and modeled memory as it goes.
@@ -28,10 +31,16 @@ fn main() {
     println!("  feedthroughs     : {}", result.feedthroughs);
     println!("  horizontal spans : {}", result.span_count());
     println!("  simulated time   : {:.2} s", comm.now());
-    println!("  modeled memory   : {:.1} MB", comm.peak_mem() as f64 / (1 << 20) as f64);
+    println!(
+        "  modeled memory   : {:.1} MB",
+        comm.peak_mem() as f64 / (1 << 20) as f64
+    );
     println!();
     println!("channel densities (bottom to top):");
     for (i, d) in result.channel_density.iter().enumerate() {
-        println!("  channel {i:>2}: {d:>4} {}", "#".repeat((*d as usize).min(60)));
+        println!(
+            "  channel {i:>2}: {d:>4} {}",
+            "#".repeat((*d as usize).min(60))
+        );
     }
 }

@@ -22,7 +22,9 @@ use pgr::circuit::format::from_text;
 use pgr::circuit::mcnc::{Mcnc, ALL};
 use pgr::circuit::{format, Circuit};
 use pgr::mpi::{Comm, MachineModel};
-use pgr::router::{route_parallel, route_serial, verify, Algorithm, PartitionKind, RouterConfig, RoutingResult};
+use pgr::router::{
+    route_parallel, route_serial, verify, Algorithm, PartitionKind, RouterConfig, RoutingResult,
+};
 use std::process::exit;
 
 fn die(msg: &str) -> ! {
@@ -54,7 +56,9 @@ fn parse_args(valued: &[&str], boolean: &[&str]) -> Args {
             if boolean.contains(&name) {
                 switches.insert(name.to_string());
             } else if valued.contains(&name) {
-                let v = it.next().unwrap_or_else(|| die(&format!("--{name} needs a value")));
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die(&format!("--{name} needs a value")));
                 flags.insert(name.to_string(), v);
             } else {
                 die(&format!("unknown option --{name}"));
@@ -66,11 +70,16 @@ fn parse_args(valued: &[&str], boolean: &[&str]) -> Args {
             positional.push(a);
         }
     }
-    Args { positional, flags, switches }
+    Args {
+        positional,
+        flags,
+        switches,
+    }
 }
 
 fn load(path: &str) -> Circuit {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
     from_text(&text).unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")))
 }
 
@@ -78,16 +87,31 @@ fn cmd_generate() {
     let args = parse_args(&["scale", "seed"], &[]);
     let name = args.positional.first().unwrap_or_else(|| usage());
     let m = Mcnc::from_name(name).unwrap_or_else(|| die(&format!("unknown circuit '{name}'")));
-    let scale: f64 = args.flags.get("scale").map(|s| s.parse().unwrap_or_else(|_| die("bad --scale"))).unwrap_or(1.0);
-    let mut cfg = if scale >= 1.0 { m.config() } else { m.config_scaled(scale) };
+    let scale: f64 = args
+        .flags
+        .get("scale")
+        .map(|s| s.parse().unwrap_or_else(|_| die("bad --scale")))
+        .unwrap_or(1.0);
+    let mut cfg = if scale >= 1.0 {
+        m.config()
+    } else {
+        m.config_scaled(scale)
+    };
     if let Some(seed) = args.flags.get("seed") {
         cfg.seed = seed.parse().unwrap_or_else(|_| die("bad --seed"));
     }
     let circuit = pgr::circuit::generate(&cfg);
-    let out = args.flags.get("o").unwrap_or_else(|| die("generate needs -o FILE"));
-    std::fs::write(out, format::to_text(&circuit)).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    let out = args
+        .flags
+        .get("o")
+        .unwrap_or_else(|| die("generate needs -o FILE"));
+    std::fs::write(out, format::to_text(&circuit))
+        .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
     let s = circuit.stats();
-    eprintln!("wrote {out}: {} rows, {} cells, {} nets, {} pins", s.rows, s.cells, s.nets, s.pins);
+    eprintln!(
+        "wrote {out}: {} rows, {} cells, {} nets, {} pins",
+        s.rows, s.cells, s.nets, s.pins
+    );
 }
 
 fn cmd_stats() {
@@ -103,7 +127,10 @@ fn cmd_stats() {
     println!("core width     {}", s.width);
     println!("max net degree {}", s.max_net_degree);
     println!("equiv. pins    {}", s.switchable_pins);
-    println!("est. memory    {:.1} MB", c.estimated_routing_bytes() as f64 / (1 << 20) as f64);
+    println!(
+        "est. memory    {:.1} MB",
+        c.estimated_routing_bytes() as f64 / (1 << 20) as f64
+    );
 }
 
 fn print_result(result: &RoutingResult, time: f64, procs: usize, algo: &str, csv: bool) {
@@ -122,7 +149,10 @@ fn print_result(result: &RoutingResult, time: f64, procs: usize, algo: &str, csv
             time
         );
     } else {
-        println!("routed '{}' with {algo} on {procs} simulated processor(s):", result.circuit);
+        println!(
+            "routed '{}' with {algo} on {procs} simulated processor(s):",
+            result.circuit
+        );
         println!("  tracks        {}", result.track_count());
         println!("  area          {}", result.area());
         println!("  wirelength    {}", result.wirelength);
@@ -133,27 +163,53 @@ fn print_result(result: &RoutingResult, time: f64, procs: usize, algo: &str, csv
 }
 
 fn cmd_route() {
-    let args = parse_args(&["algorithm", "procs", "machine", "partition", "seed", "svg"], &["csv", "verify", "detailed", "heatmap"]);
+    let args = parse_args(
+        &["algorithm", "procs", "machine", "partition", "seed", "svg"],
+        &["csv", "verify", "detailed", "heatmap"],
+    );
     let path = args.positional.first().unwrap_or_else(|| usage());
     let circuit = load(path);
 
-    let machine = match args.flags.get("machine").map(String::as_str).unwrap_or("smp") {
+    let machine = match args
+        .flags
+        .get("machine")
+        .map(String::as_str)
+        .unwrap_or("smp")
+    {
         "smp" => MachineModel::sparc_center_1000(),
         "dmp" => MachineModel::intel_paragon(),
         "ideal" => MachineModel::ideal(),
         m => die(&format!("unknown machine '{m}' (smp|dmp|ideal)")),
     };
-    let partition = match args.flags.get("partition").map(String::as_str).unwrap_or("pin-weight") {
+    let partition = match args
+        .flags
+        .get("partition")
+        .map(String::as_str)
+        .unwrap_or("pin-weight")
+    {
         "center" => PartitionKind::Center,
         "locus" => PartitionKind::Locus,
         "density" => PartitionKind::Density,
         "pin-weight" => PartitionKind::PinWeight,
         p => die(&format!("unknown partition '{p}'")),
     };
-    let seed: u64 = args.flags.get("seed").map(|s| s.parse().unwrap_or_else(|_| die("bad --seed"))).unwrap_or(1);
-    let procs: usize = args.flags.get("procs").map(|s| s.parse().unwrap_or_else(|_| die("bad --procs"))).unwrap_or(4);
+    let seed: u64 = args
+        .flags
+        .get("seed")
+        .map(|s| s.parse().unwrap_or_else(|_| die("bad --seed")))
+        .unwrap_or(1);
+    let procs: usize = args
+        .flags
+        .get("procs")
+        .map(|s| s.parse().unwrap_or_else(|_| die("bad --procs")))
+        .unwrap_or(4);
     let cfg = RouterConfig::with_seed(seed);
-    let algo_name = args.flags.get("algorithm").map(String::as_str).unwrap_or("serial").to_string();
+    let algo_name = args
+        .flags
+        .get("algorithm")
+        .map(String::as_str)
+        .unwrap_or("serial")
+        .to_string();
 
     let (result, time, procs) = match algo_name.as_str() {
         "serial" => {
@@ -165,11 +221,17 @@ fn cmd_route() {
             let algo = Algorithm::ALL
                 .into_iter()
                 .find(|a| a.name() == other)
-                .unwrap_or_else(|| die(&format!("unknown algorithm '{other}' (serial|row-wise|net-wise|hybrid)")));
+                .unwrap_or_else(|| {
+                    die(&format!(
+                        "unknown algorithm '{other}' (serial|row-wise|net-wise|hybrid)"
+                    ))
+                });
             let procs = procs.min(circuit.num_rows()).max(1);
             let out = route_parallel(&circuit, &cfg, algo, partition, procs, machine);
             if !out.fits_memory {
-                eprintln!("warning: a rank's modeled working set exceeds the machine's node memory");
+                eprintln!(
+                    "warning: a rank's modeled working set exceeds the machine's node memory"
+                );
             }
             (out.result, out.time, procs)
         }
@@ -177,12 +239,23 @@ fn cmd_route() {
 
     if args.switches.contains("verify") {
         verify::assert_verified(&circuit, &result);
-        eprintln!("solution verified: {} spans re-checked", result.span_count());
+        eprintln!(
+            "solution verified: {} spans re-checked",
+            result.span_count()
+        );
     }
-    print_result(&result, time, procs, &algo_name, args.switches.contains("csv"));
+    print_result(
+        &result,
+        time,
+        procs,
+        &algo_name,
+        args.switches.contains("csv"),
+    );
     if let Some(svg_path) = args.flags.get("svg") {
-        let svg = pgr::router::plot::render_svg(&result, &pgr::router::plot::PlotOptions::default());
-        std::fs::write(svg_path, &svg).unwrap_or_else(|e| die(&format!("cannot write {svg_path}: {e}")));
+        let svg =
+            pgr::router::plot::render_svg(&result, &pgr::router::plot::PlotOptions::default());
+        std::fs::write(svg_path, &svg)
+            .unwrap_or_else(|e| die(&format!("cannot write {svg_path}: {e}")));
         eprintln!("wrote chip plot to {svg_path} ({} bytes)", svg.len());
     }
     if args.switches.contains("heatmap") {
@@ -192,7 +265,10 @@ fn cmd_route() {
         let hot = report.hotspots();
         println!("hottest channels:");
         for c in hot.iter().take(3) {
-            println!("  channel {:>3}: peak {} (column {}), mean {:.1}, {} spans", c.channel, c.peak, c.peak_column, c.mean, c.spans);
+            println!(
+                "  channel {:>3}: peak {} (column {}), mean {:.1}, {} spans",
+                c.channel, c.peak, c.peak_column, c.mean, c.spans
+            );
         }
     }
     if args.switches.contains("detailed") {

@@ -1,6 +1,6 @@
 //! Facade crate: re-exports the full public API of the workspace.
+pub use pgr_channel as channel;
 pub use pgr_circuit as circuit;
 pub use pgr_geom as geom;
-pub use pgr_channel as channel;
 pub use pgr_mpi as mpi;
 pub use pgr_router as router;

@@ -16,10 +16,16 @@ fn tmp(name: &str) -> String {
 fn generate_netlist(name: &str) -> String {
     let path = tmp(name);
     let out = pgr()
-        .args(["generate", "biomed", "--scale", "0.06", "--seed", "3", "-o", &path])
+        .args([
+            "generate", "biomed", "--scale", "0.06", "--seed", "3", "-o", &path,
+        ])
         .output()
         .expect("run pgr generate");
-    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     path
 }
 
@@ -38,7 +44,11 @@ fn generate_then_stats() {
 fn route_serial_with_verify() {
     let path = generate_netlist("serial.netlist");
     let out = pgr().args(["route", &path, "--verify"]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("tracks"), "{text}");
     let err = String::from_utf8_lossy(&out.stderr);
@@ -49,14 +59,30 @@ fn route_serial_with_verify() {
 fn route_parallel_csv_is_machine_readable() {
     let path = generate_netlist("par.netlist");
     let out = pgr()
-        .args(["route", &path, "--algorithm", "hybrid", "--procs", "3", "--csv", "--verify"])
+        .args([
+            "route",
+            &path,
+            "--algorithm",
+            "hybrid",
+            "--procs",
+            "3",
+            "--csv",
+            "--verify",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     let mut lines = text.lines();
     let header = lines.next().unwrap();
-    assert_eq!(header, "circuit,algorithm,procs,tracks,area,wirelength,feedthroughs,spans,sim_seconds");
+    assert_eq!(
+        header,
+        "circuit,algorithm,procs,tracks,area,wirelength,feedthroughs,spans,sim_seconds"
+    );
     let row = lines.next().unwrap();
     let fields: Vec<&str> = row.split(',').collect();
     assert_eq!(fields.len(), 9);
@@ -70,8 +96,22 @@ fn route_parallel_csv_is_machine_readable() {
 fn route_with_svg_and_heatmap() {
     let path = generate_netlist("plot.netlist");
     let svg_path = tmp("chip.svg");
-    let out = pgr().args(["route", &path, "--svg", &svg_path, "--heatmap", "--detailed"]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = pgr()
+        .args([
+            "route",
+            &path,
+            "--svg",
+            &svg_path,
+            "--heatmap",
+            "--detailed",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let svg = std::fs::read_to_string(&svg_path).expect("svg written");
     assert!(svg.starts_with("<svg"));
     assert!(svg.contains("</svg>"));
@@ -84,7 +124,10 @@ fn route_with_svg_and_heatmap() {
 fn deterministic_across_invocations() {
     let path = generate_netlist("det.netlist");
     let run = || {
-        let out = pgr().args(["route", &path, "--csv", "--seed", "9"]).output().unwrap();
+        let out = pgr()
+            .args(["route", &path, "--csv", "--seed", "9"])
+            .output()
+            .unwrap();
         assert!(out.status.success());
         String::from_utf8_lossy(&out.stdout).into_owned()
     };
@@ -97,12 +140,18 @@ fn helpful_errors() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 
-    let out = pgr().args(["generate", "not-a-circuit", "-o", &tmp("x")]).output().unwrap();
+    let out = pgr()
+        .args(["generate", "not-a-circuit", "-o", &tmp("x")])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown circuit"));
 
     let path = generate_netlist("badalgo.netlist");
-    let out = pgr().args(["route", &path, "--algorithm", "quantum"]).output().unwrap();
+    let out = pgr()
+        .args(["route", &path, "--algorithm", "quantum"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown algorithm"));
 }

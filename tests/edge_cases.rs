@@ -41,7 +41,14 @@ fn two_row_circuit_routes_and_parallelizes() {
     let serial = route_serial(&c, &cfg(), &mut Comm::solo(MachineModel::ideal()));
     verify::assert_verified(&c, &serial);
     for algo in Algorithm::ALL {
-        let out = route_parallel(&c, &cfg(), algo, PartitionKind::PinWeight, 2, MachineModel::sparc_center_1000());
+        let out = route_parallel(
+            &c,
+            &cfg(),
+            algo,
+            PartitionKind::PinWeight,
+            2,
+            MachineModel::sparc_center_1000(),
+        );
         verify::assert_verified(&c, &out.result);
     }
 }
@@ -67,7 +74,14 @@ fn one_giant_net_dominates() {
     let r = route_serial(&c, &cfg(), &mut Comm::solo(MachineModel::ideal()));
     verify::assert_verified(&c, &r);
     for algo in Algorithm::ALL {
-        let out = route_parallel(&c, &cfg(), algo, PartitionKind::PinWeight, 4, MachineModel::sparc_center_1000());
+        let out = route_parallel(
+            &c,
+            &cfg(),
+            algo,
+            PartitionKind::PinWeight,
+            4,
+            MachineModel::sparc_center_1000(),
+        );
         verify::assert_verified(&c, &out.result);
     }
 }
@@ -79,7 +93,10 @@ fn zero_equivalence_means_no_switchables_but_valid_routing() {
     let c = generate(&g);
     let r = route_serial(&c, &cfg(), &mut Comm::solo(MachineModel::ideal()));
     verify::assert_verified(&c, &r);
-    assert!(r.spans.iter().all(|s| s.switch_row.is_none() || s.switch_row.is_some()));
+    assert!(r
+        .spans
+        .iter()
+        .all(|s| s.switch_row.is_none() || s.switch_row.is_some()));
     // Feedthrough endpoints still allow switchables; pins never do.
     // The full-equivalence circuit must have at least as many.
     let mut g2 = g.clone();
@@ -87,7 +104,8 @@ fn zero_equivalence_means_no_switchables_but_valid_routing() {
     g2.equivalent_fraction = 1.0;
     let c2 = generate(&g2);
     let r2 = route_serial(&c2, &cfg(), &mut Comm::solo(MachineModel::ideal()));
-    let count = |r: &pgr::router::RoutingResult| r.spans.iter().filter(|s| s.switch_row.is_some()).count();
+    let count =
+        |r: &pgr::router::RoutingResult| r.spans.iter().filter(|s| s.switch_row.is_some()).count();
     assert!(count(&r2) >= count(&r));
 }
 
@@ -109,10 +127,24 @@ fn steiner_refinement_verifies_on_every_algorithm() {
     let serial = route_serial(&c, &rcfg, &mut Comm::solo(MachineModel::ideal()));
     verify::assert_verified(&c, &serial);
     for algo in Algorithm::ALL {
-        let out = route_parallel(&c, &rcfg, algo, PartitionKind::PinWeight, 3, MachineModel::sparc_center_1000());
+        let out = route_parallel(
+            &c,
+            &rcfg,
+            algo,
+            PartitionKind::PinWeight,
+            3,
+            MachineModel::sparc_center_1000(),
+        );
         verify::assert_verified(&c, &out.result);
         // P=1 equivalence must hold with refinement too.
-        let one = route_parallel(&c, &rcfg, algo, PartitionKind::PinWeight, 1, MachineModel::sparc_center_1000());
+        let one = route_parallel(
+            &c,
+            &rcfg,
+            algo,
+            PartitionKind::PinWeight,
+            1,
+            MachineModel::sparc_center_1000(),
+        );
         assert_eq!(one.result, serial, "{} refined P=1", algo.name());
     }
 }
@@ -124,7 +156,14 @@ fn max_ranks_equals_rows() {
     g.cells = 120;
     let c = generate(&g);
     for algo in Algorithm::ALL {
-        let out = route_parallel(&c, &cfg(), algo, PartitionKind::PinWeight, 6, MachineModel::sparc_center_1000());
+        let out = route_parallel(
+            &c,
+            &cfg(),
+            algo,
+            PartitionKind::PinWeight,
+            6,
+            MachineModel::sparc_center_1000(),
+        );
         verify::assert_verified(&c, &out.result);
     }
 }

@@ -12,12 +12,20 @@ const SCALE: f64 = 0.08;
 fn serial_routes_every_benchmark_shape() {
     for m in ALL {
         let c = m.circuit_scaled(SCALE);
-        let r = route_serial(&c, &RouterConfig::with_seed(1997), &mut Comm::solo(MachineModel::ideal()));
+        let r = route_serial(
+            &c,
+            &RouterConfig::with_seed(1997),
+            &mut Comm::solo(MachineModel::ideal()),
+        );
         assert_eq!(r.circuit, m.name());
         assert_eq!(r.channel_density.len(), c.num_rows() + 1, "{}", m.name());
         assert!(r.track_count() > 0, "{}", m.name());
         assert!(r.chip_width >= c.width, "{}", m.name());
-        assert!(r.area() > 0 && r.wirelength > 0 && r.span_count() > 0, "{}", m.name());
+        assert!(
+            r.area() > 0 && r.wirelength > 0 && r.span_count() > 0,
+            "{}",
+            m.name()
+        );
         assert!(r.channel_density.iter().all(|&d| d >= 0), "{}", m.name());
     }
 }
@@ -29,7 +37,14 @@ fn every_algorithm_at_one_rank_is_the_serial_algorithm() {
         let cfg = RouterConfig::with_seed(7);
         let serial = route_serial(&c, &cfg, &mut Comm::solo(MachineModel::ideal()));
         for algo in Algorithm::ALL {
-            let out = route_parallel(&c, &cfg, algo, PartitionKind::PinWeight, 1, MachineModel::sparc_center_1000());
+            let out = route_parallel(
+                &c,
+                &cfg,
+                algo,
+                PartitionKind::PinWeight,
+                1,
+                MachineModel::sparc_center_1000(),
+            );
             assert_eq!(out.result, serial, "{} at P=1 on {}", algo.name(), m.name());
         }
     }
@@ -45,7 +60,10 @@ fn serial_virtual_time_scales_with_circuit_size() {
         route_serial(c, &cfg, &mut comm);
         comm.now()
     };
-    assert!(t(&large) > 1.5 * t(&small), "virtual time grows with problem size");
+    assert!(
+        t(&large) > 1.5 * t(&small),
+        "virtual time grows with problem size"
+    );
 }
 
 #[test]
@@ -65,10 +83,33 @@ fn parallel_results_are_platform_independent_too() {
     let c = Mcnc::Biomed.circuit_scaled(SCALE);
     let cfg = RouterConfig::with_seed(13);
     for algo in Algorithm::ALL {
-        let smp = route_parallel(&c, &cfg, algo, PartitionKind::PinWeight, 3, MachineModel::sparc_center_1000());
-        let dmp = route_parallel(&c, &cfg, algo, PartitionKind::PinWeight, 3, MachineModel::intel_paragon());
-        assert_eq!(smp.result, dmp.result, "{}: same decisions on both platforms", algo.name());
-        assert!(smp.time != dmp.time, "{}: but different simulated times", algo.name());
+        let smp = route_parallel(
+            &c,
+            &cfg,
+            algo,
+            PartitionKind::PinWeight,
+            3,
+            MachineModel::sparc_center_1000(),
+        );
+        let dmp = route_parallel(
+            &c,
+            &cfg,
+            algo,
+            PartitionKind::PinWeight,
+            3,
+            MachineModel::intel_paragon(),
+        );
+        assert_eq!(
+            smp.result,
+            dmp.result,
+            "{}: same decisions on both platforms",
+            algo.name()
+        );
+        assert!(
+            smp.time != dmp.time,
+            "{}: but different simulated times",
+            algo.name()
+        );
     }
 }
 
@@ -79,19 +120,37 @@ fn quality_is_stable_across_seeds() {
     // order; track counts must stay within a tight band.
     let c = Mcnc::Primary2.circuit_scaled(SCALE);
     let tracks: Vec<i64> = (0..4)
-        .map(|seed| route_serial(&c, &RouterConfig::with_seed(seed), &mut Comm::solo(MachineModel::ideal())).track_count())
+        .map(|seed| {
+            route_serial(
+                &c,
+                &RouterConfig::with_seed(seed),
+                &mut Comm::solo(MachineModel::ideal()),
+            )
+            .track_count()
+        })
         .collect();
     let (lo, hi) = (tracks.iter().min().unwrap(), tracks.iter().max().unwrap());
-    assert!(*hi as f64 <= *lo as f64 * 1.08, "order independence: {tracks:?}");
+    assert!(
+        *hi as f64 <= *lo as f64 * 1.08,
+        "order independence: {tracks:?}"
+    );
 }
 
 #[test]
 fn feedthroughs_grow_the_chip() {
     let c = Mcnc::Industry2.circuit_scaled(SCALE);
-    let r = route_serial(&c, &RouterConfig::with_seed(3), &mut Comm::solo(MachineModel::ideal()));
+    let r = route_serial(
+        &c,
+        &RouterConfig::with_seed(3),
+        &mut Comm::solo(MachineModel::ideal()),
+    );
     assert!(r.feedthroughs > 0, "multi-row nets need feedthroughs");
     assert!(r.chip_width > c.width, "feedthrough cells widen rows");
     let growth = (r.chip_width - c.width) as u64;
     // Growth is bounded by the widest row's feedthrough load.
-    assert!(growth <= r.feedthroughs * 2, "growth {growth} vs {} fts", r.feedthroughs);
+    assert!(
+        growth <= r.feedthroughs * 2,
+        "growth {growth} vs {} fts",
+        r.feedthroughs
+    );
 }
