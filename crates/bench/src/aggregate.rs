@@ -1,0 +1,577 @@
+//! Cross-run aggregation of `*.stats.json` / `*.metrics.json` dumps.
+//!
+//! `repro --trace-out DIR` leaves one stats file (virtual times, comm
+//! volume, phase breakdown) and one metrics file (quality counters,
+//! histograms) per run, each stamped with a [`RunMeta`] and a
+//! `schema_version`. This module merges any number of such dumps —
+//! typically several independent `repro` invocations at different rank
+//! counts — into one cross-run report:
+//!
+//! * **speedup curves**: every run is matched against the `"serial"`
+//!   run of the same (circuit, machine, scale, seed) and reported as
+//!   `serial makespan / run makespan`;
+//! * **phase-time trends**: the slowest rank's per-phase seconds;
+//! * **quality deltas**: tracks / wirelength / feedthroughs from the
+//!   merged metric shards, scaled against the serial run.
+//!
+//! The report renders as JSON (machine-readable, and itself versioned)
+//! and as a markdown table. [`check_baseline`] compares a fresh
+//! aggregate against a committed one and reports regressions beyond a
+//! relative tolerance — the CI gate. Because every number here is
+//! virtual time from the deterministic simulation, baselines are stable
+//! across hosts: any drift is a real behavior change.
+
+use pgr_obs::{json_escape, merge_ranks, Json, RankMetrics, RunMeta, SCHEMA_VERSION};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One run reconstructed from its dump file(s).
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    pub run: RunMeta,
+    /// Slowest rank's final virtual clock (from the stats dump).
+    pub makespan: Option<f64>,
+    /// Total bytes sent across ranks.
+    pub bytes_sent: u64,
+    /// Per-phase virtual seconds of the slowest rank, in phase order.
+    pub phases: Vec<(String, f64)>,
+    /// All ranks' metric shards merged into one (from the metrics dump).
+    pub metrics: Option<RankMetrics>,
+}
+
+/// Aggregation key: the run coordinates minus the rank count.
+fn series_key(run: &RunMeta) -> (String, String, u64, u64) {
+    (
+        run.circuit.clone(),
+        run.machine.clone(),
+        run.scale.to_bits(),
+        run.seed,
+    )
+}
+
+/// Full identity of one run (one record per distinct value).
+fn run_key(run: &RunMeta) -> (String, String, usize, String, u64, u64) {
+    (
+        run.circuit.clone(),
+        run.algorithm.clone(),
+        run.procs,
+        run.machine.clone(),
+        run.scale.to_bits(),
+        run.seed,
+    )
+}
+
+fn ctx(path: &Path, what: &str) -> String {
+    format!("{}: {what}", path.display())
+}
+
+fn parse_run_meta(v: &Json, path: &Path) -> Result<RunMeta, String> {
+    let run = v.get("run").ok_or_else(|| ctx(path, "missing \"run\""))?;
+    let str_field = |name: &str| -> Result<String, String> {
+        run.get(name)
+            .and_then(|f| f.as_str())
+            .map(str::to_string)
+            .ok_or_else(|| ctx(path, &format!("run.{name} missing or not a string")))
+    };
+    Ok(RunMeta {
+        circuit: str_field("circuit")?,
+        algorithm: str_field("algorithm")?,
+        procs: run
+            .get("procs")
+            .and_then(|f| f.as_u64())
+            .ok_or_else(|| ctx(path, "run.procs missing"))? as usize,
+        machine: str_field("machine")?,
+        scale: run
+            .get("scale")
+            .and_then(|f| f.as_f64())
+            .ok_or_else(|| ctx(path, "run.scale missing"))?,
+        seed: run
+            .get("seed")
+            .and_then(|f| f.as_u64())
+            .ok_or_else(|| ctx(path, "run.seed missing"))?,
+    })
+}
+
+/// Parse one dump file, checking `schema_version` and `kind`. Files an
+/// older (or newer) writer produced are rejected with a clear error
+/// instead of being silently mis-read.
+fn parse_dump(path: &Path, text: &str) -> Result<(RunMeta, Json, String), String> {
+    let v = Json::parse(text).map_err(|e| ctx(path, &format!("unparseable JSON ({e})")))?;
+    let version = v
+        .get("schema_version")
+        .and_then(|f| f.as_u64())
+        .ok_or_else(|| {
+            ctx(
+                path,
+                "missing \"schema_version\" — not an aggregatable dump",
+            )
+        })?;
+    if version != SCHEMA_VERSION as u64 {
+        return Err(ctx(
+            path,
+            &format!("schema_version {version} (this reader understands {SCHEMA_VERSION})"),
+        ));
+    }
+    let kind = v
+        .get("kind")
+        .and_then(|f| f.as_str())
+        .ok_or_else(|| ctx(path, "missing \"kind\""))?
+        .to_string();
+    let run = parse_run_meta(&v, path)?;
+    Ok((run, v, kind))
+}
+
+/// Apply one stats dump. Last-wins per kind: the simulation is
+/// deterministic, so two dumps carrying the same run identity (say, a
+/// phase-breakdown pass and a speedup pass at the same rank count) hold
+/// identical numbers, and overwriting beats double-counting.
+fn apply_stats(rec: &mut RunRecord, v: &Json, path: &Path) -> Result<(), String> {
+    rec.makespan = Some(
+        v.get("makespan")
+            .and_then(|f| f.as_f64())
+            .ok_or_else(|| ctx(path, "stats missing \"makespan\""))?,
+    );
+    let ranks = v
+        .get("ranks")
+        .and_then(|f| f.as_arr())
+        .ok_or_else(|| ctx(path, "stats missing \"ranks\""))?;
+    rec.bytes_sent = 0;
+    let mut slowest: Option<(f64, Vec<(String, f64)>)> = None;
+    for r in ranks {
+        rec.bytes_sent += r.get("bytes_sent").and_then(|f| f.as_u64()).unwrap_or(0);
+        let time = r.get("time").and_then(|f| f.as_f64()).unwrap_or(0.0);
+        if slowest.as_ref().is_none_or(|(t, _)| time > *t) {
+            let phases = r
+                .get("phases")
+                .and_then(|f| f.as_arr())
+                .map(|ps| {
+                    ps.iter()
+                        .filter_map(|p| {
+                            Some((
+                                p.get("name")?.as_str()?.to_string(),
+                                p.get("seconds")?.as_f64()?,
+                            ))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            slowest = Some((time, phases));
+        }
+    }
+    if let Some((_, phases)) = slowest {
+        rec.phases = phases;
+    }
+    Ok(())
+}
+
+fn parse_histogram(h: &Json, path: &Path) -> Result<pgr_obs::Histogram, String> {
+    let field = |name: &str| {
+        h.get(name)
+            .and_then(|f| f.as_u64())
+            .ok_or_else(|| ctx(path, &format!("histogram missing \"{name}\"")))
+    };
+    let sparse: Vec<(usize, u64)> = h
+        .get("buckets")
+        .and_then(|f| f.as_arr())
+        .ok_or_else(|| ctx(path, "histogram missing \"buckets\""))?
+        .iter()
+        .map(|pair| {
+            let p = pair
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| ctx(path, "bucket is not an [index, count] pair"))?;
+            Ok((
+                p[0].as_u64()
+                    .ok_or_else(|| ctx(path, "bucket index not an integer"))?
+                    as usize,
+                p[1].as_u64()
+                    .ok_or_else(|| ctx(path, "bucket count not an integer"))?,
+            ))
+        })
+        .collect::<Result<_, String>>()?;
+    pgr_obs::Histogram::from_parts(
+        field("count")?,
+        field("sum")?,
+        field("min")?,
+        field("max")?,
+        &sparse,
+    )
+    .map_err(|e| ctx(path, &e))
+}
+
+fn apply_metrics(rec: &mut RunRecord, v: &Json, path: &Path) -> Result<(), String> {
+    let ranks = v
+        .get("ranks")
+        .and_then(|f| f.as_arr())
+        .ok_or_else(|| ctx(path, "metrics missing \"ranks\""))?;
+    let mut shards = Vec::with_capacity(ranks.len());
+    for r in ranks {
+        let rank = r
+            .get("rank")
+            .and_then(|f| f.as_u64())
+            .ok_or_else(|| ctx(path, "rank entry missing \"rank\""))? as usize;
+        let mut m = RankMetrics::empty(rank);
+        if let Some(cs) = r.get("counters").and_then(|f| f.as_obj()) {
+            for (name, val) in cs {
+                let v = val
+                    .as_u64()
+                    .ok_or_else(|| ctx(path, &format!("counter \"{name}\" not an integer")))?;
+                m.counters.push((name.clone(), v));
+            }
+        }
+        if let Some(gs) = r.get("gauges").and_then(|f| f.as_obj()) {
+            for (name, val) in gs {
+                let v = val
+                    .as_f64()
+                    .ok_or_else(|| ctx(path, &format!("gauge \"{name}\" not a number")))?;
+                m.gauges.push((name.clone(), v));
+            }
+        }
+        if let Some(hs) = r.get("histograms").and_then(|f| f.as_obj()) {
+            for (name, val) in hs {
+                m.histograms
+                    .push((name.clone(), parse_histogram(val, path)?));
+            }
+        }
+        shards.push(m);
+    }
+    rec.metrics = Some(merge_ranks(&shards));
+    Ok(())
+}
+
+/// Load every dump under `paths` (directories are scanned — not
+/// recursively — for `*.stats.json` / `*.metrics.json`; explicit file
+/// paths must match one of those suffixes). Dumps sharing a [`RunMeta`]
+/// merge into one [`RunRecord`]. Any unreadable, unparseable, or
+/// version-mismatched file fails the whole load with an error naming
+/// the file — aggregation over silently dropped inputs is worse than no
+/// aggregation.
+pub fn load_paths(paths: &[PathBuf]) -> Result<Vec<RunRecord>, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            let mut entries: Vec<PathBuf> = std::fs::read_dir(p)
+                .map_err(|e| ctx(p, &format!("unreadable directory ({e})")))?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|f| is_dump(f))
+                .collect();
+            entries.sort();
+            files.extend(entries);
+        } else if is_dump(p) {
+            files.push(p.clone());
+        } else {
+            return Err(ctx(
+                p,
+                "not a *.stats.json / *.metrics.json dump (or a directory of them)",
+            ));
+        }
+    }
+    if files.is_empty() {
+        return Err("no *.stats.json / *.metrics.json dumps found".to_string());
+    }
+    let mut by_key: BTreeMap<(String, String, usize, String, u64, u64), RunRecord> =
+        BTreeMap::new();
+    for f in &files {
+        let text = std::fs::read_to_string(f).map_err(|e| ctx(f, &format!("unreadable ({e})")))?;
+        let (run, v, kind) = parse_dump(f, &text)?;
+        let rec = by_key.entry(run_key(&run)).or_insert_with(|| RunRecord {
+            run,
+            makespan: None,
+            bytes_sent: 0,
+            phases: Vec::new(),
+            metrics: None,
+        });
+        match kind.as_str() {
+            "stats" => apply_stats(rec, &v, f)?,
+            "metrics" => apply_metrics(rec, &v, f)?,
+            other => return Err(ctx(f, &format!("unknown dump kind \"{other}\""))),
+        }
+    }
+    Ok(by_key.into_values().collect())
+}
+
+fn is_dump(p: &Path) -> bool {
+    p.file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.ends_with(".stats.json") || n.ends_with(".metrics.json"))
+}
+
+/// One aggregated row: a run plus its derived cross-run numbers.
+#[derive(Debug, Clone)]
+pub struct AggRecord {
+    pub run: RunMeta,
+    pub makespan: Option<f64>,
+    /// `serial makespan / this makespan`, when the matching serial run
+    /// is present in the input set.
+    pub speedup: Option<f64>,
+    pub tracks: Option<u64>,
+    /// `tracks / serial tracks` (the paper's scaled-track quality).
+    pub scaled_tracks: Option<f64>,
+    pub wirelength: Option<u64>,
+    pub feedthroughs: Option<u64>,
+    pub load_imbalance: Option<f64>,
+    pub bytes_sent: u64,
+    pub phases: Vec<(String, f64)>,
+}
+
+/// The cross-run report.
+#[derive(Debug, Clone)]
+pub struct Aggregate {
+    pub records: Vec<AggRecord>,
+}
+
+/// Metric names mirrored from the router (kept as literals so the
+/// aggregator builds without a `pgr-router` dependency).
+const TRACKS: &str = "route.tracks";
+const WIRELENGTH: &str = "route.wirelength";
+const FEEDTHROUGHS: &str = "route.feedthroughs";
+const LOAD_IMBALANCE: &str = "parallel.load_imbalance";
+
+/// Derive the cross-run series from loaded records: speedups and quality
+/// scaled against each series' `"serial"` run.
+pub fn aggregate(records: &[RunRecord]) -> Aggregate {
+    let serial: BTreeMap<(String, String, u64, u64), &RunRecord> = records
+        .iter()
+        .filter(|r| r.run.algorithm == "serial")
+        .map(|r| (series_key(&r.run), r))
+        .collect();
+    let rows = records
+        .iter()
+        .map(|r| {
+            let base = serial.get(&series_key(&r.run));
+            let m = r.metrics.as_ref();
+            let tracks = m.and_then(|m| m.counter(TRACKS));
+            let base_tracks = base.and_then(|b| b.metrics.as_ref()?.counter(TRACKS));
+            AggRecord {
+                run: r.run.clone(),
+                makespan: r.makespan,
+                speedup: match (base.and_then(|b| b.makespan), r.makespan) {
+                    (Some(b), Some(t)) if t > 0.0 => Some(b / t),
+                    _ => None,
+                },
+                tracks,
+                scaled_tracks: match (tracks, base_tracks) {
+                    (Some(t), Some(b)) if b > 0 => Some(t as f64 / b as f64),
+                    _ => None,
+                },
+                wirelength: m.and_then(|m| m.counter(WIRELENGTH)),
+                feedthroughs: m.and_then(|m| m.counter(FEEDTHROUGHS)),
+                load_imbalance: m.and_then(|m| m.gauge(LOAD_IMBALANCE)),
+                bytes_sent: r.bytes_sent,
+                phases: r.phases.clone(),
+            }
+        })
+        .collect();
+    Aggregate { records: rows }
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    v.map_or("null".to_string(), |x| x.to_string())
+}
+
+fn opt_f64(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x}"),
+        _ => "null".to_string(),
+    }
+}
+
+impl Aggregate {
+    /// Machine-readable report, itself schema-versioned so a future
+    /// aggregator can gate on it.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .records
+            .iter()
+            .map(|r| {
+                let phases: Vec<String> = r
+                    .phases
+                    .iter()
+                    .map(|(n, s)| format!("{{\"name\":\"{}\",\"seconds\":{s}}}", json_escape(n)))
+                    .collect();
+                format!(
+                    "{{\"run\":{},\"makespan\":{},\"speedup\":{},\"tracks\":{},\"scaled_tracks\":{},\"wirelength\":{},\"feedthroughs\":{},\"load_imbalance\":{},\"bytes_sent\":{},\"phases\":[{}]}}",
+                    r.run.to_json(),
+                    opt_f64(r.makespan),
+                    opt_f64(r.speedup),
+                    opt_u64(r.tracks),
+                    opt_f64(r.scaled_tracks),
+                    opt_u64(r.wirelength),
+                    opt_u64(r.feedthroughs),
+                    opt_f64(r.load_imbalance),
+                    r.bytes_sent,
+                    phases.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema_version\":{},\"kind\":\"aggregate\",\"records\":[\n{}\n]}}\n",
+            SCHEMA_VERSION,
+            rows.join(",\n")
+        )
+    }
+
+    /// Human-readable markdown: one speedup/quality table per
+    /// (circuit, machine, scale) series, rank counts as columns.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from("# Cross-run aggregate\n");
+        // Group rows by series, then by algorithm.
+        let mut series: BTreeMap<(String, String, u64, u64), Vec<&AggRecord>> = BTreeMap::new();
+        for r in &self.records {
+            series.entry(series_key(&r.run)).or_default().push(r);
+        }
+        for ((circuit, machine, scale_bits, seed), rows) in &series {
+            let scale = f64::from_bits(*scale_bits);
+            out.push_str(&format!(
+                "\n## {circuit} — {machine}, scale {scale}, seed {seed}\n\n"
+            ));
+            let mut procs: Vec<usize> = rows.iter().map(|r| r.run.procs).collect();
+            procs.sort_unstable();
+            procs.dedup();
+            out.push_str("| algorithm |");
+            for p in &procs {
+                out.push_str(&format!(" speedup P={p} |"));
+            }
+            for p in &procs {
+                out.push_str(&format!(" sc.tracks P={p} |"));
+            }
+            out.push('\n');
+            out.push_str(&"|---".repeat(1 + 2 * procs.len()));
+            out.push_str("|\n");
+            let mut algos: Vec<&str> = rows.iter().map(|r| r.run.algorithm.as_str()).collect();
+            algos.sort_unstable();
+            algos.dedup();
+            for algo in algos {
+                out.push_str(&format!("| {algo} |"));
+                let cell =
+                    |v: Option<f64>| v.map_or(" — |".to_string(), |x| format!(" {x:.2} |"));
+                for &p in &procs {
+                    let rec = rows
+                        .iter()
+                        .find(|r| r.run.algorithm == algo && r.run.procs == p);
+                    out.push_str(&cell(rec.and_then(|r| r.speedup)));
+                }
+                for &p in &procs {
+                    let rec = rows
+                        .iter()
+                        .find(|r| r.run.algorithm == algo && r.run.procs == p);
+                    out.push_str(&cell(rec.and_then(|r| r.scaled_tracks)));
+                }
+                out.push('\n');
+            }
+            // Phase-time trend for the slowest-rank breakdown.
+            let mut with_phases: Vec<&&AggRecord> =
+                rows.iter().filter(|r| !r.phases.is_empty()).collect();
+            with_phases.sort_by_key(|r| (r.run.algorithm.clone(), r.run.procs));
+            if !with_phases.is_empty() {
+                out.push_str("\n| algorithm | procs | slowest-rank phases (s) |\n|---|---|---|\n");
+                for r in with_phases {
+                    let ps: Vec<String> = r
+                        .phases
+                        .iter()
+                        .map(|(n, s)| format!("{n} {s:.2}"))
+                        .collect();
+                    out.push_str(&format!(
+                        "| {} | {} | {} |\n",
+                        r.run.algorithm,
+                        r.run.procs,
+                        ps.join(", ")
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One regression found by [`check_baseline`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    pub run: RunMeta,
+    pub what: String,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} P={} ({}): {}",
+            self.run.circuit, self.run.algorithm, self.run.procs, self.run.machine, self.what
+        )
+    }
+}
+
+/// Compare a fresh aggregate against a committed baseline (the JSON
+/// produced by [`Aggregate::to_json`]). A run regresses when its
+/// makespan, tracks, or wirelength exceeds the baseline by more than
+/// `tolerance` (relative), or when a baseline run is missing entirely.
+/// Improvements never flag. Returns the regression list; an error means
+/// the baseline file itself is unusable.
+pub fn check_baseline(
+    current: &Aggregate,
+    baseline_text: &str,
+    tolerance: f64,
+) -> Result<Vec<Regression>, String> {
+    let v = Json::parse(baseline_text).map_err(|e| format!("baseline unparseable: {e}"))?;
+    match v.get("schema_version").and_then(|f| f.as_u64()) {
+        Some(ver) if ver == SCHEMA_VERSION as u64 => {}
+        Some(ver) => {
+            return Err(format!(
+                "baseline schema_version {ver} (this reader understands {SCHEMA_VERSION})"
+            ))
+        }
+        None => return Err("baseline missing schema_version".to_string()),
+    }
+    if v.get("kind").and_then(|f| f.as_str()) != Some("aggregate") {
+        return Err("baseline is not an aggregate report".to_string());
+    }
+    let base_records = v
+        .get("records")
+        .and_then(|f| f.as_arr())
+        .ok_or_else(|| "baseline missing records".to_string())?;
+    let path = Path::new("<baseline>");
+    let mut regressions = Vec::new();
+    for b in base_records {
+        let run = parse_run_meta(b, path)?;
+        let Some(cur) = current
+            .records
+            .iter()
+            .find(|r| run_key(&r.run) == run_key(&run))
+        else {
+            regressions.push(Regression {
+                run,
+                what: "present in baseline but missing from this aggregate".to_string(),
+            });
+            continue;
+        };
+        let mut check_f = |what: &str, base: Option<f64>, now: Option<f64>| {
+            if let (Some(b), Some(n)) = (base, now) {
+                if b > 0.0 && n > b * (1.0 + tolerance) {
+                    regressions.push(Regression {
+                        run: run.clone(),
+                        what: format!(
+                            "{what} {n:.6} exceeds baseline {b:.6} by more than {:.1} %",
+                            tolerance * 100.0
+                        ),
+                    });
+                }
+            }
+        };
+        check_f(
+            "makespan",
+            b.get("makespan").and_then(|f| f.as_f64()),
+            cur.makespan,
+        );
+        check_f(
+            "tracks",
+            b.get("tracks").and_then(|f| f.as_f64()),
+            cur.tracks.map(|t| t as f64),
+        );
+        check_f(
+            "wirelength",
+            b.get("wirelength").and_then(|f| f.as_f64()),
+            cur.wirelength.map(|w| w as f64),
+        );
+    }
+    Ok(regressions)
+}

@@ -1,4 +1,4 @@
-//! Regenerate the paper's tables and figures.
+//! Regenerate the paper's tables and figures, and aggregate runs.
 //!
 //! ```text
 //! repro [--scale F] [--circuits a,b,c] [--trace-out DIR] <target>...
@@ -7,38 +7,131 @@
 //!          partition-ablation sync-sweep machine-sweep
 //!          exact-sync-ablation beta-sweep phase-breakdown
 //!          detailed-refinement steiner-ablation comm-matrix all
+//!
+//! repro aggregate [--out FILE] [--md FILE] [--baseline FILE]
+//!                 [--tolerance F] <path>...
 //! ```
 //!
 //! `table2`/`table3`/`table4` also emit figures 4/5/6 (the speedup
 //! series). `--scale 0.1` runs 10 %-size circuits for a quick look;
 //! the default regenerates the full-size evaluation. `--trace-out DIR`
-//! makes tracing-aware targets (currently `phase-breakdown`) write
-//! per-run Chrome traces (`*.trace.json`, load in `chrome://tracing` or
-//! Perfetto) and per-rank stats (`*.stats.json`) into DIR.
+//! makes instrumented targets (`phase-breakdown`, `table2`–`table4`)
+//! write per-run Chrome traces (`*.trace.json`, load in
+//! `chrome://tracing` or Perfetto), per-rank stats (`*.stats.json`),
+//! and per-rank metrics (`*.metrics.json`) into DIR (created if
+//! missing).
+//!
+//! `repro aggregate` merges any number of such dumps — files or
+//! directories, typically from several independent `--trace-out` runs —
+//! into one cross-run report (speedup curves, phase-time trends,
+//! quality deltas) printed as markdown (or written with `--md`) and
+//! optionally written as JSON with `--out`. With `--baseline FILE` the
+//! fresh aggregate is compared against a committed report; any run
+//! whose makespan, tracks, or wirelength regresses beyond `--tolerance`
+//! (relative, default 0.02) makes the command exit non-zero.
 
+use pgr_bench::aggregate::{aggregate, check_baseline, load_paths};
 use pgr_bench::tables::{self, Opts};
 use pgr_router::Algorithm;
+use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale F] [--circuits a,b,c] [--trace-out DIR] <target>...\n\
-         targets: table1 table2 table3 table4 table5 partition-ablation sync-sweep\n          machine-sweep exact-sync-ablation beta-sweep phase-breakdown detailed-refinement steiner-ablation comm-matrix all"
+         targets: table1 table2 table3 table4 table5 partition-ablation sync-sweep\n          machine-sweep exact-sync-ablation beta-sweep phase-breakdown detailed-refinement steiner-ablation comm-matrix all\n\
+         or:    repro aggregate [--out FILE] [--md FILE] [--baseline FILE] [--tolerance F] <path>..."
     );
     std::process::exit(2);
 }
 
+fn fail(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
+
+fn aggregate_main(args: impl Iterator<Item = String>) -> ! {
+    let mut out: Option<PathBuf> = None;
+    let mut md: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut tolerance = 0.02f64;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--md" => md = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--baseline" => baseline = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--tolerance" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                tolerance = v.parse().unwrap_or_else(|_| usage());
+                if !(tolerance >= 0.0 && tolerance.is_finite()) {
+                    fail("--tolerance must be a non-negative number");
+                }
+            }
+            "-h" | "--help" => usage(),
+            f if f.starts_with('-') => fail(&format!("unknown flag '{f}'")),
+            p => paths.push(p.into()),
+        }
+    }
+    if paths.is_empty() {
+        usage();
+    }
+    let records = load_paths(&paths).unwrap_or_else(|e| fail(&e));
+    let agg = aggregate(&records);
+    eprintln!(
+        "aggregated {} run(s) from {} path argument(s)",
+        agg.records.len(),
+        paths.len()
+    );
+    if let Some(p) = &out {
+        std::fs::write(p, agg.to_json())
+            .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", p.display())));
+        eprintln!("aggregate JSON written: {}", p.display());
+    }
+    let markdown = agg.to_markdown();
+    match &md {
+        Some(p) => {
+            std::fs::write(p, &markdown)
+                .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", p.display())));
+            eprintln!("aggregate markdown written: {}", p.display());
+        }
+        None => print!("{markdown}"),
+    }
+    if let Some(p) = &baseline {
+        let text = std::fs::read_to_string(p)
+            .unwrap_or_else(|e| fail(&format!("cannot read baseline {}: {e}", p.display())));
+        let regressions = check_baseline(&agg, &text, tolerance).unwrap_or_else(|e| fail(&e));
+        if regressions.is_empty() {
+            eprintln!(
+                "baseline check passed (tolerance {:.1} %)",
+                tolerance * 100.0
+            );
+        } else {
+            eprintln!("baseline check FAILED:");
+            for r in &regressions {
+                eprintln!("  regression: {r}");
+            }
+            std::process::exit(1);
+        }
+    }
+    std::process::exit(0);
+}
+
 fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("aggregate") {
+        args.next();
+        aggregate_main(args);
+    }
     let mut opts = Opts::default();
     let mut targets: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.scale = v.parse().unwrap_or_else(|_| usage());
                 if !(opts.scale > 0.0 && opts.scale <= 1.0) {
-                    eprintln!("--scale must be in (0, 1]");
-                    std::process::exit(2);
+                    fail("--scale must be in (0, 1]");
                 }
             }
             "--circuits" => {
@@ -47,9 +140,14 @@ fn main() {
             }
             "--trace-out" => {
                 let v = args.next().unwrap_or_else(|| usage());
-                opts.trace_out = Some(v.into());
+                let dir: PathBuf = v.into();
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    fail(&format!("cannot create --trace-out {}: {e}", dir.display()));
+                }
+                opts.trace_out = Some(dir);
             }
             "-h" | "--help" => usage(),
+            f if f.starts_with('-') => fail(&format!("unknown flag '{f}'")),
             t => targets.push(t.to_string()),
         }
     }

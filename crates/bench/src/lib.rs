@@ -7,6 +7,7 @@
 //! machine models, so all reported runtimes and speedups are
 //! deterministic virtual times.
 
+pub mod aggregate;
 pub mod harness;
 pub mod tables;
 

@@ -13,9 +13,12 @@
 
 use crate::{circuits, fmt_secs, serial_baseline, SEED};
 use pgr_circuit::Circuit;
-use pgr_mpi::trace::{chrome_trace_json, stats_json, RankTrace, TraceConfig};
-use pgr_mpi::{MachineModel, RankStats};
-use pgr_router::{route_parallel, Algorithm, PartitionKind, RouterConfig};
+use pgr_mpi::trace::{chrome_trace_json, stats_json, RankTrace};
+use pgr_mpi::{InstrumentConfig, MachineModel, RankMetrics, RankStats, RunMeta};
+use pgr_obs::metrics_json;
+use pgr_router::{
+    route_parallel, route_parallel_instrumented, Algorithm, PartitionKind, RouterConfig,
+};
 use std::path::{Path, PathBuf};
 
 /// Harness options.
@@ -41,32 +44,62 @@ impl Default for Opts {
 }
 
 impl Opts {
-    fn trace_config(&self) -> TraceConfig {
+    /// Full instrumentation (trace + metrics) when `--trace-out` is set;
+    /// everything off — and allocation-free — otherwise.
+    fn instrument(&self) -> InstrumentConfig {
         if self.trace_out.is_some() {
-            TraceConfig::on()
+            InstrumentConfig::full()
         } else {
-            TraceConfig::off()
+            InstrumentConfig::off()
+        }
+    }
+
+    /// The run descriptor stamped into every artifact of this harness.
+    fn run_meta(
+        &self,
+        circuit: &str,
+        algorithm: &str,
+        procs: usize,
+        machine: &MachineModel,
+    ) -> RunMeta {
+        RunMeta {
+            circuit: circuit.to_string(),
+            algorithm: algorithm.to_string(),
+            procs,
+            machine: machine.name.to_string(),
+            scale: self.scale,
+            seed: SEED,
         }
     }
 }
 
-/// Write one run's Chrome trace (`<label>.trace.json`, for
-/// `chrome://tracing` / Perfetto) and stats (`<label>.stats.json`) into
-/// `dir`. Returns the trace path.
+/// Write one run's artifacts into `dir` (created if missing): the Chrome
+/// trace (`<label>.trace.json`, for `chrome://tracing` / Perfetto), the
+/// per-rank stats (`<label>.stats.json`), and — when metric shards were
+/// collected — the per-rank metrics (`<label>.metrics.json`). Returns
+/// the trace path.
 pub fn write_traces(
     dir: &Path,
     label: &str,
     traces: &[RankTrace],
     stats: &[RankStats],
     machine: &MachineModel,
+    run: &RunMeta,
+    metrics: &[RankMetrics],
 ) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let trace_path = dir.join(format!("{label}.trace.json"));
     std::fs::write(&trace_path, chrome_trace_json(traces))?;
     std::fs::write(
         dir.join(format!("{label}.stats.json")),
-        stats_json(stats, machine),
+        stats_json(stats, machine, run),
     )?;
+    if !metrics.is_empty() {
+        std::fs::write(
+            dir.join(format!("{label}.metrics.json")),
+            metrics_json(run, metrics),
+        )?;
+    }
     Ok(trace_path)
 }
 
@@ -137,12 +170,56 @@ pub fn quality_and_speedup(algo: Algorithm, opts: &Opts) {
     let mut speedups: Vec<(String, Vec<f64>)> = Vec::new();
     for c in opts.circuits() {
         let base = serial_baseline(&c, &cfg, machine);
+        if let Some(dir) = &opts.trace_out {
+            // One instrumented serial run per circuit (virtual time is
+            // identical to the baseline's) so the aggregator gets the
+            // `algorithm="serial"` record every speedup is scaled to.
+            let (report, traces, metrics) =
+                pgr_mpi::run_instrumented(1, machine, opts.instrument(), |comm| {
+                    pgr_router::route_serial(&c, &cfg, comm);
+                });
+            let run = opts.run_meta(&c.name, "serial", 1, &machine);
+            if let Err(e) = write_traces(
+                dir,
+                &format!("{}_serial", c.name),
+                &traces,
+                &report.stats,
+                &machine,
+                &run,
+                &metrics,
+            ) {
+                eprintln!("trace write failed for {}_serial: {e}", c.name);
+            }
+        }
         let mut row = format!("{:<12}", c.name);
         let mut sp = Vec::new();
         for &p in &procs {
             let p = clamp_procs(p, &c);
-            let out = route_parallel(&c, &cfg, algo, PartitionKind::PinWeight, p, machine);
+            let out = route_parallel_instrumented(
+                &c,
+                &cfg,
+                algo,
+                PartitionKind::PinWeight,
+                p,
+                machine,
+                opts.instrument(),
+            );
             pgr_router::verify::assert_verified(&c, &out.result);
+            if let Some(dir) = &opts.trace_out {
+                let label = format!("{}_{}_p{}", c.name, algo.name(), p);
+                let run = opts.run_meta(&c.name, algo.name(), p, &machine);
+                if let Err(e) = write_traces(
+                    dir,
+                    &label,
+                    &out.traces,
+                    &out.stats,
+                    &machine,
+                    &run,
+                    &out.metrics,
+                ) {
+                    eprintln!("trace write failed for {label}: {e}");
+                }
+            }
             row.push_str(&format!(" {:>8.3}", out.result.scaled_tracks(&base.result)));
             sp.push(base.time / out.time);
         }
@@ -469,7 +546,7 @@ pub fn detailed_refinement(opts: &Opts) {
 /// time goes — coarse routing dominates serially; the net-wise sync cost
 /// lands in its coarse/switchable phases.
 pub fn phase_breakdown(opts: &Opts) {
-    use pgr_mpi::run_traced;
+    use pgr_mpi::run_instrumented;
     let machine = MachineModel::sparc_center_1000();
     let cfg = cfg();
     println!("Per-phase virtual time (seconds; slowest rank at 8 procs)");
@@ -489,9 +566,13 @@ pub fn phase_breakdown(opts: &Opts) {
     }
     println!(" {:>11}", "total");
     type PhaseRow = (String, Vec<(&'static str, f64)>, f64);
-    let emit = |label: &str, traces: &[RankTrace], stats: &[RankStats]| {
+    let emit = |label: &str,
+                run: &RunMeta,
+                traces: &[RankTrace],
+                stats: &[RankStats],
+                metrics: &[RankMetrics]| {
         if let Some(dir) = &opts.trace_out {
-            match write_traces(dir, label, traces, stats, &machine) {
+            match write_traces(dir, label, traces, stats, &machine, run, metrics) {
                 Ok(path) => eprintln!("trace written: {}", path.display()),
                 Err(e) => eprintln!("trace write failed for {label}: {e}"),
             }
@@ -499,13 +580,16 @@ pub fn phase_breakdown(opts: &Opts) {
     };
     for c in opts.circuits() {
         let mut rows: Vec<PhaseRow> = Vec::new();
-        let (serial_report, serial_traces) = run_traced(1, machine, opts.trace_config(), |comm| {
-            pgr_router::route_serial(&c, &cfg, comm);
-        });
+        let (serial_report, serial_traces, serial_metrics) =
+            run_instrumented(1, machine, opts.instrument(), |comm| {
+                pgr_router::route_serial(&c, &cfg, comm);
+            });
         emit(
             &format!("{}_serial", c.name),
+            &opts.run_meta(&c.name, "serial", 1, &machine),
             &serial_traces,
             &serial_report.stats,
+            &serial_metrics,
         );
         rows.push((
             "serial".into(),
@@ -514,13 +598,16 @@ pub fn phase_breakdown(opts: &Opts) {
         ));
         for algo in Algorithm::ALL {
             let p = clamp_procs(8, &c);
-            let (report, traces) = run_traced(p, machine, opts.trace_config(), |comm| {
-                algo.route(&c, &cfg, PartitionKind::PinWeight, comm);
-            });
+            let (report, traces, metrics) =
+                run_instrumented(p, machine, opts.instrument(), |comm| {
+                    algo.route(&c, &cfg, PartitionKind::PinWeight, comm);
+                });
             emit(
                 &format!("{}_{}", c.name, algo.name()),
+                &opts.run_meta(&c.name, algo.name(), p, &machine),
                 &traces,
                 &report.stats,
+                &metrics,
             );
             let slowest = report
                 .stats

@@ -1,0 +1,292 @@
+//! Aggregator integration tests: hand-built fixture dumps through
+//! [`load_paths`] / [`aggregate`] / [`check_baseline`], plus a full
+//! round trip proving the artifacts `--trace-out` writes are accepted
+//! back by `repro aggregate`.
+
+use pgr_bench::aggregate::{aggregate, check_baseline, load_paths};
+use pgr_bench::tables::write_traces;
+use pgr_circuit::mcnc::Mcnc;
+use pgr_mpi::{run_instrumented, InstrumentConfig, MachineModel, RunMeta};
+use pgr_obs::{metrics_json, RankMetrics, SCHEMA_VERSION};
+use pgr_router::{
+    route_parallel_instrumented, route_serial, Algorithm, PartitionKind, RouterConfig,
+};
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("pgr-agg-test-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn meta(algorithm: &str, procs: usize) -> RunMeta {
+    RunMeta {
+        circuit: "fixture".into(),
+        algorithm: algorithm.into(),
+        procs,
+        machine: "TestBox".into(),
+        scale: 1.0,
+        seed: 7,
+    }
+}
+
+/// Hand-built stats dump with a chosen makespan (one rank, one phase).
+fn stats_fixture(run: &RunMeta, makespan: f64) -> String {
+    format!(
+        "{{\"schema_version\":{SCHEMA_VERSION},\"kind\":\"stats\",\"run\":{},\
+         \"machine\":\"TestBox\",\"makespan\":{makespan},\"ranks\":[\
+         {{\"rank\":0,\"time\":{makespan},\"ops\":1,\"msgs_sent\":0,\
+         \"bytes_sent\":64,\"peak_mem\":0,\
+         \"phases\":[{{\"name\":\"setup\",\"seconds\":{makespan}}}]}}]}}",
+        run.to_json()
+    )
+}
+
+/// Hand-built metrics dump carrying a tracks counter.
+fn metrics_fixture(run: &RunMeta, tracks: u64) -> String {
+    let mut m = RankMetrics::empty(0);
+    m.counters.push(("route.tracks".into(), tracks));
+    metrics_json(run, &[m])
+}
+
+fn write(dir: &std::path::Path, name: &str, text: &str) {
+    std::fs::write(dir.join(name), text).unwrap();
+}
+
+#[test]
+fn speedup_and_quality_from_hand_built_fixtures() {
+    let dir = tmp_dir("speedup");
+    let serial = meta("serial", 1);
+    let par = meta("row-wise", 4);
+    write(&dir, "serial.stats.json", &stats_fixture(&serial, 10.0));
+    write(&dir, "serial.metrics.json", &metrics_fixture(&serial, 100));
+    write(&dir, "par.stats.json", &stats_fixture(&par, 2.5));
+    write(&dir, "par.metrics.json", &metrics_fixture(&par, 110));
+
+    let records = load_paths(std::slice::from_ref(&dir)).unwrap();
+    assert_eq!(records.len(), 2, "two distinct run identities");
+    let agg = aggregate(&records);
+    let row = |a: &str| {
+        agg.records
+            .iter()
+            .find(|r| r.run.algorithm == a)
+            .unwrap()
+            .clone()
+    };
+    let s = row("serial");
+    assert_eq!(s.speedup, Some(1.0));
+    assert_eq!(s.scaled_tracks, Some(1.0));
+    let p = row("row-wise");
+    assert_eq!(p.makespan, Some(2.5));
+    assert_eq!(p.speedup, Some(4.0), "10.0 / 2.5");
+    assert_eq!(p.tracks, Some(110));
+    assert_eq!(p.scaled_tracks, Some(1.1));
+    assert_eq!(p.bytes_sent, 64);
+    assert_eq!(p.phases, vec![("setup".to_string(), 2.5)]);
+
+    // The markdown report names the series and carries both numbers.
+    let md = agg.to_markdown();
+    assert!(md.contains("fixture — TestBox"), "{md}");
+    assert!(md.contains("4.00"), "{md}");
+    assert!(md.contains("1.10"), "{md}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn load_is_deterministic_regardless_of_argument_order() {
+    let dir_a = tmp_dir("det-a");
+    let dir_b = tmp_dir("det-b");
+    let serial = meta("serial", 1);
+    let par = meta("net-wise", 2);
+    write(&dir_a, "s.stats.json", &stats_fixture(&serial, 8.0));
+    write(&dir_a, "s.metrics.json", &metrics_fixture(&serial, 50));
+    write(&dir_b, "p.stats.json", &stats_fixture(&par, 4.0));
+    write(&dir_b, "p.metrics.json", &metrics_fixture(&par, 55));
+
+    let ab = aggregate(&load_paths(&[dir_a.clone(), dir_b.clone()]).unwrap());
+    let ba = aggregate(&load_paths(&[dir_b.clone(), dir_a.clone()]).unwrap());
+    assert_eq!(ab.to_json(), ba.to_json(), "argument order must not matter");
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+#[test]
+fn unparseable_and_mismatched_schema_are_rejected_by_name() {
+    let dir = tmp_dir("reject");
+    write(&dir, "bad.stats.json", "{ not json");
+    let err = load_paths(std::slice::from_ref(&dir)).unwrap_err();
+    assert!(err.contains("bad.stats.json"), "{err}");
+    assert!(err.contains("unparseable"), "{err}");
+
+    std::fs::remove_file(dir.join("bad.stats.json")).unwrap();
+    let future = stats_fixture(&meta("serial", 1), 1.0).replace(
+        &format!("\"schema_version\":{SCHEMA_VERSION}"),
+        "\"schema_version\":999",
+    );
+    write(&dir, "future.stats.json", &future);
+    let err = load_paths(std::slice::from_ref(&dir)).unwrap_err();
+    assert!(err.contains("future.stats.json"), "{err}");
+    assert!(err.contains("schema_version 999"), "{err}");
+
+    std::fs::remove_file(dir.join("future.stats.json")).unwrap();
+    write(
+        &dir,
+        "odd.stats.json",
+        "{\"schema_version\":1,\"kind\":\"nope\",\"run\":{}}",
+    );
+    let err = load_paths(std::slice::from_ref(&dir)).unwrap_err();
+    assert!(err.contains("odd.stats.json"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn baseline_check_passes_on_self_and_flags_injected_regression() {
+    let dir = tmp_dir("baseline");
+    let serial = meta("serial", 1);
+    let par = meta("hybrid", 4);
+    write(&dir, "s.stats.json", &stats_fixture(&serial, 10.0));
+    write(&dir, "s.metrics.json", &metrics_fixture(&serial, 100));
+    write(&dir, "p.stats.json", &stats_fixture(&par, 3.0));
+    write(&dir, "p.metrics.json", &metrics_fixture(&par, 104));
+    let agg = aggregate(&load_paths(std::slice::from_ref(&dir)).unwrap());
+
+    // Pass path: an aggregate never regresses against itself.
+    assert_eq!(check_baseline(&agg, &agg.to_json(), 0.0).unwrap(), vec![]);
+
+    // Fail path: a baseline whose hybrid makespan was 20 % faster.
+    let tighter = agg
+        .to_json()
+        .replace("\"makespan\":3,", "\"makespan\":2.5,");
+    let regs = check_baseline(&agg, &tighter, 0.02).unwrap();
+    assert_eq!(regs.len(), 1, "{regs:?}");
+    assert_eq!(regs[0].run.algorithm, "hybrid");
+    assert!(regs[0].what.contains("makespan"), "{}", regs[0].what);
+
+    // Tolerance wide enough swallows the same delta.
+    assert_eq!(check_baseline(&agg, &tighter, 0.25).unwrap(), vec![]);
+
+    // Quality regression: baseline expected fewer tracks.
+    let fewer = agg.to_json().replace("\"tracks\":104,", "\"tracks\":90,");
+    let regs = check_baseline(&agg, &fewer, 0.02).unwrap();
+    assert!(regs.iter().any(|r| r.what.contains("tracks")), "{regs:?}");
+
+    // A baseline run missing from the fresh aggregate is itself a
+    // regression (a silently dropped benchmark must not pass CI).
+    let extra = meta("net-wise", 8);
+    let missing = agg.to_json().replace(
+        "\"records\":[\n",
+        &format!(
+            "\"records\":[\n{{\"run\":{},\"makespan\":1.0,\"speedup\":null,\
+             \"tracks\":null,\"scaled_tracks\":null,\"wirelength\":null,\
+             \"feedthroughs\":null,\"load_imbalance\":null,\"bytes_sent\":0,\
+             \"phases\":[]}},\n",
+            extra.to_json()
+        ),
+    );
+    let regs = check_baseline(&agg, &missing, 0.02).unwrap();
+    assert!(
+        regs.iter()
+            .any(|r| r.run.algorithm == "net-wise" && r.what.contains("missing")),
+        "{regs:?}"
+    );
+
+    // An unusable baseline is an error, not an empty regression list.
+    assert!(check_baseline(&agg, "{ nope", 0.02).is_err());
+    assert!(check_baseline(
+        &agg,
+        "{\"schema_version\":999,\"kind\":\"aggregate\"}",
+        0.02
+    )
+    .is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Full round trip: two independent instrumented runs (a serial one and
+/// a parallel one) written through the same `write_traces` path that
+/// `repro --trace-out` uses, then merged by the aggregator into a
+/// speedup report.
+#[test]
+fn trace_out_artifacts_round_trip_through_aggregate() {
+    let dir_serial = tmp_dir("rt-serial");
+    let dir_par = tmp_dir("rt-par");
+    let machine = MachineModel::sparc_center_1000();
+    let cfg = RouterConfig::default();
+
+    let circuit = Mcnc::Primary2.circuit_scaled(0.05);
+    let (report, traces, metrics) =
+        run_instrumented(1, machine, InstrumentConfig::full(), move |comm| {
+            route_serial(&circuit, &cfg, comm);
+        });
+    let run = RunMeta {
+        circuit: "primary2".into(),
+        algorithm: "serial".into(),
+        procs: 1,
+        machine: machine.name.into(),
+        scale: 0.05,
+        seed: 0,
+    };
+    write_traces(
+        &dir_serial,
+        "primary2_serial",
+        &traces,
+        &report.stats,
+        &machine,
+        &run,
+        &metrics,
+    )
+    .unwrap();
+
+    let circuit = Mcnc::Primary2.circuit_scaled(0.05);
+    let cfg = RouterConfig::default();
+    let procs = 4.min(circuit.num_rows());
+    let out = route_parallel_instrumented(
+        &circuit,
+        &cfg,
+        Algorithm::RowWise,
+        PartitionKind::PinWeight,
+        procs,
+        machine,
+        InstrumentConfig::full(),
+    );
+    let run = RunMeta {
+        algorithm: "row-wise".into(),
+        procs: out.stats.len(),
+        ..run
+    };
+    write_traces(
+        &dir_par,
+        "primary2_row-wise_p4",
+        &out.traces,
+        &out.stats,
+        &machine,
+        &run,
+        &out.metrics,
+    )
+    .unwrap();
+
+    let records = load_paths(&[dir_serial.clone(), dir_par.clone()]).unwrap();
+    assert_eq!(records.len(), 2, "two independent runs merged");
+    let agg = aggregate(&records);
+    let par = agg
+        .records
+        .iter()
+        .find(|r| r.run.algorithm == "row-wise")
+        .unwrap();
+    assert!(par.speedup.is_some(), "speedup derived across runs");
+    assert!(par.speedup.unwrap() > 0.0);
+    assert_eq!(par.tracks, Some(out.result.track_count().max(0) as u64));
+    assert!(par.load_imbalance.is_some_and(|x| x >= 1.0));
+    assert!(!par.phases.is_empty(), "phase trend carried through");
+    let serial = agg
+        .records
+        .iter()
+        .find(|r| r.run.algorithm == "serial")
+        .unwrap();
+    assert_eq!(serial.speedup, Some(1.0));
+
+    // And the aggregate gates cleanly against itself.
+    assert_eq!(check_baseline(&agg, &agg.to_json(), 0.0).unwrap(), vec![]);
+    std::fs::remove_dir_all(&dir_serial).ok();
+    std::fs::remove_dir_all(&dir_par).ok();
+}

@@ -5,9 +5,20 @@
 
 use pgr_bench::tables::write_traces;
 use pgr_circuit::mcnc::Mcnc;
-use pgr_mpi::{run_traced, MachineModel, RankStats, TraceConfig};
+use pgr_mpi::{run_traced, MachineModel, RankStats, RunMeta, TraceConfig};
 use pgr_router::{Algorithm, PartitionKind, RouterConfig};
 use std::path::PathBuf;
+
+fn meta(procs: usize) -> RunMeta {
+    RunMeta {
+        circuit: "primary2".into(),
+        algorithm: "row-wise".into(),
+        procs,
+        machine: "SparcCenter 1000".into(),
+        scale: 0.05,
+        seed: 0,
+    }
+}
 
 fn traced_route(procs: usize) -> (Vec<RankStats>, Vec<pgr_mpi::RankTrace>, MachineModel) {
     let circuit = Mcnc::Primary2.circuit_scaled(0.05);
@@ -84,8 +95,16 @@ fn chrome_trace_phase_spans_agree_with_rank_stats() {
 fn write_traces_emits_both_artifacts() {
     let (stats, traces, machine) = traced_route(2);
     let dir: PathBuf = std::env::temp_dir().join(format!("pgr-trace-test-{}", std::process::id()));
-    let trace_path =
-        write_traces(&dir, "primary2_row", &traces, &stats, &machine).expect("write ok");
+    let trace_path = write_traces(
+        &dir,
+        "primary2_row",
+        &traces,
+        &stats,
+        &machine,
+        &meta(2),
+        &[],
+    )
+    .expect("write ok");
     assert!(trace_path.ends_with("primary2_row.trace.json"));
 
     let trace_json = std::fs::read_to_string(&trace_path).expect("trace file");

@@ -39,5 +39,5 @@ pub mod verify;
 pub use config::RouterConfig;
 pub use metrics::RoutingResult;
 pub use parallel::partition::PartitionKind;
-pub use parallel::{route_parallel, Algorithm, ParallelOutcome};
+pub use parallel::{route_parallel, route_parallel_instrumented, Algorithm, ParallelOutcome};
 pub use route::route_serial;

@@ -12,7 +12,76 @@
 //! can be independently re-checked ([`crate::verify`]) or consumed by a
 //! downstream detailed router.
 
+use crate::route::feedthrough::FtPlan;
 use crate::route::state::Span;
+use pgr_mpi::Comm;
+
+/// Metric names the router emits into a [`Comm`]'s metrics shard.
+///
+/// Names are namespaced strings (`route.*` for quality numbers shared by
+/// every driver, `parallel.*` for per-rank load facts only the parallel
+/// algorithms emit; `pgr-mpi` itself owns `mpi.*`). They are `&'static
+/// str` on purpose: the shard's fast path compares pointers.
+pub mod names {
+    /// Counter: total rectilinear wirelength (rank-local; sums globally).
+    pub const WIRELENGTH: &str = "route.wirelength";
+    /// Counter: feedthrough cells inserted.
+    pub const FEEDTHROUGHS: &str = "route.feedthroughs";
+    /// Counter: Σ over channels of peak density (the paper's quality
+    /// metric).
+    pub const TRACKS: &str = "route.tracks";
+    /// Counter: horizontal spans in the solution.
+    pub const SPANS: &str = "route.spans";
+    /// Gauge: chip width after feedthrough growth, in columns.
+    pub const CHIP_WIDTH: &str = "route.chip_width";
+    /// Histogram: per-channel peak density.
+    pub const CHANNEL_DENSITY: &str = "route.channel_density";
+    /// Histogram: feedthroughs inserted per row.
+    pub const FT_PER_ROW: &str = "route.feedthroughs_per_row";
+    /// Counter: Steiner segments this rank routed in step 2.
+    pub const SEGMENTS: &str = "route.segments";
+    /// Counter: switchable segments step 5 actually moved.
+    pub const SEGMENTS_FLIPPED: &str = "route.segments_flipped";
+    /// Counter: nets this rank owns under the §5 partition.
+    pub const NETS_OWNED: &str = "parallel.nets_owned";
+    /// Counter: Steiner segments (or pieces) this rank is responsible
+    /// for after boundary splitting.
+    pub const SEGMENTS_OWNED: &str = "parallel.segments_owned";
+    /// Counter: cell rows in this rank's partition band.
+    pub const ROWS_OWNED: &str = "parallel.rows_owned";
+    /// Gauge (rank 0, post-run): max rank time / mean rank time.
+    pub const LOAD_IMBALANCE: &str = "parallel.load_imbalance";
+}
+
+/// Record the solution-quality metrics of an assembled result into the
+/// calling rank's shard (the rank that holds the global result — rank 0
+/// in parallel runs). No-op (and allocation-free) when metrics are off.
+pub fn record_quality(result: &RoutingResult, comm: &mut Comm) {
+    if !comm.metrics_enabled() {
+        return;
+    }
+    comm.metric_add(names::WIRELENGTH, result.wirelength);
+    comm.metric_add(names::FEEDTHROUGHS, result.feedthroughs);
+    comm.metric_add(names::TRACKS, result.track_count().max(0) as u64);
+    comm.metric_add(names::SPANS, result.span_count() as u64);
+    comm.metric_gauge(names::CHIP_WIDTH, result.chip_width as f64);
+    for &d in &result.channel_density {
+        comm.metric_observe(names::CHANNEL_DENSITY, d.max(0) as u64);
+    }
+}
+
+/// Record the feedthroughs-per-row distribution of one rank's insertion
+/// plan. Each rank observes only its own rows, so the merged histogram
+/// covers the chip exactly once.
+pub fn record_ft_plan(plan: &FtPlan, comm: &mut Comm) {
+    if !comm.metrics_enabled() {
+        return;
+    }
+    for i in 0..plan.num_rows() {
+        let row = plan.row0() + i as u32;
+        comm.metric_observe(names::FT_PER_ROW, plan.row_count(row).max(0) as u64);
+    }
+}
 
 /// Height of a cell row, in the same abstract unit as one routing track.
 pub const ROW_HEIGHT: i64 = 8;

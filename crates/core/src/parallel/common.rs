@@ -196,7 +196,7 @@ pub fn gather_result(
     for s in &spans {
         chans.add_span(s, 1);
     }
-    Some(RoutingResult {
+    let result = RoutingResult {
         circuit: circuit.name.clone(),
         channel_density: chans.densities(),
         chip_width,
@@ -204,7 +204,9 @@ pub fn gather_result(
         wirelength: wirelength.expect("rank 0 holds the reduction"),
         feedthroughs: feedthroughs.expect("rank 0 holds the reduction"),
         spans,
-    })
+    };
+    crate::metrics::record_quality(&result, comm);
+    Some(result)
 }
 
 #[cfg(test)]

@@ -17,7 +17,7 @@
 
 use crate::config::RouterConfig;
 use crate::cost;
-use crate::metrics::RoutingResult;
+use crate::metrics::{names, record_ft_plan, RoutingResult};
 use crate::parallel::common::{
     assemble_works, distribute, gather_result, split_segment, sync_boundaries,
 };
@@ -56,6 +56,8 @@ pub fn route_hybrid(
     // Steps 1–3: exactly the row-wise flow (fake pins and all).
     comm.phase("steiner");
     let owners = partition_nets(circuit, kind, &rows, size, cfg.pin_weight_beta);
+    let owned = owners.iter().filter(|&&o| o as usize == rank).count();
+    comm.metric_add(names::NETS_OWNED, owned as u64);
     let mut outgoing: Vec<Vec<Segment>> = vec![Vec::new(); size];
     for (i, &owner) in owners.iter().enumerate() {
         if owner as usize != rank {
@@ -72,11 +74,13 @@ pub fn route_hybrid(
         }
     }
     let segments: Vec<Segment> = comm.alltoall(outgoing).into_iter().flatten().collect();
+    comm.metric_add(names::SEGMENTS_OWNED, segments.len() as u64);
     let mut works = assemble_works(&segments);
 
     comm.phase("coarse");
     let row0 = rows.start(rank) as u32;
     let nrows = rows.range(rank).len();
+    comm.metric_add(names::ROWS_OWNED, nrows as u64);
     let mut coarse = CoarseState::new(row0, nrows, circuit.width, cfg.grid_w);
     comm.charge_alloc(coarse.modeled_bytes());
     let orients = coarse.route(&segments, cfg, &mut rng, comm);
@@ -87,6 +91,7 @@ pub fn route_hybrid(
     comm.compute(cost::FT_INSERT_CELL * local_cells as u64);
     let crossings = crossings_of(&segments, &orients);
     let ft_nodes = assign(&plan, &crossings, comm);
+    record_ft_plan(&plan, comm);
     shift_pins(&mut works, &plan);
     attach_feedthroughs(&mut works, ft_nodes);
 
@@ -160,7 +165,8 @@ pub fn route_hybrid(
         chans.add_span(s, 1);
     }
     sync_boundaries(&mut chans, &rows, comm);
-    optimize(&mut chans, &mut spans, cfg, &mut rng, comm);
+    let flips = optimize(&mut chans, &mut spans, cfg, &mut rng, comm);
+    comm.metric_add(names::SEGMENTS_FLIPPED, flips as u64);
 
     comm.phase("assemble");
     gather_result(

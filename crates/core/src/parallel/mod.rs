@@ -8,10 +8,12 @@ pub mod partition;
 pub mod rowwise;
 
 use crate::config::RouterConfig;
-use crate::metrics::RoutingResult;
+use crate::metrics::{names, RoutingResult};
 use partition::PartitionKind;
 use pgr_circuit::Circuit;
-use pgr_mpi::{run, Comm, MachineModel, RankStats};
+use pgr_mpi::{
+    run_instrumented, Comm, InstrumentConfig, MachineModel, RankMetrics, RankStats, RankTrace,
+};
 
 pub use hybrid::route_hybrid;
 pub use netwise::route_netwise;
@@ -65,10 +67,14 @@ pub struct ParallelOutcome {
     /// Whether every rank's modeled working set fit the machine's
     /// per-node memory (always true on machines without a cap).
     pub fits_memory: bool,
+    /// Per-rank event traces (empty unless tracing was enabled).
+    pub traces: Vec<RankTrace>,
+    /// Per-rank metric shards (empty unless metrics were enabled).
+    pub metrics: Vec<RankMetrics>,
 }
 
 /// Route `circuit` with `procs` ranks of `machine`, returning rank 0's
-/// assembled result plus simulated timing.
+/// assembled result plus simulated timing. No tracing, no metrics.
 pub fn route_parallel(
     circuit: &Circuit,
     cfg: &RouterConfig,
@@ -77,11 +83,44 @@ pub fn route_parallel(
     procs: usize,
     machine: MachineModel,
 ) -> ParallelOutcome {
-    let report = run(procs, machine, |comm| {
+    route_parallel_instrumented(
+        circuit,
+        cfg,
+        algorithm,
+        kind,
+        procs,
+        machine,
+        InstrumentConfig::off(),
+    )
+}
+
+/// [`route_parallel`] with instrumentation: per-rank traces and metric
+/// shards per the [`InstrumentConfig`]. When metrics are on, rank 0's
+/// shard additionally carries the post-run
+/// [`parallel.load_imbalance`](names::LOAD_IMBALANCE) gauge
+/// (max rank time / mean rank time — 1.0 is a perfectly balanced run).
+/// No single rank can see that number during the run, so it is derived
+/// here from the per-rank virtual clocks.
+pub fn route_parallel_instrumented(
+    circuit: &Circuit,
+    cfg: &RouterConfig,
+    algorithm: Algorithm,
+    kind: PartitionKind,
+    procs: usize,
+    machine: MachineModel,
+    instr: InstrumentConfig,
+) -> ParallelOutcome {
+    let (report, traces, mut metrics) = run_instrumented(procs, machine, instr, |comm| {
         algorithm.route(circuit, cfg, kind, comm)
     });
     let fits_memory = report.fits_memory();
     let time = report.makespan();
+    if let Some(root) = metrics.first_mut() {
+        let mean = report.stats.iter().map(|s| s.time).sum::<f64>() / report.stats.len() as f64;
+        if mean > 0.0 {
+            root.set_gauge(names::LOAD_IMBALANCE, time / mean);
+        }
+    }
     let result = report
         .results
         .into_iter()
@@ -93,6 +132,8 @@ pub fn route_parallel(
         time,
         stats: report.stats,
         fits_memory,
+        traces,
+        metrics,
     }
 }
 
@@ -126,5 +167,100 @@ mod tests {
         assert_eq!(Algorithm::RowWise.name(), "row-wise");
         assert_eq!(Algorithm::NetWise.name(), "net-wise");
         assert_eq!(Algorithm::Hybrid.name(), "hybrid");
+    }
+
+    #[test]
+    fn instrumented_run_collects_metrics_and_traces() {
+        let c = generate(&GeneratorConfig::small("instr", 8));
+        let cfg = RouterConfig::with_seed(1);
+        for algo in Algorithm::ALL {
+            let out = route_parallel_instrumented(
+                &c,
+                &cfg,
+                algo,
+                PartitionKind::PinWeight,
+                4,
+                MachineModel::sparc_center_1000(),
+                InstrumentConfig::full(),
+            );
+            let name = algo.name();
+            assert_eq!(out.metrics.len(), 4, "{name}: one shard per rank");
+            assert_eq!(out.traces.len(), 4, "{name}: one trace per rank");
+            // Quality metrics live on rank 0 (the gather/assemble rank).
+            let root = &out.metrics[0];
+            assert_eq!(
+                root.counter(names::TRACKS),
+                Some(out.result.track_count() as u64),
+                "{name}: tracks metric matches the result"
+            );
+            assert_eq!(
+                root.counter(names::SPANS),
+                Some(out.result.span_count() as u64)
+            );
+            let imb = root.gauge(names::LOAD_IMBALANCE).expect("imbalance gauge");
+            assert!(imb >= 1.0, "{name}: max/mean is at least 1, got {imb}");
+            // Load counters live on every rank; whole-chip facts merge to
+            // circuit-global totals.
+            let merged = pgr_obs::merge_ranks(&out.metrics);
+            assert_eq!(
+                merged.counter(names::ROWS_OWNED),
+                Some(c.num_rows() as u64),
+                "{name}: row bands tile the chip"
+            );
+            assert!(merged.counter(names::NETS_OWNED).unwrap_or(0) > 0, "{name}");
+            let density = merged
+                .histogram(names::CHANNEL_DENSITY)
+                .expect("density histogram");
+            assert_eq!(density.count, (c.num_rows() + 1) as u64, "{name}");
+            let ft_rows = merged
+                .histogram(names::FT_PER_ROW)
+                .expect("ft-per-row histogram");
+            assert_eq!(
+                ft_rows.count,
+                c.num_rows() as u64,
+                "{name}: every row observed once"
+            );
+            assert_eq!(ft_rows.sum, out.result.feedthroughs, "{name}");
+        }
+    }
+
+    #[test]
+    fn uninstrumented_run_collects_nothing() {
+        let c = generate(&GeneratorConfig::small("instr-off", 8));
+        let out = route_parallel(
+            &c,
+            &RouterConfig::with_seed(1),
+            Algorithm::RowWise,
+            PartitionKind::PinWeight,
+            2,
+            MachineModel::ideal(),
+        );
+        assert!(out.metrics.is_empty());
+        assert!(out.traces.is_empty());
+    }
+
+    #[test]
+    fn instrumentation_does_not_change_results_or_timing() {
+        let c = generate(&GeneratorConfig::small("instr-same", 8));
+        let cfg = RouterConfig::with_seed(3);
+        let plain = route_parallel(
+            &c,
+            &cfg,
+            Algorithm::Hybrid,
+            PartitionKind::PinWeight,
+            3,
+            MachineModel::sparc_center_1000(),
+        );
+        let full = route_parallel_instrumented(
+            &c,
+            &cfg,
+            Algorithm::Hybrid,
+            PartitionKind::PinWeight,
+            3,
+            MachineModel::sparc_center_1000(),
+            InstrumentConfig::full(),
+        );
+        assert_eq!(plain.result, full.result);
+        assert_eq!(plain.time, full.time, "observation is free in virtual time");
     }
 }

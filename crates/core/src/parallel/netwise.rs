@@ -17,7 +17,7 @@
 
 use crate::config::RouterConfig;
 use crate::cost;
-use crate::metrics::RoutingResult;
+use crate::metrics::{names, record_ft_plan, RoutingResult};
 use crate::parallel::common::{distribute, gather_result};
 use crate::parallel::partition::{partition_nets, PartitionKind};
 use crate::route::coarse::{CoarseDeltas, CoarseState};
@@ -179,6 +179,9 @@ pub fn route_netwise(
             works.push(w);
         }
     }
+    comm.metric_add(names::NETS_OWNED, works.len() as u64);
+    comm.metric_add(names::SEGMENTS_OWNED, segments.len() as u64);
+    comm.metric_add(names::ROWS_OWNED, rows.range(rank).len() as u64);
 
     // Step 2: coarse routing against a replicated global grid, with
     // periodic synchronization every `sync_period` decisions. The
@@ -223,6 +226,11 @@ pub fn route_netwise(
     }
     let my_crossings: Vec<Crossing> = comm.alltoall(cross_out).into_iter().flatten().collect();
     let assigned = assign(&plan, &my_crossings, comm);
+    // The plan is replicated (every rank covers all rows): record it once
+    // so the merged histogram still covers the chip exactly once.
+    if rank == 0 {
+        record_ft_plan(&plan, comm);
+    }
     let mut ft_out: Vec<Vec<(u32, Node)>> = vec![Vec::new(); size];
     for (net, node) in assigned {
         ft_out[owners[net.index()] as usize].push((net.0, node));
@@ -274,21 +282,19 @@ pub fn route_netwise(
             flips += optimize_slice(&mut chans, &mut spans, chunk, comm) as u64;
             sync_chans(&mut chans, cfg.netwise_exact_sync, comm);
         }
+        comm.metric_add(names::SEGMENTS_FLIPPED, flips);
         if comm.allreduce(flips, |a, b| a + b) == 0 {
             break;
         }
     }
 
     comm.phase("assemble");
-    gather_result(
-        circuit,
-        cfg,
-        spans,
-        wirelength,
-        plan.total(),
-        chip_width,
-        comm,
-    )
+    // The feedthrough plan is replicated: every rank's total already
+    // counts the whole chip, so only rank 0 contributes it to the gather
+    // reduction (the partitioned algorithms sum disjoint per-band totals
+    // there instead).
+    let ft_total = if rank == 0 { plan.total() } else { 0 };
+    gather_result(circuit, cfg, spans, wirelength, ft_total, chip_width, comm)
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@
 
 use crate::config::RouterConfig;
 use crate::cost;
-use crate::metrics::RoutingResult;
+use crate::metrics::{names, record_ft_plan, RoutingResult};
 use crate::parallel::common::{
     assemble_works, distribute, gather_result, split_segment, sync_boundaries,
 };
@@ -60,6 +60,8 @@ pub fn route_rowwise(
     // partition boundaries, dealt to the rank owning each piece's rows.
     comm.phase("steiner");
     let owners = partition_nets(circuit, kind, &rows, size, cfg.pin_weight_beta);
+    let owned = owners.iter().filter(|&&o| o as usize == rank).count();
+    comm.metric_add(names::NETS_OWNED, owned as u64);
     let mut outgoing: Vec<Vec<Segment>> = vec![Vec::new(); size];
     for (i, &owner) in owners.iter().enumerate() {
         if owner as usize != rank {
@@ -77,12 +79,14 @@ pub fn route_rowwise(
     }
     let incoming = comm.alltoall(outgoing);
     let segments: Vec<Segment> = incoming.into_iter().flatten().collect();
+    comm.metric_add(names::SEGMENTS_OWNED, segments.len() as u64);
     let mut works = assemble_works(&segments);
 
     // Step 2: coarse global routing on the local row band.
     comm.phase("coarse");
     let row0 = rows.start(rank) as u32;
     let nrows = rows.range(rank).len();
+    comm.metric_add(names::ROWS_OWNED, nrows as u64);
     let mut coarse = CoarseState::new(row0, nrows, circuit.width, cfg.grid_w);
     comm.charge_alloc(coarse.modeled_bytes());
     let orients = coarse.route(&segments, cfg, &mut rng, comm);
@@ -94,6 +98,7 @@ pub fn route_rowwise(
     comm.compute(cost::FT_INSERT_CELL * local_cells as u64);
     let crossings = crossings_of(&segments, &orients);
     let ft_nodes = assign(&plan, &crossings, comm);
+    record_ft_plan(&plan, comm);
     shift_pins(&mut works, &plan);
     attach_feedthroughs(&mut works, ft_nodes);
 
@@ -119,7 +124,8 @@ pub fn route_rowwise(
     // Boundary synchronization, then step 5 on the local rows.
     comm.phase("switchable");
     sync_boundaries(&mut chans, &rows, comm);
-    optimize(&mut chans, &mut spans, cfg, &mut rng, comm);
+    let flips = optimize(&mut chans, &mut spans, cfg, &mut rng, comm);
+    comm.metric_add(names::SEGMENTS_FLIPPED, flips as u64);
 
     // Back end: gather everything at rank 0.
     comm.phase("assemble");

@@ -8,7 +8,7 @@
 
 use crate::config::RouterConfig;
 use crate::cost;
-use crate::metrics::RoutingResult;
+use crate::metrics::{names, record_ft_plan, record_quality, RoutingResult};
 use crate::route::coarse::CoarseState;
 use crate::route::connect::connect_net;
 use crate::route::feedthrough::{assign, Crossing, FtPlan};
@@ -118,6 +118,7 @@ pub fn route_serial(circuit: &Circuit, cfg: &RouterConfig, comm: &mut Comm) -> R
         }
         segments.extend(segs);
     }
+    comm.metric_add(names::SEGMENTS, segments.len() as u64);
 
     // Step 2: coarse global routing.
     comm.phase("coarse");
@@ -131,6 +132,7 @@ pub fn route_serial(circuit: &Circuit, cfg: &RouterConfig, comm: &mut Comm) -> R
     comm.compute(cost::FT_INSERT_CELL * circuit.num_cells() as u64);
     let crossings = crossings_of(&segments, &orients);
     let ft_nodes = assign(&plan, &crossings, comm);
+    record_ft_plan(&plan, comm);
     shift_pins(&mut works, &plan);
     attach_feedthroughs(&mut works, ft_nodes);
 
@@ -158,13 +160,14 @@ pub fn route_serial(circuit: &Circuit, cfg: &RouterConfig, comm: &mut Comm) -> R
 
     // Step 5: switchable-segment optimization.
     comm.phase("switchable");
-    optimize(&mut chans, &mut spans, cfg, &mut rng, comm);
+    let flips = optimize(&mut chans, &mut spans, cfg, &mut rng, comm);
+    comm.metric_add(names::SEGMENTS_FLIPPED, flips as u64);
 
     // Back end: emit the solution.
     comm.phase("assemble");
     comm.compute(cost::SETUP_ITEM * circuit.num_nets() as u64);
 
-    RoutingResult {
+    let result = RoutingResult {
         circuit: circuit.name.clone(),
         channel_density: chans.densities(),
         chip_width,
@@ -172,7 +175,9 @@ pub fn route_serial(circuit: &Circuit, cfg: &RouterConfig, comm: &mut Comm) -> R
         wirelength,
         feedthroughs: plan.total(),
         spans,
-    }
+    };
+    record_quality(&result, comm);
+    result
 }
 
 #[cfg(test)]

@@ -23,9 +23,11 @@
 //! errors also carry the rank's recent event trace.
 
 use crate::error::{CommError, PendingMsg};
+use crate::fault::{FaultAction, FaultLayer, MsgCtx, FAULTS_DELAYED, FAULTS_DROPPED};
 use crate::machine::MachineModel;
 use crate::trace::{RankTrace, TraceConfig, TraceEvent, TraceEventKind, TraceHub};
 use crate::wire::Wire;
+use pgr_obs::{MetricsConfig, MetricsShard, RankMetrics};
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
@@ -133,12 +135,73 @@ pub struct Comm {
     phase_marks: Vec<(&'static str, f64)>,
     /// Shared trace sink; `None` on the untraced (allocation-free) path.
     trace: Option<Arc<TraceHub>>,
+    /// This rank's metric shard — owned outright (uncontended), records
+    /// nothing and allocates nothing when disabled.
+    metrics: MetricsShard,
+    /// Optional fault-injection layer consulted on every send.
+    fault: Option<Arc<dyn FaultLayer>>,
+    /// Sends issued by this rank (feeds [`MsgCtx::seq`]).
+    send_seq: u64,
+}
+
+/// Full instrumentation bundle for a run: event tracing, metric
+/// collection, and an optional fault-injection layer. The default
+/// ([`InstrumentConfig::off`]) costs nothing on any hot path.
+#[derive(Clone, Default)]
+pub struct InstrumentConfig {
+    pub trace: TraceConfig,
+    pub metrics: MetricsConfig,
+    /// Message fault model (test-only by convention; see
+    /// [`crate::fault`]).
+    pub fault: Option<Arc<dyn FaultLayer>>,
+}
+
+impl std::fmt::Debug for InstrumentConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InstrumentConfig")
+            .field("trace", &self.trace)
+            .field("metrics", &self.metrics)
+            .field("fault", &self.fault.as_ref().map(|_| "<layer>"))
+            .finish()
+    }
+}
+
+impl InstrumentConfig {
+    /// No tracing, no metrics, no faults.
+    pub fn off() -> Self {
+        InstrumentConfig::default()
+    }
+
+    /// Tracing and metrics both on, no faults — what `--trace-out` runs
+    /// use.
+    pub fn full() -> Self {
+        InstrumentConfig {
+            trace: TraceConfig::on(),
+            metrics: MetricsConfig::on(),
+            fault: None,
+        }
+    }
+
+    /// Metrics only (no event ring, no watchdog).
+    pub fn metered() -> Self {
+        InstrumentConfig {
+            trace: TraceConfig::off(),
+            metrics: MetricsConfig::on(),
+            fault: None,
+        }
+    }
 }
 
 impl Comm {
     /// A single-rank communicator without any threads — for serial runs
     /// that still charge virtual time (the baseline of every speedup).
     pub fn solo(machine: MachineModel) -> Self {
+        Comm::solo_instrumented(machine, MetricsConfig::off())
+    }
+
+    /// A solo communicator with metric collection configured — the
+    /// serial-baseline entry point for `--trace-out` runs.
+    pub fn solo_instrumented(machine: MachineModel, metrics: MetricsConfig) -> Self {
         Comm {
             rank: 0,
             size: 1,
@@ -160,6 +223,9 @@ impl Comm {
             coll_seq: 0,
             phase_marks: Vec::new(),
             trace: None,
+            metrics: MetricsShard::new(metrics),
+            fault: None,
+            send_seq: 0,
         }
     }
 
@@ -219,6 +285,35 @@ impl Comm {
                 bytes: e.payload.len(),
             })
             .collect()
+    }
+
+    // ----- metrics -----
+
+    /// Whether this rank's metric shard records anything. Callers with
+    /// per-item recording loops should gate on this to skip the loop
+    /// entirely when metrics are off.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.enabled()
+    }
+
+    /// Add `delta` to the counter `name` (no-op when metrics are off).
+    pub fn metric_add(&mut self, name: &'static str, delta: u64) {
+        self.metrics.add(name, delta);
+    }
+
+    /// Set the gauge `name` (no-op when metrics are off).
+    pub fn metric_gauge(&mut self, name: &'static str, v: f64) {
+        self.metrics.gauge(name, v);
+    }
+
+    /// Record one histogram observation (no-op when metrics are off).
+    pub fn metric_observe(&mut self, name: &'static str, v: u64) {
+        self.metrics.observe(name, v);
+    }
+
+    /// Snapshot this rank's metrics (sorted, detached from the shard).
+    pub fn metrics_snapshot(&self) -> RankMetrics {
+        self.metrics.snapshot(self.rank)
     }
 
     // ----- accounting -----
@@ -297,10 +392,39 @@ impl Comm {
         self.msgs_sent += 1;
         self.bytes_sent += bytes as u64;
         self.bytes_to[dst] += bytes as u64;
+        // Fault hook: the sender has already paid the overhead and the
+        // stats already count the message (the NIC accepted it); the
+        // layer decides what the network does with it afterwards.
+        let mut stamp = self.clock;
+        if let Some(fault) = self.fault.clone() {
+            let ctx = MsgCtx {
+                src: self.rank,
+                dst,
+                tag,
+                bytes,
+                seq: self.send_seq,
+            };
+            self.send_seq += 1;
+            match fault.on_send(&ctx) {
+                FaultAction::Deliver => {}
+                FaultAction::Delay(extra) => {
+                    assert!(extra >= 0.0 && extra.is_finite(), "delay must be finite");
+                    stamp += extra;
+                    self.metrics.add(FAULTS_DELAYED, 1);
+                }
+                FaultAction::Drop => {
+                    self.metrics.add(FAULTS_DROPPED, 1);
+                    if self.tracing() {
+                        self.record(TraceEventKind::Send { dst, tag, bytes }, t0, self.clock);
+                    }
+                    return;
+                }
+            }
+        }
         let env = Envelope {
             src: self.rank as u32,
             tag,
-            stamp: self.clock,
+            stamp,
             payload: payload.into_boxed_slice(),
         };
         if dst == self.rank {
@@ -698,7 +822,42 @@ where
     R: Send,
     F: Fn(&mut Comm) -> R + Send + Sync,
 {
+    let instr = InstrumentConfig {
+        trace,
+        ..InstrumentConfig::off()
+    };
+    let (report, traces, _) = run_instrumented(size, machine, instr, f);
+    (report, traces)
+}
+
+/// [`run`] with the full instrumentation bundle: event tracing, per-rank
+/// metric shards, and an optional fault layer. Returns the report, one
+/// [`RankTrace`] per rank (empty when tracing is off), and one
+/// [`RankMetrics`] per rank (empty when metrics are off).
+///
+/// ```
+/// use pgr_mpi::{run_instrumented, InstrumentConfig, MachineModel};
+/// let (report, _traces, metrics) =
+///     run_instrumented(2, MachineModel::ideal(), InstrumentConfig::metered(), |comm| {
+///         comm.metric_add("demo.work", comm.rank() as u64 + 1);
+///         comm.metric_observe("demo.sizes", 42);
+///     });
+/// assert_eq!(metrics.len(), 2);
+/// assert_eq!(metrics[1].counter("demo.work"), Some(2));
+/// assert_eq!(report.stats.len(), 2);
+/// ```
+pub fn run_instrumented<R, F>(
+    size: usize,
+    machine: MachineModel,
+    instr: InstrumentConfig,
+    f: F,
+) -> (RunReport<R>, Vec<RankTrace>, Vec<RankMetrics>)
+where
+    R: Send,
+    F: Fn(&mut Comm) -> R + Send + Sync,
+{
     assert!(size > 0, "need at least one rank");
+    let trace = instr.trace;
     let hub =
         (trace.enabled || trace.watchdog.is_some()).then(|| Arc::new(TraceHub::new(size, trace)));
     let mut txs = Vec::with_capacity(size);
@@ -733,12 +892,15 @@ where
             coll_seq: 0,
             phase_marks: Vec::new(),
             trace: hub.clone(),
+            metrics: MetricsShard::new(instr.metrics),
+            fault: instr.fault.clone(),
+            send_seq: 0,
         })
         .collect();
     drop(txs);
 
     let f = &f;
-    let outcomes: Vec<(R, RankStats)> = std::thread::scope(|scope| {
+    let outcomes: Vec<(R, RankStats, RankMetrics)> = std::thread::scope(|scope| {
         let handles: Vec<_> = comms
             .iter_mut()
             .map(|comm| {
@@ -752,7 +914,7 @@ where
                     if let Some(hub) = &comm.trace {
                         hub.set_final_time(comm.rank, comm.clock);
                     }
-                    (result, comm.stats())
+                    (result, comm.stats(), comm.metrics_snapshot())
                 })
             })
             .collect();
@@ -764,11 +926,16 @@ where
             .collect()
     });
 
+    let metrics_on = instr.metrics.enabled;
     let mut results = Vec::with_capacity(size);
     let mut stats = Vec::with_capacity(size);
-    for (r, s) in outcomes {
+    let mut metrics = Vec::with_capacity(if metrics_on { size } else { 0 });
+    for (r, s, m) in outcomes {
         results.push(r);
         stats.push(s);
+        if metrics_on {
+            metrics.push(m);
+        }
     }
     // Release the per-rank hub references so the Arc unwraps cleanly.
     comms.clear();
@@ -785,6 +952,7 @@ where
             machine,
         },
         traces,
+        metrics,
     )
 }
 

@@ -1,0 +1,160 @@
+//! Fault injection: a hook point on the send path where a
+//! message-delay/drop layer can attach.
+//!
+//! This is the seed of the ROADMAP's fault-injection item: the
+//! communicator consults an optional [`FaultLayer`] for every outgoing
+//! message and applies the returned [`FaultAction`]. A dropped message
+//! is charged to the sender exactly like a delivered one (the network
+//! lost it *after* the NIC accepted it) but never reaches the receiver,
+//! which is what lets the recv watchdog and the structured
+//! [`CommError`](crate::error::CommError) diagnostics be exercised
+//! against realistic comm failures instead of only mismatched patterns.
+//! A delayed message arrives intact but with extra virtual latency.
+//!
+//! The hook is currently test-only by convention: production entry
+//! points ([`run`](crate::run), [`run_traced`](crate::run_traced)) never
+//! attach a layer; tests go through
+//! [`run_instrumented`](crate::run_instrumented) with
+//! [`InstrumentConfig::fault`](crate::comm::InstrumentConfig) set.
+//! Injections are observable: the sender's metrics shard counts
+//! [`FAULTS_DROPPED`] / [`FAULTS_DELAYED`].
+
+/// Metric name: messages a fault layer dropped on this rank.
+pub const FAULTS_DROPPED: &str = "mpi.fault.dropped";
+/// Metric name: messages a fault layer delayed on this rank.
+pub const FAULTS_DELAYED: &str = "mpi.fault.delayed";
+
+/// One outgoing message, as seen by a fault layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsgCtx {
+    pub src: usize,
+    pub dst: usize,
+    pub tag: u32,
+    /// Payload size in bytes (wire-encoded).
+    pub bytes: usize,
+    /// Sequence number of this send on the source rank (0-based, counts
+    /// every send including collective-internal ones).
+    pub seq: u64,
+}
+
+/// What to do with one message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// Deliver normally.
+    Deliver,
+    /// Deliver, but add this many *virtual* seconds of extra latency.
+    Delay(f64),
+    /// Never deliver. The sender is charged as usual.
+    Drop,
+}
+
+/// A message-level fault model. Implementations must be deterministic
+/// functions of the [`MsgCtx`] if run reproducibility matters (every
+/// built-in model is).
+pub trait FaultLayer: Send + Sync {
+    fn on_send(&self, ctx: &MsgCtx) -> FaultAction;
+}
+
+/// Any `Fn(&MsgCtx) -> FaultAction` closure is a fault layer.
+impl<F> FaultLayer for F
+where
+    F: Fn(&MsgCtx) -> FaultAction + Send + Sync,
+{
+    fn on_send(&self, ctx: &MsgCtx) -> FaultAction {
+        self(ctx)
+    }
+}
+
+/// Drop every message matching `(src, dst, tag)` (any field `None` =
+/// wildcard) — the simplest way to simulate a lost message on one edge.
+#[derive(Debug, Clone, Default)]
+pub struct DropMatching {
+    pub src: Option<usize>,
+    pub dst: Option<usize>,
+    pub tag: Option<u32>,
+}
+
+impl FaultLayer for DropMatching {
+    fn on_send(&self, ctx: &MsgCtx) -> FaultAction {
+        let hit = self.src.is_none_or(|s| s == ctx.src)
+            && self.dst.is_none_or(|d| d == ctx.dst)
+            && self.tag.is_none_or(|t| t == ctx.tag);
+        if hit {
+            FaultAction::Drop
+        } else {
+            FaultAction::Deliver
+        }
+    }
+}
+
+/// Delay every message matching `(src, dst, tag)` by a fixed number of
+/// virtual seconds.
+#[derive(Debug, Clone)]
+pub struct DelayMatching {
+    pub src: Option<usize>,
+    pub dst: Option<usize>,
+    pub tag: Option<u32>,
+    pub seconds: f64,
+}
+
+impl FaultLayer for DelayMatching {
+    fn on_send(&self, ctx: &MsgCtx) -> FaultAction {
+        let hit = self.src.is_none_or(|s| s == ctx.src)
+            && self.dst.is_none_or(|d| d == ctx.dst)
+            && self.tag.is_none_or(|t| t == ctx.tag);
+        if hit {
+            FaultAction::Delay(self.seconds)
+        } else {
+            FaultAction::Deliver
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_matching_wildcards() {
+        let ctx = MsgCtx {
+            src: 1,
+            dst: 0,
+            tag: 7,
+            bytes: 16,
+            seq: 0,
+        };
+        let all = DropMatching::default();
+        assert_eq!(all.on_send(&ctx), FaultAction::Drop);
+        let tag_only = DropMatching {
+            tag: Some(8),
+            ..Default::default()
+        };
+        assert_eq!(tag_only.on_send(&ctx), FaultAction::Deliver);
+        let edge = DropMatching {
+            src: Some(1),
+            dst: Some(0),
+            tag: Some(7),
+        };
+        assert_eq!(edge.on_send(&ctx), FaultAction::Drop);
+    }
+
+    #[test]
+    fn closures_are_fault_layers() {
+        let layer = |ctx: &MsgCtx| {
+            if ctx.seq == 0 {
+                FaultAction::Delay(0.5)
+            } else {
+                FaultAction::Deliver
+            }
+        };
+        let mk = |seq| MsgCtx {
+            src: 0,
+            dst: 1,
+            tag: 0,
+            bytes: 0,
+            seq,
+        };
+        assert_eq!(layer.on_send(&mk(0)), FaultAction::Delay(0.5));
+        assert_eq!(layer.on_send(&mk(1)), FaultAction::Deliver);
+    }
+}

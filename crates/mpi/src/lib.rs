@@ -28,19 +28,28 @@
 
 //!
 //! Observability: [`run_traced`] records per-rank [`TraceEvent`] streams
-//! (exportable via [`chrome_trace_json`] / [`stats_json`]), and failed
+//! (exportable via [`chrome_trace_json`] / [`stats_json`]),
+//! [`run_instrumented`] additionally collects per-rank metric shards
+//! (counters/gauges/histograms from `pgr-obs`) and can attach a
+//! [`fault`] layer that drops or delays messages, and failed
 //! communication patterns surface as structured [`CommError`] diagnostics
 //! instead of bare panics.
 
 pub mod comm;
 pub mod error;
+pub mod fault;
 pub mod machine;
 pub mod trace;
 pub mod wire;
 
-pub use comm::{run, run_traced, Comm, RankStats, RunReport, COLLECTIVE_TAG_BASE};
+pub use comm::{
+    run, run_instrumented, run_traced, Comm, InstrumentConfig, RankStats, RunReport,
+    COLLECTIVE_TAG_BASE,
+};
 pub use error::{CommError, PendingMsg};
+pub use fault::{FaultAction, FaultLayer, MsgCtx};
 pub use machine::MachineModel;
+pub use pgr_obs::{MetricsConfig, RankMetrics, RunMeta};
 pub use trace::{
     chrome_trace_json, stats_json, RankTrace, TraceConfig, TraceEvent, TraceEventKind,
 };

@@ -21,6 +21,7 @@
 
 use crate::comm::RankStats;
 use crate::machine::MachineModel;
+use pgr_obs::{json_escape, RunMeta, SCHEMA_VERSION};
 use std::collections::VecDeque;
 use std::sync::Mutex;
 use std::time::Duration;
@@ -231,22 +232,6 @@ impl TraceHub {
     }
 }
 
-/// Escape a string for inclusion in a JSON string literal.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 fn micros(t: f64) -> f64 {
     t * 1e6
 }
@@ -322,8 +307,12 @@ fn phase_origin(t: &RankTrace) -> f64 {
 }
 
 /// Compact JSON dump of per-rank statistics for cross-run aggregation:
-/// `{"machine":…,"makespan":…,"ranks":[{rank,time,ops,…,phases:{…}},…]}`.
-pub fn stats_json(stats: &[RankStats], machine: &MachineModel) -> String {
+/// `{"schema_version":…,"kind":"stats","run":{…},"machine":…,"makespan":…,
+/// "ranks":[{rank,time,ops,…,phases:[…]},…]}`. The `run` descriptor
+/// carries the coordinates (circuit, algorithm, procs, …) cross-run
+/// series are keyed on, and `schema_version` lets the aggregator reject
+/// dumps it cannot interpret instead of mis-reading them.
+pub fn stats_json(stats: &[RankStats], machine: &MachineModel, run: &RunMeta) -> String {
     let makespan = stats.iter().map(|s| s.time).fold(0.0, f64::max);
     let ranks: Vec<String> = stats
         .iter()
@@ -343,7 +332,9 @@ pub fn stats_json(stats: &[RankStats], machine: &MachineModel) -> String {
         })
         .collect();
     format!(
-        "{{\"machine\":\"{}\",\"makespan\":{:.9},\"ranks\":[\n{}\n]}}\n",
+        "{{\"schema_version\":{},\"kind\":\"stats\",\"run\":{},\"machine\":\"{}\",\"makespan\":{:.9},\"ranks\":[\n{}\n]}}\n",
+        SCHEMA_VERSION,
+        run.to_json(),
         json_escape(machine.name),
         makespan,
         ranks.join(",\n")
@@ -439,11 +430,25 @@ mod tests {
             peak_mem: 128,
             phases: vec![("setup", 0.5), ("route", 0.75)],
         }];
-        let json = stats_json(&stats, &MachineModel::ideal());
+        let run = RunMeta {
+            circuit: "t".into(),
+            algorithm: "serial".into(),
+            procs: 1,
+            machine: "ideal".into(),
+            scale: 1.0,
+            seed: 7,
+        };
+        let json = stats_json(&stats, &MachineModel::ideal(), &run);
+        assert!(json.contains(&format!("\"schema_version\":{SCHEMA_VERSION}")));
+        assert!(json.contains("\"kind\":\"stats\""));
+        assert!(json.contains("\"circuit\":\"t\""));
+        assert!(json.contains("\"algorithm\":\"serial\""));
         assert!(json.contains("\"machine\":\"ideal\""));
         assert!(json.contains("\"rank\":0"));
         assert!(json.contains("\"setup\""));
         assert!(json.contains("\"route\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // The emitted document is valid JSON by the workspace's own reader.
+        pgr_obs::Json::parse(&json).expect("stats_json parses");
     }
 }

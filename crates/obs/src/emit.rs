@@ -1,0 +1,217 @@
+//! Versioned JSON emission of per-run metrics.
+//!
+//! Every artifact the router dumps for later aggregation carries a
+//! `schema_version` plus a `kind` tag and a `run` descriptor ([`RunMeta`])
+//! naming the circuit, algorithm, rank count, machine, scale, and seed —
+//! the coordinates cross-run series (speedup curves, phase-time trends,
+//! quality deltas) are keyed on. The aggregator refuses files whose
+//! version it does not understand, so the schema can evolve without old
+//! readers silently mis-parsing new dumps.
+
+use crate::metrics::RankMetrics;
+
+/// Version stamped into (and required of) every stats/metrics dump.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `f64` such that the JSON reader gets the exact value back
+/// (shortest roundtrip form; Rust's float Display is roundtrip-exact).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `Display` omits the ".0" for integral floats, which is still
+        // valid JSON, so use it as-is.
+        s
+    } else {
+        // JSON has no Inf/NaN; clamp to null-ish sentinel.
+        "0".to_string()
+    }
+}
+
+/// Identity of one run: the coordinates aggregation keys on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMeta {
+    pub circuit: String,
+    /// `"serial"`, `"row-wise"`, `"net-wise"`, or `"hybrid"`.
+    pub algorithm: String,
+    pub procs: usize,
+    pub machine: String,
+    /// Circuit scale relative to the paper's full sizes.
+    pub scale: f64,
+    pub seed: u64,
+}
+
+impl RunMeta {
+    /// The `"run":{…}` JSON fragment shared by every emitter.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"circuit\":\"{}\",\"algorithm\":\"{}\",\"procs\":{},\"machine\":\"{}\",\"scale\":{},\"seed\":{}}}",
+            json_escape(&self.circuit),
+            json_escape(&self.algorithm),
+            self.procs,
+            json_escape(&self.machine),
+            json_f64(self.scale),
+            self.seed
+        )
+    }
+}
+
+fn rank_json(m: &RankMetrics) -> String {
+    let counters: Vec<String> = m
+        .counters
+        .iter()
+        .map(|(n, v)| format!("\"{}\":{}", json_escape(n), v))
+        .collect();
+    let gauges: Vec<String> = m
+        .gauges
+        .iter()
+        .map(|(n, v)| format!("\"{}\":{}", json_escape(n), json_f64(*v)))
+        .collect();
+    let hists: Vec<String> = m
+        .histograms
+        .iter()
+        .map(|(n, h)| {
+            let sparse: Vec<String> = h
+                .nonzero_buckets()
+                .iter()
+                .map(|(i, c)| format!("[{i},{c}]"))
+                .collect();
+            format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}",
+                json_escape(n),
+                h.count,
+                h.sum,
+                if h.count == 0 { 0 } else { h.min },
+                h.max,
+                sparse.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"rank\":{},\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+        m.rank,
+        counters.join(","),
+        gauges.join(","),
+        hists.join(",")
+    )
+}
+
+/// Serialize one run's per-rank metrics:
+/// `{"schema_version":…,"kind":"metrics","run":{…},"ranks":[…]}`.
+pub fn metrics_json(run: &RunMeta, ranks: &[RankMetrics]) -> String {
+    let body: Vec<String> = ranks.iter().map(rank_json).collect();
+    format!(
+        "{{\"schema_version\":{},\"kind\":\"metrics\",\"run\":{},\"ranks\":[\n{}\n]}}\n",
+        SCHEMA_VERSION,
+        run.to_json(),
+        body.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::metrics::{Histogram, MetricsConfig, MetricsShard};
+
+    fn meta() -> RunMeta {
+        RunMeta {
+            circuit: "primary1".into(),
+            algorithm: "hybrid".into(),
+            procs: 8,
+            machine: "SparcCenter 1000".into(),
+            scale: 0.25,
+            seed: 1997,
+        }
+    }
+
+    #[test]
+    fn metrics_json_roundtrips_through_the_reader() {
+        let mut s = MetricsShard::new(MetricsConfig::on());
+        s.add("route.wirelength", 1234);
+        s.gauge("route.chip_width", 56.5);
+        for v in [0, 3, 3, 900] {
+            s.observe("route.channel_density", v);
+        }
+        let doc = metrics_json(&meta(), &[s.snapshot(0)]);
+        let v = Json::parse(&doc).expect("emitter output parses");
+        assert_eq!(
+            v.get("schema_version").unwrap().as_u64(),
+            Some(SCHEMA_VERSION as u64)
+        );
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("metrics"));
+        let run = v.get("run").unwrap();
+        assert_eq!(run.get("circuit").unwrap().as_str(), Some("primary1"));
+        assert_eq!(run.get("procs").unwrap().as_u64(), Some(8));
+        assert_eq!(run.get("scale").unwrap().as_f64(), Some(0.25));
+        let rank0 = &v.get("ranks").unwrap().as_arr().unwrap()[0];
+        assert_eq!(
+            rank0
+                .get("counters")
+                .unwrap()
+                .get("route.wirelength")
+                .unwrap()
+                .as_u64(),
+            Some(1234)
+        );
+        let h = rank0
+            .get("histograms")
+            .unwrap()
+            .get("route.channel_density")
+            .unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(4));
+        assert_eq!(h.get("sum").unwrap().as_u64(), Some(906));
+        // Sparse buckets rebuild the exact histogram.
+        let sparse: Vec<(usize, u64)> = h
+            .get("buckets")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|pair| {
+                let p = pair.as_arr().unwrap();
+                (p[0].as_u64().unwrap() as usize, p[1].as_u64().unwrap())
+            })
+            .collect();
+        let rebuilt = Histogram::from_parts(
+            h.get("count").unwrap().as_u64().unwrap(),
+            h.get("sum").unwrap().as_u64().unwrap(),
+            h.get("min").unwrap().as_u64().unwrap(),
+            h.get("max").unwrap().as_u64().unwrap(),
+            &sparse,
+        )
+        .unwrap();
+        let mut want = Histogram::new();
+        for v in [0, 3, 3, 900] {
+            want.observe(v);
+        }
+        assert_eq!(rebuilt, want);
+    }
+
+    #[test]
+    fn escaping_survives_hostile_names() {
+        let mut m = meta();
+        m.circuit = "we\"ird\\name\n".into();
+        let doc = metrics_json(&m, &[]);
+        let v = Json::parse(&doc).expect("escaped output parses");
+        assert_eq!(
+            v.get("run").unwrap().get("circuit").unwrap().as_str(),
+            Some("we\"ird\\name\n")
+        );
+    }
+}

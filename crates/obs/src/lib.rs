@@ -1,0 +1,29 @@
+//! Observability primitives for the parallel global router.
+//!
+//! The paper's whole evaluation is a set of *cross-run comparisons* —
+//! serial vs. row-wise vs. net-wise vs. hybrid over six circuits and
+//! several rank counts. This crate supplies the metric types those
+//! comparisons are built from:
+//!
+//! * [`MetricsShard`] — counters, gauges, and fixed-bucket [`Histogram`]s
+//!   with shard-per-rank storage: each rank owns its shard outright, so
+//!   the hot path is uncontended, and a disabled shard records nothing
+//!   and allocates nothing;
+//! * [`metrics_json`] — a versioned (`schema_version`) JSON dump of one
+//!   run's per-rank metrics, tagged with the [`RunMeta`] (circuit,
+//!   algorithm, rank count, machine, scale, seed) that cross-run
+//!   aggregation keys on;
+//! * [`json`] — a small dependency-free JSON reader the aggregator uses
+//!   to load `*.stats.json` / `*.metrics.json` dumps back in.
+//!
+//! The crate is deliberately free of router types: `pgr-mpi` embeds a
+//! shard in every communicator, `pgr-router` records into it from the
+//! five TWGR phases, and `pgr-bench` aggregates the dumps.
+
+pub mod emit;
+pub mod json;
+pub mod metrics;
+
+pub use emit::{json_escape, metrics_json, RunMeta, SCHEMA_VERSION};
+pub use json::Json;
+pub use metrics::{merge_ranks, Histogram, MetricsConfig, MetricsShard, RankMetrics};

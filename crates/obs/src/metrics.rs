@@ -1,0 +1,505 @@
+//! Counters, gauges, and fixed-bucket histograms with shard-per-rank
+//! storage.
+//!
+//! Metric names are `&'static str` so the recording hot path never
+//! allocates for a metric that already exists; a shard created disabled
+//! ([`MetricsConfig::off`]) never allocates at all — every record call
+//! returns after one branch. Shards are *owned by their rank* (no shared
+//! state, no locks); cross-rank and cross-run combination happens on
+//! snapshots ([`RankMetrics`]) after the run.
+
+/// Whether a shard records anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsConfig {
+    pub enabled: bool,
+}
+
+impl MetricsConfig {
+    /// Record nothing, allocate nothing: the default.
+    pub const fn off() -> Self {
+        MetricsConfig { enabled: false }
+    }
+
+    pub const fn on() -> Self {
+        MetricsConfig { enabled: true }
+    }
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        MetricsConfig::off()
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i ≥ 1`
+/// holds values with bit length `i`, i.e. `v ∈ [2^(i-1), 2^i)`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A fixed-bucket power-of-two histogram.
+///
+/// The bucket layout is a compile-time constant shared by every producer
+/// and consumer, which is what makes merges across ranks, runs, and
+/// machines associative and exact: merging is element-wise `u64`
+/// addition plus min/max, with no re-binning and no floating point.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    pub count: u64,
+    pub sum: u64,
+    /// Smallest observed value (meaningful only when `count > 0`).
+    pub min: u64,
+    /// Largest observed value (meaningful only when `count > 0`).
+    pub max: u64,
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("nonzero_buckets", &self.nonzero_buckets())
+            .finish()
+    }
+}
+
+/// Bucket index of a value: 0 for 0, else the bit length.
+pub fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Human-readable range of bucket `i` (`"0"` or `"[lo,hi)"`).
+pub fn bucket_label(i: usize) -> String {
+    if i == 0 {
+        "0".to_string()
+    } else if i >= HIST_BUCKETS - 1 {
+        format!("[{},∞)", 1u64 << (i - 1))
+    } else {
+        format!("[{},{})", 1u64 << (i - 1), 1u64 << i)
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Merge another histogram in. Exact and associative: integer adds
+    /// over an identical fixed bucket layout.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `(bucket_index, count)` pairs for the occupied buckets — the
+    /// sparse form the JSON emitter uses.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// Rebuild from the sparse form (inverse of [`nonzero_buckets`]
+    /// plus the scalar fields). Out-of-range indices are rejected.
+    pub fn from_parts(
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        sparse: &[(usize, u64)],
+    ) -> Result<Self, String> {
+        let mut h = Histogram::new();
+        h.count = count;
+        h.sum = sum;
+        h.min = if count == 0 { u64::MAX } else { min };
+        h.max = max;
+        for &(i, c) in sparse {
+            if i >= HIST_BUCKETS {
+                return Err(format!("histogram bucket index {i} out of range"));
+            }
+            h.buckets[i] = c;
+        }
+        Ok(h)
+    }
+}
+
+/// One rank's (or one solo run's) metric storage.
+///
+/// Lookup is linear over `&'static str` names: the metric namespace is a
+/// few dozen entries, the common case is a pointer-equal hit, and linear
+/// vectors keep the disabled path a single branch with zero allocation.
+#[derive(Debug, Default)]
+pub struct MetricsShard {
+    enabled: bool,
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, f64)>,
+    histograms: Vec<(&'static str, Histogram)>,
+}
+
+fn slot<'a, T>(entries: &'a mut Vec<(&'static str, T)>, name: &'static str) -> &'a mut T
+where
+    T: Default,
+{
+    // Two passes keep the borrow checker happy without unsafe: position,
+    // then index.
+    if let Some(i) = entries
+        .iter()
+        .position(|(n, _)| std::ptr::eq(*n, name) || *n == name)
+    {
+        return &mut entries[i].1;
+    }
+    entries.push((name, T::default()));
+    &mut entries.last_mut().expect("just pushed").1
+}
+
+impl MetricsShard {
+    pub fn new(config: MetricsConfig) -> Self {
+        MetricsShard {
+            enabled: config.enabled,
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// A shard that records nothing (and never allocates).
+    pub fn disabled() -> Self {
+        MetricsShard::new(MetricsConfig::off())
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Add `delta` to the counter `name`.
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        *slot(&mut self.counters, name) += delta;
+    }
+
+    /// Set the gauge `name` to `v` (last write wins).
+    pub fn gauge(&mut self, name: &'static str, v: f64) {
+        if !self.enabled {
+            return;
+        }
+        *slot(&mut self.gauges, name) = v;
+    }
+
+    /// Record one observation into the histogram `name`.
+    pub fn observe(&mut self, name: &'static str, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        slot::<Histogram>(&mut self.histograms, name).observe(v);
+    }
+
+    /// Owned snapshot, sorted by metric name for deterministic output.
+    pub fn snapshot(&self, rank: usize) -> RankMetrics {
+        let mut counters: Vec<(String, u64)> = self
+            .counters
+            .iter()
+            .map(|(n, v)| (n.to_string(), *v))
+            .collect();
+        let mut gauges: Vec<(String, f64)> = self
+            .gauges
+            .iter()
+            .map(|(n, v)| (n.to_string(), *v))
+            .collect();
+        let mut histograms: Vec<(String, Histogram)> = self
+            .histograms
+            .iter()
+            .map(|(n, h)| (n.to_string(), h.clone()))
+            .collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        RankMetrics {
+            rank,
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Snapshot of one rank's metrics, detached from the `'static` name
+/// table so it can be merged with metrics parsed back from JSON.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RankMetrics {
+    pub rank: usize,
+    /// Sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Sorted by name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl RankMetrics {
+    /// An empty snapshot for `rank` — the starting point when rebuilding
+    /// metrics parsed back from a JSON dump.
+    pub fn empty(rank: usize) -> Self {
+        RankMetrics {
+            rank,
+            ..Default::default()
+        }
+    }
+
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Set (or overwrite) a gauge after the fact — used for derived
+    /// whole-run figures like load imbalance that no single rank can
+    /// compute during the run.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        match self.gauges.iter_mut().find(|(n, _)| n == name) {
+            Some((_, g)) => *g = v,
+            None => {
+                self.gauges.push((name.to_string(), v));
+                self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+            }
+        }
+    }
+
+    /// Fold `other` in: counters add, gauges keep the maximum, and
+    /// histograms merge bucket-wise. This is the cross-rank (and
+    /// cross-run) combination rule; with histogram merging exact and
+    /// associative, any merge order yields the same result.
+    pub fn merge_from(&mut self, other: &RankMetrics) {
+        for (name, v) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, c)) => *c += v,
+                None => self.counters.push((name.clone(), *v)),
+            }
+        }
+        for (name, v) in &other.gauges {
+            match self.gauges.iter_mut().find(|(n, _)| n == name) {
+                Some((_, g)) => *g = g.max(*v),
+                None => self.gauges.push((name.clone(), *v)),
+            }
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => mine.merge(h),
+                None => self.histograms.push((name.clone(), h.clone())),
+            }
+        }
+        self.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        self.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+}
+
+/// Merge every rank's snapshot into one run-level view (rank field 0).
+pub fn merge_ranks(ranks: &[RankMetrics]) -> RankMetrics {
+    let mut out = RankMetrics::default();
+    for r in ranks {
+        out.merge_from(r);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_observes_and_summarizes() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 106);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 100);
+        assert_eq!(h.buckets[0], 1); // the zero
+        assert_eq!(h.buckets[2], 2); // 2 and 3
+        assert!((h.mean() - 21.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_and_commutative() {
+        let mk = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.observe(v);
+            }
+            h
+        };
+        let a = mk(&[1, 5, 9]);
+        let b = mk(&[0, 0, 1024]);
+        let c = mk(&[77]);
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+
+        let mut cba = c.clone();
+        cba.merge(&b);
+        cba.merge(&a);
+
+        assert_eq!(ab_c, a_bc, "associative");
+        assert_eq!(ab_c, cba, "commutative");
+        // And it equals observing everything into one histogram.
+        assert_eq!(ab_c, mk(&[1, 5, 9, 0, 0, 1024, 77]));
+    }
+
+    #[test]
+    fn merge_with_empty_preserves_min() {
+        let mut h = Histogram::new();
+        h.observe(5);
+        let empty = Histogram::new();
+        h.merge(&empty);
+        assert_eq!(h.min, 5, "empty merge must not clobber min");
+    }
+
+    #[test]
+    fn sparse_roundtrip() {
+        let mut h = Histogram::new();
+        for v in [3, 3, 900, 0] {
+            h.observe(v);
+        }
+        let back =
+            Histogram::from_parts(h.count, h.sum, h.min, h.max, &h.nonzero_buckets()).unwrap();
+        assert_eq!(h, back);
+        assert!(Histogram::from_parts(1, 1, 1, 1, &[(HIST_BUCKETS, 1)]).is_err());
+    }
+
+    #[test]
+    fn disabled_shard_records_nothing() {
+        let mut s = MetricsShard::disabled();
+        s.add("a", 5);
+        s.gauge("g", 1.5);
+        s.observe("h", 3);
+        let snap = s.snapshot(0);
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn shard_accumulates_and_sorts() {
+        let mut s = MetricsShard::new(MetricsConfig::on());
+        s.add("z.count", 1);
+        s.add("a.count", 2);
+        s.add("z.count", 3);
+        s.gauge("g", 1.0);
+        s.gauge("g", 2.0);
+        s.observe("h", 7);
+        let snap = s.snapshot(3);
+        assert_eq!(snap.rank, 3);
+        assert_eq!(
+            snap.counters,
+            vec![("a.count".into(), 2), ("z.count".into(), 4)]
+        );
+        assert_eq!(snap.gauge("g"), Some(2.0), "gauge is last-write-wins");
+        assert_eq!(snap.histogram("h").unwrap().count, 1);
+    }
+
+    #[test]
+    fn merge_ranks_sums_counters_and_merges_histograms() {
+        let mut a = MetricsShard::new(MetricsConfig::on());
+        a.add("c", 1);
+        a.observe("h", 2);
+        a.gauge("g", 1.0);
+        let mut b = MetricsShard::new(MetricsConfig::on());
+        b.add("c", 10);
+        b.add("only_b", 4);
+        b.observe("h", 5);
+        b.gauge("g", 3.0);
+        let merged = merge_ranks(&[a.snapshot(0), b.snapshot(1)]);
+        assert_eq!(merged.counter("c"), Some(11));
+        assert_eq!(merged.counter("only_b"), Some(4));
+        assert_eq!(merged.gauge("g"), Some(3.0), "gauges merge by max");
+        let h = merged.histogram("h").unwrap();
+        assert_eq!((h.count, h.sum, h.min, h.max), (2, 7, 2, 5));
+    }
+
+    #[test]
+    fn merge_ranks_is_order_independent() {
+        let mut shards = Vec::new();
+        for r in 0..4u64 {
+            let mut s = MetricsShard::new(MetricsConfig::on());
+            s.add("c", r + 1);
+            s.observe("h", r * 100);
+            shards.push(s.snapshot(r as usize));
+        }
+        let fwd = merge_ranks(&shards);
+        shards.reverse();
+        let mut rev = merge_ranks(&shards);
+        rev.rank = fwd.rank;
+        assert_eq!(fwd, rev);
+    }
+}

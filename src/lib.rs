@@ -3,4 +3,5 @@ pub use pgr_channel as channel;
 pub use pgr_circuit as circuit;
 pub use pgr_geom as geom;
 pub use pgr_mpi as mpi;
+pub use pgr_obs as obs;
 pub use pgr_router as router;
