@@ -6,7 +6,8 @@
 //! targets: table1 table2 table3 table4 table5
 //!          partition-ablation sync-sweep machine-sweep
 //!          exact-sync-ablation beta-sweep phase-breakdown
-//!          detailed-refinement steiner-ablation comm-matrix all
+//!          detailed-refinement steiner-ablation comm-matrix
+//!          chaos all
 //!
 //! repro aggregate [--out FILE] [--md FILE] [--baseline FILE]
 //!                 [--tolerance F] <path>...
@@ -20,6 +21,12 @@
 //! `chrome://tracing` or Perfetto), per-rank stats (`*.stats.json`),
 //! and per-rank metrics (`*.metrics.json`) into DIR (created if
 //! missing).
+//!
+//! `chaos` is the robustness smoke: every algorithm routed under a
+//! seeded drop/delay/reorder/duplicate schedule with the reliable
+//! transport on, plus one rank killed at a phase boundary; each
+//! degraded result is verified and the recovery counters are printed
+//! (and written to `*.metrics.json` under `--trace-out`).
 //!
 //! `repro aggregate` merges any number of such dumps — files or
 //! directories, typically from several independent `--trace-out` runs —
@@ -38,7 +45,7 @@ use std::path::PathBuf;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale F] [--circuits a,b,c] [--trace-out DIR] <target>...\n\
-         targets: table1 table2 table3 table4 table5 partition-ablation sync-sweep\n          machine-sweep exact-sync-ablation beta-sweep phase-breakdown detailed-refinement steiner-ablation comm-matrix all\n\
+         targets: table1 table2 table3 table4 table5 partition-ablation sync-sweep\n          machine-sweep exact-sync-ablation beta-sweep phase-breakdown detailed-refinement steiner-ablation comm-matrix chaos all\n\
          or:    repro aggregate [--out FILE] [--md FILE] [--baseline FILE] [--tolerance F] <path>..."
     );
     std::process::exit(2);
@@ -170,6 +177,7 @@ fn main() {
             "detailed-refinement",
             "steiner-ablation",
             "comm-matrix",
+            "chaos",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -191,6 +199,7 @@ fn main() {
             "detailed-refinement" => tables::detailed_refinement(&opts),
             "steiner-ablation" => tables::steiner_ablation(&opts),
             "comm-matrix" => tables::comm_matrix(&opts),
+            "chaos" => tables::chaos_smoke(&opts),
             other => {
                 eprintln!("unknown target '{other}'");
                 usage();

@@ -14,12 +14,16 @@
 use crate::{circuits, fmt_secs, serial_baseline, SEED};
 use pgr_circuit::Circuit;
 use pgr_mpi::trace::{chrome_trace_json, stats_json, RankTrace};
-use pgr_mpi::{InstrumentConfig, MachineModel, RankMetrics, RankStats, RunMeta};
+use pgr_mpi::{
+    ChaosConfig, ChaosLayer, InstrumentConfig, MachineModel, MetricsConfig, RankMetrics, RankStats,
+    ReliabilityConfig, RunMeta,
+};
 use pgr_obs::metrics_json;
 use pgr_router::{
     route_parallel, route_parallel_instrumented, Algorithm, PartitionKind, RouterConfig,
 };
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Harness options.
 #[derive(Debug, Clone)]
@@ -714,6 +718,99 @@ pub fn machine_sweep(opts: &Opts) {
                     base.time / hybrid.time,
                     base.time / netwise.time
                 );
+            }
+        }
+    }
+    println!();
+}
+
+/// Beyond the paper: chaos smoke — every algorithm routed under a seeded
+/// fault schedule (drop + delay + reorder + duplicate) with the reliable
+/// transport on, plus the highest rank killed at a phase boundary. Each
+/// degraded result is verified against the circuit; the table shows the
+/// protocol effort (retransmits, reorder-buffer fills, suppressed
+/// duplicates) and the recovery accounting (rounds survived, ranks
+/// lost). With `--trace-out` the per-run artifacts are written under an
+/// `<circuit>_<algo>_chaos_p<P>` label with algorithm `"<name>-chaos"`,
+/// so `repro aggregate` can trend robustness separately from the clean
+/// runs.
+pub fn chaos_smoke(opts: &Opts) {
+    let machine = MachineModel::sparc_center_1000();
+    let cfg = cfg();
+    println!("Chaos smoke: message faults + one-rank kill, reliable transport on");
+    opts.note_scale();
+    println!(
+        "{:<12} {:<10} {:>2} {:>6} {:>8} {:>7} {:>7} {:>7} {:>8} {:>6}",
+        "circuit",
+        "algorithm",
+        "P",
+        "killed",
+        "tracks",
+        "retran",
+        "reord",
+        "dup",
+        "recovery",
+        "lost"
+    );
+    for c in opts.circuits() {
+        let p = clamp_procs(4, &c);
+        for algo in Algorithm::ALL {
+            let mut chaos = ChaosConfig::messages_only(SEED);
+            // The highest rank dies entering its third phase; the
+            // survivors re-partition its rows/nets and finish on P-1.
+            if p > 1 {
+                chaos.kills = vec![(p - 1, 2)];
+            }
+            let killed = if p > 1 {
+                format!("{}", p - 1)
+            } else {
+                "-".to_string()
+            };
+            let instr = InstrumentConfig {
+                metrics: MetricsConfig::on(),
+                fault: Some(Arc::new(ChaosLayer::new(chaos))),
+                reliability: ReliabilityConfig::on(),
+                ..opts.instrument()
+            };
+            let out = route_parallel_instrumented(
+                &c,
+                &cfg,
+                algo,
+                PartitionKind::PinWeight,
+                p,
+                machine,
+                instr,
+            );
+            pgr_router::verify::assert_verified(&c, &out.result);
+            let sum =
+                |name: &str| -> u64 { out.metrics.iter().filter_map(|m| m.counter(name)).sum() };
+            println!(
+                "{:<12} {:<10} {:>2} {:>6} {:>8} {:>7} {:>7} {:>7} {:>8} {:>6}",
+                c.name,
+                algo.name(),
+                p,
+                killed,
+                out.result.track_count(),
+                sum(pgr_mpi::reliable::RETRANSMITS),
+                sum(pgr_mpi::reliable::REORDER_BUFFERED),
+                sum(pgr_mpi::reliable::DUPLICATES_DROPPED),
+                sum(pgr_router::metrics::names::RECOVERY_EVENTS),
+                sum(pgr_router::metrics::names::RANKS_LOST),
+            );
+            if let Some(dir) = &opts.trace_out {
+                let label = format!("{}_{}_chaos_p{p}", c.name, algo.name());
+                let run = opts.run_meta(&c.name, &format!("{}-chaos", algo.name()), p, &machine);
+                if let Err(e) = write_traces(
+                    dir,
+                    &label,
+                    &out.traces,
+                    &out.stats,
+                    &machine,
+                    &run,
+                    &out.metrics,
+                ) {
+                    eprintln!("trace write failed for {label}: {e}");
+                }
             }
         }
     }

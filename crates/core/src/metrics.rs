@@ -51,6 +51,11 @@ pub mod names {
     pub const ROWS_OWNED: &str = "parallel.rows_owned";
     /// Gauge (rank 0, post-run): max rank time / mean rank time.
     pub const LOAD_IMBALANCE: &str = "parallel.load_imbalance";
+    /// Counter: phase-boundary recovery rounds this rank survived (each
+    /// round restarts the attempt on the shrunken world).
+    pub const RECOVERY_EVENTS: &str = "parallel.recovery_events";
+    /// Counter: dead ranks removed across those recovery rounds.
+    pub const RANKS_LOST: &str = "parallel.ranks_lost";
 }
 
 /// Record the solution-quality metrics of an assembled result into the

@@ -19,7 +19,8 @@ use crate::config::RouterConfig;
 use crate::cost;
 use crate::metrics::{names, record_ft_plan, RoutingResult};
 use crate::parallel::common::{
-    assemble_works, distribute, gather_result, split_segment, sync_boundaries,
+    assemble_works, checkpoint, distribute, gather_result, split_segment, sync_boundaries,
+    with_recovery, RouteAbort,
 };
 use crate::parallel::partition::{partition_nets, PartitionKind};
 use crate::route::coarse::CoarseState;
@@ -34,13 +35,28 @@ use pgr_geom::rng::{derive_seed, rng_from_seed};
 use pgr_mpi::Comm;
 
 /// Run the hybrid algorithm on the calling rank. Returns the global
-/// result on rank 0, `None` elsewhere.
+/// result on the lowest surviving rank, `None` elsewhere.
+///
+/// Phase boundaries are recovery checkpoints (see
+/// [`crate::parallel::common::with_recovery`]): a rank killed there
+/// unwinds with `None` and the survivors redo the attempt on the
+/// shrunken world.
 pub fn route_hybrid(
     circuit: &Circuit,
     cfg: &RouterConfig,
     kind: PartitionKind,
     comm: &mut Comm,
 ) -> Option<RoutingResult> {
+    with_recovery(comm, |comm| hybrid_attempt(circuit, cfg, kind, comm))
+}
+
+/// One attempt over the current (possibly already shrunken) world.
+fn hybrid_attempt(
+    circuit: &Circuit,
+    cfg: &RouterConfig,
+    kind: PartitionKind,
+    comm: &mut Comm,
+) -> Result<Option<RoutingResult>, RouteAbort> {
     let size = comm.size();
     let rank = comm.rank();
     assert!(
@@ -50,11 +66,11 @@ pub fn route_hybrid(
     let rows = RowPartition::balanced(circuit, size);
     let mut rng = rng_from_seed(derive_seed(cfg.seed, rank as u64));
 
-    comm.phase("setup");
+    checkpoint(comm, "setup")?;
     distribute(circuit, false, comm);
 
     // Steps 1–3: exactly the row-wise flow (fake pins and all).
-    comm.phase("steiner");
+    checkpoint(comm, "steiner")?;
     let owners = partition_nets(circuit, kind, &rows, size, cfg.pin_weight_beta);
     let owned = owners.iter().filter(|&&o| o as usize == rank).count();
     comm.metric_add(names::NETS_OWNED, owned as u64);
@@ -77,7 +93,7 @@ pub fn route_hybrid(
     comm.metric_add(names::SEGMENTS_OWNED, segments.len() as u64);
     let mut works = assemble_works(&segments);
 
-    comm.phase("coarse");
+    checkpoint(comm, "coarse")?;
     let row0 = rows.start(rank) as u32;
     let nrows = rows.range(rank).len();
     comm.metric_add(names::ROWS_OWNED, nrows as u64);
@@ -85,7 +101,7 @@ pub fn route_hybrid(
     comm.charge_alloc(coarse.modeled_bytes());
     let orients = coarse.route(&segments, cfg, &mut rng, comm);
 
-    comm.phase("feedthrough");
+    checkpoint(comm, "feedthrough")?;
     let plan = FtPlan::new(row0, coarse.into_demand(), cfg.grid_w, cfg.ft_width);
     let local_cells: usize = rows.range(rank).map(|r| circuit.rows[r].cells.len()).sum();
     comm.compute(cost::FT_INSERT_CELL * local_cells as u64);
@@ -99,7 +115,7 @@ pub fn route_hybrid(
 
     // Step 4 (the hybrid difference): ship each net's fragment to the
     // net's owner, merge, and connect the whole net there.
-    comm.phase("connect");
+    checkpoint(comm, "connect")?;
     let mut work_out: Vec<Vec<WorkNet>> = vec![Vec::new(); size];
     for w in works {
         work_out[owners[w.net.index()] as usize].push(w);
@@ -157,7 +173,7 @@ pub fn route_hybrid(
     let mut spans: Vec<Span> = comm.alltoall(span_out).into_iter().flatten().collect();
 
     // Step 5: row-local switchable optimization with boundary sync.
-    comm.phase("switchable");
+    checkpoint(comm, "switchable")?;
     let mut chans = ChannelState::new(row0, nrows + 1, chip_width);
     comm.charge_alloc(chans.modeled_bytes());
     comm.compute(cost::SPAN_APPLY * spans.len() as u64);
@@ -168,8 +184,8 @@ pub fn route_hybrid(
     let flips = optimize(&mut chans, &mut spans, cfg, &mut rng, comm);
     comm.metric_add(names::SEGMENTS_FLIPPED, flips as u64);
 
-    comm.phase("assemble");
-    gather_result(
+    checkpoint(comm, "assemble")?;
+    Ok(gather_result(
         circuit,
         cfg,
         spans,
@@ -177,7 +193,7 @@ pub fn route_hybrid(
         plan.total(),
         chip_width,
         comm,
-    )
+    ))
 }
 
 #[cfg(test)]

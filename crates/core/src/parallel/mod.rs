@@ -126,7 +126,7 @@ pub fn route_parallel_instrumented(
         .into_iter()
         .flatten()
         .next()
-        .expect("rank 0 returns the assembled result");
+        .expect("the lowest surviving rank returns the assembled result");
     ParallelOutcome {
         result,
         time,

@@ -18,7 +18,7 @@
 use crate::config::RouterConfig;
 use crate::cost;
 use crate::metrics::{names, record_ft_plan, RoutingResult};
-use crate::parallel::common::{distribute, gather_result};
+use crate::parallel::common::{checkpoint, distribute, gather_result, with_recovery, RouteAbort};
 use crate::parallel::partition::{partition_nets, PartitionKind};
 use crate::route::coarse::{CoarseDeltas, CoarseState};
 use crate::route::connect::connect_net;
@@ -139,13 +139,30 @@ fn sync_chans(chans: &mut ChannelState, exact: bool, comm: &mut Comm) {
 }
 
 /// Run the net-wise algorithm on the calling rank. Returns the global
-/// result on rank 0, `None` elsewhere.
+/// result on the lowest surviving rank, `None` elsewhere.
+///
+/// Phase boundaries are recovery checkpoints (see
+/// [`crate::parallel::common::with_recovery`]): a rank killed there
+/// unwinds with `None`, the survivors re-deal the nets over the
+/// shrunken world, and the logical rank 0 — the lowest surviving
+/// physical rank — takes over the master roles (snapshot hub, final
+/// assembly).
 pub fn route_netwise(
     circuit: &Circuit,
     cfg: &RouterConfig,
     kind: PartitionKind,
     comm: &mut Comm,
 ) -> Option<RoutingResult> {
+    with_recovery(comm, |comm| netwise_attempt(circuit, cfg, kind, comm))
+}
+
+/// One attempt over the current (possibly already shrunken) world.
+fn netwise_attempt(
+    circuit: &Circuit,
+    cfg: &RouterConfig,
+    kind: PartitionKind,
+    comm: &mut Comm,
+) -> Result<Option<RoutingResult>, RouteAbort> {
     let size = comm.size();
     let rank = comm.rank();
     assert!(
@@ -157,11 +174,11 @@ pub fn route_netwise(
     let mut rng = rng_from_seed(derive_seed(cfg.seed, rank as u64));
 
     // Replicated front end: every rank builds whole-circuit structures.
-    comm.phase("setup");
+    checkpoint(comm, "setup")?;
     distribute(circuit, true, comm);
 
     // Step 1: Steiner trees for owned (whole) nets.
-    comm.phase("steiner");
+    checkpoint(comm, "steiner")?;
     let owners = partition_nets(circuit, kind, &rows, size, cfg.pin_weight_beta);
     let mut works: Vec<WorkNet> = Vec::new();
     let mut segments: Vec<Segment> = Vec::new();
@@ -187,7 +204,7 @@ pub fn route_netwise(
     // periodic synchronization every `sync_period` decisions. The
     // replicated copy is kept coarser than the serial grid to bound the
     // per-rank state and the all-channel synchronization volume.
-    comm.phase("coarse");
+    checkpoint(comm, "coarse")?;
     let grid_w = if size > 1 {
         cfg.grid_w * cfg.netwise_grid_factor.max(1)
     } else {
@@ -217,7 +234,7 @@ pub fn route_netwise(
     // go to the rank owning their row ("each processor has to own a copy
     // of all the segments which cross its rows"), assignments come back
     // to the net owner.
-    comm.phase("feedthrough");
+    checkpoint(comm, "feedthrough")?;
     let plan = FtPlan::new(0, coarse.into_demand(), grid_w, cfg.ft_width);
     comm.compute(cost::FT_INSERT_CELL * circuit.num_cells() as u64);
     let mut cross_out: Vec<Vec<Crossing>> = vec![Vec::new(); size];
@@ -245,7 +262,7 @@ pub fn route_netwise(
     attach_feedthroughs(&mut works, ft_nodes);
 
     // Step 4: connect owned nets against the replicated channel state.
-    comm.phase("connect");
+    checkpoint(comm, "connect")?;
     let chip_width = circuit.width + plan.max_growth();
     let mut chans = ChannelState::new(0, all_rows + 1, chip_width);
     comm.charge_alloc(chans.modeled_bytes());
@@ -270,7 +287,7 @@ pub fn route_netwise(
     // same switchable net segments to the same channel"), and the stale
     // views between syncs are the interference it blames for the
     // quality loss.
-    comm.phase("switchable");
+    checkpoint(comm, "switchable")?;
     let candidates = switchable_candidates(&spans);
     for _ in 0..cfg.switch_passes {
         let perm = shuffled_indices(candidates.len(), &mut rng);
@@ -288,13 +305,15 @@ pub fn route_netwise(
         }
     }
 
-    comm.phase("assemble");
+    checkpoint(comm, "assemble")?;
     // The feedthrough plan is replicated: every rank's total already
     // counts the whole chip, so only rank 0 contributes it to the gather
     // reduction (the partitioned algorithms sum disjoint per-band totals
     // there instead).
     let ft_total = if rank == 0 { plan.total() } else { 0 };
-    gather_result(circuit, cfg, spans, wirelength, ft_total, chip_width, comm)
+    Ok(gather_result(
+        circuit, cfg, spans, wirelength, ft_total, chip_width, comm,
+    ))
 }
 
 #[cfg(test)]

@@ -21,7 +21,8 @@ use crate::config::RouterConfig;
 use crate::cost;
 use crate::metrics::{names, record_ft_plan, RoutingResult};
 use crate::parallel::common::{
-    assemble_works, distribute, gather_result, split_segment, sync_boundaries,
+    assemble_works, checkpoint, distribute, gather_result, split_segment, sync_boundaries,
+    with_recovery, RouteAbort,
 };
 use crate::parallel::partition::{partition_nets, PartitionKind};
 use crate::route::coarse::CoarseState;
@@ -36,13 +37,29 @@ use pgr_geom::rng::{derive_seed, rng_from_seed};
 use pgr_mpi::Comm;
 
 /// Run the row-wise algorithm on the calling rank. Returns the global
-/// result on rank 0, `None` elsewhere.
+/// result on the lowest surviving rank, `None` elsewhere.
+///
+/// Phase boundaries are recovery checkpoints: if a fault layer's kill
+/// schedule fires at one, survivors shrink the world and restart the
+/// attempt (re-deriving the row partition and rank-seeded RNG streams
+/// for the smaller world), the victim unwinds with `None`, and the run
+/// completes in degraded mode instead of panicking.
 pub fn route_rowwise(
     circuit: &Circuit,
     cfg: &RouterConfig,
     kind: PartitionKind,
     comm: &mut Comm,
 ) -> Option<RoutingResult> {
+    with_recovery(comm, |comm| rowwise_attempt(circuit, cfg, kind, comm))
+}
+
+/// One attempt over the current (possibly already shrunken) world.
+fn rowwise_attempt(
+    circuit: &Circuit,
+    cfg: &RouterConfig,
+    kind: PartitionKind,
+    comm: &mut Comm,
+) -> Result<Option<RoutingResult>, RouteAbort> {
     let size = comm.size();
     let rank = comm.rank();
     assert!(
@@ -53,12 +70,12 @@ pub fn route_rowwise(
     let mut rng = rng_from_seed(derive_seed(cfg.seed, rank as u64));
 
     // Front end + distribution (rank 0 is the master that read the file).
-    comm.phase("setup");
+    checkpoint(comm, "setup")?;
     distribute(circuit, false, comm);
 
     // Step 1 (net-parallel): Steiner trees for owned nets, split at
     // partition boundaries, dealt to the rank owning each piece's rows.
-    comm.phase("steiner");
+    checkpoint(comm, "steiner")?;
     let owners = partition_nets(circuit, kind, &rows, size, cfg.pin_weight_beta);
     let owned = owners.iter().filter(|&&o| o as usize == rank).count();
     comm.metric_add(names::NETS_OWNED, owned as u64);
@@ -83,7 +100,7 @@ pub fn route_rowwise(
     let mut works = assemble_works(&segments);
 
     // Step 2: coarse global routing on the local row band.
-    comm.phase("coarse");
+    checkpoint(comm, "coarse")?;
     let row0 = rows.start(rank) as u32;
     let nrows = rows.range(rank).len();
     comm.metric_add(names::ROWS_OWNED, nrows as u64);
@@ -92,7 +109,7 @@ pub fn route_rowwise(
     let orients = coarse.route(&segments, cfg, &mut rng, comm);
 
     // Step 3: feedthrough insertion + assignment for the local rows.
-    comm.phase("feedthrough");
+    checkpoint(comm, "feedthrough")?;
     let plan = FtPlan::new(row0, coarse.into_demand(), cfg.grid_w, cfg.ft_width);
     let local_cells: usize = rows.range(rank).map(|r| circuit.rows[r].cells.len()).sum();
     comm.compute(cost::FT_INSERT_CELL * local_cells as u64);
@@ -106,7 +123,7 @@ pub fn route_rowwise(
     let chip_width = comm.allreduce(circuit.width + plan.max_growth(), i64::max);
 
     // Step 4: connect each sub-net independently.
-    comm.phase("connect");
+    checkpoint(comm, "connect")?;
     let mut chans = ChannelState::new(row0, nrows + 1, chip_width);
     comm.charge_alloc(chans.modeled_bytes());
     let mut spans: Vec<Span> = Vec::new();
@@ -122,14 +139,14 @@ pub fn route_rowwise(
     }
 
     // Boundary synchronization, then step 5 on the local rows.
-    comm.phase("switchable");
+    checkpoint(comm, "switchable")?;
     sync_boundaries(&mut chans, &rows, comm);
     let flips = optimize(&mut chans, &mut spans, cfg, &mut rng, comm);
     comm.metric_add(names::SEGMENTS_FLIPPED, flips as u64);
 
-    // Back end: gather everything at rank 0.
-    comm.phase("assemble");
-    gather_result(
+    // Back end: gather everything at the lowest surviving rank.
+    checkpoint(comm, "assemble")?;
+    Ok(gather_result(
         circuit,
         cfg,
         spans,
@@ -137,7 +154,7 @@ pub fn route_rowwise(
         plan.total(),
         chip_width,
         comm,
-    )
+    ))
 }
 
 #[cfg(test)]

@@ -21,16 +21,35 @@
 //! [`Comm::try_recv_bytes`]/[`Comm::try_recv`], or as the panic message
 //! of the infallible wrappers. With [`TraceConfig`] enabled ([`run_traced`]),
 //! errors also carry the rank's recent event trace.
+//!
+//! Reliability and rank death: with
+//! [`ReliabilityConfig::enabled`](crate::reliable::ReliabilityConfig)
+//! every frame carries a sequence number and the receiver restores
+//! per-source order, suppresses duplicates, and retransmits drops (see
+//! [`crate::reliable`]) — injected message faults become invisible to
+//! callers. A fault layer's kill schedule takes effect at phase
+//! boundaries ([`Comm::phase_adv`]): the victim sees
+//! [`PhaseControl::SelfKilled`], survivors see
+//! [`PhaseControl::PeersDied`], shrink the world with
+//! [`Comm::remove_dead`], and continue on dense *logical* ranks. A
+//! receive blocked on a dead peer reports
+//! [`CommError::RankDead`] with the victim's last heartbeat.
 
-use crate::error::{CommError, PendingMsg};
-use crate::fault::{FaultAction, FaultLayer, MsgCtx, FAULTS_DELAYED, FAULTS_DROPPED};
+use crate::error::{CommError, PendingMsg, TransportSnapshot};
+use crate::failure::FailureDetector;
+use crate::fault::{
+    FaultAction, FaultLayer, MsgCtx, FAULTS_DELAYED, FAULTS_DROPPED, FAULTS_DUPLICATED,
+    FAULTS_REORDERED,
+};
 use crate::machine::MachineModel;
+use crate::reliable::{self, backoff_delay, Ingest, ReliabilityConfig, ReorderBuffer};
 use crate::trace::{RankTrace, TraceConfig, TraceEvent, TraceEventKind, TraceHub};
 use crate::wire::Wire;
 use pgr_obs::{MetricsConfig, MetricsShard, RankMetrics};
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Tags at or above this value are reserved for collectives.
 pub const COLLECTIVE_TAG_BASE: u32 = 0x8000_0000;
@@ -41,10 +60,14 @@ const ERR_PENDING_CAP: usize = 64;
 const ERR_TRACE_TAIL: usize = 16;
 /// How many events per rank a watchdog all-ranks dump shows.
 const DUMP_TAIL: usize = 12;
+/// How often a blocked recv re-checks the failure detector.
+const DETECTOR_POLL: Duration = Duration::from_millis(20);
 
 struct Envelope {
     src: u32,
     tag: u32,
+    /// Per-(src → dst) sequence number (reliable-transport ordering).
+    seq: u64,
     /// Sender's clock at send time (after send overhead).
     stamp: f64,
     payload: Box<[u8]>,
@@ -142,6 +165,55 @@ pub struct Comm {
     fault: Option<Arc<dyn FaultLayer>>,
     /// Sends issued by this rank (feeds [`MsgCtx::seq`]).
     send_seq: u64,
+    /// Logical → physical rank map; identity until ranks die. All
+    /// public rank/size arithmetic is logical; channels, stats, pending
+    /// queues, and traces stay physical.
+    world: Vec<usize>,
+    /// This rank's logical id (its index in `world`).
+    lrank: usize,
+    /// Phase boundaries crossed so far — never reset, so each entry of
+    /// a kill schedule fires exactly once.
+    boundary: u64,
+    reliability: ReliabilityConfig,
+    /// Next sequence number per destination (physical rank).
+    rel_next_seq: Vec<u64>,
+    /// At most one held-back frame per destination (reorder injection).
+    rel_holdback: Vec<Option<Envelope>>,
+    /// Per-source receive windows (reliable transport).
+    rel_rx: Vec<ReorderBuffer<Envelope>>,
+    rel_retry: RetryState,
+    /// Shared liveness table; present whenever a fault layer is
+    /// attached.
+    failure: Option<Arc<FailureDetector>>,
+    /// Whether the fault layer schedules any rank death. Blocked
+    /// receives only poll the failure detector when it does; otherwise
+    /// they block undisturbed (no timing jitter added to runs that
+    /// cannot lose a rank).
+    kills_scheduled: bool,
+}
+
+/// This rank's retransmit bookkeeping, surfaced in
+/// [`TransportSnapshot`] diagnostics.
+#[derive(Debug, Default)]
+struct RetryState {
+    retransmits: u64,
+    last_backoff: f64,
+    exhausted: u64,
+}
+
+/// Outcome of a phase boundary ([`Comm::phase_adv`]) under a fault
+/// layer's kill schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhaseControl {
+    /// Everyone scheduled to be here still is.
+    Continue,
+    /// These peers (physical rank ids) died at this boundary. The
+    /// caller should [`Comm::remove_dead`] them, redistribute their
+    /// work, and continue with the survivors.
+    PeersDied(Vec<usize>),
+    /// This rank itself is scheduled dead: unwind quietly without
+    /// touching the communicator again.
+    SelfKilled,
 }
 
 /// Full instrumentation bundle for a run: event tracing, metric
@@ -154,6 +226,9 @@ pub struct InstrumentConfig {
     /// Message fault model (test-only by convention; see
     /// [`crate::fault`]).
     pub fault: Option<Arc<dyn FaultLayer>>,
+    /// Reliable-transport switches (default off — injected faults stay
+    /// visible; see [`crate::reliable`]).
+    pub reliability: ReliabilityConfig,
 }
 
 impl std::fmt::Debug for InstrumentConfig {
@@ -162,6 +237,7 @@ impl std::fmt::Debug for InstrumentConfig {
             .field("trace", &self.trace)
             .field("metrics", &self.metrics)
             .field("fault", &self.fault.as_ref().map(|_| "<layer>"))
+            .field("reliability", &self.reliability)
             .finish()
     }
 }
@@ -178,16 +254,15 @@ impl InstrumentConfig {
         InstrumentConfig {
             trace: TraceConfig::on(),
             metrics: MetricsConfig::on(),
-            fault: None,
+            ..InstrumentConfig::default()
         }
     }
 
     /// Metrics only (no event ring, no watchdog).
     pub fn metered() -> Self {
         InstrumentConfig {
-            trace: TraceConfig::off(),
             metrics: MetricsConfig::on(),
-            fault: None,
+            ..InstrumentConfig::default()
         }
     }
 }
@@ -226,15 +301,42 @@ impl Comm {
             metrics: MetricsShard::new(metrics),
             fault: None,
             send_seq: 0,
+            world: vec![0],
+            lrank: 0,
+            boundary: 0,
+            reliability: ReliabilityConfig::default(),
+            rel_next_seq: vec![0],
+            rel_holdback: vec![None],
+            rel_rx: vec![ReorderBuffer::new()],
+            rel_retry: RetryState::default(),
+            failure: None,
+            kills_scheduled: false,
         }
     }
 
+    /// This rank's logical id: dense in `0..size()`, renumbered when
+    /// ranks die. Equal to the physical rank until then.
+    // Deliberately not `self.rank`: the physical id is an internal
+    // address; the public contract is the logical world.
+    #[allow(clippy::misnamed_getters)]
     pub fn rank(&self) -> usize {
+        self.lrank
+    }
+
+    /// Live world size (shrinks when ranks die).
+    pub fn size(&self) -> usize {
+        self.world.len()
+    }
+
+    /// This rank's immutable physical id (thread index; what traces,
+    /// stats, and error diagnostics report).
+    pub fn physical_rank(&self) -> usize {
         self.rank
     }
 
-    pub fn size(&self) -> usize {
-        self.size
+    /// The live logical → physical rank map.
+    pub fn world(&self) -> &[usize] {
+        &self.world
     }
 
     pub fn machine(&self) -> &MachineModel {
@@ -351,6 +453,77 @@ impl Comm {
         self.record(TraceEventKind::Phase { name }, self.clock, self.clock);
     }
 
+    /// [`Comm::phase`] plus the failure protocol: heartbeat this rank,
+    /// flush reorder holdbacks, and evaluate the fault layer's kill
+    /// schedule at this boundary.
+    ///
+    /// Kills only ever take effect here, and every rank evaluates the
+    /// shared schedule against its own SPMD-lockstep boundary counter,
+    /// so all survivors agree on the post-death world deterministically
+    /// — no racy detector reads decide membership. The detector exists
+    /// for diagnostics: a recv blocked on the victim reports
+    /// [`CommError::RankDead`] with the victim's last heartbeat.
+    pub fn phase_adv(&mut self, name: &'static str) -> PhaseControl {
+        self.phase(name);
+        if self.fault.is_some() {
+            self.flush_holdbacks();
+        }
+        self.boundary += 1;
+        let (Some(fault), Some(det)) = (self.fault.clone(), self.failure.clone()) else {
+            return PhaseControl::Continue;
+        };
+        det.heartbeat(self.rank, self.clock, name, self.boundary);
+        if fault
+            .kill_at_boundary(self.rank)
+            .is_some_and(|b| b < self.boundary)
+        {
+            det.mark_dead(self.rank, name, self.boundary);
+            return PhaseControl::SelfKilled;
+        }
+        // Survivors learn of deaths from the schedule alone — they must
+        // NOT write the detector: only the victim marks itself dead,
+        // *after* flushing its sends at its own boundary, so a receiver
+        // that observes "dead" knows every frame the victim ever sent is
+        // already in flight (a fast survivor crossing this boundary
+        // first must keep receiving from a victim still finishing the
+        // previous phase).
+        let dead: Vec<usize> = self
+            .world
+            .iter()
+            .copied()
+            .filter(|&p| {
+                p != self.rank && fault.kill_at_boundary(p).is_some_and(|b| b < self.boundary)
+            })
+            .collect();
+        if dead.is_empty() {
+            PhaseControl::Continue
+        } else {
+            PhaseControl::PeersDied(dead)
+        }
+    }
+
+    /// Shrink the world after peer deaths: the dead physical ranks
+    /// leave the logical rank space, their unmatched frames are
+    /// discarded, and survivors renumber densely in physical-id order —
+    /// every survivor computes the same mapping from the same schedule.
+    pub fn remove_dead(&mut self, dead: &[usize]) {
+        self.world.retain(|p| !dead.contains(p));
+        assert!(
+            self.world.contains(&self.rank),
+            "rank {} cannot remove itself from the world",
+            self.rank
+        );
+        self.lrank = self
+            .world
+            .iter()
+            .position(|&p| p == self.rank)
+            .expect("self is in the world");
+        for &p in dead {
+            self.pending[p].clear();
+            self.rel_holdback[p] = None;
+        }
+    }
+
     fn stats(&self) -> RankStats {
         let mut phases = Vec::with_capacity(self.phase_marks.len());
         for (i, &(name, start)) in self.phase_marks.iter().enumerate() {
@@ -375,9 +548,10 @@ impl Comm {
 
     // ----- point to point -----
 
-    /// Send raw bytes to `dst` with `tag`. Eager and non-blocking.
+    /// Send raw bytes to logical rank `dst` with `tag`. Eager and
+    /// non-blocking.
     pub fn send_bytes(&mut self, dst: usize, tag: u32, payload: Vec<u8>) {
-        assert!(dst < self.size, "send to rank {dst} of {}", self.size);
+        assert!(dst < self.size(), "send to rank {dst} of {}", self.size());
         assert!(
             tag < COLLECTIVE_TAG_BASE,
             "user tags must be < {COLLECTIVE_TAG_BASE:#x}"
@@ -386,6 +560,7 @@ impl Comm {
     }
 
     fn send_bytes_internal(&mut self, dst: usize, tag: u32, payload: Vec<u8>) {
+        let dst = self.world[dst];
         let t0 = self.clock;
         let bytes = payload.len();
         self.clock += self.machine.send_overhead;
@@ -394,55 +569,193 @@ impl Comm {
         self.bytes_to[dst] += bytes as u64;
         // Fault hook: the sender has already paid the overhead and the
         // stats already count the message (the NIC accepted it); the
-        // layer decides what the network does with it afterwards.
+        // layer decides what the network does with it afterwards. With
+        // the reliable transport on, whatever the layer does is masked:
+        // the frame still goes out with its original stamp, and the
+        // protocol's effort is visible only in the metrics shard.
         let mut stamp = self.clock;
+        let mut duplicate = false;
+        let mut hold = false;
         if let Some(fault) = self.fault.clone() {
-            let ctx = MsgCtx {
+            let reliable_on = self.reliability.enabled;
+            let mut ctx = MsgCtx {
                 src: self.rank,
                 dst,
                 tag,
                 bytes,
                 seq: self.send_seq,
+                attempt: 0,
             };
             self.send_seq += 1;
-            match fault.on_send(&ctx) {
-                FaultAction::Deliver => {}
-                FaultAction::Delay(extra) => {
-                    assert!(extra >= 0.0 && extra.is_finite(), "delay must be finite");
-                    stamp += extra;
-                    self.metrics.add(FAULTS_DELAYED, 1);
-                }
-                FaultAction::Drop => {
-                    self.metrics.add(FAULTS_DROPPED, 1);
-                    if self.tracing() {
-                        self.record(TraceEventKind::Send { dst, tag, bytes }, t0, self.clock);
+            loop {
+                match fault.on_send(&ctx) {
+                    FaultAction::Deliver => break,
+                    FaultAction::Delay(extra) => {
+                        assert!(extra >= 0.0 && extra.is_finite(), "delay must be finite");
+                        self.metrics.add(FAULTS_DELAYED, 1);
+                        if reliable_on {
+                            // Masked: the protocol's redundant copy wins
+                            // the race, preserving original timing.
+                            self.metrics.add(reliable::MASKED_DELAYS, 1);
+                        } else {
+                            stamp += extra;
+                        }
+                        break;
                     }
-                    return;
+                    FaultAction::Drop => {
+                        self.metrics.add(FAULTS_DROPPED, 1);
+                        if !reliable_on {
+                            if self.tracing() {
+                                self.record(
+                                    TraceEventKind::Send { dst, tag, bytes },
+                                    t0,
+                                    self.clock,
+                                );
+                            }
+                            return;
+                        }
+                        ctx.attempt += 1;
+                        if ctx.attempt >= self.reliability.max_attempts {
+                            // The layer is adversarial (drops every
+                            // attempt); force delivery rather than spin —
+                            // unrecoverable loss is modeled by rank
+                            // death, not infinite message loss.
+                            self.rel_retry.exhausted += 1;
+                            self.metrics.add(reliable::RETRANSMIT_EXHAUSTED, 1);
+                            break;
+                        }
+                        // Ack deadline passed: retransmit after
+                        // exponential backoff. The wait is NIC-level
+                        // bookkeeping overlapping the latency already
+                        // charged for the message, so it shows up in
+                        // metrics, not on the virtual clock.
+                        let wait = backoff_delay(&self.reliability, ctx.attempt);
+                        self.rel_retry.retransmits += 1;
+                        self.rel_retry.last_backoff = wait;
+                        self.metrics.add(reliable::RETRANSMITS, 1);
+                        self.metrics
+                            .observe(reliable::BACKOFF_MICROS, (wait * 1e6) as u64);
+                    }
+                    FaultAction::Duplicate => {
+                        self.metrics.add(FAULTS_DUPLICATED, 1);
+                        duplicate = true;
+                        break;
+                    }
+                    FaultAction::Reorder => {
+                        self.metrics.add(FAULTS_REORDERED, 1);
+                        hold = true;
+                        break;
+                    }
                 }
             }
         }
+        let seq = self.rel_next_seq[dst];
+        self.rel_next_seq[dst] += 1;
         let env = Envelope {
             src: self.rank as u32,
             tag,
+            seq,
             stamp,
             payload: payload.into_boxed_slice(),
         };
-        if dst == self.rank {
-            self.pending[dst].push_back(env);
+        if duplicate {
+            let copy = Envelope {
+                src: env.src,
+                tag,
+                seq,
+                stamp,
+                payload: env.payload.clone(),
+            };
+            self.transmit(dst, copy);
+            self.transmit(dst, env);
+            if let Some(prev) = self.rel_holdback[dst].take() {
+                self.transmit(dst, prev);
+            }
+        } else if hold {
+            // Held back so the next frame to dst overtakes it. At most
+            // one frame is ever held per destination: a previously held
+            // frame goes out now.
+            if let Some(prev) = self.rel_holdback[dst].take() {
+                self.transmit(dst, prev);
+            }
+            self.rel_holdback[dst] = Some(env);
         } else {
-            let tx = self.txs[dst].as_ref().expect("peer sender");
-            if tx.send(env).is_err() {
-                let err = CommError::PeerGone {
-                    rank: self.rank,
-                    dst,
-                    tag,
-                    bytes,
-                };
-                panic!("{err}");
+            self.transmit(dst, env);
+            if let Some(prev) = self.rel_holdback[dst].take() {
+                self.transmit(dst, prev);
             }
         }
         if self.tracing() {
             self.record(TraceEventKind::Send { dst, tag, bytes }, t0, self.clock);
+        }
+    }
+
+    /// Hand one frame to the (lossless) simulated network, `dst`
+    /// physical.
+    fn transmit(&mut self, dst: usize, env: Envelope) {
+        if dst == self.rank {
+            self.ingest_frame(env);
+            return;
+        }
+        let (tag, bytes) = (env.tag, env.payload.len());
+        let tx = self.txs[dst].as_ref().expect("peer sender");
+        if tx.send(env).is_err() {
+            // Without faults this is always a mismatched pattern — the
+            // peer exited while a message meant for it was in flight.
+            // Under chaos it can be benign: a peer only exits once it
+            // has everything it needs, so a redundant copy (duplicate,
+            // retransmit) can race its completion, and a send can race
+            // a scheduled rank death before this rank's next
+            // checkpoint. The frame has no consumer either way.
+            if self.fault.is_some() {
+                self.metrics.add(crate::fault::SENDS_TO_EXITED, 1);
+                return;
+            }
+            let err = CommError::PeerGone {
+                rank: self.rank,
+                dst,
+                tag,
+                bytes,
+            };
+            panic!("{err}");
+        }
+    }
+
+    /// Run one arriving frame through the reliable receive window (when
+    /// enabled) into the pending queues.
+    fn ingest_frame(&mut self, env: Envelope) {
+        let src = env.src as usize;
+        if !self.reliability.enabled {
+            self.pending[src].push_back(env);
+            return;
+        }
+        let mut released = Vec::new();
+        match self.rel_rx[src].ingest(env.seq, env, &mut released) {
+            Ingest::Duplicate => {
+                self.metrics.add(reliable::DUPLICATES_DROPPED, 1);
+            }
+            Ingest::Buffered => {
+                self.metrics.add(reliable::REORDER_BUFFERED, 1);
+                self.metrics
+                    .observe(reliable::REORDER_DEPTH, self.rel_rx[src].depth() as u64);
+            }
+            Ingest::Delivered => {
+                self.metrics.add(reliable::ACKS, released.len() as u64);
+            }
+        }
+        for e in released {
+            self.pending[src].push_back(e);
+        }
+    }
+
+    /// Release every held-back (reorder-injected) frame. Called before
+    /// any blocking receive, at phase boundaries, and at rank exit, so
+    /// a held frame can never deadlock the peer waiting on it.
+    fn flush_holdbacks(&mut self) {
+        for dst in 0..self.rel_holdback.len() {
+            if let Some(env) = self.rel_holdback[dst].take() {
+                self.transmit(dst, env);
+            }
         }
     }
 
@@ -455,14 +768,27 @@ impl Comm {
         self.send_bytes_internal(dst, tag, value.to_bytes());
     }
 
-    /// Blocking receive of the next message from `src` with `tag` (FIFO
-    /// per `(src, tag)` pair), reporting an unsatisfiable or mismatched
-    /// pattern as a structured [`CommError`] instead of panicking.
+    /// Pop the first buffered frame from physical `src` matching `tag`.
+    fn take_pending(&mut self, src: usize, tag: u32) -> Option<Envelope> {
+        let pos = self.pending[src].iter().position(|e| e.tag == tag)?;
+        Some(self.pending[src].remove(pos).expect("position valid"))
+    }
+
+    /// Blocking receive of the next message from logical rank `src` with
+    /// `tag` (FIFO per `(src, tag)` pair), reporting an unsatisfiable or
+    /// mismatched pattern as a structured [`CommError`] instead of
+    /// panicking.
     pub fn try_recv_bytes(&mut self, src: usize, tag: u32) -> Result<Vec<u8>, CommError> {
-        assert!(src < self.size, "recv from rank {src} of {}", self.size);
+        assert!(src < self.size(), "recv from rank {src} of {}", self.size());
+        let src = self.world[src];
+        // A frame we hold back (reorder injection) may be the very one a
+        // peer needs before it can send us ours: release them all before
+        // any chance of blocking.
+        if self.fault.is_some() {
+            self.flush_holdbacks();
+        }
         // Check already-buffered messages from src first.
-        if let Some(pos) = self.pending[src].iter().position(|e| e.tag == tag) {
-            let env = self.pending[src].remove(pos).expect("position valid");
+        if let Some(env) = self.take_pending(src, tag) {
             return Ok(self.accept(env));
         }
         // A receive from this rank itself can only match a buffered
@@ -480,33 +806,113 @@ impl Comm {
             });
         }
         let watchdog = self.trace.as_ref().and_then(|h| h.config.watchdog);
+        let poll = (self.kills_scheduled && self.failure.is_some()).then_some(DETECTOR_POLL);
+        let mut waited = Duration::ZERO;
         loop {
+            // A dead expected source can never satisfy this receive.
+            // Drain anything already in flight (frames it sent before
+            // dying) first, then report the death.
+            if poll.is_some() && self.failure.as_ref().is_some_and(|d| !d.is_alive(src)) {
+                self.drain_rx();
+                if let Some(env) = self.take_pending(src, tag) {
+                    return Ok(self.accept(env));
+                }
+                return Err(self.rank_dead_error(src, tag));
+            }
+            let slice = match (watchdog, poll) {
+                (None, None) => None,
+                (Some(w), None) => Some(w.saturating_sub(waited)),
+                (None, Some(p)) => Some(p),
+                (Some(w), Some(p)) => Some(p.min(w.saturating_sub(waited))),
+            };
             let rx = self.rx.as_ref().expect("communicator active");
-            let env = match watchdog {
-                None => rx.recv().map_err(|_| self.disconnected_error(src, tag))?,
-                Some(budget) => match rx.recv_timeout(budget) {
+            let env = match slice {
+                None => match rx.recv() {
+                    Ok(env) => env,
+                    Err(_) => return Err(self.disconnected_error(src, tag)),
+                },
+                Some(slice) => match rx.recv_timeout(slice) {
                     Ok(env) => env,
                     Err(RecvTimeoutError::Disconnected) => {
                         return Err(self.disconnected_error(src, tag))
                     }
                     Err(RecvTimeoutError::Timeout) => {
-                        return Err(CommError::Stalled {
-                            rank: self.rank,
-                            src,
-                            tag,
-                            waited: budget,
-                            pending: self.pending_snapshot(),
-                            recent: self.recent_events(),
-                            all_ranks: self.trace.as_ref().map(|h| h.dump_all(DUMP_TAIL)),
-                        })
+                        waited += slice;
+                        if watchdog.is_some_and(|w| waited >= w) {
+                            return Err(CommError::Stalled {
+                                rank: self.rank,
+                                src,
+                                tag,
+                                waited,
+                                pending: self.pending_snapshot(),
+                                recent: self.recent_events(),
+                                all_ranks: self.trace.as_ref().map(|h| h.dump_all(DUMP_TAIL)),
+                                transport: self.transport_snapshot(),
+                            });
+                        }
+                        continue;
                     }
                 },
             };
-            if env.src as usize == src && env.tag == tag {
+            self.ingest_frame(env);
+            // Progress resets the watchdog (it guards against a silent
+            // stall, not total elapsed time).
+            waited = Duration::ZERO;
+            if let Some(env) = self.take_pending(src, tag) {
                 return Ok(self.accept(env));
             }
-            self.pending[env.src as usize].push_back(env);
         }
+    }
+
+    /// Non-blocking: pull everything already delivered into the pending
+    /// queues.
+    fn drain_rx(&mut self) {
+        loop {
+            let env = match &self.rx {
+                Some(rx) => match rx.try_recv() {
+                    Ok(env) => env,
+                    Err(_) => return,
+                },
+                None => return,
+            };
+            self.ingest_frame(env);
+        }
+    }
+
+    fn rank_dead_error(&self, dead: usize, tag: u32) -> CommError {
+        let info = self
+            .failure
+            .as_ref()
+            .expect("detector present when a death is observed")
+            .snapshot(dead);
+        CommError::RankDead {
+            rank: self.rank,
+            dead,
+            tag,
+            last_heartbeat: info.last_heartbeat,
+            phase: info.phase,
+            boundary: info.boundary,
+        }
+    }
+
+    /// Reliable-transport state for diagnostics; `None` when the
+    /// transport is off.
+    fn transport_snapshot(&self) -> Option<Box<TransportSnapshot>> {
+        if !self.reliability.enabled {
+            return None;
+        }
+        Some(Box::new(TransportSnapshot {
+            retransmits: self.rel_retry.retransmits,
+            last_backoff: self.rel_retry.last_backoff,
+            exhausted: self.rel_retry.exhausted,
+            reorder: self
+                .rel_rx
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.depth() > 0)
+                .map(|(s, b)| (s, b.depth(), b.expected()))
+                .collect(),
+        }))
     }
 
     fn disconnected_error(&self, src: usize, tag: u32) -> CommError {
@@ -604,24 +1010,25 @@ impl Comm {
     }
 
     fn bcast_tagged<T: Wire>(&mut self, root: usize, value: Option<T>, tag: u32) -> T {
-        assert!(root < self.size);
-        let rel = (self.rank + self.size - root) % self.size;
+        let (rank, size) = (self.lrank, self.size());
+        assert!(root < size);
+        let rel = (rank + size - root) % size;
         let mut value = if rel == 0 {
             Some(value.expect("root must supply the broadcast value"))
         } else {
             None
         };
         let mut step = 1;
-        while step < self.size {
+        while step < size {
             if rel < step {
                 let dst_rel = rel + step;
-                if dst_rel < self.size {
-                    let dst = (dst_rel + root) % self.size;
+                if dst_rel < size {
+                    let dst = (dst_rel + root) % size;
                     let v = value.as_ref().expect("already received");
                     self.send_tagged(dst, tag, v);
                 }
             } else if rel < 2 * step {
-                let src = (rel - step + root) % self.size;
+                let src = (rel - step + root) % size;
                 value = Some(self.recv(src, tag));
             }
             step <<= 1;
@@ -650,18 +1057,19 @@ impl Comm {
         mut op: F,
         tag: u32,
     ) -> Option<T> {
-        assert!(root < self.size);
-        let rel = (self.rank + self.size - root) % self.size;
+        let (rank, size) = (self.lrank, self.size());
+        assert!(root < size);
+        let rel = (rank + size - root) % size;
         let mut acc = value;
         let mut step = 1;
-        while step < self.size {
+        while step < size {
             if rel & step != 0 {
-                let dst = (rel - step + root) % self.size;
+                let dst = (rel - step + root) % size;
                 self.send_tagged(dst, tag, &acc);
                 return None;
             }
-            if rel + step < self.size {
-                let src = (rel + step + root) % self.size;
+            if rel + step < size {
+                let src = (rel + step + root) % size;
                 let other: T = self.recv(src, tag);
                 acc = op(acc, other);
             }
@@ -686,9 +1094,10 @@ impl Comm {
     pub fn gather<T: Wire>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
         self.coll_enter("gather");
         let tag = self.next_coll_tag();
-        if self.rank == root {
-            let mut out = Vec::with_capacity(self.size);
-            for src in 0..self.size {
+        let (rank, size) = (self.lrank, self.size());
+        if rank == root {
+            let mut out = Vec::with_capacity(size);
+            for src in 0..size {
                 if src == root {
                     out.push(T::from_bytes(&value.to_bytes()).expect("self roundtrip"));
                 } else {
@@ -705,11 +1114,12 @@ impl Comm {
     /// Gather at rank 0 then broadcast the whole vector.
     pub fn allgather<T: Wire>(&mut self, value: T) -> Vec<T> {
         self.coll_enter("allgather");
+        let (rank, size) = (self.lrank, self.size());
         let g = {
             let tag = self.next_coll_tag();
-            if self.rank == 0 {
-                let mut out = Vec::with_capacity(self.size);
-                for src in 0..self.size {
+            if rank == 0 {
+                let mut out = Vec::with_capacity(size);
+                for src in 0..size {
                     if src == 0 {
                         out.push(T::from_bytes(&value.to_bytes()).expect("self roundtrip"));
                     } else {
@@ -731,9 +1141,10 @@ impl Comm {
     pub fn scatter<T: Wire>(&mut self, root: usize, values: Option<Vec<T>>) -> T {
         self.coll_enter("scatter");
         let tag = self.next_coll_tag();
-        if self.rank == root {
+        let (rank, size) = (self.lrank, self.size());
+        if rank == root {
             let values = values.expect("root must supply scatter values");
-            assert_eq!(values.len(), self.size, "scatter needs one value per rank");
+            assert_eq!(values.len(), size, "scatter needs one value per rank");
             let mut own = None;
             for (dst, v) in values.into_iter().enumerate() {
                 if dst == root {
@@ -751,12 +1162,12 @@ impl Comm {
     /// Personalized all-to-all: `data[dst]` goes to rank `dst`; returns
     /// the vector received from each source (own slice passes through).
     pub fn alltoall<T: Wire>(&mut self, data: Vec<Vec<T>>) -> Vec<Vec<T>> {
-        assert_eq!(data.len(), self.size, "alltoall needs one bucket per rank");
+        let (rank, size) = (self.lrank, self.size());
+        assert_eq!(data.len(), size, "alltoall needs one bucket per rank");
         self.coll_enter("alltoall");
         let tag = self.next_coll_tag();
         // Eager sends first (channels are unbounded, so this cannot block),
         // then receive in rank order for determinism.
-        let rank = self.rank;
         let mut own: Vec<T> = Vec::new();
         for (dst, bucket) in data.into_iter().enumerate() {
             if dst == rank {
@@ -765,8 +1176,8 @@ impl Comm {
                 self.send_tagged(dst, tag, &bucket);
             }
         }
-        let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size);
-        for src in 0..self.size {
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(size);
+        for src in 0..size {
             if src == rank {
                 out.push(std::mem::take(&mut own));
             } else {
@@ -860,6 +1271,15 @@ where
     let trace = instr.trace;
     let hub =
         (trace.enabled || trace.watchdog.is_some()).then(|| Arc::new(TraceHub::new(size, trace)));
+    // The failure detector only exists when faults can happen.
+    let failure = instr
+        .fault
+        .is_some()
+        .then(|| Arc::new(FailureDetector::new(size)));
+    let kills_scheduled = instr
+        .fault
+        .as_ref()
+        .is_some_and(|f| (0..size).any(|r| f.kill_at_boundary(r).is_some()));
     let mut txs = Vec::with_capacity(size);
     let mut rxs = Vec::with_capacity(size);
     for _ in 0..size {
@@ -895,9 +1315,20 @@ where
             metrics: MetricsShard::new(instr.metrics),
             fault: instr.fault.clone(),
             send_seq: 0,
+            world: (0..size).collect(),
+            lrank: rank,
+            boundary: 0,
+            reliability: instr.reliability,
+            rel_next_seq: vec![0; size],
+            rel_holdback: (0..size).map(|_| None).collect(),
+            rel_rx: (0..size).map(|_| ReorderBuffer::new()).collect(),
+            rel_retry: RetryState::default(),
+            failure: failure.clone(),
+            kills_scheduled,
         })
         .collect();
     drop(txs);
+    drop(failure);
 
     let f = &f;
     let outcomes: Vec<(R, RankStats, RankMetrics)> = std::thread::scope(|scope| {
@@ -906,6 +1337,10 @@ where
             .map(|comm| {
                 scope.spawn(move || {
                     let result = f(comm);
+                    // Release any reorder-held frames: no peer may be
+                    // left waiting on a frame parked in this rank's
+                    // holdback after it exits.
+                    comm.flush_holdbacks();
                     // Drop this rank's sender handles so blocked peers can
                     // detect a mismatched communication pattern instead of
                     // hanging forever.

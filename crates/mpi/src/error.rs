@@ -27,6 +27,42 @@ impl fmt::Display for PendingMsg {
     }
 }
 
+/// Reliable-transport state captured when a diagnostic fires, so a
+/// watchdog stall during a retransmit/reorder wait is distinguishable
+/// from a plain mismatched send/recv pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportSnapshot {
+    /// Retransmits this rank's sender has performed so far.
+    pub retransmits: u64,
+    /// Virtual-seconds backoff of the most recent retransmit (0 if none).
+    pub last_backoff: f64,
+    /// Frames force-delivered after exhausting the retry budget.
+    pub exhausted: u64,
+    /// Non-empty reorder buffers: `(src, parked frames, next expected seq)`.
+    pub reorder: Vec<(usize, usize, u64)>,
+}
+
+impl fmt::Display for TransportSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reliable transport: {} retransmit(s), last backoff {:.6}s, {} exhausted",
+            self.retransmits, self.last_backoff, self.exhausted
+        )?;
+        if self.reorder.is_empty() {
+            write!(f, "; all reorder buffers in sequence")
+        } else {
+            for (src, depth, expected) in &self.reorder {
+                write!(
+                    f,
+                    "; src={src} holds {depth} frame(s) awaiting seq {expected}"
+                )?;
+            }
+            Ok(())
+        }
+    }
+}
+
 /// Why a communicator operation could not complete.
 #[derive(Debug, Clone)]
 pub enum CommError {
@@ -52,7 +88,9 @@ pub enum CommError {
     },
     /// The watchdog found the rank blocked in `recv` past its real-time
     /// budget. `all_ranks` carries the formatted trace tails of every
-    /// rank (deadlock triage), when tracing is enabled.
+    /// rank (deadlock triage), when tracing is enabled; `transport`
+    /// carries the reliable-transport retry/backoff/reorder state, when
+    /// the reliability layer is on.
     Stalled {
         rank: usize,
         src: usize,
@@ -61,6 +99,23 @@ pub enum CommError {
         pending: Vec<PendingMsg>,
         recent: Vec<TraceEvent>,
         all_ranks: Option<String>,
+        transport: Option<Box<TransportSnapshot>>,
+    },
+    /// The peer this rank is receiving from has been declared dead by
+    /// the failure detector; the message will never arrive. Carries the
+    /// victim's last recorded heartbeat so the death is triageable.
+    RankDead {
+        /// The observing (blocked) rank.
+        rank: usize,
+        /// The dead peer (physical rank id).
+        dead: usize,
+        tag: u32,
+        /// Virtual clock of the victim's last heartbeat.
+        last_heartbeat: f64,
+        /// Phase the victim died at.
+        phase: &'static str,
+        /// Phase-boundary count the victim died at.
+        boundary: u64,
     },
     /// A received payload did not decode as the expected type.
     Decode {
@@ -86,7 +141,8 @@ impl CommError {
             | CommError::PeersDisconnected { rank, .. }
             | CommError::Stalled { rank, .. }
             | CommError::Decode { rank, .. }
-            | CommError::PeerGone { rank, .. } => *rank,
+            | CommError::PeerGone { rank, .. }
+            | CommError::RankDead { rank, .. } => *rank,
         }
     }
 
@@ -171,6 +227,7 @@ impl fmt::Display for CommError {
                 pending,
                 recent,
                 all_ranks,
+                transport,
             } => {
                 write!(
                     f,
@@ -178,10 +235,28 @@ impl fmt::Display for CommError {
                      (real time) with peers still running; likely deadlock"
                 )?;
                 fmt_context(f, pending, recent)?;
+                if let Some(t) = transport {
+                    write!(f, "\n  {t}")?;
+                }
                 if let Some(dump) = all_ranks {
                     write!(f, "\n  all ranks' trace tails:\n{dump}")?;
                 }
                 Ok(())
+            }
+            CommError::RankDead {
+                rank,
+                dead,
+                tag,
+                last_heartbeat,
+                phase,
+                boundary,
+            } => {
+                write!(
+                    f,
+                    "rank {rank}: recv(src={dead}, tag={tag}) — peer rank {dead} is dead \
+                     (last heartbeat at {last_heartbeat:.6}s virtual, died in phase \
+                     \"{phase}\" at boundary {boundary})"
+                )
             }
             CommError::Decode {
                 rank,
@@ -239,6 +314,49 @@ mod tests {
         assert!(s.contains("src=1 tag=9 (16 B)"), "{s}");
         assert_eq!(e.rank(), 2);
         assert_eq!(e.pending().len(), 1);
+    }
+
+    #[test]
+    fn rank_dead_display_carries_heartbeat_and_phase() {
+        let e = CommError::RankDead {
+            rank: 0,
+            dead: 3,
+            tag: 11,
+            last_heartbeat: 1.25,
+            phase: "coarse",
+            boundary: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 0"), "{s}");
+        assert!(s.contains("peer rank 3 is dead"), "{s}");
+        assert!(s.contains("1.250000s"), "{s}");
+        assert!(s.contains("\"coarse\""), "{s}");
+        assert!(s.contains("boundary 4"), "{s}");
+        assert_eq!(e.rank(), 0);
+        assert!(e.pending().is_empty());
+    }
+
+    #[test]
+    fn stalled_display_includes_transport_snapshot() {
+        let e = CommError::Stalled {
+            rank: 1,
+            src: 0,
+            tag: 5,
+            waited: Duration::from_millis(250),
+            pending: vec![],
+            recent: vec![],
+            all_ranks: None,
+            transport: Some(Box::new(TransportSnapshot {
+                retransmits: 3,
+                last_backoff: 0.004,
+                exhausted: 0,
+                reorder: vec![(2, 1, 7)],
+            })),
+        };
+        let s = e.to_string();
+        assert!(s.contains("3 retransmit(s)"), "{s}");
+        assert!(s.contains("0.004000s"), "{s}");
+        assert!(s.contains("src=2 holds 1 frame(s) awaiting seq 7"), "{s}");
     }
 
     #[test]

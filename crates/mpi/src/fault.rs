@@ -1,28 +1,54 @@
 //! Fault injection: a hook point on the send path where a
-//! message-delay/drop layer can attach.
+//! message-delay/drop/reorder/duplicate layer can attach.
 //!
-//! This is the seed of the ROADMAP's fault-injection item: the
-//! communicator consults an optional [`FaultLayer`] for every outgoing
-//! message and applies the returned [`FaultAction`]. A dropped message
-//! is charged to the sender exactly like a delivered one (the network
-//! lost it *after* the NIC accepted it) but never reaches the receiver,
-//! which is what lets the recv watchdog and the structured
-//! [`CommError`](crate::error::CommError) diagnostics be exercised
-//! against realistic comm failures instead of only mismatched patterns.
-//! A delayed message arrives intact but with extra virtual latency.
+//! This closes the ROADMAP's fault-injection item: the communicator
+//! consults an optional [`FaultLayer`] for every outgoing message and
+//! applies the returned [`FaultAction`]. A dropped message is charged to
+//! the sender exactly like a delivered one (the network lost it *after*
+//! the NIC accepted it) but never reaches the receiver. A delayed
+//! message arrives intact but with extra virtual latency. A reordered
+//! message is held back and overtaken by the next message to the same
+//! destination; a duplicated message arrives twice.
 //!
-//! The hook is currently test-only by convention: production entry
-//! points ([`run`](crate::run), [`run_traced`](crate::run_traced)) never
-//! attach a layer; tests go through
+//! Faults interact with the reliability layer
+//! ([`ReliabilityConfig`](crate::reliable::ReliabilityConfig)): with
+//! reliability off (the default), every injected fault is visible to the
+//! application — drops stall receivers, delays shift virtual clocks,
+//! reorders and duplicates corrupt FIFO expectations. With reliability
+//! on, the transport masks all four: sequence numbers + a reorder buffer
+//! undo reordering and suppress duplicates, and retransmits (re-consulting
+//! the layer with a bumped [`MsgCtx::attempt`]) recover drops, so a
+//! faulty run is bit-identical to a fault-free one.
+//!
+//! Beyond message faults, a layer can schedule **rank deaths** via
+//! [`FaultLayer::kill_at_boundary`]: the victim observes
+//! [`PhaseControl::SelfKilled`](crate::comm::PhaseControl) at the given
+//! phase boundary and survivors observe `PeersDied`, which is what the
+//! parallel algorithms' phase-boundary recovery is driven by.
+//!
+//! The hook is test/bench-only by convention: production entry points
+//! ([`run`](crate::run), [`run_traced`](crate::run_traced)) never attach
+//! a layer; callers go through
 //! [`run_instrumented`](crate::run_instrumented) with
 //! [`InstrumentConfig::fault`](crate::comm::InstrumentConfig) set.
 //! Injections are observable: the sender's metrics shard counts
-//! [`FAULTS_DROPPED`] / [`FAULTS_DELAYED`].
+//! [`FAULTS_DROPPED`] / [`FAULTS_DELAYED`] / [`FAULTS_REORDERED`] /
+//! [`FAULTS_DUPLICATED`].
 
 /// Metric name: messages a fault layer dropped on this rank.
 pub const FAULTS_DROPPED: &str = "mpi.fault.dropped";
 /// Metric name: messages a fault layer delayed on this rank.
 pub const FAULTS_DELAYED: &str = "mpi.fault.delayed";
+/// Metric name: messages a fault layer reordered (held back) on this rank.
+pub const FAULTS_REORDERED: &str = "mpi.fault.reordered";
+/// Metric name: messages a fault layer duplicated on this rank.
+pub const FAULTS_DUPLICATED: &str = "mpi.fault.duplicated";
+/// Metric name: frames abandoned because the destination had already
+/// exited. Only possible under chaos: a redundant copy (duplicate,
+/// retransmit) racing the receiver's completion, or a send racing a
+/// scheduled rank death before the sender's next checkpoint — either
+/// way the frame has no consumer.
+pub const SENDS_TO_EXITED: &str = "mpi.fault.sends_to_exited";
 
 /// One outgoing message, as seen by a fault layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,6 +61,12 @@ pub struct MsgCtx {
     /// Sequence number of this send on the source rank (0-based, counts
     /// every send including collective-internal ones).
     pub seq: u64,
+    /// Transmission attempt: 0 for the first try, bumped by the reliable
+    /// transport on every retransmit of the same message. Layers that
+    /// drop unconditionally regardless of `attempt` exhaust the
+    /// transport's retry budget (see
+    /// [`ReliabilityConfig::max_attempts`](crate::reliable::ReliabilityConfig)).
+    pub attempt: u32,
 }
 
 /// What to do with one message.
@@ -43,16 +75,35 @@ pub enum FaultAction {
     /// Deliver normally.
     Deliver,
     /// Deliver, but add this many *virtual* seconds of extra latency.
+    /// Masked (metrics-only) when the reliable transport is on.
     Delay(f64),
-    /// Never deliver. The sender is charged as usual.
+    /// Never deliver. The sender is charged as usual. Recovered by
+    /// retransmission when the reliable transport is on.
     Drop,
+    /// Hold this message back and let the next message to the same
+    /// destination overtake it (the held frame is released right after
+    /// the overtaking one, or at the sender's next receive, phase
+    /// boundary, or exit — whichever comes first, so a held frame can
+    /// never deadlock the run).
+    Reorder,
+    /// Deliver two copies. The reliable transport suppresses the second.
+    Duplicate,
 }
 
 /// A message-level fault model. Implementations must be deterministic
 /// functions of the [`MsgCtx`] if run reproducibility matters (every
-/// built-in model is).
+/// built-in model is; a shared mutable RNG would be consulted in host
+/// scheduling order and break determinism).
 pub trait FaultLayer: Send + Sync {
     fn on_send(&self, ctx: &MsgCtx) -> FaultAction;
+
+    /// Rank-death schedule: `Some(b)` means `rank` dies at the `b`-th
+    /// phase boundary it reaches (0-based count of
+    /// [`Comm::phase_adv`](crate::comm::Comm::phase_adv) calls). The
+    /// default layer kills nobody.
+    fn kill_at_boundary(&self, _rank: usize) -> Option<u64> {
+        None
+    }
 }
 
 /// Any `Fn(&MsgCtx) -> FaultAction` closure is a fault layer.
@@ -63,6 +114,12 @@ where
     fn on_send(&self, ctx: &MsgCtx) -> FaultAction {
         self(ctx)
     }
+}
+
+fn hits(ctx: &MsgCtx, src: Option<usize>, dst: Option<usize>, tag: Option<u32>) -> bool {
+    src.is_none_or(|s| s == ctx.src)
+        && dst.is_none_or(|d| d == ctx.dst)
+        && tag.is_none_or(|t| t == ctx.tag)
 }
 
 /// Drop every message matching `(src, dst, tag)` (any field `None` =
@@ -76,10 +133,7 @@ pub struct DropMatching {
 
 impl FaultLayer for DropMatching {
     fn on_send(&self, ctx: &MsgCtx) -> FaultAction {
-        let hit = self.src.is_none_or(|s| s == ctx.src)
-            && self.dst.is_none_or(|d| d == ctx.dst)
-            && self.tag.is_none_or(|t| t == ctx.tag);
-        if hit {
+        if hits(ctx, self.src, self.dst, self.tag) {
             FaultAction::Drop
         } else {
             FaultAction::Deliver
@@ -99,10 +153,7 @@ pub struct DelayMatching {
 
 impl FaultLayer for DelayMatching {
     fn on_send(&self, ctx: &MsgCtx) -> FaultAction {
-        let hit = self.src.is_none_or(|s| s == ctx.src)
-            && self.dst.is_none_or(|d| d == ctx.dst)
-            && self.tag.is_none_or(|t| t == ctx.tag);
-        if hit {
+        if hits(ctx, self.src, self.dst, self.tag) {
             FaultAction::Delay(self.seconds)
         } else {
             FaultAction::Deliver
@@ -110,32 +161,209 @@ impl FaultLayer for DelayMatching {
     }
 }
 
+/// Reorder every message matching `(src, dst, tag)`: the matching frame
+/// is overtaken by the sender's next frame to the same destination.
+/// Filters follow the drop/delay wildcard convention.
+#[derive(Debug, Clone, Default)]
+pub struct ReorderMatching {
+    pub src: Option<usize>,
+    pub dst: Option<usize>,
+    pub tag: Option<u32>,
+}
+
+impl FaultLayer for ReorderMatching {
+    fn on_send(&self, ctx: &MsgCtx) -> FaultAction {
+        if hits(ctx, self.src, self.dst, self.tag) {
+            FaultAction::Reorder
+        } else {
+            FaultAction::Deliver
+        }
+    }
+}
+
+/// Duplicate every message matching `(src, dst, tag)`.
+#[derive(Debug, Clone, Default)]
+pub struct DuplicateMatching {
+    pub src: Option<usize>,
+    pub dst: Option<usize>,
+    pub tag: Option<u32>,
+}
+
+impl FaultLayer for DuplicateMatching {
+    fn on_send(&self, ctx: &MsgCtx) -> FaultAction {
+        if hits(ctx, self.src, self.dst, self.tag) {
+            FaultAction::Duplicate
+        } else {
+            FaultAction::Deliver
+        }
+    }
+}
+
+/// A randomized fault schedule for chaos testing.
+///
+/// Per-message probabilities must sum to at most 1; the remainder is
+/// clean delivery. Kills are `(rank, boundary)` pairs consumed by
+/// [`FaultLayer::kill_at_boundary`].
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Master seed; every per-message decision is a pure function of
+    /// `(seed, src, dst, tag, seq, attempt)`.
+    pub seed: u64,
+    /// Probability a message (or retransmit) is dropped.
+    pub drop: f64,
+    /// Probability a message is reordered (held back).
+    pub reorder: f64,
+    /// Probability a message is duplicated.
+    pub duplicate: f64,
+    /// Probability a message is delayed by [`ChaosConfig::delay_secs`].
+    pub delay: f64,
+    /// Virtual seconds of injected delay.
+    pub delay_secs: f64,
+    /// Rank-death schedule: `(rank, phase boundary index)`.
+    pub kills: Vec<(usize, u64)>,
+}
+
+impl ChaosConfig {
+    /// A schedule that exercises all four message faults but kills
+    /// nobody — the "non-lossy at the algorithm level" schedule the
+    /// chaos harness compares byte-for-byte against clean runs.
+    pub fn messages_only(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            drop: 0.03,
+            reorder: 0.03,
+            duplicate: 0.02,
+            delay: 0.03,
+            delay_secs: 1e-4,
+            kills: Vec::new(),
+        }
+    }
+}
+
+/// Seeded chaos layer: deterministic randomized message faults plus a
+/// rank-death schedule.
+///
+/// Decisions are *stateless*: each message's fate is derived by mixing
+/// the seed with `(src, dst, tag, seq, attempt)` through a SplitMix64
+/// finalizer (the same mixer family `pgr-geom`'s xoshiro256++ RNG is
+/// seeded through), so the schedule is independent of host thread
+/// interleaving and every retransmit re-rolls.
+#[derive(Debug, Clone)]
+pub struct ChaosLayer {
+    cfg: ChaosConfig,
+}
+
+impl ChaosLayer {
+    pub fn new(cfg: ChaosConfig) -> Self {
+        let budget = cfg.drop + cfg.reorder + cfg.duplicate + cfg.delay;
+        assert!(
+            (0.0..=1.0).contains(&budget),
+            "fault probabilities must sum to [0, 1], got {budget}"
+        );
+        ChaosLayer { cfg }
+    }
+
+    pub fn config(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+
+    /// Uniform sample in [0, 1) for one message.
+    fn unit(&self, ctx: &MsgCtx) -> f64 {
+        let mut z = self
+            .cfg
+            .seed
+            .wrapping_add((ctx.src as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((ctx.dst as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+            .wrapping_add((ctx.tag as u64).wrapping_mul(0x1656_67B1_9E37_79F9))
+            .wrapping_add(ctx.seq.wrapping_mul(0x2545_F491_4F6C_DD1D))
+            .wrapping_add(ctx.attempt as u64);
+        // SplitMix64 finalizer.
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl FaultLayer for ChaosLayer {
+    fn on_send(&self, ctx: &MsgCtx) -> FaultAction {
+        let u = self.unit(ctx);
+        let c = &self.cfg;
+        let mut edge = c.drop;
+        if u < edge {
+            return FaultAction::Drop;
+        }
+        edge += c.reorder;
+        if u < edge {
+            return FaultAction::Reorder;
+        }
+        edge += c.duplicate;
+        if u < edge {
+            return FaultAction::Duplicate;
+        }
+        edge += c.delay;
+        if u < edge {
+            return FaultAction::Delay(c.delay_secs);
+        }
+        FaultAction::Deliver
+    }
+
+    fn kill_at_boundary(&self, rank: usize) -> Option<u64> {
+        self.cfg
+            .kills
+            .iter()
+            .filter(|&&(r, _)| r == rank)
+            .map(|&(_, b)| b)
+            .min()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn drop_matching_wildcards() {
-        let ctx = MsgCtx {
+    fn ctx() -> MsgCtx {
+        MsgCtx {
             src: 1,
             dst: 0,
             tag: 7,
             bytes: 16,
             seq: 0,
-        };
+            attempt: 0,
+        }
+    }
+
+    #[test]
+    fn drop_matching_wildcards() {
+        let c = ctx();
         let all = DropMatching::default();
-        assert_eq!(all.on_send(&ctx), FaultAction::Drop);
+        assert_eq!(all.on_send(&c), FaultAction::Drop);
         let tag_only = DropMatching {
             tag: Some(8),
             ..Default::default()
         };
-        assert_eq!(tag_only.on_send(&ctx), FaultAction::Deliver);
+        assert_eq!(tag_only.on_send(&c), FaultAction::Deliver);
         let edge = DropMatching {
             src: Some(1),
             dst: Some(0),
             tag: Some(7),
         };
-        assert_eq!(edge.on_send(&ctx), FaultAction::Drop);
+        assert_eq!(edge.on_send(&c), FaultAction::Drop);
+    }
+
+    #[test]
+    fn reorder_and_duplicate_matching() {
+        let c = ctx();
+        assert_eq!(ReorderMatching::default().on_send(&c), FaultAction::Reorder);
+        assert_eq!(
+            DuplicateMatching::default().on_send(&c),
+            FaultAction::Duplicate
+        );
+        let miss = ReorderMatching {
+            dst: Some(5),
+            ..Default::default()
+        };
+        assert_eq!(miss.on_send(&c), FaultAction::Deliver);
     }
 
     #[test]
@@ -153,8 +381,75 @@ mod tests {
             tag: 0,
             bytes: 0,
             seq,
+            attempt: 0,
         };
         assert_eq!(layer.on_send(&mk(0)), FaultAction::Delay(0.5));
         assert_eq!(layer.on_send(&mk(1)), FaultAction::Deliver);
+        assert_eq!(layer.kill_at_boundary(0), None, "default kills nobody");
+    }
+
+    #[test]
+    fn chaos_is_deterministic_and_attempt_sensitive() {
+        let layer = ChaosLayer::new(ChaosConfig {
+            seed: 42,
+            drop: 0.25,
+            reorder: 0.25,
+            duplicate: 0.25,
+            delay: 0.25,
+            delay_secs: 1.0,
+            kills: vec![(2, 3), (2, 1), (0, 7)],
+        });
+        let mk = |seq, attempt| MsgCtx {
+            src: 3,
+            dst: 1,
+            tag: 9,
+            bytes: 8,
+            seq,
+            attempt,
+        };
+        for seq in 0..64 {
+            assert_eq!(
+                layer.on_send(&mk(seq, 0)),
+                layer.on_send(&mk(seq, 0)),
+                "same message, same fate"
+            );
+        }
+        // Different attempts of the same message re-roll: across many
+        // seqs at least one message's fate changes with the attempt.
+        assert!(
+            (0..64).any(|s| layer.on_send(&mk(s, 0)) != layer.on_send(&mk(s, 1))),
+            "retransmits must re-roll"
+        );
+        assert_eq!(layer.kill_at_boundary(2), Some(1), "earliest kill wins");
+        assert_eq!(layer.kill_at_boundary(0), Some(7));
+        assert_eq!(layer.kill_at_boundary(1), None);
+    }
+
+    #[test]
+    fn chaos_probabilities_roughly_hold() {
+        let layer = ChaosLayer::new(ChaosConfig {
+            seed: 7,
+            drop: 0.5,
+            reorder: 0.0,
+            duplicate: 0.0,
+            delay: 0.0,
+            delay_secs: 0.0,
+            kills: Vec::new(),
+        });
+        let n = 4096;
+        let drops = (0..n)
+            .filter(|&s| {
+                layer.on_send(&MsgCtx {
+                    src: 0,
+                    dst: 1,
+                    tag: 0,
+                    bytes: 0,
+                    seq: s,
+                    attempt: 0,
+                }) == FaultAction::Drop
+            })
+            .count();
+        let frac = drops as f64 / n as f64;
+        assert!((0.4..0.6).contains(&frac), "drop fraction {frac}");
     }
 }

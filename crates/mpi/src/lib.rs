@@ -31,25 +31,38 @@
 //! (exportable via [`chrome_trace_json`] / [`stats_json`]),
 //! [`run_instrumented`] additionally collects per-rank metric shards
 //! (counters/gauges/histograms from `pgr-obs`) and can attach a
-//! [`fault`] layer that drops or delays messages, and failed
-//! communication patterns surface as structured [`CommError`] diagnostics
-//! instead of bare panics.
+//! [`fault`] layer that drops, delays, reorders, or duplicates messages,
+//! and failed communication patterns surface as structured [`CommError`]
+//! diagnostics instead of bare panics.
+//!
+//! Robustness: the [`reliable`] transport (sequence numbers, reorder
+//! buffer, duplicate suppression, ack-based retransmit with exponential
+//! backoff) masks injected message faults bit-deterministically, and a
+//! fault layer's kill schedule plus the heartbeat [`failure`] detector
+//! let SPMD programs survive rank death: the victim unwinds at a phase
+//! boundary ([`Comm::phase_adv`]), survivors shrink the world
+//! ([`Comm::remove_dead`]) and continue on dense logical ranks, and a
+//! recv blocked on the victim reports [`CommError::RankDead`].
 
 pub mod comm;
 pub mod error;
+pub mod failure;
 pub mod fault;
 pub mod machine;
+pub mod reliable;
 pub mod trace;
 pub mod wire;
 
 pub use comm::{
-    run, run_instrumented, run_traced, Comm, InstrumentConfig, RankStats, RunReport,
+    run, run_instrumented, run_traced, Comm, InstrumentConfig, PhaseControl, RankStats, RunReport,
     COLLECTIVE_TAG_BASE,
 };
-pub use error::{CommError, PendingMsg};
-pub use fault::{FaultAction, FaultLayer, MsgCtx};
+pub use error::{CommError, PendingMsg, TransportSnapshot};
+pub use failure::{FailureDetector, FailureInfo};
+pub use fault::{ChaosConfig, ChaosLayer, FaultAction, FaultLayer, MsgCtx};
 pub use machine::MachineModel;
 pub use pgr_obs::{MetricsConfig, RankMetrics, RunMeta};
+pub use reliable::ReliabilityConfig;
 pub use trace::{
     chrome_trace_json, stats_json, RankTrace, TraceConfig, TraceEvent, TraceEventKind,
 };

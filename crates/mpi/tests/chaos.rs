@@ -1,0 +1,451 @@
+//! Seeded chaos harness for the reliable transport and the failure
+//! protocol.
+//!
+//! The contract under test: with the reliability layer on, any
+//! message-fault schedule (drops, delays, reorders, duplicates — no
+//! kills) is *invisible* — results, per-rank stats, and the makespan are
+//! bit-identical to the fault-free run, with the protocol's effort
+//! showing up only in metrics. Kill schedules surface as
+//! `PhaseControl`/`CommError::RankDead`, and survivors renumber
+//! deterministically.
+
+use pgr_mpi::fault::{
+    DropMatching, DuplicateMatching, FAULTS_DELAYED, FAULTS_DROPPED, FAULTS_DUPLICATED,
+    FAULTS_REORDERED,
+};
+use pgr_mpi::{
+    reliable, run, run_instrumented, ChaosConfig, ChaosLayer, Comm, CommError, FaultAction,
+    InstrumentConfig, MachineModel, MetricsConfig, MsgCtx, PhaseControl, RankMetrics,
+    ReliabilityConfig, TraceConfig,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+const DATA: u32 = 3;
+const BULK: u32 = 4;
+const PING: u32 = 5;
+const NEVER: u32 = 99;
+const RELEASE: u32 = 8;
+
+/// A communication-heavy SPMD body: two p2p streams around a ring, the
+/// full collective set, and some compute.
+fn busy_body(comm: &mut Comm) -> (u64, u64) {
+    let (rank, size) = (comm.rank(), comm.size());
+    comm.phase("work");
+    let next = (rank + 1) % size;
+    let prev = (rank + size - 1) % size;
+    for i in 0..8u64 {
+        comm.send(next, DATA, &(rank as u64 * 100 + i));
+        comm.send(next, BULK, &vec![i as u8; 16 + i as usize]);
+    }
+    let mut acc = 0u64;
+    for _ in 0..8 {
+        acc += comm.recv::<u64>(prev, DATA);
+        let v: Vec<u8> = comm.recv(prev, BULK);
+        acc += v.len() as u64;
+    }
+    comm.compute(500 * (rank as u64 + 1));
+    let sum = comm.allreduce(acc, |a, b| a + b);
+    let g = comm.allgather(acc);
+    let t: Vec<Vec<u32>> = comm.alltoall((0..size).map(|d| vec![(rank * 10 + d) as u32]).collect());
+    let mix = sum + g.iter().sum::<u64>() + t.iter().flatten().map(|&x| u64::from(x)).sum::<u64>();
+    (mix, comm.now().to_bits())
+}
+
+fn fault_count(metrics: &[RankMetrics], name: &'static str) -> u64 {
+    metrics.iter().filter_map(|m| m.counter(name)).sum()
+}
+
+/// Every non-lossy (no-kill) randomized schedule is byte-invisible:
+/// identical results, identical per-rank stats, identical makespan.
+#[test]
+fn non_lossy_chaos_is_bit_identical_to_clean_run() {
+    let machine = MachineModel::sparc_center_1000();
+    let clean = run(4, machine, busy_body);
+    for seed in [1u64, 7, 42, 1997] {
+        let instr = InstrumentConfig {
+            metrics: MetricsConfig::on(),
+            fault: Some(Arc::new(ChaosLayer::new(ChaosConfig::messages_only(seed)))),
+            reliability: ReliabilityConfig::on(),
+            ..InstrumentConfig::off()
+        };
+        let (chaos, _, metrics) = run_instrumented(4, machine, instr, busy_body);
+        assert_eq!(clean.results, chaos.results, "seed {seed}: results differ");
+        assert_eq!(clean.stats, chaos.stats, "seed {seed}: stats differ");
+        assert_eq!(clean.makespan(), chaos.makespan(), "seed {seed}");
+        let injected = fault_count(&metrics, FAULTS_DROPPED)
+            + fault_count(&metrics, FAULTS_DELAYED)
+            + fault_count(&metrics, FAULTS_REORDERED)
+            + fault_count(&metrics, FAULTS_DUPLICATED);
+        assert!(injected > 0, "seed {seed}: the schedule did nothing");
+        // Drops were recovered by retransmission.
+        assert_eq!(
+            fault_count(&metrics, reliable::RETRANSMITS) >= 1,
+            fault_count(&metrics, FAULTS_DROPPED) >= 1,
+            "seed {seed}: every drop retransmits"
+        );
+    }
+}
+
+/// Without the reliability layer, a reorder injection is visible (same
+/// (src, tag) stream delivered out of order); with it, the receive
+/// window restores sequence order and counts the repair.
+#[test]
+fn reorder_is_visible_raw_and_masked_reliably() {
+    // Hold back only the very first send.
+    let layer = |ctx: &MsgCtx| {
+        if ctx.seq == 0 {
+            FaultAction::Reorder
+        } else {
+            FaultAction::Deliver
+        }
+    };
+    let body = |comm: &mut Comm| {
+        if comm.rank() == 0 {
+            comm.send(1, DATA, &"first".to_string());
+            comm.send(1, DATA, &"second".to_string());
+            Vec::new()
+        } else {
+            (0..2).map(|_| comm.recv::<String>(0, DATA)).collect()
+        }
+    };
+    let raw = InstrumentConfig {
+        metrics: MetricsConfig::on(),
+        fault: Some(Arc::new(layer)),
+        ..InstrumentConfig::off()
+    };
+    let (report, _, metrics) = run_instrumented(2, MachineModel::ideal(), raw, body);
+    assert_eq!(
+        report.results[1],
+        vec!["second".to_string(), "first".to_string()],
+        "raw reorder swaps the stream"
+    );
+    assert_eq!(metrics[0].counter(FAULTS_REORDERED), Some(1));
+
+    let masked = InstrumentConfig {
+        metrics: MetricsConfig::on(),
+        fault: Some(Arc::new(layer)),
+        reliability: ReliabilityConfig::on(),
+        ..InstrumentConfig::off()
+    };
+    let (report, _, metrics) = run_instrumented(2, MachineModel::ideal(), masked, body);
+    assert_eq!(
+        report.results[1],
+        vec!["first".to_string(), "second".to_string()],
+        "reliable transport restores order"
+    );
+    assert_eq!(metrics[1].counter(reliable::REORDER_BUFFERED), Some(1));
+}
+
+/// Without reliability a duplicated message arrives twice; with it the
+/// second copy is suppressed by its sequence number.
+#[test]
+fn duplicate_is_visible_raw_and_suppressed_reliably() {
+    let dup = DuplicateMatching {
+        tag: Some(DATA),
+        ..Default::default()
+    };
+    let body_raw = |comm: &mut Comm| {
+        if comm.rank() == 0 {
+            comm.send(1, DATA, &7u32);
+            0
+        } else {
+            comm.recv::<u32>(0, DATA) + comm.recv::<u32>(0, DATA)
+        }
+    };
+    let raw = InstrumentConfig {
+        metrics: MetricsConfig::on(),
+        fault: Some(Arc::new(dup.clone())),
+        ..InstrumentConfig::off()
+    };
+    let (report, _, metrics) = run_instrumented(2, MachineModel::ideal(), raw, body_raw);
+    assert_eq!(report.results[1], 14, "raw duplicate arrives twice");
+    assert_eq!(metrics[0].counter(FAULTS_DUPLICATED), Some(1));
+
+    let body_reliable = |comm: &mut Comm| {
+        if comm.rank() == 0 {
+            comm.send(1, DATA, &7u32);
+            Ok(0)
+        } else {
+            let first = comm.recv::<u32>(0, DATA);
+            // The duplicate was suppressed: a second receive can only
+            // end in a disconnect once rank 0 exits.
+            comm.try_recv_bytes(0, DATA).map(|_| first)
+        }
+    };
+    let masked = InstrumentConfig {
+        metrics: MetricsConfig::on(),
+        fault: Some(Arc::new(dup)),
+        reliability: ReliabilityConfig::on(),
+        ..InstrumentConfig::off()
+    };
+    let (report, _, metrics) = run_instrumented(2, MachineModel::ideal(), masked, body_reliable);
+    assert!(
+        matches!(report.results[1], Err(CommError::PeersDisconnected { .. })),
+        "only one copy was deliverable: {:?}",
+        report.results[1]
+    );
+    assert_eq!(metrics[1].counter(reliable::DUPLICATES_DROPPED), Some(1));
+}
+
+/// A dropped frame is retransmitted and arrives with its original
+/// stamp: virtual time is identical to the fault-free run.
+#[test]
+fn retransmit_recovers_drop_with_identical_timing() {
+    let body = |comm: &mut Comm| {
+        if comm.rank() == 0 {
+            comm.send(1, DATA, &vec![9u8; 256]);
+            comm.now().to_bits()
+        } else {
+            let v: Vec<u8> = comm.recv(0, DATA);
+            assert_eq!(v.len(), 256);
+            comm.now().to_bits()
+        }
+    };
+    let clean = run(2, MachineModel::intel_paragon(), body);
+    let first_attempt_drops = |ctx: &MsgCtx| {
+        if ctx.attempt == 0 {
+            FaultAction::Drop
+        } else {
+            FaultAction::Deliver
+        }
+    };
+    let instr = InstrumentConfig {
+        metrics: MetricsConfig::on(),
+        fault: Some(Arc::new(first_attempt_drops)),
+        reliability: ReliabilityConfig::on(),
+        ..InstrumentConfig::off()
+    };
+    let (faulty, _, metrics) = run_instrumented(2, MachineModel::intel_paragon(), instr, body);
+    assert_eq!(clean.results, faulty.results, "retransmit preserves clocks");
+    assert_eq!(metrics[0].counter(reliable::RETRANSMITS), Some(1));
+    assert!(metrics[0].counter(reliable::BACKOFF_MICROS).is_none());
+    assert!(
+        metrics[0].histogram(reliable::BACKOFF_MICROS).is_some(),
+        "backoff recorded as a histogram"
+    );
+}
+
+/// A layer that drops every attempt exhausts the retry budget; the
+/// transport then forces delivery instead of spinning forever.
+#[test]
+fn adversarial_drop_exhausts_retries_but_delivers() {
+    let instr = InstrumentConfig {
+        metrics: MetricsConfig::on(),
+        fault: Some(Arc::new(DropMatching {
+            tag: Some(DATA),
+            ..Default::default()
+        })),
+        reliability: ReliabilityConfig {
+            enabled: true,
+            max_attempts: 4,
+            ..ReliabilityConfig::on()
+        },
+        ..InstrumentConfig::off()
+    };
+    let (report, _, metrics) = run_instrumented(2, MachineModel::ideal(), instr, |comm| {
+        if comm.rank() == 0 {
+            comm.send(1, DATA, &1234u32);
+            0
+        } else {
+            comm.recv::<u32>(0, DATA)
+        }
+    });
+    assert_eq!(report.results[1], 1234, "payload still arrives");
+    assert_eq!(metrics[0].counter(reliable::RETRANSMITS), Some(3));
+    assert_eq!(metrics[0].counter(reliable::RETRANSMIT_EXHAUSTED), Some(1));
+    assert_eq!(metrics[0].counter(FAULTS_DROPPED), Some(4));
+}
+
+/// Satellite: a watchdog firing while the transport has retry state
+/// reports that state (retransmits, backoff, reorder windows) in the
+/// `Stalled` diagnostic instead of a bare pending-queue dump.
+#[test]
+fn watchdog_stall_reports_retry_and_backoff_state() {
+    let drop_first_ping = |ctx: &MsgCtx| {
+        if ctx.tag == PING && ctx.attempt == 0 {
+            FaultAction::Drop
+        } else {
+            FaultAction::Deliver
+        }
+    };
+    let instr = InstrumentConfig {
+        trace: TraceConfig::with_watchdog(Duration::from_millis(200)),
+        metrics: MetricsConfig::on(),
+        fault: Some(Arc::new(drop_first_ping)),
+        reliability: ReliabilityConfig::on(),
+    };
+    let (report, _, _) = run_instrumented(2, MachineModel::ideal(), instr, |comm| {
+        if comm.rank() == 0 {
+            // One retransmitted send, then a wait that can never be
+            // satisfied: the watchdog fires mid-protocol.
+            comm.send(1, PING, &1u8);
+            let err = comm
+                .try_recv_bytes(1, NEVER)
+                .expect_err("nobody sends NEVER");
+            comm.send(1, RELEASE, &1u8);
+            let msg = err.to_string();
+            match err {
+                CommError::Stalled { transport, .. } => {
+                    let t = transport.expect("reliability on ⇒ snapshot present");
+                    assert_eq!(t.retransmits, 1, "{msg}");
+                    assert!(t.last_backoff > 0.0, "{msg}");
+                    assert!(msg.contains("retransmit(s)"), "{msg}");
+                    true
+                }
+                other => panic!("expected Stalled, got {other}"),
+            }
+        } else {
+            let _: u8 = comm.recv(0, PING);
+            let _: u8 = comm.recv(0, RELEASE);
+            true
+        }
+    });
+    assert!(report.results.iter().all(|&ok| ok));
+}
+
+/// Satellite: `CommError::RankDead` carries the dead rank id, its last
+/// heartbeat tick, and the phase/boundary it died at; survivors shrink
+/// the world deterministically and keep communicating.
+#[test]
+fn phase_kill_surfaces_rank_dead_and_world_remaps() {
+    let chaos = ChaosLayer::new(ChaosConfig {
+        kills: vec![(1, 0)],
+        ..ChaosConfig::messages_only(11)
+    });
+    let instr = InstrumentConfig {
+        metrics: MetricsConfig::on(),
+        fault: Some(Arc::new(chaos)),
+        reliability: ReliabilityConfig::on(),
+        ..InstrumentConfig::off()
+    };
+    let (report, _, _) = run_instrumented(4, MachineModel::ideal(), instr, |comm| {
+        match comm.phase_adv("setup") {
+            PhaseControl::SelfKilled => {
+                assert_eq!(comm.physical_rank(), 1, "only rank 1 is scheduled");
+                return (Vec::new(), Vec::new());
+            }
+            PhaseControl::PeersDied(dead) => {
+                assert_eq!(dead, vec![1]);
+                // Logical 1 is still physical 1 until removal: the recv
+                // must diagnose the death, not hang.
+                let err = comm.try_recv_bytes(1, DATA).expect_err("peer is dead");
+                match err {
+                    CommError::RankDead {
+                        rank,
+                        dead,
+                        tag,
+                        last_heartbeat,
+                        phase,
+                        boundary,
+                    } => {
+                        assert_eq!(rank, comm.physical_rank());
+                        assert_eq!(dead, 1);
+                        assert_eq!(tag, DATA);
+                        assert!(last_heartbeat >= 0.0 && last_heartbeat.is_finite());
+                        assert_eq!(phase, "setup");
+                        assert_eq!(boundary, 1);
+                    }
+                    other => panic!("expected RankDead, got {other}"),
+                }
+                comm.remove_dead(&dead);
+            }
+            PhaseControl::Continue => panic!("a peer died at this boundary"),
+        }
+        // Survivors renumber densely in physical order and all
+        // collectives keep working over the shrunken world.
+        let world = comm.world().to_vec();
+        let members = comm.allgather(comm.physical_rank() as u64);
+        (members, world)
+    });
+    for phys in [0usize, 2, 3] {
+        let (members, world) = &report.results[phys];
+        assert_eq!(*world, vec![0, 2, 3], "physical {phys}");
+        assert_eq!(*members, vec![0, 2, 3], "physical {phys}");
+    }
+    assert_eq!(
+        report.results[1],
+        (Vec::new(), Vec::new()),
+        "victim unwound"
+    );
+}
+
+/// Two ranks dying at the same boundary are removed together, and the
+/// whole run (kills plus message chaos) is deterministic end to end.
+#[test]
+fn multi_kill_is_deterministic() {
+    let run_once = || {
+        let chaos = ChaosLayer::new(ChaosConfig {
+            kills: vec![(1, 1), (3, 1)],
+            ..ChaosConfig::messages_only(23)
+        });
+        let instr = InstrumentConfig {
+            metrics: MetricsConfig::on(),
+            fault: Some(Arc::new(chaos)),
+            reliability: ReliabilityConfig::on(),
+            ..InstrumentConfig::off()
+        };
+        run_instrumented(5, MachineModel::sparc_center_1000(), instr, |comm| {
+            assert_eq!(comm.phase_adv("warmup"), PhaseControl::Continue);
+            let all = comm.allreduce(1u64, |a, b| a + b);
+            assert_eq!(all, 5);
+            match comm.phase_adv("main") {
+                PhaseControl::SelfKilled => return 0,
+                PhaseControl::PeersDied(dead) => {
+                    assert_eq!(dead, vec![1, 3]);
+                    comm.remove_dead(&dead);
+                }
+                PhaseControl::Continue => panic!("two peers died here"),
+            }
+            comm.allreduce(comm.physical_rank() as u64, |a, b| a + b)
+        })
+    };
+    let (a, _, _) = run_once();
+    let (b, _, _) = run_once();
+    for phys in [0usize, 2, 4] {
+        assert_eq!(a.results[phys], 6, "survivors sum physical ids 0+2+4");
+    }
+    assert_eq!(a.results[1], 0);
+    assert_eq!(a.results[3], 0);
+    assert_eq!(a.results, b.results, "kill schedules are deterministic");
+    assert_eq!(a.stats, b.stats);
+}
+
+/// A redundant copy can race the receiver's exit: under chaos a rank
+/// exits once it has everything it needs, so a duplicate's second frame
+/// may find the channel already closed. With a fault layer active that
+/// is a counted drop, not a `PeerGone` panic (the frame has no
+/// consumer — the receiver completed off the first copy).
+#[test]
+fn send_racing_peer_exit_is_dropped_not_fatal() {
+    // No probabilistic faults, no kills: the layer's mere presence
+    // selects the tolerant path. Rank 1 exits immediately; rank 0
+    // sends after a real-time delay so the frame reliably meets a
+    // closed channel.
+    let instr = InstrumentConfig {
+        metrics: MetricsConfig::on(),
+        fault: Some(Arc::new(ChaosLayer::new(ChaosConfig {
+            drop: 0.0,
+            reorder: 0.0,
+            duplicate: 0.0,
+            delay: 0.0,
+            ..ChaosConfig::messages_only(1)
+        }))),
+        reliability: ReliabilityConfig::on(),
+        ..InstrumentConfig::off()
+    };
+    let (report, _, metrics) =
+        run_instrumented(2, MachineModel::sparc_center_1000(), instr, |comm| {
+            if comm.rank() == 0 {
+                std::thread::sleep(Duration::from_millis(100));
+                comm.send(1, DATA, &1u32);
+            }
+            comm.rank()
+        });
+    assert_eq!(report.results, vec![0, 1]);
+    assert_eq!(
+        fault_count(&metrics, pgr_mpi::fault::SENDS_TO_EXITED),
+        1,
+        "the raced frame is counted, not fatal"
+    );
+}

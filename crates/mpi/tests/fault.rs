@@ -27,6 +27,7 @@ fn dropped_message_is_seen_by_watchdog_and_metrics() {
             dst: Some(0),
             tag: Some(DATA),
         })),
+        ..InstrumentConfig::off()
     };
     let (report, _traces, metrics) = run_instrumented(2, MachineModel::ideal(), instr, |comm| {
         if comm.rank() == 0 {
@@ -86,6 +87,7 @@ fn delayed_message_shifts_virtual_time_and_is_counted() {
             tag: Some(DATA),
             seconds: EXTRA,
         })),
+        ..InstrumentConfig::off()
     };
     let (delayed, _, metrics) = run_instrumented(2, MachineModel::ideal(), instr, body);
 
@@ -113,6 +115,7 @@ fn passthrough_layer_preserves_virtual_time() {
         trace: TraceConfig::off(),
         metrics: MetricsConfig::on(),
         fault: Some(Arc::new(|_: &MsgCtx| FaultAction::Deliver)),
+        ..InstrumentConfig::off()
     };
     let (hooked, _, metrics) = run_instrumented(4, MachineModel::sparc_center_1000(), instr, body);
     assert_eq!(plain.results, hooked.results);
