@@ -21,7 +21,7 @@
 //! virtual time from the deterministic simulation, baselines are stable
 //! across hosts: any drift is a real behavior change.
 
-use pgr_obs::{json_escape, merge_ranks, Json, RankMetrics, RunMeta, SCHEMA_VERSION};
+use pgr_obs::{json_escape, merge_ranks, Json, Phase, RankMetrics, RunMeta, SCHEMA_VERSION};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
@@ -121,6 +121,20 @@ fn parse_dump(path: &Path, text: &str) -> Result<(RunMeta, Json, String), String
     Ok((run, v, kind))
 }
 
+/// Reject phase names outside the [`Phase`] registry: a dump naming an
+/// unknown phase was produced by a pipeline that bypassed the engine (or
+/// by a different registry), and aggregating it would silently produce
+/// trend series nothing else can align with.
+fn check_registry_phase(name: &str, path: &Path) -> Result<(), String> {
+    if Phase::from_name(name).is_none() {
+        return Err(ctx(
+            path,
+            &format!("phase \"{name}\" is not in the phase registry"),
+        ));
+    }
+    Ok(())
+}
+
 /// Apply one stats dump. Last-wins per kind: the simulation is
 /// deterministic, so two dumps carrying the same run identity (say, a
 /// phase-breakdown pass and a speedup pass at the same rank count) hold
@@ -141,7 +155,7 @@ fn apply_stats(rec: &mut RunRecord, v: &Json, path: &Path) -> Result<(), String>
         rec.bytes_sent += r.get("bytes_sent").and_then(|f| f.as_u64()).unwrap_or(0);
         let time = r.get("time").and_then(|f| f.as_f64()).unwrap_or(0.0);
         if slowest.as_ref().is_none_or(|(t, _)| time > *t) {
-            let phases = r
+            let phases: Vec<(String, f64)> = r
                 .get("phases")
                 .and_then(|f| f.as_arr())
                 .map(|ps| {
@@ -159,6 +173,9 @@ fn apply_stats(rec: &mut RunRecord, v: &Json, path: &Path) -> Result<(), String>
         }
     }
     if let Some((_, phases)) = slowest {
+        for (name, _) in &phases {
+            check_registry_phase(name, path)?;
+        }
         rec.phases = phases;
     }
     Ok(())
@@ -199,6 +216,34 @@ fn parse_histogram(h: &Json, path: &Path) -> Result<pgr_obs::Histogram, String> 
     .map_err(|e| ctx(path, &e))
 }
 
+/// Parse one `{"counters":…,"gauges":…,"histograms":…}` scope (a rank's
+/// cumulative maps, or one phase window) into `into`.
+fn parse_metric_maps(scope: &Json, into: &mut RankMetrics, path: &Path) -> Result<(), String> {
+    if let Some(cs) = scope.get("counters").and_then(|f| f.as_obj()) {
+        for (name, val) in cs {
+            let v = val
+                .as_u64()
+                .ok_or_else(|| ctx(path, &format!("counter \"{name}\" not an integer")))?;
+            into.counters.push((name.clone(), v));
+        }
+    }
+    if let Some(gs) = scope.get("gauges").and_then(|f| f.as_obj()) {
+        for (name, val) in gs {
+            let v = val
+                .as_f64()
+                .ok_or_else(|| ctx(path, &format!("gauge \"{name}\" not a number")))?;
+            into.gauges.push((name.clone(), v));
+        }
+    }
+    if let Some(hs) = scope.get("histograms").and_then(|f| f.as_obj()) {
+        for (name, val) in hs {
+            into.histograms
+                .push((name.clone(), parse_histogram(val, path)?));
+        }
+    }
+    Ok(())
+}
+
 fn apply_metrics(rec: &mut RunRecord, v: &Json, path: &Path) -> Result<(), String> {
     let ranks = v
         .get("ranks")
@@ -211,26 +256,13 @@ fn apply_metrics(rec: &mut RunRecord, v: &Json, path: &Path) -> Result<(), Strin
             .and_then(|f| f.as_u64())
             .ok_or_else(|| ctx(path, "rank entry missing \"rank\""))? as usize;
         let mut m = RankMetrics::empty(rank);
-        if let Some(cs) = r.get("counters").and_then(|f| f.as_obj()) {
-            for (name, val) in cs {
-                let v = val
-                    .as_u64()
-                    .ok_or_else(|| ctx(path, &format!("counter \"{name}\" not an integer")))?;
-                m.counters.push((name.clone(), v));
-            }
-        }
-        if let Some(gs) = r.get("gauges").and_then(|f| f.as_obj()) {
-            for (name, val) in gs {
-                let v = val
-                    .as_f64()
-                    .ok_or_else(|| ctx(path, &format!("gauge \"{name}\" not a number")))?;
-                m.gauges.push((name.clone(), v));
-            }
-        }
-        if let Some(hs) = r.get("histograms").and_then(|f| f.as_obj()) {
-            for (name, val) in hs {
-                m.histograms
-                    .push((name.clone(), parse_histogram(val, path)?));
+        parse_metric_maps(r, &mut m, path)?;
+        if let Some(ps) = r.get("phases").and_then(|f| f.as_obj()) {
+            for (name, scope) in ps {
+                check_registry_phase(name, path)?;
+                let mut w = RankMetrics::empty(rank);
+                parse_metric_maps(scope, &mut w, path)?;
+                m.windows.push((name.clone(), w));
             }
         }
         shards.push(m);
@@ -296,6 +328,18 @@ fn is_dump(p: &Path) -> bool {
         .is_some_and(|n| n.ends_with(".stats.json") || n.ends_with(".metrics.json"))
 }
 
+/// One phase's trend entry in an aggregated row: the slowest rank's
+/// virtual seconds (from the stats dump) joined with the rank-merged
+/// window counters (from the metrics dump). Either half may be absent
+/// when only one dump kind was loaded for the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseAgg {
+    pub name: String,
+    pub seconds: Option<f64>,
+    /// Merged per-phase window counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
 /// One aggregated row: a run plus its derived cross-run numbers.
 #[derive(Debug, Clone)]
 pub struct AggRecord {
@@ -311,7 +355,8 @@ pub struct AggRecord {
     pub feedthroughs: Option<u64>,
     pub load_imbalance: Option<f64>,
     pub bytes_sent: u64,
-    pub phases: Vec<(String, f64)>,
+    /// Per-phase trend series, in [`Phase`] registry order.
+    pub phases: Vec<PhaseAgg>,
 }
 
 /// The cross-run report.
@@ -342,6 +387,27 @@ pub fn aggregate(records: &[RunRecord]) -> Aggregate {
             let m = r.metrics.as_ref();
             let tracks = m.and_then(|m| m.counter(TRACKS));
             let base_tracks = base.and_then(|b| b.metrics.as_ref()?.counter(TRACKS));
+            // Join the stats-side phase seconds with the metrics-side
+            // phase windows, in registry order.
+            let phases: Vec<PhaseAgg> = Phase::ALL
+                .iter()
+                .filter_map(|p| {
+                    let seconds = r
+                        .phases
+                        .iter()
+                        .find(|(n, _)| n == p.name())
+                        .map(|(_, s)| *s);
+                    let window = m.and_then(|mm| mm.window(p.name()));
+                    if seconds.is_none() && window.is_none() {
+                        return None;
+                    }
+                    Some(PhaseAgg {
+                        name: p.name().to_string(),
+                        seconds,
+                        counters: window.map(|w| w.counters.clone()).unwrap_or_default(),
+                    })
+                })
+                .collect();
             AggRecord {
                 run: r.run.clone(),
                 makespan: r.makespan,
@@ -358,7 +424,7 @@ pub fn aggregate(records: &[RunRecord]) -> Aggregate {
                 feedthroughs: m.and_then(|m| m.counter(FEEDTHROUGHS)),
                 load_imbalance: m.and_then(|m| m.gauge(LOAD_IMBALANCE)),
                 bytes_sent: r.bytes_sent,
-                phases: r.phases.clone(),
+                phases,
             }
         })
         .collect();
@@ -387,7 +453,19 @@ impl Aggregate {
                 let phases: Vec<String> = r
                     .phases
                     .iter()
-                    .map(|(n, s)| format!("{{\"name\":\"{}\",\"seconds\":{s}}}", json_escape(n)))
+                    .map(|p| {
+                        let counters: Vec<String> = p
+                            .counters
+                            .iter()
+                            .map(|(n, v)| format!("\"{}\":{v}", json_escape(n)))
+                            .collect();
+                        format!(
+                            "{{\"name\":\"{}\",\"seconds\":{},\"counters\":{{{}}}}}",
+                            json_escape(&p.name),
+                            opt_f64(p.seconds),
+                            counters.join(",")
+                        )
+                    })
                     .collect();
                 format!(
                     "{{\"run\":{},\"makespan\":{},\"speedup\":{},\"tracks\":{},\"scaled_tracks\":{},\"wirelength\":{},\"feedthroughs\":{},\"load_imbalance\":{},\"bytes_sent\":{},\"phases\":[{}]}}",
@@ -465,11 +543,11 @@ impl Aggregate {
             with_phases.sort_by_key(|r| (r.run.algorithm.clone(), r.run.procs));
             if !with_phases.is_empty() {
                 out.push_str("\n| algorithm | procs | slowest-rank phases (s) |\n|---|---|---|\n");
-                for r in with_phases {
+                for r in &with_phases {
                     let ps: Vec<String> = r
                         .phases
                         .iter()
-                        .map(|(n, s)| format!("{n} {s:.2}"))
+                        .filter_map(|p| Some(format!("{} {:.2}", p.name, p.seconds?)))
                         .collect();
                     out.push_str(&format!(
                         "| {} | {} | {} |\n",
@@ -477,6 +555,43 @@ impl Aggregate {
                         r.run.procs,
                         ps.join(", ")
                     ));
+                }
+            }
+            // Per-phase quality trend: the routing/parallelism counters
+            // each phase window contributed.
+            let quality_counter = |n: &str| n.starts_with("route.") || n.starts_with("parallel.");
+            let with_counters: Vec<&&AggRecord> = with_phases
+                .iter()
+                .filter(|r| {
+                    r.phases
+                        .iter()
+                        .any(|p| p.counters.iter().any(|(n, _)| quality_counter(n)))
+                })
+                .copied()
+                .collect();
+            if !with_counters.is_empty() {
+                out.push_str(
+                    "\n| algorithm | procs | phase | route/parallel counters |\n|---|---|---|---|\n",
+                );
+                for r in with_counters {
+                    for p in &r.phases {
+                        let cs: Vec<String> = p
+                            .counters
+                            .iter()
+                            .filter(|(n, _)| quality_counter(n))
+                            .map(|(n, v)| format!("{n} {v}"))
+                            .collect();
+                        if cs.is_empty() {
+                            continue;
+                        }
+                        out.push_str(&format!(
+                            "| {} | {} | {} | {} |\n",
+                            r.run.algorithm,
+                            r.run.procs,
+                            p.name,
+                            cs.join(", ")
+                        ));
+                    }
                 }
             }
         }
@@ -572,6 +687,33 @@ pub fn check_baseline(
             b.get("wirelength").and_then(|f| f.as_f64()),
             cur.wirelength.map(|w| w as f64),
         );
+        // Per-phase series: virtual seconds and the phase-scoped
+        // wirelength must not drift past tolerance either — a regression
+        // hiding inside one phase while the totals stay flat is exactly
+        // what the windows exist to catch.
+        for bp in b.get("phases").and_then(|f| f.as_arr()).unwrap_or(&[]) {
+            let Some(name) = bp.get("name").and_then(|f| f.as_str()) else {
+                continue;
+            };
+            let cp = cur.phases.iter().find(|p| p.name == name);
+            check_f(
+                &format!("phase {name} seconds"),
+                bp.get("seconds").and_then(|f| f.as_f64()),
+                cp.and_then(|p| p.seconds),
+            );
+            check_f(
+                &format!("phase {name} wirelength"),
+                bp.get("counters")
+                    .and_then(|c| c.get(WIRELENGTH))
+                    .and_then(|f| f.as_f64()),
+                cp.and_then(|p| {
+                    p.counters
+                        .iter()
+                        .find(|(n, _)| n == WIRELENGTH)
+                        .map(|(_, v)| *v as f64)
+                }),
+            );
+        }
     }
     Ok(regressions)
 }

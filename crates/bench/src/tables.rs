@@ -555,18 +555,9 @@ pub fn phase_breakdown(opts: &Opts) {
     let cfg = cfg();
     println!("Per-phase virtual time (seconds; slowest rank at 8 procs)");
     opts.note_scale();
-    const PHASES: [&str; 7] = [
-        "setup",
-        "steiner",
-        "coarse",
-        "feedthrough",
-        "connect",
-        "switchable",
-        "assemble",
-    ];
     print!("{:<12} {:<10}", "circuit", "algorithm");
-    for p in PHASES {
-        print!(" {p:>11}");
+    for p in pgr_obs::Phase::ALL {
+        print!(" {:>11}", p.name());
     }
     println!(" {:>11}", "total");
     type PhaseRow = (String, Vec<(&'static str, f64)>, f64);
@@ -622,10 +613,10 @@ pub fn phase_breakdown(opts: &Opts) {
         }
         for (name, phases, total) in rows {
             print!("{:<12} {:<10}", c.name, name);
-            for want in PHASES {
+            for want in pgr_obs::Phase::ALL {
                 let d: f64 = phases
                     .iter()
-                    .filter(|(n, _)| *n == want)
+                    .filter(|(n, _)| *n == want.name())
                     .map(|(_, d)| d)
                     .sum();
                 print!(" {:>11}", fmt_secs(d));

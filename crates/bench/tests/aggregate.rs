@@ -83,7 +83,9 @@ fn speedup_and_quality_from_hand_built_fixtures() {
     assert_eq!(p.tracks, Some(110));
     assert_eq!(p.scaled_tracks, Some(1.1));
     assert_eq!(p.bytes_sent, 64);
-    assert_eq!(p.phases, vec![("setup".to_string(), 2.5)]);
+    assert_eq!(p.phases.len(), 1);
+    assert_eq!(p.phases[0].name, "setup");
+    assert_eq!(p.phases[0].seconds, Some(2.5));
 
     // The markdown report names the series and carries both numbers.
     let md = agg.to_markdown();
@@ -133,10 +135,87 @@ fn unparseable_and_mismatched_schema_are_rejected_by_name() {
     write(
         &dir,
         "odd.stats.json",
-        "{\"schema_version\":1,\"kind\":\"nope\",\"run\":{}}",
+        &format!("{{\"schema_version\":{SCHEMA_VERSION},\"kind\":\"nope\",\"run\":{{}}}}"),
     );
     let err = load_paths(std::slice::from_ref(&dir)).unwrap_err();
     assert!(err.contains("odd.stats.json"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn phases_outside_the_registry_are_rejected_by_name() {
+    // A dump naming a phase the registry does not know comes from a
+    // pipeline that bypassed the engine; aggregating it would emit trend
+    // series nothing can align with.
+    let dir = tmp_dir("registry");
+    let bad_stats = stats_fixture(&meta("serial", 1), 1.0).replace("\"setup\"", "\"warmup\"");
+    write(&dir, "s.stats.json", &bad_stats);
+    let err = load_paths(std::slice::from_ref(&dir)).unwrap_err();
+    assert!(err.contains("warmup"), "{err}");
+    assert!(err.contains("phase registry"), "{err}");
+
+    std::fs::remove_file(dir.join("s.stats.json")).unwrap();
+    let mut m = RankMetrics::empty(0);
+    m.counters.push(("route.tracks".into(), 5));
+    m.windows.push(("bogus".into(), RankMetrics::empty(0)));
+    write(
+        &dir,
+        "m.metrics.json",
+        &metrics_json(&meta("serial", 1), &[m]),
+    );
+    let err = load_paths(std::slice::from_ref(&dir)).unwrap_err();
+    assert!(err.contains("bogus"), "{err}");
+    assert!(err.contains("phase registry"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn phase_windows_round_trip_and_gate_against_the_baseline() {
+    let dir = tmp_dir("phase-gate");
+    let run = meta("row-wise", 4);
+    let mut m = RankMetrics::empty(0);
+    m.counters.push(("route.wirelength".into(), 1000));
+    let mut w = RankMetrics::empty(0);
+    w.counters.push(("route.wirelength".into(), 1000));
+    m.windows.push(("connect".into(), w));
+    write(&dir, "p.metrics.json", &metrics_json(&run, &[m]));
+    write(&dir, "p.stats.json", &stats_fixture(&run, 2.0));
+
+    let agg = aggregate(&load_paths(std::slice::from_ref(&dir)).unwrap());
+    let rec = &agg.records[0];
+    let connect = rec.phases.iter().find(|p| p.name == "connect").unwrap();
+    assert_eq!(
+        connect.counters,
+        vec![("route.wirelength".to_string(), 1000)],
+        "window counters survive the JSON round trip"
+    );
+    assert!(
+        agg.to_json().contains("\"name\":\"connect\""),
+        "per-phase series emitted"
+    );
+
+    // Self-comparison is clean; a baseline that expected a cheaper
+    // connect phase flags a per-phase regression even though no total
+    // moved.
+    assert_eq!(check_baseline(&agg, &agg.to_json(), 0.0).unwrap(), vec![]);
+    let tighter = agg
+        .to_json()
+        .replace("\"route.wirelength\":1000", "\"route.wirelength\":800");
+    let regs = check_baseline(&agg, &tighter, 0.02).unwrap();
+    assert!(
+        regs.iter()
+            .any(|r| r.what.contains("phase connect wirelength")),
+        "{regs:?}"
+    );
+    let slower = agg.to_json().replace(
+        "\"name\":\"setup\",\"seconds\":2",
+        "\"name\":\"setup\",\"seconds\":1",
+    );
+    let regs = check_baseline(&agg, &slower, 0.02).unwrap();
+    assert!(
+        regs.iter().any(|r| r.what.contains("phase setup seconds")),
+        "{regs:?}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -1,9 +1,10 @@
 //! The metrics hot path must be free when metrics are off: a disabled
-//! shard is one branch, no allocation, no bookkeeping. This file has
-//! exactly one test so the counting allocator sees no concurrent noise
-//! from sibling tests in the same binary.
+//! shard is one branch, no allocation, no bookkeeping. This runs as a
+//! harness-less test (`harness = false` in Cargo.toml): the libtest
+//! harness spawns helper threads whose own allocations would race the
+//! process-wide counter, so the check must be the only thread alive.
 
-use pgr_mpi::{Comm, MachineModel};
+use pgr_mpi::{Comm, MachineModel, Phase};
 use pgr_obs::MetricsConfig;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -33,8 +34,9 @@ fn allocs() -> u64 {
     ALLOCS.load(Ordering::Relaxed)
 }
 
-#[test]
-fn disabled_metrics_allocate_nothing_on_the_hot_path() {
+// One scenario, plain `main`: disabled path, enabled first touch,
+// enabled steady state.
+fn main() {
     // Sanity: the counting hook actually fires.
     let before = allocs();
     let v = std::hint::black_box(vec![1u8, 2, 3]);
@@ -46,14 +48,16 @@ fn disabled_metrics_allocate_nothing_on_the_hot_path() {
 
     let before = allocs();
     for i in 0..10_000u64 {
+        comm.metric_window_open(Phase::ALL[(i % Phase::ALL.len() as u64) as usize]);
         comm.metric_add("bench.alloc.counter", 1);
         comm.metric_observe("bench.alloc.hist", i);
         comm.metric_gauge("bench.alloc.gauge", i as f64);
+        comm.metric_window_close();
     }
     assert_eq!(
         allocs(),
         before,
-        "disabled metrics must not allocate on add/observe/gauge"
+        "disabled metrics must not allocate on add/observe/gauge/window"
     );
 
     // Contrast: the enabled path does allocate on first touch (name
@@ -66,12 +70,23 @@ fn disabled_metrics_allocate_nothing_on_the_hot_path() {
     comm.metric_observe("bench.alloc.hist", 1);
     assert!(allocs() > before, "enabled first touch registers names");
 
-    // Steady state on the enabled path is allocation-free too: repeat
-    // updates to registered names only bump in-place slots.
+    // First touch of each phase window allocates its store and the
+    // per-window name slots...
+    for phase in Phase::ALL {
+        comm.metric_window_open(phase);
+        comm.metric_add("bench.alloc.counter", 1);
+        comm.metric_observe("bench.alloc.hist", 1);
+    }
+
+    // ...then steady state on the enabled path is allocation-free too,
+    // even while rotating windows: repeat updates to registered names
+    // only bump in-place slots, and re-opening a window is index lookup.
     let before = allocs();
     for i in 0..10_000u64 {
+        comm.metric_window_open(Phase::ALL[(i % Phase::ALL.len() as u64) as usize]);
         comm.metric_add("bench.alloc.counter", 1);
         comm.metric_observe("bench.alloc.hist", i);
     }
+    comm.metric_window_close();
     assert_eq!(allocs(), before, "steady-state updates must not allocate");
 }

@@ -1,0 +1,183 @@
+//! The phase-pipeline engine: one driver for the serial router and all
+//! three parallel algorithms.
+//!
+//! Every routing driver in this crate is the same seven-phase sequence
+//! ([`Phase::ALL`]) — setup → steiner → coarse → feedthrough → connect →
+//! switchable → assemble — differing only in what each phase *does*. The
+//! engine owns everything the phases share, exactly once:
+//!
+//! * **per-attempt context** ([`RouteCtx`]): the row partition and the
+//!   rank-seeded RNG stream, re-derived over the logical world on every
+//!   recovery attempt;
+//! * **phase boundaries**: each pass is entered through
+//!   [`Comm::phase_enter`], which stamps the trace/stats mark, rotates
+//!   the per-phase metric window, and evaluates the fault layer's kill
+//!   schedule — a kill surfaces as [`RouteAbort`] instead of running the
+//!   pass;
+//! * **recovery** ([`with_recovery`]): on `PeersDied` the survivors
+//!   count the recovery, shrink the world, and restart the pipeline
+//!   from a fresh context.
+//!
+//! An algorithm is a [`Pipeline`]: a state machine whose
+//! [`pass`](Pipeline::pass) method executes the body of one phase,
+//! carrying intermediate products (segments, plans, channel state) in
+//! its fields between passes. No pipeline spells a phase name, calls a
+//! checkpoint, or touches a metric window — that wiring lives here.
+
+use crate::config::RouterConfig;
+use crate::metrics::{names, RoutingResult};
+use crate::parallel::partition::PartitionKind;
+use pgr_circuit::{Circuit, RowPartition};
+use pgr_geom::rng::{derive_seed, rng_from_seed, SmallRng};
+use pgr_mpi::{Comm, PhaseControl};
+
+pub use pgr_obs::Phase;
+
+/// Why one routing attempt could not run to completion: the fault
+/// layer's kill schedule fired at a phase boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteAbort {
+    /// This rank is the victim — unwind without touching the network.
+    SelfKilled,
+    /// Peers (physical rank ids) died at this boundary; the survivors
+    /// must shrink the world and retry.
+    PeersDied(Vec<usize>),
+}
+
+/// Per-attempt context the engine derives once, before the first pass:
+/// the inputs every pipeline reads and the two pieces of rank-local
+/// state whose derivation must track the *logical* world so recovery
+/// attempts equal fresh smaller runs.
+pub struct RouteCtx<'a> {
+    pub circuit: &'a Circuit,
+    pub cfg: &'a RouterConfig,
+    /// Net-partition heuristic (ignored by the serial pipeline).
+    pub kind: PartitionKind,
+    /// Contiguous row bands over the current logical world.
+    pub rows: RowPartition,
+    /// This rank's decision stream, derived from `cfg.seed` and the
+    /// logical rank.
+    pub rng: SmallRng,
+    pub size: usize,
+    pub rank: usize,
+}
+
+impl<'a> RouteCtx<'a> {
+    /// Derive the context for one attempt over `comm`'s current world.
+    pub fn new(
+        circuit: &'a Circuit,
+        cfg: &'a RouterConfig,
+        kind: PartitionKind,
+        comm: &Comm,
+    ) -> Self {
+        let size = comm.size();
+        let rank = comm.rank();
+        assert!(
+            size <= circuit.num_rows(),
+            "row partitioning needs at least one row per rank"
+        );
+        RouteCtx {
+            circuit,
+            cfg,
+            kind,
+            rows: RowPartition::balanced(circuit, size),
+            rng: rng_from_seed(derive_seed(cfg.seed, rank as u64)),
+            size,
+            rank,
+        }
+    }
+
+    /// First row of this rank's band.
+    pub fn row0(&self) -> u32 {
+        self.rows.start(self.rank) as u32
+    }
+
+    /// Number of rows in this rank's band.
+    pub fn nrows(&self) -> usize {
+        self.rows.range(self.rank).len()
+    }
+}
+
+/// One routing algorithm, expressed as phase bodies the engine drives.
+///
+/// The engine calls [`pass`](Pipeline::pass) once per entry of
+/// [`PASSES`](Pipeline::PASSES), in order, entering each through a
+/// recovery checkpoint first. Pass bodies are infallible — only the
+/// checkpoints abort — and hand intermediate state to later passes
+/// through `self`. After the final pass the engine collects the result
+/// via [`take_result`](Pipeline::take_result) (`Some` on the rank that
+/// assembled the global solution).
+pub trait Pipeline {
+    /// The declared pass sequence. Every current pipeline runs the full
+    /// registry; a subset (e.g. a coarse-only experiment) is legal as
+    /// long as it stays in registry order on every rank.
+    const PASSES: &'static [Phase] = &Phase::ALL;
+
+    /// Execute the body of one phase.
+    fn pass(&mut self, phase: Phase, ctx: &mut RouteCtx<'_>, comm: &mut Comm);
+
+    /// The assembled result, after the final pass.
+    fn take_result(&mut self) -> Option<RoutingResult>;
+}
+
+/// Run one attempt of `pipe` over the current world: every pass entered
+/// through its phase boundary (trace mark, metric window rotation, kill
+/// evaluation), aborts propagated to the caller.
+pub fn run_attempt<P: Pipeline>(
+    pipe: &mut P,
+    ctx: &mut RouteCtx<'_>,
+    comm: &mut Comm,
+) -> Result<Option<RoutingResult>, RouteAbort> {
+    for &phase in P::PASSES {
+        match comm.phase_enter(phase) {
+            PhaseControl::Continue => {}
+            PhaseControl::SelfKilled => return Err(RouteAbort::SelfKilled),
+            PhaseControl::PeersDied(dead) => return Err(RouteAbort::PeersDied(dead)),
+        }
+        pipe.pass(phase, ctx, comm);
+    }
+    comm.metric_window_close();
+    Ok(pipe.take_result())
+}
+
+/// Degraded-mode driver shared by the parallel algorithms: run attempts
+/// until one completes, removing dead ranks and restarting at every
+/// [`RouteAbort::PeersDied`]. A victim returns `None` (it holds no
+/// result); survivors renumber densely, so the retry *is* the algorithm
+/// on a fresh (P − killed)-rank world — partitions, rank-derived RNG
+/// streams, and the rank-0 assembly role all follow the logical ranks.
+/// Recovery rounds and ranks lost are counted into the metrics shard
+/// (inside the window of the phase whose boundary failed), so degraded
+/// runs are distinguishable in `*.metrics.json`.
+pub fn with_recovery<F>(comm: &mut Comm, mut attempt: F) -> Option<RoutingResult>
+where
+    F: FnMut(&mut Comm) -> Result<Option<RoutingResult>, RouteAbort>,
+{
+    loop {
+        match attempt(comm) {
+            Ok(result) => return result,
+            Err(RouteAbort::SelfKilled) => return None,
+            Err(RouteAbort::PeersDied(dead)) => {
+                comm.metric_add(names::RECOVERY_EVENTS, 1);
+                comm.metric_add(names::RANKS_LOST, dead.len() as u64);
+                comm.remove_dead(&dead);
+            }
+        }
+    }
+}
+
+/// The SPMD entry point every parallel algorithm shares: recovery loop
+/// around engine-driven attempts, each over a freshly derived
+/// [`RouteCtx`] and a fresh pipeline.
+pub fn drive<P: Pipeline + Default>(
+    circuit: &Circuit,
+    cfg: &RouterConfig,
+    kind: PartitionKind,
+    comm: &mut Comm,
+) -> Option<RoutingResult> {
+    with_recovery(comm, |comm| {
+        let mut ctx = RouteCtx::new(circuit, cfg, kind, comm);
+        let mut pipe = P::default();
+        run_attempt(&mut pipe, &mut ctx, comm)
+    })
+}

@@ -30,6 +30,7 @@ pub mod analysis;
 pub mod config;
 pub mod cost;
 pub mod detailed;
+pub mod engine;
 pub mod metrics;
 pub mod parallel;
 pub mod plot;
@@ -37,6 +38,7 @@ pub mod route;
 pub mod verify;
 
 pub use config::RouterConfig;
+pub use engine::{Phase, Pipeline, RouteCtx};
 pub use metrics::RoutingResult;
 pub use parallel::partition::PartitionKind;
 pub use parallel::{route_parallel, route_parallel_instrumented, Algorithm, ParallelOutcome};

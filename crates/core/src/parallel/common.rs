@@ -6,11 +6,11 @@
 
 use crate::config::RouterConfig;
 use crate::cost;
-use crate::metrics::{names, RoutingResult};
+use crate::metrics::RoutingResult;
 use crate::route::state::{Node, Segment, Span, WorkNet};
 use crate::route::switchable::ChannelState;
 use pgr_circuit::{Circuit, RowPartition};
-use pgr_mpi::{Comm, PhaseControl};
+use pgr_mpi::Comm;
 
 /// User-space message tags.
 pub mod tag {
@@ -18,57 +18,6 @@ pub mod tag {
     pub const DISTRIBUTE: u32 = 1;
     /// Boundary-channel count exchange (row-wise/hybrid step-5 sync).
     pub const BOUNDARY: u32 = 2;
-}
-
-/// Why one routing attempt could not run to completion: the fault
-/// layer's kill schedule fired at a phase boundary.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum RouteAbort {
-    /// This rank is the victim — unwind without touching the network.
-    SelfKilled,
-    /// Peers (physical rank ids) died at this boundary; the survivors
-    /// must shrink the world and retry.
-    PeersDied(Vec<usize>),
-}
-
-/// Advance to the next phase through a recovery checkpoint.
-///
-/// Every phase of the three parallel algorithms is communication-closed
-/// (all sends of a phase are matched by receives in the same phase), so
-/// a phase boundary is a quiescent point: if the kill schedule fires
-/// here, no in-flight message is lost with the victim, and the abort can
-/// propagate up through `?` to the recovery driver.
-pub fn checkpoint(comm: &mut Comm, name: &'static str) -> Result<(), RouteAbort> {
-    match comm.phase_adv(name) {
-        PhaseControl::Continue => Ok(()),
-        PhaseControl::SelfKilled => Err(RouteAbort::SelfKilled),
-        PhaseControl::PeersDied(dead) => Err(RouteAbort::PeersDied(dead)),
-    }
-}
-
-/// Degraded-mode driver shared by all three parallel algorithms: run
-/// `attempt` until it completes, removing dead ranks and restarting at
-/// every [`RouteAbort::PeersDied`]. A victim returns `None` (it holds no
-/// result); survivors renumber densely, so the retry *is* the algorithm
-/// on a fresh (P − killed)-rank world — partitions, rank-derived RNG
-/// streams, and the rank-0 assembly role all follow the logical ranks.
-/// Recovery rounds and ranks lost are counted into the metrics shard, so
-/// degraded runs are distinguishable in `*.metrics.json`.
-pub fn with_recovery<F>(comm: &mut Comm, mut attempt: F) -> Option<RoutingResult>
-where
-    F: FnMut(&mut Comm) -> Result<Option<RoutingResult>, RouteAbort>,
-{
-    loop {
-        match attempt(comm) {
-            Ok(result) => return result,
-            Err(RouteAbort::SelfKilled) => return None,
-            Err(RouteAbort::PeersDied(dead)) => {
-                comm.metric_add(names::RECOVERY_EVENTS, 1);
-                comm.metric_add(names::RANKS_LOST, dead.len() as u64);
-                comm.remove_dead(&dead);
-            }
-        }
-    }
 }
 
 /// Model the serial front end plus circuit distribution.

@@ -17,183 +17,208 @@
 
 use crate::config::RouterConfig;
 use crate::cost;
+use crate::engine::{self, Phase, Pipeline, RouteCtx};
 use crate::metrics::{names, record_ft_plan, RoutingResult};
 use crate::parallel::common::{
-    assemble_works, checkpoint, distribute, gather_result, split_segment, sync_boundaries,
-    with_recovery, RouteAbort,
+    assemble_works, distribute, gather_result, split_segment, sync_boundaries,
 };
 use crate::parallel::partition::{partition_nets, PartitionKind};
 use crate::route::coarse::CoarseState;
 use crate::route::connect::connect_net;
 use crate::route::feedthrough::{assign, FtPlan};
 use crate::route::serial::{attach_feedthroughs, crossings_of, shift_pins};
-use crate::route::state::{Segment, Span, WorkNet};
+use crate::route::state::{Orientation, Segment, Span, WorkNet};
 use crate::route::steiner::{build_segments_with, whole_net};
 use crate::route::switchable::{optimize, ChannelState};
-use pgr_circuit::{Circuit, NetId, RowId, RowPartition};
-use pgr_geom::rng::{derive_seed, rng_from_seed};
+use pgr_circuit::{Circuit, NetId, RowId};
 use pgr_mpi::Comm;
 
 /// Run the hybrid algorithm on the calling rank. Returns the global
 /// result on the lowest surviving rank, `None` elsewhere.
 ///
 /// Phase boundaries are recovery checkpoints (see
-/// [`crate::parallel::common::with_recovery`]): a rank killed there
-/// unwinds with `None` and the survivors redo the attempt on the
-/// shrunken world.
+/// [`crate::engine::with_recovery`]): a rank killed there unwinds with
+/// `None` and the survivors redo the attempt on the shrunken world.
 pub fn route_hybrid(
     circuit: &Circuit,
     cfg: &RouterConfig,
     kind: PartitionKind,
     comm: &mut Comm,
 ) -> Option<RoutingResult> {
-    with_recovery(comm, |comm| hybrid_attempt(circuit, cfg, kind, comm))
+    engine::drive::<HybridPipeline>(circuit, cfg, kind, comm)
 }
 
-/// One attempt over the current (possibly already shrunken) world.
-fn hybrid_attempt(
-    circuit: &Circuit,
-    cfg: &RouterConfig,
-    kind: PartitionKind,
-    comm: &mut Comm,
-) -> Result<Option<RoutingResult>, RouteAbort> {
-    let size = comm.size();
-    let rank = comm.rank();
-    assert!(
-        size <= circuit.num_rows(),
-        "hybrid needs at least one row per rank"
-    );
-    let rows = RowPartition::balanced(circuit, size);
-    let mut rng = rng_from_seed(derive_seed(cfg.seed, rank as u64));
+/// Pipeline state carried between the hybrid passes.
+#[derive(Default)]
+struct HybridPipeline {
+    owners: Vec<u32>,
+    segments: Vec<Segment>,
+    works: Vec<WorkNet>,
+    orients: Vec<Orientation>,
+    coarse: Option<CoarseState>,
+    plan: Option<FtPlan>,
+    chip_width: i64,
+    spans: Vec<Span>,
+    wirelength: u64,
+    result: Option<RoutingResult>,
+}
 
-    checkpoint(comm, "setup")?;
-    distribute(circuit, false, comm);
+impl Pipeline for HybridPipeline {
+    fn pass(&mut self, phase: Phase, ctx: &mut RouteCtx<'_>, comm: &mut Comm) {
+        let (circuit, cfg) = (ctx.circuit, ctx.cfg);
+        match phase {
+            Phase::Setup => distribute(circuit, false, comm),
 
-    // Steps 1–3: exactly the row-wise flow (fake pins and all).
-    checkpoint(comm, "steiner")?;
-    let owners = partition_nets(circuit, kind, &rows, size, cfg.pin_weight_beta);
-    let owned = owners.iter().filter(|&&o| o as usize == rank).count();
-    comm.metric_add(names::NETS_OWNED, owned as u64);
-    let mut outgoing: Vec<Vec<Segment>> = vec![Vec::new(); size];
-    for (i, &owner) in owners.iter().enumerate() {
-        if owner as usize != rank {
-            continue;
-        }
-        let w = whole_net(circuit, NetId::from_index(i));
-        if w.nodes.len() < 2 {
-            continue;
-        }
-        for seg in build_segments_with(&w, cfg.steiner_refine, comm) {
-            for (part, piece) in split_segment(&seg, &rows) {
-                outgoing[part].push(piece);
-            }
-        }
-    }
-    let segments: Vec<Segment> = comm.alltoall(outgoing).into_iter().flatten().collect();
-    comm.metric_add(names::SEGMENTS_OWNED, segments.len() as u64);
-    let mut works = assemble_works(&segments);
-
-    checkpoint(comm, "coarse")?;
-    let row0 = rows.start(rank) as u32;
-    let nrows = rows.range(rank).len();
-    comm.metric_add(names::ROWS_OWNED, nrows as u64);
-    let mut coarse = CoarseState::new(row0, nrows, circuit.width, cfg.grid_w);
-    comm.charge_alloc(coarse.modeled_bytes());
-    let orients = coarse.route(&segments, cfg, &mut rng, comm);
-
-    checkpoint(comm, "feedthrough")?;
-    let plan = FtPlan::new(row0, coarse.into_demand(), cfg.grid_w, cfg.ft_width);
-    let local_cells: usize = rows.range(rank).map(|r| circuit.rows[r].cells.len()).sum();
-    comm.compute(cost::FT_INSERT_CELL * local_cells as u64);
-    let crossings = crossings_of(&segments, &orients);
-    let ft_nodes = assign(&plan, &crossings, comm);
-    record_ft_plan(&plan, comm);
-    shift_pins(&mut works, &plan);
-    attach_feedthroughs(&mut works, ft_nodes);
-
-    let chip_width = comm.allreduce(circuit.width + plan.max_growth(), i64::max);
-
-    // Step 4 (the hybrid difference): ship each net's fragment to the
-    // net's owner, merge, and connect the whole net there.
-    checkpoint(comm, "connect")?;
-    let mut work_out: Vec<Vec<WorkNet>> = vec![Vec::new(); size];
-    for w in works {
-        work_out[owners[w.net.index()] as usize].push(w);
-    }
-    let fragments: Vec<WorkNet> = comm.alltoall(work_out).into_iter().flatten().collect();
-    let mut merged: Vec<WorkNet> = Vec::new();
-    {
-        let mut index = std::collections::HashMap::new();
-        for frag in fragments {
-            let &mut i = index.entry(frag.net).or_insert_with(|| {
-                merged.push(WorkNet {
-                    net: frag.net,
-                    nodes: Vec::new(),
-                });
-                merged.len() - 1
-            });
-            merged[i].nodes.extend(frag.nodes);
-        }
-        for w in &mut merged {
-            w.nodes.sort_unstable_by_key(|n| n.sort_key());
-            w.nodes.dedup();
-        }
-        // Deterministic order regardless of fragment arrival.
-        merged.sort_unstable_by_key(|w| w.net);
-    }
-
-    let mut all_spans: Vec<Span> = Vec::new();
-    let mut wirelength = 0u64;
-    for w in &merged {
-        let conn = connect_net(w, comm);
-        wirelength += conn.wirelength;
-        all_spans.extend(conn.spans);
-    }
-
-    // Deal spans back to channel owners: switchable spans follow their
-    // row (the owner covers both candidate channels); fixed spans follow
-    // their channel (the top channel belongs to the last rank).
-    let mut span_out: Vec<Vec<Span>> = vec![Vec::new(); size];
-    for s in all_spans {
-        let dest = match s.switch_row {
-            Some(r) => rows.owner(RowId(r)),
-            None => {
-                if s.channel as usize == circuit.num_rows() {
-                    size - 1
-                } else {
-                    rows.owner(RowId(s.channel))
+            // Steps 1–3: exactly the row-wise flow (fake pins and all).
+            Phase::Steiner => {
+                self.owners =
+                    partition_nets(circuit, ctx.kind, &ctx.rows, ctx.size, cfg.pin_weight_beta);
+                let owned = self
+                    .owners
+                    .iter()
+                    .filter(|&&o| o as usize == ctx.rank)
+                    .count();
+                comm.metric_add(names::NETS_OWNED, owned as u64);
+                let mut outgoing: Vec<Vec<Segment>> = vec![Vec::new(); ctx.size];
+                for (i, &owner) in self.owners.iter().enumerate() {
+                    if owner as usize != ctx.rank {
+                        continue;
+                    }
+                    let w = whole_net(circuit, NetId::from_index(i));
+                    if w.nodes.len() < 2 {
+                        continue;
+                    }
+                    for seg in build_segments_with(&w, cfg.steiner_refine, comm) {
+                        for (part, piece) in split_segment(&seg, &ctx.rows) {
+                            outgoing[part].push(piece);
+                        }
+                    }
                 }
+                self.segments = comm.alltoall(outgoing).into_iter().flatten().collect();
+                comm.metric_add(names::SEGMENTS_OWNED, self.segments.len() as u64);
+                self.works = assemble_works(&self.segments);
             }
-        };
-        span_out[dest].push(s);
-    }
-    // Arrival order is deterministic (alltoall delivers in sender-rank
-    // order, each sender's list is deterministic), and at P = 1 it is
-    // exactly the serial span order.
-    let mut spans: Vec<Span> = comm.alltoall(span_out).into_iter().flatten().collect();
 
-    // Step 5: row-local switchable optimization with boundary sync.
-    checkpoint(comm, "switchable")?;
-    let mut chans = ChannelState::new(row0, nrows + 1, chip_width);
-    comm.charge_alloc(chans.modeled_bytes());
-    comm.compute(cost::SPAN_APPLY * spans.len() as u64);
-    for s in &spans {
-        chans.add_span(s, 1);
-    }
-    sync_boundaries(&mut chans, &rows, comm);
-    let flips = optimize(&mut chans, &mut spans, cfg, &mut rng, comm);
-    comm.metric_add(names::SEGMENTS_FLIPPED, flips as u64);
+            Phase::Coarse => {
+                comm.metric_add(names::ROWS_OWNED, ctx.nrows() as u64);
+                let mut coarse =
+                    CoarseState::new(ctx.row0(), ctx.nrows(), circuit.width, cfg.grid_w);
+                comm.charge_alloc(coarse.modeled_bytes());
+                self.orients = coarse.route(&self.segments, cfg, &mut ctx.rng, comm);
+                self.coarse = Some(coarse);
+            }
 
-    checkpoint(comm, "assemble")?;
-    Ok(gather_result(
-        circuit,
-        cfg,
-        spans,
-        wirelength,
-        plan.total(),
-        chip_width,
-        comm,
-    ))
+            Phase::Feedthrough => {
+                let demand = self.coarse.take().expect("coarse pass ran").into_demand();
+                let plan = FtPlan::new(ctx.row0(), demand, cfg.grid_w, cfg.ft_width);
+                let local_cells: usize = ctx
+                    .rows
+                    .range(ctx.rank)
+                    .map(|r| circuit.rows[r].cells.len())
+                    .sum();
+                comm.compute(cost::FT_INSERT_CELL * local_cells as u64);
+                let crossings = crossings_of(&self.segments, &self.orients);
+                let ft_nodes = assign(&plan, &crossings, comm);
+                record_ft_plan(&plan, comm);
+                shift_pins(&mut self.works, &plan);
+                attach_feedthroughs(&mut self.works, ft_nodes);
+                self.chip_width = comm.allreduce(circuit.width + plan.max_growth(), i64::max);
+                self.plan = Some(plan);
+            }
+
+            // Step 4 (the hybrid difference): ship each net's fragment to
+            // the net's owner, merge, and connect the whole net there.
+            Phase::Connect => {
+                let mut work_out: Vec<Vec<WorkNet>> = vec![Vec::new(); ctx.size];
+                for w in std::mem::take(&mut self.works) {
+                    work_out[self.owners[w.net.index()] as usize].push(w);
+                }
+                let fragments: Vec<WorkNet> =
+                    comm.alltoall(work_out).into_iter().flatten().collect();
+                let mut merged: Vec<WorkNet> = Vec::new();
+                {
+                    let mut index = std::collections::HashMap::new();
+                    for frag in fragments {
+                        let &mut i = index.entry(frag.net).or_insert_with(|| {
+                            merged.push(WorkNet {
+                                net: frag.net,
+                                nodes: Vec::new(),
+                            });
+                            merged.len() - 1
+                        });
+                        merged[i].nodes.extend(frag.nodes);
+                    }
+                    for w in &mut merged {
+                        w.nodes.sort_unstable_by_key(|n| n.sort_key());
+                        w.nodes.dedup();
+                    }
+                    // Deterministic order regardless of fragment arrival.
+                    merged.sort_unstable_by_key(|w| w.net);
+                }
+
+                let mut all_spans: Vec<Span> = Vec::new();
+                for w in &merged {
+                    let conn = connect_net(w, comm);
+                    self.wirelength += conn.wirelength;
+                    all_spans.extend(conn.spans);
+                }
+
+                // Deal spans back to channel owners: switchable spans
+                // follow their row (the owner covers both candidate
+                // channels); fixed spans follow their channel (the top
+                // channel belongs to the last rank).
+                let mut span_out: Vec<Vec<Span>> = vec![Vec::new(); ctx.size];
+                for s in all_spans {
+                    let dest = match s.switch_row {
+                        Some(r) => ctx.rows.owner(RowId(r)),
+                        None => {
+                            if s.channel as usize == circuit.num_rows() {
+                                ctx.size - 1
+                            } else {
+                                ctx.rows.owner(RowId(s.channel))
+                            }
+                        }
+                    };
+                    span_out[dest].push(s);
+                }
+                // Arrival order is deterministic (alltoall delivers in
+                // sender-rank order, each sender's list is
+                // deterministic), and at P = 1 it is exactly the serial
+                // span order.
+                self.spans = comm.alltoall(span_out).into_iter().flatten().collect();
+            }
+
+            // Step 5: row-local switchable optimization with boundary
+            // sync.
+            Phase::Switchable => {
+                let mut chans = ChannelState::new(ctx.row0(), ctx.nrows() + 1, self.chip_width);
+                comm.charge_alloc(chans.modeled_bytes());
+                comm.compute(cost::SPAN_APPLY * self.spans.len() as u64);
+                for s in &self.spans {
+                    chans.add_span(s, 1);
+                }
+                sync_boundaries(&mut chans, &ctx.rows, comm);
+                let flips = optimize(&mut chans, &mut self.spans, cfg, &mut ctx.rng, comm);
+                comm.metric_add(names::SEGMENTS_FLIPPED, flips as u64);
+            }
+
+            Phase::Assemble => {
+                self.result = gather_result(
+                    circuit,
+                    cfg,
+                    std::mem::take(&mut self.spans),
+                    self.wirelength,
+                    self.plan.as_ref().expect("feedthrough pass ran").total(),
+                    self.chip_width,
+                    comm,
+                );
+            }
+        }
+    }
+
+    fn take_result(&mut self) -> Option<RoutingResult> {
+        self.result.take()
+    }
 }
 
 #[cfg(test)]

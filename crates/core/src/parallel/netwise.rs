@@ -17,18 +17,18 @@
 
 use crate::config::RouterConfig;
 use crate::cost;
+use crate::engine::{self, Phase, Pipeline, RouteCtx};
 use crate::metrics::{names, record_ft_plan, RoutingResult};
-use crate::parallel::common::{checkpoint, distribute, gather_result, with_recovery, RouteAbort};
+use crate::parallel::common::{distribute, gather_result};
 use crate::parallel::partition::{partition_nets, PartitionKind};
 use crate::route::coarse::{CoarseDeltas, CoarseState};
 use crate::route::connect::connect_net;
 use crate::route::feedthrough::{assign, Crossing, FtPlan};
 use crate::route::serial::{attach_feedthroughs, crossings_of, shift_pins};
-use crate::route::state::{Node, Segment, Span, WorkNet};
+use crate::route::state::{Node, Orientation, Segment, Span, WorkNet};
 use crate::route::steiner::{build_segments_with, whole_net};
 use crate::route::switchable::{optimize_slice, switchable_candidates, ChannelState, SpanDelta};
-use pgr_circuit::{Circuit, NetId, RowId, RowPartition};
-use pgr_geom::rng::{derive_seed, rng_from_seed};
+use pgr_circuit::{Circuit, NetId, RowId};
 use pgr_geom::shuffled_indices;
 use pgr_mpi::Comm;
 
@@ -142,178 +142,214 @@ fn sync_chans(chans: &mut ChannelState, exact: bool, comm: &mut Comm) {
 /// result on the lowest surviving rank, `None` elsewhere.
 ///
 /// Phase boundaries are recovery checkpoints (see
-/// [`crate::parallel::common::with_recovery`]): a rank killed there
-/// unwinds with `None`, the survivors re-deal the nets over the
-/// shrunken world, and the logical rank 0 — the lowest surviving
-/// physical rank — takes over the master roles (snapshot hub, final
-/// assembly).
+/// [`crate::engine::with_recovery`]): a rank killed there unwinds with
+/// `None`, the survivors re-deal the nets over the shrunken world, and
+/// the logical rank 0 — the lowest surviving physical rank — takes over
+/// the master roles (snapshot hub, final assembly).
 pub fn route_netwise(
     circuit: &Circuit,
     cfg: &RouterConfig,
     kind: PartitionKind,
     comm: &mut Comm,
 ) -> Option<RoutingResult> {
-    with_recovery(comm, |comm| netwise_attempt(circuit, cfg, kind, comm))
+    engine::drive::<NetWisePipeline>(circuit, cfg, kind, comm)
 }
 
-/// One attempt over the current (possibly already shrunken) world.
-fn netwise_attempt(
-    circuit: &Circuit,
-    cfg: &RouterConfig,
-    kind: PartitionKind,
-    comm: &mut Comm,
-) -> Result<Option<RoutingResult>, RouteAbort> {
-    let size = comm.size();
-    let rank = comm.rank();
-    assert!(
-        size <= circuit.num_rows(),
-        "feedthrough assignment partitions rows: need one per rank"
-    );
-    let all_rows = circuit.num_rows();
-    let rows = RowPartition::balanced(circuit, size);
-    let mut rng = rng_from_seed(derive_seed(cfg.seed, rank as u64));
+/// Pipeline state carried between the net-wise passes.
+#[derive(Default)]
+struct NetWisePipeline {
+    owners: Vec<u32>,
+    works: Vec<WorkNet>,
+    segments: Vec<Segment>,
+    orients: Vec<Orientation>,
+    coarse: Option<CoarseState>,
+    /// Replicated-grid width (coarser than serial at P > 1), computed in
+    /// the coarse pass and reused by feedthrough planning.
+    grid_w: i64,
+    plan: Option<FtPlan>,
+    chip_width: i64,
+    chans: Option<ChannelState>,
+    spans: Vec<Span>,
+    wirelength: u64,
+    result: Option<RoutingResult>,
+}
 
-    // Replicated front end: every rank builds whole-circuit structures.
-    checkpoint(comm, "setup")?;
-    distribute(circuit, true, comm);
+impl Pipeline for NetWisePipeline {
+    fn pass(&mut self, phase: Phase, ctx: &mut RouteCtx<'_>, comm: &mut Comm) {
+        let (circuit, cfg) = (ctx.circuit, ctx.cfg);
+        let all_rows = circuit.num_rows();
+        let sp = cfg.sync_period.max(1);
+        match phase {
+            // Replicated front end: every rank builds whole-circuit
+            // structures.
+            Phase::Setup => distribute(circuit, true, comm),
 
-    // Step 1: Steiner trees for owned (whole) nets.
-    checkpoint(comm, "steiner")?;
-    let owners = partition_nets(circuit, kind, &rows, size, cfg.pin_weight_beta);
-    let mut works: Vec<WorkNet> = Vec::new();
-    let mut segments: Vec<Segment> = Vec::new();
-    for (i, &owner) in owners.iter().enumerate() {
-        if owner as usize != rank {
-            continue;
-        }
-        let mut w = whole_net(circuit, NetId::from_index(i));
-        if w.nodes.len() >= 2 {
-            let segs = build_segments_with(&w, cfg.steiner_refine, comm);
-            if cfg.steiner_refine {
-                crate::route::serial::register_steiner_nodes(&mut w, &segs);
+            // Step 1: Steiner trees for owned (whole) nets.
+            Phase::Steiner => {
+                self.owners =
+                    partition_nets(circuit, ctx.kind, &ctx.rows, ctx.size, cfg.pin_weight_beta);
+                for (i, &owner) in self.owners.iter().enumerate() {
+                    if owner as usize != ctx.rank {
+                        continue;
+                    }
+                    let mut w = whole_net(circuit, NetId::from_index(i));
+                    if w.nodes.len() >= 2 {
+                        let segs = build_segments_with(&w, cfg.steiner_refine, comm);
+                        if cfg.steiner_refine {
+                            crate::route::serial::register_steiner_nodes(&mut w, &segs);
+                        }
+                        self.segments.extend(segs);
+                        self.works.push(w);
+                    }
+                }
+                comm.metric_add(names::NETS_OWNED, self.works.len() as u64);
+                comm.metric_add(names::SEGMENTS_OWNED, self.segments.len() as u64);
+                comm.metric_add(names::ROWS_OWNED, ctx.nrows() as u64);
             }
-            segments.extend(segs);
-            works.push(w);
+
+            // Step 2: coarse routing against a replicated global grid,
+            // with periodic synchronization every `sync_period` decisions.
+            // The replicated copy is kept coarser than the serial grid to
+            // bound the per-rank state and the all-channel
+            // synchronization volume.
+            Phase::Coarse => {
+                self.grid_w = if ctx.size > 1 {
+                    cfg.grid_w * cfg.netwise_grid_factor.max(1)
+                } else {
+                    cfg.grid_w
+                };
+                let mut coarse = CoarseState::new(0, all_rows, circuit.width, self.grid_w);
+                comm.charge_alloc(coarse.modeled_bytes());
+                coarse.enable_logging();
+                let mut orients = coarse.init_random(&self.segments, &mut ctx.rng, comm);
+                for _ in 0..cfg.coarse_passes {
+                    let order = shuffled_indices(self.segments.len(), &mut ctx.rng);
+                    let rounds = comm.allreduce(order.len().div_ceil(sp) as u64, u64::max);
+                    let mut changed = 0u64;
+                    for r in 0..rounds as usize {
+                        let chunk =
+                            &order[(r * sp).min(order.len())..((r + 1) * sp).min(order.len())];
+                        changed +=
+                            coarse.improve_slice(&self.segments, &mut orients, chunk, cfg, comm)
+                                as u64;
+                        sync_coarse(&mut coarse, cfg.netwise_exact_sync, comm);
+                    }
+                    if comm.allreduce(changed, |a, b| a + b) == 0 {
+                        break;
+                    }
+                }
+                self.orients = orients;
+                self.coarse = Some(coarse);
+            }
+
+            // Step 3: the demand grid is now consistent on every rank;
+            // the insertion bookkeeping is replicated (not parallelized).
+            // Crossings go to the rank owning their row ("each processor
+            // has to own a copy of all the segments which cross its
+            // rows"), assignments come back to the net owner.
+            Phase::Feedthrough => {
+                let demand = self.coarse.take().expect("coarse pass ran").into_demand();
+                let plan = FtPlan::new(0, demand, self.grid_w, cfg.ft_width);
+                comm.compute(cost::FT_INSERT_CELL * circuit.num_cells() as u64);
+                let mut cross_out: Vec<Vec<Crossing>> = vec![Vec::new(); ctx.size];
+                for c in crossings_of(&self.segments, &self.orients) {
+                    cross_out[ctx.rows.owner(RowId(c.row))].push(c);
+                }
+                let my_crossings: Vec<Crossing> =
+                    comm.alltoall(cross_out).into_iter().flatten().collect();
+                let assigned = assign(&plan, &my_crossings, comm);
+                // The plan is replicated (every rank covers all rows):
+                // record it once so the merged histogram still covers the
+                // chip exactly once.
+                if ctx.rank == 0 {
+                    record_ft_plan(&plan, comm);
+                }
+                let mut ft_out: Vec<Vec<(u32, Node)>> = vec![Vec::new(); ctx.size];
+                for (net, node) in assigned {
+                    ft_out[self.owners[net.index()] as usize].push((net.0, node));
+                }
+                let ft_nodes: Vec<(NetId, Node)> = comm
+                    .alltoall(ft_out)
+                    .into_iter()
+                    .flatten()
+                    .map(|(n, nd)| (NetId(n), nd))
+                    .collect();
+                shift_pins(&mut self.works, &plan);
+                attach_feedthroughs(&mut self.works, ft_nodes);
+                self.chip_width = circuit.width + plan.max_growth();
+                self.plan = Some(plan);
+            }
+
+            // Step 4: connect owned nets against the replicated channel
+            // state.
+            Phase::Connect => {
+                let mut chans = ChannelState::new(0, all_rows + 1, self.chip_width);
+                comm.charge_alloc(chans.modeled_bytes());
+                chans.enable_logging();
+                for w in &self.works {
+                    let conn = connect_net(w, comm);
+                    debug_assert!(conn.spanning, "whole net must span");
+                    self.wirelength += conn.wirelength;
+                    self.spans.extend(conn.spans);
+                }
+                comm.compute(cost::SPAN_APPLY * self.spans.len() as u64);
+                for s in &self.spans {
+                    chans.add_span(s, 1);
+                }
+                self.chans = Some(chans);
+            }
+
+            // Step 5: switchable optimization on owned nets, replicated
+            // state, periodic sync. There is no full baseline exchange —
+            // a rank sees remote spans only once a periodic sync delivers
+            // them (the paper describes exactly this blindness: "all
+            // processors could assign the same switchable net segments to
+            // the same channel"), and the stale views between syncs are
+            // the interference it blames for the quality loss.
+            Phase::Switchable => {
+                let chans = self.chans.as_mut().expect("connect pass ran");
+                let candidates = switchable_candidates(&self.spans);
+                for _ in 0..cfg.switch_passes {
+                    let perm = shuffled_indices(candidates.len(), &mut ctx.rng);
+                    let order: Vec<u32> = perm.iter().map(|&k| candidates[k as usize]).collect();
+                    let rounds = comm.allreduce(order.len().div_ceil(sp) as u64, u64::max);
+                    let mut flips = 0u64;
+                    for r in 0..rounds as usize {
+                        let chunk =
+                            &order[(r * sp).min(order.len())..((r + 1) * sp).min(order.len())];
+                        flips += optimize_slice(chans, &mut self.spans, chunk, comm) as u64;
+                        sync_chans(chans, cfg.netwise_exact_sync, comm);
+                    }
+                    comm.metric_add(names::SEGMENTS_FLIPPED, flips);
+                    if comm.allreduce(flips, |a, b| a + b) == 0 {
+                        break;
+                    }
+                }
+            }
+
+            // The feedthrough plan is replicated: every rank's total
+            // already counts the whole chip, so only rank 0 contributes
+            // it to the gather reduction (the partitioned algorithms sum
+            // disjoint per-band totals there instead).
+            Phase::Assemble => {
+                let plan = self.plan.as_ref().expect("feedthrough pass ran");
+                let ft_total = if ctx.rank == 0 { plan.total() } else { 0 };
+                self.result = gather_result(
+                    circuit,
+                    cfg,
+                    std::mem::take(&mut self.spans),
+                    self.wirelength,
+                    ft_total,
+                    self.chip_width,
+                    comm,
+                );
+            }
         }
     }
-    comm.metric_add(names::NETS_OWNED, works.len() as u64);
-    comm.metric_add(names::SEGMENTS_OWNED, segments.len() as u64);
-    comm.metric_add(names::ROWS_OWNED, rows.range(rank).len() as u64);
 
-    // Step 2: coarse routing against a replicated global grid, with
-    // periodic synchronization every `sync_period` decisions. The
-    // replicated copy is kept coarser than the serial grid to bound the
-    // per-rank state and the all-channel synchronization volume.
-    checkpoint(comm, "coarse")?;
-    let grid_w = if size > 1 {
-        cfg.grid_w * cfg.netwise_grid_factor.max(1)
-    } else {
-        cfg.grid_w
-    };
-    let mut coarse = CoarseState::new(0, all_rows, circuit.width, grid_w);
-    comm.charge_alloc(coarse.modeled_bytes());
-    coarse.enable_logging();
-    let mut orients = coarse.init_random(&segments, &mut rng, comm);
-    let sp = cfg.sync_period.max(1);
-    for _ in 0..cfg.coarse_passes {
-        let order = shuffled_indices(segments.len(), &mut rng);
-        let rounds = comm.allreduce(order.len().div_ceil(sp) as u64, u64::max);
-        let mut changed = 0u64;
-        for r in 0..rounds as usize {
-            let chunk = &order[(r * sp).min(order.len())..((r + 1) * sp).min(order.len())];
-            changed += coarse.improve_slice(&segments, &mut orients, chunk, cfg, comm) as u64;
-            sync_coarse(&mut coarse, cfg.netwise_exact_sync, comm);
-        }
-        if comm.allreduce(changed, |a, b| a + b) == 0 {
-            break;
-        }
+    fn take_result(&mut self) -> Option<RoutingResult> {
+        self.result.take()
     }
-
-    // Step 3: the demand grid is now consistent on every rank; the
-    // insertion bookkeeping is replicated (not parallelized). Crossings
-    // go to the rank owning their row ("each processor has to own a copy
-    // of all the segments which cross its rows"), assignments come back
-    // to the net owner.
-    checkpoint(comm, "feedthrough")?;
-    let plan = FtPlan::new(0, coarse.into_demand(), grid_w, cfg.ft_width);
-    comm.compute(cost::FT_INSERT_CELL * circuit.num_cells() as u64);
-    let mut cross_out: Vec<Vec<Crossing>> = vec![Vec::new(); size];
-    for c in crossings_of(&segments, &orients) {
-        cross_out[rows.owner(RowId(c.row))].push(c);
-    }
-    let my_crossings: Vec<Crossing> = comm.alltoall(cross_out).into_iter().flatten().collect();
-    let assigned = assign(&plan, &my_crossings, comm);
-    // The plan is replicated (every rank covers all rows): record it once
-    // so the merged histogram still covers the chip exactly once.
-    if rank == 0 {
-        record_ft_plan(&plan, comm);
-    }
-    let mut ft_out: Vec<Vec<(u32, Node)>> = vec![Vec::new(); size];
-    for (net, node) in assigned {
-        ft_out[owners[net.index()] as usize].push((net.0, node));
-    }
-    let ft_nodes: Vec<(NetId, Node)> = comm
-        .alltoall(ft_out)
-        .into_iter()
-        .flatten()
-        .map(|(n, nd)| (NetId(n), nd))
-        .collect();
-    shift_pins(&mut works, &plan);
-    attach_feedthroughs(&mut works, ft_nodes);
-
-    // Step 4: connect owned nets against the replicated channel state.
-    checkpoint(comm, "connect")?;
-    let chip_width = circuit.width + plan.max_growth();
-    let mut chans = ChannelState::new(0, all_rows + 1, chip_width);
-    comm.charge_alloc(chans.modeled_bytes());
-    chans.enable_logging();
-    let mut spans: Vec<Span> = Vec::new();
-    let mut wirelength = 0u64;
-    for w in &works {
-        let conn = connect_net(w, comm);
-        debug_assert!(conn.spanning, "whole net must span");
-        wirelength += conn.wirelength;
-        spans.extend(conn.spans);
-    }
-    comm.compute(cost::SPAN_APPLY * spans.len() as u64);
-    for s in &spans {
-        chans.add_span(s, 1);
-    }
-
-    // Step 5: switchable optimization on owned nets, replicated state,
-    // periodic sync. There is no full baseline exchange — a rank sees
-    // remote spans only once a periodic sync delivers them (the paper
-    // describes exactly this blindness: "all processors could assign the
-    // same switchable net segments to the same channel"), and the stale
-    // views between syncs are the interference it blames for the
-    // quality loss.
-    checkpoint(comm, "switchable")?;
-    let candidates = switchable_candidates(&spans);
-    for _ in 0..cfg.switch_passes {
-        let perm = shuffled_indices(candidates.len(), &mut rng);
-        let order: Vec<u32> = perm.iter().map(|&k| candidates[k as usize]).collect();
-        let rounds = comm.allreduce(order.len().div_ceil(sp) as u64, u64::max);
-        let mut flips = 0u64;
-        for r in 0..rounds as usize {
-            let chunk = &order[(r * sp).min(order.len())..((r + 1) * sp).min(order.len())];
-            flips += optimize_slice(&mut chans, &mut spans, chunk, comm) as u64;
-            sync_chans(&mut chans, cfg.netwise_exact_sync, comm);
-        }
-        comm.metric_add(names::SEGMENTS_FLIPPED, flips);
-        if comm.allreduce(flips, |a, b| a + b) == 0 {
-            break;
-        }
-    }
-
-    checkpoint(comm, "assemble")?;
-    // The feedthrough plan is replicated: every rank's total already
-    // counts the whole chip, so only rank 0 contributes it to the gather
-    // reduction (the partitioned algorithms sum disjoint per-band totals
-    // there instead).
-    let ft_total = if rank == 0 { plan.total() } else { 0 };
-    Ok(gather_result(
-        circuit, cfg, spans, wirelength, ft_total, chip_width, comm,
-    ))
 }
 
 #[cfg(test)]

@@ -19,142 +19,164 @@
 
 use crate::config::RouterConfig;
 use crate::cost;
+use crate::engine::{self, Phase, Pipeline, RouteCtx};
 use crate::metrics::{names, record_ft_plan, RoutingResult};
 use crate::parallel::common::{
-    assemble_works, checkpoint, distribute, gather_result, split_segment, sync_boundaries,
-    with_recovery, RouteAbort,
+    assemble_works, distribute, gather_result, split_segment, sync_boundaries,
 };
 use crate::parallel::partition::{partition_nets, PartitionKind};
 use crate::route::coarse::CoarseState;
 use crate::route::connect::connect_net;
 use crate::route::feedthrough::{assign, FtPlan};
 use crate::route::serial::{attach_feedthroughs, crossings_of, shift_pins};
-use crate::route::state::{Segment, Span};
+use crate::route::state::{Segment, Span, WorkNet};
 use crate::route::steiner::{build_segments_with, whole_net};
 use crate::route::switchable::{optimize, ChannelState};
-use pgr_circuit::{Circuit, NetId, RowPartition};
-use pgr_geom::rng::{derive_seed, rng_from_seed};
+use pgr_circuit::{Circuit, NetId};
 use pgr_mpi::Comm;
 
 /// Run the row-wise algorithm on the calling rank. Returns the global
 /// result on the lowest surviving rank, `None` elsewhere.
 ///
-/// Phase boundaries are recovery checkpoints: if a fault layer's kill
-/// schedule fires at one, survivors shrink the world and restart the
-/// attempt (re-deriving the row partition and rank-seeded RNG streams
-/// for the smaller world), the victim unwinds with `None`, and the run
-/// completes in degraded mode instead of panicking.
+/// Phase boundaries are recovery checkpoints (driven by
+/// [`crate::engine`]): if a fault layer's kill schedule fires at one,
+/// survivors shrink the world and restart the attempt (re-deriving the
+/// row partition and rank-seeded RNG streams for the smaller world), the
+/// victim unwinds with `None`, and the run completes in degraded mode
+/// instead of panicking.
 pub fn route_rowwise(
     circuit: &Circuit,
     cfg: &RouterConfig,
     kind: PartitionKind,
     comm: &mut Comm,
 ) -> Option<RoutingResult> {
-    with_recovery(comm, |comm| rowwise_attempt(circuit, cfg, kind, comm))
+    engine::drive::<RowWisePipeline>(circuit, cfg, kind, comm)
 }
 
-/// One attempt over the current (possibly already shrunken) world.
-fn rowwise_attempt(
-    circuit: &Circuit,
-    cfg: &RouterConfig,
-    kind: PartitionKind,
-    comm: &mut Comm,
-) -> Result<Option<RoutingResult>, RouteAbort> {
-    let size = comm.size();
-    let rank = comm.rank();
-    assert!(
-        size <= circuit.num_rows(),
-        "row-wise needs at least one row per rank"
-    );
-    let rows = RowPartition::balanced(circuit, size);
-    let mut rng = rng_from_seed(derive_seed(cfg.seed, rank as u64));
+/// Pipeline state carried between the row-wise passes.
+#[derive(Default)]
+struct RowWisePipeline {
+    segments: Vec<Segment>,
+    works: Vec<WorkNet>,
+    orients: Vec<crate::route::state::Orientation>,
+    coarse: Option<CoarseState>,
+    plan: Option<FtPlan>,
+    chip_width: i64,
+    chans: Option<ChannelState>,
+    spans: Vec<Span>,
+    wirelength: u64,
+    result: Option<RoutingResult>,
+}
 
-    // Front end + distribution (rank 0 is the master that read the file).
-    checkpoint(comm, "setup")?;
-    distribute(circuit, false, comm);
+impl Pipeline for RowWisePipeline {
+    fn pass(&mut self, phase: Phase, ctx: &mut RouteCtx<'_>, comm: &mut Comm) {
+        let (circuit, cfg) = (ctx.circuit, ctx.cfg);
+        match phase {
+            // Front end + distribution (rank 0 is the master that read
+            // the file).
+            Phase::Setup => distribute(circuit, false, comm),
 
-    // Step 1 (net-parallel): Steiner trees for owned nets, split at
-    // partition boundaries, dealt to the rank owning each piece's rows.
-    checkpoint(comm, "steiner")?;
-    let owners = partition_nets(circuit, kind, &rows, size, cfg.pin_weight_beta);
-    let owned = owners.iter().filter(|&&o| o as usize == rank).count();
-    comm.metric_add(names::NETS_OWNED, owned as u64);
-    let mut outgoing: Vec<Vec<Segment>> = vec![Vec::new(); size];
-    for (i, &owner) in owners.iter().enumerate() {
-        if owner as usize != rank {
-            continue;
-        }
-        let w = whole_net(circuit, NetId::from_index(i));
-        if w.nodes.len() < 2 {
-            continue;
-        }
-        for seg in build_segments_with(&w, cfg.steiner_refine, comm) {
-            for (part, piece) in split_segment(&seg, &rows) {
-                outgoing[part].push(piece);
+            // Step 1 (net-parallel): Steiner trees for owned nets, split
+            // at partition boundaries, dealt to the rank owning each
+            // piece's rows.
+            Phase::Steiner => {
+                let owners =
+                    partition_nets(circuit, ctx.kind, &ctx.rows, ctx.size, cfg.pin_weight_beta);
+                let owned = owners.iter().filter(|&&o| o as usize == ctx.rank).count();
+                comm.metric_add(names::NETS_OWNED, owned as u64);
+                let mut outgoing: Vec<Vec<Segment>> = vec![Vec::new(); ctx.size];
+                for (i, &owner) in owners.iter().enumerate() {
+                    if owner as usize != ctx.rank {
+                        continue;
+                    }
+                    let w = whole_net(circuit, NetId::from_index(i));
+                    if w.nodes.len() < 2 {
+                        continue;
+                    }
+                    for seg in build_segments_with(&w, cfg.steiner_refine, comm) {
+                        for (part, piece) in split_segment(&seg, &ctx.rows) {
+                            outgoing[part].push(piece);
+                        }
+                    }
+                }
+                let incoming = comm.alltoall(outgoing);
+                self.segments = incoming.into_iter().flatten().collect();
+                comm.metric_add(names::SEGMENTS_OWNED, self.segments.len() as u64);
+                self.works = assemble_works(&self.segments);
+            }
+
+            // Step 2: coarse global routing on the local row band.
+            Phase::Coarse => {
+                comm.metric_add(names::ROWS_OWNED, ctx.nrows() as u64);
+                let mut coarse =
+                    CoarseState::new(ctx.row0(), ctx.nrows(), circuit.width, cfg.grid_w);
+                comm.charge_alloc(coarse.modeled_bytes());
+                self.orients = coarse.route(&self.segments, cfg, &mut ctx.rng, comm);
+                self.coarse = Some(coarse);
+            }
+
+            // Step 3: feedthrough insertion + assignment for the local
+            // rows, then the global chip width (the widest row anywhere).
+            Phase::Feedthrough => {
+                let demand = self.coarse.take().expect("coarse pass ran").into_demand();
+                let plan = FtPlan::new(ctx.row0(), demand, cfg.grid_w, cfg.ft_width);
+                let local_cells: usize = ctx
+                    .rows
+                    .range(ctx.rank)
+                    .map(|r| circuit.rows[r].cells.len())
+                    .sum();
+                comm.compute(cost::FT_INSERT_CELL * local_cells as u64);
+                let crossings = crossings_of(&self.segments, &self.orients);
+                let ft_nodes = assign(&plan, &crossings, comm);
+                record_ft_plan(&plan, comm);
+                shift_pins(&mut self.works, &plan);
+                attach_feedthroughs(&mut self.works, ft_nodes);
+                self.chip_width = comm.allreduce(circuit.width + plan.max_growth(), i64::max);
+                self.plan = Some(plan);
+            }
+
+            // Step 4: connect each sub-net independently.
+            Phase::Connect => {
+                let mut chans = ChannelState::new(ctx.row0(), ctx.nrows() + 1, self.chip_width);
+                comm.charge_alloc(chans.modeled_bytes());
+                for w in &self.works {
+                    let conn = connect_net(w, comm);
+                    self.wirelength += conn.wirelength;
+                    self.spans.extend(conn.spans);
+                }
+                comm.compute(cost::SPAN_APPLY * self.spans.len() as u64);
+                for s in &self.spans {
+                    chans.add_span(s, 1);
+                }
+                self.chans = Some(chans);
+            }
+
+            // Boundary synchronization, then step 5 on the local rows.
+            Phase::Switchable => {
+                let chans = self.chans.as_mut().expect("connect pass ran");
+                sync_boundaries(chans, &ctx.rows, comm);
+                let flips = optimize(chans, &mut self.spans, cfg, &mut ctx.rng, comm);
+                comm.metric_add(names::SEGMENTS_FLIPPED, flips as u64);
+            }
+
+            // Back end: gather everything at the lowest surviving rank.
+            Phase::Assemble => {
+                self.result = gather_result(
+                    circuit,
+                    cfg,
+                    std::mem::take(&mut self.spans),
+                    self.wirelength,
+                    self.plan.as_ref().expect("feedthrough pass ran").total(),
+                    self.chip_width,
+                    comm,
+                );
             }
         }
     }
-    let incoming = comm.alltoall(outgoing);
-    let segments: Vec<Segment> = incoming.into_iter().flatten().collect();
-    comm.metric_add(names::SEGMENTS_OWNED, segments.len() as u64);
-    let mut works = assemble_works(&segments);
 
-    // Step 2: coarse global routing on the local row band.
-    checkpoint(comm, "coarse")?;
-    let row0 = rows.start(rank) as u32;
-    let nrows = rows.range(rank).len();
-    comm.metric_add(names::ROWS_OWNED, nrows as u64);
-    let mut coarse = CoarseState::new(row0, nrows, circuit.width, cfg.grid_w);
-    comm.charge_alloc(coarse.modeled_bytes());
-    let orients = coarse.route(&segments, cfg, &mut rng, comm);
-
-    // Step 3: feedthrough insertion + assignment for the local rows.
-    checkpoint(comm, "feedthrough")?;
-    let plan = FtPlan::new(row0, coarse.into_demand(), cfg.grid_w, cfg.ft_width);
-    let local_cells: usize = rows.range(rank).map(|r| circuit.rows[r].cells.len()).sum();
-    comm.compute(cost::FT_INSERT_CELL * local_cells as u64);
-    let crossings = crossings_of(&segments, &orients);
-    let ft_nodes = assign(&plan, &crossings, comm);
-    record_ft_plan(&plan, comm);
-    shift_pins(&mut works, &plan);
-    attach_feedthroughs(&mut works, ft_nodes);
-
-    // Chip width is global: the widest row anywhere.
-    let chip_width = comm.allreduce(circuit.width + plan.max_growth(), i64::max);
-
-    // Step 4: connect each sub-net independently.
-    checkpoint(comm, "connect")?;
-    let mut chans = ChannelState::new(row0, nrows + 1, chip_width);
-    comm.charge_alloc(chans.modeled_bytes());
-    let mut spans: Vec<Span> = Vec::new();
-    let mut wirelength = 0u64;
-    for w in &works {
-        let conn = connect_net(w, comm);
-        wirelength += conn.wirelength;
-        spans.extend(conn.spans);
+    fn take_result(&mut self) -> Option<RoutingResult> {
+        self.result.take()
     }
-    comm.compute(cost::SPAN_APPLY * spans.len() as u64);
-    for s in &spans {
-        chans.add_span(s, 1);
-    }
-
-    // Boundary synchronization, then step 5 on the local rows.
-    checkpoint(comm, "switchable")?;
-    sync_boundaries(&mut chans, &rows, comm);
-    let flips = optimize(&mut chans, &mut spans, cfg, &mut rng, comm);
-    comm.metric_add(names::SEGMENTS_FLIPPED, flips as u64);
-
-    // Back end: gather everything at the lowest surviving rank.
-    checkpoint(comm, "assemble")?;
-    Ok(gather_result(
-        circuit,
-        cfg,
-        spans,
-        wirelength,
-        plan.total(),
-        chip_width,
-        comm,
-    ))
 }
 
 #[cfg(test)]

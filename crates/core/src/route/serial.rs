@@ -8,7 +8,9 @@
 
 use crate::config::RouterConfig;
 use crate::cost;
+use crate::engine::{run_attempt, Phase, Pipeline, RouteCtx};
 use crate::metrics::{names, record_ft_plan, record_quality, RoutingResult};
+use crate::parallel::partition::PartitionKind;
 use crate::route::coarse::CoarseState;
 use crate::route::connect::connect_net;
 use crate::route::feedthrough::{assign, Crossing, FtPlan};
@@ -16,7 +18,6 @@ use crate::route::state::{Node, NodeKind, Orientation, Segment, Span, WorkNet};
 use crate::route::steiner::{build_segments_with, whole_net};
 use crate::route::switchable::{optimize, ChannelState};
 use pgr_circuit::{Circuit, NetId};
-use pgr_geom::rng::{derive_seed, rng_from_seed};
 use pgr_mpi::Comm;
 use std::collections::HashMap;
 
@@ -94,90 +95,136 @@ pub fn attach_feedthroughs(works: &mut [WorkNet], ft_nodes: Vec<(NetId, Node)>) 
 }
 
 /// Run the full serial router.
+///
+/// Drives a [`SerialPipeline`] through the phase-pipeline engine
+/// ([`crate::engine`]), which stamps the phase marks and rotates the
+/// per-phase metric windows. Serial runs have no fault layer, so the
+/// single attempt always completes.
 pub fn route_serial(circuit: &Circuit, cfg: &RouterConfig, comm: &mut Comm) -> RoutingResult {
-    let rows = circuit.num_rows();
-    let entities = (circuit.num_pins() + circuit.num_cells() + circuit.num_nets()) as u64;
+    let mut ctx = RouteCtx::new(circuit, cfg, PartitionKind::PinWeight, comm);
+    let mut pipe = SerialPipeline::default();
+    match run_attempt(&mut pipe, &mut ctx, comm) {
+        Ok(result) => result.expect("the serial pipeline always assembles a result"),
+        Err(_) => unreachable!("serial comms carry no kill schedule"),
+    }
+}
 
-    // Front end: build the routing data structures.
-    comm.phase("setup");
-    comm.compute(cost::SETUP_ITEM * entities);
-    comm.charge_alloc(circuit.estimated_routing_bytes());
+/// Pipeline state carried between the serial passes.
+#[derive(Default)]
+struct SerialPipeline {
+    works: Vec<WorkNet>,
+    segments: Vec<Segment>,
+    orients: Vec<Orientation>,
+    coarse: Option<CoarseState>,
+    plan: Option<FtPlan>,
+    chip_width: i64,
+    chans: Option<ChannelState>,
+    spans: Vec<Span>,
+    wirelength: u64,
+    result: Option<RoutingResult>,
+}
 
-    let mut rng = rng_from_seed(derive_seed(cfg.seed, comm.rank() as u64));
+impl Pipeline for SerialPipeline {
+    fn pass(&mut self, phase: Phase, ctx: &mut RouteCtx<'_>, comm: &mut Comm) {
+        let (circuit, cfg) = (ctx.circuit, ctx.cfg);
+        let rows = circuit.num_rows();
+        match phase {
+            // Front end: build the routing data structures.
+            Phase::Setup => {
+                let entities =
+                    (circuit.num_pins() + circuit.num_cells() + circuit.num_nets()) as u64;
+                comm.compute(cost::SETUP_ITEM * entities);
+                comm.charge_alloc(circuit.estimated_routing_bytes());
+            }
 
-    // Step 1: approximate Steiner trees.
-    comm.phase("steiner");
-    let mut works: Vec<WorkNet> = (0..circuit.num_nets())
-        .map(|i| whole_net(circuit, NetId::from_index(i)))
-        .collect();
-    let mut segments: Vec<Segment> = Vec::with_capacity(circuit.num_pins());
-    for w in &mut works {
-        let segs = build_segments_with(w, cfg.steiner_refine, comm);
-        if cfg.steiner_refine {
-            register_steiner_nodes(w, &segs);
+            // Step 1: approximate Steiner trees.
+            Phase::Steiner => {
+                self.works = (0..circuit.num_nets())
+                    .map(|i| whole_net(circuit, NetId::from_index(i)))
+                    .collect();
+                self.segments = Vec::with_capacity(circuit.num_pins());
+                for w in &mut self.works {
+                    let segs = build_segments_with(w, cfg.steiner_refine, comm);
+                    if cfg.steiner_refine {
+                        register_steiner_nodes(w, &segs);
+                    }
+                    self.segments.extend(segs);
+                }
+                comm.metric_add(names::SEGMENTS, self.segments.len() as u64);
+            }
+
+            // Step 2: coarse global routing.
+            Phase::Coarse => {
+                let mut coarse = CoarseState::new(0, rows, circuit.width, cfg.grid_w);
+                comm.charge_alloc(coarse.modeled_bytes());
+                self.orients = coarse.route(&self.segments, cfg, &mut ctx.rng, comm);
+                self.coarse = Some(coarse);
+            }
+
+            // Step 3: feedthrough insertion + assignment.
+            Phase::Feedthrough => {
+                let demand = self.coarse.take().expect("coarse pass ran").into_demand();
+                let plan = FtPlan::new(0, demand, cfg.grid_w, cfg.ft_width);
+                comm.compute(cost::FT_INSERT_CELL * circuit.num_cells() as u64);
+                let crossings = crossings_of(&self.segments, &self.orients);
+                let ft_nodes = assign(&plan, &crossings, comm);
+                record_ft_plan(&plan, comm);
+                shift_pins(&mut self.works, &plan);
+                attach_feedthroughs(&mut self.works, ft_nodes);
+                self.plan = Some(plan);
+            }
+
+            // Step 4: final connection.
+            Phase::Connect => {
+                let plan = self.plan.as_ref().expect("feedthrough pass ran");
+                self.chip_width = circuit.width + plan.max_growth();
+                let mut chans = ChannelState::new(0, rows + 1, self.chip_width);
+                comm.charge_alloc(chans.modeled_bytes());
+                for w in &self.works {
+                    let conn = connect_net(w, comm);
+                    debug_assert!(
+                        conn.spanning,
+                        "whole net {} must span after feedthrough assignment",
+                        w.net
+                    );
+                    self.wirelength += conn.wirelength;
+                    self.spans.extend(conn.spans);
+                }
+                comm.compute(cost::SPAN_APPLY * self.spans.len() as u64);
+                for s in &self.spans {
+                    chans.add_span(s, 1);
+                }
+                self.chans = Some(chans);
+            }
+
+            // Step 5: switchable-segment optimization.
+            Phase::Switchable => {
+                let chans = self.chans.as_mut().expect("connect pass ran");
+                let flips = optimize(chans, &mut self.spans, cfg, &mut ctx.rng, comm);
+                comm.metric_add(names::SEGMENTS_FLIPPED, flips as u64);
+            }
+
+            // Back end: emit the solution.
+            Phase::Assemble => {
+                comm.compute(cost::SETUP_ITEM * circuit.num_nets() as u64);
+                let result = RoutingResult {
+                    circuit: circuit.name.clone(),
+                    channel_density: self.chans.as_ref().expect("connect pass ran").densities(),
+                    chip_width: self.chip_width,
+                    rows,
+                    wirelength: self.wirelength,
+                    feedthroughs: self.plan.as_ref().expect("feedthrough pass ran").total(),
+                    spans: std::mem::take(&mut self.spans),
+                };
+                record_quality(&result, comm);
+                self.result = Some(result);
+            }
         }
-        segments.extend(segs);
-    }
-    comm.metric_add(names::SEGMENTS, segments.len() as u64);
-
-    // Step 2: coarse global routing.
-    comm.phase("coarse");
-    let mut coarse = CoarseState::new(0, rows, circuit.width, cfg.grid_w);
-    comm.charge_alloc(coarse.modeled_bytes());
-    let orients = coarse.route(&segments, cfg, &mut rng, comm);
-
-    // Step 3: feedthrough insertion + assignment.
-    comm.phase("feedthrough");
-    let plan = FtPlan::new(0, coarse.into_demand(), cfg.grid_w, cfg.ft_width);
-    comm.compute(cost::FT_INSERT_CELL * circuit.num_cells() as u64);
-    let crossings = crossings_of(&segments, &orients);
-    let ft_nodes = assign(&plan, &crossings, comm);
-    record_ft_plan(&plan, comm);
-    shift_pins(&mut works, &plan);
-    attach_feedthroughs(&mut works, ft_nodes);
-
-    // Step 4: final connection.
-    comm.phase("connect");
-    let chip_width = circuit.width + plan.max_growth();
-    let mut chans = ChannelState::new(0, rows + 1, chip_width);
-    comm.charge_alloc(chans.modeled_bytes());
-    let mut spans: Vec<Span> = Vec::new();
-    let mut wirelength = 0u64;
-    for w in &works {
-        let conn = connect_net(w, comm);
-        debug_assert!(
-            conn.spanning,
-            "whole net {} must span after feedthrough assignment",
-            w.net
-        );
-        wirelength += conn.wirelength;
-        spans.extend(conn.spans);
-    }
-    comm.compute(cost::SPAN_APPLY * spans.len() as u64);
-    for s in &spans {
-        chans.add_span(s, 1);
     }
 
-    // Step 5: switchable-segment optimization.
-    comm.phase("switchable");
-    let flips = optimize(&mut chans, &mut spans, cfg, &mut rng, comm);
-    comm.metric_add(names::SEGMENTS_FLIPPED, flips as u64);
-
-    // Back end: emit the solution.
-    comm.phase("assemble");
-    comm.compute(cost::SETUP_ITEM * circuit.num_nets() as u64);
-
-    let result = RoutingResult {
-        circuit: circuit.name.clone(),
-        channel_density: chans.densities(),
-        chip_width,
-        rows,
-        wirelength,
-        feedthroughs: plan.total(),
-        spans,
-    };
-    record_quality(&result, comm);
-    result
+    fn take_result(&mut self) -> Option<RoutingResult> {
+        self.result.take()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,167 @@
+//! Phase-window invariants over real routing runs.
+//!
+//! The engine opens a metric window at every phase boundary, so each
+//! rank's shard carries per-phase slices of every counter and histogram.
+//! Two contracts, per algorithm:
+//!
+//! * **Exact partition.** Window values sum (histograms: merge) exactly
+//!   to the rank's cumulative totals — no record escapes phase scoping,
+//!   none is double-counted.
+//! * **Registry coverage.** Every window name is a registry phase, and
+//!   all five TWGR phases (plus setup/assemble) appear on every rank.
+//!
+//! The same invariants must survive recovery: a kill schedule re-enters
+//! phases, and the recovery counters land inside the window of the phase
+//! whose boundary failed.
+
+use pgr_circuit::{generate, Circuit, GeneratorConfig};
+use pgr_mpi::{
+    ChaosConfig, ChaosLayer, InstrumentConfig, MachineModel, MetricsConfig, Phase, RankMetrics,
+    ReliabilityConfig,
+};
+use pgr_obs::Histogram;
+use pgr_router::metrics::names;
+use pgr_router::{
+    route_parallel_instrumented, Algorithm, ParallelOutcome, PartitionKind, RouterConfig,
+};
+use std::sync::Arc;
+
+fn small(tag: &str) -> Circuit {
+    generate(&GeneratorConfig::small(tag, 13))
+}
+
+fn metrics_on() -> InstrumentConfig {
+    InstrumentConfig {
+        metrics: MetricsConfig::on(),
+        ..InstrumentConfig::off()
+    }
+}
+
+fn route(
+    circuit: &Circuit,
+    algo: Algorithm,
+    procs: usize,
+    instr: InstrumentConfig,
+) -> ParallelOutcome {
+    route_parallel_instrumented(
+        circuit,
+        &RouterConfig::with_seed(4),
+        algo,
+        PartitionKind::PinWeight,
+        procs,
+        MachineModel::sparc_center_1000(),
+        instr,
+    )
+}
+
+/// Every counter and histogram total must be exactly the sum/merge of
+/// its per-window slices. (Gauges are last-write-wins and derived gauges
+/// are stamped after the run, so they carry no sum invariant.)
+fn assert_windows_partition_totals(m: &RankMetrics, ctx: &str) {
+    for (name, total) in &m.counters {
+        let windowed: u64 = m.windows.iter().filter_map(|(_, w)| w.counter(name)).sum();
+        assert_eq!(
+            windowed, *total,
+            "{ctx}: counter {name} windows sum to the total"
+        );
+    }
+    for (name, total) in &m.histograms {
+        let mut merged = Histogram::new();
+        for (_, w) in &m.windows {
+            if let Some(h) = w.histogram(name) {
+                merged.merge(h);
+            }
+        }
+        assert_eq!(
+            &merged, total,
+            "{ctx}: histogram {name} windows merge to the total"
+        );
+    }
+}
+
+fn assert_registry_coverage(m: &RankMetrics, ctx: &str) {
+    for (name, _) in &m.windows {
+        assert!(
+            Phase::from_name(name).is_some(),
+            "{ctx}: window {name} is not a registry phase"
+        );
+    }
+    for phase in Phase::ALL {
+        assert!(
+            m.window(phase.name()).is_some(),
+            "{ctx}: phase {phase} has no window"
+        );
+    }
+}
+
+#[test]
+fn every_algorithm_emits_exactly_partitioned_phase_windows() {
+    let c = small("windows");
+    for algo in Algorithm::ALL {
+        for procs in [1, 3] {
+            let out = route(&c, algo, procs, metrics_on());
+            for m in &out.metrics {
+                let ctx = format!("{} P={procs} rank {}", algo.name(), m.rank);
+                assert_registry_coverage(m, &ctx);
+                assert_windows_partition_totals(m, &ctx);
+            }
+            // The instrumented TWGR phases carry their metrics in their
+            // own windows (connect records no counters of its own).
+            let merged = pgr_obs::merge_ranks(&out.metrics);
+            for (phase, metric) in [
+                (Phase::Steiner, names::NETS_OWNED),
+                (Phase::Switchable, names::SEGMENTS_FLIPPED),
+            ] {
+                let w = merged.window(phase.name()).expect("window present");
+                assert!(
+                    w.counter(metric).is_some(),
+                    "{} P={procs}: {metric} missing from the {phase} window",
+                    algo.name()
+                );
+            }
+            let ft = merged.window(Phase::Feedthrough.name()).unwrap();
+            assert!(
+                ft.histogram(names::FT_PER_ROW).is_some(),
+                "{} P={procs}: feedthrough histogram is phase-scoped",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn recovery_counters_land_inside_a_phase_window() {
+    let c = small("windows-kill");
+    // Rank 3 dies entering the coarse phase; survivors re-enter earlier
+    // phases, accumulating into the same windows.
+    let mut cfg = ChaosConfig::messages_only(31);
+    cfg.drop = 0.0;
+    cfg.reorder = 0.0;
+    cfg.duplicate = 0.0;
+    cfg.delay = 0.0;
+    cfg.kills = vec![(3, 2)];
+    let instr = InstrumentConfig {
+        metrics: MetricsConfig::on(),
+        fault: Some(Arc::new(ChaosLayer::new(cfg))),
+        reliability: ReliabilityConfig::on(),
+        ..InstrumentConfig::off()
+    };
+    for algo in Algorithm::ALL {
+        let out = route(&c, algo, 4, instr.clone());
+        let mut recoveries_in_windows = 0u64;
+        for m in &out.metrics {
+            let ctx = format!("{} rank {}", algo.name(), m.rank);
+            assert_windows_partition_totals(m, &ctx);
+            recoveries_in_windows += m
+                .windows
+                .iter()
+                .filter_map(|(_, w)| w.counter(names::RECOVERY_EVENTS))
+                .sum::<u64>();
+        }
+        assert!(
+            recoveries_in_windows >= 1,
+            "{}: recovery events are phase-scoped",
+            algo.name()
+        );
+    }
+}

@@ -45,7 +45,7 @@ use crate::machine::MachineModel;
 use crate::reliable::{self, backoff_delay, Ingest, ReliabilityConfig, ReorderBuffer};
 use crate::trace::{RankTrace, TraceConfig, TraceEvent, TraceEventKind, TraceHub};
 use crate::wire::Wire;
-use pgr_obs::{MetricsConfig, MetricsShard, RankMetrics};
+use pgr_obs::{MetricsConfig, MetricsShard, Phase, RankMetrics};
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
@@ -418,6 +418,20 @@ impl Comm {
         self.metrics.snapshot(self.rank)
     }
 
+    /// Rotate the shard's phase-scoped metric window to `phase`:
+    /// subsequent records land in that window as well as the run totals,
+    /// until the next rotation or [`Comm::metric_window_close`]. No-op
+    /// (one branch, zero allocation) when metrics are off; never touches
+    /// the virtual clock.
+    pub fn metric_window_open(&mut self, phase: Phase) {
+        self.metrics.open_window(phase);
+    }
+
+    /// Close the open metric window; records go to the totals only.
+    pub fn metric_window_close(&mut self) {
+        self.metrics.close_window();
+    }
+
     // ----- accounting -----
 
     /// Charge `ops` abstract operations of computation.
@@ -500,6 +514,19 @@ impl Comm {
         } else {
             PhaseControl::PeersDied(dead)
         }
+    }
+
+    /// Enter a registry [`Phase`]: the typed entry point the routing
+    /// engine drives phase boundaries through. The trace/stats mark and
+    /// the failure-protocol boundary of [`Comm::phase_adv`] take their
+    /// name from the enum, and the metric shard's per-phase window is
+    /// rotated to `phase` first — so if the kill schedule fires at this
+    /// boundary, the recovery accounting that follows the abort lands in
+    /// the window of the phase whose boundary failed, keeping per-phase
+    /// windows an exact partition of the run totals.
+    pub fn phase_enter(&mut self, phase: Phase) -> PhaseControl {
+        self.metrics.open_window(phase);
+        self.phase_adv(phase.name())
     }
 
     /// Shrink the world after peer deaths: the dead physical ranks

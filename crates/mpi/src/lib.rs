@@ -61,7 +61,7 @@ pub use error::{CommError, PendingMsg, TransportSnapshot};
 pub use failure::{FailureDetector, FailureInfo};
 pub use fault::{ChaosConfig, ChaosLayer, FaultAction, FaultLayer, MsgCtx};
 pub use machine::MachineModel;
-pub use pgr_obs::{MetricsConfig, RankMetrics, RunMeta};
+pub use pgr_obs::{MetricsConfig, Phase, RankMetrics, RunMeta};
 pub use reliable::ReliabilityConfig;
 pub use trace::{
     chrome_trace_json, stats_json, RankTrace, TraceConfig, TraceEvent, TraceEventKind,

@@ -11,7 +11,10 @@
 use crate::metrics::RankMetrics;
 
 /// Version stamped into (and required of) every stats/metrics dump.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: metrics dumps gained per-rank `"phases"` — phase-scoped metric
+/// windows keyed by [`crate::Phase`] registry names.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Escape a string for inclusion in a JSON string literal.
 pub fn json_escape(s: &str) -> String {
@@ -71,7 +74,9 @@ impl RunMeta {
     }
 }
 
-fn rank_json(m: &RankMetrics) -> String {
+/// The `"counters":{…},"gauges":{…},"histograms":{…}` body shared by a
+/// rank's cumulative metrics and each of its phase windows.
+fn metric_maps_json(m: &RankMetrics) -> String {
     let counters: Vec<String> = m
         .counters
         .iter()
@@ -103,11 +108,24 @@ fn rank_json(m: &RankMetrics) -> String {
         })
         .collect();
     format!(
-        "{{\"rank\":{},\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
-        m.rank,
+        "\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}",
         counters.join(","),
         gauges.join(","),
         hists.join(",")
+    )
+}
+
+fn rank_json(m: &RankMetrics) -> String {
+    let windows: Vec<String> = m
+        .windows
+        .iter()
+        .map(|(name, w)| format!("\"{}\":{{{}}}", json_escape(name), metric_maps_json(w)))
+        .collect();
+    format!(
+        "{{\"rank\":{},{},\"phases\":{{{}}}}}",
+        m.rank,
+        metric_maps_json(m),
+        windows.join(",")
     )
 }
 
@@ -201,6 +219,54 @@ mod tests {
             want.observe(v);
         }
         assert_eq!(rebuilt, want);
+    }
+
+    #[test]
+    fn phase_windows_are_emitted_under_phases() {
+        use crate::phase::Phase;
+        let mut s = MetricsShard::new(MetricsConfig::on());
+        s.open_window(Phase::Connect);
+        s.add("route.wirelength", 40);
+        s.observe("route.channel_density", 7);
+        s.open_window(Phase::Switchable);
+        s.add("route.segments_flipped", 3);
+        s.close_window();
+        let doc = metrics_json(&meta(), &[s.snapshot(2)]);
+        let v = Json::parse(&doc).expect("windowed output parses");
+        let rank = &v.get("ranks").unwrap().as_arr().unwrap()[0];
+        let phases = rank.get("phases").unwrap();
+        let connect = phases.get("connect").unwrap();
+        assert_eq!(
+            connect
+                .get("counters")
+                .unwrap()
+                .get("route.wirelength")
+                .unwrap()
+                .as_u64(),
+            Some(40)
+        );
+        assert_eq!(
+            connect
+                .get("histograms")
+                .unwrap()
+                .get("route.channel_density")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            phases
+                .get("switchable")
+                .unwrap()
+                .get("counters")
+                .unwrap()
+                .get("route.segments_flipped")
+                .unwrap()
+                .as_u64(),
+            Some(3)
+        );
     }
 
     #[test]

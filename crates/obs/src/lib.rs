@@ -5,10 +5,16 @@
 //! several rank counts. This crate supplies the metric types those
 //! comparisons are built from:
 //!
+//! * [`Phase`] — the TWGR phase registry: the single source of truth
+//!   for phase identity, ordering, and names, shared by the routing
+//!   engine's checkpoints, trace marks, metric windows, and the
+//!   aggregator's validation of dumped phase names;
 //! * [`MetricsShard`] — counters, gauges, and fixed-bucket [`Histogram`]s
 //!   with shard-per-rank storage: each rank owns its shard outright, so
 //!   the hot path is uncontended, and a disabled shard records nothing
-//!   and allocates nothing;
+//!   and allocates nothing; while the engine holds a phase window open,
+//!   records additionally land in that window, so per-phase values sum
+//!   exactly to the run totals;
 //! * [`metrics_json`] — a versioned (`schema_version`) JSON dump of one
 //!   run's per-rank metrics, tagged with the [`RunMeta`] (circuit,
 //!   algorithm, rank count, machine, scale, seed) that cross-run
@@ -23,7 +29,9 @@
 pub mod emit;
 pub mod json;
 pub mod metrics;
+pub mod phase;
 
 pub use emit::{json_escape, metrics_json, RunMeta, SCHEMA_VERSION};
 pub use json::Json;
 pub use metrics::{merge_ranks, Histogram, MetricsConfig, MetricsShard, RankMetrics};
+pub use phase::Phase;

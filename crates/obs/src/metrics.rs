@@ -8,6 +8,8 @@
 //! state, no locks); cross-rank and cross-run combination happens on
 //! snapshots ([`RankMetrics`]) after the run.
 
+use crate::phase::Phase;
+
 /// Whether a shard records anything.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MetricsConfig {
@@ -162,80 +164,18 @@ impl Histogram {
     }
 }
 
-/// One rank's (or one solo run's) metric storage.
-///
-/// Lookup is linear over `&'static str` names: the metric namespace is a
-/// few dozen entries, the common case is a pointer-equal hit, and linear
-/// vectors keep the disabled path a single branch with zero allocation.
+/// Backing storage of one metric scope: the run-cumulative totals, or
+/// one phase window.
 #[derive(Debug, Default)]
-pub struct MetricsShard {
-    enabled: bool,
+struct Store {
     counters: Vec<(&'static str, u64)>,
     gauges: Vec<(&'static str, f64)>,
     histograms: Vec<(&'static str, Histogram)>,
 }
 
-fn slot<'a, T>(entries: &'a mut Vec<(&'static str, T)>, name: &'static str) -> &'a mut T
-where
-    T: Default,
-{
-    // Two passes keep the borrow checker happy without unsafe: position,
-    // then index.
-    if let Some(i) = entries
-        .iter()
-        .position(|(n, _)| std::ptr::eq(*n, name) || *n == name)
-    {
-        return &mut entries[i].1;
-    }
-    entries.push((name, T::default()));
-    &mut entries.last_mut().expect("just pushed").1
-}
-
-impl MetricsShard {
-    pub fn new(config: MetricsConfig) -> Self {
-        MetricsShard {
-            enabled: config.enabled,
-            counters: Vec::new(),
-            gauges: Vec::new(),
-            histograms: Vec::new(),
-        }
-    }
-
-    /// A shard that records nothing (and never allocates).
-    pub fn disabled() -> Self {
-        MetricsShard::new(MetricsConfig::off())
-    }
-
-    pub fn enabled(&self) -> bool {
-        self.enabled
-    }
-
-    /// Add `delta` to the counter `name`.
-    pub fn add(&mut self, name: &'static str, delta: u64) {
-        if !self.enabled {
-            return;
-        }
-        *slot(&mut self.counters, name) += delta;
-    }
-
-    /// Set the gauge `name` to `v` (last write wins).
-    pub fn gauge(&mut self, name: &'static str, v: f64) {
-        if !self.enabled {
-            return;
-        }
-        *slot(&mut self.gauges, name) = v;
-    }
-
-    /// Record one observation into the histogram `name`.
-    pub fn observe(&mut self, name: &'static str, v: u64) {
-        if !self.enabled {
-            return;
-        }
-        slot::<Histogram>(&mut self.histograms, name).observe(v);
-    }
-
-    /// Owned snapshot, sorted by metric name for deterministic output.
-    pub fn snapshot(&self, rank: usize) -> RankMetrics {
+impl Store {
+    /// Owned snapshot, sorted by metric name (windows left empty).
+    fn snapshot(&self, rank: usize) -> RankMetrics {
         let mut counters: Vec<(String, u64)> = self
             .counters
             .iter()
@@ -259,7 +199,141 @@ impl MetricsShard {
             counters,
             gauges,
             histograms,
+            windows: Vec::new(),
         }
+    }
+}
+
+/// One rank's (or one solo run's) metric storage.
+///
+/// Lookup is linear over `&'static str` names: the metric namespace is a
+/// few dozen entries, the common case is a pointer-equal hit, and linear
+/// vectors keep the disabled path a single branch with zero allocation.
+///
+/// Besides the run-cumulative totals, a shard carries **phase-scoped
+/// windows**: while a window is open ([`MetricsShard::open_window`]),
+/// every record lands in both the totals and the window, so per-phase
+/// values sum exactly to the cumulative per-run totals (same fixed
+/// bucket layout, same exact merges). Re-opening a phase's window —
+/// recovery attempts restart the pipeline — accumulates into the same
+/// window. Window bookkeeping obeys the disabled contract: a disabled
+/// shard ignores window calls with a single branch and zero allocation.
+#[derive(Debug, Default)]
+pub struct MetricsShard {
+    enabled: bool,
+    total: Store,
+    /// Per-phase windows in first-open order (snapshots re-sort into
+    /// registry order).
+    windows: Vec<(Phase, Store)>,
+    /// Index into `windows` of the currently open window.
+    open: Option<usize>,
+}
+
+fn slot<'a, T>(entries: &'a mut Vec<(&'static str, T)>, name: &'static str) -> &'a mut T
+where
+    T: Default,
+{
+    // Two passes keep the borrow checker happy without unsafe: position,
+    // then index.
+    if let Some(i) = entries
+        .iter()
+        .position(|(n, _)| std::ptr::eq(*n, name) || *n == name)
+    {
+        return &mut entries[i].1;
+    }
+    entries.push((name, T::default()));
+    &mut entries.last_mut().expect("just pushed").1
+}
+
+impl MetricsShard {
+    pub fn new(config: MetricsConfig) -> Self {
+        MetricsShard {
+            enabled: config.enabled,
+            total: Store::default(),
+            windows: Vec::new(),
+            open: None,
+        }
+    }
+
+    /// A shard that records nothing (and never allocates).
+    pub fn disabled() -> Self {
+        MetricsShard::new(MetricsConfig::off())
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Add `delta` to the counter `name`.
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        *slot(&mut self.total.counters, name) += delta;
+        if let Some(i) = self.open {
+            *slot(&mut self.windows[i].1.counters, name) += delta;
+        }
+    }
+
+    /// Set the gauge `name` to `v` (last write wins).
+    pub fn gauge(&mut self, name: &'static str, v: f64) {
+        if !self.enabled {
+            return;
+        }
+        *slot(&mut self.total.gauges, name) = v;
+        if let Some(i) = self.open {
+            *slot(&mut self.windows[i].1.gauges, name) = v;
+        }
+    }
+
+    /// Record one observation into the histogram `name`.
+    pub fn observe(&mut self, name: &'static str, v: u64) {
+        if !self.enabled {
+            return;
+        }
+        slot::<Histogram>(&mut self.total.histograms, name).observe(v);
+        if let Some(i) = self.open {
+            slot::<Histogram>(&mut self.windows[i].1.histograms, name).observe(v);
+        }
+    }
+
+    /// Route subsequent records into `phase`'s window (as well as the
+    /// totals) until the next `open_window`/[`close_window`] call.
+    /// Re-opening a phase accumulates into its existing window.
+    pub fn open_window(&mut self, phase: Phase) {
+        if !self.enabled {
+            return;
+        }
+        let i = match self.windows.iter().position(|(p, _)| *p == phase) {
+            Some(i) => i,
+            None => {
+                self.windows.push((phase, Store::default()));
+                self.windows.len() - 1
+            }
+        };
+        self.open = Some(i);
+    }
+
+    /// Stop routing records into any window (totals still accumulate).
+    pub fn close_window(&mut self) {
+        self.open = None;
+    }
+
+    /// Owned snapshot, sorted by metric name for deterministic output;
+    /// phase windows in registry order.
+    pub fn snapshot(&self, rank: usize) -> RankMetrics {
+        let mut out = self.total.snapshot(rank);
+        let mut windows: Vec<(Phase, RankMetrics)> = self
+            .windows
+            .iter()
+            .map(|(p, s)| (*p, s.snapshot(rank)))
+            .collect();
+        windows.sort_by_key(|(p, _)| p.index());
+        out.windows = windows
+            .into_iter()
+            .map(|(p, m)| (p.name().to_string(), m))
+            .collect();
+        out
     }
 }
 
@@ -274,6 +348,10 @@ pub struct RankMetrics {
     pub gauges: Vec<(String, f64)>,
     /// Sorted by name.
     pub histograms: Vec<(String, Histogram)>,
+    /// Phase-scoped windows `(phase name, metrics)` in [`Phase`]
+    /// registry order. Empty on window entries themselves (windows do
+    /// not nest) and on dumps predating the windowed schema.
+    pub windows: Vec<(String, RankMetrics)>,
 }
 
 impl RankMetrics {
@@ -304,6 +382,11 @@ impl RankMetrics {
             .map(|(_, h)| h)
     }
 
+    /// The phase window named `name`, if this snapshot carries one.
+    pub fn window(&self, name: &str) -> Option<&RankMetrics> {
+        self.windows.iter().find(|(n, _)| n == name).map(|(_, m)| m)
+    }
+
     /// Set (or overwrite) a gauge after the fact — used for derived
     /// whole-run figures like load imbalance that no single rank can
     /// compute during the run.
@@ -317,10 +400,11 @@ impl RankMetrics {
         }
     }
 
-    /// Fold `other` in: counters add, gauges keep the maximum, and
-    /// histograms merge bucket-wise. This is the cross-rank (and
-    /// cross-run) combination rule; with histogram merging exact and
-    /// associative, any merge order yields the same result.
+    /// Fold `other` in: counters add, gauges keep the maximum,
+    /// histograms merge bucket-wise, and phase windows merge window-wise
+    /// by the same rules. This is the cross-rank (and cross-run)
+    /// combination rule; with histogram merging exact and associative,
+    /// any merge order yields the same result.
     pub fn merge_from(&mut self, other: &RankMetrics) {
         for (name, v) in &other.counters {
             match self.counters.iter_mut().find(|(n, _)| n == name) {
@@ -340,9 +424,19 @@ impl RankMetrics {
                 None => self.histograms.push((name.clone(), h.clone())),
             }
         }
+        for (name, w) in &other.windows {
+            match self.windows.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => mine.merge_from(w),
+                None => self.windows.push((name.clone(), w.clone())),
+            }
+        }
         self.counters.sort_by(|a, b| a.0.cmp(&b.0));
         self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
         self.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        self.windows.sort_by(|a, b| {
+            let key = |n: &str| Phase::from_name(n).map(|p| p.index()).unwrap_or(usize::MAX);
+            key(&a.0).cmp(&key(&b.0)).then_with(|| a.0.cmp(&b.0))
+        });
     }
 }
 
@@ -440,13 +534,112 @@ mod tests {
     #[test]
     fn disabled_shard_records_nothing() {
         let mut s = MetricsShard::disabled();
+        s.open_window(Phase::Setup);
         s.add("a", 5);
         s.gauge("g", 1.5);
         s.observe("h", 3);
+        s.close_window();
         let snap = s.snapshot(0);
         assert!(snap.counters.is_empty());
         assert!(snap.gauges.is_empty());
         assert!(snap.histograms.is_empty());
+        assert!(snap.windows.is_empty());
+    }
+
+    #[test]
+    fn windows_partition_the_totals_exactly() {
+        let mut s = MetricsShard::new(MetricsConfig::on());
+        s.open_window(Phase::Steiner);
+        s.add("c", 2);
+        s.observe("h", 4);
+        s.open_window(Phase::Connect);
+        s.add("c", 5);
+        s.add("only_connect", 1);
+        s.observe("h", 900);
+        s.close_window();
+        let snap = s.snapshot(0);
+        // Window values sum back to the cumulative totals.
+        assert_eq!(snap.counter("c"), Some(7));
+        let st = snap.window("steiner").expect("steiner window");
+        let cn = snap.window("connect").expect("connect window");
+        assert_eq!(st.counter("c"), Some(2));
+        assert_eq!(cn.counter("c"), Some(5));
+        assert_eq!(cn.counter("only_connect"), Some(1));
+        let mut merged = Histogram::new();
+        merged.merge(st.histogram("h").unwrap());
+        merged.merge(cn.histogram("h").unwrap());
+        assert_eq!(&merged, snap.histogram("h").unwrap());
+    }
+
+    #[test]
+    fn records_outside_any_window_only_hit_totals() {
+        let mut s = MetricsShard::new(MetricsConfig::on());
+        s.add("pre", 1);
+        s.open_window(Phase::Setup);
+        s.add("in", 1);
+        s.close_window();
+        s.add("post", 1);
+        let snap = s.snapshot(0);
+        assert_eq!(snap.counter("pre"), Some(1));
+        assert_eq!(snap.counter("post"), Some(1));
+        let w = snap.window("setup").unwrap();
+        assert_eq!(w.counter("in"), Some(1));
+        assert_eq!(w.counter("pre"), None);
+        assert_eq!(w.counter("post"), None);
+    }
+
+    #[test]
+    fn reopening_a_window_accumulates_into_it() {
+        // Recovery restarts the pipeline: the second "setup" entry must
+        // land in the same window, keeping the sum invariant exact.
+        let mut s = MetricsShard::new(MetricsConfig::on());
+        s.open_window(Phase::Setup);
+        s.add("c", 1);
+        s.open_window(Phase::Steiner);
+        s.add("c", 10);
+        s.open_window(Phase::Setup);
+        s.add("c", 100);
+        let snap = s.snapshot(0);
+        assert_eq!(snap.counter("c"), Some(111));
+        assert_eq!(snap.window("setup").unwrap().counter("c"), Some(101));
+        assert_eq!(snap.window("steiner").unwrap().counter("c"), Some(10));
+        assert_eq!(snap.windows.len(), 2, "re-entry reuses the window");
+    }
+
+    #[test]
+    fn snapshot_orders_windows_by_registry() {
+        let mut s = MetricsShard::new(MetricsConfig::on());
+        s.open_window(Phase::Assemble);
+        s.add("c", 1);
+        s.open_window(Phase::Setup);
+        s.add("c", 1);
+        let names: Vec<String> = s.snapshot(0).windows.into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["setup".to_string(), "assemble".to_string()]);
+    }
+
+    #[test]
+    fn merge_from_merges_windows_recursively() {
+        let mut a = MetricsShard::new(MetricsConfig::on());
+        a.open_window(Phase::Connect);
+        a.add("c", 1);
+        a.observe("h", 2);
+        let mut b = MetricsShard::new(MetricsConfig::on());
+        b.open_window(Phase::Connect);
+        b.add("c", 10);
+        b.open_window(Phase::Switchable);
+        b.add("c", 100);
+        let merged = merge_ranks(&[a.snapshot(0), b.snapshot(1)]);
+        assert_eq!(merged.window("connect").unwrap().counter("c"), Some(11));
+        assert_eq!(merged.window("switchable").unwrap().counter("c"), Some(100));
+        assert_eq!(
+            merged
+                .window("connect")
+                .unwrap()
+                .histogram("h")
+                .unwrap()
+                .count,
+            1
+        );
     }
 
     #[test]

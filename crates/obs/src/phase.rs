@@ -1,0 +1,117 @@
+//! The TWGR phase registry.
+//!
+//! [`Phase`] is the single source of truth for phase identity and
+//! ordering: the routing engine drives its pass sequence from
+//! [`Phase::ALL`], recovery checkpoints and trace/stats marks take their
+//! names from [`Phase::name`], metric shards key their per-phase windows
+//! on the enum, and the aggregator validates dumped phase names through
+//! [`Phase::from_name`]. Nothing outside this module spells a phase as a
+//! string literal, so checkpoint, trace, and metric keys cannot drift
+//! between the serial driver and the three parallel algorithms.
+
+/// One step of the routing pipeline, in execution order.
+///
+/// `Setup` and `Assemble` frame the five TWGR phases proper
+/// ([`Phase::TWGR`]): the front end that builds (and in parallel runs
+/// distributes) the routing structures, and the back end that gathers
+/// the global solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// Front end: build routing structures, distribute the circuit.
+    Setup,
+    /// Step 1: approximate Steiner trees.
+    Steiner,
+    /// Step 2: coarse global routing.
+    Coarse,
+    /// Step 3: feedthrough insertion and assignment.
+    Feedthrough,
+    /// Step 4: final pin connection.
+    Connect,
+    /// Step 5: switchable-segment optimization.
+    Switchable,
+    /// Back end: gather spans and assemble the global result.
+    Assemble,
+}
+
+impl Phase {
+    /// Every phase, in pipeline order.
+    pub const ALL: [Phase; 7] = [
+        Phase::Setup,
+        Phase::Steiner,
+        Phase::Coarse,
+        Phase::Feedthrough,
+        Phase::Connect,
+        Phase::Switchable,
+        Phase::Assemble,
+    ];
+
+    /// The five TWGR routing steps (the paper's §2 pipeline), excluding
+    /// the setup/assemble framing.
+    pub const TWGR: [Phase; 5] = [
+        Phase::Steiner,
+        Phase::Coarse,
+        Phase::Feedthrough,
+        Phase::Connect,
+        Phase::Switchable,
+    ];
+
+    /// The canonical name used in checkpoints, traces, stats, and dumps.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Phase::Setup => "setup",
+            Phase::Steiner => "steiner",
+            Phase::Coarse => "coarse",
+            Phase::Feedthrough => "feedthrough",
+            Phase::Connect => "connect",
+            Phase::Switchable => "switchable",
+            Phase::Assemble => "assemble",
+        }
+    }
+
+    /// Position in [`Phase::ALL`].
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`Phase::name`] — how the aggregator validates phase
+    /// names read back from dumps against the registry.
+    pub fn from_name(name: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_in_declaration_order_and_indexed() {
+        for (i, p) in Phase::ALL.into_iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert!(Phase::ALL.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn names_roundtrip_and_are_unique() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Phase::from_name("no-such-phase"), None);
+        let mut names: Vec<_> = Phase::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Phase::ALL.len());
+    }
+
+    #[test]
+    fn twgr_is_the_inner_five() {
+        assert_eq!(&Phase::ALL[1..6], &Phase::TWGR);
+    }
+}
