@@ -89,6 +89,12 @@ fn parse_run_meta(v: &Json, path: &Path) -> Result<RunMeta, String> {
             .get("seed")
             .and_then(|f| f.as_u64())
             .ok_or_else(|| ctx(path, "run.seed missing"))?,
+        // Absent in dumps from writers predating the flag — and in every
+        // fault-free dump, which omits it.
+        degraded: run
+            .get("degraded")
+            .and_then(|f| f.as_bool())
+            .unwrap_or(false),
     })
 }
 

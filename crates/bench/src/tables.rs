@@ -20,7 +20,8 @@ use pgr_mpi::{
 };
 use pgr_obs::metrics_json;
 use pgr_router::{
-    route_parallel, route_parallel_instrumented, Algorithm, PartitionKind, RouterConfig,
+    route_parallel, route_parallel_instrumented, Algorithm, PartitionKind, RecoveryPolicy,
+    RouterConfig,
 };
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -73,6 +74,7 @@ impl Opts {
             machine: machine.name.to_string(),
             scale: self.scale,
             seed: SEED,
+            degraded: false,
         }
     }
 }
@@ -716,14 +718,18 @@ pub fn machine_sweep(opts: &Opts) {
 }
 
 /// Beyond the paper: chaos smoke — every algorithm routed under a seeded
-/// fault schedule (drop + delay + reorder + duplicate) with the reliable
-/// transport on, plus the highest rank killed at a phase boundary. Each
-/// degraded result is verified against the circuit; the table shows the
-/// protocol effort (retransmits, reorder-buffer fills, suppressed
-/// duplicates) and the recovery accounting (rounds survived, ranks
-/// lost). With `--trace-out` the per-run artifacts are written under an
-/// `<circuit>_<algo>_chaos_p<P>` label with algorithm `"<name>-chaos"`,
-/// so `repro aggregate` can trend robustness separately from the clean
+/// fault schedule (drop + delay + reorder + duplicate + corruption) with
+/// the reliable transport on, plus the highest rank killed at a phase
+/// boundary. Each degraded result is verified against the circuit; the
+/// table shows the protocol effort (retransmits, reorder-buffer fills,
+/// suppressed duplicates, corrupt frames healed) and the recovery
+/// accounting (rounds survived, ranks lost). A second, kill-heavy pass
+/// per circuit runs hybrid under a one-round [`RecoveryPolicy`], forcing
+/// the serial fallback — degraded, stamped in the stats, and
+/// auto-verified. With `--trace-out` the per-run artifacts are written
+/// under `<circuit>_<algo>_chaos_p<P>` / `<circuit>_hybrid_fallback_p<P>`
+/// labels with algorithms `"<name>-chaos"` / `"hybrid-fallback"`, so
+/// `repro aggregate` can trend robustness separately from the clean
 /// runs.
 pub fn chaos_smoke(opts: &Opts) {
     let machine = MachineModel::sparc_center_1000();
@@ -731,7 +737,7 @@ pub fn chaos_smoke(opts: &Opts) {
     println!("Chaos smoke: message faults + one-rank kill, reliable transport on");
     opts.note_scale();
     println!(
-        "{:<12} {:<10} {:>2} {:>6} {:>8} {:>7} {:>7} {:>7} {:>8} {:>6}",
+        "{:<12} {:<10} {:>2} {:>6} {:>8} {:>7} {:>7} {:>7} {:>7} {:>8} {:>6}",
         "circuit",
         "algorithm",
         "P",
@@ -740,13 +746,14 @@ pub fn chaos_smoke(opts: &Opts) {
         "retran",
         "reord",
         "dup",
+        "corrupt",
         "recovery",
         "lost"
     );
     for c in opts.circuits() {
         let p = clamp_procs(4, &c);
         for algo in Algorithm::ALL {
-            let mut chaos = ChaosConfig::messages_only(SEED);
+            let mut chaos = ChaosConfig::messages_with_corruption(SEED);
             // The highest rank dies entering its third phase; the
             // survivors re-partition its rows/nets and finish on P-1.
             if p > 1 {
@@ -776,7 +783,7 @@ pub fn chaos_smoke(opts: &Opts) {
             let sum =
                 |name: &str| -> u64 { out.metrics.iter().filter_map(|m| m.counter(name)).sum() };
             println!(
-                "{:<12} {:<10} {:>2} {:>6} {:>8} {:>7} {:>7} {:>7} {:>8} {:>6}",
+                "{:<12} {:<10} {:>2} {:>6} {:>8} {:>7} {:>7} {:>7} {:>7} {:>8} {:>6}",
                 c.name,
                 algo.name(),
                 p,
@@ -785,12 +792,77 @@ pub fn chaos_smoke(opts: &Opts) {
                 sum(pgr_mpi::reliable::RETRANSMITS),
                 sum(pgr_mpi::reliable::REORDER_BUFFERED),
                 sum(pgr_mpi::reliable::DUPLICATES_DROPPED),
+                sum(pgr_mpi::reliable::CORRUPT_DROPPED),
                 sum(pgr_router::metrics::names::RECOVERY_EVENTS),
                 sum(pgr_router::metrics::names::RANKS_LOST),
             );
             if let Some(dir) = &opts.trace_out {
                 let label = format!("{}_{}_chaos_p{p}", c.name, algo.name());
                 let run = opts.run_meta(&c.name, &format!("{}-chaos", algo.name()), p, &machine);
+                if let Err(e) = write_traces(
+                    dir,
+                    &label,
+                    &out.traces,
+                    &out.stats,
+                    &machine,
+                    &run,
+                    &out.metrics,
+                ) {
+                    eprintln!("trace write failed for {label}: {e}");
+                }
+            }
+        }
+
+        // Kill-heavy pass: the same schedule under a one-round recovery
+        // budget breaches the policy, so the run must finish via the
+        // serial fallback — degraded, stamped, and auto-verified.
+        if p > 1 {
+            let mut chaos = ChaosConfig::messages_with_corruption(SEED);
+            chaos.kills = vec![(p - 1, 1)];
+            let fallback_cfg = RouterConfig {
+                recovery: RecoveryPolicy {
+                    max_rounds: 1,
+                    min_ranks: 1,
+                },
+                ..cfg.clone()
+            };
+            let instr = InstrumentConfig {
+                metrics: MetricsConfig::on(),
+                fault: Some(Arc::new(ChaosLayer::new(chaos))),
+                reliability: ReliabilityConfig::on(),
+                ..opts.instrument()
+            };
+            let out = route_parallel_instrumented(
+                &c,
+                &fallback_cfg,
+                Algorithm::Hybrid,
+                PartitionKind::PinWeight,
+                p,
+                machine,
+                instr,
+            );
+            assert!(out.degraded, "{}: the one-round budget must breach", c.name);
+            pgr_router::verify::assert_verified(&c, &out.result);
+            let sum =
+                |name: &str| -> u64 { out.metrics.iter().filter_map(|m| m.counter(name)).sum() };
+            println!(
+                "{:<12} {:<10} {:>2} {:>6} {:>8} {:>7} {:>7} {:>7} {:>7} {:>8} {:>6}  (serial fallback, verified)",
+                c.name,
+                "fallback",
+                p,
+                p - 1,
+                out.result.track_count(),
+                sum(pgr_mpi::reliable::RETRANSMITS),
+                sum(pgr_mpi::reliable::REORDER_BUFFERED),
+                sum(pgr_mpi::reliable::DUPLICATES_DROPPED),
+                sum(pgr_mpi::reliable::CORRUPT_DROPPED),
+                sum(pgr_router::metrics::names::RECOVERY_EVENTS),
+                sum(pgr_router::metrics::names::RANKS_LOST),
+            );
+            if let Some(dir) = &opts.trace_out {
+                let label = format!("{}_hybrid_fallback_p{p}", c.name);
+                let mut run = opts.run_meta(&c.name, "hybrid-fallback", p, &machine);
+                run.degraded = out.degraded;
                 if let Err(e) = write_traces(
                     dir,
                     &label,

@@ -28,6 +28,7 @@ fn meta(algorithm: &str, procs: usize) -> RunMeta {
         machine: "TestBox".into(),
         scale: 1.0,
         seed: 7,
+        degraded: false,
     }
 }
 
@@ -304,6 +305,7 @@ fn trace_out_artifacts_round_trip_through_aggregate() {
         machine: machine.name.into(),
         scale: 0.05,
         seed: 0,
+        degraded: false,
     };
     write_traces(
         &dir_serial,

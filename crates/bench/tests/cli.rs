@@ -33,6 +33,7 @@ fn meta(algorithm: &str, procs: usize) -> RunMeta {
         machine: "TestBox".into(),
         scale: 1.0,
         seed: 7,
+        degraded: false,
     }
 }
 

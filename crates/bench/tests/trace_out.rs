@@ -17,6 +17,7 @@ fn meta(procs: usize) -> RunMeta {
         machine: "SparcCenter 1000".into(),
         scale: 0.05,
         seed: 0,
+        degraded: false,
     }
 }
 

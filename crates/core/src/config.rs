@@ -1,5 +1,7 @@
 //! Router configuration.
 
+use crate::engine::RecoveryPolicy;
+
 /// Tunables of the TWGR-style router. Defaults reproduce the paper's
 /// setup; the benchmark harness overrides `seed` and the parallel knobs.
 #[derive(Debug, Clone)]
@@ -54,6 +56,11 @@ pub struct RouterConfig {
     /// paper's TWGR uses the plain MST approximation; the
     /// `steiner-ablation` benchmark quantifies what refinement buys.
     pub steiner_refine: bool,
+    /// Bounds on the rank-failure recovery loop: how many restart rounds
+    /// the engine attempts and how many survivors it requires before
+    /// degrading to a serial completion on the lowest surviving rank
+    /// (see [`crate::engine::RecoveryPolicy`]).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for RouterConfig {
@@ -71,6 +78,7 @@ impl Default for RouterConfig {
             netwise_exact_sync: false,
             netwise_grid_factor: 8,
             steiner_refine: false,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -96,5 +104,7 @@ mod tests {
         assert!(c.ft_width > 0);
         assert!(c.sync_period > 0);
         assert!(c.pin_weight_beta > 0.0);
+        assert!(c.recovery.max_rounds >= 1);
+        assert!(c.recovery.min_ranks >= 1);
     }
 }

@@ -16,7 +16,12 @@
 //!   pass;
 //! * **recovery** ([`with_recovery`]): on `PeersDied` the survivors
 //!   count the recovery, shrink the world, and restart the pipeline
-//!   from a fresh context.
+//!   from a fresh context — bounded by a [`RecoveryPolicy`]: when the
+//!   round budget is exhausted or the survivors fall below the floor,
+//!   the lowest surviving rank deterministically completes the route
+//!   with the serial pipeline instead of retrying forever;
+//! * **self-verification**: any run that recovered or degraded re-checks
+//!   its result with [`crate::verify::check`] before returning it.
 //!
 //! An algorithm is a [`Pipeline`]: a state machine whose
 //! [`pass`](Pipeline::pass) method executes the body of one phase,
@@ -42,6 +47,45 @@ pub enum RouteAbort {
     /// Peers (physical rank ids) died at this boundary; the survivors
     /// must shrink the world and retry.
     PeersDied(Vec<usize>),
+}
+
+/// Bounds on the recovery loop. Every survivor evaluates the policy
+/// against the same SPMD-deterministic state (round count, logical
+/// world size), so all ranks agree on when to stop retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Recovery rounds (world-shrinking restarts) allowed before the
+    /// run degrades to the serial fallback.
+    pub max_rounds: u32,
+    /// Minimum surviving ranks required to keep running the parallel
+    /// pipeline; fewer survivors degrade to the serial fallback. The
+    /// default of 1 never triggers (at least one rank always survives —
+    /// a kill schedule cannot remove the whole world).
+    pub min_ranks: usize,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_rounds: 8,
+            min_ranks: 1,
+        }
+    }
+}
+
+/// What the bounded recovery loop decided.
+#[derive(Debug)]
+pub enum RecoveryFlow {
+    /// An attempt ran to completion; `rounds` recoveries preceded it.
+    Completed {
+        result: Option<RoutingResult>,
+        rounds: u32,
+    },
+    /// This rank is a scheduled victim — it holds no result.
+    SelfKilled,
+    /// The policy's bounds were breached after `rounds` recoveries; the
+    /// caller must finish the route by other means (serial fallback).
+    Degraded { rounds: u32 },
 }
 
 /// Per-attempt context the engine derives once, before the first pass:
@@ -142,42 +186,107 @@ pub fn run_attempt<P: Pipeline>(
 
 /// Degraded-mode driver shared by the parallel algorithms: run attempts
 /// until one completes, removing dead ranks and restarting at every
-/// [`RouteAbort::PeersDied`]. A victim returns `None` (it holds no
-/// result); survivors renumber densely, so the retry *is* the algorithm
-/// on a fresh (P − killed)-rank world — partitions, rank-derived RNG
-/// streams, and the rank-0 assembly role all follow the logical ranks.
-/// Recovery rounds and ranks lost are counted into the metrics shard
-/// (inside the window of the phase whose boundary failed), so degraded
-/// runs are distinguishable in `*.metrics.json`.
-pub fn with_recovery<F>(comm: &mut Comm, mut attempt: F) -> Option<RoutingResult>
+/// [`RouteAbort::PeersDied`]. A victim returns
+/// [`RecoveryFlow::SelfKilled`] (it holds no result); survivors renumber
+/// densely, so the retry *is* the algorithm on a fresh (P − killed)-rank
+/// world — partitions, rank-derived RNG streams, and the rank-0 assembly
+/// role all follow the logical ranks. Recovery rounds and ranks lost are
+/// counted into the metrics shard (inside the window of the phase whose
+/// boundary failed), so degraded runs are distinguishable in
+/// `*.metrics.json`.
+///
+/// The loop is bounded by `policy`: once the round budget is spent or
+/// the survivors fall below the floor, it stops retrying and returns
+/// [`RecoveryFlow::Degraded`] — the caller (normally [`drive`]) then
+/// completes the route with the serial fallback.
+pub fn with_recovery<F>(comm: &mut Comm, policy: RecoveryPolicy, mut attempt: F) -> RecoveryFlow
 where
     F: FnMut(&mut Comm) -> Result<Option<RoutingResult>, RouteAbort>,
 {
+    let mut rounds = 0u32;
     loop {
+        if rounds >= policy.max_rounds || comm.size() < policy.min_ranks {
+            return RecoveryFlow::Degraded { rounds };
+        }
         match attempt(comm) {
-            Ok(result) => return result,
-            Err(RouteAbort::SelfKilled) => return None,
+            Ok(result) => return RecoveryFlow::Completed { result, rounds },
+            Err(RouteAbort::SelfKilled) => return RecoveryFlow::SelfKilled,
             Err(RouteAbort::PeersDied(dead)) => {
                 comm.metric_add(names::RECOVERY_EVENTS, 1);
                 comm.metric_add(names::RANKS_LOST, dead.len() as u64);
                 comm.remove_dead(&dead);
+                rounds += 1;
             }
         }
     }
 }
 
-/// The SPMD entry point every parallel algorithm shares: recovery loop
-/// around engine-driven attempts, each over a freshly derived
-/// [`RouteCtx`] and a fresh pipeline.
+/// Complete the route serially on the lowest surviving rank after the
+/// recovery policy gave up on the parallel pipeline. The fallback runs
+/// the serial pipeline over a solo-shaped context — rank 0's RNG stream
+/// (`derive_seed(cfg.seed, 0)`) is exactly the pure serial run's, so the
+/// degraded result is bit-identical to `route_serial` on the same
+/// circuit. Passes are entered with plain phase marks and metric-window
+/// rotation but *no* kill checkpoints: the schedule that forced the
+/// degradation must not be able to kill the fallback too.
+fn degraded_serial(circuit: &Circuit, cfg: &RouterConfig, comm: &mut Comm) -> RoutingResult {
+    let mut ctx = RouteCtx {
+        circuit,
+        cfg,
+        kind: PartitionKind::PinWeight,
+        rows: RowPartition::balanced(circuit, 1),
+        rng: rng_from_seed(derive_seed(cfg.seed, 0)),
+        size: 1,
+        rank: 0,
+    };
+    let mut pipe = crate::route::serial::SerialPipeline::default();
+    for &phase in <crate::route::serial::SerialPipeline as Pipeline>::PASSES {
+        comm.metric_window_open(phase);
+        comm.phase(phase.name());
+        pipe.pass(phase, &mut ctx, comm);
+    }
+    comm.metric_window_close();
+    pipe.take_result()
+        .expect("the serial pipeline always assembles a result")
+}
+
+/// The SPMD entry point every parallel algorithm shares: the bounded
+/// recovery loop around engine-driven attempts, each over a freshly
+/// derived [`RouteCtx`] and a fresh pipeline; the serial fallback when
+/// the loop gives up (stamping [`names::DEGRADED_SERIAL`] and the
+/// `degraded` stats flag downstream); and the automatic post-recovery
+/// self-check — any run that recovered or degraded re-verifies its
+/// result via [`crate::verify::check`] on the rank holding it, so every
+/// chaos schedule ends in a *verified* completed route.
 pub fn drive<P: Pipeline + Default>(
     circuit: &Circuit,
     cfg: &RouterConfig,
     kind: PartitionKind,
     comm: &mut Comm,
 ) -> Option<RoutingResult> {
-    with_recovery(comm, |comm| {
+    let flow = with_recovery(comm, cfg.recovery, |comm| {
         let mut ctx = RouteCtx::new(circuit, cfg, kind, comm);
         let mut pipe = P::default();
         run_attempt(&mut pipe, &mut ctx, comm)
-    })
+    });
+    let (result, recovered) = match flow {
+        RecoveryFlow::SelfKilled => return None,
+        RecoveryFlow::Completed { result, rounds } => (result, rounds > 0),
+        RecoveryFlow::Degraded { .. } => {
+            // Every survivor reached this decision from the same
+            // deterministic state; only the lowest logical rank routes,
+            // the rest hold no result and exit.
+            if comm.rank() != 0 {
+                return None;
+            }
+            comm.metric_add(names::DEGRADED_SERIAL, 1);
+            (Some(degraded_serial(circuit, cfg, comm)), true)
+        }
+    };
+    if recovered {
+        if let Some(result) = &result {
+            crate::verify::check(circuit, result, comm);
+        }
+    }
+    result
 }

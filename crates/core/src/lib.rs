@@ -38,7 +38,7 @@ pub mod route;
 pub mod verify;
 
 pub use config::RouterConfig;
-pub use engine::{Phase, Pipeline, RouteCtx};
+pub use engine::{Phase, Pipeline, RecoveryPolicy, RouteCtx};
 pub use metrics::RoutingResult;
 pub use parallel::partition::PartitionKind;
 pub use parallel::{route_parallel, route_parallel_instrumented, Algorithm, ParallelOutcome};

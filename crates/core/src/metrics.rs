@@ -56,6 +56,13 @@ pub mod names {
     pub const RECOVERY_EVENTS: &str = "parallel.recovery_events";
     /// Counter: dead ranks removed across those recovery rounds.
     pub const RANKS_LOST: &str = "parallel.ranks_lost";
+    /// Counter (the completing rank): the recovery policy's bounds were
+    /// breached and the run finished via the serial fallback pipeline.
+    pub const DEGRADED_SERIAL: &str = "parallel.degraded_serial";
+    /// Counter (the rank holding the result): violations found by the
+    /// automatic post-recovery [`crate::verify::check`]. Present (at 0)
+    /// whenever the check ran, so dumps prove verification happened.
+    pub const VERIFY_VIOLATIONS: &str = "verify.violations";
 }
 
 /// Record the solution-quality metrics of an assembled result into the

@@ -71,6 +71,11 @@ pub struct ParallelOutcome {
     pub traces: Vec<RankTrace>,
     /// Per-rank metric shards (empty unless metrics were enabled).
     pub metrics: Vec<RankMetrics>,
+    /// The run breached its [`crate::engine::RecoveryPolicy`] and was
+    /// completed by the serial fallback (derived from the
+    /// [`parallel.degraded_serial`](names::DEGRADED_SERIAL) counter, so
+    /// it is only observable when metrics were enabled).
+    pub degraded: bool,
 }
 
 /// Route `circuit` with `procs` ranks of `machine`, returning rank 0's
@@ -127,6 +132,9 @@ pub fn route_parallel_instrumented(
         .flatten()
         .next()
         .expect("the lowest surviving rank returns the assembled result");
+    let degraded = metrics
+        .iter()
+        .any(|m| m.counter(names::DEGRADED_SERIAL).unwrap_or(0) > 0);
     ParallelOutcome {
         result,
         time,
@@ -134,6 +142,7 @@ pub fn route_parallel_instrumented(
         fits_memory,
         traces,
         metrics,
+        degraded,
     }
 }
 

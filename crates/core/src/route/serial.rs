@@ -109,9 +109,11 @@ pub fn route_serial(circuit: &Circuit, cfg: &RouterConfig, comm: &mut Comm) -> R
     }
 }
 
-/// Pipeline state carried between the serial passes.
+/// Pipeline state carried between the serial passes. Crate-visible so
+/// the engine's bounded-recovery fallback ([`crate::engine::drive`]) can
+/// run the same pipeline to complete a degraded parallel run serially.
 #[derive(Default)]
-struct SerialPipeline {
+pub(crate) struct SerialPipeline {
     works: Vec<WorkNet>,
     segments: Vec<Segment>,
     orients: Vec<Orientation>,

@@ -9,6 +9,7 @@
 use crate::metrics::RoutingResult;
 use crate::route::switchable::ChannelState;
 use pgr_circuit::Circuit;
+use pgr_mpi::Comm;
 use std::fmt;
 
 /// A verification failure.
@@ -187,6 +188,36 @@ pub fn assert_verified(circuit: &Circuit, result: &RoutingResult) {
         }
         panic!("{msg}");
     }
+}
+
+/// The engine's post-recovery self-check: verify `result`, count the
+/// violations into [`names::VERIFY_VIOLATIONS`](crate::metrics::names)
+/// on `comm`'s metrics shard (added even at zero, so a dump carrying
+/// the counter proves the check ran), and fail loudly — with the same
+/// readable report as [`assert_verified`] — if any violation survives.
+/// Touches no virtual time: a verified recovery costs the same clock as
+/// an unverified one.
+pub fn check(circuit: &Circuit, result: &RoutingResult, comm: &mut Comm) -> usize {
+    let violations = verify(circuit, result);
+    comm.metric_add(
+        crate::metrics::names::VERIFY_VIOLATIONS,
+        violations.len() as u64,
+    );
+    if !violations.is_empty() {
+        let mut msg = format!(
+            "post-recovery verification of '{}' failed ({} violation(s)):\n",
+            result.circuit,
+            violations.len()
+        );
+        for v in violations.iter().take(20) {
+            msg.push_str(&format!("  - {v}\n"));
+        }
+        if violations.len() > 20 {
+            msg.push_str(&format!("  … and {} more\n", violations.len() - 20));
+        }
+        panic!("{msg}");
+    }
+    violations.len()
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@
 //!   a valid routing, and the recovery is counted in the metrics.
 
 use pgr_circuit::{generate, Circuit, GeneratorConfig};
+use pgr_mpi::Comm;
 use pgr_mpi::{
     stats_json, ChaosConfig, ChaosLayer, InstrumentConfig, MachineModel, MetricsConfig,
     ReliabilityConfig, RunMeta,
@@ -20,7 +21,8 @@ use pgr_mpi::{
 use pgr_router::metrics::names;
 use pgr_router::verify::assert_verified;
 use pgr_router::{
-    route_parallel_instrumented, Algorithm, ParallelOutcome, PartitionKind, RouterConfig,
+    route_parallel_instrumented, route_serial, Algorithm, ParallelOutcome, PartitionKind,
+    RecoveryPolicy, RouterConfig,
 };
 use std::sync::Arc;
 
@@ -86,6 +88,7 @@ fn emitted_stats(out: &ParallelOutcome, algo: Algorithm) -> String {
         machine: "sparc-center-1000".to_string(),
         scale: 1.0,
         seed: 9,
+        degraded: out.degraded,
     };
     stats_json(&out.stats, &MachineModel::sparc_center_1000(), &meta)
 }
@@ -126,6 +129,169 @@ fn message_chaos_with_reliability_is_invisible() {
     }
 }
 
+/// Like [`route`] but with an explicit recovery policy.
+fn route_with_policy(
+    circuit: &Circuit,
+    algo: Algorithm,
+    procs: usize,
+    instr: InstrumentConfig,
+    recovery: RecoveryPolicy,
+) -> ParallelOutcome {
+    route_parallel_instrumented(
+        circuit,
+        &RouterConfig {
+            recovery,
+            ..RouterConfig::with_seed(9)
+        },
+        algo,
+        PartitionKind::PinWeight,
+        procs,
+        MachineModel::sparc_center_1000(),
+        instr,
+    )
+}
+
+/// What the serial fallback must reproduce bit-for-bit: the pure serial
+/// run of the same circuit and seed.
+fn serial_reference(circuit: &Circuit) -> pgr_router::RoutingResult {
+    route_serial(
+        circuit,
+        &RouterConfig::with_seed(9),
+        &mut Comm::solo(MachineModel::sparc_center_1000()),
+    )
+}
+
+/// Shared assertions on a run that breached its recovery policy: the
+/// route completed via the serial fallback, the fallback's result is
+/// bit-identical to the pure serial run, the degraded flag reaches the
+/// stats schema, and the automatic self-check ran clean.
+fn assert_degraded_to_serial(c: &Circuit, out: &ParallelOutcome, name: &str) {
+    assert!(out.degraded, "{name}: outcome carries the degraded flag");
+    assert_eq!(
+        counter_sum(out, names::DEGRADED_SERIAL),
+        1,
+        "{name}: exactly one rank completes serially"
+    );
+    assert_eq!(
+        out.result,
+        serial_reference(c),
+        "{name}: fallback equals the pure serial run"
+    );
+    assert!(
+        out.metrics
+            .iter()
+            .any(|m| m.counter(names::VERIFY_VIOLATIONS).is_some()),
+        "{name}: the self-check ran"
+    );
+    assert_eq!(
+        counter_sum(out, names::VERIFY_VIOLATIONS),
+        0,
+        "{name}: the self-check found nothing"
+    );
+    assert!(
+        emitted_stats(out, Algorithm::Hybrid).contains("\"degraded\":true"),
+        "{name}: the degraded flag reaches stats.json"
+    );
+    assert_verified(c, &out.result);
+}
+
+/// A kill breaching the min-ranks floor stops the retry loop: the
+/// lowest surviving rank completes the route serially, stamps
+/// `parallel.degraded_serial`, and the result equals the pure serial
+/// run — verified automatically.
+#[test]
+fn breaching_min_ranks_floor_degrades_to_serial_fallback() {
+    let c = small("chaos-floor");
+    for algo in Algorithm::ALL {
+        let out = route_with_policy(
+            &c,
+            algo,
+            4,
+            kill_chaos(2, 1, true),
+            RecoveryPolicy {
+                max_rounds: 8,
+                min_ranks: 4,
+            },
+        );
+        assert_degraded_to_serial(&c, &out, algo.name());
+        assert_eq!(
+            counter_sum(&out, names::RECOVERY_EVENTS),
+            3,
+            "{}",
+            algo.name()
+        );
+    }
+}
+
+/// Exhausting the round budget degrades the same way, even with message
+/// chaos still raging underneath the kill.
+#[test]
+fn exhausting_max_rounds_degrades_to_serial_fallback() {
+    let c = small("chaos-budget");
+    let out = route_with_policy(
+        &c,
+        Algorithm::Hybrid,
+        4,
+        kill_chaos(3, 2, false),
+        RecoveryPolicy {
+            max_rounds: 1,
+            min_ranks: 1,
+        },
+    );
+    assert_degraded_to_serial(&c, &out, "hybrid");
+}
+
+/// The degraded path is as deterministic as everything else: same
+/// schedule, same policy → byte-identical outcome.
+#[test]
+fn serial_fallback_is_deterministic() {
+    let c = small("chaos-fallback-det");
+    let go = || {
+        route_with_policy(
+            &c,
+            Algorithm::RowWise,
+            4,
+            kill_chaos(1, 1, false),
+            RecoveryPolicy {
+                max_rounds: 1,
+                min_ranks: 1,
+            },
+        )
+    };
+    let a = go();
+    let b = go();
+    assert!(a.degraded && b.degraded);
+    assert_eq!(a.result, b.result);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(
+        emitted_stats(&a, Algorithm::RowWise),
+        emitted_stats(&b, Algorithm::RowWise)
+    );
+}
+
+/// The default policy never degrades on a survivable schedule, and a
+/// `min_ranks` floor that the survivors still satisfy keeps the
+/// parallel pipeline running.
+#[test]
+fn surviving_within_policy_bounds_stays_parallel() {
+    let c = small("chaos-within");
+    let out = route_with_policy(
+        &c,
+        Algorithm::Hybrid,
+        4,
+        kill_chaos(3, 1, true),
+        RecoveryPolicy {
+            max_rounds: 2,
+            min_ranks: 3,
+        },
+    );
+    assert!(!out.degraded, "3 survivors ≥ floor of 3");
+    assert_eq!(counter_sum(&out, names::DEGRADED_SERIAL), 0);
+    assert!(counter_sum(&out, names::RECOVERY_EVENTS) >= 1);
+    assert!(!emitted_stats(&out, Algorithm::Hybrid).contains("degraded"));
+    assert_verified(&c, &out.result);
+}
+
 #[test]
 fn one_rank_kill_completes_with_valid_routing_and_recovery_metrics() {
     let c = small("chaos-kill");
@@ -145,6 +311,14 @@ fn one_rank_kill_completes_with_valid_routing_and_recovery_metrics() {
             3, // one dead rank, counted by each of the 3 survivors
             "{name}: ranks-lost accounting"
         );
+        // Any recovered run re-verifies its result automatically.
+        assert!(
+            out.metrics
+                .iter()
+                .any(|m| m.counter(names::VERIFY_VIOLATIONS).is_some()),
+            "{name}: the post-recovery self-check ran"
+        );
+        assert_eq!(counter_sum(&out, names::VERIFY_VIOLATIONS), 0, "{name}");
     }
 }
 

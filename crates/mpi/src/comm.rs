@@ -38,13 +38,13 @@
 use crate::error::{CommError, PendingMsg, TransportSnapshot};
 use crate::failure::FailureDetector;
 use crate::fault::{
-    FaultAction, FaultLayer, MsgCtx, FAULTS_DELAYED, FAULTS_DROPPED, FAULTS_DUPLICATED,
-    FAULTS_REORDERED,
+    FaultAction, FaultLayer, MsgCtx, FAULTS_CORRUPTED, FAULTS_DELAYED, FAULTS_DROPPED,
+    FAULTS_DUPLICATED, FAULTS_REORDERED,
 };
 use crate::machine::MachineModel;
 use crate::reliable::{self, backoff_delay, Ingest, ReliabilityConfig, ReorderBuffer};
 use crate::trace::{RankTrace, TraceConfig, TraceEvent, TraceEventKind, TraceHub};
-use crate::wire::Wire;
+use crate::wire::{crc32, Wire};
 use pgr_obs::{MetricsConfig, MetricsShard, Phase, RankMetrics};
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -53,6 +53,15 @@ use std::time::Duration;
 
 /// Tags at or above this value are reserved for collectives.
 pub const COLLECTIVE_TAG_BASE: u32 = 0x8000_0000;
+
+/// SplitMix64 finalizer — the mixer the chaos layer's per-message
+/// decisions use; here it picks which payload bit a corruption fault
+/// flips, keeping the flip a pure function of the frame's identity.
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// How many pending-queue entries a [`CommError`] snapshot retains.
 const ERR_PENDING_CAP: usize = 64;
@@ -70,6 +79,10 @@ struct Envelope {
     seq: u64,
     /// Sender's clock at send time (after send overhead).
     stamp: f64,
+    /// CRC-32 the sender computed over the original payload; delivery
+    /// verifies it, so in-transit corruption is detected instead of
+    /// handed to the algorithm as valid data.
+    crc: u32,
     payload: Box<[u8]>,
 }
 
@@ -182,6 +195,11 @@ pub struct Comm {
     /// Per-source receive windows (reliable transport).
     rel_rx: Vec<ReorderBuffer<Envelope>>,
     rel_retry: RetryState,
+    /// A CRC failure detected while ingesting a frame (reliability
+    /// off). Held until the next receive call can surface it — frames
+    /// arrive outside any receive (drains, self-delivery), where there
+    /// is no caller to hand the error to.
+    corrupt_stash: Option<CommError>,
     /// Shared liveness table; present whenever a fault layer is
     /// attached.
     failure: Option<Arc<FailureDetector>>,
@@ -199,6 +217,11 @@ struct RetryState {
     retransmits: u64,
     last_backoff: f64,
     exhausted: u64,
+    /// Corrupt frames this rank saw: send-side interceptions (reliable
+    /// transport on) plus receive-side CRC rejections (off).
+    corrupt_seen: u64,
+    /// Corrupt frames healed by retransmission.
+    corrupt_dropped: u64,
 }
 
 /// Outcome of a phase boundary ([`Comm::phase_adv`]) under a fault
@@ -309,6 +332,7 @@ impl Comm {
             rel_holdback: vec![None],
             rel_rx: vec![ReorderBuffer::new()],
             rel_retry: RetryState::default(),
+            corrupt_stash: None,
             failure: None,
             kills_scheduled: false,
         }
@@ -603,6 +627,7 @@ impl Comm {
         let mut stamp = self.clock;
         let mut duplicate = false;
         let mut hold = false;
+        let mut corrupt_wire = false;
         if let Some(fault) = self.fault.clone() {
             let reliable_on = self.reliability.enabled;
             let mut ctx = MsgCtx {
@@ -673,16 +698,65 @@ impl Comm {
                         hold = true;
                         break;
                     }
+                    FaultAction::Corrupt => {
+                        self.metrics.add(FAULTS_CORRUPTED, 1);
+                        self.rel_retry.corrupt_seen += 1;
+                        if !reliable_on {
+                            // The flipped frame goes on the wire; the
+                            // receiver's CRC check rejects it.
+                            corrupt_wire = true;
+                            break;
+                        }
+                        // The checksum mismatch is caught before the
+                        // frame leaves the NIC — handled exactly like a
+                        // drop, so a retransmit heals it and corruption
+                        // schedules stay byte-invisible.
+                        self.rel_retry.corrupt_dropped += 1;
+                        self.metrics.add(reliable::CORRUPT_DROPPED, 1);
+                        ctx.attempt += 1;
+                        if ctx.attempt >= self.reliability.max_attempts {
+                            self.rel_retry.exhausted += 1;
+                            self.metrics.add(reliable::RETRANSMIT_EXHAUSTED, 1);
+                            break;
+                        }
+                        let wait = backoff_delay(&self.reliability, ctx.attempt);
+                        self.rel_retry.retransmits += 1;
+                        self.rel_retry.last_backoff = wait;
+                        self.metrics.add(reliable::RETRANSMITS, 1);
+                        self.metrics
+                            .observe(reliable::BACKOFF_MICROS, (wait * 1e6) as u64);
+                    }
                 }
             }
         }
         let seq = self.rel_next_seq[dst];
         self.rel_next_seq[dst] += 1;
+        // The checksum is always over the *original* payload: a wire
+        // flip after it (below) is exactly what delivery detects.
+        let crc = crc32(&payload);
+        let mut payload = payload;
+        let mut crc_field = crc;
+        if corrupt_wire {
+            if payload.is_empty() {
+                // Nothing to flip in an empty payload; corrupt the
+                // checksum field itself instead.
+                crc_field ^= 1;
+            } else {
+                // Deterministic bit choice: a pure function of the
+                // frame's identity, so corruption schedules reproduce.
+                let bit = splitmix64(
+                    (self.rank as u64) << 48 ^ (dst as u64) << 32 ^ (tag as u64) << 16 ^ seq,
+                ) as usize
+                    % (payload.len() * 8);
+                payload[bit / 8] ^= 1 << (bit % 8);
+            }
+        }
         let env = Envelope {
             src: self.rank as u32,
             tag,
             seq,
             stamp,
+            crc: crc_field,
             payload: payload.into_boxed_slice(),
         };
         if duplicate {
@@ -691,6 +765,7 @@ impl Comm {
                 tag,
                 seq,
                 stamp,
+                crc: env.crc,
                 payload: env.payload.clone(),
             };
             self.transmit(dst, copy);
@@ -748,10 +823,30 @@ impl Comm {
         }
     }
 
-    /// Run one arriving frame through the reliable receive window (when
-    /// enabled) into the pending queues.
+    /// Run one arriving frame through the CRC integrity check and the
+    /// reliable receive window (when enabled) into the pending queues.
+    /// A frame failing its checksum is discarded — the wrong payload is
+    /// never delivered — and the failure is stashed for the next
+    /// receive call to surface as [`CommError::Corrupt`].
     fn ingest_frame(&mut self, env: Envelope) {
         let src = env.src as usize;
+        let got = crc32(&env.payload);
+        if got != env.crc {
+            // Only reachable with reliability off: the reliable sender
+            // intercepts corruption before transmitting. Keep the first
+            // failure if several frames arrive corrupt.
+            self.rel_retry.corrupt_seen += 1;
+            if self.corrupt_stash.is_none() {
+                self.corrupt_stash = Some(CommError::Corrupt {
+                    src,
+                    dst: self.rank,
+                    tag: env.tag,
+                    expected: env.crc,
+                    got,
+                });
+            }
+            return;
+        }
         if !self.reliability.enabled {
             self.pending[src].push_back(env);
             return;
@@ -814,6 +909,12 @@ impl Comm {
         if self.fault.is_some() {
             self.flush_holdbacks();
         }
+        // A corrupt frame may have been detected outside any receive
+        // (self-delivery, drain): surface it now, before anything else —
+        // data loss outranks whatever else this call would have found.
+        if let Some(err) = self.corrupt_stash.take() {
+            return Err(err);
+        }
         // Check already-buffered messages from src first.
         if let Some(env) = self.take_pending(src, tag) {
             return Ok(self.accept(env));
@@ -841,6 +942,9 @@ impl Comm {
             // dying) first, then report the death.
             if poll.is_some() && self.failure.as_ref().is_some_and(|d| !d.is_alive(src)) {
                 self.drain_rx();
+                if let Some(err) = self.corrupt_stash.take() {
+                    return Err(err);
+                }
                 if let Some(env) = self.take_pending(src, tag) {
                     return Ok(self.accept(env));
                 }
@@ -882,6 +986,9 @@ impl Comm {
                 },
             };
             self.ingest_frame(env);
+            if let Some(err) = self.corrupt_stash.take() {
+                return Err(err);
+            }
             // Progress resets the watchdog (it guards against a silent
             // stall, not total elapsed time).
             waited = Duration::ZERO;
@@ -922,16 +1029,21 @@ impl Comm {
         }
     }
 
-    /// Reliable-transport state for diagnostics; `None` when the
-    /// transport is off.
+    /// Transport state for diagnostics; `None` when there is nothing to
+    /// report (reliability off and no fault layer attached — with a
+    /// layer attached the corruption counters are meaningful even
+    /// without the reliable transport, and distinguish a
+    /// corruption-induced stall from a drop-induced one).
     fn transport_snapshot(&self) -> Option<Box<TransportSnapshot>> {
-        if !self.reliability.enabled {
+        if !self.reliability.enabled && self.fault.is_none() {
             return None;
         }
         Some(Box::new(TransportSnapshot {
             retransmits: self.rel_retry.retransmits,
             last_backoff: self.rel_retry.last_backoff,
             exhausted: self.rel_retry.exhausted,
+            corrupt_seen: self.rel_retry.corrupt_seen,
+            corrupt_dropped: self.rel_retry.corrupt_dropped,
             reorder: self
                 .rel_rx
                 .iter()
@@ -954,7 +1066,10 @@ impl Comm {
 
     /// Blocking receive of the next message from `src` with `tag`.
     /// Returns the payload; panics with the full [`CommError`] diagnosis
-    /// on a pattern that can never complete.
+    /// on a pattern that can never complete, a dead peer, or a corrupt
+    /// frame. Callers that want to *handle* those (rather than die with
+    /// the diagnosis) use [`Comm::try_recv_bytes`], which returns the
+    /// same structured error.
     pub fn recv_bytes(&mut self, src: usize, tag: u32) -> Vec<u8> {
         self.try_recv_bytes(src, tag)
             .unwrap_or_else(|e| panic!("{e}"))
@@ -995,9 +1110,20 @@ impl Comm {
     }
 
     /// Blocking typed receive. Panics on a decode failure (a type mismatch
-    /// between sender and receiver is a programming error, not input).
+    /// between sender and receiver is a programming error, not input) and
+    /// on any [`CommError`] — always with the structured diagnosis, never
+    /// a bare message. Use [`Comm::try_recv`] to handle the error instead.
     pub fn recv<T: Wire>(&mut self, src: usize, tag: u32) -> T {
         self.try_recv(src, tag).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Collective-internal receive: like [`Comm::recv`] but the panic
+    /// names the collective whose internal exchange failed, so a corrupt
+    /// frame or dead peer inside e.g. an `allgather` is attributed to
+    /// the operation the caller actually invoked.
+    fn coll_recv<T: Wire>(&mut self, op: &'static str, src: usize, tag: u32) -> T {
+        self.try_recv(src, tag)
+            .unwrap_or_else(|e| panic!("collective {op} failed: {e}"))
     }
 
     // ----- collectives -----
@@ -1056,7 +1182,7 @@ impl Comm {
                 }
             } else if rel < 2 * step {
                 let src = (rel - step + root) % size;
-                value = Some(self.recv(src, tag));
+                value = Some(self.coll_recv("bcast", src, tag));
             }
             step <<= 1;
         }
@@ -1097,7 +1223,7 @@ impl Comm {
             }
             if rel + step < size {
                 let src = (rel + step + root) % size;
-                let other: T = self.recv(src, tag);
+                let other: T = self.coll_recv("reduce", src, tag);
                 acc = op(acc, other);
             }
             step <<= 1;
@@ -1128,7 +1254,7 @@ impl Comm {
                 if src == root {
                     out.push(T::from_bytes(&value.to_bytes()).expect("self roundtrip"));
                 } else {
-                    out.push(self.recv(src, tag));
+                    out.push(self.coll_recv("gather", src, tag));
                 }
             }
             Some(out)
@@ -1150,7 +1276,7 @@ impl Comm {
                     if src == 0 {
                         out.push(T::from_bytes(&value.to_bytes()).expect("self roundtrip"));
                     } else {
-                        out.push(self.recv(src, tag));
+                        out.push(self.coll_recv("allgather", src, tag));
                     }
                 }
                 Some(out)
@@ -1182,7 +1308,7 @@ impl Comm {
             }
             own.expect("root keeps its own slice")
         } else {
-            self.recv(root, tag)
+            self.coll_recv("scatter", root, tag)
         }
     }
 
@@ -1208,7 +1334,7 @@ impl Comm {
             if src == rank {
                 out.push(std::mem::take(&mut own));
             } else {
-                out.push(self.recv(src, tag));
+                out.push(self.coll_recv("alltoall", src, tag));
             }
         }
         out
@@ -1350,6 +1476,7 @@ where
             rel_holdback: (0..size).map(|_| None).collect(),
             rel_rx: (0..size).map(|_| ReorderBuffer::new()).collect(),
             rel_retry: RetryState::default(),
+            corrupt_stash: None,
             failure: failure.clone(),
             kills_scheduled,
         })

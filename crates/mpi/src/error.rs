@@ -38,6 +38,11 @@ pub struct TransportSnapshot {
     pub last_backoff: f64,
     /// Frames force-delivered after exhausting the retry budget.
     pub exhausted: u64,
+    /// Corrupt frames this rank has seen (send-side interceptions plus
+    /// receive-side CRC rejections).
+    pub corrupt_seen: u64,
+    /// Corrupt frames healed by retransmission (reliability on).
+    pub corrupt_dropped: u64,
     /// Non-empty reorder buffers: `(src, parked frames, next expected seq)`.
     pub reorder: Vec<(usize, usize, u64)>,
 }
@@ -49,6 +54,13 @@ impl fmt::Display for TransportSnapshot {
             "reliable transport: {} retransmit(s), last backoff {:.6}s, {} exhausted",
             self.retransmits, self.last_backoff, self.exhausted
         )?;
+        if self.corrupt_seen > 0 || self.corrupt_dropped > 0 {
+            write!(
+                f,
+                ", {} corrupt frame(s) seen ({} healed by retransmit)",
+                self.corrupt_seen, self.corrupt_dropped
+            )?;
+        }
         if self.reorder.is_empty() {
             write!(f, "; all reorder buffers in sequence")
         } else {
@@ -117,6 +129,22 @@ pub enum CommError {
         /// Phase-boundary count the victim died at.
         boundary: u64,
     },
+    /// A received frame failed its CRC-32 integrity check — the payload
+    /// was corrupted in transit. Only reachable with the reliable
+    /// transport off (with it on, corruption is intercepted at the
+    /// sender and healed by retransmission); the wrong payload is never
+    /// delivered either way.
+    Corrupt {
+        /// Sending rank (physical id, as stamped in the frame).
+        src: usize,
+        /// Receiving (detecting) rank.
+        dst: usize,
+        tag: u32,
+        /// CRC-32 the sender computed over the original payload.
+        expected: u32,
+        /// CRC-32 of the bytes that actually arrived.
+        got: u32,
+    },
     /// A received payload did not decode as the expected type.
     Decode {
         rank: usize,
@@ -143,6 +171,8 @@ impl CommError {
             | CommError::Decode { rank, .. }
             | CommError::PeerGone { rank, .. }
             | CommError::RankDead { rank, .. } => *rank,
+            // The receiver detects the corruption.
+            CommError::Corrupt { dst, .. } => *dst,
         }
     }
 
@@ -258,6 +288,20 @@ impl fmt::Display for CommError {
                      \"{phase}\" at boundary {boundary})"
                 )
             }
+            CommError::Corrupt {
+                src,
+                dst,
+                tag,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "rank {dst}: frame from src={src} tag={tag} failed its CRC-32 integrity \
+                     check (expected {expected:#010x}, got {got:#010x}) — payload corrupted \
+                     in transit and discarded"
+                )
+            }
             CommError::Decode {
                 rank,
                 src,
@@ -350,6 +394,8 @@ mod tests {
                 retransmits: 3,
                 last_backoff: 0.004,
                 exhausted: 0,
+                corrupt_seen: 0,
+                corrupt_dropped: 0,
                 reorder: vec![(2, 1, 7)],
             })),
         };
@@ -357,6 +403,46 @@ mod tests {
         assert!(s.contains("3 retransmit(s)"), "{s}");
         assert!(s.contains("0.004000s"), "{s}");
         assert!(s.contains("src=2 holds 1 frame(s) awaiting seq 7"), "{s}");
+        assert!(
+            !s.contains("corrupt frame(s)"),
+            "corruption line omitted when no corruption was seen: {s}"
+        );
+    }
+
+    #[test]
+    fn transport_snapshot_reports_corruption_counters() {
+        let t = TransportSnapshot {
+            retransmits: 5,
+            last_backoff: 0.002,
+            exhausted: 0,
+            corrupt_seen: 4,
+            corrupt_dropped: 3,
+            reorder: vec![],
+        };
+        let s = t.to_string();
+        assert!(
+            s.contains("4 corrupt frame(s) seen (3 healed by retransmit)"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn corrupt_display_names_edge_and_checksums() {
+        let e = CommError::Corrupt {
+            src: 2,
+            dst: 0,
+            tag: 9,
+            expected: 0xCBF4_3926,
+            got: 0x0000_00FF,
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 0"), "{s}");
+        assert!(s.contains("src=2"), "{s}");
+        assert!(s.contains("tag=9"), "{s}");
+        assert!(s.contains("0xcbf43926"), "{s}");
+        assert!(s.contains("0x000000ff"), "{s}");
+        assert_eq!(e.rank(), 0, "the receiver detects the corruption");
+        assert!(e.pending().is_empty());
     }
 
     #[test]

@@ -43,6 +43,12 @@ pub const FAULTS_DELAYED: &str = "mpi.fault.delayed";
 pub const FAULTS_REORDERED: &str = "mpi.fault.reordered";
 /// Metric name: messages a fault layer duplicated on this rank.
 pub const FAULTS_DUPLICATED: &str = "mpi.fault.duplicated";
+/// Metric name: messages a fault layer corrupted (bit-flipped) on this
+/// rank. With reliability on the corrupt frame is never transmitted
+/// (the retransmit path resends it clean); with reliability off the
+/// flipped frame goes on the wire and the receiver's CRC check rejects
+/// it with [`CommError::Corrupt`](crate::error::CommError).
+pub const FAULTS_CORRUPTED: &str = "mpi.fault.corrupted";
 /// Metric name: frames abandoned because the destination had already
 /// exited. Only possible under chaos: a redundant copy (duplicate,
 /// retransmit) racing the receiver's completion, or a send racing a
@@ -88,6 +94,14 @@ pub enum FaultAction {
     Reorder,
     /// Deliver two copies. The reliable transport suppresses the second.
     Duplicate,
+    /// Flip one payload bit in transit. With the reliable transport on,
+    /// the corruption is detected before the frame leaves the sender and
+    /// handled exactly like [`FaultAction::Drop`] (a counted retransmit
+    /// heals it); with reliability off the flipped frame is transmitted
+    /// and the receiver's CRC-32 check surfaces
+    /// [`CommError::Corrupt`](crate::error::CommError) instead of ever
+    /// delivering the wrong payload.
+    Corrupt,
 }
 
 /// A message-level fault model. Implementations must be deterministic
@@ -199,6 +213,24 @@ impl FaultLayer for DuplicateMatching {
     }
 }
 
+/// Corrupt (bit-flip) every message matching `(src, dst, tag)`.
+#[derive(Debug, Clone, Default)]
+pub struct CorruptMatching {
+    pub src: Option<usize>,
+    pub dst: Option<usize>,
+    pub tag: Option<u32>,
+}
+
+impl FaultLayer for CorruptMatching {
+    fn on_send(&self, ctx: &MsgCtx) -> FaultAction {
+        if hits(ctx, self.src, self.dst, self.tag) {
+            FaultAction::Corrupt
+        } else {
+            FaultAction::Deliver
+        }
+    }
+}
+
 /// A randomized fault schedule for chaos testing.
 ///
 /// Per-message probabilities must sum to at most 1; the remainder is
@@ -219,14 +251,16 @@ pub struct ChaosConfig {
     pub delay: f64,
     /// Virtual seconds of injected delay.
     pub delay_secs: f64,
+    /// Probability a message is corrupted (one payload bit flipped).
+    pub corrupt: f64,
     /// Rank-death schedule: `(rank, phase boundary index)`.
     pub kills: Vec<(usize, u64)>,
 }
 
 impl ChaosConfig {
-    /// A schedule that exercises all four message faults but kills
-    /// nobody — the "non-lossy at the algorithm level" schedule the
-    /// chaos harness compares byte-for-byte against clean runs.
+    /// A schedule that exercises the four original message faults but
+    /// kills nobody — the "non-lossy at the algorithm level" schedule
+    /// the chaos harness compares byte-for-byte against clean runs.
     pub fn messages_only(seed: u64) -> Self {
         ChaosConfig {
             seed,
@@ -235,7 +269,18 @@ impl ChaosConfig {
             duplicate: 0.02,
             delay: 0.03,
             delay_secs: 1e-4,
+            corrupt: 0.0,
             kills: Vec::new(),
+        }
+    }
+
+    /// [`ChaosConfig::messages_only`] plus seeded bit-flip corruption —
+    /// all five message faults active, still no kills. With the
+    /// reliable transport on this schedule is byte-invisible too.
+    pub fn messages_with_corruption(seed: u64) -> Self {
+        ChaosConfig {
+            corrupt: 0.03,
+            ..ChaosConfig::messages_only(seed)
         }
     }
 }
@@ -255,7 +300,7 @@ pub struct ChaosLayer {
 
 impl ChaosLayer {
     pub fn new(cfg: ChaosConfig) -> Self {
-        let budget = cfg.drop + cfg.reorder + cfg.duplicate + cfg.delay;
+        let budget = cfg.drop + cfg.reorder + cfg.duplicate + cfg.delay + cfg.corrupt;
         assert!(
             (0.0..=1.0).contains(&budget),
             "fault probabilities must sum to [0, 1], got {budget}"
@@ -304,6 +349,10 @@ impl FaultLayer for ChaosLayer {
         edge += c.delay;
         if u < edge {
             return FaultAction::Delay(c.delay_secs);
+        }
+        edge += c.corrupt;
+        if u < edge {
+            return FaultAction::Corrupt;
         }
         FaultAction::Deliver
     }
@@ -392,11 +441,12 @@ mod tests {
     fn chaos_is_deterministic_and_attempt_sensitive() {
         let layer = ChaosLayer::new(ChaosConfig {
             seed: 42,
-            drop: 0.25,
-            reorder: 0.25,
-            duplicate: 0.25,
-            delay: 0.25,
+            drop: 0.20,
+            reorder: 0.20,
+            duplicate: 0.20,
+            delay: 0.20,
             delay_secs: 1.0,
+            corrupt: 0.20,
             kills: vec![(2, 3), (2, 1), (0, 7)],
         });
         let mk = |seq, attempt| MsgCtx {
@@ -434,6 +484,7 @@ mod tests {
             duplicate: 0.0,
             delay: 0.0,
             delay_secs: 0.0,
+            corrupt: 0.0,
             kills: Vec::new(),
         });
         let n = 4096;
@@ -451,5 +502,60 @@ mod tests {
             .count();
         let frac = drops as f64 / n as f64;
         assert!((0.4..0.6).contains(&frac), "drop fraction {frac}");
+    }
+
+    #[test]
+    fn corrupt_matching_wildcards() {
+        let c = ctx();
+        assert_eq!(CorruptMatching::default().on_send(&c), FaultAction::Corrupt);
+        let miss = CorruptMatching {
+            src: Some(9),
+            ..Default::default()
+        };
+        assert_eq!(miss.on_send(&c), FaultAction::Deliver);
+        let edge = CorruptMatching {
+            src: Some(1),
+            dst: Some(0),
+            tag: Some(7),
+        };
+        assert_eq!(edge.on_send(&c), FaultAction::Corrupt);
+    }
+
+    #[test]
+    fn chaos_corruption_is_seeded_and_roughly_holds() {
+        let layer = ChaosLayer::new(ChaosConfig {
+            corrupt: 0.5,
+            drop: 0.0,
+            reorder: 0.0,
+            duplicate: 0.0,
+            delay: 0.0,
+            ..ChaosConfig::messages_with_corruption(11)
+        });
+        let mk = |seq| MsgCtx {
+            src: 0,
+            dst: 1,
+            tag: 0,
+            bytes: 32,
+            seq,
+            attempt: 0,
+        };
+        let n = 4096u64;
+        let hits = (0..n)
+            .filter(|&s| layer.on_send(&mk(s)) == FaultAction::Corrupt)
+            .count();
+        let frac = hits as f64 / n as f64;
+        assert!((0.4..0.6).contains(&frac), "corrupt fraction {frac}");
+        for seq in 0..64 {
+            assert_eq!(layer.on_send(&mk(seq)), layer.on_send(&mk(seq)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fault probabilities must sum to [0, 1]")]
+    fn corruption_counts_against_the_probability_budget() {
+        ChaosLayer::new(ChaosConfig {
+            corrupt: 0.95,
+            ..ChaosConfig::messages_only(1)
+        });
     }
 }

@@ -55,6 +55,10 @@ pub const ACKS: &str = "mpi.reliable.acks";
 pub const BACKOFF_MICROS: &str = "mpi.reliable.backoff_us";
 /// Metric name: injected delays masked by the protocol.
 pub const MASKED_DELAYS: &str = "mpi.reliable.masked_delays";
+/// Metric name: corrupt frames intercepted at the sender and healed by
+/// retransmission — a corruption fault handled exactly like a drop, so
+/// corruption schedules stay byte-invisible to the algorithms.
+pub const CORRUPT_DROPPED: &str = "mpi.reliable.corrupt_dropped";
 
 /// Switches and tuning for the reliable transport. Off by default:
 /// PR 2 fault semantics (visible drops/delays) are preserved unless a

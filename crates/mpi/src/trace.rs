@@ -437,6 +437,7 @@ mod tests {
             machine: "ideal".into(),
             scale: 1.0,
             seed: 7,
+            degraded: false,
         };
         let json = stats_json(&stats, &MachineModel::ideal(), &run);
         assert!(json.contains(&format!("\"schema_version\":{SCHEMA_VERSION}")));

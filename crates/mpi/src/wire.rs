@@ -38,6 +38,39 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// Reflected CRC-32 (IEEE 802.3, polynomial 0xEDB88320) lookup table,
+/// built at compile time so frame checksumming needs no lazy init.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data`. Every frame the transport sends carries this
+/// checksum over its payload; delivery verifies it, so a flipped bit in
+/// transit is detected instead of silently handed to the algorithm.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
 /// Cursor over a received byte buffer.
 pub struct Reader<'a> {
     buf: &'a [u8],
@@ -335,5 +368,27 @@ mod tests {
     fn encoding_is_deterministic() {
         let v = (vec![1u32, 2, 3], Some(String::from("abc")));
         assert_eq!(v.to_bytes(), v.to_bytes());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The IEEE 802.3 check value plus the empty-input identity.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let payload: Vec<u8> = (0u16..512).map(|i| (i % 251) as u8).collect();
+        let clean = crc32(&payload);
+        for bit in [0usize, 7, 1000, 4095] {
+            let mut flipped = payload.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc32(&flipped), clean, "bit {bit} flip went undetected");
+        }
     }
 }

@@ -10,8 +10,8 @@
 //! deterministically.
 
 use pgr_mpi::fault::{
-    DropMatching, DuplicateMatching, FAULTS_DELAYED, FAULTS_DROPPED, FAULTS_DUPLICATED,
-    FAULTS_REORDERED,
+    DropMatching, DuplicateMatching, FAULTS_CORRUPTED, FAULTS_DELAYED, FAULTS_DROPPED,
+    FAULTS_DUPLICATED, FAULTS_REORDERED,
 };
 use pgr_mpi::{
     reliable, run, run_instrumented, ChaosConfig, ChaosLayer, Comm, CommError, FaultAction,
@@ -85,6 +85,107 @@ fn non_lossy_chaos_is_bit_identical_to_clean_run() {
             "seed {seed}: every drop retransmits"
         );
     }
+}
+
+/// With reliability on, seeded corruption schedules are byte-invisible
+/// exactly like drop schedules: the corrupted attempt never reaches the
+/// wire, retransmission heals it, and the only evidence is the
+/// `mpi.reliable.corrupt_dropped` / `mpi.fault.corrupted` counters.
+#[test]
+fn corruption_chaos_is_bit_identical_with_reliability() {
+    let machine = MachineModel::sparc_center_1000();
+    let clean = run(4, machine, busy_body);
+    for seed in [2u64, 13, 77, 2026] {
+        let instr = InstrumentConfig {
+            metrics: MetricsConfig::on(),
+            fault: Some(Arc::new(ChaosLayer::new(
+                ChaosConfig::messages_with_corruption(seed),
+            ))),
+            reliability: ReliabilityConfig::on(),
+            ..InstrumentConfig::off()
+        };
+        let (chaos, _, metrics) = run_instrumented(4, machine, instr, busy_body);
+        assert_eq!(clean.results, chaos.results, "seed {seed}: results differ");
+        assert_eq!(clean.stats, chaos.stats, "seed {seed}: stats differ");
+        assert_eq!(clean.makespan(), chaos.makespan(), "seed {seed}");
+        let corrupted = fault_count(&metrics, FAULTS_CORRUPTED);
+        assert!(corrupted > 0, "seed {seed}: no corruption was injected");
+        assert_eq!(
+            fault_count(&metrics, reliable::CORRUPT_DROPPED),
+            corrupted,
+            "seed {seed}: every corrupt frame is a counted drop"
+        );
+    }
+}
+
+/// Without reliability a corrupted frame fails its CRC at delivery and
+/// surfaces as a structured `CommError::Corrupt` naming the edge and
+/// both checksums — the mangled payload is never delivered, and the
+/// rest of the stream keeps flowing. The injected bit flip is a pure
+/// function of the seed/edge, so the observed checksum mismatch is
+/// reproducible run over run.
+#[test]
+fn raw_corruption_surfaces_crc_error_never_a_wrong_payload() {
+    let corrupt_fourth = |ctx: &MsgCtx| {
+        if ctx.tag == DATA && ctx.seq == 3 {
+            FaultAction::Corrupt
+        } else {
+            FaultAction::Deliver
+        }
+    };
+    let run_once = || {
+        let instr = InstrumentConfig {
+            metrics: MetricsConfig::on(),
+            fault: Some(Arc::new(corrupt_fourth)),
+            ..InstrumentConfig::off()
+        };
+        run_instrumented(2, MachineModel::ideal(), instr, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..8u64 {
+                    comm.send(1, DATA, &(1000 + i));
+                }
+                return (Vec::new(), 0);
+            }
+            let mut got = Vec::new();
+            let mut crc_got = 0u32;
+            for i in 0..8u64 {
+                match comm.try_recv::<u64>(0, DATA) {
+                    Ok(v) => got.push(v),
+                    Err(CommError::Corrupt {
+                        src,
+                        dst,
+                        tag,
+                        expected,
+                        got,
+                    }) => {
+                        assert_eq!((src, dst, tag), (0, 1, DATA), "edge attribution");
+                        assert_ne!(expected, got, "checksums must differ");
+                        assert_eq!(i, 3, "exactly the corrupted frame errors");
+                        crc_got = got;
+                    }
+                    Err(other) => panic!("expected Corrupt, got {other}"),
+                }
+            }
+            (got, crc_got)
+        })
+    };
+    let (a, _, metrics) = run_once();
+    let (got, crc_a) = &a.results[1];
+    assert_eq!(
+        *got,
+        vec![1000, 1001, 1002, 1004, 1005, 1006, 1007],
+        "clean frames deliver in order; the corrupt one is discarded"
+    );
+    assert_eq!(
+        metrics[0].counter(FAULTS_CORRUPTED),
+        Some(1),
+        "sender counted the injection"
+    );
+    let (b, _, _) = run_once();
+    assert_eq!(
+        *crc_a, b.results[1].1,
+        "the bit flip is a pure function of the edge"
+    );
 }
 
 /// Without the reliability layer, a reorder injection is visible (same
@@ -291,6 +392,51 @@ fn watchdog_stall_reports_retry_and_backoff_state() {
                     assert_eq!(t.retransmits, 1, "{msg}");
                     assert!(t.last_backoff > 0.0, "{msg}");
                     assert!(msg.contains("retransmit(s)"), "{msg}");
+                    true
+                }
+                other => panic!("expected Stalled, got {other}"),
+            }
+        } else {
+            let _: u8 = comm.recv(0, PING);
+            let _: u8 = comm.recv(0, RELEASE);
+            true
+        }
+    });
+    assert!(report.results.iter().all(|&ok| ok));
+}
+
+/// Satellite: a stall after a corruption repair reports the corruption
+/// counters in the `Stalled` transport snapshot alongside the retry
+/// state, so a hung run shows how much integrity trouble preceded it.
+#[test]
+fn watchdog_stall_reports_corruption_counters() {
+    let corrupt_first_ping = |ctx: &MsgCtx| {
+        if ctx.tag == PING && ctx.attempt == 0 {
+            FaultAction::Corrupt
+        } else {
+            FaultAction::Deliver
+        }
+    };
+    let instr = InstrumentConfig {
+        trace: TraceConfig::with_watchdog(Duration::from_millis(200)),
+        metrics: MetricsConfig::on(),
+        fault: Some(Arc::new(corrupt_first_ping)),
+        reliability: ReliabilityConfig::on(),
+    };
+    let (report, _, _) = run_instrumented(2, MachineModel::ideal(), instr, |comm| {
+        if comm.rank() == 0 {
+            comm.send(1, PING, &1u8);
+            let err = comm
+                .try_recv_bytes(1, NEVER)
+                .expect_err("nobody sends NEVER");
+            comm.send(1, RELEASE, &1u8);
+            let msg = err.to_string();
+            match err {
+                CommError::Stalled { transport, .. } => {
+                    let t = transport.expect("reliability on ⇒ snapshot present");
+                    assert_eq!(t.corrupt_seen, 1, "{msg}");
+                    assert_eq!(t.corrupt_dropped, 1, "{msg}");
+                    assert!(msg.contains("corrupt frame(s) seen"), "{msg}");
                     true
                 }
                 other => panic!("expected Stalled, got {other}"),

@@ -57,19 +57,24 @@ pub struct RunMeta {
     /// Circuit scale relative to the paper's full sizes.
     pub scale: f64,
     pub seed: u64,
+    /// The run breached its recovery policy and was completed by the
+    /// serial fallback pipeline. Emitted only when `true`, so fault-free
+    /// dumps are byte-identical to those of writers predating the flag.
+    pub degraded: bool,
 }
 
 impl RunMeta {
     /// The `"run":{…}` JSON fragment shared by every emitter.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"circuit\":\"{}\",\"algorithm\":\"{}\",\"procs\":{},\"machine\":\"{}\",\"scale\":{},\"seed\":{}}}",
+            "{{\"circuit\":\"{}\",\"algorithm\":\"{}\",\"procs\":{},\"machine\":\"{}\",\"scale\":{},\"seed\":{}{}}}",
             json_escape(&self.circuit),
             json_escape(&self.algorithm),
             self.procs,
             json_escape(&self.machine),
             json_f64(self.scale),
-            self.seed
+            self.seed,
+            if self.degraded { ",\"degraded\":true" } else { "" }
         )
     }
 }
@@ -155,7 +160,22 @@ mod tests {
             machine: "SparcCenter 1000".into(),
             scale: 0.25,
             seed: 1997,
+            degraded: false,
         }
+    }
+
+    #[test]
+    fn degraded_flag_is_emitted_only_when_set() {
+        let clean = meta();
+        assert!(!clean.to_json().contains("degraded"));
+        let mut fallen = meta();
+        fallen.degraded = true;
+        let doc = metrics_json(&fallen, &[]);
+        let v = Json::parse(&doc).expect("degraded output parses");
+        assert_eq!(
+            v.get("run").unwrap().get("degraded").unwrap().as_bool(),
+            Some(true)
+        );
     }
 
     #[test]
