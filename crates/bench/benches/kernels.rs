@@ -56,6 +56,48 @@ fn bench_profile(h: &mut Harness) {
                 black_box(p.max_if_added(lo, (lo + 60).min(width as i64 - 1)))
             })
         });
+        h.bench(&format!("density_profile/counts_into/{width}"), |b| {
+            let mut p = DensityProfile::new(width);
+            let mut rng = rng_from_seed(9);
+            for _ in 0..200 {
+                let lo = rng.gen_range(0..width as i64);
+                p.add_span(lo, (lo + 40).min(width as i64 - 1), 1);
+            }
+            let mut out = vec![0i64; width];
+            b.iter(|| {
+                p.counts_into(&mut out);
+                black_box(out[width / 2])
+            })
+        });
+    }
+}
+
+fn bench_coarse_eval(h: &mut Harness) {
+    use pgr_circuit::NetId;
+    use pgr_mpi::{Comm, MachineModel};
+    use pgr_router::route::coarse::CoarseState;
+    use pgr_router::route::state::{Node, Segment};
+    use pgr_router::RouterConfig;
+
+    for &n in &[64usize, 512] {
+        let mut rng = rng_from_seed(0xC0A5);
+        let segs: Vec<Segment> = (0..n)
+            .map(|i| {
+                let r1 = rng.gen_range(0..8u32);
+                let r2 = rng.gen_range(0..8u32);
+                let a = Node::fake(rng.gen_range(0..600i64), r1);
+                let b = Node::fake(rng.gen_range(0..600i64), r2);
+                Segment::new(NetId(i as u32), a, b)
+            })
+            .collect();
+        let order: Vec<u32> = (0..segs.len() as u32).collect();
+        let cfg = RouterConfig::default();
+        h.bench(&format!("coarse_eval/improve_slice/{n}"), |b| {
+            let mut comm = Comm::solo(MachineModel::ideal());
+            let mut st = CoarseState::new(0, 9, 640, 8);
+            let mut orients = st.init_random(&segs, &mut rng_from_seed(7), &mut comm);
+            b.iter(|| black_box(st.improve_slice(&segs, &mut orients, &order, &cfg, &mut comm)))
+        });
     }
 }
 
@@ -115,6 +157,7 @@ fn main() {
     let mut h = Harness::from_args();
     bench_mst(&mut h);
     bench_profile(&mut h);
+    bench_coarse_eval(&mut h);
     bench_unionfind(&mut h);
     bench_wire(&mut h);
     bench_channel_router(&mut h);

@@ -95,6 +95,13 @@ fn parse_run_meta(v: &Json, path: &Path) -> Result<RunMeta, String> {
             .get("degraded")
             .and_then(|f| f.as_bool())
             .unwrap_or(false),
+        // Absent in dumps from writers predating the field — and in every
+        // virtual-mode dump, which omits it.
+        clock: run
+            .get("clock")
+            .and_then(|f| f.as_str())
+            .unwrap_or("virtual")
+            .to_string(),
     })
 }
 

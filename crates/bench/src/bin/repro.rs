@@ -7,7 +7,7 @@
 //!          partition-ablation sync-sweep machine-sweep
 //!          exact-sync-ablation beta-sweep phase-breakdown
 //!          detailed-refinement steiner-ablation comm-matrix
-//!          chaos all
+//!          chaos wall-clock all
 //!
 //! repro aggregate [--out FILE] [--md FILE] [--baseline FILE]
 //!                 [--tolerance F] <path>...
@@ -22,11 +22,24 @@
 //! and per-rank metrics (`*.metrics.json`) into DIR (created if
 //! missing).
 //!
+//! `wall-clock` runs all four drivers in wall-clock execution mode
+//! ([`pgr_mpi::ClockMode::Wall`]): ranks run free, and the table shows
+//! the deterministic virtual seconds next to the real host seconds of
+//! the same run. Results are bit-identical to virtual mode — only the
+//! wall measurements are host-dependent. Under `--trace-out` the stats
+//! dumps are stamped `"clock":"wall"`.
+//!
 //! `chaos` is the robustness smoke: every algorithm routed under a
 //! seeded drop/delay/reorder/duplicate schedule with the reliable
 //! transport on, plus one rank killed at a phase boundary; each
 //! degraded result is verified and the recovery counters are printed
 //! (and written to `*.metrics.json` under `--trace-out`).
+//!
+//! `repro bench-check` validates `BENCH_*.json` kernel-bench snapshots
+//! (as written by `BENCH_JSON=path cargo bench`): schema version, kind
+//! tag, and at least `--min-kernels` entries with positive timings. CI
+//! runs it over both the freshly measured file and the committed
+//! snapshots, so a truncated or hand-mangled baseline fails fast.
 //!
 //! `repro aggregate` merges any number of such dumps — files or
 //! directories, typically from several independent `--trace-out` runs —
@@ -38,6 +51,7 @@
 //! (relative, default 0.02) makes the command exit non-zero.
 
 use pgr_bench::aggregate::{aggregate, check_baseline, load_paths};
+use pgr_bench::harness::check_bench_json;
 use pgr_bench::tables::{self, Opts};
 use pgr_router::Algorithm;
 use std::path::PathBuf;
@@ -45,8 +59,9 @@ use std::path::PathBuf;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale F] [--circuits a,b,c] [--trace-out DIR] <target>...\n\
-         targets: table1 table2 table3 table4 table5 partition-ablation sync-sweep\n          machine-sweep exact-sync-ablation beta-sweep phase-breakdown detailed-refinement steiner-ablation comm-matrix chaos all\n\
-         or:    repro aggregate [--out FILE] [--md FILE] [--baseline FILE] [--tolerance F] <path>..."
+         targets: table1 table2 table3 table4 table5 partition-ablation sync-sweep\n          machine-sweep exact-sync-ablation beta-sweep phase-breakdown detailed-refinement steiner-ablation comm-matrix chaos wall-clock all\n\
+         or:    repro aggregate [--out FILE] [--md FILE] [--baseline FILE] [--tolerance F] <path>...\n\
+         or:    repro bench-check [--min-kernels N] <file>..."
     );
     std::process::exit(2);
 }
@@ -124,11 +139,47 @@ fn aggregate_main(args: impl Iterator<Item = String>) -> ! {
     std::process::exit(0);
 }
 
+fn bench_check_main(args: impl Iterator<Item = String>) -> ! {
+    let mut min_kernels = 3usize;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--min-kernels" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                min_kernels = v.parse().unwrap_or_else(|_| usage());
+            }
+            "-h" | "--help" => usage(),
+            f if f.starts_with('-') => fail(&format!("unknown flag '{f}'")),
+            p => files.push(p.into()),
+        }
+    }
+    if files.is_empty() {
+        usage();
+    }
+    for p in &files {
+        let text = std::fs::read_to_string(p)
+            .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", p.display())));
+        match check_bench_json(&text, min_kernels) {
+            Ok(kernels) => eprintln!("{}: ok ({} kernels)", p.display(), kernels.len()),
+            Err(e) => {
+                eprintln!("{}: INVALID: {e}", p.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
     if args.peek().map(String::as_str) == Some("aggregate") {
         args.next();
         aggregate_main(args);
+    }
+    if args.peek().map(String::as_str) == Some("bench-check") {
+        args.next();
+        bench_check_main(args);
     }
     let mut opts = Opts::default();
     let mut targets: Vec<String> = Vec::new();
@@ -178,6 +229,7 @@ fn main() {
             "steiner-ablation",
             "comm-matrix",
             "chaos",
+            "wall-clock",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -200,6 +252,7 @@ fn main() {
             "steiner-ablation" => tables::steiner_ablation(&opts),
             "comm-matrix" => tables::comm_matrix(&opts),
             "chaos" => tables::chaos_smoke(&opts),
+            "wall-clock" => tables::wall_clock(&opts),
             other => {
                 eprintln!("unknown target '{other}'");
                 usage();

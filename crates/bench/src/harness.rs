@@ -31,11 +31,28 @@ pub struct Bencher {
     ns_per_iter: Vec<f64>,
 }
 
+/// Next calibration batch size after a run of `batch` iterations took
+/// `elapsed`. Growth is clamped to 8× per step (a noisy near-threshold
+/// reading must not catapult the batch past the window) and targets the
+/// window exactly — the old 1.2× overshoot made every sample run long.
+fn next_batch(batch: u64, elapsed: Duration) -> u64 {
+    if elapsed < Duration::from_micros(50) {
+        batch.saturating_mul(8)
+    } else {
+        let scale = SAMPLE_WINDOW.as_secs_f64() / elapsed.as_secs_f64();
+        let target = (batch as f64 * scale).ceil() as u64;
+        target.clamp(batch + 1, batch.saturating_mul(8))
+    }
+}
+
 impl Bencher {
     /// Measure `f`: calibrate an iteration count to the sample window,
-    /// then time [`SAMPLES`] batches.
+    /// then time [`SAMPLES`] batches. The calibration run that first
+    /// fills the window already *is* a full sample at the final batch
+    /// size, so it is kept as the first sample rather than discarded —
+    /// for slow bodies this saves a whole extra window.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
-        // Calibrate: grow the batch until it fills the window.
+        self.ns_per_iter.clear();
         let mut batch: u64 = 1;
         loop {
             let t = Instant::now();
@@ -44,18 +61,13 @@ impl Bencher {
             }
             let elapsed = t.elapsed();
             if elapsed >= SAMPLE_WINDOW || batch >= 1 << 30 {
+                self.ns_per_iter
+                    .push(elapsed.as_nanos() as f64 / batch as f64);
                 break;
             }
-            // Aim directly for the window once we have a signal.
-            batch = if elapsed < Duration::from_micros(50) {
-                batch * 8
-            } else {
-                let scale = SAMPLE_WINDOW.as_secs_f64() / elapsed.as_secs_f64();
-                ((batch as f64 * scale * 1.2) as u64).max(batch + 1)
-            };
+            batch = next_batch(batch, elapsed);
         }
-        self.ns_per_iter.clear();
-        for _ in 0..SAMPLES {
+        for _ in 1..SAMPLES {
             let t = Instant::now();
             for _ in 0..batch {
                 std_black_box(f());
@@ -70,7 +82,7 @@ impl Bencher {
 /// benchmark.
 pub struct Harness {
     filter: Option<String>,
-    ran: usize,
+    results: Vec<(String, f64, f64)>,
 }
 
 impl Harness {
@@ -79,7 +91,10 @@ impl Harness {
     /// becomes a substring filter.
     pub fn from_args() -> Self {
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-        Harness { filter, ran: 0 }
+        Harness {
+            filter,
+            results: Vec::new(),
+        }
     }
 
     /// Run one benchmark (if it passes the filter) and print its timing.
@@ -106,13 +121,92 @@ impl Harness {
             fmt_ns(median),
             fmt_ns(min)
         );
-        self.ran += 1;
+        self.results.push((name.to_string(), median, min));
     }
 
-    /// Print a trailing summary (call at the end of `main`).
+    /// Print a trailing summary and, when `BENCH_JSON` names a path,
+    /// write the machine-readable snapshot there (the committed
+    /// `BENCH_<pr>.json` files are produced this way).
     pub fn finish(&self) {
-        println!("\n{} benchmark(s) run", self.ran);
+        println!("\n{} benchmark(s) run", self.results.len());
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            if !path.is_empty() {
+                std::fs::write(&path, bench_json(&self.results))
+                    .unwrap_or_else(|e| panic!("cannot write BENCH_JSON {path}: {e}"));
+                println!("bench JSON written: {path}");
+            }
+        }
     }
+}
+
+/// Render bench results as the `BENCH_*.json` snapshot document:
+/// `{"schema_version":…,"kind":"bench","samples":…,"kernels":[…]}`.
+pub fn bench_json(results: &[(String, f64, f64)]) -> String {
+    let kernels: Vec<String> = results
+        .iter()
+        .map(|(name, median, min)| {
+            format!(
+                "{{\"name\":\"{}\",\"median_ns\":{median:.1},\"min_ns\":{min:.1}}}",
+                pgr_obs::json_escape(name)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"schema_version\":{},\"kind\":\"bench\",\"samples\":{},\"kernels\":[\n{}\n]}}\n",
+        pgr_obs::SCHEMA_VERSION,
+        SAMPLES,
+        kernels.join(",\n")
+    )
+}
+
+/// Validate a `BENCH_*.json` snapshot: schema version, kind tag, and at
+/// least `min_kernels` kernel entries, each with a non-empty name and
+/// positive finite timings. Returns the kernel names on success.
+pub fn check_bench_json(text: &str, min_kernels: usize) -> Result<Vec<String>, String> {
+    use pgr_obs::Json;
+    let v = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let version = v
+        .get("schema_version")
+        .and_then(|f| f.as_u64())
+        .ok_or("missing schema_version")?;
+    if version != pgr_obs::SCHEMA_VERSION as u64 {
+        return Err(format!(
+            "schema_version {version} (reader understands {})",
+            pgr_obs::SCHEMA_VERSION
+        ));
+    }
+    if v.get("kind").and_then(|f| f.as_str()) != Some("bench") {
+        return Err("kind is not \"bench\"".into());
+    }
+    let kernels = v
+        .get("kernels")
+        .and_then(|f| f.as_arr())
+        .ok_or("missing kernels array")?;
+    if kernels.len() < min_kernels {
+        return Err(format!(
+            "only {} kernel(s), expected at least {min_kernels}",
+            kernels.len()
+        ));
+    }
+    let mut names = Vec::with_capacity(kernels.len());
+    for k in kernels {
+        let name = k
+            .get("name")
+            .and_then(|f| f.as_str())
+            .filter(|n| !n.is_empty())
+            .ok_or("kernel entry without a name")?;
+        for field in ["median_ns", "min_ns"] {
+            let ns = k
+                .get(field)
+                .and_then(|f| f.as_f64())
+                .ok_or_else(|| format!("kernel '{name}' missing {field}"))?;
+            if !(ns.is_finite() && ns > 0.0) {
+                return Err(format!("kernel '{name}' has non-positive {field}"));
+            }
+        }
+        names.push(name.to_string());
+    }
+    Ok(names)
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -147,5 +241,69 @@ mod tests {
         b.iter(|| black_box(1u64 + 1));
         assert_eq!(b.ns_per_iter.len(), SAMPLES);
         assert!(b.ns_per_iter.iter().all(|&t| t >= 0.0));
+    }
+
+    #[test]
+    fn slow_body_runs_exactly_samples_times() {
+        // Regression: a body that alone exceeds the window breaks
+        // calibration at batch = 1, and that run must count as the first
+        // sample — the old loop threw it away and ran SAMPLES + 1 times.
+        let mut calls = 0usize;
+        let mut b = Bencher {
+            ns_per_iter: Vec::new(),
+        };
+        b.iter(|| {
+            calls += 1;
+            std::thread::sleep(SAMPLE_WINDOW);
+        });
+        assert_eq!(calls, SAMPLES, "calibration run reused as a sample");
+        assert_eq!(b.ns_per_iter.len(), SAMPLES);
+        let window_ns = SAMPLE_WINDOW.as_nanos() as f64;
+        assert!(b.ns_per_iter.iter().all(|&t| t >= window_ns));
+    }
+
+    #[test]
+    fn bench_json_roundtrips_through_the_checker() {
+        let results = vec![
+            ("mst_prim/32".to_string(), 1234.5, 1100.0),
+            ("density_profile/counts_into/4096".to_string(), 9.9, 9.1),
+        ];
+        let doc = bench_json(&results);
+        let names = check_bench_json(&doc, 2).expect("fresh snapshot validates");
+        assert_eq!(names, ["mst_prim/32", "density_profile/counts_into/4096"]);
+        assert!(check_bench_json(&doc, 3).is_err(), "min_kernels enforced");
+    }
+
+    #[test]
+    fn checker_rejects_malformed_snapshots() {
+        assert!(check_bench_json("not json", 0).is_err());
+        assert!(
+            check_bench_json(
+                "{\"schema_version\":999,\"kind\":\"bench\",\"kernels\":[]}",
+                0
+            )
+            .is_err(),
+            "unknown schema version refused"
+        );
+        assert!(
+            check_bench_json(&bench_json(&[("x".into(), 0.0, 0.0)]), 1).is_err(),
+            "zero timings refused"
+        );
+        let doc = bench_json(&[]).replace("\"bench\"", "\"metrics\"");
+        assert!(check_bench_json(&doc, 0).is_err(), "wrong kind refused");
+    }
+
+    #[test]
+    fn calibration_growth_is_clamped() {
+        // A noisy near-threshold reading (60 µs suggests a ~417× jump)
+        // may grow the batch at most 8× per step.
+        assert_eq!(next_batch(1, Duration::from_micros(60)), 8);
+        // Below the threshold: plain 8× growth.
+        assert_eq!(next_batch(4, Duration::from_micros(10)), 32);
+        // Near the window the batch aims exactly at it — no 1.2×
+        // overshoot (the old code would have picked 125 here).
+        assert_eq!(next_batch(100, Duration::from_millis(24)), 105);
+        // Progress is guaranteed even when the scale rounds to 1.
+        assert!(next_batch(100, Duration::from_micros(24_990)) > 100);
     }
 }

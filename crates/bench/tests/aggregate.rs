@@ -29,6 +29,7 @@ fn meta(algorithm: &str, procs: usize) -> RunMeta {
         scale: 1.0,
         seed: 7,
         degraded: false,
+        clock: "virtual".into(),
     }
 }
 
@@ -306,6 +307,7 @@ fn trace_out_artifacts_round_trip_through_aggregate() {
         scale: 0.05,
         seed: 0,
         degraded: false,
+        clock: "virtual".into(),
     };
     write_traces(
         &dir_serial,

@@ -1,9 +1,13 @@
-//! The metrics hot path must be free when metrics are off: a disabled
-//! shard is one branch, no allocation, no bookkeeping. This runs as a
-//! harness-less test (`harness = false` in Cargo.toml): the libtest
-//! harness spawns helper threads whose own allocations would race the
-//! process-wide counter, so the check must be the only thread alive.
+//! Hot paths that must not allocate: the metrics API when metrics are
+//! off (a disabled shard is one branch, no bookkeeping) and the density
+//! profile's read path (the eval loops query it per candidate, so a
+//! single allocation there multiplies by every span of every sweep).
+//! This runs as a harness-less test (`harness = false` in Cargo.toml):
+//! the libtest harness spawns helper threads whose own allocations would
+//! race the process-wide counter, so the check must be the only thread
+//! alive.
 
+use pgr_geom::DensityProfile;
 use pgr_mpi::{Comm, MachineModel, Phase};
 use pgr_obs::MetricsConfig;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -89,4 +93,31 @@ fn main() {
     }
     comm.metric_window_close();
     assert_eq!(allocs(), before, "steady-state updates must not allocate");
+
+    // The density profile's read path: `counts()` allocates a fresh
+    // vector per call, `counts_into` fills a caller-owned buffer — along
+    // with the point/range queries it must stay allocation-free no
+    // matter how the lazy tree has been exercised.
+    let mut p = DensityProfile::new(4096);
+    for i in 0..500i64 {
+        p.add_span((i * 7) % 4000, (i * 7) % 4000 + 60, 1);
+    }
+    let mut out = vec![0i64; p.width()];
+    p.counts_into(&mut out); // warm: flush any one-time laziness
+    let before = allocs();
+    for i in 0..1_000i64 {
+        p.add_span((i * 11) % 4000, (i * 11) % 4000 + 30, 1);
+        std::hint::black_box(p.max());
+        std::hint::black_box(p.max_in(i % 4000, i % 4000 + 90));
+        std::hint::black_box(p.max_if_added(i % 4000, i % 4000 + 90));
+        std::hint::black_box(p.at((i % 4096) as usize));
+        p.counts_into(&mut out);
+        std::hint::black_box(out[2048]);
+        p.add_span((i * 11) % 4000, (i * 11) % 4000 + 30, -1);
+    }
+    assert_eq!(
+        allocs(),
+        before,
+        "density profile reads and updates must not allocate"
+    );
 }

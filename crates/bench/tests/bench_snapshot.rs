@@ -1,0 +1,37 @@
+//! The committed `BENCH_*.json` snapshots must stay readable: CI and the
+//! next session both diff against them, so a malformed or truncated
+//! snapshot is a broken baseline. Validates every snapshot at the repo
+//! root with the same checker the CI smoke job runs.
+
+use pgr_bench::harness::check_bench_json;
+use std::path::Path;
+
+#[test]
+fn committed_bench_snapshots_validate() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut found = 0;
+    for entry in std::fs::read_dir(&root).expect("repo root is readable") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("snapshot is readable");
+        let kernels = check_bench_json(&text, 3)
+            .unwrap_or_else(|e| panic!("{name} fails schema validation: {e}"));
+        found += 1;
+        // The snapshots exist to watch specific hot kernels across PRs;
+        // losing one of these names silently would defeat that.
+        for want in [
+            "density_profile/counts_into/4096",
+            "coarse_eval/improve_slice/512",
+            "wire_encode_1k_records",
+        ] {
+            assert!(
+                kernels.iter().any(|k| k == want),
+                "{name} lost the '{want}' kernel"
+            );
+        }
+    }
+    assert!(found >= 1, "no BENCH_*.json snapshot at the repo root");
+}

@@ -34,6 +34,7 @@ fn meta(algorithm: &str, procs: usize) -> RunMeta {
         scale: 1.0,
         seed: 7,
         degraded: false,
+        clock: "virtual".into(),
     }
 }
 

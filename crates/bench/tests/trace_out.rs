@@ -18,6 +18,7 @@ fn meta(procs: usize) -> RunMeta {
         scale: 0.05,
         seed: 0,
         degraded: false,
+        clock: "virtual".into(),
     }
 }
 

@@ -1,6 +1,7 @@
 //! Router configuration.
 
 use crate::engine::RecoveryPolicy;
+use pgr_mpi::ClockMode;
 
 /// Tunables of the TWGR-style router. Defaults reproduce the paper's
 /// setup; the benchmark harness overrides `seed` and the parallel knobs.
@@ -61,6 +62,11 @@ pub struct RouterConfig {
     /// degrading to a serial completion on the lowest surviving rank
     /// (see [`crate::engine::RecoveryPolicy`]).
     pub recovery: RecoveryPolicy,
+    /// Clock strategy of the run. `Virtual` (default) is the
+    /// deterministic CI/reproduction mode; `Wall` lets ranks run free and
+    /// reports real host seconds *alongside* the virtual account — it
+    /// never changes routing decisions, results, or the virtual clocks.
+    pub clock: ClockMode,
 }
 
 impl Default for RouterConfig {
@@ -79,6 +85,7 @@ impl Default for RouterConfig {
             netwise_grid_factor: 8,
             steiner_refine: false,
             recovery: RecoveryPolicy::default(),
+            clock: ClockMode::Virtual,
         }
     }
 }

@@ -24,7 +24,7 @@ use crate::parallel::common::{
 };
 use crate::parallel::partition::{partition_nets, PartitionKind};
 use crate::route::coarse::CoarseState;
-use crate::route::connect::connect_net;
+use crate::route::connect::{connect_net_with, ConnectArena};
 use crate::route::feedthrough::{assign, FtPlan};
 use crate::route::serial::{attach_feedthroughs, crossings_of, shift_pins};
 use crate::route::state::{Orientation, Segment, Span, WorkNet};
@@ -157,8 +157,9 @@ impl Pipeline for HybridPipeline {
                 }
 
                 let mut all_spans: Vec<Span> = Vec::new();
+                let mut arena = ConnectArena::default();
                 for w in &merged {
-                    let conn = connect_net(w, comm);
+                    let conn = connect_net_with(w, comm, &mut arena);
                     self.wirelength += conn.wirelength;
                     all_spans.extend(conn.spans);
                 }

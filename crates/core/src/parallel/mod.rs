@@ -63,6 +63,9 @@ pub struct ParallelOutcome {
     pub result: RoutingResult,
     /// Simulated wall-clock (the slowest rank's virtual time).
     pub time: f64,
+    /// Real host makespan in seconds — `Some` only when the run used
+    /// [`pgr_mpi::ClockMode::Wall`] (see [`RouterConfig::clock`]).
+    pub wall_time: Option<f64>,
     pub stats: Vec<RankStats>,
     /// Whether every rank's modeled working set fit the machine's
     /// per-node memory (always true on machines without a cap).
@@ -115,11 +118,18 @@ pub fn route_parallel_instrumented(
     machine: MachineModel,
     instr: InstrumentConfig,
 ) -> ParallelOutcome {
+    // The router config owns the clock strategy; the instrumentation
+    // bundle merely carries it into the substrate.
+    let instr = InstrumentConfig {
+        clock: cfg.clock,
+        ..instr
+    };
     let (report, traces, mut metrics) = run_instrumented(procs, machine, instr, |comm| {
         algorithm.route(circuit, cfg, kind, comm)
     });
     let fits_memory = report.fits_memory();
     let time = report.makespan();
+    let wall_time = report.wall_makespan();
     if let Some(root) = metrics.first_mut() {
         let mean = report.stats.iter().map(|s| s.time).sum::<f64>() / report.stats.len() as f64;
         if mean > 0.0 {
@@ -138,6 +148,7 @@ pub fn route_parallel_instrumented(
     ParallelOutcome {
         result,
         time,
+        wall_time,
         stats: report.stats,
         fits_memory,
         traces,
@@ -271,5 +282,40 @@ mod tests {
         );
         assert_eq!(plain.result, full.result);
         assert_eq!(plain.time, full.time, "observation is free in virtual time");
+    }
+
+    #[test]
+    fn wall_clock_mode_reports_host_time_and_identical_results() {
+        let c = generate(&GeneratorConfig::small("wall", 8));
+        let cfg = RouterConfig::with_seed(5);
+        let wall_cfg = RouterConfig {
+            clock: pgr_mpi::ClockMode::Wall,
+            ..cfg.clone()
+        };
+        for algo in Algorithm::ALL {
+            let virt = route_parallel(
+                &c,
+                &cfg,
+                algo,
+                PartitionKind::PinWeight,
+                3,
+                MachineModel::sparc_center_1000(),
+            );
+            let wall = route_parallel(
+                &c,
+                &wall_cfg,
+                algo,
+                PartitionKind::PinWeight,
+                3,
+                MachineModel::sparc_center_1000(),
+            );
+            let name = algo.name();
+            assert_eq!(virt.result, wall.result, "{name}: results are clock-blind");
+            assert_eq!(virt.time, wall.time, "{name}: virtual makespan unchanged");
+            assert_eq!(virt.wall_time, None, "{name}");
+            let wt = wall.wall_time.expect("wall makespan under Wall mode");
+            assert!(wt > 0.0 && wt.is_finite(), "{name}: wall seconds, got {wt}");
+            assert!(wall.stats.iter().all(|s| s.wall.is_some()), "{name}");
+        }
     }
 }

@@ -22,7 +22,7 @@ use crate::metrics::{names, record_ft_plan, RoutingResult};
 use crate::parallel::common::{distribute, gather_result};
 use crate::parallel::partition::{partition_nets, PartitionKind};
 use crate::route::coarse::{CoarseDeltas, CoarseState};
-use crate::route::connect::connect_net;
+use crate::route::connect::{connect_net_with, ConnectArena};
 use crate::route::feedthrough::{assign, Crossing, FtPlan};
 use crate::route::serial::{attach_feedthroughs, crossings_of, shift_pins};
 use crate::route::state::{Node, Orientation, Segment, Span, WorkNet};
@@ -286,8 +286,9 @@ impl Pipeline for NetWisePipeline {
                 let mut chans = ChannelState::new(0, all_rows + 1, self.chip_width);
                 comm.charge_alloc(chans.modeled_bytes());
                 chans.enable_logging();
+                let mut arena = ConnectArena::default();
                 for w in &self.works {
-                    let conn = connect_net(w, comm);
+                    let conn = connect_net_with(w, comm, &mut arena);
                     debug_assert!(conn.spanning, "whole net must span");
                     self.wirelength += conn.wirelength;
                     self.spans.extend(conn.spans);

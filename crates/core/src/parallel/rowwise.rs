@@ -26,7 +26,7 @@ use crate::parallel::common::{
 };
 use crate::parallel::partition::{partition_nets, PartitionKind};
 use crate::route::coarse::CoarseState;
-use crate::route::connect::connect_net;
+use crate::route::connect::{connect_net_with, ConnectArena};
 use crate::route::feedthrough::{assign, FtPlan};
 use crate::route::serial::{attach_feedthroughs, crossings_of, shift_pins};
 use crate::route::state::{Segment, Span, WorkNet};
@@ -139,8 +139,9 @@ impl Pipeline for RowWisePipeline {
             Phase::Connect => {
                 let mut chans = ChannelState::new(ctx.row0(), ctx.nrows() + 1, self.chip_width);
                 comm.charge_alloc(chans.modeled_bytes());
+                let mut arena = ConnectArena::default();
                 for w in &self.works {
-                    let conn = connect_net(w, comm);
+                    let conn = connect_net_with(w, comm, &mut arena);
                     self.wirelength += conn.wirelength;
                     self.spans.extend(conn.spans);
                 }

@@ -306,6 +306,16 @@ impl CoarseState {
     /// Re-decides each cross-row segment's L shape; returns how many
     /// changed. Same-row indices are skipped (their channel is step 5's
     /// business).
+    ///
+    /// The sweep scores both shapes incrementally from the *current*
+    /// state instead of physically removing and re-inserting the segment:
+    /// the withdrawn channel's peak is reconstructed from three range-max
+    /// queries, and withdrawn feedthrough demand is the stored count minus
+    /// one at the segment's present vertical column. The arithmetic
+    /// reproduces the remove-eval-reinsert numbers exactly (same i64
+    /// peaks, same integer-valued f64 sums), so decisions — and the
+    /// virtual-clock charges — are unchanged; the state now mutates only
+    /// when a segment actually flips.
     pub fn improve_slice(
         &mut self,
         segments: &[Segment],
@@ -316,15 +326,54 @@ impl CoarseState {
     ) -> usize {
         let mut changed = 0;
         let mut ops = 0u64;
+        let gmax = self.gcols as i64 - 1;
         for &i in order {
             let seg = &segments[i as usize];
             if !seg.is_cross_row() {
                 continue;
             }
             let cur = orients[i as usize];
-            self.apply(seg, cur, -1);
-            let c_lower = self.eval(seg, Orientation::VertAtLower, cfg);
-            let c_upper = self.eval(seg, Orientation::VertAtUpper, cfg);
+            let (lo, hi) = seg.x_span();
+            let (glo, ghi) = (self.gcol(lo), self.gcol(hi));
+            let cur_chan = seg.horizontal_channel(cur);
+            let cur_prof = &self.profiles[self.chan_idx(cur_chan)];
+            // Peak of the current channel with this segment withdrawn:
+            // inside its span the density drops by one, outside it is
+            // untouched. Side ranges are included only when non-empty (an
+            // empty `max_in` would report 0, which is not an identity for
+            // the max).
+            let mut without_max = cur_prof.max_in(glo, ghi) - 1;
+            if glo > 0 {
+                without_max = without_max.max(cur_prof.max_in(0, glo - 1));
+            }
+            if ghi < gmax {
+                without_max = without_max.max(cur_prof.max_in(ghi + 1, gmax));
+            }
+            // Re-adding the span over its own range restores exactly the
+            // current peak, so the withdrawn-state `max_if_added` is
+            // `cur_prof.max()` — the rise telescopes to one subtraction.
+            let rise_cur = cur_prof.max() - without_max;
+            let g_cur = self.gcol(seg.vertical_x(cur)) as usize;
+            let cost_of = |orient: Orientation| -> f64 {
+                let chan = seg.horizontal_channel(orient);
+                let density_rise = if chan == cur_chan {
+                    // Adjacent-row segments share one channel for both
+                    // shapes; reuse the withdrawn-state rise.
+                    rise_cur
+                } else {
+                    let prof = &self.profiles[self.chan_idx(chan)];
+                    prof.max_if_added(glo, ghi) - prof.max()
+                } as f64;
+                let g = self.gcol(seg.vertical_x(orient)) as usize;
+                let mut crowding = 0.0;
+                for row in seg.demand_rows() {
+                    let adj = i64::from(g == g_cur);
+                    crowding += (self.demand[self.row_idx(row)][g] - adj) as f64;
+                }
+                cfg.w_density * density_rise + cfg.w_feedthrough * crowding
+            };
+            let c_lower = cost_of(Orientation::VertAtLower);
+            let c_upper = cost_of(Orientation::VertAtUpper);
             ops += 2 * cost::COARSE_EVAL + 2 * cost::COARSE_APPLY;
             // Strict improvement only, so sweeps converge instead of
             // oscillating between equal-cost shapes.
@@ -335,9 +384,10 @@ impl CoarseState {
             };
             if best != cur {
                 changed += 1;
+                self.apply(seg, cur, -1);
                 orients[i as usize] = best;
+                self.apply(seg, best, 1);
             }
-            self.apply(seg, best, 1);
         }
         comm.compute(ops);
         changed
@@ -619,5 +669,75 @@ mod tests {
     fn out_of_range_channel_panics() {
         let st = CoarseState::new(4, 4, 64, 8);
         st.channel_max(3);
+    }
+
+    #[test]
+    fn incremental_sweep_matches_remove_reinsert_reference() {
+        // The incremental scorer must make the same choices as the
+        // historical remove-eval-reinsert sweep, including adjacent-row
+        // segments (both shapes share one channel) and shared vertical
+        // columns, and leave identical state and deltas behind.
+        let mut rng = rng_from_seed(0xC0A5);
+        let segs: Vec<Segment> = (0..60)
+            .map(|_| {
+                let r1 = rng.gen_range(0..5u32);
+                let r2 = rng.gen_range(0..5u32);
+                let x1 = rng.gen_range(0..150i64);
+                let x2 = rng.gen_range(0..150i64);
+                seg(x1, r1.min(r2), x2, r1.max(r2))
+            })
+            .collect();
+        let cfg = RouterConfig::default();
+        let build = || {
+            let mut st = CoarseState::new(0, 6, 160, 8);
+            st.enable_logging();
+            let init = st.init_random(&segs, &mut rng_from_seed(7), &mut comm());
+            st.take_deltas();
+            (st, init)
+        };
+        let order: Vec<u32> = (0..segs.len() as u32).collect();
+
+        let (mut st_inc, mut or_inc) = build();
+        let changed_inc = st_inc.improve_slice(&segs, &mut or_inc, &order, &cfg, &mut comm());
+
+        let (mut st_ref, mut or_ref) = build();
+        let mut changed_ref = 0;
+        for &i in &order {
+            let s = &segs[i as usize];
+            if !s.is_cross_row() {
+                continue;
+            }
+            let cur = or_ref[i as usize];
+            st_ref.apply(s, cur, -1);
+            let c_lower = st_ref.eval(s, Orientation::VertAtLower, &cfg);
+            let c_upper = st_ref.eval(s, Orientation::VertAtUpper, &cfg);
+            let best = match cur {
+                Orientation::VertAtLower if c_upper < c_lower => Orientation::VertAtUpper,
+                Orientation::VertAtUpper if c_lower < c_upper => Orientation::VertAtLower,
+                _ => cur,
+            };
+            if best != cur {
+                changed_ref += 1;
+                or_ref[i as usize] = best;
+            }
+            st_ref.apply(s, best, 1);
+        }
+
+        assert_eq!(changed_inc, changed_ref);
+        assert_eq!(or_inc, or_ref);
+        for ch in 0..=5 {
+            assert_eq!(
+                st_inc.channel_max(ch),
+                st_ref.channel_max(ch),
+                "channel {ch}"
+            );
+        }
+        assert_eq!(st_inc.demand(), st_ref.demand());
+        assert_eq!(
+            st_inc.take_deltas(),
+            st_ref.take_deltas(),
+            "aggregated delta arrays must cancel identically"
+        );
+        assert!(changed_inc > 0, "instance must exercise the flip path");
     }
 }

@@ -13,7 +13,7 @@
 
 use crate::cost;
 use crate::metrics::ROW_HEIGHT;
-use crate::route::state::{ChannelPref, Span, WorkNet};
+use crate::route::state::{ChannelPref, Node, Span, WorkNet};
 use pgr_geom::{mst_adjacency_limited, Point};
 use pgr_mpi::Comm;
 
@@ -28,9 +28,26 @@ pub struct Connection {
     pub spanning: bool,
 }
 
+/// Reusable per-net scratch for [`connect_net_with`]: the sorted node
+/// copy and the point/row views handed to the MST. One arena serves
+/// every net a rank connects — the buffers grow to the largest net seen
+/// and stay allocated, instead of three fresh vectors per net.
+#[derive(Debug, Default)]
+pub struct ConnectArena {
+    nodes: Vec<Node>,
+    points: Vec<Point>,
+    rows: Vec<i64>,
+}
+
 /// Connect one work net. Nodes must already be at their post-insertion
 /// positions and include the net's assigned feedthroughs.
 pub fn connect_net(work: &WorkNet, comm: &mut Comm) -> Connection {
+    connect_net_with(work, comm, &mut ConnectArena::default())
+}
+
+/// [`connect_net`] with caller-owned scratch — the Connect-phase loops
+/// pass one [`ConnectArena`] across all of their nets.
+pub fn connect_net_with(work: &WorkNet, comm: &mut Comm, arena: &mut ConnectArena) -> Connection {
     let n = work.nodes.len();
     if n < 2 {
         return Connection {
@@ -41,22 +58,24 @@ pub fn connect_net(work: &WorkNet, comm: &mut Comm) -> Connection {
     }
     // Canonical node order: the result must not depend on which rank
     // assembled the node list or in what order fragments arrived.
-    let mut nodes = work.nodes.clone();
-    nodes.sort_unstable_by_key(|nd| nd.sort_key());
-    let work = &WorkNet {
-        net: work.net,
-        nodes,
-    };
+    arena.nodes.clear();
+    arena.nodes.extend_from_slice(&work.nodes);
+    arena.nodes.sort_unstable_by_key(|nd| nd.sort_key());
+    let nodes = &arena.nodes;
 
     // Charge the candidate-edge work the bucketed Kruskal actually does:
-    // same-row pairs plus adjacent-row pairs.
-    let mut per_row = std::collections::BTreeMap::<u32, u64>::new();
-    for nd in &work.nodes {
-        *per_row.entry(nd.row).or_insert(0) += 1;
-    }
+    // same-row pairs plus adjacent-row pairs. Nodes are sorted by row,
+    // so one run-length scan yields the per-row counts.
     let mut cand: u64 = 0;
     let mut prev: Option<(u32, u64)> = None;
-    for (&row, &cnt) in &per_row {
+    let mut i = 0;
+    while i < n {
+        let row = nodes[i].row;
+        let mut j = i + 1;
+        while j < n && nodes[j].row == row {
+            j += 1;
+        }
+        let cnt = (j - i) as u64;
         cand += cnt * cnt.saturating_sub(1) / 2;
         if let Some((prow, pcnt)) = prev {
             if prow + 1 == row {
@@ -64,22 +83,23 @@ pub fn connect_net(work: &WorkNet, comm: &mut Comm) -> Connection {
             }
         }
         prev = Some((row, cnt));
+        i = j;
     }
     comm.compute(cost::CONNECT_PAIR * cand + cost::MST_NODE * n as u64);
 
-    let points: Vec<Point> = work
-        .nodes
-        .iter()
-        .map(|nd| Point::new(nd.x, nd.row as i64))
-        .collect();
-    let rows: Vec<i64> = work.nodes.iter().map(|nd| nd.row as i64).collect();
-    let mst = mst_adjacency_limited(&points, &rows);
+    arena.points.clear();
+    arena
+        .points
+        .extend(nodes.iter().map(|nd| Point::new(nd.x, nd.row as i64)));
+    arena.rows.clear();
+    arena.rows.extend(nodes.iter().map(|nd| nd.row as i64));
+    let mst = mst_adjacency_limited(&arena.points, &arena.rows);
 
     let mut spans = Vec::with_capacity(mst.edges.len());
     let mut wirelength = 0u64;
     for e in &mst.edges {
-        let a = &work.nodes[e.a as usize];
-        let b = &work.nodes[e.b as usize];
+        let a = &nodes[e.a as usize];
+        let b = &nodes[e.b as usize];
         let (lo, hi) = (a.x.min(b.x), a.x.max(b.x));
         let drow = a.row.abs_diff(b.row);
         debug_assert!(drow <= 1, "adjacency-limited MST edge");
@@ -226,6 +246,33 @@ mod tests {
         let c = connect_net(&work(nodes), &mut comm());
         assert!(!c.spanning);
         assert_eq!(c.spans.len(), 2, "each cluster still connects internally");
+    }
+
+    #[test]
+    fn reused_arena_matches_fresh_allocation() {
+        // A dirty arena (left over from a bigger, unrelated net) must not
+        // leak into the next net's connection or its ops charge.
+        let big: Vec<Node> = (0..40)
+            .map(|i| Node::fake((i * 13) % 97, (i % 6) as u32))
+            .collect();
+        let small: Vec<Node> = (0..7)
+            .map(|i| Node::fake((i * 5) % 31, (i % 3) as u32))
+            .collect();
+        let mut arena = ConnectArena::default();
+        connect_net_with(&work(big), &mut comm(), &mut arena);
+
+        let mut fresh = comm();
+        let want = connect_net(&work(small.clone()), &mut fresh);
+        let mut reused = comm();
+        let got = connect_net_with(&work(small), &mut reused, &mut arena);
+        assert_eq!(got.spans, want.spans);
+        assert_eq!(got.wirelength, want.wirelength);
+        assert_eq!(got.spanning, want.spanning);
+        assert_eq!(
+            reused.now().to_bits(),
+            fresh.now().to_bits(),
+            "ops charge must be independent of arena history"
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::engine::{run_attempt, Phase, Pipeline, RouteCtx};
 use crate::metrics::{names, record_ft_plan, record_quality, RoutingResult};
 use crate::parallel::partition::PartitionKind;
 use crate::route::coarse::CoarseState;
-use crate::route::connect::connect_net;
+use crate::route::connect::{connect_net_with, ConnectArena};
 use crate::route::feedthrough::{assign, Crossing, FtPlan};
 use crate::route::state::{Node, NodeKind, Orientation, Segment, Span, WorkNet};
 use crate::route::steiner::{build_segments_with, whole_net};
@@ -182,8 +182,9 @@ impl Pipeline for SerialPipeline {
                 self.chip_width = circuit.width + plan.max_growth();
                 let mut chans = ChannelState::new(0, rows + 1, self.chip_width);
                 comm.charge_alloc(chans.modeled_bytes());
+                let mut arena = ConnectArena::default();
                 for w in &self.works {
-                    let conn = connect_net(w, comm);
+                    let conn = connect_net_with(w, comm, &mut arena);
                     debug_assert!(
                         conn.spanning,
                         "whole net {} must span after feedthrough assignment",

@@ -126,6 +126,33 @@ impl ChannelState {
         self.profiles[self.idx(channel)].counts()
     }
 
+    /// Per-column counts of a channel written into a caller-owned buffer —
+    /// the allocation-free twin of [`Self::counts`] for repeated reads.
+    pub fn counts_into(&self, channel: u32, out: &mut [i64]) {
+        self.profiles[self.idx(channel)].counts_into(out);
+    }
+
+    /// Record the remove/re-insert delta pair the optimizer historically
+    /// emitted for a span it evaluated but did not move. The replicated
+    /// delta stream (net-wise sync, §5) must stay byte-identical whether or
+    /// not the local sweep short-circuits the tree mutation.
+    fn log_touch(&mut self, span: &Span) {
+        if let Some(log) = &mut self.log {
+            log.push(SpanDelta {
+                chan: span.channel,
+                lo: span.lo,
+                hi: span.hi,
+                sign: -1,
+            });
+            log.push(SpanDelta {
+                chan: span.channel,
+                lo: span.lo,
+                hi: span.hi,
+                sign: 1,
+            });
+        }
+    }
+
     /// Peak density per local channel, in channel order.
     pub fn densities(&self) -> Vec<i64> {
         self.profiles.iter().map(|p| p.max()).collect()
@@ -170,9 +197,19 @@ pub fn switchable_candidates(spans: &[Span]) -> Vec<u32> {
 }
 
 /// One greedy sweep over `order` (indices into `spans`): each switchable
-/// span is removed, both channels are scored, and the span lands in the
-/// one with the lower resulting peak (ties keep the current channel).
-/// Returns the number of flips.
+/// span is scored in both channels and lands in the one with the lower
+/// resulting peak (ties keep the current channel). Returns the number of
+/// flips.
+///
+/// The scoring is incremental: with the span hypothetically removed,
+/// `max_if_added` over its own range collapses to the *unmodified*
+/// channel's current peak (`new_max = max(without_max,
+/// without_span_max + 1)` telescopes back to the present maximum; the
+/// plus-one term is the span re-added), and the opposite
+/// channel is untouched by the removal. So the steady-state sweep issues
+/// two read-only queries per span and mutates the tree only on an actual
+/// flip — same decisions, same i64 comparisons, no per-segment
+/// remove/re-insert churn.
 pub fn optimize_slice(
     chans: &mut ChannelState,
     spans: &mut [Span],
@@ -189,26 +226,18 @@ pub fn optimize_slice(
             chans.covers(lower) && chans.covers(upper),
             "rank must own both channels of a switchable row"
         );
-        chans.add_span(&span, -1);
-        let m_lower = chans.max_if_added(lower, span.lo, span.hi);
-        let m_upper = chans.max_if_added(upper, span.lo, span.hi);
+        let other = if span.channel == lower { upper } else { lower };
+        let m_cur = chans.channel_max(span.channel);
+        let m_other = chans.max_if_added(other, span.lo, span.hi);
         ops += 2 * cost::SWITCH_EVAL;
-        let target = if span.channel == lower {
-            if m_upper < m_lower {
-                upper
-            } else {
-                lower
-            }
-        } else if m_lower < m_upper {
-            lower
-        } else {
-            upper
-        };
-        if target != span.channel {
+        if m_other < m_cur {
             flips += 1;
-            spans[i as usize].channel = target;
+            chans.add_span(&span, -1);
+            spans[i as usize].channel = other;
+            chans.add_span(&spans[i as usize], 1);
+        } else {
+            chans.log_touch(&span);
         }
-        chans.add_span(&spans[i as usize], 1);
     }
     comm.compute(ops);
     flips
@@ -392,6 +421,72 @@ mod tests {
             span(3, 0, 1, Some(3)),
         ];
         assert_eq!(switchable_candidates(&spans), vec![1, 3]);
+    }
+
+    #[test]
+    fn incremental_sweep_matches_reference_and_delta_log() {
+        // The incremental scorer must reproduce the historical
+        // remove-score-reinsert sweep exactly: same flips, same densities,
+        // and (with logging on) the same replicated delta stream.
+        let build = || {
+            let mut ch = ChannelState::new(0, 4, 64);
+            ch.enable_logging();
+            let mut rng = rng_from_seed(0xD1CE);
+            let spans: Vec<Span> = (0..40)
+                .map(|_| {
+                    let row = rng.gen_range(0..3u32);
+                    let lo = rng.gen_range(0..50i64);
+                    let hi = lo + rng.gen_range(0..14i64);
+                    let chan = row + rng.gen_range(0..2u32);
+                    span(chan, lo, hi, Some(row))
+                })
+                .collect();
+            for s in &spans {
+                ch.add_span(s, 1);
+            }
+            ch.take_deltas(); // drop setup deltas; compare sweep streams only
+            let order: Vec<u32> = (0..spans.len() as u32).collect();
+            (ch, spans, order)
+        };
+
+        let (mut ch_inc, mut sp_inc, order) = build();
+        let flips_inc = optimize_slice(&mut ch_inc, &mut sp_inc, &order, &mut comm());
+        let log_inc = ch_inc.take_deltas();
+
+        // Reference: the pre-incremental algorithm, via the public API.
+        let (mut ch_ref, mut sp_ref, order) = build();
+        let mut flips_ref = 0;
+        for &i in &order {
+            let s = sp_ref[i as usize];
+            let row = s.switch_row.unwrap();
+            let (lower, upper) = (row, row + 1);
+            ch_ref.add_span(&s, -1);
+            let m_lower = ch_ref.max_if_added(lower, s.lo, s.hi);
+            let m_upper = ch_ref.max_if_added(upper, s.lo, s.hi);
+            let target = if s.channel == lower {
+                if m_upper < m_lower {
+                    upper
+                } else {
+                    lower
+                }
+            } else if m_lower < m_upper {
+                lower
+            } else {
+                upper
+            };
+            if target != s.channel {
+                flips_ref += 1;
+                sp_ref[i as usize].channel = target;
+            }
+            ch_ref.add_span(&sp_ref[i as usize], 1);
+        }
+        let log_ref = ch_ref.take_deltas();
+
+        assert_eq!(flips_inc, flips_ref);
+        assert_eq!(sp_inc, sp_ref);
+        assert_eq!(ch_inc.densities(), ch_ref.densities());
+        assert_eq!(log_inc, log_ref, "replicated delta stream must not change");
+        assert!(flips_inc > 0, "instance must exercise the flip path");
     }
 
     #[test]

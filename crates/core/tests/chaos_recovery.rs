@@ -89,6 +89,7 @@ fn emitted_stats(out: &ParallelOutcome, algo: Algorithm) -> String {
         scale: 1.0,
         seed: 9,
         degraded: out.degraded,
+        clock: "virtual".into(),
     };
     stats_json(&out.stats, &MachineModel::sparc_center_1000(), &meta)
 }

@@ -13,10 +13,11 @@
 //!   refactor, not a behaviour change.
 
 use pgr_circuit::{generate, Circuit, GeneratorConfig};
-use pgr_mpi::{Comm, MachineModel, RankStats};
+use pgr_mpi::{ClockMode, Comm, InstrumentConfig, MachineModel, RankStats};
+use pgr_obs::metrics::MetricsConfig;
 use pgr_router::{
-    route_parallel, route_serial, Algorithm, ParallelOutcome, PartitionKind, RouterConfig,
-    RoutingResult,
+    route_parallel, route_parallel_instrumented, route_serial, Algorithm, ParallelOutcome,
+    PartitionKind, RouterConfig, RoutingResult,
 };
 
 /// Serial result fingerprint and final virtual-clock bits on the
@@ -189,6 +190,89 @@ fn every_pipeline_matches_its_pre_refactor_fingerprints() {
             stats_fp,
             "{name} P={procs}: per-rank stats changed"
         );
+    }
+}
+
+/// A rank's stats with the wall measurements removed — the only field a
+/// wall-clock run is allowed to add.
+fn strip_wall(stats: &[RankStats]) -> Vec<RankStats> {
+    stats
+        .iter()
+        .cloned()
+        .map(|mut s| {
+            s.wall = None;
+            s
+        })
+        .collect()
+}
+
+#[test]
+fn clock_modes_agree_on_everything_but_wall_measurements() {
+    let c = golden_circuit();
+
+    // Serial driver under both clock strategies.
+    let machine = MachineModel::sparc_center_1000;
+    let mut virt_comm = Comm::solo_clocked(machine(), MetricsConfig::on(), ClockMode::Virtual);
+    let virt = route_serial(&c, &cfg(), &mut virt_comm);
+    let mut wall_comm = Comm::solo_clocked(machine(), MetricsConfig::on(), ClockMode::Wall);
+    let wall = route_serial(&c, &cfg(), &mut wall_comm);
+    assert_eq!(virt, wall, "serial: wall clock changed routing decisions");
+    assert_eq!(
+        virt_comm.now().to_bits(),
+        wall_comm.now().to_bits(),
+        "serial: wall clock perturbed the virtual account"
+    );
+    assert_eq!(
+        virt_comm.metrics_snapshot(),
+        wall_comm.metrics_snapshot(),
+        "serial: wall clock perturbed the metric windows"
+    );
+
+    // Every parallel driver at P ∈ {1, 3}.
+    for algo in Algorithm::ALL {
+        for procs in [1usize, 3] {
+            let name = algo.name();
+            let run = |clock: ClockMode| {
+                let cfg = RouterConfig { clock, ..cfg() };
+                route_parallel_instrumented(
+                    &c,
+                    &cfg,
+                    algo,
+                    PartitionKind::PinWeight,
+                    procs,
+                    machine(),
+                    InstrumentConfig::metered(),
+                )
+            };
+            let virt = run(ClockMode::Virtual);
+            let wall = run(ClockMode::Wall);
+            assert_eq!(
+                virt.result, wall.result,
+                "{name} P={procs}: wall clock changed routing decisions"
+            );
+            assert_eq!(
+                virt.time.to_bits(),
+                wall.time.to_bits(),
+                "{name} P={procs}: wall clock perturbed the virtual makespan"
+            );
+            assert!(
+                virt.stats.iter().all(|s| s.wall.is_none()),
+                "{name} P={procs}: virtual mode must not carry wall stats"
+            );
+            assert!(
+                wall.stats.iter().all(|s| s.wall.is_some()),
+                "{name} P={procs}: wall mode must measure every rank"
+            );
+            assert_eq!(
+                virt.stats,
+                strip_wall(&wall.stats),
+                "{name} P={procs}: wall clock perturbed the virtual stats"
+            );
+            assert_eq!(
+                virt.metrics, wall.metrics,
+                "{name} P={procs}: wall clock perturbed the metric windows"
+            );
+        }
     }
 }
 

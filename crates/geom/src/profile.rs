@@ -72,9 +72,13 @@ impl DensityProfile {
     }
 
     /// Add `delta` over the inclusive column span `[lo, hi]`.
-    /// Spans are clamped to the profile; a fully out-of-range span is a no-op.
+    /// Spans are clamped to the profile; a fully out-of-range span or a
+    /// zero delta is an exact no-op (the tree is untouched).
     /// `lo > hi` is treated as the span `[hi, lo]`.
     pub fn add_span(&mut self, lo: i64, hi: i64, delta: i64) {
+        if delta == 0 {
+            return;
+        }
         if let Some((lo, hi)) = self.clamp(lo, hi) {
             self.update(1, 0, self.cap - 1, lo, hi, delta);
         }
@@ -115,8 +119,16 @@ impl DensityProfile {
     /// partition boundaries).
     pub fn counts(&self) -> Vec<i64> {
         let mut out = vec![0; self.width];
-        self.collect(1, 0, self.cap - 1, 0, &mut out);
+        self.counts_into(&mut out);
         out
+    }
+
+    /// Write per-column densities into a caller-owned buffer of length
+    /// [`Self::width`] — the allocation-free twin of [`Self::counts`] for
+    /// the assemble/verify hot path.
+    pub fn counts_into(&self, out: &mut [i64]) {
+        assert_eq!(out.len(), self.width, "counts_into buffer width mismatch");
+        self.collect(1, 0, self.cap - 1, 0, out);
     }
 
     /// Pointwise-add another profile's counts into this one.
@@ -165,7 +177,7 @@ impl DensityProfile {
         m + self.lazy[node]
     }
 
-    fn collect(&self, node: usize, nlo: usize, nhi: usize, acc: i64, out: &mut Vec<i64>) {
+    fn collect(&self, node: usize, nlo: usize, nhi: usize, acc: i64, out: &mut [i64]) {
         if nlo >= self.width {
             return;
         }
@@ -301,5 +313,112 @@ mod tests {
         p.add_span(0, 0, 7);
         assert_eq!(p.max(), 7);
         assert_eq!(p.counts(), vec![7]);
+    }
+
+    #[test]
+    fn counts_into_matches_counts() {
+        let mut p = DensityProfile::new(13);
+        p.add_span(1, 6, 2);
+        p.add_span(4, 12, -1);
+        let mut buf = vec![0i64; 13];
+        p.counts_into(&mut buf);
+        assert_eq!(buf, p.counts());
+    }
+
+    #[test]
+    fn counts_into_overwrites_stale_buffer() {
+        let mut p = DensityProfile::new(5);
+        p.add_span(1, 3, 1);
+        let mut buf = vec![99i64; 5];
+        p.counts_into(&mut buf);
+        assert_eq!(buf, vec![0, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn counts_into_rejects_wrong_width() {
+        let p = DensityProfile::new(5);
+        let mut buf = vec![0i64; 4];
+        p.counts_into(&mut buf);
+    }
+
+    #[test]
+    fn zero_delta_span_is_exact_noop() {
+        let mut p = DensityProfile::new(11);
+        p.add_span(2, 9, 3);
+        let before = p.clone();
+        p.add_span(0, 10, 0);
+        p.add_span(4, 4, 0);
+        p.add_span(-5, 50, 0);
+        assert_eq!(p.tree, before.tree, "zero delta must not touch the tree");
+        assert_eq!(p.lazy, before.lazy, "zero delta must not touch lazy tags");
+    }
+
+    #[test]
+    fn fully_clamped_span_is_exact_noop() {
+        let mut p = DensityProfile::new(11);
+        p.add_span(3, 7, 2);
+        let before = p.clone();
+        p.add_span(11, 20, 1); // starts exactly at width
+        p.add_span(-9, -1, 1); // ends exactly before 0
+        p.add_span(i64::MAX - 1, i64::MAX, 1);
+        assert_eq!(
+            p.tree, before.tree,
+            "clamped-away spans must not touch the tree"
+        );
+        assert_eq!(p.lazy, before.lazy);
+    }
+
+    /// Property check against a naive dense model: random spans (including
+    /// reversed, out-of-range, and zero-delta ones) at non-power-of-two
+    /// widths must agree with per-column bookkeeping on every observable.
+    #[test]
+    fn random_spans_match_naive_model() {
+        use crate::rng::rng_from_seed;
+        for &width in &[1usize, 3, 7, 13, 16, 27, 100] {
+            let mut rng = rng_from_seed(0x5EED_0000 + width as u64);
+            let mut p = DensityProfile::new(width);
+            let mut naive = vec![0i64; width];
+            let w = width as i64;
+            for step in 0..400 {
+                let lo = rng.gen_range(-w - 2..=2 * w + 2);
+                let hi = rng.gen_range(-w - 2..=2 * w + 2);
+                let delta = rng.gen_range(-2..=2i64);
+                p.add_span(lo, hi, delta);
+                let (nlo, nhi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+                for (col, v) in naive.iter_mut().enumerate() {
+                    if nlo <= col as i64 && col as i64 <= nhi {
+                        *v += delta;
+                    }
+                }
+                let naive_max = *naive.iter().max().expect("width > 0");
+                assert_eq!(p.max(), naive_max, "width {width} step {step}");
+                let mut buf = vec![0i64; width];
+                p.counts_into(&mut buf);
+                assert_eq!(buf, naive, "width {width} step {step}");
+                // Random max_in / max_if_added probes, again unclamped.
+                let qlo = rng.gen_range(-w - 2..=2 * w + 2);
+                let qhi = rng.gen_range(-w - 2..=2 * w + 2);
+                let (cl, ch) = if qlo <= qhi { (qlo, qhi) } else { (qhi, qlo) };
+                let in_range: Vec<i64> = naive
+                    .iter()
+                    .enumerate()
+                    .filter(|(c, _)| cl <= *c as i64 && *c as i64 <= ch)
+                    .map(|(_, &v)| v)
+                    .collect();
+                if in_range.is_empty() {
+                    assert_eq!(p.max_in(qlo, qhi), 0, "clamped-away query is 0");
+                    assert_eq!(
+                        p.max_if_added(qlo, qhi),
+                        naive_max,
+                        "out-of-range hypothetical keeps the real max"
+                    );
+                } else {
+                    let span_max = *in_range.iter().max().expect("non-empty");
+                    assert_eq!(p.max_in(qlo, qhi), span_max);
+                    assert_eq!(p.max_if_added(qlo, qhi), naive_max.max(span_max + 1));
+                }
+            }
+        }
     }
 }

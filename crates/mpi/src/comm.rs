@@ -41,7 +41,7 @@ use crate::fault::{
     FaultAction, FaultLayer, MsgCtx, FAULTS_CORRUPTED, FAULTS_DELAYED, FAULTS_DROPPED,
     FAULTS_DUPLICATED, FAULTS_REORDERED,
 };
-use crate::machine::MachineModel;
+use crate::machine::{ClockMode, MachineModel};
 use crate::reliable::{self, backoff_delay, Ingest, ReliabilityConfig, ReorderBuffer};
 use crate::trace::{RankTrace, TraceConfig, TraceEvent, TraceEventKind, TraceHub};
 use crate::wire::{crc32, Wire};
@@ -49,7 +49,7 @@ use pgr_obs::{MetricsConfig, MetricsShard, Phase, RankMetrics};
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tags at or above this value are reserved for collectives.
 pub const COLLECTIVE_TAG_BASE: u32 = 0x8000_0000;
@@ -105,6 +105,21 @@ pub struct RankStats {
     /// (from [`Comm::phase`] markers; the last phase ends at the final
     /// clock).
     pub phases: Vec<(&'static str, f64)>,
+    /// Host-time measurements — `Some` only under [`ClockMode::Wall`].
+    /// Everything else in the record stays the deterministic virtual
+    /// account, so a wall-clock run changes reported seconds and nothing
+    /// else.
+    pub wall: Option<WallStats>,
+}
+
+/// Real host-time measurements of one rank ([`ClockMode::Wall`] only):
+/// seconds elapsed from the run's shared epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WallStats {
+    /// Wall seconds from the epoch to this rank's finish.
+    pub time: f64,
+    /// Wall duration of each entry of [`RankStats::phases`], same order.
+    pub phases: Vec<f64>,
 }
 
 /// Result of a parallel run: one result and one stat record per rank.
@@ -119,6 +134,16 @@ impl<R> RunReport<R> {
     /// Simulated wall-clock of the run: the slowest rank's final clock.
     pub fn makespan(&self) -> f64 {
         self.stats.iter().map(|s| s.time).fold(0.0, f64::max)
+    }
+
+    /// Real host makespan: the slowest rank's wall seconds from the
+    /// shared epoch. `None` unless the run used [`ClockMode::Wall`].
+    pub fn wall_makespan(&self) -> Option<f64> {
+        self.stats
+            .iter()
+            .map(|s| s.wall.as_ref().map(|w| w.time))
+            .collect::<Option<Vec<f64>>>()
+            .map(|ts| ts.into_iter().fold(0.0, f64::max))
     }
 
     pub fn total_bytes_sent(&self) -> u64 {
@@ -161,6 +186,16 @@ pub struct Comm {
     /// Received-but-unmatched messages, per source rank.
     pending: Vec<VecDeque<Envelope>>,
     clock: f64,
+    /// Which clock is authoritative for reporting. The virtual clock
+    /// advances in both modes (it is free and deterministic); `Wall`
+    /// additionally measures host time against `wall_epoch`.
+    clock_mode: ClockMode,
+    /// Shared run epoch for wall measurements (one `Instant` taken
+    /// before any rank spawns, so per-rank wall times are makespan-
+    /// compatible).
+    wall_epoch: Instant,
+    /// Wall timestamp of each `phase_marks` entry (`Wall` mode only).
+    wall_marks: Vec<f64>,
     ops: u64,
     msgs_sent: u64,
     bytes_sent: u64,
@@ -252,6 +287,10 @@ pub struct InstrumentConfig {
     /// Reliable-transport switches (default off — injected faults stay
     /// visible; see [`crate::reliable`]).
     pub reliability: ReliabilityConfig,
+    /// Clock strategy (default [`ClockMode::Virtual`]). Under `Wall`
+    /// every rank's stats additionally carry host-time measurements from
+    /// one shared epoch.
+    pub clock: ClockMode,
 }
 
 impl std::fmt::Debug for InstrumentConfig {
@@ -261,6 +300,7 @@ impl std::fmt::Debug for InstrumentConfig {
             .field("metrics", &self.metrics)
             .field("fault", &self.fault.as_ref().map(|_| "<layer>"))
             .field("reliability", &self.reliability)
+            .field("clock", &self.clock)
             .finish()
     }
 }
@@ -300,6 +340,13 @@ impl Comm {
     /// A solo communicator with metric collection configured — the
     /// serial-baseline entry point for `--trace-out` runs.
     pub fn solo_instrumented(machine: MachineModel, metrics: MetricsConfig) -> Self {
+        Comm::solo_clocked(machine, metrics, ClockMode::default())
+    }
+
+    /// A solo communicator with an explicit [`ClockMode`]: under
+    /// [`ClockMode::Wall`] the epoch starts here and [`Comm::stats`]
+    /// reports host seconds alongside the virtual account.
+    pub fn solo_clocked(machine: MachineModel, metrics: MetricsConfig, clock: ClockMode) -> Self {
         Comm {
             rank: 0,
             size: 1,
@@ -312,6 +359,9 @@ impl Comm {
             rx: None,
             pending: vec![VecDeque::new()],
             clock: 0.0,
+            clock_mode: clock,
+            wall_epoch: Instant::now(),
+            wall_marks: Vec::new(),
             ops: 0,
             msgs_sent: 0,
             bytes_sent: 0,
@@ -367,9 +417,22 @@ impl Comm {
         &self.machine
     }
 
-    /// Current virtual time in seconds.
+    /// Current virtual time in seconds (advances identically in both
+    /// clock modes; never consulted by routing decisions).
     pub fn now(&self) -> f64 {
         self.clock
+    }
+
+    /// The run's clock strategy.
+    pub fn clock_mode(&self) -> ClockMode {
+        self.clock_mode
+    }
+
+    /// Real host seconds since the run's shared epoch. Meaningful under
+    /// [`ClockMode::Wall`]; in virtual mode it still ticks but nothing
+    /// reports it.
+    pub fn wall_now(&self) -> f64 {
+        self.wall_epoch.elapsed().as_secs_f64()
     }
 
     // ----- tracing -----
@@ -488,6 +551,9 @@ impl Comm {
     /// clock) are reported in [`RankStats::phases`].
     pub fn phase(&mut self, name: &'static str) {
         self.phase_marks.push((name, self.clock));
+        if self.clock_mode == ClockMode::Wall {
+            self.wall_marks.push(self.wall_now());
+        }
         self.record(TraceEventKind::Phase { name }, self.clock, self.clock);
     }
 
@@ -585,6 +651,16 @@ impl Comm {
                 .unwrap_or(self.clock);
             phases.push((name, end - start));
         }
+        let wall = (self.clock_mode == ClockMode::Wall).then(|| {
+            let now = self.wall_now();
+            let phases = self
+                .wall_marks
+                .iter()
+                .enumerate()
+                .map(|(i, &start)| self.wall_marks.get(i + 1).copied().unwrap_or(now) - start)
+                .collect();
+            WallStats { time: now, phases }
+        });
         RankStats {
             rank: self.rank,
             time: self.clock,
@@ -594,6 +670,7 @@ impl Comm {
             bytes_to: self.bytes_to.clone(),
             peak_mem: self.peak_mem,
             phases,
+            wall,
         }
     }
 
@@ -1440,6 +1517,9 @@ where
         txs.push(tx);
         rxs.push(rx);
     }
+    // One epoch for the whole run, taken before any rank spawns, so
+    // per-rank wall times share a zero and their max is a real makespan.
+    let wall_epoch = Instant::now();
 
     let mut comms: Vec<Comm> = rxs
         .into_iter()
@@ -1456,6 +1536,9 @@ where
             rx: Some(rx),
             pending: (0..size).map(|_| VecDeque::new()).collect(),
             clock: 0.0,
+            clock_mode: instr.clock,
+            wall_epoch,
+            wall_marks: Vec::new(),
             ops: 0,
             msgs_sent: 0,
             bytes_sent: 0,
@@ -1900,5 +1983,75 @@ mod tests {
     fn untraced_run_returns_no_traces() {
         let (_, traces) = run_traced(2, MachineModel::ideal(), TraceConfig::off(), |c| c.rank());
         assert!(traces.is_empty());
+    }
+
+    #[test]
+    fn wall_mode_adds_measurements_without_touching_the_virtual_account() {
+        let body = |c: &mut Comm| {
+            c.phase("compute");
+            c.compute(10_000 * (c.rank() as u64 + 1));
+            c.phase("sync");
+            c.allreduce(c.rank() as u64, |a, b| a + b)
+        };
+        let virt = run_instrumented(
+            3,
+            MachineModel::intel_paragon(),
+            InstrumentConfig::off(),
+            body,
+        );
+        let wall = run_instrumented(
+            3,
+            MachineModel::intel_paragon(),
+            InstrumentConfig {
+                clock: ClockMode::Wall,
+                ..InstrumentConfig::off()
+            },
+            body,
+        );
+        assert_eq!(virt.0.results, wall.0.results, "results are clock-blind");
+        assert!(virt.0.stats.iter().all(|s| s.wall.is_none()));
+        assert!((virt.0.makespan() - wall.0.makespan()).abs() < 1e-15);
+        for (v, w) in virt.0.stats.iter().zip(&wall.0.stats) {
+            // Strip the wall layer and the records must be bit-identical.
+            let mut stripped = w.clone();
+            stripped.wall = None;
+            assert_eq!(*v, stripped, "rank {}: virtual account diverged", v.rank);
+            let ws = w.wall.as_ref().expect("wall stats present in Wall mode");
+            assert!(ws.time >= 0.0 && ws.time.is_finite());
+            assert_eq!(ws.phases.len(), w.phases.len(), "one wall span per phase");
+            assert!(ws.phases.iter().all(|&d| d >= 0.0));
+            // Phase spans partition [first mark, finish]; their sum
+            // cannot exceed the rank's total wall time.
+            assert!(ws.phases.iter().sum::<f64>() <= ws.time + 1e-9);
+        }
+        let wm = wall.0.wall_makespan().expect("wall makespan in Wall mode");
+        assert!(wall
+            .0
+            .stats
+            .iter()
+            .all(|s| { s.wall.as_ref().expect("wall stats").time <= wm }));
+        assert_eq!(virt.0.wall_makespan(), None);
+    }
+
+    #[test]
+    fn solo_clocked_reports_wall_stats() {
+        let mut c = Comm::solo_clocked(
+            MachineModel::sparc_center_1000(),
+            MetricsConfig::off(),
+            ClockMode::Wall,
+        );
+        assert_eq!(c.clock_mode(), ClockMode::Wall);
+        c.phase("work");
+        c.compute(1_000);
+        let s = c.stats();
+        let ws = s.wall.expect("solo wall stats");
+        assert_eq!(ws.phases.len(), 1);
+        assert!(ws.time >= ws.phases[0]);
+        // The virtual account is still live underneath.
+        assert!(s.time > 0.0);
+
+        let plain = Comm::solo(MachineModel::sparc_center_1000());
+        assert_eq!(plain.clock_mode(), ClockMode::Virtual);
+        assert!(plain.stats().wall.is_none());
     }
 }

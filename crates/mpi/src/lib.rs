@@ -55,12 +55,12 @@ pub mod wire;
 
 pub use comm::{
     run, run_instrumented, run_traced, Comm, InstrumentConfig, PhaseControl, RankStats, RunReport,
-    COLLECTIVE_TAG_BASE,
+    WallStats, COLLECTIVE_TAG_BASE,
 };
 pub use error::{CommError, PendingMsg, TransportSnapshot};
 pub use failure::{FailureDetector, FailureInfo};
 pub use fault::{ChaosConfig, ChaosLayer, FaultAction, FaultLayer, MsgCtx};
-pub use machine::MachineModel;
+pub use machine::{ClockMode, MachineModel};
 pub use pgr_obs::{MetricsConfig, Phase, RankMetrics, RunMeta};
 pub use reliable::ReliabilityConfig;
 pub use trace::{

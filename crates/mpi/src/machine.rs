@@ -9,6 +9,34 @@
 //! ratio reproduces the *shape* of the reported speedups — absolute
 //! seconds are not the claim, shapes are.
 
+/// The clock strategy of a run.
+///
+/// The virtual [`MachineModel`] clock is pure arithmetic — it never makes
+/// a rank sleep — so it stays live in both modes and remains bit-identical
+/// for a given program. `Wall` additionally timestamps the run against a
+/// shared [`std::time::Instant`] epoch, so phase and run timings reflect
+/// what the host actually did. Routing never reads either clock, which is
+/// what lets the golden-determinism suite pin results across modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClockMode {
+    /// Deterministic virtual time only (the CI / reproduction mode).
+    #[default]
+    Virtual,
+    /// Ranks run free and report real host seconds alongside the
+    /// virtual ones.
+    Wall,
+}
+
+impl ClockMode {
+    /// Stable lowercase name, as stamped into `stats.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClockMode::Virtual => "virtual",
+            ClockMode::Wall => "wall",
+        }
+    }
+}
+
 /// A simulated parallel platform.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineModel {

@@ -317,12 +317,37 @@ pub fn stats_json(stats: &[RankStats], machine: &MachineModel, run: &RunMeta) ->
     let ranks: Vec<String> = stats
         .iter()
         .map(|s| {
-            let phases: Vec<String> =
-                s.phases.iter().map(|(n, d)| format!("{{\"name\":\"{}\",\"seconds\":{:.9}}}", json_escape(n), d)).collect();
+            let phases: Vec<String> = s
+                .phases
+                .iter()
+                .enumerate()
+                .map(|(i, (n, d))| {
+                    // Wall seconds ride alongside the virtual account,
+                    // per phase, when the run measured them.
+                    let wall = s
+                        .wall
+                        .as_ref()
+                        .and_then(|w| w.phases.get(i))
+                        .map(|wd| format!(",\"wall_seconds\":{wd:.9}"))
+                        .unwrap_or_default();
+                    format!(
+                        "{{\"name\":\"{}\",\"seconds\":{:.9}{}}}",
+                        json_escape(n),
+                        d,
+                        wall
+                    )
+                })
+                .collect();
+            let wall = s
+                .wall
+                .as_ref()
+                .map(|w| format!(",\"wall_time\":{:.9}", w.time))
+                .unwrap_or_default();
             format!(
-                "{{\"rank\":{},\"time\":{:.9},\"ops\":{},\"msgs_sent\":{},\"bytes_sent\":{},\"peak_mem\":{},\"phases\":[{}]}}",
+                "{{\"rank\":{},\"time\":{:.9}{},\"ops\":{},\"msgs_sent\":{},\"bytes_sent\":{},\"peak_mem\":{},\"phases\":[{}]}}",
                 s.rank,
                 s.time,
+                wall,
                 s.ops,
                 s.msgs_sent,
                 s.bytes_sent,
@@ -331,12 +356,28 @@ pub fn stats_json(stats: &[RankStats], machine: &MachineModel, run: &RunMeta) ->
             )
         })
         .collect();
+    // `wall_makespan` appears only when every rank carried a wall
+    // measurement — virtual-mode dumps stay byte-identical to those of
+    // writers predating the field.
+    let wall_makespan = stats
+        .iter()
+        .map(|s| s.wall.as_ref().map(|w| w.time))
+        .collect::<Option<Vec<f64>>>()
+        .filter(|ts| !ts.is_empty())
+        .map(|ts| {
+            format!(
+                ",\"wall_makespan\":{:.9}",
+                ts.into_iter().fold(0.0, f64::max)
+            )
+        })
+        .unwrap_or_default();
     format!(
-        "{{\"schema_version\":{},\"kind\":\"stats\",\"run\":{},\"machine\":\"{}\",\"makespan\":{:.9},\"ranks\":[\n{}\n]}}\n",
+        "{{\"schema_version\":{},\"kind\":\"stats\",\"run\":{},\"machine\":\"{}\",\"makespan\":{:.9}{},\"ranks\":[\n{}\n]}}\n",
         SCHEMA_VERSION,
         run.to_json(),
         json_escape(machine.name),
         makespan,
+        wall_makespan,
         ranks.join(",\n")
     )
 }
@@ -429,6 +470,7 @@ mod tests {
             bytes_to: vec![0, 64],
             peak_mem: 128,
             phases: vec![("setup", 0.5), ("route", 0.75)],
+            wall: None,
         }];
         let run = RunMeta {
             circuit: "t".into(),
@@ -438,6 +480,7 @@ mod tests {
             scale: 1.0,
             seed: 7,
             degraded: false,
+            clock: "virtual".into(),
         };
         let json = stats_json(&stats, &MachineModel::ideal(), &run);
         assert!(json.contains(&format!("\"schema_version\":{SCHEMA_VERSION}")));
@@ -451,5 +494,49 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         // The emitted document is valid JSON by the workspace's own reader.
         pgr_obs::Json::parse(&json).expect("stats_json parses");
+        // Virtual-mode dumps carry no wall fields at all.
+        assert!(!json.contains("wall"));
+        assert!(!json.contains("clock"));
+    }
+
+    #[test]
+    fn stats_json_carries_wall_seconds_when_measured() {
+        let stats = vec![RankStats {
+            rank: 0,
+            time: 1.25,
+            ops: 10,
+            msgs_sent: 2,
+            bytes_sent: 64,
+            bytes_to: vec![0, 64],
+            peak_mem: 128,
+            phases: vec![("setup", 0.5), ("route", 0.75)],
+            wall: Some(crate::comm::WallStats {
+                time: 0.003,
+                phases: vec![0.001, 0.002],
+            }),
+        }];
+        let run = RunMeta {
+            circuit: "t".into(),
+            algorithm: "serial".into(),
+            procs: 1,
+            machine: "ideal".into(),
+            scale: 1.0,
+            seed: 7,
+            degraded: false,
+            clock: "wall".into(),
+        };
+        let json = stats_json(&stats, &MachineModel::ideal(), &run);
+        let v = pgr_obs::Json::parse(&json).expect("stats_json parses");
+        let r = v.get("run").unwrap();
+        assert_eq!(r.get("clock").unwrap().as_str(), Some("wall"));
+        assert_eq!(v.get("wall_makespan").unwrap().as_f64(), Some(0.003));
+        let rank0 = &v.get("ranks").unwrap().as_arr().unwrap()[0];
+        assert_eq!(rank0.get("wall_time").unwrap().as_f64(), Some(0.003));
+        // Virtual account is still the primary record.
+        assert_eq!(rank0.get("time").unwrap().as_f64(), Some(1.25));
+        let phases = rank0.get("phases").unwrap().as_arr().unwrap();
+        assert_eq!(phases[0].get("seconds").unwrap().as_f64(), Some(0.5));
+        assert_eq!(phases[0].get("wall_seconds").unwrap().as_f64(), Some(0.001));
+        assert_eq!(phases[1].get("wall_seconds").unwrap().as_f64(), Some(0.002));
     }
 }

@@ -375,6 +375,7 @@ fn watchdog_stall_reports_retry_and_backoff_state() {
         metrics: MetricsConfig::on(),
         fault: Some(Arc::new(drop_first_ping)),
         reliability: ReliabilityConfig::on(),
+        ..InstrumentConfig::off()
     };
     let (report, _, _) = run_instrumented(2, MachineModel::ideal(), instr, |comm| {
         if comm.rank() == 0 {
@@ -422,6 +423,7 @@ fn watchdog_stall_reports_corruption_counters() {
         metrics: MetricsConfig::on(),
         fault: Some(Arc::new(corrupt_first_ping)),
         reliability: ReliabilityConfig::on(),
+        ..InstrumentConfig::off()
     };
     let (report, _, _) = run_instrumented(2, MachineModel::ideal(), instr, |comm| {
         if comm.rank() == 0 {

@@ -61,20 +61,29 @@ pub struct RunMeta {
     /// serial fallback pipeline. Emitted only when `true`, so fault-free
     /// dumps are byte-identical to those of writers predating the flag.
     pub degraded: bool,
+    /// Clock strategy of the run: `"virtual"` (the deterministic default)
+    /// or `"wall"`. Emitted only when not `"virtual"`, so virtual-mode
+    /// dumps are byte-identical to those of writers predating the field.
+    pub clock: String,
 }
 
 impl RunMeta {
     /// The `"run":{…}` JSON fragment shared by every emitter.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"circuit\":\"{}\",\"algorithm\":\"{}\",\"procs\":{},\"machine\":\"{}\",\"scale\":{},\"seed\":{}{}}}",
+            "{{\"circuit\":\"{}\",\"algorithm\":\"{}\",\"procs\":{},\"machine\":\"{}\",\"scale\":{},\"seed\":{}{}{}}}",
             json_escape(&self.circuit),
             json_escape(&self.algorithm),
             self.procs,
             json_escape(&self.machine),
             json_f64(self.scale),
             self.seed,
-            if self.degraded { ",\"degraded\":true" } else { "" }
+            if self.degraded { ",\"degraded\":true" } else { "" },
+            if self.clock.is_empty() || self.clock == "virtual" {
+                String::new()
+            } else {
+                format!(",\"clock\":\"{}\"", json_escape(&self.clock))
+            }
         )
     }
 }
@@ -161,7 +170,21 @@ mod tests {
             scale: 0.25,
             seed: 1997,
             degraded: false,
+            clock: "virtual".into(),
         }
+    }
+
+    #[test]
+    fn clock_is_stamped_only_when_not_virtual() {
+        let virt = meta();
+        assert!(!virt.to_json().contains("clock"));
+        let mut wall = meta();
+        wall.clock = "wall".into();
+        let v = Json::parse(&metrics_json(&wall, &[])).expect("wall output parses");
+        assert_eq!(
+            v.get("run").unwrap().get("clock").unwrap().as_str(),
+            Some("wall")
+        );
     }
 
     #[test]

@@ -270,6 +270,10 @@ fn cmd_route() {
                 c.channel, c.peak, c.peak_column, c.mean, c.spans
             );
         }
+        match report.worst_spikiness() {
+            Some(s) => println!("worst channel spikiness (peak/mean): {s:.2}"),
+            None => println!("worst channel spikiness: n/a (no routed wire)"),
+        }
     }
     if args.switches.contains("detailed") {
         let d = pgr::router::detailed::route_channels(&result);
