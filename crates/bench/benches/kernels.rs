@@ -146,6 +146,28 @@ fn bench_channel_router(h: &mut Harness) {
     }
 }
 
+fn bench_critical_path(h: &mut Harness) {
+    use pgr_mpi::{build_profile, run_instrumented, InstrumentConfig, MachineModel};
+
+    // One instrumented ring run outside the timed loop; the kernel under
+    // test is the profiler itself — matching, backward walk, blame.
+    let machine = MachineModel::sparc_center_1000();
+    let instr = InstrumentConfig::full();
+    let (_, traces, _) = run_instrumented(4, machine, instr, |comm| {
+        let p = comm.size();
+        let me = comm.rank();
+        for round in 0..200u64 {
+            comm.compute(1_000 + (me as u64 + round) % 512);
+            let next = (me + 1) % p;
+            comm.send(next, 1, &round);
+            comm.recv::<u64>((me + p - 1) % p, 1);
+        }
+    });
+    h.bench("critical_path/extract", |b| {
+        b.iter(|| black_box(build_profile(black_box(&traces), black_box(&machine))))
+    });
+}
+
 fn bench_shuffle(h: &mut Harness) {
     h.bench("shuffle_10k", |b| {
         let mut rng = rng_from_seed(5);
@@ -161,6 +183,7 @@ fn main() {
     bench_unionfind(&mut h);
     bench_wire(&mut h);
     bench_channel_router(&mut h);
+    bench_critical_path(&mut h);
     bench_shuffle(&mut h);
     h.finish();
 }

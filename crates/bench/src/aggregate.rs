@@ -349,6 +349,9 @@ fn is_dump(p: &Path) -> bool {
 pub struct PhaseAgg {
     pub name: String,
     pub seconds: Option<f64>,
+    /// Rank-summed recv-wait seconds inside this phase's window (from
+    /// the `mpi.recv_wait_micros` counter), when metrics were loaded.
+    pub wait_seconds: Option<f64>,
     /// Merged per-phase window counters, sorted by name.
     pub counters: Vec<(String, u64)>,
 }
@@ -367,6 +370,11 @@ pub struct AggRecord {
     pub wirelength: Option<u64>,
     pub feedthroughs: Option<u64>,
     pub load_imbalance: Option<f64>,
+    /// Fraction of the run's total rank-seconds spent blocked in recv
+    /// past the modeled overhead: `Σ mpi.recv_wait_micros / 1e6`
+    /// divided by `procs × makespan`. Needs both dump kinds; 0 for a
+    /// run that never waited.
+    pub wait_fraction: Option<f64>,
     pub bytes_sent: u64,
     /// Per-phase trend series, in [`Phase`] registry order.
     pub phases: Vec<PhaseAgg>,
@@ -384,6 +392,9 @@ const TRACKS: &str = "route.tracks";
 const WIRELENGTH: &str = "route.wirelength";
 const FEEDTHROUGHS: &str = "route.feedthroughs";
 const LOAD_IMBALANCE: &str = "parallel.load_imbalance";
+/// Mirrored from `pgr_mpi::RECV_WAIT_MICROS` (same literal-over-import
+/// rationale as the router names above).
+const RECV_WAIT_MICROS: &str = "mpi.recv_wait_micros";
 
 /// Derive the cross-run series from loaded records: speedups and quality
 /// scaled against each series' `"serial"` run.
@@ -414,10 +425,19 @@ pub fn aggregate(records: &[RunRecord]) -> Aggregate {
                     if seconds.is_none() && window.is_none() {
                         return None;
                     }
+                    let counters: Vec<(String, u64)> =
+                        window.map(|w| w.counters.clone()).unwrap_or_default();
+                    let wait_seconds = window.map(|w| {
+                        w.counters
+                            .iter()
+                            .find(|(n, _)| n == RECV_WAIT_MICROS)
+                            .map_or(0.0, |(_, v)| *v as f64 / 1e6)
+                    });
                     Some(PhaseAgg {
                         name: p.name().to_string(),
                         seconds,
-                        counters: window.map(|w| w.counters.clone()).unwrap_or_default(),
+                        wait_seconds,
+                        counters,
                     })
                 })
                 .collect();
@@ -436,6 +456,14 @@ pub fn aggregate(records: &[RunRecord]) -> Aggregate {
                 wirelength: m.and_then(|m| m.counter(WIRELENGTH)),
                 feedthroughs: m.and_then(|m| m.counter(FEEDTHROUGHS)),
                 load_imbalance: m.and_then(|m| m.gauge(LOAD_IMBALANCE)),
+                wait_fraction: match (m, r.makespan) {
+                    (Some(mm), Some(t)) if t > 0.0 && r.run.procs > 0 => Some(
+                        mm.counter(RECV_WAIT_MICROS).unwrap_or(0) as f64
+                            / 1e6
+                            / (r.run.procs as f64 * t),
+                    ),
+                    _ => None,
+                },
                 bytes_sent: r.bytes_sent,
                 phases,
             }
@@ -473,15 +501,16 @@ impl Aggregate {
                             .map(|(n, v)| format!("\"{}\":{v}", json_escape(n)))
                             .collect();
                         format!(
-                            "{{\"name\":\"{}\",\"seconds\":{},\"counters\":{{{}}}}}",
+                            "{{\"name\":\"{}\",\"seconds\":{},\"wait_seconds\":{},\"counters\":{{{}}}}}",
                             json_escape(&p.name),
                             opt_f64(p.seconds),
+                            opt_f64(p.wait_seconds),
                             counters.join(",")
                         )
                     })
                     .collect();
                 format!(
-                    "{{\"run\":{},\"makespan\":{},\"speedup\":{},\"tracks\":{},\"scaled_tracks\":{},\"wirelength\":{},\"feedthroughs\":{},\"load_imbalance\":{},\"bytes_sent\":{},\"phases\":[{}]}}",
+                    "{{\"run\":{},\"makespan\":{},\"speedup\":{},\"tracks\":{},\"scaled_tracks\":{},\"wirelength\":{},\"feedthroughs\":{},\"load_imbalance\":{},\"wait_fraction\":{},\"bytes_sent\":{},\"phases\":[{}]}}",
                     r.run.to_json(),
                     opt_f64(r.makespan),
                     opt_f64(r.speedup),
@@ -490,6 +519,7 @@ impl Aggregate {
                     opt_u64(r.wirelength),
                     opt_u64(r.feedthroughs),
                     opt_f64(r.load_imbalance),
+                    opt_f64(r.wait_fraction),
                     r.bytes_sent,
                     phases.join(",")
                 )
@@ -549,6 +579,28 @@ impl Aggregate {
                     out.push_str(&cell(rec.and_then(|r| r.scaled_tracks)));
                 }
                 out.push('\n');
+            }
+            // Wait-fraction / imbalance trend: how much of each run's
+            // rank-seconds went to recv blocking, and how skewed the
+            // partition was — the two levers behind every lost speedup.
+            let mut with_wait: Vec<&&AggRecord> = rows
+                .iter()
+                .filter(|r| r.wait_fraction.is_some() || r.load_imbalance.is_some())
+                .collect();
+            with_wait.sort_by_key(|r| (r.run.algorithm.clone(), r.run.procs));
+            if !with_wait.is_empty() {
+                out.push_str("\n| algorithm | procs | wait % | imbalance |\n|---|---|---|---|\n");
+                for r in &with_wait {
+                    out.push_str(&format!(
+                        "| {} | {} | {} | {} |\n",
+                        r.run.algorithm,
+                        r.run.procs,
+                        r.wait_fraction
+                            .map_or("—".to_string(), |w| format!("{:.1}", w * 100.0)),
+                        r.load_imbalance
+                            .map_or("—".to_string(), |x| format!("{x:.2}")),
+                    ));
+                }
             }
             // Phase-time trend for the slowest-rank breakdown.
             let mut with_phases: Vec<&&AggRecord> =
@@ -700,6 +752,19 @@ pub fn check_baseline(
             b.get("wirelength").and_then(|f| f.as_f64()),
             cur.wirelength.map(|w| w as f64),
         );
+        // Higher-is-worse efficiency series: a run that waits longer or
+        // balances worse than the baseline regressed even if quality and
+        // makespan stayed inside tolerance.
+        check_f(
+            "wait_fraction",
+            b.get("wait_fraction").and_then(|f| f.as_f64()),
+            cur.wait_fraction,
+        );
+        check_f(
+            "load_imbalance",
+            b.get("load_imbalance").and_then(|f| f.as_f64()),
+            cur.load_imbalance,
+        );
         // Per-phase series: virtual seconds and the phase-scoped
         // wirelength must not drift past tolerance either — a regression
         // hiding inside one phase while the totals stay flat is exactly
@@ -713,6 +778,11 @@ pub fn check_baseline(
                 &format!("phase {name} seconds"),
                 bp.get("seconds").and_then(|f| f.as_f64()),
                 cp.and_then(|p| p.seconds),
+            );
+            check_f(
+                &format!("phase {name} wait seconds"),
+                bp.get("wait_seconds").and_then(|f| f.as_f64()),
+                cp.and_then(|p| p.wait_seconds),
             );
             check_f(
                 &format!("phase {name} wirelength"),

@@ -7,7 +7,7 @@
 //!          partition-ablation sync-sweep machine-sweep
 //!          exact-sync-ablation beta-sweep phase-breakdown
 //!          detailed-refinement steiner-ablation comm-matrix
-//!          chaos wall-clock all
+//!          chaos wall-clock profile all
 //!
 //! repro aggregate [--out FILE] [--md FILE] [--baseline FILE]
 //!                 [--tolerance F] <path>...
@@ -35,6 +35,16 @@
 //! degraded result is verified and the recovery counters are printed
 //! (and written to `*.metrics.json` under `--trace-out`).
 //!
+//! `profile` is the causal profiler: every driver runs fully
+//! instrumented, each run's send→recv matched happens-before DAG yields
+//! the critical path of the makespan, and every second on it is blamed
+//! on compute, recv-wait, transport, recovery, or the degraded
+//! fallback. The summary table and per-phase × rank blame tables print
+//! to stdout; under `--trace-out` each run also writes
+//! `*.profile.json`, `*.blame.md`, and a Chrome trace with flow arrows
+//! plus color-tagged critical-path slices. The path-sum-equals-makespan
+//! invariant is asserted in-process on every lossless run.
+//!
 //! `repro bench-check` validates `BENCH_*.json` kernel-bench snapshots
 //! (as written by `BENCH_JSON=path cargo bench`): schema version, kind
 //! tag, and at least `--min-kernels` entries with positive timings. CI
@@ -59,7 +69,7 @@ use std::path::PathBuf;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale F] [--circuits a,b,c] [--trace-out DIR] <target>...\n\
-         targets: table1 table2 table3 table4 table5 partition-ablation sync-sweep\n          machine-sweep exact-sync-ablation beta-sweep phase-breakdown detailed-refinement steiner-ablation comm-matrix chaos wall-clock all\n\
+         targets: table1 table2 table3 table4 table5 partition-ablation sync-sweep\n          machine-sweep exact-sync-ablation beta-sweep phase-breakdown detailed-refinement steiner-ablation comm-matrix chaos wall-clock profile all\n\
          or:    repro aggregate [--out FILE] [--md FILE] [--baseline FILE] [--tolerance F] <path>...\n\
          or:    repro bench-check [--min-kernels N] <file>..."
     );
@@ -230,6 +240,7 @@ fn main() {
             "comm-matrix",
             "chaos",
             "wall-clock",
+            "profile",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -253,6 +264,7 @@ fn main() {
             "comm-matrix" => tables::comm_matrix(&opts),
             "chaos" => tables::chaos_smoke(&opts),
             "wall-clock" => tables::wall_clock(&opts),
+            "profile" => tables::profile(&opts),
             other => {
                 eprintln!("unknown target '{other}'");
                 usage();

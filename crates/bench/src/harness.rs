@@ -20,6 +20,14 @@ pub fn black_box<T>(x: T) -> T {
     std_black_box(x)
 }
 
+/// Version stamp of the `BENCH_*.json` snapshot format. Bench
+/// snapshots version independently of the pgr-obs dump schema
+/// (`pgr_obs::SCHEMA_VERSION`): the observability dumps gain fields as
+/// the metrics surface grows, while the snapshot layout below only
+/// changes when *this* document does — committed `BENCH_*.json`
+/// baselines must not be invalidated by unrelated dump evolution.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
 /// Target measurement window per sample.
 const SAMPLE_WINDOW: Duration = Duration::from_millis(25);
 /// Samples per benchmark (median reported).
@@ -153,7 +161,7 @@ pub fn bench_json(results: &[(String, f64, f64)]) -> String {
         .collect();
     format!(
         "{{\"schema_version\":{},\"kind\":\"bench\",\"samples\":{},\"kernels\":[\n{}\n]}}\n",
-        pgr_obs::SCHEMA_VERSION,
+        BENCH_SCHEMA_VERSION,
         SAMPLES,
         kernels.join(",\n")
     )
@@ -169,10 +177,9 @@ pub fn check_bench_json(text: &str, min_kernels: usize) -> Result<Vec<String>, S
         .get("schema_version")
         .and_then(|f| f.as_u64())
         .ok_or("missing schema_version")?;
-    if version != pgr_obs::SCHEMA_VERSION as u64 {
+    if version != BENCH_SCHEMA_VERSION as u64 {
         return Err(format!(
-            "schema_version {version} (reader understands {})",
-            pgr_obs::SCHEMA_VERSION
+            "schema_version {version} (reader understands {BENCH_SCHEMA_VERSION})"
         ));
     }
     if v.get("kind").and_then(|f| f.as_str()) != Some("bench") {

@@ -13,12 +13,12 @@
 
 use crate::{circuits, fmt_secs, serial_baseline, SEED};
 use pgr_circuit::Circuit;
-use pgr_mpi::trace::{chrome_trace_json, stats_json, RankTrace};
+use pgr_mpi::trace::{chrome_trace_json, chrome_trace_with_path, stats_json, RankTrace};
 use pgr_mpi::{
-    ChaosConfig, ChaosLayer, ClockMode, InstrumentConfig, MachineModel, MetricsConfig, RankMetrics,
-    RankStats, ReliabilityConfig, RunMeta,
+    build_profile, ChaosConfig, ChaosLayer, ClockMode, InstrumentConfig, MachineModel,
+    MetricsConfig, RankMetrics, RankStats, ReliabilityConfig, RunMeta,
 };
-use pgr_obs::metrics_json;
+use pgr_obs::{metrics_json, BlameClass, Profile};
 use pgr_router::{
     route_parallel, route_parallel_instrumented, Algorithm, PartitionKind, RecoveryPolicy,
     RouterConfig,
@@ -978,4 +978,178 @@ pub fn chaos_smoke(opts: &Opts) {
         }
     }
     println!();
+}
+
+/// `repro profile`: cross-rank causal profiles — critical-path
+/// extraction and makespan blame attribution for every driver.
+///
+/// Runs the serial driver at P = 1 and the three parallel algorithms at
+/// P ∈ {2, 4} per circuit, always fully instrumented (the profiler
+/// consumes the trace whether or not `--trace-out` is set). Each run's
+/// matched send→recv happens-before DAG yields the critical path of the
+/// makespan; a summary row and the per-phase × rank blame table are
+/// printed. Lossless runs are gated in-process: a path that does not
+/// sum exactly to the makespan panics, so any smoke invocation doubles
+/// as the acceptance check.
+///
+/// With `--trace-out DIR`, each run additionally writes
+/// `<label>.profile.json` (the schema-versioned blame report),
+/// `<label>.blame.md` (the markdown table), a Chrome trace annotated
+/// with send→recv flow arrows and color-tagged critical-path slices
+/// (`<label>.trace.json`), and the usual stats/metrics dumps — so
+/// `repro aggregate` over DIR picks up the wait-fraction series.
+pub fn profile(opts: &Opts) {
+    let machine = MachineModel::sparc_center_1000();
+    let cfg = cfg();
+    println!("Causal profile: critical-path extraction and makespan blame");
+    opts.note_scale();
+    println!(
+        "{:<34} {:>10} {:>9} {:>9} {:>9} {:>6}",
+        "run", "makespan", "compute%", "wait%", "fault%", "segs"
+    );
+    for c in opts.circuits() {
+        let (report, traces, metrics) =
+            pgr_mpi::run_instrumented(1, machine, InstrumentConfig::full(), |comm| {
+                pgr_router::route_serial(&c, &cfg, comm);
+            });
+        let label = format!("{}_serial_profile", c.name);
+        let run = opts.run_meta(&c.name, "serial", 1, &machine);
+        let prof = build_profile(&traces, &machine);
+        report_profile(
+            opts,
+            &label,
+            &run,
+            &prof,
+            &traces,
+            &report.stats,
+            &metrics,
+            &machine,
+        );
+        for algo in Algorithm::ALL {
+            let mut procs: Vec<usize> = [2usize, 4].iter().map(|&p| clamp_procs(p, &c)).collect();
+            procs.dedup();
+            for p in procs {
+                let out = route_parallel_instrumented(
+                    &c,
+                    &cfg,
+                    algo,
+                    PartitionKind::PinWeight,
+                    p,
+                    machine,
+                    InstrumentConfig::full(),
+                );
+                pgr_router::verify::assert_verified(&c, &out.result);
+                let label = format!("{}_{}_profile_p{p}", c.name, algo.name());
+                let run = opts.run_meta(&c.name, algo.name(), p, &machine);
+                let prof = build_profile(&out.traces, &machine);
+                report_profile(
+                    opts,
+                    &label,
+                    &run,
+                    &prof,
+                    &out.traces,
+                    &out.stats,
+                    &out.metrics,
+                    &machine,
+                );
+            }
+        }
+    }
+    println!();
+}
+
+/// Gate one profile, print its summary row and blame table, and write
+/// the artifact set when `--trace-out` is given.
+#[allow(clippy::too_many_arguments)]
+fn report_profile(
+    opts: &Opts,
+    label: &str,
+    run: &RunMeta,
+    prof: &Profile,
+    traces: &[RankTrace],
+    stats: &[RankStats],
+    metrics: &[RankMetrics],
+    machine: &MachineModel,
+) {
+    if prof.truncated {
+        eprintln!(
+            "warning: {label}: trace ring dropped {} event(s); per-phase attribution only",
+            prof.dropped_events
+        );
+    } else {
+        // In-process acceptance gate: every smoke run re-checks that
+        // the extracted chain partitions the makespan exactly.
+        assert!(
+            prof.warnings.is_empty()
+                && prof.is_contiguous()
+                && prof.critical_path_seconds().to_bits() == prof.makespan.to_bits(),
+            "{label}: critical path does not partition the makespan ({:?})",
+            prof.warnings
+        );
+    }
+    let pct = |class: BlameClass| {
+        if prof.makespan > 0.0 {
+            100.0 * prof.class_seconds[class.index()] / prof.makespan
+        } else {
+            0.0
+        }
+    };
+    println!(
+        "{:<34} {:>10} {:>8.1}% {:>8.1}% {:>8.1}% {:>6}",
+        label,
+        fmt_secs(prof.makespan),
+        pct(BlameClass::Compute),
+        pct(BlameClass::RecvWait),
+        pct(BlameClass::Transport) + pct(BlameClass::Recovery) + pct(BlameClass::Degraded),
+        prof.critical_path.len()
+    );
+    match &opts.trace_out {
+        Some(dir) => {
+            if let Err(e) =
+                write_profile_artifacts(dir, label, prof, run, traces, stats, machine, metrics)
+            {
+                eprintln!("profile write failed for {label}: {e}");
+            }
+        }
+        // No artifact dir: the blame table goes to stdout instead.
+        None => print!("{}", prof.blame_markdown(run)),
+    }
+}
+
+/// Write one profiled run's artifacts: the blame report JSON, the
+/// markdown table, the annotated Chrome trace, and the stats/metrics
+/// dumps the aggregator consumes. Returns the profile path.
+#[allow(clippy::too_many_arguments)]
+fn write_profile_artifacts(
+    dir: &Path,
+    label: &str,
+    prof: &Profile,
+    run: &RunMeta,
+    traces: &[RankTrace],
+    stats: &[RankStats],
+    machine: &MachineModel,
+    metrics: &[RankMetrics],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let profile_path = dir.join(format!("{label}.profile.json"));
+    std::fs::write(&profile_path, prof.to_json(run))?;
+    std::fs::write(
+        dir.join(format!("{label}.blame.md")),
+        prof.blame_markdown(run),
+    )?;
+    std::fs::write(
+        dir.join(format!("{label}.trace.json")),
+        chrome_trace_with_path(traces, Some(&prof.critical_path)),
+    )?;
+    std::fs::write(
+        dir.join(format!("{label}.stats.json")),
+        stats_json(stats, machine, run),
+    )?;
+    if !metrics.is_empty() {
+        std::fs::write(
+            dir.join(format!("{label}.metrics.json")),
+            metrics_json(run, metrics),
+        )?;
+    }
+    Ok(profile_path)
 }

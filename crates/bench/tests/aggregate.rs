@@ -222,6 +222,55 @@ fn phase_windows_round_trip_and_gate_against_the_baseline() {
 }
 
 #[test]
+fn wait_fraction_and_phase_wait_series_derive_and_gate() {
+    let dir = tmp_dir("wait");
+    let run = meta("hybrid", 4);
+    // 2.0 rank-seconds blocked out of 4 ranks × 2.5 s makespan = 20 %,
+    // 1.5 s of it inside the connect window.
+    let mut m = RankMetrics::empty(0);
+    m.counters.push(("mpi.recv_wait_micros".into(), 2_000_000));
+    let mut w = RankMetrics::empty(0);
+    w.counters.push(("mpi.recv_wait_micros".into(), 1_500_000));
+    m.windows.push(("connect".into(), w));
+    write(&dir, "p.metrics.json", &metrics_json(&run, &[m]));
+    write(&dir, "p.stats.json", &stats_fixture(&run, 2.5));
+
+    let agg = aggregate(&load_paths(std::slice::from_ref(&dir)).unwrap());
+    let rec = &agg.records[0];
+    assert_eq!(rec.wait_fraction, Some(0.2));
+    let connect = rec.phases.iter().find(|p| p.name == "connect").unwrap();
+    assert_eq!(connect.wait_seconds, Some(1.5));
+    // A phase with stats seconds but no metrics window carries no wait
+    // number rather than a fabricated zero.
+    let setup = rec.phases.iter().find(|p| p.name == "setup").unwrap();
+    assert_eq!(setup.wait_seconds, None);
+    let json = agg.to_json();
+    assert!(json.contains("\"wait_fraction\":0.2"), "{json}");
+    assert!(json.contains("\"wait_seconds\":1.5"), "{json}");
+    let md = agg.to_markdown();
+    assert!(md.contains("wait %"), "{md}");
+    assert!(md.contains("20.0"), "{md}");
+
+    // Self-comparison stays clean; a baseline that waited less (or was
+    // better balanced) flags the efficiency regression.
+    assert_eq!(check_baseline(&agg, &json, 0.0).unwrap(), vec![]);
+    let better = json.replace("\"wait_fraction\":0.2", "\"wait_fraction\":0.1");
+    let regs = check_baseline(&agg, &better, 0.02).unwrap();
+    assert!(
+        regs.iter().any(|r| r.what.contains("wait_fraction")),
+        "{regs:?}"
+    );
+    let better_phase = json.replace("\"wait_seconds\":1.5", "\"wait_seconds\":1.2");
+    let regs = check_baseline(&agg, &better_phase, 0.02).unwrap();
+    assert!(
+        regs.iter()
+            .any(|r| r.what.contains("phase connect wait seconds")),
+        "{regs:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn baseline_check_passes_on_self_and_flags_injected_regression() {
     let dir = tmp_dir("baseline");
     let serial = meta("serial", 1);

@@ -215,6 +215,10 @@ where
                 comm.metric_add(names::RECOVERY_EVENTS, 1);
                 comm.metric_add(names::RANKS_LOST, dead.len() as u64);
                 comm.remove_dead(&dead);
+                // Causal-profiler anchor: everything on this rank's
+                // timeline before this mark is restart-tainted work and
+                // gets blamed on the recovery class.
+                comm.trace_mark(pgr_obs::MARK_RECOVERY_RESTART);
                 rounds += 1;
             }
         }
@@ -280,6 +284,9 @@ pub fn drive<P: Pipeline + Default>(
                 return None;
             }
             comm.metric_add(names::DEGRADED_SERIAL, 1);
+            // Causal-profiler anchor: path segments after this mark are
+            // blamed on the degraded fallback.
+            comm.trace_mark(pgr_obs::MARK_DEGRADED_SERIAL);
             (Some(degraded_serial(circuit, cfg, comm)), true)
         }
     };

@@ -43,7 +43,7 @@ use crate::fault::{
 };
 use crate::machine::{ClockMode, MachineModel};
 use crate::reliable::{self, backoff_delay, Ingest, ReliabilityConfig, ReorderBuffer};
-use crate::trace::{RankTrace, TraceConfig, TraceEvent, TraceEventKind, TraceHub};
+use crate::trace::{self, RankTrace, TraceConfig, TraceEvent, TraceEventKind, TraceHub};
 use crate::wire::{crc32, Wire};
 use pgr_obs::{MetricsConfig, MetricsShard, Phase, RankMetrics};
 use std::collections::VecDeque;
@@ -53,6 +53,13 @@ use std::time::{Duration, Instant};
 
 /// Tags at or above this value are reserved for collectives.
 pub const COLLECTIVE_TAG_BASE: u32 = 0x8000_0000;
+
+/// Metric counting microseconds receives sat blocked past their own
+/// overhead — the recv-side wait the causal profiler attributes to the
+/// sender. Recorded inside [`Comm::try_recv_bytes`]'s charge, so it
+/// lands in the open phase window and per-phase wait seconds fall out
+/// of the ordinary metrics dump.
+pub const RECV_WAIT_MICROS: &str = "mpi.recv_wait_micros";
 
 /// SplitMix64 finalizer — the mixer the chaos layer's per-message
 /// decisions use; here it picks which payload bit a corruption fault
@@ -441,11 +448,17 @@ impl Comm {
         self.trace.as_ref().is_some_and(|h| h.config.enabled)
     }
 
-    fn record(&self, kind: TraceEventKind, t0: f64, t1: f64) {
-        if let Some(hub) = &self.trace {
-            if hub.config.enabled {
-                hub.record(self.rank, TraceEvent { kind, t0, t1 });
-            }
+    fn record(&mut self, kind: TraceEventKind, t0: f64, t1: f64) {
+        let evicted = match &self.trace {
+            Some(hub) if hub.config.enabled => hub.record(self.rank, TraceEvent { kind, t0, t1 }),
+            _ => false,
+        };
+        if evicted {
+            // Surfaced as a counter so exporters and the profiler can
+            // tell a truncated stream from a complete one; incremented
+            // here (not at export) so it lands in the phase window that
+            // overflowed the ring.
+            self.metrics.add(trace::TRACE_DROPPED, 1);
         }
     }
 
@@ -735,8 +748,18 @@ impl Comm {
                         self.metrics.add(FAULTS_DROPPED, 1);
                         if !reliable_on {
                             if self.tracing() {
+                                // The frame never reaches the wire and
+                                // consumes no transport sequence number
+                                // (a gap would wedge the receiver's
+                                // reorder window): the sentinel seq
+                                // marks it unmatchable.
                                 self.record(
-                                    TraceEventKind::Send { dst, tag, bytes },
+                                    TraceEventKind::Send {
+                                        dst,
+                                        tag,
+                                        bytes,
+                                        seq: u64::MAX,
+                                    },
                                     t0,
                                     self.clock,
                                 );
@@ -865,7 +888,16 @@ impl Comm {
             }
         }
         if self.tracing() {
-            self.record(TraceEventKind::Send { dst, tag, bytes }, t0, self.clock);
+            self.record(
+                TraceEventKind::Send {
+                    dst,
+                    tag,
+                    bytes,
+                    seq,
+                },
+                t0,
+                self.clock,
+            );
         }
     }
 
@@ -1158,14 +1190,24 @@ impl Comm {
         // time (LogGP's per-byte gap): back-to-back receives serialize
         // at the receiver rather than arriving for free in parallel.
         let t0 = self.clock;
-        let start = (self.clock + self.machine.recv_overhead).max(env.stamp + self.machine.latency);
+        let ready = self.clock + self.machine.recv_overhead;
+        let start = ready.max(env.stamp + self.machine.latency);
         self.clock = start + env.payload.len() as f64 * self.machine.sec_per_byte;
+        // Recv-side wait: the interval between this rank being ready and
+        // the wire actually delivering — the sender was the binding
+        // dependency. Metrics only; the clock charge above is unchanged.
+        if start > ready {
+            self.metrics
+                .add(RECV_WAIT_MICROS, ((start - ready) * 1e6) as u64);
+        }
         if self.tracing() {
             self.record(
                 TraceEventKind::Recv {
                     src: env.src as usize,
                     tag: env.tag,
                     bytes: env.payload.len(),
+                    seq: env.seq,
+                    stamp: env.stamp,
                 },
                 t0,
                 self.clock,
@@ -1211,7 +1253,7 @@ impl Comm {
         tag
     }
 
-    fn coll_enter(&self, op: &'static str) {
+    fn coll_enter(&mut self, op: &'static str) {
         if self.tracing() {
             self.record(TraceEventKind::Collective { op }, self.clock, self.clock);
         }

@@ -49,21 +49,24 @@ pub mod error;
 pub mod failure;
 pub mod fault;
 pub mod machine;
+pub mod profile;
 pub mod reliable;
 pub mod trace;
 pub mod wire;
 
 pub use comm::{
     run, run_instrumented, run_traced, Comm, InstrumentConfig, PhaseControl, RankStats, RunReport,
-    WallStats, COLLECTIVE_TAG_BASE,
+    WallStats, COLLECTIVE_TAG_BASE, RECV_WAIT_MICROS,
 };
 pub use error::{CommError, PendingMsg, TransportSnapshot};
 pub use failure::{FailureDetector, FailureInfo};
 pub use fault::{ChaosConfig, ChaosLayer, FaultAction, FaultLayer, MsgCtx};
 pub use machine::{ClockMode, MachineModel};
 pub use pgr_obs::{MetricsConfig, Phase, RankMetrics, RunMeta};
+pub use profile::{build_profile, match_messages, MatchedMessage};
 pub use reliable::ReliabilityConfig;
 pub use trace::{
-    chrome_trace_json, stats_json, RankTrace, TraceConfig, TraceEvent, TraceEventKind,
+    chrome_trace_json, chrome_trace_with_path, stats_json, RankTrace, TraceConfig, TraceEvent,
+    TraceEventKind, TRACE_DROPPED,
 };
 pub use wire::{Reader, Wire, WireError};

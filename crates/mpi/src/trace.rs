@@ -26,13 +26,38 @@ use std::collections::VecDeque;
 use std::sync::Mutex;
 use std::time::Duration;
 
+/// Metric counting events evicted from a rank's trace ring — incremented
+/// at eviction time so it lands in the phase window that overflowed.
+/// Non-zero means exporters and the causal profiler saw a hole.
+pub const TRACE_DROPPED: &str = "trace.dropped";
+
 /// What a rank was doing during a traced interval.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEventKind {
     /// Point-to-point send (including collective-internal sends).
-    Send { dst: usize, tag: u32, bytes: usize },
+    ///
+    /// `seq` is the per-`(src, dst)` transport sequence number — unique
+    /// per message regardless of tag — which lets the causal profiler
+    /// pair this event with its matching `Recv` even when chaos
+    /// schedules perturb delivery order.
+    Send {
+        dst: usize,
+        tag: u32,
+        bytes: usize,
+        seq: u64,
+    },
     /// Point-to-point receive completion.
-    Recv { src: usize, tag: u32, bytes: usize },
+    ///
+    /// `seq` mirrors the matching `Send`; `stamp` is the sender's
+    /// virtual send-completion time carried by the delivered envelope
+    /// (the receive charge was computed from it).
+    Recv {
+        src: usize,
+        tag: u32,
+        bytes: usize,
+        seq: u64,
+        stamp: f64,
+    },
     /// Entry into a collective operation.
     Collective { op: &'static str },
     /// Explicitly charged computation.
@@ -57,8 +82,12 @@ impl TraceEvent {
     /// Short human-readable label (also used as the Chrome slice name).
     pub fn label(&self) -> String {
         match &self.kind {
-            TraceEventKind::Send { dst, tag, bytes } => format!("send→{dst} tag={tag} ({bytes} B)"),
-            TraceEventKind::Recv { src, tag, bytes } => format!("recv←{src} tag={tag} ({bytes} B)"),
+            TraceEventKind::Send {
+                dst, tag, bytes, ..
+            } => format!("send→{dst} tag={tag} ({bytes} B)"),
+            TraceEventKind::Recv {
+                src, tag, bytes, ..
+            } => format!("recv←{src} tag={tag} ({bytes} B)"),
             TraceEventKind::Collective { op } => format!("collective:{op}"),
             TraceEventKind::Compute { ops } => format!("compute {ops} ops"),
             TraceEventKind::Phase { name } => format!("phase:{name}"),
@@ -180,13 +209,18 @@ impl TraceHub {
         }
     }
 
-    pub(crate) fn record(&self, rank: usize, event: TraceEvent) {
+    /// Record one event; returns `true` when the ring was full and the
+    /// oldest event was evicted to make room (the caller surfaces that
+    /// as the [`TRACE_DROPPED`] metric).
+    pub(crate) fn record(&self, rank: usize, event: TraceEvent) -> bool {
         let mut slot = self.slots[rank].lock().expect("trace slot poisoned");
-        if slot.events.len() >= self.config.capacity {
+        let evicted = slot.events.len() >= self.config.capacity;
+        if evicted {
             slot.events.pop_front();
             slot.dropped += 1;
         }
         slot.events.push_back(event);
+        evicted
     }
 
     pub(crate) fn set_final_time(&self, rank: usize, t: f64) {
@@ -240,9 +274,39 @@ fn micros(t: f64) -> f64 {
 /// `chrome://tracing` or <https://ui.perfetto.dev>). One timeline track
 /// per rank (`tid` = rank); phases are rendered as spans covering the
 /// interval from each phase marker to the next, message and compute
-/// events as slices inside them. Timestamps are **virtual** microseconds.
+/// events as slices inside them. Matched send→recv pairs are linked by
+/// flow arrows (`ph:"s"`/`ph:"f"`), so Perfetto renders the message
+/// graph. Timestamps are **virtual** microseconds.
 pub fn chrome_trace_json(traces: &[RankTrace]) -> String {
+    chrome_trace_with_path(traces, None)
+}
+
+/// Reserved Perfetto color for a critical-path slice of the given class.
+fn critical_cname(class: pgr_obs::BlameClass) -> &'static str {
+    use pgr_obs::BlameClass::*;
+    match class {
+        Compute => "good",
+        RecvWait => "terrible",
+        Transport => "bad",
+        Recovery => "yellow",
+        Degraded => "grey",
+    }
+}
+
+/// [`chrome_trace_json`] plus, when a critical path is supplied, one
+/// color-tagged `cat:"critical"` slice per path segment on the owning
+/// rank's track (compute green, recv-wait red, transport dark red,
+/// recovery yellow, degraded grey). When any ring evicted events the
+/// top-level object carries `"truncated":true` and the total drop count.
+pub fn chrome_trace_with_path(
+    traces: &[RankTrace],
+    critical: Option<&[pgr_obs::PathSegment]>,
+) -> String {
     let mut ev = Vec::new();
+    ev.push(
+        r#"{"name":"process_name","ph":"M","pid":0,"args":{"name":"pgr virtual ranks"}}"#
+            .to_string(),
+    );
     for t in traces {
         ev.push(format!(
             r#"{{"name":"thread_name","ph":"M","pid":0,"tid":{},"args":{{"name":"rank {}"}}}}"#,
@@ -288,8 +352,44 @@ pub fn chrome_trace_json(traces: &[RankTrace]) -> String {
             }
         }
     }
+    // Flow arrows: one s/f pair per matched send→recv, anchored at the
+    // end of each slice ("bp":"e" binds the finish to the enclosing
+    // slice's close).
+    let (matches, _) = crate::profile::match_messages(traces);
+    for (id, m) in matches.iter().enumerate() {
+        ev.push(format!(
+            r#"{{"name":"msg","cat":"flow","ph":"s","id":{},"ts":{:.3},"pid":0,"tid":{}}}"#,
+            id,
+            micros(m.send_t1),
+            m.src
+        ));
+        ev.push(format!(
+            r#"{{"name":"msg","cat":"flow","ph":"f","bp":"e","id":{},"ts":{:.3},"pid":0,"tid":{}}}"#,
+            id,
+            micros(m.recv_t1),
+            m.dst
+        ));
+    }
+    if let Some(path) = critical {
+        for s in path.iter().filter(|s| s.t1 > s.t0) {
+            ev.push(format!(
+                r#"{{"name":"critical:{}","cat":"critical","ph":"X","ts":{:.3},"dur":{:.3},"pid":0,"tid":{},"cname":"{}"}}"#,
+                s.class.name(),
+                micros(s.t0),
+                micros(s.t1 - s.t0),
+                s.rank,
+                critical_cname(s.class)
+            ));
+        }
+    }
+    let dropped: u64 = traces.iter().map(|t| t.dropped).sum();
+    let truncated = if dropped > 0 {
+        format!("\"truncated\":true,\"dropped_events\":{dropped},")
+    } else {
+        String::new()
+    };
     format!(
-        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n{}\n]}}\n",
+        "{{\"displayTimeUnit\":\"ms\",{truncated}\"traceEvents\":[\n{}\n]}}\n",
         ev.join(",\n")
     )
 }
@@ -449,8 +549,112 @@ mod tests {
         assert!(json.contains("rank 0"));
         assert!(json.contains("rank 1"));
         assert!(json.contains("phase:setup"));
+        // Perfetto track labels: process + per-rank thread metadata.
+        assert!(json.contains(r#""name":"process_name""#));
+        assert_eq!(json.matches(r#""name":"thread_name""#).count(), 2);
+        // Complete traces carry no truncation stamp.
+        assert!(!json.contains("truncated"));
         // Sanity: balanced braces (cheap well-formedness check).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn chrome_json_links_matched_messages_with_flow_arrows() {
+        let send = TraceEvent {
+            kind: TraceEventKind::Send {
+                dst: 1,
+                tag: 7,
+                bytes: 8,
+                seq: 0,
+            },
+            t0: 0.0,
+            t1: 0.1,
+        };
+        let recv = TraceEvent {
+            kind: TraceEventKind::Recv {
+                src: 0,
+                tag: 7,
+                bytes: 8,
+                seq: 0,
+                stamp: 0.1,
+            },
+            t0: 0.0,
+            t1: 0.3,
+        };
+        let traces = vec![
+            RankTrace {
+                rank: 0,
+                events: vec![send],
+                final_time: 0.1,
+                dropped: 0,
+            },
+            RankTrace {
+                rank: 1,
+                events: vec![recv],
+                final_time: 0.3,
+                dropped: 0,
+            },
+        ];
+        let json = chrome_trace_json(&traces);
+        assert!(json.contains(r#""ph":"s","id":0,"ts":100000.000,"pid":0,"tid":0"#));
+        assert!(json.contains(r#""ph":"f","bp":"e","id":0,"ts":300000.000,"pid":0,"tid":1"#));
+        // With a critical path supplied, segments become color-tagged
+        // slices on the owning rank's track.
+        let path = vec![pgr_obs::PathSegment {
+            rank: 1,
+            t0: 0.1,
+            t1: 0.2,
+            class: pgr_obs::BlameClass::RecvWait,
+            phase: None,
+        }];
+        let annotated = chrome_trace_with_path(&traces, Some(&path));
+        assert!(annotated.contains(r#""name":"critical:recv_wait""#));
+        assert!(annotated.contains(r#""cname":"terrible""#));
+    }
+
+    #[test]
+    fn chrome_json_stamps_truncation() {
+        let traces = vec![RankTrace {
+            rank: 0,
+            events: vec![phase("setup", 0.0)],
+            final_time: 1.0,
+            dropped: 5,
+        }];
+        let json = chrome_trace_json(&traces);
+        assert!(json.contains(r#""truncated":true"#));
+        assert!(json.contains(r#""dropped_events":5"#));
+        pgr_obs::Json::parse(&json).expect("truncated output still parses");
+    }
+
+    #[test]
+    fn phase_durations_accumulate_recovery_reentries() {
+        // A kill makes survivors re-enter phases from the top: the same
+        // name appears once per entry, each interval measured to the
+        // next mark, and the total still covers [first mark, final].
+        let t = RankTrace {
+            rank: 0,
+            events: vec![
+                phase("setup", 0.0),
+                phase("steiner", 1.0),
+                phase("setup", 1.5), // recovery restart re-enters
+                phase("steiner", 3.5),
+            ],
+            final_time: 4.0,
+            dropped: 0,
+        };
+        let durs = t.phase_durations();
+        assert_eq!(
+            durs,
+            vec![
+                ("setup", 1.0),
+                ("steiner", 0.5),
+                ("setup", 2.0),
+                ("steiner", 0.5)
+            ]
+        );
+        let total: f64 = durs.iter().map(|(_, d)| d).sum();
+        assert_eq!(total, t.final_time);
+        assert_eq!(durs.iter().filter(|(n, _)| *n == "setup").count(), 2);
     }
 
     #[test]

@@ -14,7 +14,13 @@ use crate::metrics::RankMetrics;
 ///
 /// v2: metrics dumps gained per-rank `"phases"` — phase-scoped metric
 /// windows keyed by [`crate::Phase`] registry names.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3: new `"profile"` dump kind (causal critical-path profiles, see
+/// [`crate::profile`]); metrics windows gained the per-phase
+/// `mpi.recv_wait_micros` and `trace.dropped` counters; aggregate dumps
+/// gained wait-fraction / imbalance series. (Bench snapshots version
+/// independently — see `pgr-bench`'s `BENCH_SCHEMA_VERSION`.)
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Escape a string for inclusion in a JSON string literal.
 pub fn json_escape(s: &str) -> String {
@@ -34,7 +40,7 @@ pub fn json_escape(s: &str) -> String {
 
 /// Render an `f64` such that the JSON reader gets the exact value back
 /// (shortest roundtrip form; Rust's float Display is roundtrip-exact).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         let s = format!("{v}");
         // `Display` omits the ".0" for integral floats, which is still

@@ -20,7 +20,11 @@
 //!   algorithm, rank count, machine, scale, seed) that cross-run
 //!   aggregation keys on;
 //! * [`json`] — a small dependency-free JSON reader the aggregator uses
-//!   to load `*.stats.json` / `*.metrics.json` dumps back in.
+//!   to load `*.stats.json` / `*.metrics.json` dumps back in;
+//! * [`Profile`] — the causal-profile model: a run's critical path with
+//!   every second blamed on a [`BlameClass`], plus per-phase × rank
+//!   compute/wait/slack tables (built from traces by `pgr-mpi`,
+//!   rendered here as `*.profile.json` and markdown).
 //!
 //! The crate is deliberately free of router types: `pgr-mpi` embeds a
 //! shard in every communicator, `pgr-router` records into it from the
@@ -30,8 +34,13 @@ pub mod emit;
 pub mod json;
 pub mod metrics;
 pub mod phase;
+pub mod profile;
 
 pub use emit::{json_escape, metrics_json, RunMeta, SCHEMA_VERSION};
 pub use json::Json;
 pub use metrics::{merge_ranks, Histogram, MetricsConfig, MetricsShard, RankMetrics};
 pub use phase::Phase;
+pub use profile::{
+    BlameClass, PathSegment, PhaseBlame, Profile, RankBlame, MARK_DEGRADED_SERIAL,
+    MARK_RECOVERY_RESTART,
+};
