@@ -369,6 +369,11 @@ pub struct AggRecord {
     pub scaled_tracks: Option<f64>,
     pub wirelength: Option<u64>,
     pub feedthroughs: Option<u64>,
+    /// Phases recovery rounds had to re-run, rank-summed
+    /// (`recovery.redone_phases`). Absent on fault-free runs; on chaos
+    /// runs it trends how much work checkpoint resume saved over a full
+    /// restart.
+    pub redone_phases: Option<u64>,
     pub load_imbalance: Option<f64>,
     /// Fraction of the run's total rank-seconds spent blocked in recv
     /// past the modeled overhead: `Σ mpi.recv_wait_micros / 1e6`
@@ -395,6 +400,8 @@ const LOAD_IMBALANCE: &str = "parallel.load_imbalance";
 /// Mirrored from `pgr_mpi::RECV_WAIT_MICROS` (same literal-over-import
 /// rationale as the router names above).
 const RECV_WAIT_MICROS: &str = "mpi.recv_wait_micros";
+/// Mirrored from `pgr_obs::recovery_names::REDONE_PHASES`.
+const REDONE_PHASES: &str = "recovery.redone_phases";
 
 /// Derive the cross-run series from loaded records: speedups and quality
 /// scaled against each series' `"serial"` run.
@@ -455,6 +462,7 @@ pub fn aggregate(records: &[RunRecord]) -> Aggregate {
                 },
                 wirelength: m.and_then(|m| m.counter(WIRELENGTH)),
                 feedthroughs: m.and_then(|m| m.counter(FEEDTHROUGHS)),
+                redone_phases: m.and_then(|m| m.counter(REDONE_PHASES)),
                 load_imbalance: m.and_then(|m| m.gauge(LOAD_IMBALANCE)),
                 wait_fraction: match (m, r.makespan) {
                     (Some(mm), Some(t)) if t > 0.0 && r.run.procs > 0 => Some(
@@ -510,7 +518,7 @@ impl Aggregate {
                     })
                     .collect();
                 format!(
-                    "{{\"run\":{},\"makespan\":{},\"speedup\":{},\"tracks\":{},\"scaled_tracks\":{},\"wirelength\":{},\"feedthroughs\":{},\"load_imbalance\":{},\"wait_fraction\":{},\"bytes_sent\":{},\"phases\":[{}]}}",
+                    "{{\"run\":{},\"makespan\":{},\"speedup\":{},\"tracks\":{},\"scaled_tracks\":{},\"wirelength\":{},\"feedthroughs\":{},\"redone_phases\":{},\"load_imbalance\":{},\"wait_fraction\":{},\"bytes_sent\":{},\"phases\":[{}]}}",
                     r.run.to_json(),
                     opt_f64(r.makespan),
                     opt_f64(r.speedup),
@@ -518,6 +526,7 @@ impl Aggregate {
                     opt_f64(r.scaled_tracks),
                     opt_u64(r.wirelength),
                     opt_u64(r.feedthroughs),
+                    opt_u64(r.redone_phases),
                     opt_f64(r.load_imbalance),
                     opt_f64(r.wait_fraction),
                     r.bytes_sent,
@@ -622,9 +631,13 @@ impl Aggregate {
                     ));
                 }
             }
-            // Per-phase quality trend: the routing/parallelism counters
-            // each phase window contributed.
-            let quality_counter = |n: &str| n.starts_with("route.") || n.starts_with("parallel.");
+            // Per-phase quality trend: the routing/parallelism/recovery
+            // counters each phase window contributed. The recovery
+            // series makes the redone-work saving of checkpoint resume
+            // visible per failed phase.
+            let quality_counter = |n: &str| {
+                n.starts_with("route.") || n.starts_with("parallel.") || n.starts_with("recovery.")
+            };
             let with_counters: Vec<&&AggRecord> = with_phases
                 .iter()
                 .filter(|r| {
@@ -636,7 +649,7 @@ impl Aggregate {
                 .collect();
             if !with_counters.is_empty() {
                 out.push_str(
-                    "\n| algorithm | procs | phase | route/parallel counters |\n|---|---|---|---|\n",
+                    "\n| algorithm | procs | phase | route/parallel/recovery counters |\n|---|---|---|---|\n",
                 );
                 for r in with_counters {
                     for p in &r.phases {
@@ -764,6 +777,14 @@ pub fn check_baseline(
             "load_imbalance",
             b.get("load_imbalance").and_then(|f| f.as_f64()),
             cur.load_imbalance,
+        );
+        // Robustness series: a chaos run that redoes more phases than
+        // the baseline lost resume coverage (e.g. a boundary stopped
+        // committing portably and the round fell back to a restart).
+        check_f(
+            "redone_phases",
+            b.get("redone_phases").and_then(|f| f.as_f64()),
+            cur.redone_phases.map(|x| x as f64),
         );
         // Per-phase series: virtual seconds and the phase-scoped
         // wirelength must not drift past tolerance either — a regression

@@ -32,8 +32,16 @@
 //! `chaos` is the robustness smoke: every algorithm routed under a
 //! seeded drop/delay/reorder/duplicate schedule with the reliable
 //! transport on, plus one rank killed at a phase boundary; each
-//! degraded result is verified and the recovery counters are printed
-//! (and written to `*.metrics.json` under `--trace-out`).
+//! degraded result is verified and the recovery counters — including
+//! the checkpoint-resume accounting (`recovery.redone_phases`,
+//! `recovery.checkpoint.restores`) — are printed (and written to
+//! `*.metrics.json` under `--trace-out`). The schedule is overridable:
+//! `--kill R@B` (repeatable) kills rank R at phase boundary B, where B
+//! is a registry phase name (`coarse`) or its index (`2`) — anything
+//! outside the registry is rejected with the valid range and exit
+//! code 2 — and `--max-rounds N` / `--min-ranks N` override the
+//! recovery-policy bounds, so a single command can demonstrate resume,
+//! multi-round recovery, or the forced serial fallback.
 //!
 //! `profile` is the causal profiler: every driver runs fully
 //! instrumented, each run's send→recv matched happens-before DAG yields
@@ -63,17 +71,59 @@
 use pgr_bench::aggregate::{aggregate, check_baseline, load_paths};
 use pgr_bench::harness::check_bench_json;
 use pgr_bench::tables::{self, Opts};
+use pgr_mpi::Phase;
 use pgr_router::Algorithm;
 use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale F] [--circuits a,b,c] [--trace-out DIR] <target>...\n\
+        "usage: repro [--scale F] [--circuits a,b,c] [--trace-out DIR]\n             [--kill R@B]... [--max-rounds N] [--min-ranks N] <target>...\n\
          targets: table1 table2 table3 table4 table5 partition-ablation sync-sweep\n          machine-sweep exact-sync-ablation beta-sweep phase-breakdown detailed-refinement steiner-ablation comm-matrix chaos wall-clock profile all\n\
+         chaos:  --kill R@B kills rank R at phase boundary B (registry name or index);\n         --max-rounds / --min-ranks bound the recovery policy\n\
          or:    repro aggregate [--out FILE] [--md FILE] [--baseline FILE] [--tolerance F] <path>...\n\
          or:    repro bench-check [--min-kernels N] <file>..."
     );
     std::process::exit(2);
+}
+
+/// Parse a `--kill <rank>@<boundary>` spec into `(rank, phase index)`.
+/// The boundary names the phase whose entry the rank dies at — either a
+/// registry phase name (`coarse`) or its numeric index (`2`) — and is
+/// validated against [`Phase::ALL`]; anything outside the registry is a
+/// structured error listing the valid boundaries.
+fn parse_kill(spec: &str) -> Result<(usize, usize), String> {
+    let registry = || {
+        Phase::ALL
+            .iter()
+            .map(|p| format!("{}({})", p.name(), p.index()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let (rank, boundary) = spec
+        .split_once('@')
+        .ok_or_else(|| format!("--kill expects <rank>@<boundary>, got '{spec}'"))?;
+    let rank: usize = rank
+        .parse()
+        .map_err(|_| format!("--kill rank '{rank}' is not a number (in '{spec}')"))?;
+    let idx = match boundary.parse::<usize>() {
+        Ok(i) if i < Phase::ALL.len() => i,
+        Ok(i) => {
+            return Err(format!(
+                "--kill boundary {i} is out of range; the phase registry has \
+                 boundaries {}",
+                registry()
+            ))
+        }
+        Err(_) => Phase::from_name(boundary)
+            .map(|p| p.index())
+            .ok_or_else(|| {
+                format!(
+                    "--kill boundary '{boundary}' is not a registry phase; valid: {}",
+                    registry()
+                )
+            })?,
+    };
+    Ok((rank, idx))
 }
 
 fn fail(msg: &str) -> ! {
@@ -213,6 +263,30 @@ fn main() {
                     fail(&format!("cannot create --trace-out {}: {e}", dir.display()));
                 }
                 opts.trace_out = Some(dir);
+            }
+            "--kill" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.kills.push(parse_kill(&v).unwrap_or_else(|e| fail(&e)));
+            }
+            "--max-rounds" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let n: u32 = v
+                    .parse()
+                    .unwrap_or_else(|_| fail("--max-rounds must be a positive integer"));
+                if n == 0 {
+                    fail("--max-rounds must be at least 1");
+                }
+                opts.max_rounds = Some(n);
+            }
+            "--min-ranks" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let n: usize = v
+                    .parse()
+                    .unwrap_or_else(|_| fail("--min-ranks must be a positive integer"));
+                if n == 0 {
+                    fail("--min-ranks must be at least 1");
+                }
+                opts.min_ranks = Some(n);
             }
             "-h" | "--help" => usage(),
             f if f.starts_with('-') => fail(&format!("unknown flag '{f}'")),

@@ -18,7 +18,7 @@ use pgr_mpi::{
     build_profile, ChaosConfig, ChaosLayer, ClockMode, InstrumentConfig, MachineModel,
     MetricsConfig, RankMetrics, RankStats, ReliabilityConfig, RunMeta,
 };
-use pgr_obs::{metrics_json, BlameClass, Profile};
+use pgr_obs::{metrics_json, recovery_names, BlameClass, Profile};
 use pgr_router::{
     route_parallel, route_parallel_instrumented, Algorithm, PartitionKind, RecoveryPolicy,
     RouterConfig,
@@ -36,6 +36,15 @@ pub struct Opts {
     /// Directory to write per-run Chrome traces and stats JSON into
     /// (`--trace-out`). None = tracing off, zero overhead.
     pub trace_out: Option<PathBuf>,
+    /// `chaos` target: recovery-round budget override (`--max-rounds`).
+    pub max_rounds: Option<u32>,
+    /// `chaos` target: surviving-rank floor override (`--min-ranks`).
+    pub min_ranks: Option<usize>,
+    /// `chaos` target: kill-schedule override (`--kill R@B`, repeatable)
+    /// as `(rank, phase-boundary index)`; boundaries are validated
+    /// against the [`pgr_mpi::Phase`] registry at parse time. Empty =
+    /// the default one-kill schedule.
+    pub kills: Vec<(usize, usize)>,
 }
 
 impl Default for Opts {
@@ -44,6 +53,9 @@ impl Default for Opts {
             scale: 1.0,
             filter: None,
             trace_out: None,
+            max_rounds: None,
+            min_ranks: None,
+            kills: Vec::new(),
         }
     }
 }
@@ -831,13 +843,29 @@ pub fn machine_sweep(opts: &Opts) {
 /// labels with algorithms `"<name>-chaos"` / `"hybrid-fallback"`, so
 /// `repro aggregate` can trend robustness separately from the clean
 /// runs.
+///
+/// The schedule and the recovery policy are overridable from the CLI:
+/// `--kill R@B` (repeatable) replaces the default one-kill schedule,
+/// `--max-rounds` / `--min-ranks` override the [`RecoveryPolicy`]
+/// bounds. The printed `redone` / `restore` columns expose the
+/// checkpoint-resume accounting (`recovery.redone_phases`,
+/// `recovery.checkpoint.restores`): a resumed round redoes only the
+/// phases past the agreed boundary, a full restart redoes them all.
 pub fn chaos_smoke(opts: &Opts) {
     let machine = MachineModel::sparc_center_1000();
-    let cfg = cfg();
-    println!("Chaos smoke: message faults + one-rank kill, reliable transport on");
+    let default_policy = RecoveryPolicy::default();
+    let policy = RecoveryPolicy {
+        max_rounds: opts.max_rounds.unwrap_or(default_policy.max_rounds),
+        min_ranks: opts.min_ranks.unwrap_or(default_policy.min_ranks),
+    };
+    let cfg = RouterConfig {
+        recovery: policy,
+        ..cfg()
+    };
+    println!("Chaos smoke: message faults + rank kills, reliable transport on");
     opts.note_scale();
     println!(
-        "{:<12} {:<10} {:>2} {:>6} {:>8} {:>7} {:>7} {:>7} {:>7} {:>8} {:>6}",
+        "{:<12} {:<10} {:>2} {:>6} {:>8} {:>7} {:>7} {:>7} {:>7} {:>8} {:>6} {:>7} {:>8}",
         "circuit",
         "algorithm",
         "P",
@@ -848,21 +876,42 @@ pub fn chaos_smoke(opts: &Opts) {
         "dup",
         "corrupt",
         "recovery",
-        "lost"
+        "lost",
+        "redone",
+        "restore"
     );
     for c in opts.circuits() {
         let p = clamp_procs(4, &c);
+        for &(rank, _) in &opts.kills {
+            if rank >= p {
+                eprintln!(
+                    "repro: --kill rank {rank} is out of range for circuit {} (P = {p})",
+                    c.name
+                );
+                std::process::exit(2);
+            }
+        }
         for algo in Algorithm::ALL {
             let mut chaos = ChaosConfig::messages_with_corruption(SEED);
-            // The highest rank dies entering its third phase; the
-            // survivors re-partition its rows/nets and finish on P-1.
+            // Default schedule: the highest rank dies entering its third
+            // phase; the survivors restore its coarse-boundary snapshot
+            // and resume on P-1. `--kill` replaces the schedule wholesale.
             if p > 1 {
-                chaos.kills = vec![(p - 1, 2)];
+                chaos.kills = if opts.kills.is_empty() {
+                    vec![(p - 1, 2)]
+                } else {
+                    opts.kills.iter().map(|&(r, b)| (r, b as u64)).collect()
+                };
             }
-            let killed = if p > 1 {
-                format!("{}", p - 1)
-            } else {
+            let killed = if chaos.kills.is_empty() {
                 "-".to_string()
+            } else {
+                chaos
+                    .kills
+                    .iter()
+                    .map(|(r, _)| r.to_string())
+                    .collect::<Vec<_>>()
+                    .join("+")
             };
             let instr = InstrumentConfig {
                 metrics: MetricsConfig::on(),
@@ -883,7 +932,7 @@ pub fn chaos_smoke(opts: &Opts) {
             let sum =
                 |name: &str| -> u64 { out.metrics.iter().filter_map(|m| m.counter(name)).sum() };
             println!(
-                "{:<12} {:<10} {:>2} {:>6} {:>8} {:>7} {:>7} {:>7} {:>7} {:>8} {:>6}",
+                "{:<12} {:<10} {:>2} {:>6} {:>8} {:>7} {:>7} {:>7} {:>7} {:>8} {:>6} {:>7} {:>8}",
                 c.name,
                 algo.name(),
                 p,
@@ -895,6 +944,8 @@ pub fn chaos_smoke(opts: &Opts) {
                 sum(pgr_mpi::reliable::CORRUPT_DROPPED),
                 sum(pgr_router::metrics::names::RECOVERY_EVENTS),
                 sum(pgr_router::metrics::names::RANKS_LOST),
+                sum(recovery_names::REDONE_PHASES),
+                sum(recovery_names::CHECKPOINT_RESTORES),
             );
             if let Some(dir) = &opts.trace_out {
                 let label = format!("{}_{}_chaos_p{p}", c.name, algo.name());
@@ -946,7 +997,7 @@ pub fn chaos_smoke(opts: &Opts) {
             let sum =
                 |name: &str| -> u64 { out.metrics.iter().filter_map(|m| m.counter(name)).sum() };
             println!(
-                "{:<12} {:<10} {:>2} {:>6} {:>8} {:>7} {:>7} {:>7} {:>7} {:>8} {:>6}  (serial fallback, verified)",
+                "{:<12} {:<10} {:>2} {:>6} {:>8} {:>7} {:>7} {:>7} {:>7} {:>8} {:>6} {:>7} {:>8}  (serial fallback, verified)",
                 c.name,
                 "fallback",
                 p,
@@ -958,6 +1009,8 @@ pub fn chaos_smoke(opts: &Opts) {
                 sum(pgr_mpi::reliable::CORRUPT_DROPPED),
                 sum(pgr_router::metrics::names::RECOVERY_EVENTS),
                 sum(pgr_router::metrics::names::RANKS_LOST),
+                sum(recovery_names::REDONE_PHASES),
+                sum(recovery_names::CHECKPOINT_RESTORES),
             );
             if let Some(dir) = &opts.trace_out {
                 let label = format!("{}_hybrid_fallback_p{p}", c.name);

@@ -14,14 +14,36 @@
 //!   the per-phase metric window, and evaluates the fault layer's kill
 //!   schedule — a kill surfaces as [`RouteAbort`] instead of running the
 //!   pass;
-//! * **recovery** ([`with_recovery`]): on `PeersDied` the survivors
-//!   count the recovery, shrink the world, and restart the pipeline
-//!   from a fresh context — bounded by a [`RecoveryPolicy`]: when the
-//!   round budget is exhausted or the survivors fall below the floor,
-//!   the lowest surviving rank deterministically completes the route
-//!   with the serial pipeline instead of retrying forever;
+//! * **checkpointed recovery** ([`with_recovery`]): at every phase
+//!   boundary past the first, each rank commits a CRC-32-stamped
+//!   snapshot of its pipeline state into the shared checkpoint store
+//!   (`pgr_mpi::CheckpointStore`); on `PeersDied` the survivors count
+//!   the recovery, shrink the world, agree on the last globally
+//!   committed restorable boundary (an allreduce over the survivors —
+//!   the commit protocol), restore from the snapshots, and **resume**
+//!   from that boundary instead of redoing the whole attempt. When no
+//!   common committed boundary exists (a kill entering the very first
+//!   phase, or a snapshot failing its integrity check) the round falls
+//!   back to the full restart from a fresh context. Either way the loop
+//!   is bounded by a [`RecoveryPolicy`]: when the round budget is
+//!   exhausted or the survivors fall below the floor, the lowest
+//!   surviving rank deterministically completes the route with the
+//!   serial pipeline instead of retrying forever;
 //! * **self-verification**: any run that recovered or degraded re-checks
 //!   its result with [`crate::verify::check`] before returning it.
+//!
+//! Resume holds the repo's golden-determinism standard: a resumed
+//! attempt is **bit-identical in its result** to a fresh run of the
+//! surviving world. The restorable boundaries are exactly the ones
+//! whose state is *world-portable* — a pure function of the circuit
+//! and config, independent of the rank count. For the TWGR pipelines
+//! that is everything up to the coarse phase: per-net Steiner trees
+//! depend only on the net, and no pipeline consumes its RNG stream
+//! before coarse, so restored state re-partitioned over the shrunken
+//! world equals the fresh run's state exactly. Later boundaries commit
+//! metadata-only records (their channel state is shaped by the old
+//! world) and resume re-runs those phases from the last portable
+//! boundary.
 //!
 //! An algorithm is a [`Pipeline`]: a state machine whose
 //! [`pass`](Pipeline::pass) method executes the body of one phase,
@@ -35,6 +57,7 @@ use crate::parallel::partition::PartitionKind;
 use pgr_circuit::{Circuit, RowPartition};
 use pgr_geom::rng::{derive_seed, rng_from_seed, SmallRng};
 use pgr_mpi::{Comm, PhaseControl};
+use pgr_obs::recovery_names;
 
 pub use pgr_obs::Phase;
 
@@ -44,9 +67,29 @@ pub use pgr_obs::Phase;
 pub enum RouteAbort {
     /// This rank is the victim — unwind without touching the network.
     SelfKilled,
-    /// Peers (physical rank ids) died at this boundary; the survivors
-    /// must shrink the world and retry.
-    PeersDied(Vec<usize>),
+    /// Peers (physical rank ids) died entering phase `at`; the
+    /// survivors must shrink the world and retry — resuming from the
+    /// last committed checkpoint when one exists.
+    PeersDied { dead: Vec<usize>, at: Phase },
+}
+
+/// How a recovery round continues the route: resume the pipeline from
+/// phase index `from` (a registry index), seeded from the failed
+/// attempt's checkpoint payloads. Built by [`with_recovery`], consumed
+/// by [`run_attempt`].
+#[derive(Debug, Clone)]
+pub struct ResumePlan {
+    /// Registry index of the first phase the resumed attempt executes —
+    /// the agreed last globally committed restorable boundary.
+    pub from: usize,
+    /// Registry index of the phase whose boundary the previous attempt
+    /// died entering. Phases in `from..killed_at` are the redone work;
+    /// reaching `killed_at` again is the caught-up point the profiler's
+    /// `resume` blame class ends at.
+    pub killed_at: usize,
+    /// The failed world's snapshot payloads at `from`, in that world's
+    /// logical-rank order (CRC-verified at fetch).
+    pub payloads: Vec<Vec<u8>>,
 }
 
 /// Bounds on the recovery loop. Every survivor evaluates the policy
@@ -160,6 +203,24 @@ pub trait Pipeline {
     /// Execute the body of one phase.
     fn pass(&mut self, phase: Phase, ctx: &mut RouteCtx<'_>, comm: &mut Comm);
 
+    /// Portable snapshot of the state a resumed attempt would need to
+    /// start at the `at` boundary, or `None` when that state is shaped
+    /// by the current world (non-portable) — the boundary then commits
+    /// a metadata-only record that proves it was reached but cannot
+    /// seed a shrunken world. Must be communication-free. The default
+    /// commits metadata only (the serial pipeline never resumes).
+    fn snapshot(&self, _at: Phase, _ctx: &RouteCtx<'_>) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Rebuild the state [`snapshot`](Pipeline::snapshot) captured at
+    /// the `at` boundary from the *failed* world's payloads (that
+    /// world's logical-rank order), re-partitioned over the current
+    /// world in `ctx`. Must be communication-free and must leave the
+    /// pipeline bit-identical to a fresh run of the current world that
+    /// executed every phase before `at`.
+    fn restore(&mut self, _at: Phase, _payloads: &[Vec<u8>], _ctx: &mut RouteCtx<'_>) {}
+
     /// The assembled result, after the final pass.
     fn take_result(&mut self) -> Option<RoutingResult>;
 }
@@ -167,16 +228,46 @@ pub trait Pipeline {
 /// Run one attempt of `pipe` over the current world: every pass entered
 /// through its phase boundary (trace mark, metric window rotation, kill
 /// evaluation), aborts propagated to the caller.
+///
+/// With a [`ResumePlan`], phases before `plan.from` are skipped (their
+/// windows never open — the resumed attempt genuinely does not run
+/// them), the pipeline state is restored from the plan's payloads, and
+/// the caught-up trace mark is dropped when execution reaches the
+/// boundary the previous attempt died at. Each executed boundary past
+/// the first re-commits its snapshot under the current attempt, so a
+/// later kill can resume again.
 pub fn run_attempt<P: Pipeline>(
     pipe: &mut P,
     ctx: &mut RouteCtx<'_>,
     comm: &mut Comm,
+    plan: Option<&ResumePlan>,
 ) -> Result<Option<RoutingResult>, RouteAbort> {
     for &phase in P::PASSES {
+        if let Some(plan) = plan {
+            if phase.index() < plan.from {
+                continue;
+            }
+            if phase.index() == plan.from {
+                pipe.restore(phase, &plan.payloads, ctx);
+            }
+            if phase.index() == plan.killed_at {
+                // Causal-profiler anchor: segments between the restart
+                // mark and this one are the resume's replay.
+                comm.trace_mark(pgr_obs::MARK_RECOVERY_CAUGHT_UP);
+            }
+        }
+        // Commit the snapshot *before* the boundary: a victim deposits
+        // and then dies entering the phase, so the boundary it died at
+        // is globally committed and the survivors can resume from it.
+        // The first boundary carries no state and is never deposited —
+        // a kill there has nothing to resume from (full restart).
+        if comm.checkpointing() && phase.index() > 0 {
+            comm.checkpoint_commit(phase, pipe.snapshot(phase, ctx));
+        }
         match comm.phase_enter(phase) {
             PhaseControl::Continue => {}
             PhaseControl::SelfKilled => return Err(RouteAbort::SelfKilled),
-            PhaseControl::PeersDied(dead) => return Err(RouteAbort::PeersDied(dead)),
+            PhaseControl::PeersDied(dead) => return Err(RouteAbort::PeersDied { dead, at: phase }),
         }
         pipe.pass(phase, ctx, comm);
     }
@@ -184,16 +275,30 @@ pub fn run_attempt<P: Pipeline>(
     Ok(pipe.take_result())
 }
 
-/// Degraded-mode driver shared by the parallel algorithms: run attempts
-/// until one completes, removing dead ranks and restarting at every
-/// [`RouteAbort::PeersDied`]. A victim returns
+/// Recovery driver shared by the parallel algorithms: run attempts
+/// until one completes, removing dead ranks at every
+/// [`RouteAbort::PeersDied`] and continuing — by **checkpoint resume**
+/// when the failed attempt left a globally committed restorable
+/// boundary, by full restart otherwise. A victim returns
 /// [`RecoveryFlow::SelfKilled`] (it holds no result); survivors renumber
-/// densely, so the retry *is* the algorithm on a fresh (P − killed)-rank
-/// world — partitions, rank-derived RNG streams, and the rank-0 assembly
-/// role all follow the logical ranks. Recovery rounds and ranks lost are
-/// counted into the metrics shard (inside the window of the phase whose
-/// boundary failed), so degraded runs are distinguishable in
-/// `*.metrics.json`.
+/// densely, so the continuation *is* the algorithm on a fresh
+/// (P − killed)-rank world — partitions, rank-derived RNG streams, and
+/// the rank-0 assembly role all follow the logical ranks. Recovery
+/// rounds, ranks lost, and the redone-phase accounting are counted into
+/// the metrics shard (inside the window of the phase whose boundary
+/// failed), so degraded runs are distinguishable in `*.metrics.json`.
+///
+/// The commit protocol: every survivor votes its *own* highest portable
+/// deposit of the failed attempt (deterministic local knowledge — the
+/// shared store fills from free-running peer threads, so reading it
+/// directly would race) and the survivors agree via an allreduce-min
+/// over the shrunken world. When the kill fired entering the very first
+/// phase no boundary exists, and the round restarts from scratch
+/// *without any collective* — a boundary-0 kill stays bit-identical to
+/// the fresh smaller-world run, virtual time included. An agreed
+/// boundary whose payloads then fail their CRC re-verification also
+/// falls back to the full restart (counted in
+/// `recovery.checkpoint.crc_failures`).
 ///
 /// The loop is bounded by `policy`: once the round budget is spent or
 /// the survivors fall below the floor, it stops retrying and returns
@@ -201,24 +306,61 @@ pub fn run_attempt<P: Pipeline>(
 /// completes the route with the serial fallback.
 pub fn with_recovery<F>(comm: &mut Comm, policy: RecoveryPolicy, mut attempt: F) -> RecoveryFlow
 where
-    F: FnMut(&mut Comm) -> Result<Option<RoutingResult>, RouteAbort>,
+    F: FnMut(&mut Comm, Option<&ResumePlan>) -> Result<Option<RoutingResult>, RouteAbort>,
 {
     let mut rounds = 0u32;
+    let mut plan: Option<ResumePlan> = None;
     loop {
         if rounds >= policy.max_rounds || comm.size() < policy.min_ranks {
             return RecoveryFlow::Degraded { rounds };
         }
-        match attempt(comm) {
+        match attempt(comm, plan.as_ref()) {
             Ok(result) => return RecoveryFlow::Completed { result, rounds },
             Err(RouteAbort::SelfKilled) => return RecoveryFlow::SelfKilled,
-            Err(RouteAbort::PeersDied(dead)) => {
+            Err(RouteAbort::PeersDied { dead, at }) => {
                 comm.metric_add(names::RECOVERY_EVENTS, 1);
                 comm.metric_add(names::RANKS_LOST, dead.len() as u64);
+                let failed_attempt = comm.run_attempt();
+                let vote = comm.checkpoint_portable_boundary();
                 comm.remove_dead(&dead);
+                let killed_at = at.index();
+                // Every rank aborts at the same schedule boundary, so
+                // `killed_at` — and with it the choice to run the
+                // collective — is agreed without communication. A
+                // boundary-0 kill skips the protocol entirely.
+                plan = if killed_at == 0 {
+                    None
+                } else {
+                    // 0 encodes "no portable deposit"; the allreduce-min
+                    // runs before the restart mark, so its cost is
+                    // blamed on recovery, not on the resumed work.
+                    let agreed = comm.allreduce(vote.map_or(0, |b| b as u64 + 1), u64::min);
+                    match agreed {
+                        0 => None,
+                        b => {
+                            let from = (b - 1) as usize;
+                            comm.checkpoint_fetch(failed_attempt, from)
+                                .map(|payloads| ResumePlan {
+                                    from,
+                                    killed_at,
+                                    payloads,
+                                })
+                        }
+                    }
+                };
                 // Causal-profiler anchor: everything on this rank's
                 // timeline before this mark is restart-tainted work and
                 // gets blamed on the recovery class.
                 comm.trace_mark(pgr_obs::MARK_RECOVERY_RESTART);
+                match &plan {
+                    Some(p) => {
+                        comm.metric_add(recovery_names::REDONE_PHASES, (killed_at - p.from) as u64);
+                    }
+                    None => {
+                        comm.metric_add(recovery_names::REDONE_PHASES, killed_at as u64);
+                        comm.metric_add(recovery_names::FULL_RESTARTS, 1);
+                    }
+                }
                 rounds += 1;
             }
         }
@@ -268,10 +410,10 @@ pub fn drive<P: Pipeline + Default>(
     kind: PartitionKind,
     comm: &mut Comm,
 ) -> Option<RoutingResult> {
-    let flow = with_recovery(comm, cfg.recovery, |comm| {
+    let flow = with_recovery(comm, cfg.recovery, |comm, plan| {
         let mut ctx = RouteCtx::new(circuit, cfg, kind, comm);
         let mut pipe = P::default();
-        run_attempt(&mut pipe, &mut ctx, comm)
+        run_attempt(&mut pipe, &mut ctx, comm, plan)
     });
     let (result, recovered) = match flow {
         RecoveryFlow::SelfKilled => return None,

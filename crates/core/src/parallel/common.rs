@@ -2,15 +2,18 @@
 //!
 //! Circuit distribution, Steiner-segment splitting at partition
 //! boundaries with fake-pin insertion (§4, Figure 2), sub-net assembly
-//! from received fragments, and the final solution gather.
+//! from received fragments, the final solution gather, and the portable
+//! phase-boundary checkpoint payloads all three pipelines deposit for
+//! [`crate::engine::with_recovery`]'s resume path.
 
 use crate::config::RouterConfig;
 use crate::cost;
+use crate::engine::Phase;
 use crate::metrics::RoutingResult;
 use crate::route::state::{Node, Segment, Span, WorkNet};
 use crate::route::switchable::ChannelState;
 use pgr_circuit::{Circuit, RowPartition};
-use pgr_mpi::Comm;
+use pgr_mpi::{Comm, Reader, Wire};
 
 /// User-space message tags.
 pub mod tag {
@@ -136,6 +139,97 @@ pub fn assemble_works(segments: &[Segment]) -> Vec<WorkNet> {
         w.nodes.dedup();
     }
     works
+}
+
+/// The last phase boundary whose pipeline state is *portable* — restorable
+/// on a world of any size. Entering [`Phase::Coarse`], the live state is
+/// the per-net unsplit Steiner segments, pure functions of the circuit
+/// and config alone; every later boundary's state (coarse grids, channel
+/// occupancy, RNG cursors) is keyed to the dead world's partition and
+/// rank-derived random streams, so it cannot seed a shrunken world.
+pub const PORTABLE_HORIZON: usize = Phase::Coarse.index();
+
+/// Encode a pipeline's portable checkpoint payload for the boundary
+/// entering `at`, or `None` when the boundary is past the portable
+/// horizon (the engine then records a metadata-only, non-restorable
+/// commit). `ckpt` holds the rank's owned multi-pin nets in ascending
+/// net-id order with their *unsplit* Steiner segments, retained by the
+/// Steiner pass; the boundary entering [`Phase::Steiner`] itself is
+/// portable but stateless (setup re-runs from the shared circuit), so
+/// its payload is empty.
+pub fn steiner_snapshot(at: Phase, ckpt: &Vec<(u32, Vec<Segment>)>) -> Option<Vec<u8>> {
+    match at.index() {
+        i if i == Phase::Steiner.index() => Some(Vec::new()),
+        i if i == PORTABLE_HORIZON => Some(ckpt.to_bytes()),
+        _ => None,
+    }
+}
+
+/// Decode every surviving rank's fetched checkpoint payload into one
+/// net-indexed table of unsplit Steiner segments. Each multi-pin net was
+/// deposited by exactly one dead-world owner, so the union covers every
+/// net once; nets absent everywhere (fewer than two pins) stay `None`.
+/// Payloads already passed the store's CRC re-verification — a decode
+/// failure here would be an encoding bug, not data corruption.
+pub fn merge_steiner_payloads(payloads: &[Vec<u8>], num_nets: usize) -> Vec<Option<Vec<Segment>>> {
+    let mut by_net: Vec<Option<Vec<Segment>>> = vec![None; num_nets];
+    for payload in payloads {
+        let decoded = Vec::<(u32, Vec<Segment>)>::decode(&mut Reader::new(payload))
+            .expect("checkpoint payload passed its CRC stamp but failed to decode");
+        for (id, segs) in decoded {
+            by_net[id as usize] = Some(segs);
+        }
+    }
+    by_net
+}
+
+/// Replay the Steiner-phase all-to-all *arrival order* of a fault-free
+/// run on the current world, from checkpointed unsplit segments: pieces
+/// arrive grouped by sending rank (ascending), each sender walks its
+/// owned nets in ascending net-id order, and every segment splits at the
+/// current row partition. This rebuilds `self.segments` bit-identically
+/// to what the skipped Steiner pass would have produced — without
+/// touching the network or the virtual clock.
+pub fn replay_split_arrival(
+    by_net: &[Option<Vec<Segment>>],
+    owners: &[u32],
+    rows: &RowPartition,
+    size: usize,
+    rank: usize,
+) -> Vec<Segment> {
+    let mut segments = Vec::new();
+    for sender in 0..size {
+        for (i, &owner) in owners.iter().enumerate() {
+            if owner as usize != sender {
+                continue;
+            }
+            let Some(segs) = &by_net[i] else { continue };
+            for seg in segs {
+                for (part, piece) in split_segment(seg, rows) {
+                    if part == rank {
+                        segments.push(piece);
+                    }
+                }
+            }
+        }
+    }
+    segments
+}
+
+/// Rebuild the Steiner-pass checkpoint retention for the calling rank
+/// under the *current* net partition, so a resumed attempt re-deposits
+/// valid portable snapshots at its own boundaries.
+pub fn owned_ckpt(
+    by_net: &[Option<Vec<Segment>>],
+    owners: &[u32],
+    rank: usize,
+) -> Vec<(u32, Vec<Segment>)> {
+    owners
+        .iter()
+        .enumerate()
+        .filter(|&(i, &o)| o as usize == rank && by_net[i].is_some())
+        .map(|(i, _)| (i as u32, by_net[i].clone().expect("filtered to Some")))
+        .collect()
 }
 
 /// Exchange boundary-channel counts with row-partition neighbors and

@@ -19,7 +19,10 @@ use crate::config::RouterConfig;
 use crate::cost;
 use crate::engine::{self, Phase, Pipeline, RouteCtx};
 use crate::metrics::{names, record_ft_plan, RoutingResult};
-use crate::parallel::common::{distribute, gather_result};
+use crate::parallel::common::{
+    distribute, gather_result, merge_steiner_payloads, owned_ckpt, steiner_snapshot,
+    PORTABLE_HORIZON,
+};
 use crate::parallel::partition::{partition_nets, PartitionKind};
 use crate::route::coarse::{CoarseDeltas, CoarseState};
 use crate::route::connect::{connect_net_with, ConnectArena};
@@ -158,6 +161,11 @@ pub fn route_netwise(
 /// Pipeline state carried between the net-wise passes.
 #[derive(Default)]
 struct NetWisePipeline {
+    /// Owned nets with their Steiner segments, retained (only when a
+    /// checkpoint store is attached) for the portable phase-boundary
+    /// snapshot. Net-wise nets are never split, so these are the same
+    /// segments as `segments`, grouped per net.
+    ckpt: Vec<(u32, Vec<Segment>)>,
     owners: Vec<u32>,
     works: Vec<WorkNet>,
     segments: Vec<Segment>,
@@ -188,6 +196,7 @@ impl Pipeline for NetWisePipeline {
             Phase::Steiner => {
                 self.owners =
                     partition_nets(circuit, ctx.kind, &ctx.rows, ctx.size, cfg.pin_weight_beta);
+                let keep = comm.checkpointing();
                 for (i, &owner) in self.owners.iter().enumerate() {
                     if owner as usize != ctx.rank {
                         continue;
@@ -197,6 +206,9 @@ impl Pipeline for NetWisePipeline {
                         let segs = build_segments_with(&w, cfg.steiner_refine, comm);
                         if cfg.steiner_refine {
                             crate::route::serial::register_steiner_nodes(&mut w, &segs);
+                        }
+                        if keep {
+                            self.ckpt.push((i as u32, segs.clone()));
                         }
                         self.segments.extend(segs);
                         self.works.push(w);
@@ -346,6 +358,45 @@ impl Pipeline for NetWisePipeline {
                 );
             }
         }
+    }
+
+    fn snapshot(&self, at: Phase, _ctx: &RouteCtx<'_>) -> Option<Vec<u8>> {
+        steiner_snapshot(at, &self.ckpt)
+    }
+
+    fn restore(&mut self, at: Phase, payloads: &[Vec<u8>], ctx: &mut RouteCtx<'_>) {
+        if at.index() != PORTABLE_HORIZON {
+            return; // resuming at Steiner: default state, setup re-runs
+        }
+        // Nets are whole here: rebuild the owned work records exactly as
+        // the skipped Steiner pass would have (whole_net and the
+        // steiner-node registration are pure), seeding the segments from
+        // the checkpoint instead of re-deriving the trees.
+        self.owners = partition_nets(
+            ctx.circuit,
+            ctx.kind,
+            &ctx.rows,
+            ctx.size,
+            ctx.cfg.pin_weight_beta,
+        );
+        let by_net = merge_steiner_payloads(payloads, ctx.circuit.num_nets());
+        for (i, &owner) in self.owners.iter().enumerate() {
+            if owner as usize != ctx.rank {
+                continue;
+            }
+            let mut w = whole_net(ctx.circuit, NetId::from_index(i));
+            if w.nodes.len() >= 2 {
+                let segs = by_net[i]
+                    .clone()
+                    .expect("every multi-pin net was checkpointed by its dead-world owner");
+                if ctx.cfg.steiner_refine {
+                    crate::route::serial::register_steiner_nodes(&mut w, &segs);
+                }
+                self.segments.extend(segs);
+                self.works.push(w);
+            }
+        }
+        self.ckpt = owned_ckpt(&by_net, &self.owners, ctx.rank);
     }
 
     fn take_result(&mut self) -> Option<RoutingResult> {

@@ -22,7 +22,8 @@ use crate::cost;
 use crate::engine::{self, Phase, Pipeline, RouteCtx};
 use crate::metrics::{names, record_ft_plan, RoutingResult};
 use crate::parallel::common::{
-    assemble_works, distribute, gather_result, split_segment, sync_boundaries,
+    assemble_works, distribute, gather_result, merge_steiner_payloads, owned_ckpt,
+    replay_split_arrival, split_segment, steiner_snapshot, sync_boundaries, PORTABLE_HORIZON,
 };
 use crate::parallel::partition::{partition_nets, PartitionKind};
 use crate::route::coarse::CoarseState;
@@ -56,6 +57,10 @@ pub fn route_rowwise(
 /// Pipeline state carried between the row-wise passes.
 #[derive(Default)]
 struct RowWisePipeline {
+    /// Owned nets with their unsplit Steiner segments, retained (only
+    /// when a checkpoint store is attached) for the portable
+    /// phase-boundary snapshot.
+    ckpt: Vec<(u32, Vec<Segment>)>,
     segments: Vec<Segment>,
     works: Vec<WorkNet>,
     orients: Vec<crate::route::state::Orientation>,
@@ -84,6 +89,7 @@ impl Pipeline for RowWisePipeline {
                     partition_nets(circuit, ctx.kind, &ctx.rows, ctx.size, cfg.pin_weight_beta);
                 let owned = owners.iter().filter(|&&o| o as usize == ctx.rank).count();
                 comm.metric_add(names::NETS_OWNED, owned as u64);
+                let keep = comm.checkpointing();
                 let mut outgoing: Vec<Vec<Segment>> = vec![Vec::new(); ctx.size];
                 for (i, &owner) in owners.iter().enumerate() {
                     if owner as usize != ctx.rank {
@@ -93,10 +99,14 @@ impl Pipeline for RowWisePipeline {
                     if w.nodes.len() < 2 {
                         continue;
                     }
-                    for seg in build_segments_with(&w, cfg.steiner_refine, comm) {
-                        for (part, piece) in split_segment(&seg, &ctx.rows) {
+                    let segs = build_segments_with(&w, cfg.steiner_refine, comm);
+                    for seg in &segs {
+                        for (part, piece) in split_segment(seg, &ctx.rows) {
                             outgoing[part].push(piece);
                         }
+                    }
+                    if keep {
+                        self.ckpt.push((i as u32, segs));
                     }
                 }
                 let incoming = comm.alltoall(outgoing);
@@ -173,6 +183,27 @@ impl Pipeline for RowWisePipeline {
                 );
             }
         }
+    }
+
+    fn snapshot(&self, at: Phase, _ctx: &RouteCtx<'_>) -> Option<Vec<u8>> {
+        steiner_snapshot(at, &self.ckpt)
+    }
+
+    fn restore(&mut self, at: Phase, payloads: &[Vec<u8>], ctx: &mut RouteCtx<'_>) {
+        if at.index() != PORTABLE_HORIZON {
+            return; // resuming at Steiner: default state, setup re-runs
+        }
+        let owners = partition_nets(
+            ctx.circuit,
+            ctx.kind,
+            &ctx.rows,
+            ctx.size,
+            ctx.cfg.pin_weight_beta,
+        );
+        let by_net = merge_steiner_payloads(payloads, ctx.circuit.num_nets());
+        self.segments = replay_split_arrival(&by_net, &owners, &ctx.rows, ctx.size, ctx.rank);
+        self.works = assemble_works(&self.segments);
+        self.ckpt = owned_ckpt(&by_net, &owners, ctx.rank);
     }
 
     fn take_result(&mut self) -> Option<RoutingResult> {

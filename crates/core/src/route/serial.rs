@@ -103,7 +103,7 @@ pub fn attach_feedthroughs(works: &mut [WorkNet], ft_nodes: Vec<(NetId, Node)>) 
 pub fn route_serial(circuit: &Circuit, cfg: &RouterConfig, comm: &mut Comm) -> RoutingResult {
     let mut ctx = RouteCtx::new(circuit, cfg, PartitionKind::PinWeight, comm);
     let mut pipe = SerialPipeline::default();
-    match run_attempt(&mut pipe, &mut ctx, comm) {
+    match run_attempt(&mut pipe, &mut ctx, comm, None) {
         Ok(result) => result.expect("the serial pipeline always assembles a result"),
         Err(_) => unreachable!("serial comms carry no kill schedule"),
     }

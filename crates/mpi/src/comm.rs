@@ -35,6 +35,7 @@
 //! receive blocked on a dead peer reports
 //! [`CommError::RankDead`] with the victim's last heartbeat.
 
+use crate::checkpoint::CheckpointStore;
 use crate::error::{CommError, PendingMsg, TransportSnapshot};
 use crate::failure::FailureDetector;
 use crate::fault::{
@@ -45,7 +46,7 @@ use crate::machine::{ClockMode, MachineModel};
 use crate::reliable::{self, backoff_delay, Ingest, ReliabilityConfig, ReorderBuffer};
 use crate::trace::{self, RankTrace, TraceConfig, TraceEvent, TraceEventKind, TraceHub};
 use crate::wire::{crc32, Wire};
-use pgr_obs::{MetricsConfig, MetricsShard, Phase, RankMetrics};
+use pgr_obs::{recovery_names, MetricsConfig, MetricsShard, Phase, RankMetrics};
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
@@ -250,6 +251,20 @@ pub struct Comm {
     /// they block undisturbed (no timing jitter added to runs that
     /// cannot lose a rank).
     kills_scheduled: bool,
+    /// Shared phase-boundary checkpoint store; present only when the
+    /// run can lose a rank (or the caller supplied one), so fault-free
+    /// runs never pay for snapshots.
+    checkpoints: Option<Arc<CheckpointStore>>,
+    /// Which attempt of the run this world is: 0 until the first rank
+    /// death, bumped by every [`Comm::remove_dead`]. Keys the
+    /// checkpoint store.
+    run_attempt: u32,
+    /// Highest phase boundary at which *this rank* committed a portable
+    /// snapshot during the current attempt. Deliberately local: the
+    /// recovery commit protocol must base each rank's vote on
+    /// deterministic own-rank knowledge (free-running peer threads make
+    /// reads of the shared store racy) and agree via a collective.
+    portable_boundary: Option<usize>,
 }
 
 /// This rank's retransmit bookkeeping, surfaced in
@@ -298,6 +313,11 @@ pub struct InstrumentConfig {
     /// every rank's stats additionally carry host-time measurements from
     /// one shared epoch.
     pub clock: ClockMode,
+    /// Phase-boundary checkpoint store. `None` (the default) creates
+    /// one automatically when the fault layer schedules a kill;
+    /// supplying a store keeps a handle on it across the run (tests,
+    /// cross-run inspection).
+    pub checkpoints: Option<Arc<CheckpointStore>>,
 }
 
 impl std::fmt::Debug for InstrumentConfig {
@@ -308,6 +328,7 @@ impl std::fmt::Debug for InstrumentConfig {
             .field("fault", &self.fault.as_ref().map(|_| "<layer>"))
             .field("reliability", &self.reliability)
             .field("clock", &self.clock)
+            .field("checkpoints", &self.checkpoints.as_ref().map(|_| "<store>"))
             .finish()
     }
 }
@@ -392,6 +413,9 @@ impl Comm {
             corrupt_stash: None,
             failure: None,
             kills_scheduled: false,
+            checkpoints: None,
+            run_attempt: 0,
+            portable_boundary: None,
         }
     }
 
@@ -651,6 +675,99 @@ impl Comm {
         for &p in dead {
             self.pending[p].clear();
             self.rel_holdback[p] = None;
+        }
+        // The shrunken world is a new attempt: its checkpoint deposits
+        // must not collide with the failed attempt's, and its portable
+        // progress starts over.
+        self.run_attempt += 1;
+        self.portable_boundary = None;
+    }
+
+    // ----- phase-boundary checkpoints -----
+
+    /// Whether this run keeps a checkpoint store (i.e. a rank can die).
+    /// Pipelines consult this to decide whether to retain snapshot
+    /// inputs during their passes; fault-free runs skip that work.
+    pub fn checkpointing(&self) -> bool {
+        self.checkpoints.is_some()
+    }
+
+    /// Which attempt of the run this world is executing: 0 until the
+    /// first rank death, +1 per recovery round.
+    pub fn run_attempt(&self) -> u32 {
+        self.run_attempt
+    }
+
+    /// Commit this rank's snapshot for the upcoming `phase` boundary
+    /// into the shared store. `Some(payload)` commits a portable
+    /// (restorable-anywhere) snapshot; `None` commits a metadata-only
+    /// record that proves the boundary was reached but cannot seed a
+    /// shrunken world. No-op without a store.
+    pub fn checkpoint_commit(&mut self, phase: Phase, payload: Option<Vec<u8>>) {
+        let Some(store) = self.checkpoints.clone() else {
+            return;
+        };
+        let portable = payload.is_some();
+        if portable {
+            self.portable_boundary = Some(
+                self.portable_boundary
+                    .map_or(phase.index(), |b| b.max(phase.index())),
+            );
+        }
+        let payload = payload.unwrap_or_default();
+        self.metric_add(recovery_names::CHECKPOINT_COMMITS, 1);
+        self.metric_add(recovery_names::CHECKPOINT_BYTES, payload.len() as u64);
+        store.deposit(
+            self.run_attempt,
+            phase.index(),
+            self.lrank,
+            &self.world,
+            portable,
+            payload,
+            self.clock,
+        );
+    }
+
+    /// This rank's vote in the recovery commit protocol: the highest
+    /// boundary of the current attempt where it deposited a portable
+    /// snapshot. Ranks abort an attempt at the same schedule boundary,
+    /// so this is deterministic per rank; the survivors' allreduce-min
+    /// over these votes is the last *globally* committed restorable
+    /// boundary.
+    pub fn checkpoint_portable_boundary(&self) -> Option<usize> {
+        self.portable_boundary
+    }
+
+    /// Fetch all payloads of `attempt`'s snapshot at `phase_idx`, in
+    /// the failed world's logical-rank order, re-verifying every CRC-32
+    /// stamp. Blocks until every member of the failed world has
+    /// deposited the boundary (free-running threads may still be
+    /// unwinding toward their own aborts — every one of them commits
+    /// this boundary first, so the wait terminates). Counts a restore on
+    /// success; a `None` on a boundary the commit protocol agreed on
+    /// means an integrity failure — counted, and the caller must fall
+    /// back to a full restart.
+    pub fn checkpoint_fetch(&mut self, attempt: u32, phase_idx: usize) -> Option<Vec<Vec<u8>>> {
+        let store = self.checkpoints.clone()?;
+        store.wait_complete(attempt, phase_idx);
+        // Scheduled checkpoint rot fires between completeness and
+        // verification — the deterministic window a real parallel
+        // filesystem would corrupt in. The store's corruption is
+        // idempotent, so every survivor may trigger it.
+        if let Some(fault) = self.fault.clone() {
+            if fault.corrupt_checkpoint(attempt, phase_idx) {
+                store.corrupt(attempt, phase_idx);
+            }
+        }
+        match store.fetch(attempt, phase_idx) {
+            Some(payloads) => {
+                self.metric_add(recovery_names::CHECKPOINT_RESTORES, 1);
+                Some(payloads)
+            }
+            None => {
+                self.metric_add(recovery_names::CHECKPOINT_CRC_FAILURES, 1);
+                None
+            }
         }
     }
 
@@ -1552,6 +1669,14 @@ where
         .fault
         .as_ref()
         .is_some_and(|f| (0..size).any(|r| f.kill_at_boundary(r).is_some()));
+    // The checkpoint store exists only when a rank can actually die (or
+    // the caller wants a handle on it): fault-free and messages-only
+    // chaos runs never deposit, keeping them bit-identical and
+    // snapshot-free.
+    let checkpoints = instr
+        .checkpoints
+        .clone()
+        .or_else(|| kills_scheduled.then(|| Arc::new(CheckpointStore::new())));
     let mut txs = Vec::with_capacity(size);
     let mut rxs = Vec::with_capacity(size);
     for _ in 0..size {
@@ -1604,6 +1729,9 @@ where
             corrupt_stash: None,
             failure: failure.clone(),
             kills_scheduled,
+            checkpoints: checkpoints.clone(),
+            run_attempt: 0,
+            portable_boundary: None,
         })
         .collect();
     drop(txs);

@@ -118,6 +118,15 @@ pub trait FaultLayer: Send + Sync {
     fn kill_at_boundary(&self, _rank: usize) -> Option<u64> {
         None
     }
+
+    /// Checkpoint-corruption schedule: `true` means the stored snapshot
+    /// payloads of `(attempt, phase_idx)` are to be corrupted before a
+    /// recovery round's CRC re-verification, forcing the checkpoint
+    /// resume to reject the boundary and fall back to a full restart.
+    /// The default layer corrupts nothing.
+    fn corrupt_checkpoint(&self, _attempt: u32, _phase_idx: usize) -> bool {
+        false
+    }
 }
 
 /// Any `Fn(&MsgCtx) -> FaultAction` closure is a fault layer.
@@ -255,6 +264,10 @@ pub struct ChaosConfig {
     pub corrupt: f64,
     /// Rank-death schedule: `(rank, phase boundary index)`.
     pub kills: Vec<(usize, u64)>,
+    /// Checkpoint-corruption schedule: `(attempt, phase index)` store
+    /// boundaries whose payloads rot before recovery re-verifies them
+    /// (consumed by [`FaultLayer::corrupt_checkpoint`]).
+    pub ckpt_corrupt: Vec<(u32, usize)>,
 }
 
 impl ChaosConfig {
@@ -271,6 +284,7 @@ impl ChaosConfig {
             delay_secs: 1e-4,
             corrupt: 0.0,
             kills: Vec::new(),
+            ckpt_corrupt: Vec::new(),
         }
     }
 
@@ -365,6 +379,10 @@ impl FaultLayer for ChaosLayer {
             .map(|&(_, b)| b)
             .min()
     }
+
+    fn corrupt_checkpoint(&self, attempt: u32, phase_idx: usize) -> bool {
+        self.cfg.ckpt_corrupt.contains(&(attempt, phase_idx))
+    }
 }
 
 #[cfg(test)]
@@ -448,6 +466,7 @@ mod tests {
             delay_secs: 1.0,
             corrupt: 0.20,
             kills: vec![(2, 3), (2, 1), (0, 7)],
+            ckpt_corrupt: Vec::new(),
         });
         let mk = |seq, attempt| MsgCtx {
             src: 3,
@@ -486,6 +505,7 @@ mod tests {
             delay_secs: 0.0,
             corrupt: 0.0,
             kills: Vec::new(),
+            ckpt_corrupt: Vec::new(),
         });
         let n = 4096;
         let drops = (0..n)

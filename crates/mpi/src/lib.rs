@@ -43,7 +43,14 @@
 //! boundary ([`Comm::phase_adv`]), survivors shrink the world
 //! ([`Comm::remove_dead`]) and continue on dense logical ranks, and a
 //! recv blocked on the victim reports [`CommError::RankDead`].
+//!
+//! Checkpointed recovery: when a kill is scheduled, every rank commits
+//! a CRC-32-stamped snapshot of its pipeline state into a shared
+//! [`checkpoint::CheckpointStore`] at each phase boundary, so a
+//! recovery round can resume from the last globally committed boundary
+//! instead of redoing the whole attempt.
 
+pub mod checkpoint;
 pub mod comm;
 pub mod error;
 pub mod failure;
@@ -54,6 +61,7 @@ pub mod reliable;
 pub mod trace;
 pub mod wire;
 
+pub use checkpoint::{CheckpointStore, Snapshot};
 pub use comm::{
     run, run_instrumented, run_traced, Comm, InstrumentConfig, PhaseControl, RankStats, RunReport,
     WallStats, COLLECTIVE_TAG_BASE, RECV_WAIT_MICROS,

@@ -29,7 +29,7 @@ use crate::trace::{RankTrace, TraceEvent, TraceEventKind};
 use pgr_obs::profile::PRE_PHASE;
 use pgr_obs::{
     BlameClass, PathSegment, PhaseBlame, Profile, RankBlame, MARK_DEGRADED_SERIAL,
-    MARK_RECOVERY_RESTART,
+    MARK_RECOVERY_CAUGHT_UP, MARK_RECOVERY_RESTART,
 };
 use std::collections::HashMap;
 
@@ -123,6 +123,10 @@ struct RankView<'a> {
     marks: Vec<(&'static str, f64)>,
     /// Time of the last `recovery.restart` mark, if any.
     last_restart: Option<f64>,
+    /// Time of the last `recovery.caught_up` mark, if any — the moment
+    /// the final checkpoint-resumed attempt finished replaying to the
+    /// boundary where the previous attempt died.
+    last_caught_up: Option<f64>,
     /// Time of the first `degraded.serial` mark, if any.
     degraded_from: Option<f64>,
 }
@@ -133,6 +137,7 @@ impl<'a> RankView<'a> {
             dur: Vec::new(),
             marks: Vec::new(),
             last_restart: None,
+            last_caught_up: None,
             degraded_from: None,
         };
         for e in &t.events {
@@ -141,6 +146,8 @@ impl<'a> RankView<'a> {
                 TraceEventKind::Mark { name } => {
                     if name == MARK_RECOVERY_RESTART {
                         v.last_restart = Some(e.t0);
+                    } else if name == MARK_RECOVERY_CAUGHT_UP {
+                        v.last_caught_up = Some(e.t0);
                     } else if name == MARK_DEGRADED_SERIAL && v.degraded_from.is_none() {
                         v.degraded_from = Some(e.t0);
                     }
@@ -234,7 +241,7 @@ pub fn build_profile(traces: &[RankTrace], machine: &MachineModel) -> Profile {
         }
         profile.phases.push(PhaseBlame {
             phase,
-            on_path: [0.0; 5],
+            on_path: [0.0; 6],
             ranks,
         });
     }
@@ -339,13 +346,19 @@ pub fn build_profile(traces: &[RankTrace], machine: &MachineModel) -> Profile {
     }
     segs.reverse();
 
-    // Recovery/degraded reclassification and phase tagging.
+    // Recovery/resume/degraded reclassification and phase tagging.
+    // Ordering matters: time before the last restart is thrown-away
+    // work (Recovery) even when earlier rounds resumed; time between
+    // the last restart and the last caught-up mark is the final
+    // resume's replay (Resume); anything after is normal progress.
     for s in &mut segs {
         let v = &views[s.rank];
         if v.degraded_from.is_some_and(|d| s.t1 > d) {
             s.class = BlameClass::Degraded;
         } else if v.last_restart.is_some_and(|m| s.t1 <= m) {
             s.class = BlameClass::Recovery;
+        } else if v.last_caught_up.is_some_and(|m| s.t1 <= m) {
+            s.class = BlameClass::Resume;
         }
         s.phase = Some(v.phase_at(s.t1));
         profile.class_seconds[s.class.index()] += s.t1 - s.t0;
@@ -355,7 +368,7 @@ pub fn build_profile(traces: &[RankTrace], machine: &MachineModel) -> Profile {
             None => {
                 profile.phases.push(PhaseBlame {
                     phase: name,
-                    on_path: [0.0; 5],
+                    on_path: [0.0; 6],
                     ranks: Vec::new(),
                 });
                 profile.phases.last_mut().expect("just pushed")

@@ -289,6 +289,7 @@ fn critical_cname(class: pgr_obs::BlameClass) -> &'static str {
         RecvWait => "terrible",
         Transport => "bad",
         Recovery => "yellow",
+        Resume => "olive",
         Degraded => "grey",
     }
 }

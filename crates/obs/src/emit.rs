@@ -20,7 +20,7 @@ use crate::metrics::RankMetrics;
 /// `mpi.recv_wait_micros` and `trace.dropped` counters; aggregate dumps
 /// gained wait-fraction / imbalance series. (Bench snapshots version
 /// independently — see `pgr-bench`'s `BENCH_SCHEMA_VERSION`.)
-pub const SCHEMA_VERSION: u32 = 3;
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Escape a string for inclusion in a JSON string literal.
 pub fn json_escape(s: &str) -> String {

@@ -38,9 +38,11 @@ pub mod profile;
 
 pub use emit::{json_escape, metrics_json, RunMeta, SCHEMA_VERSION};
 pub use json::Json;
-pub use metrics::{merge_ranks, Histogram, MetricsConfig, MetricsShard, RankMetrics};
+pub use metrics::{
+    merge_ranks, recovery_names, Histogram, MetricsConfig, MetricsShard, RankMetrics,
+};
 pub use phase::Phase;
 pub use profile::{
     BlameClass, PathSegment, PhaseBlame, Profile, RankBlame, MARK_DEGRADED_SERIAL,
-    MARK_RECOVERY_RESTART,
+    MARK_RECOVERY_CAUGHT_UP, MARK_RECOVERY_RESTART,
 };

@@ -33,6 +33,29 @@ impl Default for MetricsConfig {
     }
 }
 
+/// Checkpointed-recovery metric names, shared by the communicator (which
+/// owns the checkpoint store) and the engine (which drives the resume
+/// protocol). They live here rather than in either crate so both record
+/// under the same literals the aggregator and CI gates grep for.
+pub mod recovery_names {
+    /// Snapshots committed into the checkpoint store (one per rank per
+    /// boundary deposit).
+    pub const CHECKPOINT_COMMITS: &str = "recovery.checkpoint.commits";
+    /// Snapshot payload bytes committed into the store.
+    pub const CHECKPOINT_BYTES: &str = "recovery.checkpoint.bytes";
+    /// Successful checkpoint restores (one per rank per resumed round).
+    pub const CHECKPOINT_RESTORES: &str = "recovery.checkpoint.restores";
+    /// Snapshots rejected at fetch time because the stored CRC-32 no
+    /// longer matched the payload; the round falls back to full restart.
+    pub const CHECKPOINT_CRC_FAILURES: &str = "recovery.checkpoint.crc_failures";
+    /// Phases a recovery round had to re-run: `killed_at - resume_from`
+    /// on a checkpoint resume, the full phase count on a restart.
+    pub const REDONE_PHASES: &str = "recovery.redone_phases";
+    /// Recovery rounds that found no common committed boundary (or a
+    /// corrupt snapshot) and restarted the attempt from scratch.
+    pub const FULL_RESTARTS: &str = "recovery.full_restarts";
+}
+
 /// Number of histogram buckets: bucket 0 holds zeros, bucket `i ≥ 1`
 /// holds values with bit length `i`, i.e. `v ∈ [2^(i-1), 2^i)`.
 pub const HIST_BUCKETS: usize = 65;

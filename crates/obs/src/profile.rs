@@ -26,6 +26,13 @@ pub const MARK_RECOVERY_RESTART: &str = "recovery.restart";
 /// [`BlameClass::Degraded`].
 pub const MARK_DEGRADED_SERIAL: &str = "degraded.serial";
 
+/// Trace mark recorded by the engine when a checkpoint-resumed attempt
+/// catches up to the boundary where the previous attempt died; segments
+/// between the restart mark and this mark are blamed on
+/// [`BlameClass::Resume`] (the replay that a full restart would have
+/// charged to [`BlameClass::Recovery`]).
+pub const MARK_RECOVERY_CAUGHT_UP: &str = "recovery.caught_up";
+
 /// What a critical-path second was spent on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BlameClass {
@@ -42,6 +49,10 @@ pub enum BlameClass {
     /// Time spent before the last recovery restart on the segment's
     /// rank — work a rank kill forced the survivors to redo.
     Recovery,
+    /// Time spent between a checkpoint-resumed restart and its
+    /// caught-up mark — the resumed attempt replaying from the last
+    /// committed boundary up to where the previous attempt died.
+    Resume,
     /// Time spent after the run fell back to the degraded serial
     /// pipeline.
     Degraded,
@@ -49,11 +60,12 @@ pub enum BlameClass {
 
 impl BlameClass {
     /// Every class, in display order.
-    pub const ALL: [BlameClass; 5] = [
+    pub const ALL: [BlameClass; 6] = [
         BlameClass::Compute,
         BlameClass::RecvWait,
         BlameClass::Transport,
         BlameClass::Recovery,
+        BlameClass::Resume,
         BlameClass::Degraded,
     ];
 
@@ -64,6 +76,7 @@ impl BlameClass {
             BlameClass::RecvWait => "recv_wait",
             BlameClass::Transport => "transport",
             BlameClass::Recovery => "recovery",
+            BlameClass::Resume => "resume",
             BlameClass::Degraded => "degraded",
         }
     }
@@ -127,7 +140,7 @@ pub struct PhaseBlame {
     pub phase: &'static str,
     /// Critical-path seconds this phase contributes, indexed by
     /// [`BlameClass::index`].
-    pub on_path: [f64; 5],
+    pub on_path: [f64; 6],
     pub ranks: Vec<RankBlame>,
 }
 
@@ -148,7 +161,7 @@ pub struct Profile {
     /// extraction failed (see `warnings`).
     pub critical_path: Vec<PathSegment>,
     /// Critical-path seconds by [`BlameClass::index`].
-    pub class_seconds: [f64; 5],
+    pub class_seconds: [f64; 6],
     /// Per-phase blame, in first-appearance order.
     pub phases: Vec<PhaseBlame>,
     /// Why the profile is weaker than requested (truncation, unmatched
@@ -386,7 +399,7 @@ mod tests {
         p.class_seconds[BlameClass::RecvWait.index()] = 0.3;
         p.phases.push(PhaseBlame {
             phase: "setup",
-            on_path: [0.6, 0.0, 0.0, 0.0, 0.0],
+            on_path: [0.6, 0.0, 0.0, 0.0, 0.0, 0.0],
             ranks: vec![
                 RankBlame {
                     rank: 0,
@@ -483,7 +496,14 @@ mod tests {
         let names: Vec<_> = BlameClass::ALL.iter().map(|c| c.name()).collect();
         assert_eq!(
             names,
-            ["compute", "recv_wait", "transport", "recovery", "degraded"]
+            [
+                "compute",
+                "recv_wait",
+                "transport",
+                "recovery",
+                "resume",
+                "degraded"
+            ]
         );
     }
 }
