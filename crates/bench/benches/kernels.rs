@@ -1,7 +1,8 @@
 //! Micro-benchmarks of the computational kernels under the router:
 //! rectilinear MSTs (step 1 and 4's dominant work), the lazy segment-tree
 //! density profile (the structure every coarse/switchable decision
-//! probes), union-find, and the wire codec the ranks serialize with.
+//! probes), union-find, the wire codec the ranks serialize with, and the
+//! columnar circuit store's per-net sweep paths.
 
 use pgr_bench::harness::{black_box, Harness};
 use pgr_geom::rng::{rng_from_seed, shuffled_indices};
@@ -168,6 +169,40 @@ fn bench_critical_path(h: &mut Harness) {
     });
 }
 
+fn bench_circuit_store(h: &mut Harness) {
+    use pgr_circuit::mcnc::Mcnc;
+    use pgr_circuit::NetId;
+
+    // The columnar store's hot paths: sweeping every net's slice of the
+    // shared pin-index arena, and resolving pin positions in batch from
+    // the SoA columns — the access pattern of the Steiner/coarse loops.
+    let c = Mcnc::Primary2.circuit_scaled(0.2);
+    h.bench("circuit/net_pins_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for chunk in c.nets_chunks() {
+                for net in chunk.net_ids() {
+                    total += black_box(c.net_pins(net)).len();
+                }
+            }
+            black_box(total)
+        })
+    });
+    h.bench("circuit/pin_points_batch", |b| {
+        let mut points = Vec::new();
+        b.iter(|| {
+            let mut sum = 0i64;
+            for i in 0..c.num_nets() {
+                let pins = c.net_pins(NetId::from_index(i));
+                points.clear();
+                c.pin_points_into(pins, &mut points);
+                sum += points.iter().map(|p| p.x).sum::<i64>();
+            }
+            black_box(sum)
+        })
+    });
+}
+
 fn bench_shuffle(h: &mut Harness) {
     h.bench("shuffle_10k", |b| {
         let mut rng = rng_from_seed(5);
@@ -183,6 +218,7 @@ fn main() {
     bench_unionfind(&mut h);
     bench_wire(&mut h);
     bench_channel_router(&mut h);
+    bench_circuit_store(&mut h);
     bench_critical_path(&mut h);
     bench_shuffle(&mut h);
     h.finish();

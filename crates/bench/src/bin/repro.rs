@@ -53,6 +53,11 @@
 //! plus color-tagged critical-path slices. The path-sum-equals-makespan
 //! invariant is asserted in-process on every lossless run.
 //!
+//! `big-circuit` generates a synthetic instance an order of magnitude
+//! beyond the paper's largest (~200k nets at scale 1.0) and routes it
+//! serially — the smoke test that the chunked columnar circuit store
+//! holds up past the MCNC sizes.
+//!
 //! `repro bench-check` validates `BENCH_*.json` kernel-bench snapshots
 //! (as written by `BENCH_JSON=path cargo bench`): schema version, kind
 //! tag, and at least `--min-kernels` entries with positive timings. CI
@@ -78,7 +83,7 @@ use std::path::PathBuf;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale F] [--circuits a,b,c] [--trace-out DIR]\n             [--kill R@B]... [--max-rounds N] [--min-ranks N] <target>...\n\
-         targets: table1 table2 table3 table4 table5 partition-ablation sync-sweep\n          machine-sweep exact-sync-ablation beta-sweep phase-breakdown detailed-refinement steiner-ablation comm-matrix chaos wall-clock profile all\n\
+         targets: table1 table2 table3 table4 table5 partition-ablation sync-sweep\n          machine-sweep exact-sync-ablation beta-sweep phase-breakdown detailed-refinement steiner-ablation comm-matrix chaos wall-clock big-circuit profile all\n\
          chaos:  --kill R@B kills rank R at phase boundary B (registry name or index);\n         --max-rounds / --min-ranks bound the recovery policy\n\
          or:    repro aggregate [--out FILE] [--md FILE] [--baseline FILE] [--tolerance F] <path>...\n\
          or:    repro bench-check [--min-kernels N] <file>..."
@@ -338,6 +343,7 @@ fn main() {
             "comm-matrix" => tables::comm_matrix(&opts),
             "chaos" => tables::chaos_smoke(&opts),
             "wall-clock" => tables::wall_clock(&opts),
+            "big-circuit" => tables::big_circuit(&opts),
             "profile" => tables::profile(&opts),
             other => {
                 eprintln!("unknown target '{other}'");

@@ -1,11 +1,14 @@
 //! Incremental circuit construction with validation at `finish()`.
 //!
 //! Cells are appended to rows left-to-right and packed automatically; the
-//! builder keeps id assignment dense so routers can index entity `Vec`s
-//! directly.
+//! builder keeps id assignment dense so routers can index entity columns
+//! directly. Everything lands straight in the columnar
+//! [`crate::store::CircuitStore`] — there is no intermediate
+//! array-of-structs representation.
 
 use crate::ids::{CellId, NetId, PinId, RowId};
-use crate::model::{Cell, Circuit, ModelError, Net, Pin, PinSide, Row};
+use crate::model::{Circuit, ModelError, PinSide};
+use crate::store::CircuitStore;
 
 /// Builder for [`Circuit`].
 ///
@@ -24,10 +27,8 @@ use crate::model::{Cell, Circuit, ModelError, Net, Pin, PinSide, Row};
 pub struct CircuitBuilder {
     name: String,
     width: i64,
-    rows: Vec<Row>,
-    cells: Vec<Cell>,
-    pins: Vec<Pin>,
-    nets: Vec<Net>,
+    num_rows: usize,
+    store: CircuitStore,
     /// Next free x per row (cells are packed with `spacing` gap).
     cursor: Vec<i64>,
     spacing: i64,
@@ -40,15 +41,8 @@ impl CircuitBuilder {
         CircuitBuilder {
             name: name.into(),
             width,
-            rows: (0..num_rows)
-                .map(|i| Row {
-                    id: RowId::from_index(i),
-                    cells: Vec::new(),
-                })
-                .collect(),
-            cells: Vec::new(),
-            pins: Vec::new(),
-            nets: Vec::new(),
+            num_rows,
+            store: CircuitStore::new(),
             cursor: vec![0; num_rows],
             spacing: 0,
         }
@@ -61,7 +55,7 @@ impl CircuitBuilder {
     }
 
     pub fn num_rows(&self) -> usize {
-        self.rows.len()
+        self.num_rows
     }
 
     /// Free columns remaining in `row`.
@@ -79,15 +73,7 @@ impl CircuitBuilder {
             "row {row} overflows core width {} (cursor {x}, cell width {width})",
             self.width
         );
-        let id = CellId::from_index(self.cells.len());
-        self.cells.push(Cell {
-            id,
-            row,
-            x,
-            width,
-            pins: Vec::new(),
-        });
-        self.rows[row.index()].cells.push(id);
+        let id = self.store.push_cell(row, x, width);
         self.cursor[row.index()] = x + width as i64 + self.spacing;
         id
     }
@@ -95,68 +81,25 @@ impl CircuitBuilder {
     /// Add a pin to `cell` at `offset` columns from its left edge.
     /// The pin is not yet on a net; [`CircuitBuilder::add_net`] wires it.
     pub fn add_pin(&mut self, cell: CellId, offset: u32, side: PinSide, equivalent: bool) -> PinId {
-        let id = PinId::from_index(self.pins.len());
-        // Net is patched in add_net; a sentinel that validate() would catch
-        // if the pin is never wired.
-        self.pins.push(Pin {
-            id,
-            cell,
-            net: NetId(u32::MAX),
-            offset,
-            side,
-            equivalent,
-        });
-        self.cells[cell.index()].pins.push(id);
-        id
+        self.store.push_pin(cell, offset, side, equivalent)
     }
 
-    /// Create a net over previously added pins.
+    /// Create a net over previously added pins. Empty or duplicate-pin
+    /// nets are accepted here and rejected with a structured error at
+    /// [`CircuitBuilder::finish`].
     pub fn add_net(&mut self, name: impl Into<String>, pins: Vec<PinId>) -> NetId {
-        let id = NetId::from_index(self.nets.len());
-        for &p in &pins {
-            self.pins[p.index()].net = id;
-        }
-        self.nets.push(Net {
-            id,
-            name: name.into(),
-            pins,
-        });
-        id
+        let name = name.into();
+        self.store.push_net(&name, &pins)
     }
 
     /// Validate and produce the circuit. Pins never wired to a net are
-    /// dropped (cells may legitimately have unused pin sites).
+    /// dropped (cells may legitimately have unused pin sites). Nets with
+    /// fewer than two pins fail with [`ModelError::DegenerateNet`]; a pin
+    /// listed twice in one net fails with [`ModelError::DuplicatePin`].
     pub fn finish(mut self) -> Result<Circuit, ModelError> {
-        // Drop unwired pins, compacting ids.
-        let mut remap: Vec<Option<PinId>> = vec![None; self.pins.len()];
-        let mut kept: Vec<Pin> = Vec::with_capacity(self.pins.len());
-        for pin in self.pins.into_iter() {
-            if pin.net != NetId(u32::MAX) {
-                let new_id = PinId::from_index(kept.len());
-                remap[pin.id.index()] = Some(new_id);
-                let mut p = pin;
-                p.id = new_id;
-                kept.push(p);
-            }
-        }
-        for cell in &mut self.cells {
-            cell.pins = cell.pins.iter().filter_map(|p| remap[p.index()]).collect();
-        }
-        for net in &mut self.nets {
-            net.pins = net
-                .pins
-                .iter()
-                .map(|p| remap[p.index()].expect("net pin was wired"))
-                .collect();
-        }
-        let circuit = Circuit {
-            name: self.name,
-            rows: self.rows,
-            cells: self.cells,
-            pins: kept,
-            nets: self.nets,
-            width: self.width,
-        };
+        self.store.drop_unwired_pins();
+        self.store.finalize(self.num_rows);
+        let circuit = Circuit::from_store(self.name, self.width, self.num_rows, self.store);
         circuit.validate()?;
         Ok(circuit)
     }
@@ -175,8 +118,8 @@ mod tests {
         let pc = b.add_pin(c, 4, PinSide::Top, false);
         b.add_net("n", vec![pa, pc]);
         let circuit = b.finish().unwrap();
-        assert_eq!(circuit.cells[0].x, 0);
-        assert_eq!(circuit.cells[1].x, 10);
+        assert_eq!(circuit.cell(CellId(0)).x, 0);
+        assert_eq!(circuit.cell(CellId(1)).x, 10);
         assert_eq!(circuit.pin_x(PinId(1)), 14);
     }
 
@@ -189,7 +132,7 @@ mod tests {
         let pc = b.add_pin(c, 0, PinSide::Top, false);
         b.add_net("n", vec![pa, pc]);
         let circuit = b.finish().unwrap();
-        assert_eq!(circuit.cells[1].x, 13);
+        assert_eq!(circuit.cell(CellId(1)).x, 13);
     }
 
     #[test]
@@ -210,8 +153,8 @@ mod tests {
         b.add_net("n", vec![p1, p2]);
         let circuit = b.finish().unwrap();
         assert_eq!(circuit.num_pins(), 2);
-        assert_eq!(circuit.pins[0].offset, 1);
-        assert_eq!(circuit.cells[0].pins.len(), 2);
+        assert_eq!(circuit.pin(PinId(0)).offset, 1);
+        assert_eq!(circuit.cell(CellId(0)).pins.len(), 2);
         circuit.validate().unwrap();
     }
 
@@ -222,5 +165,36 @@ mod tests {
         b.add_cell(RowId(0), 20);
         assert_eq!(b.remaining_in_row(RowId(0)), 30);
         assert_eq!(b.remaining_in_row(RowId(1)), 50);
+    }
+
+    #[test]
+    fn duplicate_pin_in_one_net_is_rejected() {
+        let mut b = CircuitBuilder::new("t", 1, 100);
+        let a = b.add_cell(RowId(0), 10);
+        let p0 = b.add_pin(a, 0, PinSide::Top, false);
+        let p1 = b.add_pin(a, 1, PinSide::Bottom, false);
+        b.add_net("dup", vec![p0, p1, p0]);
+        match b.finish() {
+            Err(ModelError::DuplicatePin(msg)) => {
+                assert!(msg.contains("dup"), "error names the net: {msg}")
+            }
+            other => panic!("expected DuplicatePin, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_pin_net_is_rejected() {
+        let mut b = CircuitBuilder::new("t", 1, 100);
+        let a = b.add_cell(RowId(0), 10);
+        let p0 = b.add_pin(a, 0, PinSide::Top, false);
+        let p1 = b.add_pin(a, 1, PinSide::Bottom, false);
+        b.add_net("ok", vec![p0, p1]);
+        b.add_net("empty", vec![]);
+        match b.finish() {
+            Err(ModelError::DegenerateNet(msg)) => {
+                assert!(msg.contains("0 pin"), "error reports the count: {msg}")
+            }
+            other => panic!("expected DegenerateNet, got {other:?}"),
+        }
     }
 }

@@ -15,8 +15,9 @@
 //! net <name> <pin> <pin> ...
 //! ```
 
-use crate::ids::{CellId, NetId, PinId, RowId};
-use crate::model::{Cell, Circuit, ModelError, Net, Pin, PinSide, Row};
+use crate::ids::{CellId, PinId, RowId};
+use crate::model::{Circuit, ModelError, PinSide};
+use crate::store::CircuitStore;
 use std::fmt;
 use std::fmt::Write as _;
 
@@ -26,11 +27,11 @@ pub fn to_text(c: &Circuit) -> String {
     out.push_str("pgr-circuit v1\n");
     let _ = writeln!(out, "name {}", c.name);
     let _ = writeln!(out, "width {}", c.width);
-    let _ = writeln!(out, "rows {}", c.rows.len());
-    for cell in &c.cells {
+    let _ = writeln!(out, "rows {}", c.num_rows());
+    for cell in c.cells() {
         let _ = writeln!(out, "cell {} {} {}", cell.row.0, cell.x, cell.width);
     }
-    for pin in &c.pins {
+    for pin in c.pins() {
         let side = match pin.side {
             PinSide::Top => 'T',
             PinSide::Bottom => 'B',
@@ -44,9 +45,9 @@ pub fn to_text(c: &Circuit) -> String {
             u8::from(pin.equivalent)
         );
     }
-    for net in &c.nets {
+    for net in c.nets() {
         let _ = write!(out, "net {}", net.name);
-        for p in &net.pins {
+        for p in net.pins {
             let _ = write!(out, " {}", p.0);
         }
         out.push('\n');
@@ -68,9 +69,8 @@ pub fn from_text(text: &str) -> Result<Circuit, FormatError> {
     let mut name = String::new();
     let mut width: Option<i64> = None;
     let mut num_rows: Option<usize> = None;
-    let mut cells: Vec<Cell> = Vec::new();
-    let mut pins: Vec<Pin> = Vec::new();
-    let mut nets: Vec<Net> = Vec::new();
+    let mut store = CircuitStore::new();
+    let mut net_pins: Vec<PinId> = Vec::new();
 
     for (i, raw) in lines {
         let lineno = i + 1;
@@ -115,13 +115,7 @@ pub fn from_text(text: &str) -> Result<Circuit, FormatError> {
                     .ok_or_else(|| syntax("cell needs <width>"))?
                     .parse()
                     .map_err(|_| syntax("bad width"))?;
-                cells.push(Cell {
-                    id: CellId::from_index(cells.len()),
-                    row: RowId(row),
-                    x,
-                    width: w,
-                    pins: Vec::new(),
-                });
+                store.push_cell(RowId(row), x, w);
             }
             "pin" => {
                 let cell: u32 = tok
@@ -144,48 +138,30 @@ pub fn from_text(text: &str) -> Result<Circuit, FormatError> {
                     "1" => true,
                     _ => return Err(syntax("equiv must be 0 or 1")),
                 };
-                let id = PinId::from_index(pins.len());
                 let cell_id = CellId(cell);
-                pins.push(Pin {
-                    id,
-                    cell: cell_id,
-                    net: NetId(u32::MAX),
-                    offset,
-                    side,
-                    equivalent,
-                });
-                cells
-                    .get_mut(cell_id.index())
-                    .ok_or_else(|| {
-                        FormatError::Syntax(
-                            lineno,
-                            format!("pin references undeclared cell {cell}"),
-                        )
-                    })?
-                    .pins
-                    .push(id);
+                if cell_id.index() >= store.num_cells() {
+                    return Err(FormatError::Syntax(
+                        lineno,
+                        format!("pin references undeclared cell {cell}"),
+                    ));
+                }
+                store.push_pin(cell_id, offset, side, equivalent);
             }
             "net" => {
-                let nname = tok
-                    .next()
-                    .ok_or_else(|| syntax("net needs a name"))?
-                    .to_string();
-                let id = NetId::from_index(nets.len());
-                let mut net_pins = Vec::new();
+                let nname = tok.next().ok_or_else(|| syntax("net needs a name"))?;
+                net_pins.clear();
                 for t in tok {
                     let p: u32 = t.parse().map_err(|_| syntax("bad pin id"))?;
                     let pid = PinId(p);
-                    let pin = pins.get_mut(pid.index()).ok_or_else(|| {
-                        FormatError::Syntax(lineno, format!("net references undeclared pin {p}"))
-                    })?;
-                    pin.net = id;
+                    if pid.index() >= store.num_pins() {
+                        return Err(FormatError::Syntax(
+                            lineno,
+                            format!("net references undeclared pin {p}"),
+                        ));
+                    }
                     net_pins.push(pid);
                 }
-                nets.push(Net {
-                    id,
-                    name: nname,
-                    pins: net_pins,
-                });
+                store.push_net(nname, &net_pins);
             }
             other => {
                 return Err(FormatError::Syntax(
@@ -198,39 +174,24 @@ pub fn from_text(text: &str) -> Result<Circuit, FormatError> {
 
     let num_rows = num_rows.ok_or(FormatError::Missing("rows"))?;
     let width = width.ok_or(FormatError::Missing("width"))?;
-    let mut rows: Vec<Row> = (0..num_rows)
-        .map(|i| Row {
-            id: RowId::from_index(i),
-            cells: Vec::new(),
-        })
-        .collect();
-    for cell in &cells {
-        rows.get_mut(cell.row.index())
-            .ok_or_else(|| {
-                FormatError::Syntax(
-                    0,
-                    format!(
-                        "cell {} references row {} >= rows {}",
-                        cell.id, cell.row, num_rows
-                    ),
-                )
-            })?
-            .cells
-            .push(cell.id);
+    for i in 0..store.num_cells() {
+        let row = store.cell_row[i];
+        if row.index() >= num_rows {
+            return Err(FormatError::Syntax(
+                0,
+                format!(
+                    "cell {} references row {} >= rows {}",
+                    CellId::from_index(i),
+                    row,
+                    num_rows
+                ),
+            ));
+        }
     }
-    // Row cell lists must be in left-to-right order for validate().
-    for row in &mut rows {
-        row.cells.sort_by_key(|&c| cells[c.index()].x);
-    }
+    // finalize() sorts each row's cells left-to-right for validate().
+    store.finalize(num_rows);
 
-    let circuit = Circuit {
-        name,
-        rows,
-        cells,
-        pins,
-        nets,
-        width,
-    };
+    let circuit = Circuit::from_store(name, width, num_rows, store);
     circuit.validate().map_err(FormatError::Invalid)?;
     Ok(circuit)
 }
@@ -261,6 +222,7 @@ impl std::error::Error for FormatError {}
 mod tests {
     use super::*;
     use crate::generate::{generate, GeneratorConfig};
+    use crate::ids::NetId;
 
     #[test]
     fn roundtrip_preserves_everything() {
@@ -275,8 +237,12 @@ mod tests {
         for i in 0..c.num_pins() {
             let p = PinId::from_index(i);
             assert_eq!(c.pin_x(p), c2.pin_x(p));
-            assert_eq!(c.pins[i].equivalent, c2.pins[i].equivalent);
-            assert_eq!(c.pins[i].net, c2.pins[i].net);
+            assert_eq!(c.pin_equivalent(p), c2.pin_equivalent(p));
+            assert_eq!(c.pin_net(p), c2.pin_net(p));
+        }
+        for i in 0..c.num_nets() {
+            let n = NetId::from_index(i);
+            assert_eq!(c.net_name(n), c2.net_name(n));
         }
         // And a second roundtrip is textually identical (canonical form).
         assert_eq!(text, to_text(&c2));
@@ -306,17 +272,31 @@ mod tests {
     }
 
     #[test]
+    fn rejects_duplicate_pin_in_net() {
+        let text =
+            "pgr-circuit v1\nname x\nwidth 10\nrows 1\ncell 0 0 4\npin 0 0 T 0\nnet twice 0 0\n";
+        assert!(matches!(
+            from_text(text),
+            Err(FormatError::Invalid(ModelError::DuplicatePin(_)))
+        ));
+    }
+
+    #[test]
     fn comments_and_blank_lines_are_skipped() {
         let text = "pgr-circuit v1\n# comment\n\nname x\nwidth 10\nrows 1\ncell 0 0 4\ncell 0 4 4\npin 0 0 T 0\npin 1 1 B 1\nnet n 0 1\n";
         let c = from_text(text).unwrap();
         assert_eq!(c.num_nets(), 1);
-        assert_eq!(c.pins[1].side, PinSide::Bottom);
+        assert_eq!(c.pin_side(PinId(1)), PinSide::Bottom);
     }
 
     #[test]
     fn out_of_order_cells_are_sorted_into_rows() {
         let text = "pgr-circuit v1\nname x\nwidth 20\nrows 1\ncell 0 10 4\ncell 0 0 4\npin 0 0 T 0\npin 1 1 B 1\nnet n 0 1\n";
         let c = from_text(text).unwrap();
-        assert_eq!(c.rows[0].cells, vec![CellId(1), CellId(0)], "sorted by x");
+        assert_eq!(
+            c.row_cells(RowId(0)),
+            &[CellId(1), CellId(0)],
+            "sorted by x"
+        );
     }
 }

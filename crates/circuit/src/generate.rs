@@ -233,12 +233,9 @@ mod tests {
         cfg.pins = 700;
         cfg.clock_nets = vec![150, 60];
         let c = generate(&cfg);
-        let max_deg = c.nets.iter().map(|n| n.degree()).max().unwrap();
+        let max_deg = c.nets().map(|n| n.degree()).max().unwrap();
         assert_eq!(max_deg, 150);
-        assert_eq!(
-            c.nets.iter().filter(|n| n.name.starts_with("clk")).count(),
-            2
-        );
+        assert_eq!(c.nets().filter(|n| n.name.starts_with("clk")).count(), 2);
         assert_eq!(c.num_pins(), 700);
         c.validate().unwrap();
     }
@@ -273,7 +270,7 @@ mod tests {
         cfg.nets = 1000;
         cfg.cells = 1600;
         let c = generate(&cfg);
-        let frac = c.pins.iter().filter(|p| p.equivalent).count() as f64 / c.num_pins() as f64;
+        let frac = c.pins().filter(|p| p.equivalent).count() as f64 / c.num_pins() as f64;
         assert!(
             (frac - 0.5).abs() < 0.05,
             "observed equivalent fraction {frac}"

@@ -14,7 +14,8 @@
 //! * a **net** is the set of pins that must be electrically connected.
 //!
 //! This crate owns the immutable input description: the model itself
-//! ([`model`]), a builder with validation ([`builder`]), deterministic
+//! ([`model`]) over columnar SoA storage ([`store`]), a builder with
+//! validation ([`builder`]), deterministic
 //! synthetic generators ([`mod@generate`]) including MCNC-benchmark-shaped
 //! instances ([`mcnc`]), a plain-text interchange format ([`mod@format`]), and
 //! contiguous row partitions ([`partition`]) used by the parallel
@@ -27,9 +28,11 @@ pub mod ids;
 pub mod mcnc;
 pub mod model;
 pub mod partition;
+pub mod store;
 
 pub use builder::CircuitBuilder;
 pub use generate::{generate, GeneratorConfig};
 pub use ids::{CellId, NetId, PinId, RowId};
 pub use model::{Cell, Circuit, CircuitStats, Net, Pin, PinSide, Row};
 pub use partition::RowPartition;
+pub use store::{ChunkSummary, NET_CHUNK_SIZE};

@@ -147,8 +147,8 @@ mod tests {
     #[test]
     fn avq_large_scaled_keeps_heavy_tail() {
         let c = Mcnc::AvqLarge.circuit_scaled(0.04);
-        let max_deg = c.nets.iter().map(|n| n.degree()).max().unwrap();
-        let small = c.nets.iter().filter(|n| n.degree() <= 6).count();
+        let max_deg = c.nets().map(|n| n.degree()).max().unwrap();
+        let small = c.nets().filter(|n| n.degree() <= 6).count();
         assert!(max_deg >= 8 * 6, "clock net still dominates: {max_deg}");
         assert!(
             small as f64 / c.num_nets() as f64 > 0.9,

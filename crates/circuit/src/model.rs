@@ -5,8 +5,15 @@
 //! insertion and cell shifting happen in router-owned placement state, so
 //! one `Circuit` can be routed many times (serially and at several rank
 //! counts) for the scaled-quality comparisons in the paper's tables.
+//!
+//! Storage is columnar ([`crate::store::CircuitStore`]): flat SoA columns
+//! per attribute, shared membership arenas instead of per-net/per-cell
+//! `Vec`s, and interned net names. [`Net`], [`Cell`], and [`Row`] are
+//! borrowed *views* assembled from the columns on access; [`Pin`] is a
+//! plain `Copy` record.
 
 use crate::ids::{CellId, NetId, PinId, RowId};
+use crate::store::{ChunkSummary, CircuitStore};
 use pgr_geom::{BBox, Point};
 use std::fmt;
 
@@ -20,7 +27,8 @@ pub enum PinSide {
 }
 
 /// A pin: a fixed terminal on a cell, member of exactly one net.
-#[derive(Debug, Clone)]
+/// Assembled from the pin columns on access; plain `Copy` data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Pin {
     pub id: PinId,
     pub cell: CellId,
@@ -34,127 +42,280 @@ pub struct Pin {
     pub equivalent: bool,
 }
 
-/// A standard cell: a fixed-height block placed in one row.
-#[derive(Debug, Clone)]
-pub struct Cell {
+/// A standard cell: a fixed-height block placed in one row. A borrowed
+/// view over the cell columns; `pins` aliases the shared cell→pin arena.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell<'c> {
     pub id: CellId,
     pub row: RowId,
     /// Initial left edge in routing columns (before feedthrough insertion).
     pub x: i64,
     /// Width in routing columns.
     pub width: u32,
-    pub pins: Vec<PinId>,
+    pub pins: &'c [PinId],
 }
 
-/// A row of cells, ordered left-to-right.
-#[derive(Debug, Clone)]
-pub struct Row {
+/// A row of cells, ordered left-to-right. A borrowed view over the shared
+/// row→cell arena.
+#[derive(Debug, Clone, Copy)]
+pub struct Row<'c> {
     pub id: RowId,
-    pub cells: Vec<CellId>,
+    pub cells: &'c [CellId],
 }
 
-/// A net: the set of pins to be connected.
-#[derive(Debug, Clone)]
-pub struct Net {
+/// A net: the set of pins to be connected. A borrowed view: `pins`
+/// aliases the shared net→pin arena, `name` the interned name arena —
+/// no per-net allocations exist anywhere.
+#[derive(Debug, Clone, Copy)]
+pub struct Net<'c> {
     pub id: NetId,
-    pub name: String,
-    pub pins: Vec<PinId>,
+    pub name: &'c str,
+    pub pins: &'c [PinId],
 }
 
-impl Net {
+impl Net<'_> {
     pub fn degree(&self) -> usize {
         self.pins.len()
     }
 }
 
-/// A complete row-based standard-cell circuit.
+/// A complete row-based standard-cell circuit over columnar storage.
 #[derive(Debug, Clone)]
 pub struct Circuit {
     pub name: String,
-    pub rows: Vec<Row>,
-    pub cells: Vec<Cell>,
-    pub pins: Vec<Pin>,
-    pub nets: Vec<Net>,
     /// Core width in routing columns (all cells fit in `0..width`).
     pub width: i64,
+    pub(crate) num_rows: usize,
+    pub(crate) store: CircuitStore,
 }
 
 impl Circuit {
+    /// Assemble a circuit from a finalized store. Crate-internal: the
+    /// builder and the text parser construct stores; everyone else
+    /// consumes accessors.
+    pub(crate) fn from_store(
+        name: String,
+        width: i64,
+        num_rows: usize,
+        store: CircuitStore,
+    ) -> Self {
+        Circuit {
+            name,
+            width,
+            num_rows,
+            store,
+        }
+    }
+
     pub fn num_rows(&self) -> usize {
-        self.rows.len()
+        self.num_rows
     }
 
     pub fn num_cells(&self) -> usize {
-        self.cells.len()
+        self.store.num_cells()
     }
 
     pub fn num_pins(&self) -> usize {
-        self.pins.len()
+        self.store.num_pins()
     }
 
     pub fn num_nets(&self) -> usize {
-        self.nets.len()
+        self.store.num_nets()
     }
 
     /// Number of routing channels: one below each row plus one above the
     /// top row. Channel `c` lies below row `c`; channel `r + 1` lies above
     /// row `r`.
     pub fn num_channels(&self) -> usize {
-        self.rows.len() + 1
+        self.num_rows + 1
+    }
+
+    // --- Pin accessors. ---
+
+    /// The full pin record, assembled from the columns.
+    #[inline]
+    pub fn pin(&self, pin: PinId) -> Pin {
+        Pin {
+            id: pin,
+            cell: self.store.pin_cell[pin.index()],
+            net: self.store.pin_net[pin.index()],
+            offset: self.store.pin_offset[pin.index()],
+            side: self.store.pin_side(pin),
+            equivalent: self.store.pin_equivalent(pin),
+        }
+    }
+
+    /// All pins, in id order.
+    pub fn pins(&self) -> impl Iterator<Item = Pin> + '_ {
+        (0..self.num_pins()).map(|i| self.pin(PinId::from_index(i)))
+    }
+
+    #[inline]
+    pub fn pin_cell(&self, pin: PinId) -> CellId {
+        self.store.pin_cell[pin.index()]
+    }
+
+    #[inline]
+    pub fn pin_net(&self, pin: PinId) -> NetId {
+        self.store.pin_net[pin.index()]
+    }
+
+    #[inline]
+    pub fn pin_offset(&self, pin: PinId) -> u32 {
+        self.store.pin_offset[pin.index()]
+    }
+
+    #[inline]
+    pub fn pin_side(&self, pin: PinId) -> PinSide {
+        self.store.pin_side(pin)
+    }
+
+    #[inline]
+    pub fn pin_equivalent(&self, pin: PinId) -> bool {
+        self.store.pin_equivalent(pin)
     }
 
     /// Initial absolute x of a pin (cell left edge + offset).
+    #[inline]
     pub fn pin_x(&self, pin: PinId) -> i64 {
-        let p = &self.pins[pin.index()];
-        self.cells[p.cell.index()].x + p.offset as i64
+        let cell = self.store.pin_cell[pin.index()];
+        self.store.cell_x[cell.index()] + self.store.pin_offset[pin.index()] as i64
     }
 
     /// Row of a pin.
+    #[inline]
     pub fn pin_row(&self, pin: PinId) -> RowId {
-        self.cells[self.pins[pin.index()].cell.index()].row
+        self.store.cell_row[self.store.pin_cell[pin.index()].index()]
     }
 
     /// Initial lattice position of a pin: `(column, row index)`.
+    #[inline]
     pub fn pin_point(&self, pin: PinId) -> Point {
         Point::new(self.pin_x(pin), self.pin_row(pin).0 as i64)
     }
 
+    /// Batch [`Circuit::pin_point`]: append the initial positions of
+    /// `pins` to `out` in order. One pass over the pin columns — the
+    /// per-net hot loops use this instead of a call per pin.
+    pub fn pin_points_into(&self, pins: &[PinId], out: &mut Vec<Point>) {
+        out.reserve(pins.len());
+        for &p in pins {
+            let cell = self.store.pin_cell[p.index()].index();
+            out.push(Point::new(
+                self.store.cell_x[cell] + self.store.pin_offset[p.index()] as i64,
+                self.store.cell_row[cell].0 as i64,
+            ));
+        }
+    }
+
+    // --- Cell and row accessors. ---
+
+    /// Borrowed view of one cell.
+    #[inline]
+    pub fn cell(&self, cell: CellId) -> Cell<'_> {
+        Cell {
+            id: cell,
+            row: self.store.cell_row[cell.index()],
+            x: self.store.cell_x[cell.index()],
+            width: self.store.cell_width[cell.index()],
+            pins: self.store.cell_pins(cell),
+        }
+    }
+
+    /// All cells, in id order.
+    pub fn cells(&self) -> impl Iterator<Item = Cell<'_>> {
+        (0..self.num_cells()).map(|i| self.cell(CellId::from_index(i)))
+    }
+
+    /// The cells of `row`, left-to-right.
+    #[inline]
+    pub fn row_cells(&self, row: RowId) -> &[CellId] {
+        self.store.row_cells(row)
+    }
+
+    /// All rows, bottom to top.
+    pub fn rows(&self) -> impl Iterator<Item = Row<'_>> {
+        (0..self.num_rows).map(|i| {
+            let id = RowId::from_index(i);
+            Row {
+                id,
+                cells: self.store.row_cells(id),
+            }
+        })
+    }
+
+    // --- Net accessors. ---
+
+    /// Borrowed view of one net.
+    #[inline]
+    pub fn net(&self, net: NetId) -> Net<'_> {
+        Net {
+            id: net,
+            name: self.store.net_name(net),
+            pins: self.store.net_pins(net),
+        }
+    }
+
+    /// All nets, in id order.
+    pub fn nets(&self) -> impl Iterator<Item = Net<'_>> {
+        (0..self.num_nets()).map(|i| self.net(NetId::from_index(i)))
+    }
+
+    /// The member pins of `net` — a slice of the shared arena.
+    #[inline]
+    pub fn net_pins(&self, net: NetId) -> &[PinId] {
+        self.store.net_pins(net)
+    }
+
+    /// The interned name of `net`.
+    #[inline]
+    pub fn net_name(&self, net: NetId) -> &str {
+        self.store.net_name(net)
+    }
+
+    #[inline]
+    pub fn net_degree(&self, net: NetId) -> usize {
+        self.store.net_degree(net)
+    }
+
     /// Bounding box of a net's initial pin positions.
     pub fn net_bbox(&self, net: NetId) -> BBox {
-        BBox::from_points(
-            self.nets[net.index()]
-                .pins
-                .iter()
-                .map(|&p| self.pin_point(p)),
-        )
+        BBox::from_points(self.net_pins(net).iter().map(|&p| self.pin_point(p)))
+    }
+
+    /// Iterate the nets in fixed-size chunks with precomputed summaries
+    /// (pin totals, max degree, pin-position bbox). Chunks partition the
+    /// net id space in order, so `for chunk { for net in chunk.net_ids() }`
+    /// visits every net exactly once, in id order — and a region shard can
+    /// test `chunk.bbox()` first and skip whole chunks it cannot touch.
+    pub fn nets_chunks(&self) -> impl Iterator<Item = &ChunkSummary> {
+        self.store.chunks.iter()
     }
 
     /// Verify internal consistency. Generators and the parser call this;
     /// routers may assume it holds.
     pub fn validate(&self) -> Result<(), ModelError> {
-        for (i, row) in self.rows.iter().enumerate() {
-            if row.id.index() != i {
-                return Err(ModelError::BadId(format!("row {i} has id {}", row.id)));
-            }
+        let s = &self.store;
+        for i in 0..self.num_rows {
+            let row_id = RowId::from_index(i);
             let mut edge = i64::MIN;
-            for &cid in &row.cells {
-                let cell = self
-                    .cells
-                    .get(cid.index())
-                    .ok_or_else(|| ModelError::Dangling(format!("{cid} in {}", row.id)))?;
-                if cell.row.index() != i {
+            for &cid in s.row_cells(row_id) {
+                if cid.index() >= self.num_cells() {
+                    return Err(ModelError::Dangling(format!("{cid} in {row_id}")));
+                }
+                if s.cell_row[cid.index()].index() != i {
                     return Err(ModelError::Inconsistent(format!(
                         "{cid} listed in row {i} but claims {}",
-                        cell.row
+                        s.cell_row[cid.index()]
                     )));
                 }
-                if cell.x < edge {
+                let x = s.cell_x[cid.index()];
+                if x < edge {
                     return Err(ModelError::Overlap(format!(
-                        "{cid} at x={} overlaps previous cell in {}",
-                        cell.x, row.id
+                        "{cid} at x={x} overlaps previous cell in {row_id}"
                     )));
                 }
-                edge = cell.x + cell.width as i64;
+                edge = x + s.cell_width[cid.index()] as i64;
                 if edge > self.width {
                     return Err(ModelError::OutOfCore(format!(
                         "{cid} ends at {edge} > core width {}",
@@ -163,88 +324,83 @@ impl Circuit {
                 }
             }
         }
-        for (i, cell) in self.cells.iter().enumerate() {
-            if cell.id.index() != i {
-                return Err(ModelError::BadId(format!("cell {i} has id {}", cell.id)));
-            }
-            if cell.row.index() >= self.rows.len() {
+        for i in 0..self.num_cells() {
+            let cell_id = CellId::from_index(i);
+            if s.cell_row[i].index() >= self.num_rows {
                 return Err(ModelError::Dangling(format!(
-                    "{} in nonexistent {}",
-                    cell.id, cell.row
+                    "{cell_id} in nonexistent {}",
+                    s.cell_row[i]
                 )));
             }
-            if !self.rows[cell.row.index()].cells.contains(&cell.id) {
+            if !s.row_cells(s.cell_row[i]).contains(&cell_id) {
                 return Err(ModelError::Inconsistent(format!(
-                    "{} not listed in its row",
-                    cell.id
+                    "{cell_id} not listed in its row"
                 )));
             }
-            for &pid in &cell.pins {
-                let pin = self
-                    .pins
-                    .get(pid.index())
-                    .ok_or_else(|| ModelError::Dangling(format!("{pid} on {}", cell.id)))?;
-                if pin.cell != cell.id {
+            for &pid in s.cell_pins(cell_id) {
+                if pid.index() >= self.num_pins() {
+                    return Err(ModelError::Dangling(format!("{pid} on {cell_id}")));
+                }
+                if s.pin_cell[pid.index()] != cell_id {
                     return Err(ModelError::Inconsistent(format!(
-                        "{pid} listed on {} but claims {}",
-                        cell.id, pin.cell
+                        "{pid} listed on {cell_id} but claims {}",
+                        s.pin_cell[pid.index()]
                     )));
                 }
-                if pin.offset >= cell.width {
+                if s.pin_offset[pid.index()] >= s.cell_width[i] {
                     return Err(ModelError::OutOfCore(format!(
-                        "{pid} offset {} outside {} width {}",
-                        pin.offset, cell.id, cell.width
+                        "{pid} offset {} outside {cell_id} width {}",
+                        s.pin_offset[pid.index()],
+                        s.cell_width[i]
                     )));
                 }
             }
         }
-        for (i, net) in self.nets.iter().enumerate() {
-            if net.id.index() != i {
-                return Err(ModelError::BadId(format!("net {i} has id {}", net.id)));
-            }
-            if net.pins.len() < 2 {
+        for i in 0..self.num_nets() {
+            let net_id = NetId::from_index(i);
+            let pins = s.net_pins(net_id);
+            if pins.len() < 2 {
                 return Err(ModelError::DegenerateNet(format!(
-                    "{} ({}) has {} pin(s)",
-                    net.id,
-                    net.name,
-                    net.pins.len()
+                    "{net_id} ({}) has {} pin(s)",
+                    s.net_name(net_id),
+                    pins.len()
                 )));
             }
-            for &pid in &net.pins {
-                let pin = self
-                    .pins
-                    .get(pid.index())
-                    .ok_or_else(|| ModelError::Dangling(format!("{pid} in {}", net.id)))?;
-                if pin.net != net.id {
+            for (k, &pid) in pins.iter().enumerate() {
+                if pid.index() >= self.num_pins() {
+                    return Err(ModelError::Dangling(format!("{pid} in {net_id}")));
+                }
+                if s.pin_net[pid.index()] != net_id {
                     return Err(ModelError::Inconsistent(format!(
-                        "{pid} listed in {} but claims {}",
-                        net.id, pin.net
+                        "{pid} listed in {net_id} but claims {}",
+                        s.pin_net[pid.index()]
+                    )));
+                }
+                if pins[..k].contains(&pid) {
+                    return Err(ModelError::DuplicatePin(format!(
+                        "{pid} appears twice in {net_id} ({})",
+                        s.net_name(net_id)
                     )));
                 }
             }
         }
-        for (i, pin) in self.pins.iter().enumerate() {
-            if pin.id.index() != i {
-                return Err(ModelError::BadId(format!("pin {i} has id {}", pin.id)));
-            }
-            let net = self.nets.get(pin.net.index()).ok_or_else(|| {
-                ModelError::Dangling(format!("{} on nonexistent {}", pin.id, pin.net))
-            })?;
-            if !net.pins.contains(&pin.id) {
-                return Err(ModelError::Inconsistent(format!(
-                    "{} not listed in its {}",
-                    pin.id, pin.net
+        for i in 0..self.num_pins() {
+            let pin_id = PinId::from_index(i);
+            let net = s.pin_net[i];
+            if net.index() >= self.num_nets() {
+                return Err(ModelError::Dangling(format!(
+                    "{pin_id} on nonexistent {net}"
                 )));
             }
-            if !self
-                .cells
-                .get(pin.cell.index())
-                .map(|c| c.pins.contains(&pin.id))
-                .unwrap_or(false)
-            {
+            if !s.net_pins(net).contains(&pin_id) {
                 return Err(ModelError::Inconsistent(format!(
-                    "{} not listed on its {}",
-                    pin.id, pin.cell
+                    "{pin_id} not listed in its {net}"
+                )));
+            }
+            let cell = s.pin_cell[i];
+            if cell.index() >= self.num_cells() || !s.cell_pins(cell).contains(&pin_id) {
+                return Err(ModelError::Inconsistent(format!(
+                    "{pin_id} not listed on its {cell}"
                 )));
             }
         }
@@ -253,14 +409,22 @@ impl Circuit {
 
     /// Summary statistics (the numbers Table 1 of the paper reports).
     pub fn stats(&self) -> CircuitStats {
-        let max_net_degree = self.nets.iter().map(Net::degree).max().unwrap_or(0);
-        let switchable_pins = self.pins.iter().filter(|p| p.equivalent).count();
+        let max_net_degree = (0..self.num_nets())
+            .map(|i| self.net_degree(NetId::from_index(i)))
+            .max()
+            .unwrap_or(0);
+        let switchable_pins = self
+            .store
+            .pin_flags
+            .iter()
+            .filter(|&&f| f & crate::store::FLAG_EQUIVALENT != 0)
+            .count();
         CircuitStats {
             name: self.name.clone(),
-            rows: self.rows.len(),
-            cells: self.cells.len(),
-            pins: self.pins.len(),
-            nets: self.nets.len(),
+            rows: self.num_rows,
+            cells: self.num_cells(),
+            pins: self.num_pins(),
+            nets: self.num_nets(),
             width: self.width,
             max_net_degree,
             switchable_pins,
@@ -277,9 +441,9 @@ impl Circuit {
     /// per-net trees, and the per-channel density profiles over the full
     /// core width.
     pub fn estimated_routing_bytes(&self) -> u64 {
-        let cells = self.cells.len() as u64 * 96;
-        let pins = self.pins.len() as u64 * 144;
-        let nets = self.nets.len() as u64 * 160;
+        let cells = self.num_cells() as u64 * 96;
+        let pins = self.num_pins() as u64 * 144;
+        let nets = self.num_nets() as u64 * 160;
         let profiles = (self.num_channels() as u64) * (self.width.max(1) as u64) * 40;
         cells + pins + nets + profiles
     }
@@ -307,6 +471,7 @@ pub enum ModelError {
     Overlap(String),
     OutOfCore(String),
     DegenerateNet(String),
+    DuplicatePin(String),
 }
 
 impl fmt::Display for ModelError {
@@ -318,6 +483,7 @@ impl fmt::Display for ModelError {
             ModelError::Overlap(s) => write!(f, "cell overlap: {s}"),
             ModelError::OutOfCore(s) => write!(f, "outside core: {s}"),
             ModelError::DegenerateNet(s) => write!(f, "degenerate net: {s}"),
+            ModelError::DuplicatePin(s) => write!(f, "duplicate pin in net: {s}"),
         }
     }
 }
@@ -375,31 +541,66 @@ mod tests {
     }
 
     #[test]
+    fn views_alias_the_shared_arenas() {
+        let c = tiny();
+        let net = c.net(NetId(0));
+        assert_eq!(net.name, "a");
+        assert_eq!(net.degree(), 2);
+        assert_eq!(net.pins, c.net_pins(NetId(0)));
+        let cell = c.cell(CellId(0));
+        assert_eq!((cell.row, cell.x, cell.width), (RowId(0), 0, 4));
+        assert_eq!(cell.pins, &[PinId(0)]);
+        let row: Vec<_> = c.rows().map(|r| r.cells.len()).collect();
+        assert_eq!(row, vec![2, 2]);
+    }
+
+    #[test]
+    fn pin_points_into_matches_pin_point() {
+        let c = tiny();
+        let pins: Vec<PinId> = (0..c.num_pins()).map(PinId::from_index).collect();
+        let mut batch = Vec::new();
+        c.pin_points_into(&pins, &mut batch);
+        for (i, &p) in pins.iter().enumerate() {
+            assert_eq!(batch[i], c.pin_point(p));
+        }
+    }
+
+    #[test]
     fn validate_rejects_single_pin_net() {
         let mut c = tiny();
-        c.nets[0].pins.truncate(1);
+        // Shrink net 0's arena range to one pin.
+        c.store.net_pin_start[1] = c.store.net_pin_start[0] + 1;
         assert!(matches!(c.validate(), Err(ModelError::DegenerateNet(_))));
     }
 
     #[test]
     fn validate_rejects_cross_reference_break() {
         let mut c = tiny();
-        c.pins[0].net = NetId(1); // net 1 doesn't list pin 0
+        c.store.pin_net[0] = NetId(1); // net 1 doesn't list pin 0
         assert!(matches!(c.validate(), Err(ModelError::Inconsistent(_))));
     }
 
     #[test]
     fn validate_rejects_overlapping_cells() {
         let mut c = tiny();
-        c.cells[1].x = 0; // collides with cell 0 (row order no longer monotone)
+        c.store.cell_x[1] = 0; // collides with cell 0 (row order no longer monotone)
         assert!(matches!(c.validate(), Err(ModelError::Overlap(_))));
     }
 
     #[test]
     fn validate_rejects_pin_offset_outside_cell() {
         let mut c = tiny();
-        c.pins[0].offset = 100;
+        c.store.pin_offset[0] = 100;
         assert!(matches!(c.validate(), Err(ModelError::OutOfCore(_))));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_pin_in_net() {
+        let mut c = tiny();
+        // Make net 0 list pin 0 twice (overwrite its second arena slot).
+        let lo = c.store.net_pin_start[0] as usize;
+        c.store.pin_index[lo + 1] = c.store.pin_index[lo];
+        assert!(matches!(c.validate(), Err(ModelError::DuplicatePin(_))));
     }
 
     #[test]

@@ -32,7 +32,7 @@ impl RowPartition {
             parts <= rows,
             "cannot split {rows} rows into {parts} non-empty contiguous parts"
         );
-        let cells_per_row: Vec<usize> = circuit.rows.iter().map(|r| r.cells.len()).collect();
+        let cells_per_row: Vec<usize> = circuit.rows().map(|r| r.cells.len()).collect();
         Self::from_weights(&cells_per_row, parts)
     }
 

@@ -56,9 +56,9 @@ fn memory_footprints_separate_the_two_largest_circuits() {
 fn scaled_circuits_preserve_column_budget() {
     for m in ALL {
         let c = m.circuit_scaled(0.1);
-        for row in &c.rows {
+        for row in c.rows() {
             if let Some(&last) = row.cells.last() {
-                let cell = &c.cells[last.index()];
+                let cell = c.cell(last);
                 assert!(
                     cell.x + cell.width as i64 <= c.width,
                     "{} row {}",
@@ -86,13 +86,13 @@ fn builder_rejects_nothing_but_produces_consistent_ids() {
         }
     }
     let c = b.finish().unwrap();
-    for (i, cell) in c.cells.iter().enumerate() {
+    for (i, cell) in c.cells().enumerate() {
         assert_eq!(cell.id.index(), i);
     }
-    for (i, net) in c.nets.iter().enumerate() {
+    for (i, net) in c.nets().enumerate() {
         assert_eq!(net.id.index(), i);
-        for &p in &net.pins {
-            assert_eq!(c.pins[p.index()].net, net.id);
+        for &p in net.pins {
+            assert_eq!(c.pin_net(p), net.id);
         }
     }
 }
@@ -169,7 +169,11 @@ fn balanced_partition_beats_worst_case() {
         let parts = 4.min(c.num_rows());
         let rp = RowPartition::balanced(&c, parts);
         let loads: Vec<usize> = (0..parts)
-            .map(|p| rp.range(p).map(|r| c.rows[r].cells.len()).sum())
+            .map(|p| {
+                rp.range(p)
+                    .map(|r| c.row_cells(RowId(r as u32)).len())
+                    .sum()
+            })
             .collect();
         let max = *loads.iter().max().unwrap();
         let total: usize = loads.iter().sum();
@@ -188,7 +192,7 @@ fn net_bboxes_contain_their_pins() {
         for i in 0..c.num_nets() {
             let net = NetId::from_index(i);
             let bb = c.net_bbox(net);
-            for &p in &c.nets[i].pins {
+            for &p in c.net_pins(net) {
                 assert!(bb.contains(c.pin_point(p)));
             }
         }

@@ -31,7 +31,7 @@ use crate::route::serial::{attach_feedthroughs, crossings_of, shift_pins};
 use crate::route::state::{Orientation, Segment, Span, WorkNet};
 use crate::route::steiner::{build_segments_with, whole_net};
 use crate::route::switchable::{optimize, ChannelState};
-use pgr_circuit::{Circuit, NetId, RowId};
+use pgr_circuit::{Circuit, RowId};
 use pgr_mpi::Comm;
 
 /// Run the hybrid algorithm on the calling rank. Returns the global
@@ -86,11 +86,12 @@ impl Pipeline for HybridPipeline {
                 comm.metric_add(names::NETS_OWNED, owned as u64);
                 let keep = comm.checkpointing();
                 let mut outgoing: Vec<Vec<Segment>> = vec![Vec::new(); ctx.size];
-                for (i, &owner) in self.owners.iter().enumerate() {
-                    if owner as usize != ctx.rank {
+                for net in circuit.nets_chunks().flat_map(|c| c.net_ids()) {
+                    let i = net.index();
+                    if self.owners[i] as usize != ctx.rank {
                         continue;
                     }
-                    let w = whole_net(circuit, NetId::from_index(i));
+                    let w = whole_net(circuit, net);
                     if w.nodes.len() < 2 {
                         continue;
                     }
@@ -124,7 +125,7 @@ impl Pipeline for HybridPipeline {
                 let local_cells: usize = ctx
                     .rows
                     .range(ctx.rank)
-                    .map(|r| circuit.rows[r].cells.len())
+                    .map(|r| circuit.row_cells(RowId(r as u32)).len())
                     .sum();
                 comm.compute(cost::FT_INSERT_CELL * local_cells as u64);
                 let crossings = crossings_of(&self.segments, &self.orients);

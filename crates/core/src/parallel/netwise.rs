@@ -197,11 +197,12 @@ impl Pipeline for NetWisePipeline {
                 self.owners =
                     partition_nets(circuit, ctx.kind, &ctx.rows, ctx.size, cfg.pin_weight_beta);
                 let keep = comm.checkpointing();
-                for (i, &owner) in self.owners.iter().enumerate() {
-                    if owner as usize != ctx.rank {
+                for net in circuit.nets_chunks().flat_map(|c| c.net_ids()) {
+                    let i = net.index();
+                    if self.owners[i] as usize != ctx.rank {
                         continue;
                     }
-                    let mut w = whole_net(circuit, NetId::from_index(i));
+                    let mut w = whole_net(circuit, net);
                     if w.nodes.len() >= 2 {
                         let segs = build_segments_with(&w, cfg.steiner_refine, comm);
                         if cfg.steiner_refine {
@@ -380,11 +381,12 @@ impl Pipeline for NetWisePipeline {
             ctx.cfg.pin_weight_beta,
         );
         let by_net = merge_steiner_payloads(payloads, ctx.circuit.num_nets());
-        for (i, &owner) in self.owners.iter().enumerate() {
-            if owner as usize != ctx.rank {
+        for net in ctx.circuit.nets_chunks().flat_map(|c| c.net_ids()) {
+            let i = net.index();
+            if self.owners[i] as usize != ctx.rank {
                 continue;
             }
-            let mut w = whole_net(ctx.circuit, NetId::from_index(i));
+            let mut w = whole_net(ctx.circuit, net);
             if w.nodes.len() >= 2 {
                 let segs = by_net[i]
                     .clone()

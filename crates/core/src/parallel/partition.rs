@@ -92,7 +92,7 @@ pub fn partition_nets(
                         PartitionKind::Density => density_key(circuit, net, rows),
                         PartitionKind::PinWeight => unreachable!(),
                     };
-                    (key, i as u32, circuit.nets[i].degree())
+                    (key, i as u32, circuit.net_degree(net))
                 })
                 .collect();
             keyed.sort_by(|a, b| {
@@ -107,7 +107,7 @@ pub fn partition_nets(
 
 /// Mean row coordinate of the net's pins.
 fn center_key(circuit: &Circuit, net: NetId) -> f64 {
-    let pins = &circuit.nets[net.index()].pins;
+    let pins = circuit.net_pins(net);
     let sum: i64 = pins
         .iter()
         .map(|&p| circuit.pin_row(p).index() as i64)
@@ -127,7 +127,7 @@ fn locus_key(circuit: &Circuit, net: NetId) -> f64 {
 /// Index of the row block holding the most pins of the net.
 fn density_key(circuit: &Circuit, net: NetId, rows: &RowPartition) -> f64 {
     let mut counts = vec![0u32; rows.parts()];
-    for &p in &circuit.nets[net.index()].pins {
+    for &p in circuit.net_pins(net) {
         counts[rows.owner(circuit.pin_row(p))] += 1;
     }
     let best = counts
@@ -168,7 +168,10 @@ fn fill_by_pins(
 fn pin_weight(circuit: &Circuit, parts: usize, beta: f64) -> Vec<u32> {
     let n = circuit.num_nets();
     let mut order: Vec<(u32, f64)> = (0..n)
-        .map(|i| (i as u32, (circuit.nets[i].degree() as f64).powf(beta)))
+        .map(|i| {
+            let d = circuit.net_degree(NetId::from_index(i)) as f64;
+            (i as u32, d.powf(beta))
+        })
         .collect();
     order.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
     let mut owner = vec![0u32; n];
@@ -192,7 +195,7 @@ fn pin_weight(circuit: &Circuit, parts: usize, beta: f64) -> Vec<u32> {
 pub fn pins_per_owner(circuit: &Circuit, owner: &[u32], parts: usize) -> Vec<usize> {
     let mut counts = vec![0usize; parts];
     for (i, &o) in owner.iter().enumerate() {
-        counts[o as usize] += circuit.nets[i].degree();
+        counts[o as usize] += circuit.net_degree(NetId::from_index(i));
     }
     counts
 }
@@ -202,7 +205,7 @@ pub fn pins_per_owner(circuit: &Circuit, owner: &[u32], parts: usize) -> Vec<usi
 pub fn steiner_cost_per_owner(circuit: &Circuit, owner: &[u32], parts: usize) -> Vec<u64> {
     let mut costs = vec![0u64; parts];
     for (i, &o) in owner.iter().enumerate() {
-        let d = circuit.nets[i].degree() as u64;
+        let d = circuit.net_degree(NetId::from_index(i)) as u64;
         costs[o as usize] += d * d;
     }
     costs
@@ -270,8 +273,7 @@ mod tests {
         let owner = partition_nets(&c, PartitionKind::PinWeight, &rp, parts, 1.6);
         // The four equal giants land on four distinct parts (round-robin).
         let giant_owners: std::collections::HashSet<u32> = c
-            .nets
-            .iter()
+            .nets()
             .filter(|n| n.degree() == 100)
             .map(|n| owner[n.id.index()])
             .collect();

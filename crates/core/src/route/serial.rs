@@ -141,9 +141,15 @@ impl Pipeline for SerialPipeline {
 
             // Step 1: approximate Steiner trees.
             Phase::Steiner => {
-                self.works = (0..circuit.num_nets())
-                    .map(|i| whole_net(circuit, NetId::from_index(i)))
-                    .collect();
+                // Chunked sweep over the columnar store: chunks partition
+                // the net id space in order, so the work list is identical
+                // to a flat 0..n loop while touching one chunk's columns
+                // at a time.
+                self.works = Vec::with_capacity(circuit.num_nets());
+                for chunk in circuit.nets_chunks() {
+                    self.works
+                        .extend(chunk.net_ids().map(|n| whole_net(circuit, n)));
+                }
                 self.segments = Vec::with_capacity(circuit.num_pins());
                 for w in &mut self.works {
                     let segs = build_segments_with(w, cfg.steiner_refine, comm);

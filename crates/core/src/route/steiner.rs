@@ -10,17 +10,17 @@
 
 use crate::cost;
 use crate::route::state::{ChannelPref, Node, Segment, WorkNet};
-use pgr_circuit::{Circuit, NetId, PinSide};
+use pgr_circuit::{Circuit, NetId, PinId, PinSide};
 use pgr_geom::{mst_prim, Point};
 use pgr_mpi::Comm;
 
 /// Channel preference of a circuit pin.
 pub fn pin_pref(circuit: &Circuit, pin: u32) -> ChannelPref {
-    let p = &circuit.pins[pin as usize];
-    if p.equivalent {
+    let pid = PinId(pin);
+    if circuit.pin_equivalent(pid) {
         ChannelPref::Either
     } else {
-        match p.side {
+        match circuit.pin_side(pid) {
             PinSide::Top => ChannelPref::Upper,
             PinSide::Bottom => ChannelPref::Lower,
         }
@@ -28,19 +28,15 @@ pub fn pin_pref(circuit: &Circuit, pin: u32) -> ChannelPref {
 }
 
 /// Connection nodes of a whole net (its pins, at initial positions).
+/// Positions come from one batch column sweep ([`Circuit::pin_points_into`])
+/// over the net's slice of the shared pin-index arena.
 pub fn net_nodes(circuit: &Circuit, net: NetId) -> Vec<Node> {
-    circuit.nets[net.index()]
-        .pins
-        .iter()
-        .map(|&pid| {
-            let p = pid.0;
-            Node::pin(
-                p,
-                circuit.pin_x(pid),
-                circuit.pin_row(pid).0,
-                pin_pref(circuit, p),
-            )
-        })
+    let pins = circuit.net_pins(net);
+    let mut points = Vec::new();
+    circuit.pin_points_into(pins, &mut points);
+    pins.iter()
+        .zip(&points)
+        .map(|(&pid, pt)| Node::pin(pid.0, pt.x, pt.y as u32, pin_pref(circuit, pid.0)))
         .collect()
 }
 
@@ -122,8 +118,8 @@ mod tests {
     fn whole_net_nodes_match_pins() {
         let c = generate(&GeneratorConfig::small("t", 1));
         let w = whole_net(&c, NetId(0));
-        assert_eq!(w.nodes.len(), c.nets[0].pins.len());
-        for (node, &pid) in w.nodes.iter().zip(&c.nets[0].pins) {
+        assert_eq!(w.nodes.len(), c.net_pins(NetId(0)).len());
+        for (node, &pid) in w.nodes.iter().zip(c.net_pins(NetId(0))) {
             assert_eq!(node.x, c.pin_x(pid));
             assert_eq!(node.row as usize, c.pin_row(pid).index());
             assert!(matches!(node.kind, NodeKind::Pin(p) if p == pid.0));
@@ -157,7 +153,7 @@ mod tests {
     fn two_pin_net_yields_one_segment() {
         let c = generate(&GeneratorConfig::small("t", 3));
         let two = (0..c.num_nets())
-            .find(|&i| c.nets[i].degree() == 2)
+            .find(|&i| c.net_degree(NetId::from_index(i)) == 2)
             .expect("some 2-pin net");
         let w = whole_net(&c, NetId::from_index(two));
         let segs = build_segments(&w, &mut comm());
@@ -239,7 +235,7 @@ mod tests {
     #[test]
     fn pin_pref_follows_equivalence_and_side() {
         let c = generate(&GeneratorConfig::small("t", 5));
-        for (i, p) in c.pins.iter().enumerate() {
+        for (i, p) in c.pins().enumerate() {
             let pref = pin_pref(&c, i as u32);
             if p.equivalent {
                 assert_eq!(pref, ChannelPref::Either);

@@ -22,8 +22,8 @@ use pgr::router::{route_parallel, route_serial, Algorithm, PartitionKind, Router
 
 fn main() {
     let circuit = Mcnc::AvqLarge.circuit_scaled(0.25);
-    let max_deg = circuit.nets.iter().map(|n| n.degree()).max().unwrap();
-    let small = circuit.nets.iter().filter(|n| n.degree() <= 5).count();
+    let max_deg = circuit.nets().map(|n| n.degree()).max().unwrap();
+    let small = circuit.nets().filter(|n| n.degree() <= 5).count();
     println!(
         "{}: {} nets, biggest has {} pins, {:.0} % of nets have ≤5 pins",
         circuit.name,

@@ -58,7 +58,7 @@ fn all_two_pin_nets() {
     let mut g = GeneratorConfig::small("two-pin", 6);
     g.pins = g.nets * 2; // exactly two pins per net
     let c = generate(&g);
-    assert!(c.nets.iter().all(|n| n.degree() == 2));
+    assert!(c.nets().all(|n| n.degree() == 2));
     let r = route_serial(&c, &cfg(), &mut Comm::solo(MachineModel::ideal()));
     verify::assert_verified(&c, &r);
 }
