@@ -203,6 +203,25 @@ fn bench_circuit_store(h: &mut Harness) {
     });
 }
 
+fn bench_scenarios(h: &mut Harness) {
+    use pgr_circuit::scenarios::{ScenarioFamily, ScenarioSpec};
+
+    // The adversarial workload generator: one representative per shape
+    // class — the dense-degree-tail family, the giant-fanout family,
+    // and a degenerate family. Each spec is deterministic, so the bench
+    // measures pure generation cost.
+    for family in [
+        ScenarioFamily::CongestionStress,
+        ScenarioFamily::ClockTree,
+        ScenarioFamily::DuplicateGeometry,
+    ] {
+        let spec = ScenarioSpec::new(family, 0.25, 1997);
+        h.bench(&format!("scenarios/generate/{}", family.name()), |b| {
+            b.iter(|| black_box(spec.generate()))
+        });
+    }
+}
+
 fn bench_shuffle(h: &mut Harness) {
     h.bench("shuffle_10k", |b| {
         let mut rng = rng_from_seed(5);
@@ -219,6 +238,7 @@ fn main() {
     bench_wire(&mut h);
     bench_channel_router(&mut h);
     bench_circuit_store(&mut h);
+    bench_scenarios(&mut h);
     bench_critical_path(&mut h);
     bench_shuffle(&mut h);
     h.finish();

@@ -49,8 +49,15 @@ fn series_key(run: &RunMeta) -> (String, String, u64, u64) {
     )
 }
 
-/// Full identity of one run (one record per distinct value).
-fn run_key(run: &RunMeta) -> (String, String, usize, String, u64, u64) {
+/// Full identity of one run (one record per distinct value). The
+/// scenario string participates because stress-matrix cells share every
+/// other coordinate: the same adversarial circuit is driven by the same
+/// algorithm at the same rank count under different budget levers and
+/// chaos schedules, and only the cell-stamped scenario tells the
+/// resulting dumps apart.
+type RunKey = (String, String, usize, String, u64, u64, String);
+
+fn run_key(run: &RunMeta) -> RunKey {
     (
         run.circuit.clone(),
         run.algorithm.clone(),
@@ -58,6 +65,7 @@ fn run_key(run: &RunMeta) -> (String, String, usize, String, u64, u64) {
         run.machine.clone(),
         run.scale.to_bits(),
         run.seed,
+        run.scenario.clone(),
     )
 }
 
@@ -102,6 +110,17 @@ fn parse_run_meta(v: &Json, path: &Path) -> Result<RunMeta, String> {
             .and_then(|f| f.as_str())
             .unwrap_or("virtual")
             .to_string(),
+        // Absent in every dump not produced by the scenario generator.
+        scenario: run
+            .get("scenario")
+            .and_then(|f| f.as_str())
+            .unwrap_or("")
+            .to_string(),
+        // Absent in every run that stayed inside its budget.
+        budget_degraded: run
+            .get("budget_degraded")
+            .and_then(|f| f.as_bool())
+            .unwrap_or(false),
     })
 }
 
@@ -314,8 +333,7 @@ pub fn load_paths(paths: &[PathBuf]) -> Result<Vec<RunRecord>, String> {
     if files.is_empty() {
         return Err("no *.stats.json / *.metrics.json dumps found".to_string());
     }
-    let mut by_key: BTreeMap<(String, String, usize, String, u64, u64), RunRecord> =
-        BTreeMap::new();
+    let mut by_key: BTreeMap<RunKey, RunRecord> = BTreeMap::new();
     for f in &files {
         let text = std::fs::read_to_string(f).map_err(|e| ctx(f, &format!("unreadable ({e})")))?;
         let (run, v, kind) = parse_dump(f, &text)?;
@@ -374,6 +392,11 @@ pub struct AggRecord {
     /// runs it trends how much work checkpoint resume saved over a full
     /// restart.
     pub redone_phases: Option<u64>,
+    /// Refinement chunks dropped under a `max_phase_seconds` budget,
+    /// rank-summed (`budget.shed_events`). Absent on runs that never
+    /// shed; together with the `budget_degraded` stamp in [`RunMeta`]
+    /// this is the graceful-shedding trend the stress matrix feeds.
+    pub shed_events: Option<u64>,
     pub load_imbalance: Option<f64>,
     /// Fraction of the run's total rank-seconds spent blocked in recv
     /// past the modeled overhead: `Σ mpi.recv_wait_micros / 1e6`
@@ -402,6 +425,8 @@ const LOAD_IMBALANCE: &str = "parallel.load_imbalance";
 const RECV_WAIT_MICROS: &str = "mpi.recv_wait_micros";
 /// Mirrored from `pgr_obs::recovery_names::REDONE_PHASES`.
 const REDONE_PHASES: &str = "recovery.redone_phases";
+/// Mirrored from `pgr_obs::budget_names::SHED_EVENTS`.
+const SHED_EVENTS: &str = "budget.shed_events";
 
 /// Derive the cross-run series from loaded records: speedups and quality
 /// scaled against each series' `"serial"` run.
@@ -463,6 +488,7 @@ pub fn aggregate(records: &[RunRecord]) -> Aggregate {
                 wirelength: m.and_then(|m| m.counter(WIRELENGTH)),
                 feedthroughs: m.and_then(|m| m.counter(FEEDTHROUGHS)),
                 redone_phases: m.and_then(|m| m.counter(REDONE_PHASES)),
+                shed_events: m.and_then(|m| m.counter(SHED_EVENTS)),
                 load_imbalance: m.and_then(|m| m.gauge(LOAD_IMBALANCE)),
                 wait_fraction: match (m, r.makespan) {
                     (Some(mm), Some(t)) if t > 0.0 && r.run.procs > 0 => Some(
@@ -518,7 +544,7 @@ impl Aggregate {
                     })
                     .collect();
                 format!(
-                    "{{\"run\":{},\"makespan\":{},\"speedup\":{},\"tracks\":{},\"scaled_tracks\":{},\"wirelength\":{},\"feedthroughs\":{},\"redone_phases\":{},\"load_imbalance\":{},\"wait_fraction\":{},\"bytes_sent\":{},\"phases\":[{}]}}",
+                    "{{\"run\":{},\"makespan\":{},\"speedup\":{},\"tracks\":{},\"scaled_tracks\":{},\"wirelength\":{},\"feedthroughs\":{},\"redone_phases\":{},\"shed_events\":{},\"load_imbalance\":{},\"wait_fraction\":{},\"bytes_sent\":{},\"phases\":[{}]}}",
                     r.run.to_json(),
                     opt_f64(r.makespan),
                     opt_f64(r.speedup),
@@ -527,6 +553,7 @@ impl Aggregate {
                     opt_u64(r.wirelength),
                     opt_u64(r.feedthroughs),
                     opt_u64(r.redone_phases),
+                    opt_u64(r.shed_events),
                     opt_f64(r.load_imbalance),
                     opt_f64(r.wait_fraction),
                     r.bytes_sent,
@@ -535,10 +562,25 @@ impl Aggregate {
             })
             .collect();
         format!(
-            "{{\"schema_version\":{},\"kind\":\"aggregate\",\"records\":[\n{}\n]}}\n",
+            "{{\"schema_version\":{},\"kind\":\"aggregate\",\"shed_rate\":{},\"records\":[\n{}\n]}}\n",
             SCHEMA_VERSION,
+            opt_f64(self.shed_rate()),
             rows.join(",\n")
         )
+    }
+
+    /// Fraction of the aggregated runs that completed `budget_degraded`
+    /// — the cross-run shed rate. `None` when the aggregate is empty.
+    pub fn shed_rate(&self) -> Option<f64> {
+        if self.records.is_empty() {
+            return None;
+        }
+        let shed = self
+            .records
+            .iter()
+            .filter(|r| r.run.budget_degraded)
+            .count();
+        Some(shed as f64 / self.records.len() as f64)
     }
 
     /// Human-readable markdown: one speedup/quality table per
@@ -608,6 +650,43 @@ impl Aggregate {
                             .map_or("—".to_string(), |w| format!("{:.1}", w * 100.0)),
                         r.load_imbalance
                             .map_or("—".to_string(), |x| format!("{x:.2}")),
+                    ));
+                }
+            }
+            // Budget/shed trend: which cells completed by shedding
+            // refinement under a budget (and how many chunks they
+            // dropped) versus hitting a hard breach — the graceful-
+            // degradation series the stress matrix feeds. Scenario-
+            // stamped rows print the full cell coordinates.
+            let mut with_shed: Vec<&&AggRecord> = rows
+                .iter()
+                .filter(|r| {
+                    r.run.budget_degraded || r.shed_events.is_some() || !r.run.scenario.is_empty()
+                })
+                .collect();
+            with_shed
+                .sort_by_key(|r| (r.run.algorithm.clone(), r.run.procs, r.run.scenario.clone()));
+            if !with_shed.is_empty() {
+                let degraded = with_shed.iter().filter(|r| r.run.budget_degraded).count();
+                out.push_str(&format!(
+                    "\nShed rate: {degraded} of {} budget/scenario runs completed budget-degraded\n",
+                    with_shed.len()
+                ));
+                out.push_str(
+                    "\n| algorithm | procs | scenario | shed events | budget degraded |\n|---|---|---|---|---|\n",
+                );
+                for r in &with_shed {
+                    out.push_str(&format!(
+                        "| {} | {} | {} | {} | {} |\n",
+                        r.run.algorithm,
+                        r.run.procs,
+                        if r.run.scenario.is_empty() {
+                            "—"
+                        } else {
+                            &r.run.scenario
+                        },
+                        r.shed_events.map_or("—".to_string(), |s| s.to_string()),
+                        if r.run.budget_degraded { "yes" } else { "no" },
                     ));
                 }
             }
@@ -785,6 +864,14 @@ pub fn check_baseline(
             "redone_phases",
             b.get("redone_phases").and_then(|f| f.as_f64()),
             cur.redone_phases.map(|x| x as f64),
+        );
+        // Graceful-shedding series: a budgeted run that drops more
+        // refinement chunks than its baseline lost quality headroom
+        // even though it still completed inside its budget.
+        check_f(
+            "shed_events",
+            b.get("shed_events").and_then(|f| f.as_f64()),
+            cur.shed_events.map(|x| x as f64),
         );
         // Per-phase series: virtual seconds and the phase-scoped
         // wirelength must not drift past tolerance either — a regression

@@ -76,15 +76,17 @@
 use pgr_bench::aggregate::{aggregate, check_baseline, load_paths};
 use pgr_bench::harness::check_bench_json;
 use pgr_bench::tables::{self, Opts};
+use pgr_circuit::scenarios::ScenarioFamily;
 use pgr_mpi::Phase;
 use pgr_router::Algorithm;
 use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale F] [--circuits a,b,c] [--trace-out DIR]\n             [--kill R@B]... [--max-rounds N] [--min-ranks N] <target>...\n\
-         targets: table1 table2 table3 table4 table5 partition-ablation sync-sweep\n          machine-sweep exact-sync-ablation beta-sweep phase-breakdown detailed-refinement steiner-ablation comm-matrix chaos wall-clock big-circuit profile all\n\
+        "usage: repro [--scale F] [--circuits a,b,c] [--trace-out DIR]\n             [--kill R@B]... [--max-rounds N] [--min-ranks N]\n             [--family NAME]... <target>...\n\
+         targets: table1 table2 table3 table4 table5 partition-ablation sync-sweep\n          machine-sweep exact-sync-ablation beta-sweep phase-breakdown detailed-refinement steiner-ablation comm-matrix chaos wall-clock big-circuit stress profile all\n\
          chaos:  --kill R@B kills rank R at phase boundary B (registry name or index);\n         --max-rounds / --min-ranks bound the recovery policy\n\
+         stress: --family restricts the adversarial-workload matrix (repeatable)\n\
          or:    repro aggregate [--out FILE] [--md FILE] [--baseline FILE] [--tolerance F] <path>...\n\
          or:    repro bench-check [--min-kernels N] <file>..."
     );
@@ -293,6 +295,20 @@ fn main() {
                 }
                 opts.min_ranks = Some(n);
             }
+            "--family" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                if ScenarioFamily::from_name(&v).is_none() {
+                    let registry = ScenarioFamily::ALL
+                        .iter()
+                        .map(|f| f.name())
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    fail(&format!(
+                        "--family '{v}' is not an adversarial workload family; valid: {registry}"
+                    ));
+                }
+                opts.families.get_or_insert_with(Vec::new).push(v);
+            }
             "-h" | "--help" => usage(),
             f if f.starts_with('-') => fail(&format!("unknown flag '{f}'")),
             t => targets.push(t.to_string()),
@@ -342,6 +358,7 @@ fn main() {
             "steiner-ablation" => tables::steiner_ablation(&opts),
             "comm-matrix" => tables::comm_matrix(&opts),
             "chaos" => tables::chaos_smoke(&opts),
+            "stress" => tables::stress(&opts),
             "wall-clock" => tables::wall_clock(&opts),
             "big-circuit" => tables::big_circuit(&opts),
             "profile" => tables::profile(&opts),

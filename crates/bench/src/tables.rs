@@ -45,6 +45,11 @@ pub struct Opts {
     /// against the [`pgr_mpi::Phase`] registry at parse time. Empty =
     /// the default one-kill schedule.
     pub kills: Vec<(usize, usize)>,
+    /// `stress` target: restrict to these adversarial families
+    /// (`--family NAME`, repeatable; validated against the
+    /// [`pgr_circuit::scenarios::ScenarioFamily`] registry at parse
+    /// time). None = the full registry.
+    pub families: Option<Vec<String>>,
 }
 
 impl Default for Opts {
@@ -56,6 +61,7 @@ impl Default for Opts {
             max_rounds: None,
             min_ranks: None,
             kills: Vec::new(),
+            families: None,
         }
     }
 }
@@ -88,6 +94,8 @@ impl Opts {
             seed: SEED,
             degraded: false,
             clock: "virtual".into(),
+            scenario: String::new(),
+            budget_degraded: false,
         }
     }
 }
@@ -1084,6 +1092,452 @@ pub fn chaos_smoke(opts: &Opts) {
         }
     }
     println!();
+}
+
+/// One stress-matrix cell's observed result, compared bit-for-bit
+/// across the determinism re-run.
+#[derive(Debug, Clone, PartialEq)]
+struct StressCell {
+    /// `routed` | `degraded` | `budget_exceeded` | `panic`.
+    outcome: &'static str,
+    /// Track count of a completed route (None on error/panic).
+    tracks: Option<i64>,
+    /// Virtual makespan bits (0 on panic).
+    time_bits: u64,
+    /// Breach / shed / recovery detail for the table.
+    note: String,
+}
+
+/// Budget lever applied to one stress cell. `Time` and `Mem` are
+/// derived from the family's own unbudgeted serial probe, so the matrix
+/// self-calibrates across scales; `Rounds` arms
+/// [`pgr_mpi::ResourceBudget::max_recovery_rounds`] `= 0` under a kill
+/// schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum StressBudget {
+    Unlimited,
+    Time,
+    Mem,
+    Rounds,
+}
+
+impl StressBudget {
+    fn name(self) -> &'static str {
+        match self {
+            StressBudget::Unlimited => "unlimited",
+            StressBudget::Time => "time",
+            StressBudget::Mem => "mem",
+            StressBudget::Rounds => "rounds",
+        }
+    }
+
+    /// Materialize against the family's serial probe.
+    fn materialize(self, probe: &StressProbe) -> pgr_mpi::ResourceBudget {
+        let mut b = pgr_mpi::ResourceBudget::unlimited();
+        match self {
+            StressBudget::Unlimited => {}
+            StressBudget::Time => b.max_phase_seconds = Some(probe.time_limit),
+            StressBudget::Mem => b.max_rank_bytes = Some((probe.peak_mem / 2).max(1)),
+            StressBudget::Rounds => b.max_recovery_rounds = Some(0),
+        }
+        b
+    }
+}
+
+/// One family's unbudgeted serial probe: the self-calibration every
+/// budget lever of its row block derives from.
+struct StressProbe {
+    peak_mem: u64,
+    /// The per-phase time lever. When the optional coarse phase is the
+    /// slowest phase of the probe, the lever lands midway between it and
+    /// the slowest mandatory phase — mandatory phases fit, coarse
+    /// overruns and *sheds*, and the run completes `budget_degraded`.
+    /// On families whose mandatory work dominates, the lever falls back
+    /// to a third of the total, and the overrun lands in a mandatory
+    /// phase as the structured hard breach.
+    time_limit: f64,
+}
+
+fn stress_probe(circuit: &Circuit, cfg: &RouterConfig, machine: MachineModel) -> StressProbe {
+    let (report, _, _) = pgr_mpi::run_instrumented(1, machine, InstrumentConfig::off(), |comm| {
+        let result = pgr_router::route_serial(circuit, cfg, comm);
+        pgr_router::verify::assert_verified(circuit, &result);
+    });
+    let s = &report.stats[0];
+    let phase_secs = |name: &str| -> f64 {
+        s.phases
+            .iter()
+            .filter(|(n, _)| *n == name)
+            .map(|(_, d)| d)
+            .sum()
+    };
+    let coarse = phase_secs("coarse");
+    let mandatory_max = s
+        .phases
+        .iter()
+        .filter(|(n, _)| *n != "coarse" && *n != "switchable")
+        .map(|(_, d)| *d)
+        .fold(0.0f64, f64::max);
+    let time_limit = if coarse > mandatory_max && mandatory_max > 0.0 {
+        (mandatory_max + coarse) / 2.0
+    } else {
+        s.time / 3.0
+    };
+    StressProbe {
+        peak_mem: s.peak_mem,
+        time_limit,
+    }
+}
+
+/// Chaos schedule applied to one stress cell (parallel cells only).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum StressChaos {
+    None,
+    Messages,
+    Kill,
+}
+
+impl StressChaos {
+    fn name(self) -> &'static str {
+        match self {
+            StressChaos::None => "none",
+            StressChaos::Messages => "messages",
+            StressChaos::Kill => "kill",
+        }
+    }
+}
+
+/// `repro stress`: the adversarial workload × chaos × algorithm matrix.
+///
+/// Every [`pgr_circuit::scenarios::ScenarioFamily`] (or the `--family`
+/// subset) is generated at `--scale`, probed once serially without
+/// limits, and then driven through every driver under budget levers
+/// derived from its own probe and under seeded chaos schedules. Each
+/// cell ends in a structured outcome — `routed`, `degraded` (completed
+/// by shedding refinement or by the recovery fallback, verified), or
+/// `budget_exceeded` (the agreed [`pgr_router::RouteError`]) — and is
+/// run twice: any bitwise divergence between the two runs, any panic,
+/// or a full matrix that fails to exhibit all three outcomes (including
+/// a congestion-stress shed) exits non-zero. With `--trace-out` every
+/// cell's stats/metrics artifacts are stamped with the self-describing
+/// scenario name and the `budget_degraded` flag, so `repro aggregate`
+/// can trend shed rates.
+pub fn stress(opts: &Opts) {
+    use pgr_circuit::scenarios::{ScenarioFamily, ScenarioSpec};
+    use pgr_router::RouteError;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let machine = MachineModel::sparc_center_1000();
+    let families: Vec<ScenarioFamily> = match &opts.families {
+        None => ScenarioFamily::ALL.to_vec(),
+        Some(names) => names
+            .iter()
+            .map(|n| ScenarioFamily::from_name(n).expect("validated at parse time"))
+            .collect(),
+    };
+    let full_matrix = opts.families.is_none();
+    println!("Stress matrix: adversarial workloads × chaos × drivers (SparcCenter model)");
+    opts.note_scale();
+    println!(
+        "{:<20} {:<9} {:>2} {:<9} {:<10} {:<16} {:>7}  detail",
+        "family", "algorithm", "P", "chaos", "budget", "outcome", "tracks"
+    );
+
+    let mut panics = 0usize;
+    let mut divergent = 0usize;
+    let mut seen_routed = false;
+    let mut seen_degraded = false;
+    let mut seen_exceeded = false;
+    let mut congestion_shed = false;
+
+    for family in families {
+        let spec = ScenarioSpec::new(family, opts.scale, SEED);
+        let circuit = spec.generate();
+        circuit
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: generated circuit invalid: {e:?}", spec.name()));
+        let probe = stress_probe(&circuit, &cfg(), machine);
+        let p = clamp_procs(3, &circuit);
+
+        // (algorithm, procs, chaos, budget) cells of this family's row
+        // block. Serial takes the budget levers without chaos; every
+        // parallel driver takes budgets, message chaos, and — where the
+        // clamped world is big enough to lose a rank — kill chaos with
+        // the recovery-round budget.
+        let mut cells: Vec<(Option<Algorithm>, usize, StressChaos, StressBudget)> = vec![
+            (None, 1, StressChaos::None, StressBudget::Unlimited),
+            (None, 1, StressChaos::None, StressBudget::Time),
+            (None, 1, StressChaos::None, StressBudget::Mem),
+        ];
+        for algo in Algorithm::ALL {
+            for budget in [
+                StressBudget::Unlimited,
+                StressBudget::Time,
+                StressBudget::Mem,
+            ] {
+                cells.push((Some(algo), p, StressChaos::None, budget));
+            }
+            for budget in [StressBudget::Unlimited, StressBudget::Time] {
+                cells.push((Some(algo), p, StressChaos::Messages, budget));
+            }
+            if p > 1 {
+                cells.push((Some(algo), p, StressChaos::Kill, StressBudget::Unlimited));
+                cells.push((Some(algo), p, StressChaos::Kill, StressBudget::Rounds));
+            }
+        }
+
+        for (algo, p, chaos, budget) in cells {
+            let algo_name = algo.map_or("serial", |a| a.name());
+            let run_cell = |write_artifacts: bool| -> StressCell {
+                let cfg = RouterConfig {
+                    budget: budget.materialize(&probe),
+                    ..cfg()
+                };
+                match algo {
+                    None => {
+                        // Instrumented even though it is one rank: the
+                        // serial time lever is the cell that actually
+                        // sheds (parallel gate collectives resync every
+                        // boundary), so its dumps carry the shed-rate
+                        // series the aggregator trends.
+                        let instr = InstrumentConfig {
+                            metrics: MetricsConfig::on(),
+                            ..opts.instrument()
+                        };
+                        let (report, traces, metrics) =
+                            pgr_mpi::run_instrumented(1, machine, instr, |comm| {
+                                let routed = pgr_router::try_route_serial(&circuit, &cfg, comm);
+                                let shed = comm.budget_shed_any();
+                                let time = comm.now();
+                                (routed, shed, time)
+                            });
+                        let (routed, shed, time) =
+                            report.results.into_iter().next().expect("one rank");
+                        if write_artifacts {
+                            if let Some(dir) = &opts.trace_out {
+                                let label = format!(
+                                    "stress_{}_serial_none_{}_p1",
+                                    family.name(),
+                                    budget.name()
+                                );
+                                let mut run = opts.run_meta(&circuit.name, "serial", 1, &machine);
+                                run.scenario = format!("{}/none/{}", spec.name(), budget.name());
+                                run.budget_degraded = shed;
+                                if let Err(e) = write_traces(
+                                    dir,
+                                    &label,
+                                    &traces,
+                                    &report.stats,
+                                    &machine,
+                                    &run,
+                                    &metrics,
+                                ) {
+                                    eprintln!("trace write failed for {label}: {e}");
+                                }
+                            }
+                        }
+                        match routed {
+                            Ok(result) => {
+                                pgr_router::verify::assert_verified(&circuit, &result);
+                                StressCell {
+                                    outcome: if shed { "degraded" } else { "routed" },
+                                    tracks: Some(result.track_count()),
+                                    time_bits: time.to_bits(),
+                                    note: if shed {
+                                        "shed refinement".into()
+                                    } else {
+                                        String::new()
+                                    },
+                                }
+                            }
+                            Err(e @ RouteError::BudgetExceeded { .. }) => StressCell {
+                                outcome: "budget_exceeded",
+                                tracks: None,
+                                time_bits: time.to_bits(),
+                                note: e.to_string(),
+                            },
+                        }
+                    }
+                    Some(algo) => {
+                        let mut instr = InstrumentConfig {
+                            metrics: MetricsConfig::on(),
+                            ..opts.instrument()
+                        };
+                        match chaos {
+                            StressChaos::None => {}
+                            StressChaos::Messages => {
+                                let chaos = ChaosConfig::messages_with_corruption(SEED);
+                                instr.fault = Some(Arc::new(ChaosLayer::new(chaos)));
+                                instr.reliability = ReliabilityConfig::on();
+                            }
+                            StressChaos::Kill => {
+                                // Kills only: zero out the message faults
+                                // so the cell isolates the recovery path.
+                                let mut chaos = ChaosConfig::messages_only(SEED);
+                                chaos.drop = 0.0;
+                                chaos.reorder = 0.0;
+                                chaos.duplicate = 0.0;
+                                chaos.delay = 0.0;
+                                chaos.kills = vec![(p - 1, 2)];
+                                instr.fault = Some(Arc::new(ChaosLayer::new(chaos)));
+                                instr.reliability = ReliabilityConfig::on();
+                            }
+                        }
+                        let out = pgr_router::route_parallel_guarded(
+                            &circuit,
+                            &cfg,
+                            algo,
+                            PartitionKind::PinWeight,
+                            p,
+                            machine,
+                            instr,
+                        );
+                        if write_artifacts {
+                            if let Some(dir) = &opts.trace_out {
+                                let label = format!(
+                                    "stress_{}_{}_{}_{}_p{p}",
+                                    family.name(),
+                                    algo.name(),
+                                    chaos.name(),
+                                    budget.name()
+                                );
+                                let mut run =
+                                    opts.run_meta(&circuit.name, algo.name(), p, &machine);
+                                // The cell coordinates ride in the
+                                // scenario stamp: every other RunMeta
+                                // field is shared across this family's
+                                // budget/chaos cells, and the aggregator
+                                // keys records by it.
+                                run.scenario =
+                                    format!("{}/{}/{}", spec.name(), chaos.name(), budget.name());
+                                run.degraded = out.degraded;
+                                run.budget_degraded = out.budget_degraded;
+                                if let Err(e) = write_traces(
+                                    dir,
+                                    &label,
+                                    &out.traces,
+                                    &out.stats,
+                                    &machine,
+                                    &run,
+                                    &out.metrics,
+                                ) {
+                                    eprintln!("trace write failed for {label}: {e}");
+                                }
+                            }
+                        }
+                        match out.result {
+                            Ok(result) => {
+                                pgr_router::verify::assert_verified(&circuit, &result);
+                                let degraded = out.degraded || out.budget_degraded;
+                                let mut notes = Vec::new();
+                                if out.budget_degraded {
+                                    notes.push("shed refinement");
+                                }
+                                if out.degraded {
+                                    notes.push("serial fallback");
+                                }
+                                if chaos == StressChaos::Kill && !out.degraded {
+                                    notes.push("recovered");
+                                }
+                                StressCell {
+                                    outcome: if degraded { "degraded" } else { "routed" },
+                                    tracks: Some(result.track_count()),
+                                    time_bits: out.time.to_bits(),
+                                    note: notes.join(", "),
+                                }
+                            }
+                            Err(e @ RouteError::BudgetExceeded { .. }) => StressCell {
+                                outcome: "budget_exceeded",
+                                tracks: None,
+                                time_bits: out.time.to_bits(),
+                                note: e.to_string(),
+                            },
+                        }
+                    }
+                }
+            };
+
+            let first = catch_unwind(AssertUnwindSafe(|| run_cell(true)));
+            let second = catch_unwind(AssertUnwindSafe(|| run_cell(false)));
+            let cell = match (&first, &second) {
+                (Ok(a), Ok(b)) => {
+                    if a != b {
+                        divergent += 1;
+                        eprintln!(
+                            "stress: NONDETERMINISTIC cell {} {} {} {}: {a:?} vs {b:?}",
+                            spec.name(),
+                            algo_name,
+                            chaos.name(),
+                            budget.name()
+                        );
+                    }
+                    a.clone()
+                }
+                _ => {
+                    panics += 1;
+                    StressCell {
+                        outcome: "panic",
+                        tracks: None,
+                        time_bits: 0,
+                        note: "routing panicked — see stderr".into(),
+                    }
+                }
+            };
+            match cell.outcome {
+                "routed" => seen_routed = true,
+                "degraded" => {
+                    seen_degraded = true;
+                    if family == ScenarioFamily::CongestionStress && budget == StressBudget::Time {
+                        congestion_shed = true;
+                    }
+                }
+                "budget_exceeded" => seen_exceeded = true,
+                _ => {}
+            }
+            println!(
+                "{:<20} {:<9} {:>2} {:<9} {:<10} {:<16} {:>7}  {}",
+                family.name(),
+                algo_name,
+                p,
+                chaos.name(),
+                budget.name(),
+                cell.outcome,
+                cell.tracks.map_or("-".to_string(), |t| t.to_string()),
+                cell.note
+            );
+        }
+    }
+
+    let mut failures = Vec::new();
+    if panics > 0 {
+        failures.push(format!("{panics} cell(s) panicked"));
+    }
+    if divergent > 0 {
+        failures.push(format!("{divergent} cell(s) were nondeterministic"));
+    }
+    if full_matrix {
+        if !seen_routed {
+            failures.push("no cell routed cleanly".into());
+        }
+        if !seen_degraded {
+            failures.push("no cell degraded gracefully".into());
+        }
+        if !seen_exceeded {
+            failures.push("no cell reported a structured budget error".into());
+        }
+        if !congestion_shed {
+            failures.push("congestion-stress never shed under the time budget".into());
+        }
+    }
+    if failures.is_empty() {
+        println!("stress matrix clean: every cell structured, deterministic, panic-free");
+        println!();
+    } else {
+        for f in &failures {
+            eprintln!("stress matrix FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
 }
 
 /// `repro profile`: cross-rank causal profiles — critical-path

@@ -30,6 +30,8 @@ fn meta(algorithm: &str, procs: usize) -> RunMeta {
         seed: 7,
         degraded: false,
         clock: "virtual".into(),
+        scenario: String::new(),
+        budget_degraded: false,
     }
 }
 
@@ -357,6 +359,8 @@ fn trace_out_artifacts_round_trip_through_aggregate() {
         seed: 0,
         degraded: false,
         clock: "virtual".into(),
+        scenario: String::new(),
+        budget_degraded: false,
     };
     write_traces(
         &dir_serial,

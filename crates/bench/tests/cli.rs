@@ -35,6 +35,8 @@ fn meta(algorithm: &str, procs: usize) -> RunMeta {
         seed: 7,
         degraded: false,
         clock: "virtual".into(),
+        scenario: String::new(),
+        budget_degraded: false,
     }
 }
 

@@ -19,6 +19,8 @@ fn meta(procs: usize) -> RunMeta {
         seed: 0,
         degraded: false,
         clock: "virtual".into(),
+        scenario: String::new(),
+        budget_degraded: false,
     }
 }
 

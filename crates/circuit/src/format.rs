@@ -55,6 +55,14 @@ pub fn to_text(c: &Circuit) -> String {
     out
 }
 
+/// Row-count ceiling for parsed files: `finalize()` allocates per-row
+/// tables, so an adversarial `rows` line must not size allocations.
+const MAX_ROWS: usize = 1 << 20;
+
+/// Coordinate ceiling for parsed files: keeps every downstream sum of a
+/// coordinate with a `u32` width or offset far from `i64` overflow.
+const MAX_COORD: i64 = 1 << 40;
+
 /// Parse the v1 text format. The result is fully validated.
 pub fn from_text(text: &str) -> Result<Circuit, FormatError> {
     let mut lines = text.lines().enumerate();
@@ -79,25 +87,31 @@ pub fn from_text(text: &str) -> Result<Circuit, FormatError> {
             continue;
         }
         let mut tok = line.split_whitespace();
-        let kw = tok.next().expect("nonempty line has a token");
+        let Some(kw) = tok.next() else { continue };
         let syntax = |msg: &str| FormatError::Syntax(lineno, msg.into());
         match kw {
             "name" => name = tok.collect::<Vec<_>>().join(" "),
             "width" => {
-                width = Some(
-                    tok.next()
-                        .ok_or_else(|| syntax("width needs a value"))?
-                        .parse()
-                        .map_err(|_| syntax("bad width"))?,
-                )
+                let w: i64 = tok
+                    .next()
+                    .ok_or_else(|| syntax("width needs a value"))?
+                    .parse()
+                    .map_err(|_| syntax("bad width"))?;
+                if !(-MAX_COORD..=MAX_COORD).contains(&w) {
+                    return Err(syntax("width out of range"));
+                }
+                width = Some(w);
             }
             "rows" => {
-                num_rows = Some(
-                    tok.next()
-                        .ok_or_else(|| syntax("rows needs a value"))?
-                        .parse()
-                        .map_err(|_| syntax("bad row count"))?,
-                )
+                let n: usize = tok
+                    .next()
+                    .ok_or_else(|| syntax("rows needs a value"))?
+                    .parse()
+                    .map_err(|_| syntax("bad row count"))?;
+                if n > MAX_ROWS {
+                    return Err(syntax("row count out of range"));
+                }
+                num_rows = Some(n);
             }
             "cell" => {
                 let row: u32 = tok
@@ -110,6 +124,9 @@ pub fn from_text(text: &str) -> Result<Circuit, FormatError> {
                     .ok_or_else(|| syntax("cell needs <x>"))?
                     .parse()
                     .map_err(|_| syntax("bad x"))?;
+                if !(-MAX_COORD..=MAX_COORD).contains(&x) {
+                    return Err(syntax("cell x out of range"));
+                }
                 let w: u32 = tok
                     .next()
                     .ok_or_else(|| syntax("cell needs <width>"))?
@@ -177,15 +194,11 @@ pub fn from_text(text: &str) -> Result<Circuit, FormatError> {
     for i in 0..store.num_cells() {
         let row = store.cell_row[i];
         if row.index() >= num_rows {
-            return Err(FormatError::Syntax(
-                0,
-                format!(
-                    "cell {} references row {} >= rows {}",
-                    CellId::from_index(i),
-                    row,
-                    num_rows
-                ),
-            ));
+            return Err(FormatError::RowRange {
+                cell: CellId::from_index(i),
+                row,
+                rows: num_rows,
+            });
         }
     }
     // finalize() sorts each row's cells left-to-right for validate().
@@ -202,6 +215,11 @@ pub enum FormatError {
     Empty,
     Missing(&'static str),
     Syntax(usize, String),
+    RowRange {
+        cell: CellId,
+        row: RowId,
+        rows: usize,
+    },
     Invalid(ModelError),
 }
 
@@ -211,6 +229,12 @@ impl fmt::Display for FormatError {
             FormatError::Empty => write!(f, "empty input"),
             FormatError::Missing(what) => write!(f, "missing '{what}' declaration"),
             FormatError::Syntax(line, msg) => write!(f, "line {line}: {msg}"),
+            FormatError::RowRange { cell, row, rows } => {
+                write!(
+                    f,
+                    "cell {cell} references row {row} >= declared rows {rows}"
+                )
+            }
             FormatError::Invalid(e) => write!(f, "parsed circuit invalid: {e}"),
         }
     }

@@ -28,6 +28,7 @@ pub mod ids;
 pub mod mcnc;
 pub mod model;
 pub mod partition;
+pub mod scenarios;
 pub mod store;
 
 pub use builder::CircuitBuilder;
@@ -35,4 +36,5 @@ pub use generate::{generate, GeneratorConfig};
 pub use ids::{CellId, NetId, PinId, RowId};
 pub use model::{Cell, Circuit, CircuitStats, Net, Pin, PinSide, Row};
 pub use partition::RowPartition;
+pub use scenarios::{ScenarioFamily, ScenarioSpec};
 pub use store::{ChunkSummary, NET_CHUNK_SIZE};

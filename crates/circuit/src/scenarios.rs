@@ -1,0 +1,437 @@
+//! Seeded adversarial workload generation.
+//!
+//! [`crate::generate`] produces MCNC-*like* circuits — the friendly
+//! middle of the input space. This module generates the hostile edges:
+//! workloads built to stress one router assumption each, used by the
+//! `repro stress` matrix and the budget/fuzz test suites. Every family
+//! is deterministic from its [`ScenarioSpec`] `(family, scale, seed)`
+//! triple, produces a [`Circuit::validate`]-clean circuit, and is
+//! self-describing: [`ScenarioSpec::name`] returns the canonical
+//! `family/s{scale}/seed{seed}` string that run artifacts stamp into
+//! their `RunMeta.scenario` field, so any dumped metrics file can be
+//! regenerated bit-identically from its own metadata.
+//!
+//! The seven families:
+//!
+//! * **congestion-stress** — zero locality and a fat net-degree tail:
+//!   every net crosses most of the core, so channel densities (and the
+//!   coarse/switchable pass workloads) blow up relative to the cell
+//!   count. The canonical budget-shedding workload.
+//! * **clock-tree** — a few giant-fanout nets (≈⅓ of the pin budget on
+//!   one net), the `avq.large` shape that motivates the paper's
+//!   pin-number-weight partition; stresses net-partition balance and
+//!   the Steiner builder's large-N path.
+//! * **aspect-ratio** — two enormous rows: the row partition cannot use
+//!   more than two ranks, boundary channels carry almost everything,
+//!   and per-rank scratch grows with core width instead of row count.
+//! * **single-row** — one row, two channels; the degenerate partition
+//!   (every parallel run clamps to P = 1).
+//! * **empty-row** — a cell-less row in the middle of the core: a rank
+//!   can own a band with zero cells yet must still join every
+//!   collective.
+//! * **all-two-pin** — exactly two pins on every net; no Steiner
+//!   junctions, maximal net count per pin, the partition heuristics'
+//!   weights all collapse toward each other.
+//! * **duplicate-geometry** — stacked identical columns: many distinct
+//!   pins at identical (x, row) coordinates and many nets with
+//!   identical endpoint geometry, forcing zero-length spans and
+//!   tie-breaking everywhere.
+
+use crate::builder::CircuitBuilder;
+use crate::generate::{generate, GeneratorConfig};
+use crate::ids::{PinId, RowId};
+use crate::model::{Circuit, PinSide};
+use pgr_geom::rng::rng_from_seed;
+
+/// One adversarial workload family. See the module docs for what each
+/// one stresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioFamily {
+    CongestionStress,
+    ClockTree,
+    AspectRatio,
+    SingleRow,
+    EmptyRow,
+    AllTwoPin,
+    DuplicateGeometry,
+}
+
+impl ScenarioFamily {
+    pub const ALL: [ScenarioFamily; 7] = [
+        ScenarioFamily::CongestionStress,
+        ScenarioFamily::ClockTree,
+        ScenarioFamily::AspectRatio,
+        ScenarioFamily::SingleRow,
+        ScenarioFamily::EmptyRow,
+        ScenarioFamily::AllTwoPin,
+        ScenarioFamily::DuplicateGeometry,
+    ];
+
+    /// Canonical kebab-case name (the first segment of
+    /// [`ScenarioSpec::name`] and the `repro stress --family` value).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioFamily::CongestionStress => "congestion-stress",
+            ScenarioFamily::ClockTree => "clock-tree",
+            ScenarioFamily::AspectRatio => "aspect-ratio",
+            ScenarioFamily::SingleRow => "single-row",
+            ScenarioFamily::EmptyRow => "empty-row",
+            ScenarioFamily::AllTwoPin => "all-two-pin",
+            ScenarioFamily::DuplicateGeometry => "duplicate-geometry",
+        }
+    }
+
+    /// Inverse of [`ScenarioFamily::name`]; `None` on an unknown name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|f| f.name() == name)
+    }
+}
+
+impl std::fmt::Display for ScenarioFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fully determined adversarial workload: `(family, scale, seed)`.
+/// `scale` multiplies the family's base entity counts (1.0 ≈ the
+/// generator's "small" size); `seed` drives every random choice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioSpec {
+    pub family: ScenarioFamily,
+    pub scale: f64,
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    pub fn new(family: ScenarioFamily, scale: f64, seed: u64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "scenario scale must be a positive finite number, got {scale}"
+        );
+        ScenarioSpec {
+            family,
+            scale,
+            seed,
+        }
+    }
+
+    /// The canonical self-describing name, e.g.
+    /// `congestion-stress/s0.25/seed7`. Stamped into `RunMeta.scenario`
+    /// by the stress harness so every artifact names its exact input.
+    pub fn name(&self) -> String {
+        format!("{}/s{}/seed{}", self.family.name(), self.scale, self.seed)
+    }
+
+    /// Scale a base count, never below `floor`.
+    fn scaled(&self, base: usize, floor: usize) -> usize {
+        ((base as f64 * self.scale).round() as usize).max(floor)
+    }
+
+    /// Generate the workload. Deterministic: same spec, same circuit,
+    /// bit for bit. The result always passes [`Circuit::validate`].
+    pub fn generate(&self) -> Circuit {
+        match self.family {
+            ScenarioFamily::CongestionStress => self.congestion_stress(),
+            ScenarioFamily::ClockTree => self.clock_tree(),
+            ScenarioFamily::AspectRatio => self.aspect_ratio(),
+            ScenarioFamily::SingleRow => self.single_row(),
+            ScenarioFamily::EmptyRow => self.empty_row(),
+            ScenarioFamily::AllTwoPin => self.all_two_pin(),
+            ScenarioFamily::DuplicateGeometry => self.duplicate_geometry(),
+        }
+    }
+
+    fn congestion_stress(&self) -> Circuit {
+        // Zero locality: every net's pins are flung across the whole
+        // core, so nearly every net crosses nearly every channel. The
+        // pin budget leans on a heavy tail (avg degree ≈ 6).
+        let nets = self.scaled(200, 8);
+        generate(&GeneratorConfig {
+            name: self.name(),
+            rows: self.scaled(8, 2),
+            cells: self.scaled(240, 16),
+            pins: nets * 6,
+            nets,
+            seed: self.seed,
+            cell_width: (4, 10),
+            equivalent_fraction: 0.2,
+            locality: 0.0,
+            clock_nets: vec![],
+        })
+    }
+
+    fn clock_tree(&self) -> Circuit {
+        // Two giant-fanout nets taking half the pin budget — the
+        // avq.large shape (one >2000-pin net) scaled down.
+        let pins = self.scaled(900, 60);
+        let nets = self.scaled(120, 6);
+        generate(&GeneratorConfig {
+            name: self.name(),
+            rows: self.scaled(8, 2),
+            cells: self.scaled(240, 16),
+            pins,
+            nets,
+            seed: self.seed,
+            cell_width: (4, 10),
+            equivalent_fraction: 0.3,
+            locality: 0.7,
+            clock_nets: vec![pins / 3, pins / 8],
+        })
+    }
+
+    fn aspect_ratio(&self) -> Circuit {
+        // Pathologically flat: all the cells in two enormous rows.
+        generate(&GeneratorConfig {
+            name: self.name(),
+            rows: 2,
+            cells: self.scaled(300, 8),
+            pins: self.scaled(800, 24),
+            nets: self.scaled(220, 6),
+            seed: self.seed,
+            cell_width: (4, 10),
+            equivalent_fraction: 0.3,
+            locality: 0.5,
+            clock_nets: vec![],
+        })
+    }
+
+    fn single_row(&self) -> Circuit {
+        // One row, two channels; every parallel run clamps to P = 1.
+        generate(&GeneratorConfig {
+            name: self.name(),
+            rows: 1,
+            cells: self.scaled(120, 4),
+            pins: self.scaled(320, 12),
+            nets: self.scaled(90, 3),
+            seed: self.seed,
+            cell_width: (4, 10),
+            equivalent_fraction: 0.3,
+            locality: 0.6,
+            clock_nets: vec![],
+        })
+    }
+
+    fn empty_row(&self) -> Circuit {
+        // A populated core with one cell-less row in the middle: the
+        // row exists, is partitioned, and contributes channels, but
+        // owns no cells or pins.
+        let rows = self.scaled(8, 3);
+        let empty = rows / 2;
+        let per_row = self.scaled(30, 3);
+        let cell_w: u32 = 8;
+        let width = (per_row as i64) * (cell_w as i64) + 8;
+        let mut rng = rng_from_seed(self.seed);
+        let mut b = CircuitBuilder::new(self.name(), rows, width);
+        let mut pins: Vec<PinId> = Vec::new();
+        for r in 0..rows {
+            if r == empty {
+                continue;
+            }
+            for _ in 0..per_row {
+                let cell = b.add_cell(RowId::from_index(r), cell_w);
+                let offset = rng.gen_range(0..cell_w);
+                let side = if rng.gen_bool(0.5) {
+                    PinSide::Top
+                } else {
+                    PinSide::Bottom
+                };
+                pins.push(b.add_pin(cell, offset, side, rng.gen_bool(0.3)));
+            }
+        }
+        // Wire consecutive shuffled pins pairwise (plus a third pin on
+        // every fourth net) so nets regularly straddle the empty row.
+        let order = pgr_geom::shuffled_indices(pins.len(), &mut rng);
+        let mut i = 0;
+        let mut k = 0;
+        while i + 1 < order.len() {
+            let take = if k % 4 == 0 && i + 2 < order.len() {
+                3
+            } else {
+                2
+            };
+            let members: Vec<PinId> = order[i..i + take]
+                .iter()
+                .map(|&j| pins[j as usize])
+                .collect();
+            b.add_net(format!("n{k}"), members);
+            i += take;
+            k += 1;
+        }
+        b.finish().expect("empty-row scenario must validate")
+    }
+
+    fn all_two_pin(&self) -> Circuit {
+        // Exactly two pins on every net (pins == 2 * nets leaves the
+        // generator no tail budget to sprinkle).
+        let nets = self.scaled(260, 8);
+        generate(&GeneratorConfig {
+            name: self.name(),
+            rows: self.scaled(8, 2),
+            cells: self.scaled(240, 16),
+            pins: 2 * nets,
+            nets,
+            seed: self.seed,
+            cell_width: (4, 10),
+            equivalent_fraction: 0.3,
+            locality: 0.8,
+            clock_nets: vec![],
+        })
+    }
+
+    fn duplicate_geometry(&self) -> Circuit {
+        // A perfect grid of identical cells with every pin at offset 0:
+        // each column of the grid holds `rows` pins at the *same* x, and
+        // the nets wire vertically adjacent duplicates — so distinct
+        // pins constantly share coordinates and whole nets share their
+        // endpoint geometry with neighbors. Every third column adds a
+        // same-cell net: two pins at the identical (x, row) point.
+        let rows = self.scaled(6, 2);
+        let cols = self.scaled(40, 4);
+        let cell_w: u32 = 6;
+        let width = (cols as i64) * (cell_w as i64) + 4;
+        let mut rng = rng_from_seed(self.seed);
+        let mut b = CircuitBuilder::new(self.name(), rows, width);
+        let mut grid: Vec<Vec<PinId>> = Vec::with_capacity(cols);
+        let mut same_cell_pairs: Vec<(PinId, PinId)> = Vec::new();
+        for c in 0..cols {
+            let mut column = Vec::with_capacity(rows);
+            for r in 0..rows {
+                let cell = b.add_cell(RowId::from_index(r), cell_w);
+                column.push(b.add_pin(cell, 0, PinSide::Top, false));
+                if c % 3 == 0 && r == 0 {
+                    // Two more pins at the identical coordinate on the
+                    // same cell — a zero-length net.
+                    let a = b.add_pin(cell, 0, PinSide::Bottom, false);
+                    let z = b.add_pin(cell, 0, PinSide::Bottom, false);
+                    same_cell_pairs.push((a, z));
+                }
+            }
+            grid.push(column);
+        }
+        let mut k = 0;
+        for column in &grid {
+            // Vertical duplicate chains: identical (x, Δrow) geometry in
+            // every column. A random third of the columns pair rows
+            // differently so the netlist isn't one giant repetition.
+            let mut r = 0;
+            while r + 1 < column.len() {
+                let take = if rng.gen_bool(1.0 / 3.0) && r + 2 < column.len() {
+                    3
+                } else {
+                    2
+                };
+                b.add_net(format!("v{k}"), column[r..r + take].to_vec());
+                r += take;
+                k += 1;
+            }
+            // An odd pin out stays unwired; `finish()` drops it.
+        }
+        for (i, (a, z)) in same_cell_pairs.into_iter().enumerate() {
+            b.add_net(format!("z{i}"), vec![a, z]);
+        }
+        b.finish()
+            .expect("duplicate-geometry scenario must validate")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(family: ScenarioFamily) -> ScenarioSpec {
+        ScenarioSpec::new(family, 0.25, 7)
+    }
+
+    #[test]
+    fn every_family_generates_a_valid_circuit() {
+        for family in ScenarioFamily::ALL {
+            let c = spec(family).generate();
+            c.validate().unwrap_or_else(|e| panic!("{family}: {e:?}"));
+            assert!(c.num_nets() > 0, "{family}");
+            assert!(c.num_pins() >= 2, "{family}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_spec() {
+        for family in ScenarioFamily::ALL {
+            let a = spec(family).generate();
+            let b = spec(family).generate();
+            assert_eq!(a.stats(), b.stats(), "{family}");
+            let differs = ScenarioSpec::new(family, 0.25, 8).generate();
+            // A different seed must not silently produce the same
+            // circuit for the seeded families (the duplicate-geometry
+            // grid is mostly structural, so compare stats only there).
+            if family != ScenarioFamily::DuplicateGeometry {
+                let moved = (0..a.num_pins().min(differs.num_pins())).any(|i| {
+                    a.pin_x(crate::PinId::from_index(i))
+                        != differs.pin_x(crate::PinId::from_index(i))
+                });
+                assert!(moved || a.stats() != differs.stats(), "{family}");
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_canonical_and_roundtrip() {
+        let s = ScenarioSpec::new(ScenarioFamily::CongestionStress, 0.25, 7);
+        assert_eq!(s.name(), "congestion-stress/s0.25/seed7");
+        for family in ScenarioFamily::ALL {
+            assert_eq!(ScenarioFamily::from_name(family.name()), Some(family));
+        }
+        assert_eq!(ScenarioFamily::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn families_have_their_advertised_shape() {
+        let single = spec(ScenarioFamily::SingleRow).generate();
+        assert_eq!(single.num_rows(), 1);
+
+        let flat = spec(ScenarioFamily::AspectRatio).generate();
+        assert_eq!(flat.num_rows(), 2);
+
+        let empty = spec(ScenarioFamily::EmptyRow).generate();
+        let empties = (0..empty.num_rows())
+            .filter(|&r| empty.row_cells(RowId::from_index(r)).is_empty())
+            .count();
+        assert_eq!(empties, 1, "exactly one cell-less row");
+
+        let two_pin = spec(ScenarioFamily::AllTwoPin).generate();
+        assert!(two_pin.nets().all(|n| n.degree() == 2));
+
+        let clock = spec(ScenarioFamily::ClockTree).generate();
+        let max_deg = clock.nets().map(|n| n.degree()).max().unwrap();
+        assert!(
+            max_deg >= clock.num_pins() / 4,
+            "giant fanout: {max_deg} of {} pins",
+            clock.num_pins()
+        );
+
+        let dup = spec(ScenarioFamily::DuplicateGeometry).generate();
+        // Duplicate coordinates exist: more pins than distinct (x, row).
+        let mut coords: Vec<(i64, u32)> = (0..dup.num_pins())
+            .map(|i| {
+                let p = crate::PinId::from_index(i);
+                let cell = dup.pin(p).cell;
+                (dup.pin_x(p), dup.cell(cell).row.0)
+            })
+            .collect();
+        coords.sort_unstable();
+        coords.dedup();
+        assert!(coords.len() < dup.num_pins(), "coordinates collide");
+    }
+
+    #[test]
+    fn scale_scales() {
+        let small = ScenarioSpec::new(ScenarioFamily::CongestionStress, 0.25, 1).generate();
+        let large = ScenarioSpec::new(ScenarioFamily::CongestionStress, 1.0, 1).generate();
+        assert!(large.num_nets() > 2 * small.num_nets());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn rejects_nonpositive_scale() {
+        ScenarioSpec::new(ScenarioFamily::SingleRow, 0.0, 1);
+    }
+}

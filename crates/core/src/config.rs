@@ -1,7 +1,7 @@
 //! Router configuration.
 
 use crate::engine::RecoveryPolicy;
-use pgr_mpi::ClockMode;
+use pgr_mpi::{ClockMode, ResourceBudget};
 
 /// Tunables of the TWGR-style router. Defaults reproduce the paper's
 /// setup; the benchmark harness overrides `seed` and the parallel knobs.
@@ -67,6 +67,16 @@ pub struct RouterConfig {
     /// reports real host seconds *alongside* the virtual account — it
     /// never changes routing decisions, results, or the virtual clocks.
     pub clock: ClockMode,
+    /// Resource budgets enforced at phase boundaries and at chunk
+    /// granularity inside the long phase loops. Unlimited by default —
+    /// an unlimited budget adds **zero** collectives, so golden
+    /// determinism of unbudgeted runs is untouched. A breach never
+    /// panics: optional phases shed work (stamping `budget_degraded`),
+    /// mandatory overruns surface as a structured
+    /// [`crate::engine::RouteError::BudgetExceeded`] on every rank.
+    /// `max_recovery_rounds` additionally caps the recovery loop below
+    /// `recovery.max_rounds`.
+    pub budget: ResourceBudget,
 }
 
 impl Default for RouterConfig {
@@ -86,6 +96,7 @@ impl Default for RouterConfig {
             steiner_refine: false,
             recovery: RecoveryPolicy::default(),
             clock: ClockMode::Virtual,
+            budget: ResourceBudget::unlimited(),
         }
     }
 }
@@ -113,5 +124,6 @@ mod tests {
         assert!(c.pin_weight_beta > 0.0);
         assert!(c.recovery.max_rounds >= 1);
         assert!(c.recovery.min_ranks >= 1);
+        assert!(!c.budget.is_limited());
     }
 }

@@ -56,14 +56,15 @@ use crate::metrics::{names, RoutingResult};
 use crate::parallel::partition::PartitionKind;
 use pgr_circuit::{Circuit, RowPartition};
 use pgr_geom::rng::{derive_seed, rng_from_seed, SmallRng};
-use pgr_mpi::{Comm, PhaseControl};
+use pgr_mpi::{BudgetBreach, BudgetKind, Comm, PhaseControl};
 use pgr_obs::recovery_names;
 
 pub use pgr_obs::Phase;
 
 /// Why one routing attempt could not run to completion: the fault
-/// layer's kill schedule fired at a phase boundary.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// layer's kill schedule fired at a phase boundary, or a resource
+/// budget was breached and the world agreed to stop.
+#[derive(Debug, Clone, PartialEq)]
 pub enum RouteAbort {
     /// This rank is the victim — unwind without touching the network.
     SelfKilled,
@@ -71,7 +72,60 @@ pub enum RouteAbort {
     /// survivors must shrink the world and retry — resuming from the
     /// last committed checkpoint when one exists.
     PeersDied { dead: Vec<usize>, at: Phase },
+    /// The agreement collective at the `at` boundary surfaced a latched
+    /// [`BudgetBreach`] — every rank aborts with the identical payload
+    /// (the lowest breaching logical rank's report), so the abort is
+    /// SPMD-consistent by construction.
+    Budget {
+        rank: usize,
+        at: Phase,
+        breach: BudgetBreach,
+    },
 }
+
+/// A structured, non-panicking routing failure. Today the only variant
+/// is a resource-budget breach; kill-schedule deaths stay `Option`-shaped
+/// (a victim simply holds no result) because they are injected faults,
+/// not caller-visible errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouteError {
+    /// A [`pgr_mpi::ResourceBudget`] limit was exceeded and could not be
+    /// shed. Identical on every rank of the run (the engine agrees on
+    /// the lowest breaching rank's report before anyone aborts).
+    BudgetExceeded {
+        /// Logical rank whose breach won the agreement (0 for the
+        /// run-global recovery-rounds bound).
+        rank: usize,
+        /// Phase boundary at which the world agreed to stop.
+        phase: Phase,
+        /// Which limit tripped.
+        budget: BudgetKind,
+        /// The configured limit, in the limit's own unit.
+        limit: f64,
+        /// What was observed, same unit.
+        observed: f64,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::BudgetExceeded {
+                rank,
+                phase,
+                budget,
+                limit,
+                observed,
+            } => write!(
+                f,
+                "budget exceeded at {} on rank {rank}: {budget} limit {limit} exceeded (observed {observed})",
+                phase.name()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
 
 /// How a recovery round continues the route: resume the pipeline from
 /// phase index `from` (a registry index), seeded from the failed
@@ -129,6 +183,9 @@ pub enum RecoveryFlow {
     /// The policy's bounds were breached after `rounds` recoveries; the
     /// caller must finish the route by other means (serial fallback).
     Degraded { rounds: u32 },
+    /// A resource budget was breached and agreed on — the run ends with
+    /// this structured error on every rank.
+    BudgetExceeded(RouteError),
 }
 
 /// Per-attempt context the engine derives once, before the first pass:
@@ -269,10 +326,60 @@ pub fn run_attempt<P: Pipeline>(
             PhaseControl::SelfKilled => return Err(RouteAbort::SelfKilled),
             PhaseControl::PeersDied(dead) => return Err(RouteAbort::PeersDied { dead, at: phase }),
         }
+        budget_gate(comm, phase)?;
         pipe.pass(phase, ctx, comm);
+    }
+    // A breach latched inside the final pass has no later boundary to
+    // surface it — gate once more before declaring the attempt complete.
+    if let Some(&last) = P::PASSES.last() {
+        budget_gate(comm, last)?;
     }
     comm.metric_window_close();
     Ok(pipe.take_result())
+}
+
+/// The budget agreement collective, run right after every phase
+/// boundary (and once after the final pass). Breaches are *latched*
+/// rank-locally — by the boundary check inside [`Comm::phase_enter`] or
+/// by a mid-phase [`Comm::budget_poll_abort`] — because a rank that
+/// walks away from a pass unilaterally deadlocks its peers. Here the
+/// world agrees: an allreduce-max over the breach flags, then (only
+/// when someone breached) an allgather of the wire-flattened reports,
+/// with the lowest breaching logical rank's report winning on every
+/// rank. An **unbudgeted run never reaches the collectives** — the
+/// gate short-circuits on `budget_limited`, so golden determinism of
+/// pre-budget traces is untouched.
+fn budget_gate(comm: &mut Comm, phase: Phase) -> Result<(), RouteAbort> {
+    if !comm.budget_limited() {
+        return Ok(());
+    }
+    let local = comm.budget_breach();
+    if comm.size() > 1 {
+        if comm.allreduce(local.is_some() as u64, u64::max) == 0 {
+            return Ok(());
+        }
+        let reports = comm.allgather(local.map(|b| b.to_wire()));
+        let (rank, wire) = reports
+            .into_iter()
+            .enumerate()
+            .find_map(|(r, w)| w.map(|w| (r, w)))
+            .expect("the allreduce said at least one rank latched a breach");
+        let breach = BudgetBreach::from_wire(wire).expect("wire tags roundtrip");
+        Err(RouteAbort::Budget {
+            rank,
+            at: phase,
+            breach,
+        })
+    } else {
+        match local {
+            None => Ok(()),
+            Some(breach) => Err(RouteAbort::Budget {
+                rank: comm.rank(),
+                at: phase,
+                breach,
+            }),
+        }
+    }
 }
 
 /// Recovery driver shared by the parallel algorithms: run attempts
@@ -317,6 +424,17 @@ where
         match attempt(comm, plan.as_ref()) {
             Ok(result) => return RecoveryFlow::Completed { result, rounds },
             Err(RouteAbort::SelfKilled) => return RecoveryFlow::SelfKilled,
+            Err(RouteAbort::Budget { rank, at, breach }) => {
+                // Already agreed world-wide by the gate: every rank takes
+                // this arm with the identical payload.
+                return RecoveryFlow::BudgetExceeded(RouteError::BudgetExceeded {
+                    rank,
+                    phase: at,
+                    budget: breach.kind,
+                    limit: breach.limit,
+                    observed: breach.observed,
+                });
+            }
             Err(RouteAbort::PeersDied { dead, at }) => {
                 comm.metric_add(names::RECOVERY_EVENTS, 1);
                 comm.metric_add(names::RANKS_LOST, dead.len() as u64);
@@ -396,46 +514,121 @@ fn degraded_serial(circuit: &Circuit, cfg: &RouterConfig, comm: &mut Comm) -> Ro
         .expect("the serial pipeline always assembles a result")
 }
 
+/// Whether any rank of the surviving world shed optional work under
+/// budget pressure — the run-wide `budget_degraded` stamp. Collective
+/// (allreduce-max over the local flags) only when a budget is armed and
+/// more than one rank runs; an unbudgeted run adds nothing.
+fn agree_shed(comm: &mut Comm) -> bool {
+    if !comm.budget_limited() {
+        return false;
+    }
+    let local = comm.budget_shed_any() as u64;
+    if comm.size() > 1 {
+        comm.allreduce(local, u64::max) != 0
+    } else {
+        local != 0
+    }
+}
+
 /// The SPMD entry point every parallel algorithm shares: the bounded
 /// recovery loop around engine-driven attempts, each over a freshly
 /// derived [`RouteCtx`] and a fresh pipeline; the serial fallback when
 /// the loop gives up (stamping [`names::DEGRADED_SERIAL`] and the
 /// `degraded` stats flag downstream); and the automatic post-recovery
-/// self-check — any run that recovered or degraded re-verifies its
-/// result via [`crate::verify::check`] on the rank holding it, so every
-/// chaos schedule ends in a *verified* completed route.
+/// self-check — any run that recovered, degraded, **or shed budgeted
+/// work** re-verifies its result via [`crate::verify::check`] on the
+/// rank holding it, so every chaos schedule and every shed ends in a
+/// *verified* completed route.
+///
+/// Budgets: `cfg.budget` is armed on the communicator for the duration
+/// of the parallel attempts. `max_recovery_rounds` folds into the
+/// recovery policy (the tighter bound wins); exhausting the *budget's*
+/// bound is a structured [`RouteError::BudgetExceeded`] on every rank,
+/// not a silent serial fallback. The fallback itself always runs
+/// unbudgeted — a degraded completion is strictly better than a hang,
+/// and the shed stamp survives into the result's verification.
 pub fn drive<P: Pipeline + Default>(
     circuit: &Circuit,
     cfg: &RouterConfig,
     kind: PartitionKind,
     comm: &mut Comm,
-) -> Option<RoutingResult> {
-    let flow = with_recovery(comm, cfg.recovery, |comm, plan| {
+) -> Result<Option<RoutingResult>, RouteError> {
+    if cfg.budget.is_limited() {
+        comm.set_budget(cfg.budget);
+    }
+    let mut policy = cfg.recovery;
+    let budget_rounds = cfg.budget.max_recovery_rounds;
+    if let Some(b) = budget_rounds {
+        policy.max_rounds = policy.max_rounds.min(b);
+    }
+    // The phase whose boundary the last kill fired at — stamps the
+    // recovery-rounds budget error with where the run actually died.
+    let mut last_abort = Phase::ALL[0];
+    let flow = with_recovery(comm, policy, |comm, plan| {
         let mut ctx = RouteCtx::new(circuit, cfg, kind, comm);
         let mut pipe = P::default();
-        run_attempt(&mut pipe, &mut ctx, comm, plan)
+        let r = run_attempt(&mut pipe, &mut ctx, comm, plan);
+        if let Err(RouteAbort::PeersDied { at, .. }) = &r {
+            last_abort = *at;
+        }
+        r
     });
     let (result, recovered) = match flow {
-        RecoveryFlow::SelfKilled => return None,
+        RecoveryFlow::SelfKilled => return Ok(None),
+        RecoveryFlow::BudgetExceeded(err) => {
+            comm.clear_budget();
+            return Err(err);
+        }
         RecoveryFlow::Completed { result, rounds } => (result, rounds > 0),
-        RecoveryFlow::Degraded { .. } => {
+        RecoveryFlow::Degraded { rounds } => {
+            // Exhaustion under the *budget's* rounds bound is a breach:
+            // every survivor computes the same verdict from the same
+            // SPMD state, so all ranks return the identical error.
+            if let Some(b) = budget_rounds {
+                if b < cfg.recovery.max_rounds && rounds >= b {
+                    comm.clear_budget();
+                    return Err(RouteError::BudgetExceeded {
+                        rank: 0,
+                        phase: last_abort,
+                        budget: BudgetKind::RecoveryRounds,
+                        limit: b as f64,
+                        observed: rounds as f64,
+                    });
+                }
+            }
+            // The shed agreement must run on *every* survivor, before
+            // the non-root ranks exit below (the post-match agreement
+            // sees a cleared budget here and short-circuits).
+            let _ = agree_shed(comm);
             // Every survivor reached this decision from the same
             // deterministic state; only the lowest logical rank routes,
             // the rest hold no result and exit.
             if comm.rank() != 0 {
-                return None;
+                comm.clear_budget();
+                return Ok(None);
             }
             comm.metric_add(names::DEGRADED_SERIAL, 1);
             // Causal-profiler anchor: path segments after this mark are
-            // blamed on the degraded fallback.
+            // blamed on the degraded fallback. The fallback itself runs
+            // unbudgeted (clear before, so its phases are never timed),
+            // but a pre-fallback shed still stamps the run.
             comm.trace_mark(pgr_obs::MARK_DEGRADED_SERIAL);
+            comm.clear_budget();
             (Some(degraded_serial(circuit, cfg, comm)), true)
         }
     };
-    if recovered {
+    // The post-run epilogue — the shed agreement and the self-check
+    // verify — records into the assemble window, so per-phase metric
+    // windows stay an exact partition of the run totals on budgeted
+    // and recovered runs alike.
+    comm.metric_window_open(Phase::Assemble);
+    let shed = agree_shed(comm);
+    if recovered || shed {
         if let Some(result) = &result {
             crate::verify::check(circuit, result, comm);
         }
     }
-    result
+    comm.metric_window_close();
+    comm.clear_budget();
+    Ok(result)
 }

@@ -38,8 +38,11 @@ pub mod route;
 pub mod verify;
 
 pub use config::RouterConfig;
-pub use engine::{Phase, Pipeline, RecoveryPolicy, RouteCtx};
+pub use engine::{Phase, Pipeline, RecoveryPolicy, RouteCtx, RouteError};
 pub use metrics::RoutingResult;
 pub use parallel::partition::PartitionKind;
-pub use parallel::{route_parallel, route_parallel_instrumented, Algorithm, ParallelOutcome};
-pub use route::route_serial;
+pub use parallel::{
+    route_parallel, route_parallel_guarded, route_parallel_instrumented, Algorithm, GuardedOutcome,
+    ParallelOutcome,
+};
+pub use route::{route_serial, try_route_serial};

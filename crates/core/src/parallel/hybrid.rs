@@ -46,6 +46,18 @@ pub fn route_hybrid(
     kind: PartitionKind,
     comm: &mut Comm,
 ) -> Option<RoutingResult> {
+    try_route_hybrid(circuit, cfg, kind, comm)
+        .expect("budgeted run breached its budget — use try_route_hybrid")
+}
+
+/// [`route_hybrid`], but an armed [`pgr_mpi::ResourceBudget`] breach
+/// returns the agreed structured error instead of panicking.
+pub fn try_route_hybrid(
+    circuit: &Circuit,
+    cfg: &RouterConfig,
+    kind: PartitionKind,
+    comm: &mut Comm,
+) -> Result<Option<RoutingResult>, crate::engine::RouteError> {
     engine::drive::<HybridPipeline>(circuit, cfg, kind, comm)
 }
 
@@ -90,6 +102,12 @@ impl Pipeline for HybridPipeline {
                     let i = net.index();
                     if self.owners[i] as usize != ctx.rank {
                         continue;
+                    }
+                    // Mandatory work: a latched breach stops local
+                    // building; the alltoall below still runs and the
+                    // engine aborts at the next phase boundary.
+                    if comm.budget_poll_abort() {
+                        break;
                     }
                     let w = whole_net(circuit, net);
                     if w.nodes.len() < 2 {
@@ -170,6 +188,12 @@ impl Pipeline for HybridPipeline {
                 let mut all_spans: Vec<Span> = Vec::new();
                 let mut arena = ConnectArena::default();
                 for w in &merged {
+                    // Mandatory work: stop on a latched breach (the
+                    // span alltoall below still runs; the engine aborts
+                    // at the next boundary).
+                    if comm.budget_poll_abort() {
+                        break;
+                    }
                     let conn = connect_net_with(w, comm, &mut arena);
                     self.wirelength += conn.wirelength;
                     all_spans.extend(conn.spans);

@@ -8,16 +8,18 @@ pub mod partition;
 pub mod rowwise;
 
 use crate::config::RouterConfig;
+use crate::engine::RouteError;
 use crate::metrics::{names, RoutingResult};
 use partition::PartitionKind;
 use pgr_circuit::Circuit;
 use pgr_mpi::{
     run_instrumented, Comm, InstrumentConfig, MachineModel, RankMetrics, RankStats, RankTrace,
 };
+use pgr_obs::budget_names;
 
-pub use hybrid::route_hybrid;
-pub use netwise::route_netwise;
-pub use rowwise::route_rowwise;
+pub use hybrid::{route_hybrid, try_route_hybrid};
+pub use netwise::{route_netwise, try_route_netwise};
+pub use rowwise::{route_rowwise, try_route_rowwise};
 
 /// Which parallel algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,6 +44,8 @@ impl Algorithm {
     }
 
     /// Run this algorithm on the calling rank (SPMD entry point).
+    /// Panics on a budget breach — budgeted runs should call
+    /// [`Algorithm::try_route`].
     pub fn route(
         self,
         circuit: &Circuit,
@@ -49,10 +53,24 @@ impl Algorithm {
         kind: PartitionKind,
         comm: &mut Comm,
     ) -> Option<RoutingResult> {
+        self.try_route(circuit, cfg, kind, comm)
+            .expect("budgeted run breached its budget — use try_route")
+    }
+
+    /// Budget-aware SPMD entry point: an armed
+    /// [`pgr_mpi::ResourceBudget`] breach surfaces as the identical
+    /// structured [`RouteError`] on every rank instead of a panic.
+    pub fn try_route(
+        self,
+        circuit: &Circuit,
+        cfg: &RouterConfig,
+        kind: PartitionKind,
+        comm: &mut Comm,
+    ) -> Result<Option<RoutingResult>, RouteError> {
         match self {
-            Algorithm::RowWise => rowwise::route_rowwise(circuit, cfg, kind, comm),
-            Algorithm::NetWise => netwise::route_netwise(circuit, cfg, kind, comm),
-            Algorithm::Hybrid => hybrid::route_hybrid(circuit, cfg, kind, comm),
+            Algorithm::RowWise => rowwise::try_route_rowwise(circuit, cfg, kind, comm),
+            Algorithm::NetWise => netwise::try_route_netwise(circuit, cfg, kind, comm),
+            Algorithm::Hybrid => hybrid::try_route_hybrid(circuit, cfg, kind, comm),
         }
     }
 }
@@ -79,6 +97,36 @@ pub struct ParallelOutcome {
     /// [`parallel.degraded_serial`](names::DEGRADED_SERIAL) counter, so
     /// it is only observable when metrics were enabled).
     pub degraded: bool,
+    /// Some rank shed optional refinement work under an armed
+    /// [`pgr_mpi::ResourceBudget`]'s time pressure (derived from the
+    /// [`budget.shed_events`](budget_names::SHED_EVENTS) counter, so it
+    /// is only observable when metrics were enabled). Shed runs are
+    /// verified by [`crate::verify::check`] before they return.
+    pub budget_degraded: bool,
+}
+
+/// The outcome of one *guarded* parallel routing run: identical to
+/// [`ParallelOutcome`], except a resource-budget breach lands in
+/// `result` as a structured [`RouteError`] instead of a panic — the
+/// timing, stats, traces, and metric shards of the partial run are
+/// still returned for post-mortem analysis.
+#[derive(Debug)]
+pub struct GuardedOutcome {
+    /// The assembled route, or the agreed budget breach (identical on
+    /// every rank of the run).
+    pub result: Result<RoutingResult, RouteError>,
+    /// Simulated wall-clock (the slowest rank's virtual time).
+    pub time: f64,
+    /// Real host makespan — `Some` only under [`pgr_mpi::ClockMode::Wall`].
+    pub wall_time: Option<f64>,
+    pub stats: Vec<RankStats>,
+    pub fits_memory: bool,
+    pub traces: Vec<RankTrace>,
+    pub metrics: Vec<RankMetrics>,
+    /// Completed by the serial fallback after recovery gave up.
+    pub degraded: bool,
+    /// Completed, but only by shedding optional refinement work.
+    pub budget_degraded: bool,
 }
 
 /// Route `circuit` with `procs` ranks of `machine`, returning rank 0's
@@ -118,6 +166,37 @@ pub fn route_parallel_instrumented(
     machine: MachineModel,
     instr: InstrumentConfig,
 ) -> ParallelOutcome {
+    let out = route_parallel_guarded(circuit, cfg, algorithm, kind, procs, machine, instr);
+    ParallelOutcome {
+        result: out
+            .result
+            .expect("budgeted run breached its budget — use route_parallel_guarded"),
+        time: out.time,
+        wall_time: out.wall_time,
+        stats: out.stats,
+        fits_memory: out.fits_memory,
+        traces: out.traces,
+        metrics: out.metrics,
+        degraded: out.degraded,
+        budget_degraded: out.budget_degraded,
+    }
+}
+
+/// The budget-aware harness every other entry point wraps: runs
+/// `algorithm` over `procs` simulated ranks and returns either the
+/// assembled (and, when shed or recovered, *verified*) route or the
+/// structured [`RouteError`] the world agreed on. Never panics on a
+/// breach, and an unlimited `cfg.budget` makes it bit-identical to
+/// [`route_parallel_instrumented`].
+pub fn route_parallel_guarded(
+    circuit: &Circuit,
+    cfg: &RouterConfig,
+    algorithm: Algorithm,
+    kind: PartitionKind,
+    procs: usize,
+    machine: MachineModel,
+    instr: InstrumentConfig,
+) -> GuardedOutcome {
     // The router config owns the clock strategy; the instrumentation
     // bundle merely carries it into the substrate.
     let instr = InstrumentConfig {
@@ -125,7 +204,7 @@ pub fn route_parallel_instrumented(
         ..instr
     };
     let (report, traces, mut metrics) = run_instrumented(procs, machine, instr, |comm| {
-        algorithm.route(circuit, cfg, kind, comm)
+        algorithm.try_route(circuit, cfg, kind, comm)
     });
     let fits_memory = report.fits_memory();
     let time = report.makespan();
@@ -136,16 +215,28 @@ pub fn route_parallel_instrumented(
             root.set_gauge(names::LOAD_IMBALANCE, time / mean);
         }
     }
-    let result = report
-        .results
-        .into_iter()
-        .flatten()
-        .next()
-        .expect("the lowest surviving rank returns the assembled result");
+    // Every surviving rank returns the identical Err on a breach (the
+    // engine's agreement collective guarantees it); otherwise exactly
+    // the lowest surviving rank returns Some.
+    let mut result: Result<Option<RoutingResult>, RouteError> = Ok(None);
+    for r in report.results {
+        match r {
+            Err(e) => {
+                result = Err(e);
+                break;
+            }
+            Ok(Some(route)) if matches!(result, Ok(None)) => result = Ok(Some(route)),
+            Ok(_) => {}
+        }
+    }
+    let result = result.map(|r| r.expect("the lowest surviving rank returns the assembled result"));
     let degraded = metrics
         .iter()
         .any(|m| m.counter(names::DEGRADED_SERIAL).unwrap_or(0) > 0);
-    ParallelOutcome {
+    let budget_degraded = metrics
+        .iter()
+        .any(|m| m.counter(budget_names::SHED_EVENTS).unwrap_or(0) > 0);
+    GuardedOutcome {
         result,
         time,
         wall_time,
@@ -154,6 +245,7 @@ pub fn route_parallel_instrumented(
         traces,
         metrics,
         degraded,
+        budget_degraded,
     }
 }
 

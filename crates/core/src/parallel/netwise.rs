@@ -155,6 +155,18 @@ pub fn route_netwise(
     kind: PartitionKind,
     comm: &mut Comm,
 ) -> Option<RoutingResult> {
+    try_route_netwise(circuit, cfg, kind, comm)
+        .expect("budgeted run breached its budget — use try_route_netwise")
+}
+
+/// [`route_netwise`], but an armed [`pgr_mpi::ResourceBudget`] breach
+/// returns the agreed structured error instead of panicking.
+pub fn try_route_netwise(
+    circuit: &Circuit,
+    cfg: &RouterConfig,
+    kind: PartitionKind,
+    comm: &mut Comm,
+) -> Result<Option<RoutingResult>, crate::engine::RouteError> {
     engine::drive::<NetWisePipeline>(circuit, cfg, kind, comm)
 }
 
@@ -202,6 +214,11 @@ impl Pipeline for NetWisePipeline {
                     if self.owners[i] as usize != ctx.rank {
                         continue;
                     }
+                    // Mandatory work: a latched breach stops local
+                    // building; the engine aborts at the next boundary.
+                    if comm.budget_poll_abort() {
+                        break;
+                    }
                     let mut w = whole_net(circuit, net);
                     if w.nodes.len() >= 2 {
                         let segs = build_segments_with(&w, cfg.steiner_refine, comm);
@@ -242,10 +259,27 @@ impl Pipeline for NetWisePipeline {
                     for r in 0..rounds as usize {
                         let chunk =
                             &order[(r * sp).min(order.len())..((r + 1) * sp).min(order.len())];
-                        changed +=
-                            coarse.improve_slice(&self.segments, &mut orients, chunk, cfg, comm)
-                                as u64;
+                        // Budget shed skips only the *local* slice work:
+                        // every sync round and allreduce below still runs,
+                        // because the peers committed to that collective
+                        // sequence — a rank that walks away deadlocks the
+                        // world.
+                        if !comm.budget_poll_shed() {
+                            changed += coarse.improve_slice(
+                                &self.segments,
+                                &mut orients,
+                                chunk,
+                                cfg,
+                                comm,
+                            ) as u64;
+                        }
                         sync_coarse(&mut coarse, cfg.netwise_exact_sync, comm);
+                    }
+                    // Trailing poll: an overrun inside the last round
+                    // registers as a shed, not as a hard breach at the
+                    // next phase boundary. Local-only — no collective.
+                    if rounds > 0 {
+                        comm.budget_poll_shed();
                     }
                     if comm.allreduce(changed, |a, b| a + b) == 0 {
                         break;
@@ -301,6 +335,11 @@ impl Pipeline for NetWisePipeline {
                 chans.enable_logging();
                 let mut arena = ConnectArena::default();
                 for w in &self.works {
+                    // Mandatory work: stop on a latched breach (the
+                    // engine aborts at the next boundary).
+                    if comm.budget_poll_abort() {
+                        break;
+                    }
                     let conn = connect_net_with(w, comm, &mut arena);
                     debug_assert!(conn.spanning, "whole net must span");
                     self.wirelength += conn.wirelength;
@@ -331,8 +370,17 @@ impl Pipeline for NetWisePipeline {
                     for r in 0..rounds as usize {
                         let chunk =
                             &order[(r * sp).min(order.len())..((r + 1) * sp).min(order.len())];
-                        flips += optimize_slice(chans, &mut self.spans, chunk, comm) as u64;
+                        // Shed drops only the local slice; the sync
+                        // rounds and allreduces stay (see the coarse
+                        // pass).
+                        if !comm.budget_poll_shed() {
+                            flips += optimize_slice(chans, &mut self.spans, chunk, comm) as u64;
+                        }
                         sync_chans(chans, cfg.netwise_exact_sync, comm);
+                    }
+                    // Trailing poll — see the coarse pass.
+                    if rounds > 0 {
+                        comm.budget_poll_shed();
                     }
                     comm.metric_add(names::SEGMENTS_FLIPPED, flips);
                     if comm.allreduce(flips, |a, b| a + b) == 0 {

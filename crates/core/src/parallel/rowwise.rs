@@ -51,6 +51,18 @@ pub fn route_rowwise(
     kind: PartitionKind,
     comm: &mut Comm,
 ) -> Option<RoutingResult> {
+    try_route_rowwise(circuit, cfg, kind, comm)
+        .expect("budgeted run breached its budget — use try_route_rowwise")
+}
+
+/// [`route_rowwise`], but an armed [`pgr_mpi::ResourceBudget`] breach
+/// returns the agreed structured error instead of panicking.
+pub fn try_route_rowwise(
+    circuit: &Circuit,
+    cfg: &RouterConfig,
+    kind: PartitionKind,
+    comm: &mut Comm,
+) -> Result<Option<RoutingResult>, crate::engine::RouteError> {
     engine::drive::<RowWisePipeline>(circuit, cfg, kind, comm)
 }
 
@@ -95,6 +107,13 @@ impl Pipeline for RowWisePipeline {
                     let i = net.index();
                     if owners[i] as usize != ctx.rank {
                         continue;
+                    }
+                    // Mandatory work: a latched breach stops local
+                    // building; the alltoall below still runs (walking
+                    // away would deadlock peers) and the engine aborts
+                    // at the next phase boundary.
+                    if comm.budget_poll_abort() {
+                        break;
                     }
                     let w = whole_net(circuit, net);
                     if w.nodes.len() < 2 {
@@ -152,6 +171,11 @@ impl Pipeline for RowWisePipeline {
                 comm.charge_alloc(chans.modeled_bytes());
                 let mut arena = ConnectArena::default();
                 for w in &self.works {
+                    // Mandatory work: stop on a latched breach (the
+                    // engine aborts at the next boundary).
+                    if comm.budget_poll_abort() {
+                        break;
+                    }
                     let conn = connect_net_with(w, comm, &mut arena);
                     self.wirelength += conn.wirelength;
                     self.spans.extend(conn.spans);

@@ -405,7 +405,33 @@ impl CoarseState {
         let mut orients = self.init_random(segments, rng, comm);
         for _ in 0..cfg.coarse_passes {
             let order = pgr_geom::shuffled_indices(segments.len(), rng);
-            if self.improve_slice(segments, &mut orients, &order, cfg, comm) == 0 {
+            // The improvement sweeps are *optional* refinement: under an
+            // armed budget each sweep runs in chunks with a shed poll
+            // between them (and one after the last, so an overrun inside
+            // the final chunk registers as a shed — not as a hard breach
+            // at the next phase boundary), dropping the remaining
+            // iterations when the phase overruns. Unbudgeted runs take
+            // the single-call path — bit-identical (virtual clock
+            // included) to the pre-budget code.
+            let changed = if comm.budget_limited() {
+                let chunk_len = crate::route::shed_chunk_len(order.len());
+                let mut changed = 0;
+                let mut shed = false;
+                for chunk in order.chunks(chunk_len) {
+                    if comm.budget_poll_shed() {
+                        shed = true;
+                        break;
+                    }
+                    changed += self.improve_slice(segments, &mut orients, chunk, cfg, comm);
+                }
+                if !shed && !order.is_empty() {
+                    comm.budget_poll_shed();
+                }
+                changed
+            } else {
+                self.improve_slice(segments, &mut orients, &order, cfg, comm)
+            };
+            if changed == 0 {
                 break;
             }
         }

@@ -21,5 +21,18 @@ pub mod state;
 pub mod steiner;
 pub mod switchable;
 
-pub use serial::route_serial;
+pub use serial::{route_serial, try_route_serial};
 pub use state::{ChannelPref, Node, NodeKind, Orientation, Segment, Span, WorkNet};
+
+/// Iterations between budget polls inside the optional refinement
+/// sweeps (coarse improvement, switchable optimization): small enough
+/// to shed promptly, large enough to keep the poll off the hot path.
+pub const SHED_CHUNK: usize = 256;
+
+/// Chunk length for a budgeted refinement sweep over `n` items: caps at
+/// [`SHED_CHUNK`], but never fewer than eight polls per sweep (floor 16),
+/// so small workloads — whose whole sweep fits inside one `SHED_CHUNK` —
+/// still get mid-sweep shed opportunities. Deterministic in `n`.
+pub fn shed_chunk_len(n: usize) -> usize {
+    SHED_CHUNK.min((n / 8).max(16))
+}

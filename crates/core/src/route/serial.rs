@@ -8,7 +8,7 @@
 
 use crate::config::RouterConfig;
 use crate::cost;
-use crate::engine::{run_attempt, Phase, Pipeline, RouteCtx};
+use crate::engine::{run_attempt, Phase, Pipeline, RouteAbort, RouteCtx, RouteError};
 use crate::metrics::{names, record_ft_plan, record_quality, RoutingResult};
 use crate::parallel::partition::PartitionKind;
 use crate::route::coarse::CoarseState;
@@ -99,12 +99,53 @@ pub fn attach_feedthroughs(works: &mut [WorkNet], ft_nodes: Vec<(NetId, Node)>) 
 /// Drives a [`SerialPipeline`] through the phase-pipeline engine
 /// ([`crate::engine`]), which stamps the phase marks and rotates the
 /// per-phase metric windows. Serial runs have no fault layer, so the
-/// single attempt always completes.
+/// single attempt always completes — unless `cfg.budget` is armed and
+/// breached, which this convenience wrapper surfaces as a panic. Runs
+/// that set a budget should call [`try_route_serial`] instead.
 pub fn route_serial(circuit: &Circuit, cfg: &RouterConfig, comm: &mut Comm) -> RoutingResult {
+    try_route_serial(circuit, cfg, comm)
+        .expect("budgeted serial run breached its budget — use try_route_serial")
+}
+
+/// Budget-aware serial router: like [`route_serial`], but an armed
+/// [`pgr_mpi::ResourceBudget`] breach comes back as a structured
+/// [`RouteError::BudgetExceeded`] instead of a panic, and a run that
+/// shed optional passes under time pressure completes with a
+/// [`crate::verify::check`] proof (its violations counter stays zero).
+pub fn try_route_serial(
+    circuit: &Circuit,
+    cfg: &RouterConfig,
+    comm: &mut Comm,
+) -> Result<RoutingResult, RouteError> {
+    if cfg.budget.is_limited() {
+        comm.set_budget(cfg.budget);
+    }
     let mut ctx = RouteCtx::new(circuit, cfg, PartitionKind::PinWeight, comm);
     let mut pipe = SerialPipeline::default();
     match run_attempt(&mut pipe, &mut ctx, comm, None) {
-        Ok(result) => result.expect("the serial pipeline always assembles a result"),
+        Ok(result) => {
+            let shed = comm.budget_shed_any();
+            let result = result.expect("the serial pipeline always assembles a result");
+            if shed {
+                // Assemble-window scope keeps the verify counter inside
+                // the per-phase partition of the run totals.
+                comm.metric_window_open(pgr_mpi::Phase::Assemble);
+                crate::verify::check(circuit, &result, comm);
+                comm.metric_window_close();
+            }
+            comm.clear_budget();
+            Ok(result)
+        }
+        Err(RouteAbort::Budget { rank, at, breach }) => {
+            comm.clear_budget();
+            Err(RouteError::BudgetExceeded {
+                rank,
+                phase: at,
+                budget: breach.kind,
+                limit: breach.limit,
+                observed: breach.observed,
+            })
+        }
         Err(_) => unreachable!("serial comms carry no kill schedule"),
     }
 }
@@ -152,6 +193,12 @@ impl Pipeline for SerialPipeline {
                 }
                 self.segments = Vec::with_capacity(circuit.num_pins());
                 for w in &mut self.works {
+                    // Mandatory work: a latched breach stops further
+                    // local building; the engine turns it into a
+                    // structured abort at the next phase boundary.
+                    if comm.budget_poll_abort() {
+                        break;
+                    }
                     let segs = build_segments_with(w, cfg.steiner_refine, comm);
                     if cfg.steiner_refine {
                         register_steiner_nodes(w, &segs);
@@ -190,6 +237,11 @@ impl Pipeline for SerialPipeline {
                 comm.charge_alloc(chans.modeled_bytes());
                 let mut arena = ConnectArena::default();
                 for w in &self.works {
+                    // Mandatory work: stop on a latched breach (the
+                    // engine aborts at the next boundary).
+                    if comm.budget_poll_abort() {
+                        break;
+                    }
                     let conn = connect_net_with(w, comm, &mut arena);
                     debug_assert!(
                         conn.spanning,

@@ -257,7 +257,30 @@ pub fn optimize(
     for _ in 0..cfg.switch_passes {
         let perm = pgr_geom::shuffled_indices(candidates.len(), rng);
         let order: Vec<u32> = perm.iter().map(|&k| candidates[k as usize]).collect();
-        let flips = optimize_slice(chans, spans, &order, comm);
+        // Optional refinement: under an armed budget the sweep sheds its
+        // remaining chunks when the phase overruns, with a trailing poll
+        // so an overrun inside the final chunk registers as a shed — not
+        // as a hard breach at the next phase boundary. Unbudgeted runs
+        // take the single-call path — bit-identical to the pre-budget
+        // code.
+        let flips = if comm.budget_limited() {
+            let chunk_len = crate::route::shed_chunk_len(order.len());
+            let mut flips = 0;
+            let mut shed = false;
+            for chunk in order.chunks(chunk_len) {
+                if comm.budget_poll_shed() {
+                    shed = true;
+                    break;
+                }
+                flips += optimize_slice(chans, spans, chunk, comm);
+            }
+            if !shed && !order.is_empty() {
+                comm.budget_poll_shed();
+            }
+            flips
+        } else {
+            optimize_slice(chans, spans, &order, comm)
+        };
         total += flips;
         if flips == 0 {
             break;

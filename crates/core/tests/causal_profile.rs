@@ -191,6 +191,8 @@ fn kill_schedule_surfaces_recovery_blame_and_still_sums() {
         seed: 4,
         degraded: false,
         clock: "virtual".into(),
+        scenario: String::new(),
+        budget_degraded: false,
     };
     let table = p.blame_markdown(&run);
     assert!(

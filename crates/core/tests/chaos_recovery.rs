@@ -90,6 +90,8 @@ fn emitted_stats(out: &ParallelOutcome, algo: Algorithm) -> String {
         seed: 9,
         degraded: out.degraded,
         clock: "virtual".into(),
+        scenario: String::new(),
+        budget_degraded: false,
     };
     stats_json(&out.stats, &MachineModel::sparc_center_1000(), &meta)
 }

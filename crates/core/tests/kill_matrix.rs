@@ -378,6 +378,8 @@ fn resume_blame_telescopes_exactly_and_surfaces_its_own_class() {
             seed: 9,
             degraded: false,
             clock: "virtual".into(),
+            scenario: String::new(),
+            budget_degraded: false,
         };
         let table = p.blame_markdown(&run);
         assert!(table.contains("resume"), "{name}: blame table lost resume");

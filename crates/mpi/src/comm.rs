@@ -35,6 +35,7 @@
 //! receive blocked on a dead peer reports
 //! [`CommError::RankDead`] with the victim's last heartbeat.
 
+use crate::budget::{BudgetBreach, BudgetKind, ResourceBudget};
 use crate::checkpoint::CheckpointStore;
 use crate::error::{CommError, PendingMsg, TransportSnapshot};
 use crate::failure::FailureDetector;
@@ -46,7 +47,7 @@ use crate::machine::{ClockMode, MachineModel};
 use crate::reliable::{self, backoff_delay, Ingest, ReliabilityConfig, ReorderBuffer};
 use crate::trace::{self, RankTrace, TraceConfig, TraceEvent, TraceEventKind, TraceHub};
 use crate::wire::{crc32, Wire};
-use pgr_obs::{recovery_names, MetricsConfig, MetricsShard, Phase, RankMetrics};
+use pgr_obs::{budget_names, recovery_names, MetricsConfig, MetricsShard, Phase, RankMetrics};
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
@@ -265,6 +266,25 @@ pub struct Comm {
     /// deterministic own-rank knowledge (free-running peer threads make
     /// reads of the shared store racy) and agree via a collective.
     portable_boundary: Option<usize>,
+    /// The run's resource budget. Default unlimited: every check
+    /// short-circuits on one branch and no state changes.
+    budget: ResourceBudget,
+    /// Active-clock reading when the current phase began (virtual
+    /// seconds in [`ClockMode::Virtual`], host seconds in
+    /// [`ClockMode::Wall`]) — the baseline for `max_phase_seconds`.
+    budget_phase_start: f64,
+    /// Latched hard breach. Polls and boundary checks only ever *set*
+    /// this; acting on it is the engine's job, through an agreement
+    /// collective at the next phase boundary, so every rank aborts the
+    /// same way at the same point.
+    budget_breach: Option<BudgetBreach>,
+    /// Whether the *current* phase has shed optional work (reset at
+    /// each boundary): once set, further time polls in the phase are
+    /// tolerated instead of re-shedding or escalating.
+    budget_shed: bool,
+    /// Whether *any* phase of this run shed optional work — what stamps
+    /// the result `budget_degraded`.
+    budget_shed_any: bool,
 }
 
 /// This rank's retransmit bookkeeping, surfaced in
@@ -416,6 +436,11 @@ impl Comm {
             checkpoints: None,
             run_attempt: 0,
             portable_boundary: None,
+            budget: ResourceBudget::unlimited(),
+            budget_phase_start: 0.0,
+            budget_breach: None,
+            budget_shed: false,
+            budget_shed_any: false,
         }
     }
 
@@ -653,7 +678,173 @@ impl Comm {
     /// windows an exact partition of the run totals.
     pub fn phase_enter(&mut self, phase: Phase) -> PhaseControl {
         self.metrics.open_window(phase);
-        self.phase_adv(phase.name())
+        let control = self.phase_adv(phase.name());
+        if control == PhaseControl::Continue && self.budget.is_limited() {
+            self.budget_boundary_check();
+        }
+        control
+    }
+
+    // ----- resource budgets -----
+
+    /// Arm (or replace) the run's [`ResourceBudget`] and reset all
+    /// budget state, with the current instant as the phase baseline.
+    pub fn set_budget(&mut self, budget: ResourceBudget) {
+        self.budget = budget;
+        self.budget_phase_start = self.active_now();
+        self.budget_breach = None;
+        self.budget_shed = false;
+        self.budget_shed_any = false;
+    }
+
+    /// Drop every limit and clear any latched breach — used before a
+    /// degraded-serial fallback, which must not inherit the breach that
+    /// triggered it.
+    pub fn clear_budget(&mut self) {
+        self.budget = ResourceBudget::unlimited();
+        self.budget_breach = None;
+        self.budget_shed = false;
+    }
+
+    /// Whether any budget limit is armed.
+    pub fn budget_limited(&self) -> bool {
+        self.budget.is_limited()
+    }
+
+    /// The armed budget (unlimited when none was set).
+    pub fn budget(&self) -> ResourceBudget {
+        self.budget
+    }
+
+    /// The latched hard breach, if any. Latching is local; the engine
+    /// agrees on it collectively before acting.
+    pub fn budget_breach(&self) -> Option<BudgetBreach> {
+        self.budget_breach
+    }
+
+    /// Whether any phase of this run shed optional work under time
+    /// pressure (the `budget_degraded` stamp).
+    pub fn budget_shed_any(&self) -> bool {
+        self.budget_shed_any
+    }
+
+    /// Seconds on the *active* clock: the virtual account in
+    /// [`ClockMode::Virtual`] (bit-deterministic), host seconds in
+    /// [`ClockMode::Wall`] (best-effort).
+    fn active_now(&self) -> f64 {
+        match self.clock_mode {
+            ClockMode::Virtual => self.clock,
+            ClockMode::Wall => self.wall_now(),
+        }
+    }
+
+    /// Phase-boundary budget check (from [`Comm::phase_enter`]): close
+    /// the books on the phase just ended and start the next one's
+    /// account. An overrun of a phase that *shed* is tolerated — the
+    /// shed already was the enforcement — otherwise it latches a hard
+    /// breach for the engine's next agreement round.
+    fn budget_boundary_check(&mut self) {
+        let now = self.active_now();
+        if let Some(limit) = self.budget.max_phase_seconds {
+            let elapsed = now - self.budget_phase_start;
+            if elapsed > limit && !self.budget_shed && self.budget_breach.is_none() {
+                self.budget_breach = Some(BudgetBreach {
+                    kind: BudgetKind::PhaseSeconds,
+                    limit,
+                    observed: elapsed,
+                });
+                self.metrics.add(budget_names::BREACHES, 1);
+            }
+        }
+        if let Some(limit) = self.budget.max_rank_bytes {
+            if self.cur_mem > limit && self.budget_breach.is_none() {
+                self.budget_breach = Some(BudgetBreach {
+                    kind: BudgetKind::RankBytes,
+                    limit: limit as f64,
+                    observed: self.cur_mem as f64,
+                });
+                self.metrics.add(budget_names::BREACHES, 1);
+            }
+        }
+        self.budget_phase_start = now;
+        self.budget_shed = false;
+    }
+
+    /// Mid-phase cooperative poll for *mandatory* work (Steiner, eval,
+    /// connect chunk loops): latches a hard breach when the phase has
+    /// overrun its time limit or the rank its byte cap, and reports
+    /// whether one is latched. The caller should stop issuing further
+    /// local work but MUST still join every collective its peers commit
+    /// to — walking away mid-pattern deadlocks the world. The engine
+    /// converts the latch into a structured abort at the next phase
+    /// boundary.
+    pub fn budget_poll_abort(&mut self) -> bool {
+        if !self.budget.is_limited() {
+            return false;
+        }
+        if self.budget_breach.is_some() {
+            return true;
+        }
+        if let Some(limit) = self.budget.max_phase_seconds {
+            let elapsed = self.active_now() - self.budget_phase_start;
+            if elapsed > limit {
+                self.budget_breach = Some(BudgetBreach {
+                    kind: BudgetKind::PhaseSeconds,
+                    limit,
+                    observed: elapsed,
+                });
+                self.metrics.add(budget_names::BREACHES, 1);
+                return true;
+            }
+        }
+        if let Some(limit) = self.budget.max_rank_bytes {
+            if self.cur_mem > limit {
+                self.budget_breach = Some(BudgetBreach {
+                    kind: BudgetKind::RankBytes,
+                    limit: limit as f64,
+                    observed: self.cur_mem as f64,
+                });
+                self.metrics.add(budget_names::BREACHES, 1);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Mid-phase cooperative poll for *optional* refinement work (the
+    /// coarse improvement sweeps, the switchable passes): a time overrun
+    /// here is not an error — the phase **sheds** its remaining
+    /// iterations and the run completes `budget_degraded`. A byte-cap
+    /// overrun still latches a hard breach (shedding refinement cannot
+    /// return memory). Returns true when the caller should shed.
+    pub fn budget_poll_shed(&mut self) -> bool {
+        if !self.budget.is_limited() {
+            return false;
+        }
+        if self.budget_breach.is_some() || self.budget_shed {
+            return true;
+        }
+        if let Some(limit) = self.budget.max_rank_bytes {
+            if self.cur_mem > limit {
+                self.budget_breach = Some(BudgetBreach {
+                    kind: BudgetKind::RankBytes,
+                    limit: limit as f64,
+                    observed: self.cur_mem as f64,
+                });
+                self.metrics.add(budget_names::BREACHES, 1);
+                return true;
+            }
+        }
+        if let Some(limit) = self.budget.max_phase_seconds {
+            let elapsed = self.active_now() - self.budget_phase_start;
+            if elapsed > limit {
+                self.budget_shed = true;
+                self.budget_shed_any = true;
+                self.metrics.add(budget_names::SHED_EVENTS, 1);
+                return true;
+            }
+        }
+        false
     }
 
     /// Shrink the world after peer deaths: the dead physical ranks
@@ -1732,6 +1923,11 @@ where
             checkpoints: checkpoints.clone(),
             run_attempt: 0,
             portable_boundary: None,
+            budget: ResourceBudget::unlimited(),
+            budget_phase_start: 0.0,
+            budget_breach: None,
+            budget_shed: false,
+            budget_shed_any: false,
         })
         .collect();
     drop(txs);

@@ -50,6 +50,7 @@
 //! recovery round can resume from the last globally committed boundary
 //! instead of redoing the whole attempt.
 
+pub mod budget;
 pub mod checkpoint;
 pub mod comm;
 pub mod error;
@@ -61,6 +62,7 @@ pub mod reliable;
 pub mod trace;
 pub mod wire;
 
+pub use budget::{BudgetBreach, BudgetKind, ResourceBudget};
 pub use checkpoint::{CheckpointStore, Snapshot};
 pub use comm::{
     run, run_instrumented, run_traced, Comm, InstrumentConfig, PhaseControl, RankStats, RunReport,

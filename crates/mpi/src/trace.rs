@@ -686,6 +686,8 @@ mod tests {
             seed: 7,
             degraded: false,
             clock: "virtual".into(),
+            scenario: String::new(),
+            budget_degraded: false,
         };
         let json = stats_json(&stats, &MachineModel::ideal(), &run);
         assert!(json.contains(&format!("\"schema_version\":{SCHEMA_VERSION}")));
@@ -729,6 +731,8 @@ mod tests {
             seed: 7,
             degraded: false,
             clock: "wall".into(),
+            scenario: String::new(),
+            budget_degraded: false,
         };
         let json = stats_json(&stats, &MachineModel::ideal(), &run);
         let v = pgr_obs::Json::parse(&json).expect("stats_json parses");

@@ -20,7 +20,12 @@ use crate::metrics::RankMetrics;
 /// `mpi.recv_wait_micros` and `trace.dropped` counters; aggregate dumps
 /// gained wait-fraction / imbalance series. (Bench snapshots version
 /// independently — see `pgr-bench`'s `BENCH_SCHEMA_VERSION`.)
-pub const SCHEMA_VERSION: u32 = 4;
+///
+/// v5: [`RunMeta`] gained the adversarial-scenario name (`scenario`,
+/// emitted only when non-empty) and the `budget_degraded` stamp
+/// (emitted only when `true`); aggregate dumps gained budget shed
+/// series.
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// Escape a string for inclusion in a JSON string literal.
 pub fn json_escape(s: &str) -> String {
@@ -71,13 +76,22 @@ pub struct RunMeta {
     /// or `"wall"`. Emitted only when not `"virtual"`, so virtual-mode
     /// dumps are byte-identical to those of writers predating the field.
     pub clock: String,
+    /// Adversarial scenario name (`pgr-circuit::scenarios`, e.g.
+    /// `"congestion-stress/s0.25/seed7"`) when the circuit came from the
+    /// scenario generator. Emitted only when non-empty, so ordinary
+    /// benchmark dumps are byte-identical to those of older writers.
+    pub scenario: String,
+    /// The run completed but shed optional refinement work under a
+    /// `ResourceBudget` time limit (`pgr-mpi`). Emitted only when
+    /// `true`.
+    pub budget_degraded: bool,
 }
 
 impl RunMeta {
     /// The `"run":{…}` JSON fragment shared by every emitter.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"circuit\":\"{}\",\"algorithm\":\"{}\",\"procs\":{},\"machine\":\"{}\",\"scale\":{},\"seed\":{}{}{}}}",
+            "{{\"circuit\":\"{}\",\"algorithm\":\"{}\",\"procs\":{},\"machine\":\"{}\",\"scale\":{},\"seed\":{}{}{}{}{}}}",
             json_escape(&self.circuit),
             json_escape(&self.algorithm),
             self.procs,
@@ -89,6 +103,16 @@ impl RunMeta {
                 String::new()
             } else {
                 format!(",\"clock\":\"{}\"", json_escape(&self.clock))
+            },
+            if self.scenario.is_empty() {
+                String::new()
+            } else {
+                format!(",\"scenario\":\"{}\"", json_escape(&self.scenario))
+            },
+            if self.budget_degraded {
+                ",\"budget_degraded\":true"
+            } else {
+                ""
             }
         )
     }
@@ -177,7 +201,26 @@ mod tests {
             seed: 1997,
             degraded: false,
             clock: "virtual".into(),
+            scenario: String::new(),
+            budget_degraded: false,
         }
+    }
+
+    #[test]
+    fn scenario_and_budget_degraded_are_emitted_only_when_set() {
+        let clean = meta();
+        assert!(!clean.to_json().contains("scenario"));
+        assert!(!clean.to_json().contains("budget_degraded"));
+        let mut stressed = meta();
+        stressed.scenario = "congestion-stress/s0.25/seed7".into();
+        stressed.budget_degraded = true;
+        let v = Json::parse(&metrics_json(&stressed, &[])).expect("stressed output parses");
+        let run = v.get("run").unwrap();
+        assert_eq!(
+            run.get("scenario").unwrap().as_str(),
+            Some("congestion-stress/s0.25/seed7")
+        );
+        assert_eq!(run.get("budget_degraded").unwrap().as_bool(), Some(true));
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod profile;
 pub use emit::{json_escape, metrics_json, RunMeta, SCHEMA_VERSION};
 pub use json::Json;
 pub use metrics::{
-    merge_ranks, recovery_names, Histogram, MetricsConfig, MetricsShard, RankMetrics,
+    budget_names, merge_ranks, recovery_names, Histogram, MetricsConfig, MetricsShard, RankMetrics,
 };
 pub use phase::Phase;
 pub use profile::{

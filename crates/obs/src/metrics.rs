@@ -56,6 +56,21 @@ pub mod recovery_names {
     pub const FULL_RESTARTS: &str = "recovery.full_restarts";
 }
 
+/// Canonical names for the resource-budget counters `pgr-mpi` records
+/// when a [`crate::RunMeta`]-described run carries a budget. Same
+/// contract as [`recovery_names`]: producers and the aggregator share
+/// these literals.
+pub mod budget_names {
+    /// Optional refinement sweeps dropped because the phase ran past
+    /// its time budget (one per shed decision; the run completes
+    /// `budget_degraded`).
+    pub const SHED_EVENTS: &str = "budget.shed_events";
+    /// Hard breaches latched (phase overrun of mandatory work, or a
+    /// rank's modeled bytes over cap); each aborts the run with a
+    /// structured error after rank agreement.
+    pub const BREACHES: &str = "budget.breaches";
+}
+
 /// Number of histogram buckets: bucket 0 holds zeros, bucket `i ≥ 1`
 /// holds values with bit length `i`, i.e. `v ∈ [2^(i-1), 2^i)`.
 pub const HIST_BUCKETS: usize = 65;

@@ -364,6 +364,8 @@ mod tests {
             seed: 1997,
             degraded: false,
             clock: "virtual".into(),
+            scenario: String::new(),
+            budget_degraded: false,
         }
     }
 
